@@ -1,0 +1,82 @@
+// Ablation: interleaving (paper §3, §4.1).
+//
+// Writing two fields from two aligned collections with consecutive inserts
+// and ONE write produces element-interleaved data in the file (what
+// visualization tools want), at essentially the cost of a single record;
+// the alternative — one write per field — pays the record machinery twice.
+// This measures both and verifies the interleaved byte layout.
+#include <cstdio>
+
+#include "src/collection/collection.h"
+#include "src/dstream/dstream.h"
+#include "src/util/options.h"
+#include "src/util/strfmt.h"
+#include "src/util/table.h"
+
+using namespace pcxx;
+
+namespace {
+
+struct GridCell {
+  int numberOfParticles = 0;
+  double particleDensity = 0.0;
+};
+
+double runOnce(int nprocs, std::int64_t n, bool interleaved) {
+  rt::Machine machine(nprocs, rt::CommModel{100e-6, 1.25e-8});
+  pfs::PfsConfig cfg;
+  cfg.perf = pfs::paragonParams();
+  pfs::Pfs fs(cfg);
+
+  machine.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(n, &P, coll::DistKind::Block);
+    coll::Collection<GridCell> g(&d);
+    coll::Collection<GridCell> g2(&d);
+    g.forEachLocal([](GridCell& c, std::int64_t i) {
+      c.numberOfParticles = static_cast<int>(i);
+    });
+    g2.forEachLocal([](GridCell& c, std::int64_t i) {
+      c.particleDensity = 0.5 * static_cast<double>(i);
+    });
+
+    ds::OStream s(fs, &d, "ablation_il");
+    if (interleaved) {
+      s << g.field(&GridCell::numberOfParticles);
+      s << g2.field(&GridCell::particleDensity);
+      s.write();
+    } else {
+      s << g.field(&GridCell::numberOfParticles);
+      s.write();
+      s << g2.field(&GridCell::particleDensity);
+      s.write();
+    }
+  });
+  return machine.maxVirtualTime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("ablation_interleave",
+               "one interleaved record vs one record per field");
+  opts.add("nprocs", "8", "node count");
+  if (!opts.parse(argc, argv)) return 0;
+  const int nprocs = static_cast<int>(opts.getInt("nprocs"));
+
+  Table t("Ablation: two corresponding fields written contiguously "
+          "(interleaved, 1 record) vs separately (2 records)");
+  t.setHeader({"# of elements", "interleaved", "two records", "saving"});
+  for (std::int64_t n : {256ll, 2000ll, 16000ll}) {
+    const double one = runOnce(nprocs, n, true);
+    const double two = runOnce(nprocs, n, false);
+    t.addRow({strfmt("%lld", static_cast<long long>(n)),
+              strfmt("%.3f sec.", one), strfmt("%.3f sec.", two),
+              strfmt("%.1f%%", 100.0 * (two - one) / two)});
+  }
+  t.setFootnote("interleaving additionally places corresponding fields "
+                "contiguously in the file, the layout visualization tools "
+                "require (verified by tests/dstream/interleave_test)");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation: read() vs unsortedRead() (paper §3).
+//
+// "When unsortedRead is used, no guarantee is made about the order in which
+// the element data is extracted ... so the interprocessor communication can
+// be avoided, resulting in higher performance."
+//
+// The communication read() pays appears when the reading distribution
+// differs from the writing one: here each file is written CYCLIC and read
+// back into a BLOCK-distributed collection, so read() must sort and send
+// every element to its owner while unsortedRead() hands out file order.
+#include <cstdio>
+
+#include "src/collection/collection.h"
+#include "src/dstream/dstream.h"
+#include "src/scf/segment.h"
+#include "src/scf/workload.h"
+#include "src/util/options.h"
+#include "src/util/strfmt.h"
+#include "src/util/table.h"
+
+using namespace pcxx;
+
+namespace {
+
+double runOnce(int nprocs, std::int64_t segments, int particles,
+               bool sorted) {
+  rt::Machine machine(nprocs, rt::CommModel{100e-6, 1.25e-8});
+  pfs::PfsConfig cfg;
+  cfg.perf = pfs::paragonParams();
+  pfs::Pfs fs(cfg);
+
+  machine.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution dw(segments, &P, coll::DistKind::Cyclic);
+    coll::Collection<scf::Segment> data(&dw);
+    scf::fillDeterministic(data, particles);
+    ds::OStream s(fs, &dw, "ablation_rs");
+    s << data;
+    s.write();
+  });
+  fs.model().reset();
+
+  double elapsed = 0.0;
+  machine.run([&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution dr(segments, &P, coll::DistKind::Block);
+    coll::Collection<scf::Segment> back(&dr);
+    const double t0 = node.clock().now();
+    ds::IStream s(fs, &dr, "ablation_rs");
+    if (sorted) {
+      s.read();
+    } else {
+      s.unsortedRead();
+    }
+    s >> back;
+    const double t1 = node.allreduceMax(node.clock().now());
+    if (node.id() == 0) elapsed = t1 - t0;
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("ablation_read_vs_unsorted",
+               "read() vs unsortedRead() input cost, writer CYCLIC -> "
+               "reader BLOCK, Paragon model, 8 nodes");
+  opts.add("nprocs", "8", "node count");
+  opts.add("particles", "100", "particles per segment");
+  if (!opts.parse(argc, argv)) return 0;
+  const int nprocs = static_cast<int>(opts.getInt("nprocs"));
+  const int particles = static_cast<int>(opts.getInt("particles"));
+
+  Table t("Ablation: input time, read() (sorts + sends to owners) vs "
+          "unsortedRead() (no communication)");
+  t.setHeader({"# of Segments", "read()", "unsortedRead()",
+               "communication avoided"});
+  for (std::int64_t n : {256ll, 1000ll, 4000ll}) {
+    const double sorted = runOnce(nprocs, n, particles, true);
+    const double unsorted = runOnce(nprocs, n, particles, false);
+    t.addRow({strfmt("%lld", static_cast<long long>(n)),
+              strfmt("%.3f sec.", sorted), strfmt("%.3f sec.", unsorted),
+              strfmt("%.3f sec. (%.1f%%)", sorted - unsorted,
+                     100.0 * (sorted - unsorted) / sorted)});
+  }
+  t.setFootnote(
+      "writer distribution CYCLIC, reader distribution BLOCK, so read() must "
+      "move essentially every element between nodes; the avoided cost is the "
+      "all-to-all of the full data volume over the modeled interconnect "
+      "(~80 MB/s mesh), a few percent of an I/O-bound input. With identical "
+      "layouts the two primitives cost the same.");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation: cost of reading a checkpoint under a different node count.
+//
+// The paper's read() "does the paperwork": the file stores the writing
+// distribution, so a record written on P nodes can be read on Q nodes —
+// with a redistribution (sort + send to owners) when Q != P or the
+// distribution changed. This measures read() input time for a file written
+// on 8 nodes, read back on 2, 4, and 8 nodes (the 8-node case is the
+// no-communication fast path).
+#include <cstdio>
+
+#include "src/collection/collection.h"
+#include "src/dstream/dstream.h"
+#include "src/scf/segment.h"
+#include "src/scf/workload.h"
+#include "src/util/options.h"
+#include "src/util/strfmt.h"
+#include "src/util/table.h"
+
+using namespace pcxx;
+
+int main(int argc, char** argv) {
+  Options opts("ablation_redistribution",
+               "read() cost vs reading node count (written on 8 nodes)");
+  opts.add("segments", "1000", "collection size");
+  opts.add("particles", "100", "particles per segment");
+  if (!opts.parse(argc, argv)) return 0;
+  const std::int64_t segments = opts.getInt("segments");
+  const int particles = static_cast<int>(opts.getInt("particles"));
+
+  pfs::PfsConfig cfg;
+  cfg.perf = pfs::paragonParams();
+  pfs::Pfs fs(cfg);
+
+  // Write once on 8 nodes, BLOCK distribution.
+  {
+    rt::Machine writer(8, rt::CommModel{100e-6, 1.25e-8});
+    writer.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(segments, &P, coll::DistKind::Block);
+      coll::Collection<scf::Segment> data(&d);
+      scf::fillDeterministic(data, particles);
+      ds::OStream s(fs, &d, "ablation_redist");
+      s << data;
+      s.write();
+    });
+  }
+
+  Table t(strfmt("Ablation: input time for a record written on 8 nodes "
+                 "(BLOCK, %lld segments), read back on fewer nodes",
+                 static_cast<long long>(segments)));
+  t.setHeader({"reading nodes", "read()", "unsortedRead()",
+               "redistribution cost", "note"});
+  for (int q : {2, 4, 8}) {
+    double times[2] = {0.0, 0.0};
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool sorted = pass == 0;
+      fs.model().reset();
+      rt::Machine reader(q, rt::CommModel{100e-6, 1.25e-8});
+      std::int64_t bad = -1;
+      reader.run([&](rt::Node& node) {
+        coll::Processors P;
+        coll::Distribution d(segments, &P, coll::DistKind::Block);
+        coll::Collection<scf::Segment> back(&d);
+        ds::IStream s(fs, &d, "ablation_redist");
+        if (sorted) {
+          s.read();
+        } else {
+          s.unsortedRead();
+        }
+        s >> back;
+        // Only the sorted read guarantees element order.
+        const auto mism =
+            sorted ? scf::verifyDeterministic(back, particles) : 0;
+        const auto total =
+            node.allreduceSumU64(static_cast<std::uint64_t>(mism));
+        if (node.id() == 0) bad = static_cast<std::int64_t>(total);
+      });
+      if (bad != 0) {
+        std::fprintf(stderr,
+                     "verification FAILED on %d nodes (%lld values)\n", q,
+                     static_cast<long long>(bad));
+        return 1;
+      }
+      times[pass] = reader.maxVirtualTime();
+    }
+    // An 8->8 BLOCK read matches the writer layout: the library skips the
+    // exchange entirely and read() == unsortedRead().
+    t.addRow({strfmt("%d", q), strfmt("%.3f sec.", times[0]),
+              strfmt("%.3f sec.", times[1]),
+              strfmt("%.3f sec.", times[0] - times[1]),
+              q == 8 ? "layouts match: fast path, no exchange"
+                     : "node count changed: sort + alltoall"});
+  }
+  t.setFootnote("read() results verified bit-exact after every read; the "
+                "absolute times also show the bulk-cache effect of reading "
+                "the same 5+ MB file with fewer nodes");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: parallel file system scaling (I/O node count).
+//
+// The paper's library leans on "parallel I/O primitives ... which transfer
+// a contiguous block of data from each compute node to the file system
+// simultaneously". This sweep scales the modeled file system from 1 to 8
+// I/O nodes and shows how each method responds: bulk transfers scale with
+// aggregate bandwidth, while unbuffered small requests stay latency-bound
+// (they spread over more queues but each request still pays full latency).
+#include <cstdio>
+
+#include "src/collection/collection.h"
+#include "src/scf/io_methods.h"
+#include "src/scf/segment.h"
+#include "src/scf/workload.h"
+#include "src/util/options.h"
+#include "src/util/strfmt.h"
+#include "src/util/table.h"
+
+using namespace pcxx;
+
+namespace {
+
+double runOnce(int nprocs, int nIoNodes, std::int64_t segments, int particles,
+               scf::IoMethod& method) {
+  rt::Machine machine(nprocs, rt::CommModel{100e-6, 1.25e-8});
+  pfs::PfsConfig cfg;
+  cfg.perf = pfs::paragonParams();
+  cfg.nIoNodes = nIoNodes;
+  pfs::Pfs fs(cfg);
+  machine.run([&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(segments, &P, coll::DistKind::Block);
+    coll::Collection<scf::Segment> data(&d);
+    scf::fillDeterministic(data, particles);
+    method.output(node, fs, data, "stripe_sweep");
+    coll::Collection<scf::Segment> back(&d);
+    method.input(node, fs, back, "stripe_sweep", particles);
+  });
+  return machine.maxVirtualTime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("ablation_stripe_sweep",
+               "output+input time vs I/O node count (Paragon model)");
+  opts.add("segments", "2000", "collection size");
+  opts.add("nprocs", "8", "compute node count");
+  if (!opts.parse(argc, argv)) return 0;
+  const std::int64_t segments = opts.getInt("segments");
+  const int nprocs = static_cast<int>(opts.getInt("nprocs"));
+
+  auto unbuffered = scf::makeUnbufferedIo();
+  auto manual = scf::makeManualBufferingIo();
+  auto streams = scf::makeStreamsIo();
+
+  Table t(strfmt("Ablation: file system scaling, %lld segments, %d compute "
+                 "nodes (Paragon model)",
+                 static_cast<long long>(segments), nprocs));
+  t.setHeader({"I/O nodes", "Unbuffered", "Manual Buffering", "pC++/streams"});
+  for (int io : {1, 2, 4, 8}) {
+    t.addRow({strfmt("%d", io),
+              strfmt("%.2f sec.",
+                     runOnce(nprocs, io, segments, 100, *unbuffered)),
+              strfmt("%.2f sec.", runOnce(nprocs, io, segments, 100, *manual)),
+              strfmt("%.2f sec.",
+                     runOnce(nprocs, io, segments, 100, *streams))});
+  }
+  t.print();
+  return 0;
+}

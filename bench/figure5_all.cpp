@@ -1,0 +1,49 @@
+// Reproduces Figure 5 (the four benchmark tables) plus the two trends the
+// paper's caption calls out:
+//   1. the library's overhead decreases as the I/O size increases
+//      ("% of Manual Buf." rises toward 100%), and
+//   2. buffered I/O (manual or pC++/streams) outperforms unbuffered I/O.
+#include <cstdio>
+
+#include "src/scf/harness.h"
+#include "src/util/options.h"
+#include "src/util/strfmt.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  pcxx::Options opts("figure5_all", "Paper Figure 5 reproduction (Tables 1-4)");
+  opts.addFlag("real", "measure wall-clock on the host instead of the model");
+  if (!opts.parse(argc, argv)) return 0;
+  const bool real = opts.getFlag("real");
+
+  const pcxx::scf::BenchConfig configs[4] = {
+      pcxx::scf::table1Paragon4(), pcxx::scf::table2Paragon8(),
+      pcxx::scf::table3SgiUni(), pcxx::scf::table4Sgi8()};
+
+  pcxx::Table trend("Figure 5 trends: pC++/streams overhead vs I/O size");
+  trend.setHeader({"Table", "smallest size", "largest size",
+                   "buffered beats unbuffered at every size?"});
+
+  for (int i = 0; i < 4; ++i) {
+    pcxx::scf::BenchConfig cfg = configs[i];
+    if (real) cfg.platform = "none";
+    const auto result = pcxx::scf::runBenchTable(cfg);
+    pcxx::scf::printWithPaperComparison(i + 1, result);
+    std::puts("");
+
+    bool bufferedWins = true;
+    for (const auto& cell : result.cells) {
+      if (cell.streams >= cell.unbuffered || cell.manual >= cell.unbuffered) {
+        bufferedWins = false;
+      }
+    }
+    trend.addRow({pcxx::strfmt("Table %d", i + 1),
+                  pcxx::strfmt("%.1f%% of manual",
+                               result.cells.front().pctOfManual()),
+                  pcxx::strfmt("%.1f%% of manual",
+                               result.cells.back().pctOfManual()),
+                  bufferedWins ? "yes" : "NO"});
+  }
+  trend.print();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers: runtime
+// collectives, byte codecs, checksums, and the d/stream insert/extract path
+// (real host time — these measure this implementation, not the 1995
+// platforms).
+#include <benchmark/benchmark.h>
+
+#include "src/collection/collection.h"
+#include "src/dstream/dstream.h"
+#include "src/scf/io_methods.h"
+#include "src/scf/segment.h"
+#include "src/scf/workload.h"
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+
+using namespace pcxx;
+
+namespace {
+
+void BM_Crc32(benchmark::State& state) {
+  ByteBuffer data(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto& b : data) b = static_cast<Byte>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_ByteCodecU64(benchmark::State& state) {
+  ByteBuffer buf;
+  buf.reserve(8 * 1024);
+  for (auto _ : state) {
+    buf.clear();
+    ByteWriter w(buf);
+    for (std::uint64_t i = 0; i < 1024; ++i) w.u64(i * 0x9E3779B97F4A7C15ull);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8 * 1024);
+}
+BENCHMARK(BM_ByteCodecU64);
+
+void BM_Barrier(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  rt::Machine machine(nprocs);
+  for (auto _ : state) {
+    machine.run([](rt::Node& node) {
+      for (int i = 0; i < 100; ++i) node.barrier();
+    });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Alltoallv(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  rt::Machine machine(nprocs);
+  for (auto _ : state) {
+    machine.run([&](rt::Node& node) {
+      std::vector<ByteBuffer> send(static_cast<size_t>(nprocs),
+                                   ByteBuffer(1024));
+      for (int i = 0; i < 20; ++i) {
+        benchmark::DoNotOptimize(node.alltoallv(send));
+      }
+    });
+  }
+}
+BENCHMARK(BM_Alltoallv)->Arg(2)->Arg(8);
+
+/// The full d/stream output+input path on the host (memory backend, no
+/// timing model): measures the library's real CPU cost per element.
+void BM_StreamRoundtrip(benchmark::State& state) {
+  const std::int64_t segments = state.range(0);
+  rt::Machine machine(4);
+  for (auto _ : state) {
+    pfs::Pfs fs{pfs::PfsConfig{}};
+    machine.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(segments, &P, coll::DistKind::Block);
+      coll::Collection<scf::Segment> data(&d);
+      scf::fillDeterministic(data, 100);
+      ds::OStream out(fs, &d, "bench");
+      out << data;
+      out.write();
+      coll::Collection<scf::Segment> back(&d);
+      ds::IStream in(fs, &d, "bench");
+      in.unsortedRead();
+      in >> back;
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * segments *
+                          (4 + 7 * 8 * 100) * 2);
+}
+BENCHMARK(BM_StreamRoundtrip)->Arg(64)->Arg(512);
+
+/// Buffered (one parallel op) vs unbuffered (one op per field) on the host:
+/// the micro version of the paper's headline comparison.
+void BM_UnbufferedVsBuffered(benchmark::State& state) {
+  const bool buffered = state.range(0) != 0;
+  const std::int64_t segments = 256;
+  rt::Machine machine(4);
+  for (auto _ : state) {
+    pfs::Pfs fs{pfs::PfsConfig{}};
+    machine.run([&](rt::Node& node) {
+      coll::Processors P;
+      coll::Distribution d(segments, &P, coll::DistKind::Block);
+      coll::Collection<scf::Segment> data(&d);
+      scf::fillDeterministic(data, 100);
+      auto method = buffered ? scf::makeManualBufferingIo()
+                             : scf::makeUnbufferedIo();
+      method->output(node, fs, data, "bench");
+      coll::Collection<scf::Segment> back(&d);
+      method->input(node, fs, back, "bench", 100);
+    });
+  }
+}
+BENCHMARK(BM_UnbufferedVsBuffered)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"buffered"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+// Reproduces Table 1: SCF benchmark on the (modeled) Intel Paragon, 4 nodes.
+#include <cstdio>
+
+#include "src/scf/harness.h"
+#include "src/util/options.h"
+
+int main(int argc, char** argv) {
+  pcxx::Options opts("table1_paragon4", "Paper Table 1 reproduction");
+  opts.addFlag("real", "measure wall-clock on the host instead of the model");
+  opts.addFlag("sorted", "use read() for input instead of the paper's "
+                         "unsortedRead()");
+  if (!opts.parse(argc, argv)) return 0;
+
+  pcxx::scf::BenchConfig cfg = pcxx::scf::table1Paragon4();
+  if (opts.getFlag("real")) cfg.platform = "none";
+  cfg.sortedRead = opts.getFlag("sorted");
+  const auto result = pcxx::scf::runBenchTable(cfg);
+  pcxx::scf::printWithPaperComparison(1, result);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Table 2 of the paper (see src/scf/harness.h).
+#include <cstdio>
+
+#include "src/scf/harness.h"
+#include "src/util/options.h"
+
+int main(int argc, char** argv) {
+  pcxx::Options opts("table2_paragon8", "Paper Table 2 reproduction");
+  opts.addFlag("real", "measure wall-clock on the host instead of the model");
+  opts.addFlag("sorted", "use read() for input instead of the paper's "
+                         "unsortedRead()");
+  if (!opts.parse(argc, argv)) return 0;
+
+  pcxx::scf::BenchConfig cfg = pcxx::scf::table2Paragon8();
+  if (opts.getFlag("real")) cfg.platform = "none";
+  cfg.sortedRead = opts.getFlag("sorted");
+  const auto result = pcxx::scf::runBenchTable(cfg);
+  pcxx::scf::printWithPaperComparison(2, result);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Producer/consumer pipeline (the paper's "communicating partial and final
+// results to other applications and to tools", §2).
+//
+// Phase 1 — the SIMULATION: an N-body run appends one record per output
+// interval to a single d/stream file (a time series of frames).
+//
+// Phase 2 — the ANALYSIS TOOL: a separate "application" (different machine,
+// different node count) opens the same file, uses skipRecord() to seek
+// cheaply, and extracts only every k-th frame to compute the cluster's
+// radius over time — the kind of downstream consumer the paper's
+// visualization/communication use case describes.
+//
+//   ./pipeline_analysis [--segments N] [--particles N] [--frames N]
+#include <cmath>
+#include <cstdio>
+
+#include "src/dstream/dstream.h"
+#include "src/scf/physics.h"
+#include "src/scf/segment.h"
+#include "src/scf/workload.h"
+#include "src/util/options.h"
+
+using namespace pcxx;
+
+int main(int argc, char** argv) {
+  Options opts("pipeline_analysis",
+               "simulation producing a frame series; analysis tool "
+               "consuming selected frames");
+  opts.add("segments", "6", "number of segments");
+  opts.add("particles", "24", "particles per segment");
+  opts.add("frames", "8", "frames written by the simulation");
+  opts.add("analyze-every", "2", "analysis reads every k-th frame");
+  if (!opts.parse(argc, argv)) return 0;
+  const std::int64_t segments = opts.getInt("segments");
+  const int particles = static_cast<int>(opts.getInt("particles"));
+  const int frames = static_cast<int>(opts.getInt("frames"));
+  const int every = static_cast<int>(opts.getInt("analyze-every"));
+
+  pfs::Pfs fs{pfs::PfsConfig{}};
+
+  // ---- Phase 1: the simulation (4 nodes) -----------------------------------
+  std::printf("simulation: %d frames of %lld segments x %d particles\n",
+              frames, static_cast<long long>(segments), particles);
+  {
+    rt::Machine sim(4);
+    scf::NBodyStepper stepper(scf::StepperConfig{5e-3, 0.05, 1.0});
+    sim.run([&](rt::Node& node) {
+      coll::Processors P;
+      coll::Distribution d(segments, &P, coll::DistKind::Block);
+      coll::Collection<scf::Segment> bodies(&d);
+      scf::fillPlummer(bodies, particles, /*seed=*/2026);
+      ds::OStream out(fs, &d, "frames");
+      for (int f = 0; f < frames; ++f) {
+        for (int step = 0; step < 3; ++step) stepper.step(node, bodies);
+        out << bodies;   // one record per frame, appended to one file
+        out.write();
+      }
+      rt::rio::printf(node, "simulation: wrote %d frames to 'frames'\n",
+                      frames);
+    });
+  }
+
+  // ---- Phase 2: the analysis tool (2 nodes, a different application) -------
+  std::printf("analysis tool: reading every %d-th frame on 2 nodes\n",
+              every);
+  rt::Machine tool(2);
+  tool.run([&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(segments, &P, coll::DistKind::Cyclic);
+    coll::Collection<scf::Segment> frame(&d);
+    ds::IStream in(fs, &d, "frames");
+    int index = 0;
+    while (!in.atEnd()) {
+      if (index % every != 0) {
+        in.skipRecord();  // cheap: header only, no element data moves
+        ++index;
+        continue;
+      }
+      in.read();
+      in >> frame;
+      // RMS radius of the cluster in this frame.
+      double sumR2 = 0.0;
+      std::int64_t count = 0;
+      frame.forEachLocal([&](scf::Segment& seg, std::int64_t) {
+        for (int k = 0; k < seg.numberOfParticles; ++k) {
+          sumR2 += seg.x[k] * seg.x[k] + seg.y[k] * seg.y[k] +
+                   seg.z[k] * seg.z[k];
+          ++count;
+        }
+      });
+      const double totalR2 = node.allreduceSum(sumR2);
+      const auto totalN = node.allreduceSumU64(
+          static_cast<std::uint64_t>(count));
+      rt::rio::printf(node, "  frame %2d: rms radius %.4f (%llu particles)\n",
+                      index, std::sqrt(totalR2 /
+                                       static_cast<double>(totalN)),
+                      static_cast<unsigned long long>(totalN));
+      ++index;
+    }
+    rt::rio::printf(node, "analysis tool: processed %d frames (skipped the "
+                          "rest without reading their data)\n",
+                    (index + every - 1) / every);
+  });
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Types for the stream-gen example. The build runs
+//   streamgen streamgen_types.h -o streamgen_types_streams.h
+// to generate the d/stream insertion/extraction functions for these types
+// (see examples/CMakeLists.txt); streamgen_demo.cpp includes the generated
+// header and round-trips a collection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sgdemo {
+
+struct Sample {
+  int count = 0;
+  double* readings = nullptr;  // pcxx:size(count)
+  std::vector<int> flags;
+  std::string station;
+  double calibration[2] = {1.0, 0.0};
+  void* scratch = nullptr;  // pcxx:skip
+
+  ~Sample() { delete[] readings; }
+};
+
+}  // namespace sgdemo

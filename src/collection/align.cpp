@@ -1,0 +1,93 @@
+#include "collection/align.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace pcxx::coll {
+namespace {
+
+/// Parse the bracketed expression of the template side of an ALIGN spec:
+/// "i", "2*i", "i+3", "2*i-1", "i-1", ... into (stride, offset).
+void parseAffine(const std::string& expr, std::int64_t& stride,
+                 std::int64_t& offset) {
+  stride = 1;
+  offset = 0;
+  std::string s;
+  for (char c : expr) {
+    if (!std::isspace(static_cast<unsigned char>(c))) s.push_back(c);
+  }
+  PCXX_REQUIRE(!s.empty(), "empty ALIGN index expression");
+
+  const size_t iPos = s.find('i');
+  PCXX_REQUIRE(iPos != std::string::npos,
+               "ALIGN index expression must reference 'i'");
+
+  // Coefficient: "<k>*" before 'i', optionally signed.
+  std::string coef = s.substr(0, iPos);
+  if (!coef.empty()) {
+    PCXX_REQUIRE(coef.back() == '*',
+                 "ALIGN index expression: expected '<k>*i'");
+    coef.pop_back();
+    PCXX_REQUIRE(!coef.empty(), "ALIGN index expression: missing coefficient");
+    char* end = nullptr;
+    stride = std::strtoll(coef.c_str(), &end, 10);
+    PCXX_REQUIRE(end != nullptr && *end == '\0',
+                 "ALIGN index expression: bad coefficient '" + coef + "'");
+  }
+
+  // Offset: "+<b>" or "-<b>" after 'i'.
+  std::string rest = s.substr(iPos + 1);
+  if (!rest.empty()) {
+    PCXX_REQUIRE(rest[0] == '+' || rest[0] == '-',
+                 "ALIGN index expression: expected '+<b>' or '-<b>' after i");
+    char* end = nullptr;
+    offset = std::strtoll(rest.c_str(), &end, 10);
+    PCXX_REQUIRE(end != nullptr && *end == '\0',
+                 "ALIGN index expression: bad offset '" + rest + "'");
+  }
+}
+
+}  // namespace
+
+Align::Align(std::int64_t size, std::int64_t stride, std::int64_t offset)
+    : size_(size), stride_(stride), offset_(offset) {
+  PCXX_REQUIRE(size >= 0, "Align size must be non-negative");
+  PCXX_REQUIRE(stride != 0, "Align stride must be non-zero");
+}
+
+Align::Align(std::int64_t size, const std::string& spec) : size_(size) {
+  PCXX_REQUIRE(size >= 0, "Align size must be non-negative");
+  // Expected form: [ALIGN( lhs[i] , tmpl[<expr>] )]
+  const size_t alignPos = spec.find("ALIGN");
+  PCXX_REQUIRE(alignPos != std::string::npos,
+               "alignment spec must contain ALIGN(...): '" + spec + "'");
+  const size_t comma = spec.find(',', alignPos);
+  PCXX_REQUIRE(comma != std::string::npos,
+               "alignment spec missing ',': '" + spec + "'");
+  const size_t lb = spec.find('[', comma);
+  const size_t rb = spec.find(']', lb == std::string::npos ? comma : lb);
+  PCXX_REQUIRE(lb != std::string::npos && rb != std::string::npos && rb > lb,
+               "alignment spec missing template index: '" + spec + "'");
+  parseAffine(spec.substr(lb + 1, rb - lb - 1), stride_, offset_);
+  PCXX_REQUIRE(stride_ != 0, "Align stride must be non-zero");
+}
+
+void Align::encode(ByteWriter& w) const {
+  w.i64(size_);
+  w.i64(stride_);
+  w.i64(offset_);
+}
+
+Align Align::decode(ByteReader& r) {
+  const std::int64_t size = r.i64();
+  const std::int64_t stride = r.i64();
+  const std::int64_t offset = r.i64();
+  if (size < 0 || stride == 0) {
+    throw FormatError("bad alignment parameters in file");
+  }
+  return Align(size, stride, offset);
+}
+
+}  // namespace pcxx::coll

@@ -1,0 +1,53 @@
+// HPF-style alignment of a collection onto a distribution template.
+//
+// Mirrors the pC++ `Align a(12, "[ALIGN(dummy[i], d[i])]");` declaration
+// (paper Figure 3). An alignment maps collection index i to distribution
+// template index stride*i + offset; the owner of collection element i is
+// then Distribution::ownerOf(align.map(i)). The identity alignment is the
+// common case. The pC++ spec-string syntax is parsed for fidelity with the
+// paper's examples; the affine form can also be given directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace pcxx::coll {
+
+class Align {
+ public:
+  /// Affine alignment: collection index i maps to stride*i + offset.
+  explicit Align(std::int64_t size, std::int64_t stride = 1,
+                 std::int64_t offset = 0);
+
+  /// Parse a pC++ alignment spec such as "[ALIGN(dummy[i], d[i])]",
+  /// "[ALIGN(x[i], d[2*i+1])]", or "[ALIGN(x[i], d[i-1])]".
+  Align(std::int64_t size, const std::string& spec);
+
+  std::int64_t size() const { return size_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t offset() const { return offset_; }
+
+  /// Template index of collection index `i`.
+  std::int64_t map(std::int64_t i) const { return stride_ * i + offset_; }
+
+  bool identity() const { return stride_ == 1 && offset_ == 0; }
+
+  bool operator==(const Align& other) const {
+    return size_ == other.size_ && stride_ == other.stride_ &&
+           offset_ == other.offset_;
+  }
+  bool operator!=(const Align& other) const { return !(*this == other); }
+
+  /// Stable on-disk encoding (part of every d/stream record header).
+  void encode(ByteWriter& w) const;
+  static Align decode(ByteReader& r);
+
+ private:
+  std::int64_t size_;
+  std::int64_t stride_;
+  std::int64_t offset_;
+};
+
+}  // namespace pcxx::coll

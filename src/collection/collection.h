@@ -1,0 +1,172 @@
+// Collection<T>: a distributed array of objects (the pC++ collection model).
+//
+// pC++ programs are SPMD: every node executes Processor_Main, so every node
+// constructs the same Collection object and holds only its local elements.
+// Element ownership follows the collection's Layout (Distribution + Align);
+// local elements are stored in ascending global-index order. Object-parallel
+// operations are expressed with forEachLocal, which applies a function to
+// every local element concurrently across nodes — the SPMD rendering of
+// pC++'s "concurrent application of a function to the elements".
+//
+// Example (paper Figure 3):
+//
+//   Processors P;
+//   Distribution d(12, &P, DistKind::Cyclic);
+//   Align a(12, "[ALIGN(dummy[i], d[i])]");
+//   Collection<ParticleList> g(&d, &a);
+//   g.forEachLocal([](ParticleList& p, std::int64_t i) { ... });
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "collection/layout.h"
+#include "runtime/machine.h"
+#include "util/error.h"
+
+namespace pcxx::coll {
+
+template <typename T, typename M>
+class FieldRef;
+
+template <typename T>
+class Collection {
+ public:
+  using ElementType = T;
+
+  /// Construct with a distribution and alignment (both non-owning; must
+  /// outlive the collection). Must be called inside Machine::run().
+  Collection(const Distribution* d, const Align* a)
+      : node_(&rt::thisNode()), layout_(*requireNonNull(d), *requireAlign(a)) {
+    init();
+  }
+
+  /// Identity alignment over the distribution's index space.
+  explicit Collection(const Distribution* d)
+      : node_(&rt::thisNode()), layout_(*requireNonNull(d)) {
+    init();
+  }
+
+  /// Construct directly from a Layout.
+  explicit Collection(Layout layout)
+      : node_(&rt::thisNode()), layout_(std::move(layout)) {
+    init();
+  }
+
+  rt::Node& node() const { return *node_; }
+  const Layout& layout() const { return layout_; }
+  const Distribution& distribution() const { return layout_.distribution(); }
+  const Align& align() const { return layout_.align(); }
+
+  /// Total number of elements across all nodes.
+  std::int64_t size() const { return layout_.size(); }
+
+  /// Number of elements on this node.
+  std::int64_t localCount() const {
+    return static_cast<std::int64_t>(local_.size());
+  }
+
+  /// The j-th local element (ascending global-index order).
+  T& local(std::int64_t j) {
+    PCXX_REQUIRE(j >= 0 && j < localCount(), "local element index range");
+    return local_[static_cast<size_t>(j)];
+  }
+  const T& local(std::int64_t j) const {
+    PCXX_REQUIRE(j >= 0 && j < localCount(), "local element index range");
+    return local_[static_cast<size_t>(j)];
+  }
+
+  /// Global index of the j-th local element.
+  std::int64_t globalIndexOf(std::int64_t j) const {
+    PCXX_REQUIRE(j >= 0 && j < localCount(), "local element index range");
+    return localGlobals_[static_cast<size_t>(j)];
+  }
+
+  /// Does this node own global element `g`?
+  bool owns(std::int64_t g) const {
+    return layout_.ownerOf(g) == node_->id();
+  }
+
+  /// Access a global element; must be owned by this node.
+  T& at(std::int64_t g) {
+    PCXX_REQUIRE(g >= 0 && g < size(), "global element index range");
+    PCXX_REQUIRE(owns(g), "at(): element not local to this node");
+    // Local elements are in ascending global order; binary search.
+    const auto it =
+        std::lower_bound(localGlobals_.begin(), localGlobals_.end(), g);
+    PCXX_CHECK(it != localGlobals_.end() && *it == g);
+    return local_[static_cast<size_t>(it - localGlobals_.begin())];
+  }
+
+  /// Apply fn(T&, globalIndex) to every local element. Combined with the
+  /// SPMD execution of all nodes this is the object-parallel apply.
+  template <typename F>
+  void forEachLocal(F&& fn) {
+    for (size_t j = 0; j < local_.size(); ++j) {
+      fn(local_[j], localGlobals_[j]);
+    }
+  }
+
+  template <typename F>
+  void forEachLocal(F&& fn) const {
+    for (size_t j = 0; j < local_.size(); ++j) {
+      fn(local_[j], localGlobals_[j]);
+    }
+  }
+
+  /// A reference to one field of every element, for single-field d/stream
+  /// insertion/extraction: `s << g.field(&ParticleList::numberOfParticles)`
+  /// renders the paper's `s << g.numberOfParticles`. (U is always T; it is
+  /// a deduced parameter so the declaration stays valid for non-class T.)
+  template <typename M, typename U = T>
+  FieldRef<U, M> field(M U::*member) {
+    static_assert(std::is_same_v<U, T>);
+    return FieldRef<U, M>(this, member);
+  }
+
+ private:
+  static const Distribution* requireNonNull(const Distribution* d) {
+    PCXX_REQUIRE(d != nullptr, "Collection requires a Distribution");
+    return d;
+  }
+  static const Align* requireAlign(const Align* a) {
+    PCXX_REQUIRE(a != nullptr, "Collection requires an Align");
+    return a;
+  }
+
+  void init() {
+    localGlobals_ = layout_.localElements(node_->id());
+    // Deque, not vector: elements need only be default-constructible
+    // (pointer-owning element classes are typically neither copyable nor
+    // movable), references stay stable, and deque<bool> — unlike
+    // vector<bool> — yields real bool& references.
+    local_ = std::deque<T>(localGlobals_.size());
+  }
+
+  rt::Node* node_;
+  Layout layout_;
+  std::deque<T> local_;
+  std::vector<std::int64_t> localGlobals_;
+};
+
+/// One field of every element of a collection (see Collection::field).
+template <typename T, typename M>
+class FieldRef {
+ public:
+  FieldRef(Collection<T>* c, M T::*member) : collection_(c), member_(member) {}
+
+  Collection<T>& collection() const { return *collection_; }
+  M T::*member() const { return member_; }
+
+  M& of(T& element) const { return element.*member_; }
+  const M& of(const T& element) const { return element.*member_; }
+
+ private:
+  Collection<T>* collection_;
+  M T::*member_;
+};
+
+}  // namespace pcxx::coll

@@ -1,0 +1,151 @@
+#include "collection/distribution.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pcxx::coll {
+
+const char* distKindName(DistKind kind) {
+  switch (kind) {
+    case DistKind::Block: return "BLOCK";
+    case DistKind::Cyclic: return "CYCLIC";
+    case DistKind::BlockCyclic: return "BLOCK_CYCLIC";
+  }
+  return "?";
+}
+
+Distribution::Distribution(std::int64_t size, const Processors* procs,
+                           DistKind kind, std::int64_t blockSize)
+    : Distribution(size, procs != nullptr ? procs->count() : 1, kind,
+                   blockSize) {
+  PCXX_REQUIRE(procs != nullptr, "Distribution requires a Processors object");
+}
+
+Distribution::Distribution(std::int64_t size, int nprocs, DistKind kind,
+                           std::int64_t blockSize)
+    : size_(size), nprocs_(nprocs), kind_(kind), blockSize_(blockSize) {
+  PCXX_REQUIRE(size >= 0, "Distribution size must be non-negative");
+  PCXX_REQUIRE(nprocs >= 1, "Distribution requires at least one node");
+  PCXX_REQUIRE(kind != DistKind::BlockCyclic || blockSize >= 1,
+               "BLOCK_CYCLIC requires a positive block size");
+  blockWidth_ = (size + nprocs - 1) / nprocs;
+  if (blockWidth_ == 0) blockWidth_ = 1;
+}
+
+int Distribution::ownerOf(std::int64_t g) const {
+  PCXX_REQUIRE(g >= 0 && g < size_, "ownerOf: index out of range");
+  switch (kind_) {
+    case DistKind::Block:
+      return static_cast<int>(g / blockWidth_);
+    case DistKind::Cyclic:
+      return static_cast<int>(g % nprocs_);
+    case DistKind::BlockCyclic:
+      return static_cast<int>((g / blockSize_) % nprocs_);
+  }
+  throw InternalError("bad DistKind");
+}
+
+std::int64_t Distribution::localCount(int proc) const {
+  PCXX_REQUIRE(proc >= 0 && proc < nprocs_, "localCount: bad node");
+  switch (kind_) {
+    case DistKind::Block: {
+      const std::int64_t begin = std::min<std::int64_t>(
+          static_cast<std::int64_t>(proc) * blockWidth_, size_);
+      const std::int64_t end = std::min<std::int64_t>(
+          (static_cast<std::int64_t>(proc) + 1) * blockWidth_, size_);
+      return end - begin;
+    }
+    case DistKind::Cyclic: {
+      const std::int64_t full = size_ / nprocs_;
+      const std::int64_t rem = size_ % nprocs_;
+      return full + (proc < rem ? 1 : 0);
+    }
+    case DistKind::BlockCyclic: {
+      // Count indices g with (g / blockSize_) % nprocs_ == proc: full blocks
+      // owned, minus the truncation of the overall last block if owned.
+      if (size_ == 0) return 0;
+      const std::int64_t nBlocks = (size_ + blockSize_ - 1) / blockSize_;
+      const std::int64_t fullRounds = nBlocks / nprocs_;
+      const std::int64_t remBlocks = nBlocks % nprocs_;
+      const std::int64_t owned = fullRounds + (proc < remBlocks ? 1 : 0);
+      const int lastOwner = static_cast<int>((nBlocks - 1) % nprocs_);
+      const std::int64_t truncation = nBlocks * blockSize_ - size_;
+      return owned * blockSize_ - (proc == lastOwner ? truncation : 0);
+    }
+  }
+  throw InternalError("bad DistKind");
+}
+
+std::int64_t Distribution::globalToLocal(std::int64_t g) const {
+  PCXX_REQUIRE(g >= 0 && g < size_, "globalToLocal: index out of range");
+  switch (kind_) {
+    case DistKind::Block:
+      return g % blockWidth_;
+    case DistKind::Cyclic:
+      return g / nprocs_;
+    case DistKind::BlockCyclic: {
+      const std::int64_t blockIdx = g / blockSize_;
+      const std::int64_t round = blockIdx / nprocs_;
+      return round * blockSize_ + g % blockSize_;
+    }
+  }
+  throw InternalError("bad DistKind");
+}
+
+std::int64_t Distribution::localToGlobal(int proc, std::int64_t local) const {
+  PCXX_REQUIRE(proc >= 0 && proc < nprocs_, "localToGlobal: bad node");
+  PCXX_REQUIRE(local >= 0 && local < localCount(proc),
+               "localToGlobal: local index out of range");
+  switch (kind_) {
+    case DistKind::Block:
+      return static_cast<std::int64_t>(proc) * blockWidth_ + local;
+    case DistKind::Cyclic:
+      return local * nprocs_ + proc;
+    case DistKind::BlockCyclic: {
+      const std::int64_t round = local / blockSize_;
+      const std::int64_t blockIdx =
+          round * nprocs_ + static_cast<std::int64_t>(proc);
+      return blockIdx * blockSize_ + local % blockSize_;
+    }
+  }
+  throw InternalError("bad DistKind");
+}
+
+bool Distribution::operator==(const Distribution& other) const {
+  if (size_ != other.size_ || nprocs_ != other.nprocs_ ||
+      kind_ != other.kind_) {
+    return false;
+  }
+  if (kind_ == DistKind::BlockCyclic && blockSize_ != other.blockSize_) {
+    return false;
+  }
+  return true;
+}
+
+void Distribution::encode(ByteWriter& w) const {
+  w.i64(size_);
+  w.u32(static_cast<std::uint32_t>(nprocs_));
+  w.u8(static_cast<std::uint8_t>(kind_));
+  w.i64(blockSize_);
+}
+
+Distribution Distribution::decode(ByteReader& r) {
+  const std::int64_t size = r.i64();
+  const int nprocs = static_cast<int>(r.u32());
+  const std::uint8_t kindRaw = r.u8();
+  const std::int64_t blockSize = r.i64();
+  if (kindRaw > static_cast<std::uint8_t>(DistKind::BlockCyclic)) {
+    throw FormatError("bad distribution kind in file: " +
+                      std::to_string(kindRaw));
+  }
+  if (nprocs < 1 || size < 0 ||
+      (static_cast<DistKind>(kindRaw) == DistKind::BlockCyclic &&
+       blockSize < 1)) {
+    throw FormatError("bad distribution parameters in file");
+  }
+  return Distribution(size, nprocs, static_cast<DistKind>(kindRaw),
+                      blockSize);
+}
+
+}  // namespace pcxx::coll

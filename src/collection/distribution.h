@@ -1,0 +1,69 @@
+// HPF-style distributions of a one-dimensional index space over nodes.
+//
+// Mirrors the pC++ `Distribution d(12, &P, CYCLIC);` declaration (paper
+// Figure 3). A Distribution is pure index math — it maps global element
+// indices to (owner node, local index) and back — plus a stable on-disk
+// encoding, because d/stream files store the writing distribution ahead of
+// the data (paper §4.1 step 1) so readers can redistribute.
+#pragma once
+
+#include <cstdint>
+
+#include "collection/processors.h"
+#include "util/bytes.h"
+
+namespace pcxx::coll {
+
+enum class DistKind : std::uint8_t {
+  Block = 0,        ///< contiguous blocks of ceil(size/nprocs)
+  Cyclic = 1,       ///< element i on node i % nprocs
+  BlockCyclic = 2,  ///< blocks of `blockSize` dealt round-robin
+};
+
+const char* distKindName(DistKind kind);
+
+class Distribution {
+ public:
+  /// Distribute `size` indices over `procs` with the given layout.
+  /// `blockSize` applies to BlockCyclic only.
+  Distribution(std::int64_t size, const Processors* procs, DistKind kind,
+               std::int64_t blockSize = 1);
+
+  /// Construct from raw parameters (used when decoding from a file; does
+  /// not require a machine context).
+  Distribution(std::int64_t size, int nprocs, DistKind kind,
+               std::int64_t blockSize);
+
+  std::int64_t size() const { return size_; }
+  int nprocs() const { return nprocs_; }
+  DistKind kind() const { return kind_; }
+  std::int64_t blockSize() const { return blockSize_; }
+
+  /// Owning node of global index `g`.
+  int ownerOf(std::int64_t g) const;
+
+  /// Number of elements local to node `proc`.
+  std::int64_t localCount(int proc) const;
+
+  /// Position of global index `g` within its owner's local element array.
+  std::int64_t globalToLocal(std::int64_t g) const;
+
+  /// Global index of node `proc`'s `local`-th element.
+  std::int64_t localToGlobal(int proc, std::int64_t local) const;
+
+  bool operator==(const Distribution& other) const;
+  bool operator!=(const Distribution& other) const { return !(*this == other); }
+
+  /// Stable on-disk encoding (part of every d/stream record header).
+  void encode(ByteWriter& w) const;
+  static Distribution decode(ByteReader& r);
+
+ private:
+  std::int64_t size_;
+  int nprocs_;
+  DistKind kind_;
+  std::int64_t blockSize_;     // BlockCyclic block; for Block, derived block
+  std::int64_t blockWidth_;    // Block layout: ceil(size / nprocs)
+};
+
+}  // namespace pcxx::coll

@@ -1,0 +1,71 @@
+#include "collection/layout.h"
+
+#include "util/error.h"
+
+namespace pcxx::coll {
+
+Layout::Layout(Distribution dist, Align align)
+    : dist_(std::move(dist)), align_(std::move(align)) {
+  // Every collection element must map inside the distribution's index space.
+  if (align_.size() > 0) {
+    const std::int64_t first = align_.map(0);
+    const std::int64_t last = align_.map(align_.size() - 1);
+    PCXX_REQUIRE(first >= 0 && first < dist_.size() && last >= 0 &&
+                     last < dist_.size(),
+                 "alignment maps elements outside the distribution");
+  }
+}
+
+Layout::Layout(Distribution dist)
+    : Layout(dist, Align(dist.size())) {}
+
+bool Layout::identityFastPath() const {
+  return align_.identity() && align_.size() == dist_.size();
+}
+
+std::int64_t Layout::localCount(int proc) const {
+  PCXX_REQUIRE(proc >= 0, "localCount: bad node");
+  // Nodes beyond the distribution's Processors set own nothing. This is
+  // what lets a collection live on a SUBSET of the machine (the paper's
+  // `Processors P` need not span all nodes) while d/stream operations stay
+  // machine-collective.
+  if (proc >= dist_.nprocs()) return 0;
+  if (identityFastPath()) return dist_.localCount(proc);
+  std::int64_t count = 0;
+  for (std::int64_t i = 0; i < align_.size(); ++i) {
+    if (ownerOf(i) == proc) ++count;
+  }
+  return count;
+}
+
+std::vector<std::int64_t> Layout::localElements(int proc) const {
+  PCXX_REQUIRE(proc >= 0, "localElements: bad node");
+  if (proc >= dist_.nprocs()) return {};
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<size_t>(localCount(proc)));
+  for (std::int64_t i = 0; i < align_.size(); ++i) {
+    if (ownerOf(i) == proc) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Layout::ownerTable() const {
+  std::vector<int> owners(static_cast<size_t>(align_.size()));
+  for (std::int64_t i = 0; i < align_.size(); ++i) {
+    owners[static_cast<size_t>(i)] = ownerOf(i);
+  }
+  return owners;
+}
+
+void Layout::encode(ByteWriter& w) const {
+  dist_.encode(w);
+  align_.encode(w);
+}
+
+Layout Layout::decode(ByteReader& r) {
+  Distribution dist = Distribution::decode(r);
+  Align align = Align::decode(r);
+  return Layout(std::move(dist), std::move(align));
+}
+
+}  // namespace pcxx::coll

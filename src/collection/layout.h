@@ -1,0 +1,62 @@
+// Element-ownership layout of an aligned, distributed collection.
+//
+// A Layout combines a Distribution and an Align into the questions every
+// layer above needs answered: which node owns collection element i, how
+// many elements are local to a node, and the ascending-global-index order
+// of a node's local elements. The d/stream record header stores the layout
+// of the writing collection so a reader under a different node count or
+// distribution can compute both sides and redistribute (paper §4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collection/align.h"
+#include "collection/distribution.h"
+#include "util/bytes.h"
+
+namespace pcxx::coll {
+
+class Layout {
+ public:
+  Layout(Distribution dist, Align align);
+
+  /// Identity-aligned layout over the distribution's own index space.
+  explicit Layout(Distribution dist);
+
+  const Distribution& distribution() const { return dist_; }
+  const Align& align() const { return align_; }
+
+  /// Number of collection elements.
+  std::int64_t size() const { return align_.size(); }
+  int nprocs() const { return dist_.nprocs(); }
+
+  /// Owning node of collection element `i`.
+  int ownerOf(std::int64_t i) const { return dist_.ownerOf(align_.map(i)); }
+
+  /// Number of elements local to `proc` (O(size) for non-identity
+  /// alignments; O(1) for the identity fast path).
+  std::int64_t localCount(int proc) const;
+
+  /// Global indices owned by `proc`, ascending (defines local order).
+  std::vector<std::int64_t> localElements(int proc) const;
+
+  /// Owner of every element, indexed by global element index.
+  std::vector<int> ownerTable() const;
+
+  bool operator==(const Layout& other) const {
+    return dist_ == other.dist_ && align_ == other.align_;
+  }
+  bool operator!=(const Layout& other) const { return !(*this == other); }
+
+  void encode(ByteWriter& w) const;
+  static Layout decode(ByteReader& r);
+
+ private:
+  bool identityFastPath() const;
+
+  Distribution dist_;
+  Align align_;
+};
+
+}  // namespace pcxx::coll

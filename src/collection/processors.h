@@ -1,0 +1,32 @@
+// Processors: the set of nodes a collection is distributed over.
+//
+// Mirrors the pC++ `Processors P;` declaration from the paper's Figure 3.
+// In this reproduction a Processors object names the first `count` nodes of
+// the current machine (the whole machine by default). It is a value type;
+// every node of the SPMD program constructs an identical copy.
+#pragma once
+
+#include "runtime/machine.h"
+#include "util/error.h"
+
+namespace pcxx::coll {
+
+class Processors {
+ public:
+  /// All nodes of the current machine (must be called inside Machine::run).
+  Processors() : count_(rt::thisNode().nprocs()) {}
+
+  /// The first `count` nodes of the current machine.
+  explicit Processors(int count) : count_(count) {
+    PCXX_REQUIRE(count >= 1, "Processors requires a positive count");
+    PCXX_REQUIRE(count <= rt::thisNode().nprocs(),
+                 "Processors count exceeds machine size");
+  }
+
+  int count() const { return count_; }
+
+ private:
+  int count_;
+};
+
+}  // namespace pcxx::coll

@@ -1,0 +1,58 @@
+// The array() wrapper for variable-sized array fields (paper §4.1).
+//
+// Insertion functions use it to stream a dynamically sized array whose
+// length is carried by another field of the element:
+//
+//   s << p.numberOfParticles;
+//   s << pcxx::ds::array(p.mass, p.numberOfParticles);
+//
+// and extraction functions use the same syntax; on extraction the target
+// pointer is allocated with new[] if null (the element owns it afterwards).
+// array() entries are raw bytes in the file — no embedded length — which is
+// what keeps interleaved fields contiguous for visualization tools.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace pcxx::ds {
+
+template <typename V>
+struct ArrayRef {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "array() elements must be trivially copyable");
+
+  V** slot;           ///< address of the program's pointer (for extraction)
+  std::int64_t count; ///< number of V elements
+
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(count) * sizeof(V);
+  }
+};
+
+/// Wrap a pointer field + element count for insertion or extraction.
+/// The pointer is taken by reference so extraction can allocate into it.
+template <typename V>
+ArrayRef<V> array(V*& ptr, std::int64_t count) {
+  return ArrayRef<V>{&ptr, count};
+}
+
+/// Read-only variant for insertion from a const pointer.
+template <typename V>
+struct ConstArrayRef {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "array() elements must be trivially copyable");
+  const V* data;
+  std::int64_t count;
+
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(count) * sizeof(V);
+  }
+};
+
+template <typename V>
+ConstArrayRef<V> array(const V* ptr, std::int64_t count) {
+  return ConstArrayRef<V>{ptr, count};
+}
+
+}  // namespace pcxx::ds

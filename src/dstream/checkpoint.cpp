@@ -1,0 +1,160 @@
+#include "dstream/checkpoint.h"
+
+#include "dstream/inspect.h"
+
+#include "runtime/rio.h"
+#include "util/log.h"
+#include "util/strfmt.h"
+
+namespace pcxx::ds {
+
+CheckpointManager::CheckpointManager(pfs::Pfs& fs, CheckpointOptions options)
+    : fs_(&fs), options_(std::move(options)) {
+  PCXX_REQUIRE(options_.keepLast >= 1,
+               "CheckpointManager must keep at least one epoch");
+  PCXX_REQUIRE(!options_.baseName.empty(),
+               "CheckpointManager requires a base name");
+}
+
+std::string CheckpointManager::epochFileName(std::uint64_t epoch) const {
+  return strfmt("%s.%llu", options_.baseName.c_str(),
+                static_cast<unsigned long long>(epoch));
+}
+
+std::string CheckpointManager::markerFileName() const {
+  return options_.baseName + ".latest";
+}
+
+std::int64_t CheckpointManager::latestEpoch(rt::Node& node) {
+  if (!fs_->exists(markerFileName())) return -1;
+  auto f = fs_->open(node, markerFileName(), pfs::OpenMode::Read);
+  ByteBuffer buf(8);
+  std::uint64_t got = 0;
+  if (node.id() == 0) {
+    got = f->readAt(node, 0, buf);
+  }
+  ByteBuffer share;
+  if (node.id() == 0 && got == 8) share = buf;
+  node.broadcastBytes(0, share);
+  if (share.size() != 8) return -1;
+  return static_cast<std::int64_t>(decodeU64(share.data()));
+}
+
+void CheckpointManager::writeMarker(rt::Node& node, std::uint64_t epoch) {
+  auto f = fs_->open(node, markerFileName(), pfs::OpenMode::Create);
+  if (node.id() == 0) {
+    Byte enc[8];
+    encodeU64(epoch, enc);
+    f->writeAt(node, 0, enc);
+  }
+  f->sync(node);
+}
+
+void CheckpointManager::prune(rt::Node& node, std::uint64_t latest) {
+  const std::uint64_t keep = static_cast<std::uint64_t>(options_.keepLast);
+  if (latest + 1 <= keep) return;
+  // Epochs are consecutive from this manager; also sweep a margin below
+  // the retention window in case an earlier manager left files behind.
+  const std::uint64_t firstKept = latest + 1 - keep;
+  const std::uint64_t sweepFrom =
+      firstKept > 8 ? firstKept - 8 : 0;
+  for (std::uint64_t e = sweepFrom; e < firstKept; ++e) {
+    if (fs_->exists(epochFileName(e))) {
+      fs_->remove(node, epochFileName(e));
+    }
+  }
+}
+
+std::uint64_t CheckpointManager::saveWith(
+    rt::Node& node, const coll::Layout& layout,
+    const std::function<void(OStream&)>& writer) {
+  // Resume epoch numbering from the marker if another manager instance
+  // (e.g. a restarted process) wrote checkpoints before us.
+  if (nextEpoch_ == 0) {
+    const std::int64_t existing = latestEpoch(node);
+    if (existing >= 0) {
+      nextEpoch_ = static_cast<std::uint64_t>(existing) + 1;
+    }
+  }
+  const std::uint64_t epoch = nextEpoch_++;
+
+  StreamOptions so;
+  so.checksumData = options_.checksumData;
+  so.syncOnWrite = options_.syncOnWrite;
+  {
+    OStream s(*fs_, &layout.distribution(), &layout.align(),
+              epochFileName(epoch), so);
+    writer(s);
+    s.write();
+  }
+  // Only after the epoch file is durable does the marker move; a crash
+  // before this line leaves the previous epoch authoritative.
+  writeMarker(node, epoch);
+  prune(node, epoch);
+  return epoch;
+}
+
+bool CheckpointManager::tryRestore(
+    rt::Node& node, const coll::Layout& layout, std::uint64_t epoch,
+    const std::function<void(IStream&)>& reader) {
+  if (!fs_->exists(epochFileName(epoch))) return false;
+  auto f = fs_->open(node, epochFileName(epoch), pfs::OpenMode::Read);
+
+  // Node 0 validates the file STRUCTURE offline first (framing, header
+  // CRCs, size-table consistency) so that a damaged epoch is rejected by a
+  // consistent collective decision rather than by nodes failing at
+  // different points inside collective reads.
+  std::uint64_t ok = 0;
+  if (node.id() == 0) {
+    try {
+      ByteBuffer all(static_cast<size_t>(f->size()));
+      if (f->readAt(node, 0, all) == all.size()) {
+        pfs::MemStorage image;
+        image.writeAt(0, all);
+        const FileInfo info = inspectFile(image);
+        ok = !info.records.empty() &&
+             info.records[0].header.elementCount() == layout.size();
+      }
+    } catch (const Error& e) {
+      PCXX_LOG_WARN("checkpoint epoch %llu failed validation: %s",
+                    static_cast<unsigned long long>(epoch), e.what());
+      ok = 0;
+    }
+  }
+  const std::uint64_t agreed = node.allreduceSumU64(node.id() == 0 ? ok : 0);
+  if (agreed == 0) return false;
+
+  try {
+    // Remaining failure modes (data checksum mismatch) throw consistently
+    // on every node, so catching here keeps the machine healthy.
+    f->seekShared(node, kFileHeaderBytes);
+    IStream s(*fs_, f, coll::Layout(layout.distribution(), layout.align()));
+    s.read();
+    reader(s);
+    return true;
+  } catch (const Error& e) {
+    PCXX_LOG_WARN("checkpoint epoch %llu unreadable: %s",
+                  static_cast<unsigned long long>(epoch), e.what());
+    return false;
+  }
+}
+
+std::int64_t CheckpointManager::restoreWith(
+    rt::Node& node, const coll::Layout& layout,
+    const std::function<void(IStream&)>& reader) {
+  const std::int64_t marked = latestEpoch(node);
+  if (marked < 0) return -1;
+  // Try the marked epoch, then older retained epochs.
+  const std::uint64_t start = static_cast<std::uint64_t>(marked);
+  for (std::uint64_t back = 0; back <= start; ++back) {
+    const std::uint64_t epoch = start - back;
+    if (back >= static_cast<std::uint64_t>(options_.keepLast) + 1) break;
+    if (tryRestore(node, layout, epoch, reader)) {
+      nextEpoch_ = start + 1;
+      return static_cast<std::int64_t>(epoch);
+    }
+  }
+  return -1;
+}
+
+}  // namespace pcxx::ds

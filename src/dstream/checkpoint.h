@@ -1,0 +1,87 @@
+// Crash-safe checkpoint management on top of d/streams.
+//
+// The paper names checkpointing as the library's first application
+// ("save the state of complex distributed data-sets periodically so that
+// computation can be resumed at a later point", §2) but leaves epoch
+// management to the program. CheckpointManager supplies the standard
+// discipline a long-running application needs:
+//
+//   * each save() writes a NEW epoch file (<base>.<epoch>), with data
+//     checksums and fsync on by default;
+//   * a marker file (<base>.latest) is updated only AFTER the epoch file
+//     is durable, so a crash mid-checkpoint always leaves the previous
+//     epoch recoverable;
+//   * old epochs beyond `keepLast` are pruned after the marker moves;
+//   * restoreLatest() validates the marker's target (falling back to older
+//     epochs if it is missing or corrupt) and restores through read(), so
+//     the node count and distribution may differ from the saving run.
+//
+// All methods are collective (every node of the machine calls them).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "collection/collection.h"
+#include "dstream/istream.h"
+#include "dstream/ostream.h"
+
+namespace pcxx::ds {
+
+struct CheckpointOptions {
+  std::string baseName = "checkpoint";
+  /// Epoch files retained after a successful save (>= 1).
+  int keepLast = 2;
+  bool checksumData = true;
+  bool syncOnWrite = true;
+};
+
+class CheckpointManager {
+ public:
+  CheckpointManager(pfs::Pfs& fs, CheckpointOptions options);
+
+  /// Write one epoch whose single record holds `data`. Returns the epoch id.
+  template <typename T>
+  std::uint64_t save(coll::Collection<T>& data) {
+    return saveWith(data.node(), data.layout(),
+                    [&](OStream& s) { s << data; });
+  }
+
+  /// General form: `writer` inserts into the stream (one or more inserts);
+  /// the manager calls write(), makes it durable, moves the marker, prunes.
+  std::uint64_t saveWith(rt::Node& node, const coll::Layout& layout,
+                         const std::function<void(OStream&)>& writer);
+
+  /// Epoch the marker currently points to, or -1 when no checkpoint exists.
+  std::int64_t latestEpoch(rt::Node& node);
+
+  /// Restore the newest recoverable epoch into `data`; returns the epoch
+  /// id, or -1 if no epoch could be restored.
+  template <typename T>
+  std::int64_t restoreLatest(coll::Collection<T>& data) {
+    return restoreWith(data.node(), data.layout(),
+                       [&](IStream& s) { s >> data; });
+  }
+
+  /// General form of restoreLatest. Tries the marker's epoch first, then
+  /// walks backwards over retained epochs if it is damaged.
+  std::int64_t restoreWith(rt::Node& node, const coll::Layout& layout,
+                           const std::function<void(IStream&)>& reader);
+
+  std::string epochFileName(std::uint64_t epoch) const;
+  std::string markerFileName() const;
+
+ private:
+  void writeMarker(rt::Node& node, std::uint64_t epoch);
+  void prune(rt::Node& node, std::uint64_t latest);
+  bool tryRestore(rt::Node& node, const coll::Layout& layout,
+                  std::uint64_t epoch,
+                  const std::function<void(IStream&)>& reader);
+
+  pfs::Pfs* fs_;
+  CheckpointOptions options_;
+  std::uint64_t nextEpoch_ = 0;
+};
+
+}  // namespace pcxx::ds

@@ -1,0 +1,59 @@
+// dsdump: inspect d/stream files from the command line.
+//
+//   dsdump wholeGridFile             # record summary
+//   dsdump -v wholeGridFile          # + insert descriptors, histograms
+//   dsdump --element 3 file          # hex dump of one element's payload
+#include <cstdio>
+
+#include "dstream/inspect.h"
+#include "pfs/backend.h"
+#include "util/options.h"
+#include "util/strfmt.h"
+
+int main(int argc, char** argv) {
+  try {
+    pcxx::Options opts("dsdump", "inspect a d/stream file");
+    opts.addFlag("v", "verbose: insert descriptors and size histograms");
+    opts.add("record", "0", "record index for --element");
+    opts.add("element", "-1",
+             "hex-dump the payload of this file-order element");
+    if (!opts.parse(argc, argv)) return 0;
+    if (opts.positional().size() != 1) {
+      std::fputs(opts.usage().c_str(), stderr);
+      return 2;
+    }
+
+    pcxx::pfs::PosixStorage storage(opts.positional()[0]);
+    const pcxx::ds::FileInfo info = pcxx::ds::inspectFile(storage);
+
+    const std::int64_t element = opts.getInt("element");
+    if (element >= 0) {
+      const auto recordIdx = static_cast<size_t>(opts.getInt("record"));
+      if (recordIdx >= info.records.size()) {
+        std::fprintf(stderr, "no record %zu (file has %zu)\n", recordIdx,
+                     info.records.size());
+        return 1;
+      }
+      const auto data = pcxx::ds::readElementData(
+          storage, info.records[recordIdx], element);
+      std::printf("record %zu element %lld: %zu bytes\n", recordIdx,
+                  static_cast<long long>(element), data.size());
+      for (size_t i = 0; i < data.size(); i += 16) {
+        std::printf("%08zx ", i);
+        for (size_t k = i; k < std::min(i + 16, data.size()); ++k) {
+          std::printf(" %02x", data[k]);
+        }
+        std::putchar('\n');
+      }
+      return 0;
+    }
+
+    const std::string report =
+        pcxx::ds::formatReport(info, opts.getFlag("v"));
+    std::fputs(report.c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dsdump: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,32 @@
+// Umbrella header for the pC++/streams library.
+//
+// Pulls in the full public API: the runtime (Machine/Node), the collection
+// model (Processors/Distribution/Align/Collection), the parallel file
+// system (Pfs), and the d/stream classes (OStream/IStream) with the
+// element-insertion machinery (declareStreamInserter / array / ...).
+#pragma once
+
+#include "collection/align.h"
+#include "collection/collection.h"
+#include "collection/distribution.h"
+#include "collection/grid2d.h"
+#include "collection/processors.h"
+#include "dstream/array_ref.h"
+#include "dstream/checkpoint.h"
+#include "dstream/element_io.h"
+#include "dstream/inspect.h"
+#include "dstream/istream.h"
+#include "dstream/ostream.h"
+#include "dstream/record.h"
+#include "dstream/stream_common.h"
+#include "pfs/parallel_file.h"
+#include "runtime/machine.h"
+#include "runtime/rio.h"
+
+namespace pcxx::ds {
+
+/// Paper-style aliases: `oStream s(&d, &a, "file");` (Figure 3).
+using oStream = OStream;
+using iStream = IStream;
+
+}  // namespace pcxx::ds

@@ -1,0 +1,305 @@
+// Per-element insertion and extraction (paper §4.1, Figure 4).
+//
+// Inserting a collection runs the element inserter once per local element;
+// each `<<` appends a (pointer, length) entry to that element's pointer
+// list — data is NOT copied until write(), exactly as in the paper's
+// implementation sketch. Extraction mirrors it: after read(), the element
+// extractor walks the element's byte range in the per-node buffer.
+//
+// Programmer-defined types declare insertion/extraction functions with the
+// paper's macros (found via ADL):
+//
+//   declareStreamInserter(ParticleList& p) {
+//     s << p.numberOfParticles;
+//     s << pcxx::ds::array(p.mass, p.numberOfParticles);
+//     s << pcxx::ds::array(p.position, p.numberOfParticles);
+//   }
+//   declareStreamExtractor(ParticleList& p) {
+//     s >> p.numberOfParticles;
+//     s >> pcxx::ds::array(p.mass, p.numberOfParticles);
+//     s >> pcxx::ds::array(p.position, p.numberOfParticles);
+//   }
+//
+// Lifetime rule (inherent to the paper's deferred-copy design): data
+// referenced by inserted entries must stay alive and unchanged until
+// write() is called. Scalars inserted from temporaries are copied into an
+// arena owned by the stream, so `s << computeValue()` is safe.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "dstream/array_ref.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace pcxx::ds {
+
+/// One deferred-copy entry of an element's pointer list.
+struct Entry {
+  const void* ptr;
+  std::uint64_t bytes;
+};
+
+/// Opt-in marker: stream T as raw bytes (for user structs with no pointers,
+/// e.g. the paper's Position {x,y,z}). Use PCXX_STREAM_TRIVIAL(T).
+template <typename T>
+struct StreamAsBytes : std::false_type {};
+
+namespace detail {
+
+template <typename T>
+constexpr bool kStreamableScalar =
+    std::is_arithmetic_v<T> || std::is_enum_v<T> || StreamAsBytes<T>::value;
+
+/// Arena of stable-address buffers owning materialized values until write().
+class Arena {
+ public:
+  Byte* alloc(std::uint64_t n) {
+    buffers_.emplace_back(n);
+    return buffers_.back().data();
+  }
+  void clear() { buffers_.clear(); }
+
+ private:
+  std::deque<ByteBuffer> buffers_;
+};
+
+}  // namespace detail
+
+class ElementInserter;
+class ElementExtractor;
+
+template <typename T>
+concept HasAdlInserter = requires(ElementInserter& s, const T& v) {
+  pcxx_ds_insert(s, v);
+};
+
+template <typename T>
+concept HasAdlExtractor = requires(ElementExtractor& s, T& v) {
+  pcxx_ds_extract(s, v);
+};
+
+/// Builds one element's pointer list (paper Figure 4).
+class ElementInserter {
+ public:
+  ElementInserter(std::vector<Entry>& entries, detail::Arena& arena)
+      : entries_(entries), arena_(arena) {}
+
+  /// Record a deferred-copy entry pointing at caller-owned data.
+  void rawEntry(const void* ptr, std::uint64_t bytes) {
+    entries_.push_back(Entry{ptr, bytes});
+  }
+
+  /// Copy a value into the stream-owned arena and record an entry for it.
+  template <typename V>
+  void arenaEntry(const V& v) {
+    static_assert(std::is_trivially_copyable_v<V>);
+    Byte* p = arena_.alloc(sizeof(V));
+    std::memcpy(p, &v, sizeof(V));
+    entries_.push_back(Entry{p, sizeof(V)});
+  }
+
+  /// Scalars and opted-in trivial structs; lvalues are referenced
+  /// (deferred copy), rvalues are copied into the arena immediately.
+  template <typename V>
+    requires detail::kStreamableScalar<std::remove_cvref_t<V>>
+  ElementInserter& operator<<(V&& v) {
+    using U = std::remove_cvref_t<V>;
+    if constexpr (std::is_lvalue_reference_v<V&&>) {
+      rawEntry(&v, sizeof(U));
+    } else {
+      arenaEntry(static_cast<const U&>(v));
+    }
+    return *this;
+  }
+
+  /// Programmer-defined types: recurse into their insertion function.
+  template <typename V>
+    requires(!detail::kStreamableScalar<std::remove_cvref_t<V>> &&
+             HasAdlInserter<std::remove_cvref_t<V>>)
+  ElementInserter& operator<<(const V& v) {
+    pcxx_ds_insert(*this, v);
+    return *this;
+  }
+
+  /// Variable-sized raw array (see array()).
+  template <typename V>
+  ElementInserter& operator<<(ArrayRef<V> a) {
+    PCXX_REQUIRE(a.count >= 0, "array() count must be non-negative");
+    PCXX_REQUIRE(a.count == 0 || *a.slot != nullptr,
+                 "array() insertion from null pointer");
+    rawEntry(*a.slot, a.bytes());
+    return *this;
+  }
+
+  template <typename V>
+  ElementInserter& operator<<(ConstArrayRef<V> a) {
+    PCXX_REQUIRE(a.count >= 0, "array() count must be non-negative");
+    PCXX_REQUIRE(a.count == 0 || a.data != nullptr,
+                 "array() insertion from null pointer");
+    rawEntry(a.data, a.bytes());
+    return *this;
+  }
+
+  /// std::vector: self-describing (u64 length precedes the data).
+  template <typename V>
+  ElementInserter& operator<<(const std::vector<V>& v) {
+    static_assert(std::is_trivially_copyable_v<V>,
+                  "vector elements must be trivially copyable");
+    arenaEntry(static_cast<std::uint64_t>(v.size()));
+    if (!v.empty()) {
+      rawEntry(v.data(), v.size() * sizeof(V));
+    }
+    return *this;
+  }
+
+  /// std::string: self-describing (u64 length precedes the bytes).
+  ElementInserter& operator<<(const std::string& s) {
+    arenaEntry(static_cast<std::uint64_t>(s.size()));
+    if (!s.empty()) {
+      rawEntry(s.data(), s.size());
+    }
+    return *this;
+  }
+
+ private:
+  std::vector<Entry>& entries_;
+  detail::Arena& arena_;
+};
+
+/// Walks one element's byte range of the per-node buffer after read().
+class ElementExtractor {
+ public:
+  ElementExtractor(const Byte* data, std::uint64_t size, std::uint64_t& cursor)
+      : data_(data), size_(size), cursor_(cursor) {}
+
+  /// Bounds-checked consumption of `n` bytes.
+  const Byte* take(std::uint64_t n) {
+    if (cursor_ + n > size_) {
+      throw FormatError(
+          "extract overruns element data (element has " +
+          std::to_string(size_) + " bytes, extraction needs " +
+          std::to_string(cursor_ + n) +
+          "); the extract sequence must mirror the insert sequence");
+    }
+    const Byte* p = data_ + cursor_;
+    cursor_ += n;
+    return p;
+  }
+
+  std::uint64_t remaining() const { return size_ - cursor_; }
+
+  template <typename V>
+    requires detail::kStreamableScalar<V>
+  ElementExtractor& operator>>(V& v) {
+    std::memcpy(&v, take(sizeof(V)), sizeof(V));
+    return *this;
+  }
+
+  template <typename V>
+    requires(!detail::kStreamableScalar<V> && HasAdlExtractor<V>)
+  ElementExtractor& operator>>(V& v) {
+    pcxx_ds_extract(*this, v);
+    return *this;
+  }
+
+  /// Variable-sized raw array; allocates *a.slot with new[] if null.
+  ///
+  /// CAUTION: a non-null *a.slot is assumed to hold at least a.count
+  /// elements — the library cannot know a raw pointer's allocation size.
+  /// When re-extracting into an element whose count may have changed,
+  /// compare the incoming count and reallocate first:
+  ///
+  ///   int n; s >> n;
+  ///   if (n != e.n) { delete[] e.data; e.data = new double[n]; e.n = n; }
+  ///   s >> array(e.data, e.n);
+  template <typename V>
+  ElementExtractor& operator>>(ArrayRef<V> a) {
+    PCXX_REQUIRE(a.count >= 0, "array() count must be non-negative");
+    if (a.count == 0) return *this;
+    if (*a.slot == nullptr) {
+      *a.slot = new V[static_cast<size_t>(a.count)];
+    }
+    std::memcpy(*a.slot, take(a.bytes()), a.bytes());
+    return *this;
+  }
+
+  template <typename V>
+  ElementExtractor& operator>>(std::vector<V>& v) {
+    static_assert(std::is_trivially_copyable_v<V>);
+    std::uint64_t n = 0;
+    std::memcpy(&n, take(sizeof(n)), sizeof(n));
+    v.resize(static_cast<size_t>(n));
+    if (n > 0) {
+      std::memcpy(v.data(), take(n * sizeof(V)), n * sizeof(V));
+    }
+    return *this;
+  }
+
+  ElementExtractor& operator>>(std::string& s) {
+    std::uint64_t n = 0;
+    std::memcpy(&n, take(sizeof(n)), sizeof(n));
+    s.resize(static_cast<size_t>(n));
+    if (n > 0) {
+      std::memcpy(s.data(), take(n), n);
+    }
+    return *this;
+  }
+
+ private:
+  const Byte* data_;
+  std::uint64_t size_;
+  std::uint64_t& cursor_;
+};
+
+/// Insert one element of type T (scalar fast path or ADL inserter).
+template <typename T>
+void insertElement(ElementInserter& s, const T& v) {
+  if constexpr (detail::kStreamableScalar<T>) {
+    s << v;
+  } else {
+    static_assert(HasAdlInserter<T>,
+                  "no insertion function for this element type: use "
+                  "declareStreamInserter(T& v) { s << ...; } or "
+                  "PCXX_STREAM_TRIVIAL(T)");
+    pcxx_ds_insert(s, v);
+  }
+}
+
+/// Extract one element of type T (scalar fast path or ADL extractor).
+template <typename T>
+void extractElement(ElementExtractor& s, T& v) {
+  if constexpr (detail::kStreamableScalar<T>) {
+    s >> v;
+  } else {
+    static_assert(HasAdlExtractor<T>,
+                  "no extraction function for this element type: use "
+                  "declareStreamExtractor(T& v) { s >> ...; } or "
+                  "PCXX_STREAM_TRIVIAL(T)");
+    pcxx_ds_extract(s, v);
+  }
+}
+
+}  // namespace pcxx::ds
+
+/// Declare the insertion function for a programmer-defined type; the stream
+/// is available as `s` inside the body (paper §4.1 syntax).
+#define declareStreamInserter(decl) \
+  inline void pcxx_ds_insert(::pcxx::ds::ElementInserter& s, const decl)
+
+/// Declare the extraction function; the stream is available as `s`.
+#define declareStreamExtractor(decl) \
+  inline void pcxx_ds_extract(::pcxx::ds::ElementExtractor& s, decl)
+
+/// Opt a pointer-free struct into raw-byte streaming (e.g. Position).
+#define PCXX_STREAM_TRIVIAL(Type)                                     \
+  template <>                                                         \
+  struct pcxx::ds::StreamAsBytes<Type> : std::true_type {             \
+    static_assert(std::is_trivially_copyable_v<Type>,                 \
+                  "PCXX_STREAM_TRIVIAL requires trivially copyable"); \
+  }

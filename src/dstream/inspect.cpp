@@ -1,0 +1,169 @@
+#include "dstream/inspect.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "collection/distribution.h"
+#include "util/error.h"
+#include "util/strfmt.h"
+
+namespace pcxx::ds {
+
+std::uint64_t RecordInfo::minElementBytes() const {
+  if (elementSizes.empty()) return 0;
+  return *std::min_element(elementSizes.begin(), elementSizes.end());
+}
+
+std::uint64_t RecordInfo::maxElementBytes() const {
+  if (elementSizes.empty()) return 0;
+  return *std::max_element(elementSizes.begin(), elementSizes.end());
+}
+
+std::uint64_t RecordInfo::totalDataBytes() const {
+  return std::accumulate(elementSizes.begin(), elementSizes.end(),
+                         std::uint64_t{0});
+}
+
+FileInfo inspectFile(pfs::StorageBackend& storage) {
+  FileInfo info;
+  info.fileBytes = storage.size();
+
+  ByteBuffer fileHeader(kFileHeaderBytes);
+  if (storage.readAt(0, fileHeader) != kFileHeaderBytes) {
+    throw FormatError("file too short for a d/stream file header");
+  }
+  verifyFileHeader(fileHeader);
+
+  std::uint64_t pos = kFileHeaderBytes;
+  while (pos < info.fileBytes) {
+    Byte prefix[8];
+    if (storage.readAt(pos, prefix) != 8) {
+      throw FormatError("truncated record header prefix at offset " +
+                        std::to_string(pos));
+    }
+    const std::uint64_t headerLen = RecordHeader::encodedLength(prefix);
+    ByteBuffer headerBytes(static_cast<size_t>(headerLen));
+    if (storage.readAt(pos, headerBytes) != headerLen) {
+      throw FormatError("truncated record header at offset " +
+                        std::to_string(pos));
+    }
+    RecordInfo rec{RecordHeader::decode(headerBytes), pos, headerLen, 0, {}};
+
+    // Size table.
+    const std::uint64_t tableOffset = pos + rec.headerBytes;
+    const std::uint64_t tableBytes = rec.header.sizeTableBytes();
+    ByteBuffer table(static_cast<size_t>(tableBytes));
+    if (storage.readAt(tableOffset, table) != tableBytes) {
+      throw FormatError("truncated size table at offset " +
+                        std::to_string(tableOffset));
+    }
+    rec.elementSizes.resize(static_cast<size_t>(rec.header.elementCount()));
+    for (size_t i = 0; i < rec.elementSizes.size(); ++i) {
+      rec.elementSizes[i] = decodeU64(table.data() + 8 * i);
+    }
+    rec.dataOffset = tableOffset + tableBytes;
+
+    // Cross-check the size table against the header's dataBytes.
+    if (rec.totalDataBytes() != rec.header.dataBytes) {
+      throw FormatError(strfmt(
+          "record %u: size table sums to %llu bytes but header declares "
+          "%llu",
+          rec.header.seq,
+          static_cast<unsigned long long>(rec.totalDataBytes()),
+          static_cast<unsigned long long>(rec.header.dataBytes)));
+    }
+    const std::uint64_t recordEnd =
+        rec.dataOffset + rec.header.dataBytes + rec.header.trailerBytes();
+    if (recordEnd > info.fileBytes) {
+      throw FormatError(strfmt(
+          "record %u: data section extends past end of file (%llu > %llu)",
+          rec.header.seq, static_cast<unsigned long long>(recordEnd),
+          static_cast<unsigned long long>(info.fileBytes)));
+    }
+    info.records.push_back(std::move(rec));
+    pos = recordEnd;
+  }
+  return info;
+}
+
+FileInfo inspectFile(const std::string& path) {
+  pfs::PosixStorage storage(path);
+  return inspectFile(storage);
+}
+
+ByteBuffer readElementData(pfs::StorageBackend& storage,
+                           const RecordInfo& record,
+                           std::int64_t fileOrderIndex) {
+  PCXX_REQUIRE(fileOrderIndex >= 0 &&
+                   fileOrderIndex <
+                       static_cast<std::int64_t>(record.elementSizes.size()),
+               "element index out of range for this record");
+  std::uint64_t offset = record.dataOffset;
+  for (std::int64_t i = 0; i < fileOrderIndex; ++i) {
+    offset += record.elementSizes[static_cast<size_t>(i)];
+  }
+  ByteBuffer out(static_cast<size_t>(
+      record.elementSizes[static_cast<size_t>(fileOrderIndex)]));
+  if (storage.readAt(offset, out) != out.size()) {
+    throw FormatError("element data truncated");
+  }
+  return out;
+}
+
+std::string formatReport(const FileInfo& info, bool verbose) {
+  std::ostringstream os;
+  os << "d/stream file: " << humanBytes(info.fileBytes) << ", "
+     << info.records.size() << " record(s)\n";
+  for (const RecordInfo& rec : info.records) {
+    const auto& h = rec.header;
+    os << strfmt(
+        "  record %u @ %llu: %lld elements, %s data, layout = %s x %d "
+        "nodes",
+        h.seq, static_cast<unsigned long long>(rec.offset),
+        static_cast<long long>(h.elementCount()),
+        humanBytes(h.dataBytes).c_str(),
+        coll::distKindName(h.layout.distribution().kind()),
+        h.layout.nprocs());
+    if (!h.layout.align().identity()) {
+      os << strfmt(" (aligned: %lld*i%+lld)",
+                   static_cast<long long>(h.layout.align().stride()),
+                   static_cast<long long>(h.layout.align().offset()));
+    }
+    os << strfmt(", header %s\n",
+                 h.mode == HeaderMode::Gathered ? "gathered" : "parallel");
+    os << strfmt("    element sizes: min %llu, max %llu bytes; %zu insert(s)\n",
+                 static_cast<unsigned long long>(rec.minElementBytes()),
+                 static_cast<unsigned long long>(rec.maxElementBytes()),
+                 h.inserts.size());
+    if (verbose) {
+      for (size_t i = 0; i < h.inserts.size(); ++i) {
+        const InsertDesc& d = h.inserts[i];
+        os << strfmt("    insert %zu: %s, type tag %08x%s\n", i,
+                     d.kind == InsertKind::Collection ? "collection"
+                                                      : "field",
+                     d.typeTag,
+                     d.fixedPerElement != 0
+                         ? strfmt(", %u bytes/element",
+                                  d.fixedPerElement).c_str()
+                         : " (variable)");
+      }
+      // Small size histogram (8 buckets between min and max).
+      const std::uint64_t lo = rec.minElementBytes();
+      const std::uint64_t hi = rec.maxElementBytes();
+      if (hi > lo) {
+        int buckets[8] = {0};
+        for (std::uint64_t sz : rec.elementSizes) {
+          const auto b = static_cast<size_t>((sz - lo) * 7 / (hi - lo));
+          ++buckets[b];
+        }
+        os << "    size histogram:";
+        for (int b : buckets) os << " " << b;
+        os << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pcxx::ds

@@ -1,0 +1,56 @@
+// Offline inspection of d/stream files (the dsdump tool's engine).
+//
+// Walks a file's records using only the self-describing metadata — no
+// machine, no collections — which is both a debugging aid and a standing
+// proof that d/stream files carry everything a reader needs (paper §4.1:
+// "no information about the distribution or size of the data to be read
+// needs to be passed to the library").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dstream/record.h"
+#include "pfs/backend.h"
+
+namespace pcxx::ds {
+
+/// Summary of one record in a d/stream file.
+struct RecordInfo {
+  RecordHeader header;
+  std::uint64_t offset = 0;         ///< file offset of the record header
+  std::uint64_t headerBytes = 0;
+  std::uint64_t dataOffset = 0;     ///< first byte of element data
+  std::vector<std::uint64_t> elementSizes;  ///< per element, file order
+
+  std::uint64_t minElementBytes() const;
+  std::uint64_t maxElementBytes() const;
+  std::uint64_t totalDataBytes() const;
+};
+
+/// Summary of a whole file.
+struct FileInfo {
+  std::uint64_t fileBytes = 0;
+  std::vector<RecordInfo> records;
+};
+
+/// Inspect the d/stream file stored in `storage`. Throws FormatError on a
+/// malformed file (bad magic, truncated record, checksum mismatch,
+/// size-table/data inconsistency).
+FileInfo inspectFile(pfs::StorageBackend& storage);
+
+/// Convenience: inspect a d/stream file on the local file system.
+FileInfo inspectFile(const std::string& path);
+
+/// Read one element's raw payload bytes (by file-order position) from a
+/// record. Bounds-checked.
+ByteBuffer readElementData(pfs::StorageBackend& storage,
+                           const RecordInfo& record,
+                           std::int64_t fileOrderIndex);
+
+/// Human-readable report (what `dsdump` prints). `verbose` adds per-element
+/// size histograms and insert descriptors.
+std::string formatReport(const FileInfo& info, bool verbose);
+
+}  // namespace pcxx::ds

@@ -1,0 +1,340 @@
+#include "dstream/istream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "util/crc32.h"
+
+#include "util/log.h"
+
+namespace pcxx::ds {
+
+IStream::IStream(pfs::Pfs& fs, const coll::Distribution* d,
+                 const coll::Align* a, const std::string& fileName,
+                 StreamOptions opts)
+    : node_(&rt::thisNode()),
+      fs_(&fs),
+      layout_(*d, *a),
+      opts_(opts),
+      localCount_(0) {
+  openFile(fileName);
+}
+
+IStream::IStream(pfs::Pfs& fs, const coll::Distribution* d,
+                 const std::string& fileName, StreamOptions opts)
+    : node_(&rt::thisNode()), fs_(&fs), layout_(*d), opts_(opts),
+      localCount_(0) {
+  openFile(fileName);
+}
+
+IStream::IStream(const coll::Distribution* d, const coll::Align* a,
+                 const std::string& fileName, StreamOptions opts)
+    : IStream(defaultPfs(), d, a, fileName, opts) {}
+
+IStream::IStream(const coll::Distribution* d, const std::string& fileName,
+                 StreamOptions opts)
+    : IStream(defaultPfs(), d, fileName, opts) {}
+
+IStream::IStream(pfs::Pfs& fs, pfs::ParallelFilePtr file, coll::Layout layout,
+                 StreamOptions opts)
+    : node_(&rt::thisNode()),
+      fs_(&fs),
+      file_(std::move(file)),
+      layout_(std::move(layout)),
+      opts_(opts),
+      localCount_(layout_.localCount(node_->id())) {
+  PCXX_REQUIRE(file_ != nullptr, "IStream requires an open file");
+}
+
+void IStream::openFile(const std::string& fileName) {
+  localCount_ = layout_.localCount(node_->id());
+  file_ = fs_->open(*node_, fileName, pfs::OpenMode::Read);
+  ByteBuffer hdr(kFileHeaderBytes);
+  if (node_->id() == 0) {
+    const std::uint64_t got = file_->readAt(*node_, 0, hdr);
+    if (got != kFileHeaderBytes) hdr.clear();
+  }
+  node_->broadcastBytes(0, hdr);
+  verifyFileHeader(hdr);
+  file_->seekShared(*node_, kFileHeaderBytes);
+}
+
+IStream::~IStream() {
+  state_ = State::Closed;
+  file_.reset();
+}
+
+void IStream::close() {
+  state_ = State::Closed;
+  file_.reset();
+}
+
+void IStream::rewind() {
+  if (state_ == State::Closed) {
+    throw StateError("rewind on a closed d/stream");
+  }
+  file_->seekShared(*node_, kFileHeaderBytes);
+  record_.reset();
+  state_ = State::Ready;
+}
+
+bool IStream::atEnd() const {
+  if (state_ == State::Closed) return true;
+  return file_->sharedOffset() >= file_->size();
+}
+
+const RecordHeader& IStream::currentRecord() const {
+  PCXX_REQUIRE(record_.has_value(),
+               "no record has been read yet (call read() first)");
+  return *record_;
+}
+
+void IStream::checkExtract(const coll::Layout& collectionLayout,
+                           std::uint32_t tag, InsertKind kind) const {
+  if (state_ == State::Closed) {
+    throw StateError("extract on a closed d/stream");
+  }
+  if (state_ != State::Extracting) {
+    throw StateError(
+        "extract requires a preceding read() or unsortedRead() (Figure 2)");
+  }
+  if (collectionLayout != layout_) {
+    throw UsageError(
+        "extracted collection's distribution/alignment does not match the "
+        "d/stream's");
+  }
+  const auto& inserts = record_->inserts;
+  if (nextExtract_ >= inserts.size()) {
+    throw UsageError(
+        "more extracts than the record has inserts; every extract must have "
+        "a corresponding insert");
+  }
+  const InsertDesc& desc = inserts[nextExtract_];
+  if (desc.kind != kind) {
+    throw UsageError(
+        "extract kind mismatch: a whole-collection extract must correspond "
+        "to a whole-collection insert (and a field to a field)");
+  }
+  if (desc.typeTag != tag) {
+    throw UsageError(
+        "extract type mismatch: the extracted element type differs from the "
+        "inserted element type for this position in the record");
+  }
+}
+
+RecordHeader IStream::skipRecord() {
+  if (state_ == State::Closed) {
+    throw StateError("skipRecord on a closed d/stream");
+  }
+  const std::uint64_t recordStart = file_->sharedOffset();
+  ByteBuffer headerBytes;
+  if (node_->id() == 0) {
+    Byte prefix[8];
+    if (file_->readAt(*node_, recordStart, prefix) == 8) {
+      try {
+        const std::uint64_t len = RecordHeader::encodedLength(prefix);
+        headerBytes.resize(len);
+        if (file_->readAt(*node_, recordStart, headerBytes) != len) {
+          headerBytes.clear();
+        }
+      } catch (const FormatError&) {
+        headerBytes.clear();
+      }
+    }
+  }
+  node_->broadcastBytes(0, headerBytes);
+  if (headerBytes.empty()) {
+    throw FormatError("truncated or invalid record header at offset " +
+                      std::to_string(recordStart));
+  }
+  RecordHeader header = RecordHeader::decode(headerBytes);
+  file_->seekShared(*node_, recordStart + headerBytes.size() +
+                                header.sizeTableBytes() + header.dataBytes +
+                                header.trailerBytes());
+  // Skipping discards any partially extracted record (Figure 2 allows
+  // read -> read, and skip is a cheaper read).
+  record_.reset();
+  state_ = State::Ready;
+  return header;
+}
+
+void IStream::readRecord(bool sorted) {
+  if (state_ == State::Closed) {
+    throw StateError("read on a closed d/stream");
+  }
+
+  // ---- record header (node 0 reads, then broadcast) -----------------------
+  const std::uint64_t recordStart = file_->sharedOffset();
+  ByteBuffer headerBytes;
+  if (node_->id() == 0) {
+    Byte prefix[8];
+    const std::uint64_t got = file_->readAt(*node_, recordStart, prefix);
+    if (got == 8) {
+      try {
+        const std::uint64_t len = RecordHeader::encodedLength(prefix);
+        headerBytes.resize(len);
+        const std::uint64_t gotAll =
+            file_->readAt(*node_, recordStart, headerBytes);
+        if (gotAll != len) headerBytes.clear();
+      } catch (const FormatError&) {
+        headerBytes.clear();
+      }
+    }
+  }
+  node_->broadcastBytes(0, headerBytes);
+  if (headerBytes.empty()) {
+    throw FormatError("truncated or invalid record header at offset " +
+                      std::to_string(recordStart) +
+                      " (no further record in file?)");
+  }
+  RecordHeader header = RecordHeader::decode(headerBytes);
+
+  if (header.elementCount() != layout_.size()) {
+    throw UsageError(
+        "record was written from a collection of " +
+        std::to_string(header.elementCount()) +
+        " elements but the reading d/stream has " +
+        std::to_string(layout_.size()) +
+        "; extracted arrays must have the size of the inserted arrays");
+  }
+
+  // ---- size table ----------------------------------------------------------
+  // Readers partition the file-order element sequence by their own local
+  // counts: node r takes file positions [sum(count_<r), +count_r). This is
+  // the conforming phase-1 read; when the layouts match it already is the
+  // final placement.
+  file_->seekShared(*node_, recordStart + headerBytes.size());
+  ByteBuffer sizeChunk(static_cast<size_t>(localCount_) * 8);
+  file_->readOrdered(*node_, sizeChunk);
+  std::vector<std::uint64_t> chunkSizes(static_cast<size_t>(localCount_));
+  std::uint64_t myChunkBytes = 0;
+  for (std::int64_t j = 0; j < localCount_; ++j) {
+    chunkSizes[static_cast<size_t>(j)] =
+        decodeU64(sizeChunk.data() + 8 * static_cast<size_t>(j));
+    myChunkBytes += chunkSizes[static_cast<size_t>(j)];
+  }
+
+  // ---- data (phase 1: conforming contiguous read) --------------------------
+  ByteBuffer chunk(static_cast<size_t>(myChunkBytes));
+  file_->readOrdered(*node_, chunk);
+
+  // ---- optional data checksum trailer ---------------------------------------
+  if (header.hasDataCrc()) {
+    const auto crcs = node_->allgatherU64(crc32(chunk));
+    const auto lens = node_->allgatherU64(myChunkBytes);
+    std::uint32_t dataCrc = 0;
+    for (int i = 0; i < node_->nprocs(); ++i) {
+      dataCrc = crc32Combine(dataCrc,
+                             static_cast<std::uint32_t>(
+                                 crcs[static_cast<size_t>(i)]),
+                             lens[static_cast<size_t>(i)]);
+    }
+    const std::uint64_t trailerAt = file_->sharedOffset();
+    ByteBuffer trailer(4);
+    if (node_->id() == 0) {
+      if (file_->readAt(*node_, trailerAt, trailer) != 4) trailer.clear();
+    }
+    node_->broadcastBytes(0, trailer);
+    if (trailer.size() != 4) {
+      throw FormatError("record data checksum trailer missing (truncated?)");
+    }
+    if (decodeU32(trailer.data()) != dataCrc) {
+      throw FormatError(
+          "record data checksum mismatch: the element data was corrupted");
+    }
+    file_->seekShared(*node_, trailerAt + 4);
+  }
+
+  const bool sameLayout = header.layout == layout_;
+  if (!sorted || sameLayout) {
+    // unsortedRead, or a sorted read where nothing moved: phase-1 data is
+    // final. (When layouts match, file order restricted to this node IS the
+    // node's local order, so read() and unsortedRead() coincide — the paper's
+    // "communication can be avoided" case.)
+    buffer_ = std::move(chunk);
+    elemSizes_ = std::move(chunkSizes);
+    elemOffsets_.assign(elemSizes_.size(), 0);
+    std::uint64_t off = 0;
+    for (size_t j = 0; j < elemSizes_.size(); ++j) {
+      elemOffsets_[j] = off;
+      off += elemSizes_[j];
+    }
+  } else {
+    // ---- phase 2: sort + send to owner nodes (paper §4.1) ------------------
+    // Global indices of elements in file order, from the WRITER's layout.
+    std::vector<std::int64_t> fileOrderGlobals;
+    fileOrderGlobals.reserve(static_cast<size_t>(header.elementCount()));
+    for (int proc = 0; proc < header.layout.nprocs(); ++proc) {
+      const auto locals = header.layout.localElements(proc);
+      fileOrderGlobals.insert(fileOrderGlobals.end(), locals.begin(),
+                              locals.end());
+    }
+    // My chunk covers file positions [chunkStart, chunkStart + localCount_).
+    std::int64_t chunkStart = 0;
+    for (int r = 0; r < node_->id(); ++r) {
+      chunkStart += layout_.localCount(r);
+    }
+    // Route each element of my chunk to its reading owner.
+    std::vector<ByteBuffer> sendTo(static_cast<size_t>(node_->nprocs()));
+    std::uint64_t off = 0;
+    for (std::int64_t k = 0; k < localCount_; ++k) {
+      const std::int64_t g =
+          fileOrderGlobals[static_cast<size_t>(chunkStart + k)];
+      const std::uint64_t bytes = chunkSizes[static_cast<size_t>(k)];
+      const int owner = layout_.ownerOf(g);
+      ByteBuffer& out = sendTo[static_cast<size_t>(owner)];
+      ByteWriter w(out);
+      w.i64(g);
+      w.u64(bytes);
+      w.bytes({chunk.data() + off, static_cast<size_t>(bytes)});
+      off += bytes;
+    }
+    const auto received = node_->alltoallv(sendTo);
+
+    // Collect my owned elements, then order them by ascending global index
+    // (= local order).
+    std::map<std::int64_t, std::pair<const Byte*, std::uint64_t>> byGlobal;
+    for (const ByteBuffer& buf : received) {
+      ByteReader r(buf);
+      while (r.remaining() > 0) {
+        const std::int64_t g = r.i64();
+        const std::uint64_t bytes = r.u64();
+        const auto span = r.bytes(static_cast<size_t>(bytes));
+        byGlobal[g] = {span.data(), bytes};
+      }
+    }
+    const auto myGlobals = layout_.localElements(node_->id());
+    if (static_cast<std::int64_t>(byGlobal.size()) != localCount_) {
+      throw FormatError(
+          "redistribution did not deliver exactly the local element set "
+          "(file layout inconsistent with its header)");
+    }
+    buffer_.clear();
+    elemOffsets_.assign(myGlobals.size(), 0);
+    elemSizes_.assign(myGlobals.size(), 0);
+    std::uint64_t pos = 0;
+    for (size_t j = 0; j < myGlobals.size(); ++j) {
+      const auto it = byGlobal.find(myGlobals[j]);
+      if (it == byGlobal.end()) {
+        throw FormatError("redistribution missing element " +
+                          std::to_string(myGlobals[j]));
+      }
+      elemOffsets_[j] = pos;
+      elemSizes_[j] = it->second.second;
+      buffer_.insert(buffer_.end(), it->second.first,
+                     it->second.first + it->second.second);
+      pos += it->second.second;
+    }
+  }
+
+  fs_->model().chargeBookkeeping(*node_,
+                                 static_cast<std::uint64_t>(localCount_));
+
+  record_ = std::move(header);
+  extractCursors_.assign(static_cast<size_t>(localCount_), 0);
+  nextExtract_ = 0;
+  state_ = State::Extracting;
+}
+
+}  // namespace pcxx::ds

@@ -1,0 +1,149 @@
+// IStream: the input d/stream (paper §3, §4.1).
+//
+//   IStream s(&d, &a, "wholeGridFile");
+//   s.read();            // or s.unsortedRead();
+//   s >> g;              // extract the whole collection
+//   s >> g.field(&ParticleList::numberOfParticles);
+//
+// read() first reads the record header (distribution + size information,
+// stored ahead of the data), then the per-element size table, then the
+// data — the reader needs no external metadata, and the record can be read
+// under a different node count or distribution than it was written with:
+// in that case read() performs the two-phase redistribution (a conforming
+// contiguous read followed by an all-to-all exchange to the owner nodes;
+// the PASSION-style strategy the paper cites). unsortedRead() skips the
+// exchange entirely: element data is handed to local elements in arbitrary
+// order, for workloads where element indices carry no meaning (paper §3).
+// All methods are collective.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "dstream/element_io.h"
+#include "dstream/record.h"
+#include "dstream/stream_common.h"
+#include "dstream/typetag.h"
+#include "pfs/parallel_file.h"
+#include "runtime/machine.h"
+
+namespace pcxx::ds {
+
+class IStream {
+ public:
+  /// Open `fileName` on `fs` for reading into collections distributed by
+  /// (d, a). Verifies the d/stream file header.
+  IStream(pfs::Pfs& fs, const coll::Distribution* d, const coll::Align* a,
+          const std::string& fileName, StreamOptions opts = {});
+
+  /// Same, with identity alignment.
+  IStream(pfs::Pfs& fs, const coll::Distribution* d,
+          const std::string& fileName, StreamOptions opts = {});
+
+  /// Paper-style constructors using the process-default file system.
+  IStream(const coll::Distribution* d, const coll::Align* a,
+          const std::string& fileName, StreamOptions opts = {});
+  IStream(const coll::Distribution* d, const std::string& fileName,
+          StreamOptions opts = {});
+
+  /// Attach to an already-open shared file.
+  IStream(pfs::Pfs& fs, pfs::ParallelFilePtr file, coll::Layout layout,
+          StreamOptions opts = {});
+
+  ~IStream();
+  IStream(const IStream&) = delete;
+  IStream& operator=(const IStream&) = delete;
+
+  /// Read the next record; extracted arrays preserve element order even if
+  /// the node count or distribution changed since the write.
+  void read() { readRecord(/*sorted=*/true); }
+
+  /// Read the next record without the order guarantee (and without the
+  /// interprocessor communication).
+  void unsortedRead() { readRecord(/*sorted=*/false); }
+
+  /// Skip the next record without reading its element data (only the
+  /// header is read to learn the extent). Returns the skipped record's
+  /// header. Collective.
+  RecordHeader skipRecord();
+
+  /// Extract into a whole collection (mirrors the corresponding insert).
+  template <typename T>
+  IStream& operator>>(coll::Collection<T>& g) {
+    checkExtract(g.layout(), typeTag<T>(), InsertKind::Collection);
+    const std::int64_t n = g.localCount();
+    for (std::int64_t j = 0; j < n; ++j) {
+      ElementExtractor ex(elementData(j), elementSize(j), extractCursor(j));
+      extractElement(ex, g.local(j));
+    }
+    ++nextExtract_;
+    return *this;
+  }
+
+  /// Extract one field of every element.
+  template <typename T, typename M>
+  IStream& operator>>(coll::FieldRef<T, M> f) {
+    coll::Collection<T>& g = f.collection();
+    checkExtract(g.layout(), typeTag<M>(), InsertKind::Field);
+    const std::int64_t n = g.localCount();
+    for (std::int64_t j = 0; j < n; ++j) {
+      ElementExtractor ex(elementData(j), elementSize(j), extractCursor(j));
+      ex >> f.of(g.local(j));
+    }
+    ++nextExtract_;
+    return *this;
+  }
+
+  /// True when the shared cursor has reached the end of the file (no more
+  /// records).
+  bool atEnd() const;
+
+  /// Reposition at the first record (collective), so the file can be read
+  /// again — e.g. a second analysis pass over a frame series.
+  void rewind();
+
+  void close();
+
+  const coll::Layout& layout() const { return layout_; }
+
+  /// Header of the record currently being extracted (after read()).
+  const RecordHeader& currentRecord() const;
+
+ private:
+  enum class State { Ready, Extracting, Closed };
+
+  void openFile(const std::string& fileName);
+  void readRecord(bool sorted);
+  void checkExtract(const coll::Layout& collectionLayout, std::uint32_t tag,
+                    InsertKind kind) const;
+
+  const Byte* elementData(std::int64_t j) const {
+    return buffer_.data() + elemOffsets_[static_cast<size_t>(j)];
+  }
+  std::uint64_t elementSize(std::int64_t j) const {
+    return elemSizes_[static_cast<size_t>(j)];
+  }
+  std::uint64_t& extractCursor(std::int64_t j) {
+    return extractCursors_[static_cast<size_t>(j)];
+  }
+
+  rt::Node* node_;
+  pfs::Pfs* fs_;
+  pfs::ParallelFilePtr file_;
+  coll::Layout layout_;
+  StreamOptions opts_;
+  State state_ = State::Ready;
+  std::int64_t localCount_;
+
+  std::optional<RecordHeader> record_;
+  ByteBuffer buffer_;                      // this node's element data
+  std::vector<std::uint64_t> elemOffsets_; // per local element, into buffer_
+  std::vector<std::uint64_t> elemSizes_;
+  std::vector<std::uint64_t> extractCursors_;
+  size_t nextExtract_ = 0;
+};
+
+}  // namespace pcxx::ds

@@ -1,0 +1,240 @@
+#include "dstream/ostream.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+#include "util/log.h"
+
+namespace pcxx::ds {
+
+OStream::OStream(pfs::Pfs& fs, const coll::Distribution* d,
+                 const coll::Align* a, const std::string& fileName,
+                 StreamOptions opts)
+    : node_(&rt::thisNode()),
+      fs_(&fs),
+      layout_(*d, *a),
+      opts_(opts),
+      localCount_(0) {
+  openFile(fileName);
+}
+
+OStream::OStream(pfs::Pfs& fs, const coll::Distribution* d,
+                 const std::string& fileName, StreamOptions opts)
+    : node_(&rt::thisNode()), fs_(&fs), layout_(*d), opts_(opts),
+      localCount_(0) {
+  openFile(fileName);
+}
+
+OStream::OStream(const coll::Distribution* d, const coll::Align* a,
+                 const std::string& fileName, StreamOptions opts)
+    : OStream(defaultPfs(), d, a, fileName, opts) {}
+
+OStream::OStream(const coll::Distribution* d, const std::string& fileName,
+                 StreamOptions opts)
+    : OStream(defaultPfs(), d, fileName, opts) {}
+
+OStream::OStream(pfs::Pfs& fs, pfs::ParallelFilePtr file, coll::Layout layout,
+                 StreamOptions opts)
+    : node_(&rt::thisNode()),
+      fs_(&fs),
+      file_(std::move(file)),
+      layout_(std::move(layout)),
+      opts_(opts),
+      localCount_(layout_.localCount(node_->id())) {
+  PCXX_REQUIRE(file_ != nullptr, "OStream requires an open file");
+  pending_.resize(static_cast<size_t>(localCount_));
+}
+
+void OStream::openFile(const std::string& fileName) {
+  localCount_ = layout_.localCount(node_->id());
+  pending_.resize(static_cast<size_t>(localCount_));
+  if (opts_.append && fs_->exists(fileName)) {
+    file_ = fs_->open(*node_, fileName, pfs::OpenMode::Read);
+    // Validate the existing file header, then position at the end.
+    ByteBuffer hdr(kFileHeaderBytes);
+    if (node_->id() == 0) {
+      const std::uint64_t got = file_->readAt(*node_, 0, hdr);
+      if (got != kFileHeaderBytes) {
+        hdr.clear();
+      }
+    }
+    node_->broadcastBytes(0, hdr);
+    verifyFileHeader(hdr);
+    file_->seekShared(*node_, file_->size());
+    return;
+  }
+  file_ = fs_->open(*node_, fileName, pfs::OpenMode::Create);
+  if (node_->id() == 0) {
+    const ByteBuffer hdr = encodeFileHeader();
+    file_->writeAt(*node_, 0, hdr);
+  }
+  file_->seekShared(*node_, kFileHeaderBytes);
+}
+
+OStream::~OStream() {
+  if (state_ == State::Closed) return;
+  if (state_ == State::Inserting) {
+    PCXX_LOG_WARN(
+        "OStream('%s') destroyed with inserts that were never written",
+        file_ != nullptr ? file_->name().c_str() : "?");
+  }
+  state_ = State::Closed;
+  file_.reset();
+}
+
+void OStream::close() {
+  if (state_ == State::Closed) return;
+  if (state_ == State::Inserting) {
+    throw StateError(
+        "close(): stream has pending inserts; call write() first");
+  }
+  state_ = State::Closed;
+  file_.reset();
+}
+
+void OStream::checkInsert(const coll::Layout& collectionLayout) const {
+  if (state_ == State::Closed) {
+    throw StateError("insert on a closed d/stream");
+  }
+  // The interleaving constraint (paper §3): all collections inserted
+  // before a write must share the stream's size and layout.
+  if (collectionLayout != layout_) {
+    throw UsageError(
+        "inserted collection's distribution/alignment does not match the "
+        "d/stream's; interleaved inserts require identical layouts");
+  }
+}
+
+void OStream::beginInsert(std::uint32_t tag, InsertKind kind,
+                          std::uint32_t fixedPerElement) {
+  descs_.push_back(InsertDesc{tag, kind, fixedPerElement});
+  state_ = State::Inserting;
+}
+
+std::vector<Entry>& OStream::entriesFor(std::int64_t localIdx) {
+  return pending_[static_cast<size_t>(localIdx)];
+}
+
+HeaderMode OStream::chooseHeaderMode() const {
+  switch (opts_.headerPolicy) {
+    case StreamOptions::HeaderPolicy::ForceGathered:
+      return HeaderMode::Gathered;
+    case StreamOptions::HeaderPolicy::ForceParallel:
+      return HeaderMode::Parallel;
+    case StreamOptions::HeaderPolicy::Auto:
+      break;
+  }
+  return layout_.size() >= opts_.parallelHeaderThreshold
+             ? HeaderMode::Parallel
+             : HeaderMode::Gathered;
+}
+
+void OStream::write() {
+  if (state_ == State::Closed) {
+    throw StateError("write on a closed d/stream");
+  }
+  if (state_ != State::Inserting) {
+    throw StateError("write() requires at least one insert (Figure 2)");
+  }
+
+  // Step 0: traverse the pointer lists — per-element sizes and the packed
+  // local data buffer (the "per-node buffer" of Figure 4).
+  std::uint64_t localBytes = 0;
+  ByteBuffer sizeTableLocal;
+  sizeTableLocal.reserve(static_cast<size_t>(localCount_) * 8);
+  for (const auto& entries : pending_) {
+    std::uint64_t elemBytes = 0;
+    for (const Entry& e : entries) elemBytes += e.bytes;
+    Byte enc[8];
+    encodeU64(elemBytes, enc);
+    sizeTableLocal.insert(sizeTableLocal.end(), enc, enc + 8);
+    localBytes += elemBytes;
+  }
+  ByteBuffer data;
+  data.reserve(static_cast<size_t>(localBytes));
+  for (const auto& entries : pending_) {
+    for (const Entry& e : entries) {
+      const Byte* p = static_cast<const Byte*>(e.ptr);
+      data.insert(data.end(), p, p + e.bytes);
+    }
+  }
+  fs_->model().chargeBookkeeping(*node_, static_cast<std::uint64_t>(
+                                             localCount_));
+
+  // Step 1 (paper §4.1): distribution and size information. All nodes
+  // construct the identical record header.
+  const std::uint64_t totalBytes = node_->allreduceSumU64(localBytes);
+  const HeaderMode mode = chooseHeaderMode();
+  RecordHeader header{recordSeq_, mode, layout_, descs_, totalBytes};
+  if (opts_.checksumData) header.flags |= kRecordFlagDataCrc;
+  const ByteBuffer headerBytes = header.encode();
+
+  // Each node checksums only its own block; the data-section CRC is the
+  // in-order combination.
+  std::uint32_t dataCrc = 0;
+  if (opts_.checksumData) {
+    const auto crcs = node_->allgatherU64(crc32(data));
+    const auto lens = node_->allgatherU64(localBytes);
+    for (int i = 0; i < node_->nprocs(); ++i) {
+      dataCrc = crc32Combine(dataCrc,
+                             static_cast<std::uint32_t>(
+                                 crcs[static_cast<size_t>(i)]),
+                             lens[static_cast<size_t>(i)]);
+    }
+  }
+
+  if (mode == HeaderMode::Parallel) {
+    // Node 0 writes the header; the size table and data go out as two
+    // parallel node-order writes.
+    const std::uint64_t recordStart = file_->sharedOffset();
+    if (node_->id() == 0) {
+      file_->writeAt(*node_, recordStart, headerBytes);
+    }
+    file_->seekShared(*node_, recordStart + headerBytes.size());
+    file_->writeOrdered(*node_, sizeTableLocal);
+    file_->writeOrdered(*node_, data);
+  } else {
+    // Gathered: the size table is collected to node 0 and written at the
+    // head of node 0's block, together with the header and node 0's data —
+    // one parallel write total (the paper's small-collection optimization).
+    auto gathered = node_->gatherBytes(0, sizeTableLocal);
+    if (node_->id() == 0) {
+      ByteBuffer block;
+      block.reserve(headerBytes.size() +
+                    static_cast<size_t>(header.sizeTableBytes()) +
+                    data.size());
+      block.insert(block.end(), headerBytes.begin(), headerBytes.end());
+      for (const auto& part : gathered) {
+        block.insert(block.end(), part.begin(), part.end());
+      }
+      block.insert(block.end(), data.begin(), data.end());
+      file_->writeOrdered(*node_, block);
+    } else {
+      file_->writeOrdered(*node_, data);
+    }
+  }
+
+  if (opts_.checksumData) {
+    const std::uint64_t trailerAt = file_->sharedOffset();
+    if (node_->id() == 0) {
+      Byte enc[4];
+      encodeU32(dataCrc, enc);
+      file_->writeAt(*node_, trailerAt, enc);
+    }
+    file_->seekShared(*node_, trailerAt + 4);
+  }
+
+  if (opts_.syncOnWrite) {
+    file_->sync(*node_);
+  }
+
+  // Reset per-record state (Figure 2: back to the post-open state).
+  for (auto& entries : pending_) entries.clear();
+  arena_.clear();
+  descs_.clear();
+  ++recordSeq_;
+  state_ = State::Ready;
+}
+
+}  // namespace pcxx::ds

@@ -1,0 +1,135 @@
+// OStream: the output d/stream (paper §3, §4.1).
+//
+// Usage follows the paper's Figure 3 exactly (modulo C++ rendering of the
+// pC++ field syntax):
+//
+//   OStream s(&d, &a, "wholeGridFile");            // open
+//   s << g;                                        // insert a collection
+//   s << g.field(&ParticleList::numberOfParticles);// insert one field
+//   s << g2.field(&Cell::particleDensity);         // interleaved with above
+//   s.write();                                     // write one record
+//   ...                                            // more insert/write
+//   // close happens in the destructor
+//
+// insert records per-element pointer lists (deferred copy, Figure 4);
+// write() packs local entries into a per-node buffer and issues the
+// node-order parallel write, preceded by the record header and per-element
+// size table — gathered to node 0 for small collections, written in
+// parallel for large ones (§4.1 step 1). All methods are collective: every
+// node of the machine calls them with matching arguments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "dstream/element_io.h"
+#include "dstream/record.h"
+#include "dstream/stream_common.h"
+#include "dstream/typetag.h"
+#include "pfs/parallel_file.h"
+#include "runtime/machine.h"
+
+namespace pcxx::ds {
+
+class OStream {
+ public:
+  /// Open (create/truncate, or append with opts.append) `fileName` on `fs`
+  /// for collections distributed by (d, a).
+  OStream(pfs::Pfs& fs, const coll::Distribution* d, const coll::Align* a,
+          const std::string& fileName, StreamOptions opts = {});
+
+  /// Same, with identity alignment.
+  OStream(pfs::Pfs& fs, const coll::Distribution* d,
+          const std::string& fileName, StreamOptions opts = {});
+
+  /// Paper-style constructors using the process-default file system
+  /// (setDefaultPfs): `OStream s(&d, &a, "wholeGridFile");`
+  OStream(const coll::Distribution* d, const coll::Align* a,
+          const std::string& fileName, StreamOptions opts = {});
+  OStream(const coll::Distribution* d, const std::string& fileName,
+          StreamOptions opts = {});
+
+  /// Attach to an already-open shared file (several streams with differing
+  /// distributions writing records to one file).
+  OStream(pfs::Pfs& fs, pfs::ParallelFilePtr file, coll::Layout layout,
+          StreamOptions opts = {});
+
+  ~OStream();
+  OStream(const OStream&) = delete;
+  OStream& operator=(const OStream&) = delete;
+
+  /// Insert a whole collection: every local element's insertion function
+  /// appends to that element's pointer list.
+  template <typename T>
+  OStream& operator<<(coll::Collection<T>& g) {
+    checkInsert(g.layout());
+    beginInsert(typeTag<T>(), InsertKind::Collection,
+                detail::kStreamableScalar<T> ? sizeof(T) : 0);
+    const std::int64_t n = g.localCount();
+    for (std::int64_t j = 0; j < n; ++j) {
+      ElementInserter ins(entriesFor(j), arena_);
+      insertElement(ins, g.local(j));
+    }
+    return *this;
+  }
+
+  /// Insert a single field of every element (the paper's
+  /// `s << g.numberOfParticles`).
+  template <typename T, typename M>
+  OStream& operator<<(coll::FieldRef<T, M> f) {
+    coll::Collection<T>& g = f.collection();
+    checkInsert(g.layout());
+    beginInsert(typeTag<M>(), InsertKind::Field,
+                detail::kStreamableScalar<M> ? sizeof(M) : 0);
+    const std::int64_t n = g.localCount();
+    for (std::int64_t j = 0; j < n; ++j) {
+      ElementInserter ins(entriesFor(j), arena_);
+      ins << f.of(g.local(j));
+    }
+    return *this;
+  }
+
+  /// Write one record: distribution + size information, then the data, via
+  /// the node-order parallel write. Requires at least one insert.
+  void write();
+
+  /// Close the stream (also called by the destructor). Pending inserts that
+  /// were never written are an error when closing explicitly.
+  void close();
+
+  const coll::Layout& layout() const { return layout_; }
+  const std::string& fileName() const { return file_->name(); }
+  std::uint32_t recordsWritten() const { return recordSeq_; }
+
+  /// Entry lists currently pending for the j-th local element (testing).
+  std::int64_t pendingInsertCount() const {
+    return static_cast<std::int64_t>(descs_.size());
+  }
+
+ private:
+  enum class State { Ready, Inserting, Closed };
+
+  void openFile(const std::string& fileName);
+  void checkInsert(const coll::Layout& collectionLayout) const;
+  void beginInsert(std::uint32_t tag, InsertKind kind,
+                   std::uint32_t fixedPerElement);
+  std::vector<Entry>& entriesFor(std::int64_t localIdx);
+  HeaderMode chooseHeaderMode() const;
+
+  rt::Node* node_;
+  pfs::Pfs* fs_;
+  pfs::ParallelFilePtr file_;
+  coll::Layout layout_;
+  StreamOptions opts_;
+  State state_ = State::Ready;
+  std::int64_t localCount_;
+
+  std::vector<InsertDesc> descs_;
+  std::vector<std::vector<Entry>> pending_;  // per local element
+  detail::Arena arena_;
+  std::uint32_t recordSeq_ = 0;
+};
+
+}  // namespace pcxx::ds

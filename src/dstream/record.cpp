@@ -1,0 +1,131 @@
+#include "dstream/record.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/error.h"
+
+namespace pcxx::ds {
+namespace {
+
+constexpr char kFileMagic[8] = {'P', 'C', 'X', 'X', 'D', 'S', 'T', 'R'};
+
+}  // namespace
+
+ByteBuffer RecordHeader::encode() const {
+  ByteBuffer out;
+  ByteWriter w(out);
+  w.u32(kRecordMagic);
+  w.u32(0);  // total length, patched below
+  w.u32(seq);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u8(flags);
+  layout.encode(w);
+  w.u32(static_cast<std::uint32_t>(inserts.size()));
+  for (const InsertDesc& d : inserts) {
+    w.u32(d.typeTag);
+    w.u8(static_cast<std::uint8_t>(d.kind));
+    w.u32(d.fixedPerElement);
+  }
+  w.u64(dataBytes);
+  const std::uint32_t total = static_cast<std::uint32_t>(out.size() + 4);
+  encodeU32(total, out.data() + 4);
+  const std::uint32_t crc = crc32({out.data(), out.size()});
+  w.u32(crc);
+  return out;
+}
+
+std::uint64_t RecordHeader::encodedLength(std::span<const Byte> prefix8) {
+  if (prefix8.size() < 8) {
+    throw FormatError("record header prefix truncated");
+  }
+  if (decodeU32(prefix8.data()) != kRecordMagic) {
+    throw FormatError("bad record magic (not a d/stream record boundary)");
+  }
+  const std::uint32_t total = decodeU32(prefix8.data() + 4);
+  if (total < 8 + 4 || total > 64 * 1024 * 1024) {
+    throw FormatError("implausible record header length " +
+                      std::to_string(total));
+  }
+  return total;
+}
+
+RecordHeader RecordHeader::decode(std::span<const Byte> data) {
+  if (data.size() < 8 + 4) {
+    throw FormatError("record header truncated");
+  }
+  const std::uint32_t expectedCrc = decodeU32(data.data() + data.size() - 4);
+  const std::uint32_t actualCrc = crc32(data.subspan(0, data.size() - 4));
+  if (expectedCrc != actualCrc) {
+    throw FormatError("record header checksum mismatch (file corrupt?)");
+  }
+
+  ByteReader r(data);
+  if (r.u32() != kRecordMagic) {
+    throw FormatError("bad record magic");
+  }
+  const std::uint32_t total = r.u32();
+  if (total != data.size()) {
+    throw FormatError("record header length mismatch");
+  }
+  const std::uint32_t seq = r.u32();
+  const std::uint8_t modeRaw = r.u8();
+  if (modeRaw > static_cast<std::uint8_t>(HeaderMode::Parallel)) {
+    throw FormatError("bad record header mode");
+  }
+  const std::uint8_t flags = r.u8();
+  if ((flags & ~kRecordFlagDataCrc) != 0) {
+    throw FormatError("unknown record flags (newer format?)");
+  }
+  coll::Layout layout = coll::Layout::decode(r);
+  const std::uint32_t nInserts = r.u32();
+  if (nInserts > 4096) {
+    throw FormatError("implausible insert count " + std::to_string(nInserts));
+  }
+  std::vector<InsertDesc> inserts;
+  inserts.reserve(nInserts);
+  for (std::uint32_t i = 0; i < nInserts; ++i) {
+    InsertDesc d;
+    d.typeTag = r.u32();
+    const std::uint8_t kindRaw = r.u8();
+    if (kindRaw > static_cast<std::uint8_t>(InsertKind::Field)) {
+      throw FormatError("bad insert descriptor kind");
+    }
+    d.kind = static_cast<InsertKind>(kindRaw);
+    d.fixedPerElement = r.u32();
+    inserts.push_back(d);
+  }
+  const std::uint64_t dataBytes = r.u64();
+  return RecordHeader{seq,
+                      static_cast<HeaderMode>(modeRaw),
+                      std::move(layout),
+                      std::move(inserts),
+                      dataBytes,
+                      flags};
+}
+
+ByteBuffer encodeFileHeader() {
+  ByteBuffer out;
+  ByteWriter w(out);
+  w.bytes({reinterpret_cast<const Byte*>(kFileMagic), 8});
+  w.u32(kFormatVersion);
+  w.u32(0);  // flags, reserved
+  PCXX_CHECK(out.size() == kFileHeaderBytes);
+  return out;
+}
+
+void verifyFileHeader(std::span<const Byte> data) {
+  if (data.size() < kFileHeaderBytes) {
+    throw FormatError("file too short for a d/stream file header");
+  }
+  if (std::memcmp(data.data(), kFileMagic, 8) != 0) {
+    throw FormatError("not a d/stream file (bad magic)");
+  }
+  const std::uint32_t version = decodeU32(data.data() + 8);
+  if (version != kFormatVersion) {
+    throw FormatError("unsupported d/stream format version " +
+                      std::to_string(version));
+  }
+}
+
+}  // namespace pcxx::ds

@@ -1,0 +1,98 @@
+// On-disk format of d/stream files (defined by this reproduction; the
+// paper describes the content — distribution and size information ahead of
+// the data — but not a byte layout).
+//
+//   FileHeader   magic "PCXXDSTR", format version, flags      (16 bytes)
+//   Record*      one per write():
+//     RecordHeader   seq, header mode, writer Layout (distribution +
+//                    alignment + element count), insert descriptors,
+//                    total data bytes, CRC-32
+//     SizeTable      u64 per element, in FILE ORDER (writer node order,
+//                    local order within a node)
+//     Data           node-0 block, node-1 block, ...; within a block the
+//                    node's local elements in local order; within an
+//                    element the insert entries in insertion order — this
+//                    byte layout IS the paper's interleaving
+//
+// The byte layout is identical whether the header+size table were written
+// by node 0 (Gathered, the paper's small-collection optimization) or with
+// a parallel size-table write (Parallel); the mode is recorded only for
+// inspection. A reader therefore needs no out-of-band information: it
+// decodes the writer's layout from the record header and can read under
+// any node count or distribution (paper §4.1: "the library does the
+// paperwork").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collection/layout.h"
+#include "util/bytes.h"
+
+namespace pcxx::ds {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint64_t kFileHeaderBytes = 16;
+inline constexpr std::uint32_t kRecordMagic = 0x44524543u;  // "CERD" LE
+
+enum class HeaderMode : std::uint8_t {
+  Gathered = 0,  ///< header + size table gathered to node 0 (small records)
+  Parallel = 1,  ///< size table written with a parallel node-order write
+};
+
+enum class InsertKind : std::uint8_t {
+  Collection = 0,  ///< a whole collection was inserted (s << g)
+  Field = 1,       ///< a single element field was inserted (s << g.field(...))
+};
+
+/// One descriptor per insert (<<) call between writes.
+struct InsertDesc {
+  std::uint32_t typeTag = 0;
+  InsertKind kind = InsertKind::Collection;
+  /// Bytes per element if every element contributed the same amount
+  /// (e.g. a double field = 8); 0 for variable-size inserts.
+  std::uint32_t fixedPerElement = 0;
+
+  bool operator==(const InsertDesc&) const = default;
+};
+
+/// Record flag bits.
+inline constexpr std::uint8_t kRecordFlagDataCrc = 0x01;
+
+/// Decoded per-record metadata.
+struct RecordHeader {
+  std::uint32_t seq;
+  HeaderMode mode;
+  coll::Layout layout;  ///< layout of the writing collection(s)
+  std::vector<InsertDesc> inserts;
+  std::uint64_t dataBytes;  ///< total element payload bytes in the record
+  /// kRecordFlag* bits; kRecordFlagDataCrc means a 4-byte CRC-32 of the
+  /// data section trails the record.
+  std::uint8_t flags = 0;
+
+  bool hasDataCrc() const { return (flags & kRecordFlagDataCrc) != 0; }
+  std::uint64_t trailerBytes() const { return hasDataCrc() ? 4 : 0; }
+
+  std::int64_t elementCount() const { return layout.size(); }
+  std::uint64_t sizeTableBytes() const {
+    return 8ull * static_cast<std::uint64_t>(layout.size());
+  }
+
+  /// Wire encoding, CRC included. The first 8 bytes are [magic][byteLen],
+  /// so a reader fetches 8 bytes, then the remainder.
+  ByteBuffer encode() const;
+
+  /// Total encoded length given the first 8 bytes.
+  static std::uint64_t encodedLength(std::span<const Byte> prefix8);
+
+  /// Decode + verify CRC. `data` must be exactly the encoded bytes.
+  static RecordHeader decode(std::span<const Byte> data);
+};
+
+/// Encode the 16-byte file header.
+ByteBuffer encodeFileHeader();
+
+/// Verify a 16-byte file header; throws FormatError on mismatch.
+void verifyFileHeader(std::span<const Byte> data);
+
+}  // namespace pcxx::ds

@@ -1,0 +1,26 @@
+#include "dstream/stream_common.h"
+
+#include <atomic>
+
+#include "util/error.h"
+
+namespace pcxx::ds {
+namespace {
+
+std::atomic<pfs::Pfs*> g_defaultPfs{nullptr};
+
+}  // namespace
+
+void setDefaultPfs(pfs::Pfs* fs) { g_defaultPfs.store(fs); }
+
+pfs::Pfs& defaultPfs() {
+  pfs::Pfs* fs = g_defaultPfs.load();
+  if (fs == nullptr) {
+    throw UsageError(
+        "no default file system: call pcxx::ds::setDefaultPfs() or use the "
+        "stream constructors that take a pfs::Pfs explicitly");
+  }
+  return *fs;
+}
+
+}  // namespace pcxx::ds

@@ -1,0 +1,41 @@
+// Shared d/stream configuration and the default file system registry.
+#pragma once
+
+#include <cstdint>
+
+#include "pfs/parallel_file.h"
+
+namespace pcxx::ds {
+
+/// Per-stream options.
+struct StreamOptions {
+  /// How the record header + size table are written (paper §4.1 step 1).
+  enum class HeaderPolicy {
+    Auto,           ///< Parallel when elementCount >= parallelHeaderThreshold
+    ForceGathered,  ///< always gather to node 0 (small-collection path)
+    ForceParallel,  ///< always use the parallel size-table write
+  };
+
+  HeaderPolicy headerPolicy = HeaderPolicy::Auto;
+  /// Element count at which the parallel size-table write pays off.
+  std::int64_t parallelHeaderThreshold = 4096;
+  /// fsync after every write() (durability for checkpointing).
+  bool syncOnWrite = false;
+  /// Append a CRC-32 of each record's data section and verify it on read.
+  /// Each node checksums only its own block; the whole-section value is
+  /// assembled with crc32Combine, so the cost stays node-parallel.
+  bool checksumData = false;
+  /// Open the file for appending records instead of truncating (used when
+  /// several streams with differing distributions share one file).
+  bool append = false;
+};
+
+/// Set the process-default file system used by the (d, a, filename) stream
+/// constructors — the pC++ programs in the paper's Figure 3 name only a
+/// file, with the file system implicit. Not owned; must outlive use.
+void setDefaultPfs(pfs::Pfs* fs);
+
+/// The default file system; throws UsageError if none was set.
+pfs::Pfs& defaultPfs();
+
+}  // namespace pcxx::ds

@@ -1,0 +1,33 @@
+// Type tags for d/stream insert/extract checking.
+//
+// Each insert descriptor in a record header carries a 32-bit tag derived
+// from the inserted element type; extraction verifies the tag of the
+// corresponding insert, so extracting a collection of the wrong type fails
+// with FormatError instead of silently misinterpreting bytes. Tags are a
+// FNV-1a hash of the implementation's type name: stable within a build,
+// which is the paper's usage model (the same declarations are included by
+// the output and input programs — Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <typeinfo>
+
+namespace pcxx::ds {
+
+inline std::uint32_t fnv1a(const char* s) {
+  std::uint32_t h = 2166136261u;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<std::uint8_t>(*s);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Tag for element type T.
+template <typename T>
+std::uint32_t typeTag() {
+  static const std::uint32_t tag = fnv1a(typeid(T).name());
+  return tag;
+}
+
+}  // namespace pcxx::ds

@@ -1,0 +1,30 @@
+// Fault injection hooks for the parallel file system.
+//
+// Tests install a FaultHook on a Pfs instance; the hook runs before every
+// storage access and may throw IoError to simulate device failures, or
+// record operations to assert on access patterns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pcxx::pfs {
+
+enum class OpKind { Read, Write };
+
+/// Context passed to the fault hook before each storage access.
+struct OpContext {
+  std::string file;     ///< pfs file name
+  OpKind kind;          ///< read or write
+  std::uint64_t offset; ///< byte offset in the file
+  std::uint64_t bytes;  ///< request size
+  int nodeId;           ///< issuing node
+  std::uint64_t opIndex;///< global op counter for this Pfs instance
+};
+
+/// Runs before each storage access; may throw (e.g. IoError) to inject a
+/// failure. Must be thread-safe: nodes call concurrently.
+using FaultHook = std::function<void(const OpContext&)>;
+
+}  // namespace pcxx::pfs

@@ -1,0 +1,267 @@
+#include "pfs/parallel_file.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace pcxx::pfs {
+
+// ---------------------------------------------------------------------------
+// ParallelFile
+// ---------------------------------------------------------------------------
+
+ParallelFile::ParallelFile(Pfs* fs, std::string fsName,
+                           std::shared_ptr<StorageBackend> storage)
+    : fs_(fs), name_(std::move(fsName)), storage_(std::move(storage)) {}
+
+void ParallelFile::runFaultHook(OpKind kind, std::uint64_t offset,
+                                std::uint64_t bytes, int nodeId) {
+  const std::uint64_t index = fs_->opCounter_.fetch_add(1);
+  FaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(fs_->hookMu_);
+    hook = fs_->faultHook_;
+  }
+  if (hook) {
+    hook(OpContext{name_, kind, offset, bytes, nodeId, index});
+  }
+}
+
+void ParallelFile::writeAt(rt::Node& node, std::uint64_t offset,
+                           std::span<const Byte> data) {
+  runFaultHook(OpKind::Write, offset, data.size(), node.id());
+  storage_->writeAt(offset, data);
+  const std::uint64_t cum = cumWritten_.fetch_add(data.size()) + data.size();
+  fs_->model_.chargeIndependentOp(node, offset, data.size(), storage_->size(),
+                                  cum, /*isWrite=*/true);
+}
+
+std::uint64_t ParallelFile::readAt(rt::Node& node, std::uint64_t offset,
+                                   std::span<Byte> out) {
+  runFaultHook(OpKind::Read, offset, out.size(), node.id());
+  const std::uint64_t n = storage_->readAt(offset, out);
+  fs_->model_.chargeIndependentOp(node, offset, out.size(), storage_->size(),
+                                  cumWritten_.load(), /*isWrite=*/false);
+  return n;
+}
+
+std::uint64_t ParallelFile::writeOrdered(rt::Node& node,
+                                         std::span<const Byte> myBlock) {
+  const std::uint64_t base = cursor_.load();
+  const std::uint64_t cumBefore = cumWritten_.load();
+  const auto sizes = node.allgatherU64(myBlock.size());
+  std::uint64_t myOffset = base;
+  std::uint64_t total = 0;
+  std::uint64_t maxNode = 0;
+  for (int i = 0; i < node.nprocs(); ++i) {
+    if (i < node.id()) myOffset += sizes[static_cast<size_t>(i)];
+    total += sizes[static_cast<size_t>(i)];
+    maxNode = std::max(maxNode, sizes[static_cast<size_t>(i)]);
+  }
+  runFaultHook(OpKind::Write, myOffset, myBlock.size(), node.id());
+  storage_->writeAt(myOffset, myBlock);
+
+  // All nodes complete the collective transfer together; charge the modeled
+  // duration uniformly (the collective below also synchronizes clocks).
+  node.barrier();
+  const double duration = fs_->model_.collectiveBulkDuration(
+      node.nprocs(), total, maxNode, storage_->size(), cumBefore,
+      /*isWrite=*/true);
+  node.clock().advance(duration);
+  cursor_.store(base + total);
+  cumWritten_.store(cumBefore + total);
+  node.barrier();
+  return myOffset;
+}
+
+std::uint64_t ParallelFile::readOrdered(rt::Node& node,
+                                        std::span<Byte> myBlock) {
+  const std::uint64_t base = cursor_.load();
+  const auto sizes = node.allgatherU64(myBlock.size());
+  std::uint64_t myOffset = base;
+  std::uint64_t total = 0;
+  std::uint64_t maxNode = 0;
+  for (int i = 0; i < node.nprocs(); ++i) {
+    if (i < node.id()) myOffset += sizes[static_cast<size_t>(i)];
+    total += sizes[static_cast<size_t>(i)];
+    maxNode = std::max(maxNode, sizes[static_cast<size_t>(i)]);
+  }
+  runFaultHook(OpKind::Read, myOffset, myBlock.size(), node.id());
+  const std::uint64_t got = storage_->readAt(myOffset, myBlock);
+  const bool shortRead = got != myBlock.size();
+
+  node.barrier();
+  const double duration = fs_->model_.collectiveBulkDuration(
+      node.nprocs(), total, maxNode, storage_->size(), cumWritten_.load(),
+      /*isWrite=*/false);
+  node.clock().advance(duration);
+  cursor_.store(base + total);
+  node.barrier();
+  if (shortRead) {
+    throw IoError("readOrdered: file '" + name_ + "' ended early (wanted " +
+                  std::to_string(myBlock.size()) + " bytes at offset " +
+                  std::to_string(myOffset) + ", got " + std::to_string(got) +
+                  ")");
+  }
+  return myOffset;
+}
+
+void ParallelFile::seekShared(rt::Node& node, std::uint64_t offset) {
+  node.barrier();
+  cursor_.store(offset);
+  node.barrier();
+}
+
+void ParallelFile::sync(rt::Node& node) {
+  node.barrier();
+  if (node.id() == 0) storage_->sync();
+  const double duration = fs_->model_.enabled()
+                              ? fs_->model_.params().collectiveSync(
+                                    node.nprocs())
+                              : 0.0;
+  node.clock().advance(duration);
+  node.barrier();
+}
+
+// ---------------------------------------------------------------------------
+// Pfs
+// ---------------------------------------------------------------------------
+
+Pfs::Pfs(PfsConfig config)
+    : config_(std::move(config)),
+      model_(config_.perf, config_.nIoNodes, config_.stripeUnit) {}
+
+std::string Pfs::posixPath(const std::string& fsName) const {
+  return config_.dir + "/" + fsName;
+}
+
+std::shared_ptr<StorageBackend> Pfs::backendFor(const std::string& fsName,
+                                                OpenMode mode) {
+  if (config_.backend == PfsConfig::Backend::Memory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memFiles_.find(fsName);
+    if (mode == OpenMode::Read) {
+      if (it == memFiles_.end()) {
+        throw IoError("pfs file '" + fsName + "' does not exist");
+      }
+      return it->second;
+    }
+    // Create: fresh storage (truncate semantics).
+    auto storage = std::make_shared<MemStorage>();
+    memFiles_[fsName] = storage;
+    return storage;
+  }
+  // Posix backend.
+  const std::string path = posixPath(fsName);
+  if (mode == OpenMode::Read && !std::filesystem::exists(path)) {
+    throw IoError("pfs file '" + fsName + "' does not exist at " + path);
+  }
+  auto storage = std::make_shared<PosixStorage>(path);
+  if (mode == OpenMode::Create) storage->truncate(0);
+  return storage;
+}
+
+ParallelFilePtr Pfs::open(rt::Node& node, const std::string& fsName,
+                          OpenMode mode) {
+  // Node 0 resolves the backend; the resulting file object is shared.
+  node.barrier();
+  ParallelFilePtr file;
+  std::shared_ptr<StorageBackend> storage;
+  std::exception_ptr failure;
+  if (node.id() == 0) {
+    try {
+      storage = backendFor(fsName, mode);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+  }
+  // Propagate open failure to all nodes consistently.
+  const double failFlag =
+      node.allreduceMax(node.id() == 0 && failure ? 1.0 : 0.0);
+  if (failFlag > 0.0) {
+    if (node.id() == 0) std::rethrow_exception(failure);
+    throw IoError("pfs open('" + fsName + "') failed on node 0");
+  }
+  // Share the pointer via the collective staging area: node 0 stores it in
+  // a member slot guarded by barriers.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (node.id() == 0) {
+      pendingOpen_ = ParallelFilePtr(new ParallelFile(this, fsName, storage));
+    }
+  }
+  node.barrier();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    file = pendingOpen_;
+  }
+  node.barrier();
+  if (node.id() == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pendingOpen_.reset();
+  }
+  // Charge the open cost (one collective synchronization).
+  if (model_.enabled()) {
+    node.clock().advance(model_.params().collectiveSync(node.nprocs()));
+  }
+  node.barrier();
+  return file;
+}
+
+void Pfs::remove(rt::Node& node, const std::string& fsName) {
+  node.barrier();
+  if (node.id() == 0) {
+    if (config_.backend == PfsConfig::Backend::Memory) {
+      std::lock_guard<std::mutex> lock(mu_);
+      memFiles_.erase(fsName);
+    } else {
+      std::filesystem::remove(posixPath(fsName));
+    }
+  }
+  node.barrier();
+}
+
+bool Pfs::exists(const std::string& fsName) {
+  if (config_.backend == PfsConfig::Backend::Memory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return memFiles_.count(fsName) != 0;
+  }
+  return std::filesystem::exists(posixPath(fsName));
+}
+
+void Pfs::setFaultHook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(hookMu_);
+  faultHook_ = std::move(hook);
+}
+
+void Pfs::corruptByte(const std::string& fsName, std::uint64_t offset,
+                      Byte value) {
+  std::shared_ptr<StorageBackend> storage;
+  if (config_.backend == PfsConfig::Backend::Memory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memFiles_.find(fsName);
+    PCXX_REQUIRE(it != memFiles_.end(), "corruptByte: no such file");
+    storage = it->second;
+  } else {
+    storage = std::make_shared<PosixStorage>(posixPath(fsName));
+  }
+  const Byte b = value;
+  storage->writeAt(offset, {&b, 1});
+}
+
+void Pfs::truncateFile(const std::string& fsName, std::uint64_t newSize) {
+  std::shared_ptr<StorageBackend> storage;
+  if (config_.backend == PfsConfig::Backend::Memory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memFiles_.find(fsName);
+    PCXX_REQUIRE(it != memFiles_.end(), "truncateFile: no such file");
+    storage = it->second;
+  } else {
+    storage = std::make_shared<PosixStorage>(posixPath(fsName));
+  }
+  storage->truncate(newSize);
+}
+
+}  // namespace pcxx::pfs

@@ -1,0 +1,163 @@
+// The parallel file system substrate.
+//
+// This layer reproduces the I/O interface the paper's library is built on —
+// Intel Paragon PFS / CM-5 sfs style parallel files:
+//
+//   * independent positional reads/writes from any node, and
+//   * *node-order collective* transfers ("parallel I/O primitives which
+//     transfer a contiguous block of data from each compute node to the
+//     file system simultaneously and write those blocks to the file in node
+//     order" — paper §4.1), implemented here as writeOrdered/readOrdered
+//     against a shared file cursor.
+//
+// A Pfs instance is the "file system": it owns the storage backend choice
+// (in-memory or a real POSIX directory), the virtual-time performance model,
+// and the fault-injection hook. Files opened through it are shared across
+// nodes; all collective methods must be called by every node of the machine.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "pfs/backend.h"
+#include "pfs/fault.h"
+#include "pfs/perf_model.h"
+#include "runtime/machine.h"
+
+namespace pcxx::pfs {
+
+/// File system configuration.
+struct PfsConfig {
+  enum class Backend { Memory, Posix };
+
+  Backend backend = Backend::Memory;
+  /// Directory for Posix-backed files.
+  std::string dir = ".";
+  /// Virtual-time model; PerfParams{} (disabled) means real-time mode.
+  PerfParams perf;
+  /// I/O nodes the file system stripes over (scales modeled bandwidth).
+  int nIoNodes = 1;
+  std::uint64_t stripeUnit = 64 * 1024;
+};
+
+enum class OpenMode {
+  Create,  ///< truncate / create for writing
+  Read,    ///< existing file for reading
+};
+
+class Pfs;
+
+/// An open parallel file. Thread-safe; collective methods must be invoked
+/// by all nodes of the machine with matching arguments.
+class ParallelFile {
+ public:
+  // -- independent operations ----------------------------------------------
+
+  /// Positional write from one node.
+  void writeAt(rt::Node& node, std::uint64_t offset,
+               std::span<const Byte> data);
+
+  /// Positional read from one node; returns bytes read (fewer than
+  /// requested only at end of file).
+  std::uint64_t readAt(rt::Node& node, std::uint64_t offset,
+                       std::span<Byte> out);
+
+  // -- collective operations (node-order parallel I/O) ----------------------
+
+  /// Every node contributes one contiguous block; blocks are placed at the
+  /// shared cursor in node order and the cursor advances by the total.
+  /// Returns the file offset where this node's block begins.
+  std::uint64_t writeOrdered(rt::Node& node, std::span<const Byte> myBlock);
+
+  /// Every node reads one contiguous block (of the size it passes) from the
+  /// shared cursor in node order; the cursor advances by the total. Throws
+  /// IoError if the file ends early. Returns this node's block offset.
+  std::uint64_t readOrdered(rt::Node& node, std::span<Byte> myBlock);
+
+  /// Collective: set the shared cursor.
+  void seekShared(rt::Node& node, std::uint64_t offset);
+
+  /// Current shared cursor position.
+  std::uint64_t sharedOffset() const { return cursor_.load(); }
+
+  /// Collective: flush to durable storage.
+  void sync(rt::Node& node);
+
+  std::uint64_t size() { return storage_->size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Pfs;
+  ParallelFile(Pfs* fs, std::string fsName,
+               std::shared_ptr<StorageBackend> storage);
+
+  void runFaultHook(OpKind kind, std::uint64_t offset, std::uint64_t bytes,
+                    int nodeId);
+
+  Pfs* fs_;
+  std::string name_;
+  std::shared_ptr<StorageBackend> storage_;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<std::uint64_t> cumWritten_{0};
+};
+
+using ParallelFilePtr = std::shared_ptr<ParallelFile>;
+
+/// A parallel file system instance.
+class Pfs {
+ public:
+  explicit Pfs(PfsConfig config);
+
+  /// Collective: open `fsName`. Create truncates; Read requires existence
+  /// (throws IoError otherwise).
+  ParallelFilePtr open(rt::Node& node, const std::string& fsName,
+                       OpenMode mode);
+
+  /// Collective: delete a file (removes the memory image / POSIX file).
+  void remove(rt::Node& node, const std::string& fsName);
+
+  /// Does a file exist (independent, no timing charge)?
+  bool exists(const std::string& fsName);
+
+  PerfModel& model() { return model_; }
+  const PfsConfig& config() const { return config_; }
+
+  /// Install (or clear, with nullptr) the fault-injection hook.
+  void setFaultHook(FaultHook hook);
+
+  /// Test helper: overwrite one byte of a file's storage directly,
+  /// bypassing timing and fault hooks.
+  void corruptByte(const std::string& fsName, std::uint64_t offset,
+                   Byte value);
+
+  /// Test helper: truncate a file's storage directly.
+  void truncateFile(const std::string& fsName, std::uint64_t newSize);
+
+  /// Total storage operations issued so far (reads + writes).
+  std::uint64_t opCount() const { return opCounter_.load(); }
+
+ private:
+  friend class ParallelFile;
+
+  std::shared_ptr<StorageBackend> backendFor(const std::string& fsName,
+                                             OpenMode mode);
+  std::string posixPath(const std::string& fsName) const;
+
+  PfsConfig config_;
+  PerfModel model_;
+  std::mutex mu_;
+  // Memory backend registry so files persist across open/close within a
+  // process (mirrors a file system's namespace).
+  std::map<std::string, std::shared_ptr<StorageBackend>> memFiles_;
+  // Slot used by open() to hand the shared file object from node 0 to the
+  // other nodes (guarded by mu_ and the surrounding barriers).
+  ParallelFilePtr pendingOpen_;
+  FaultHook faultHook_;
+  std::mutex hookMu_;
+  std::atomic<std::uint64_t> opCounter_{0};
+};
+
+}  // namespace pcxx::pfs

@@ -1,0 +1,180 @@
+#include "pfs/perf_model.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pcxx::pfs {
+
+PerfParams paragonParams() {
+  PerfParams p;
+  p.enabled = true;
+  p.name = "paragon";
+  // Calibrated against Tables 1-2; see DESIGN.md §6 for the fit.
+  p.smallOpLatencyCached = 1.7e-3;
+  p.smallOpLatencyDisk = 21e-3;
+  p.smallOpCacheBytes = 2'900'000;  // cliff between 512 and 1000 segments
+  p.smallOpThreshold = 16 * 1024;
+  p.smallOpsSerialize = true;  // I/O nodes serialize small requests
+  p.bulkBwCached = 2.7e6;
+  p.bulkBwDisk = 0.3e6;
+  p.bulkCachePerNode = 2'000'000;  // knee at 11.2 MB on 4 nodes, absent on 8
+  p.collectiveSyncBase = 0.10;
+  p.collectiveSyncPerNode = 0.029;
+  p.bookkeepingPerElement = 4e-5;
+  return p;
+}
+
+PerfParams sgiParams(int nprocs) {
+  PerfParams p;
+  p.enabled = true;
+  p.name = "sgi";
+  p.smallOpsSerialize = false;  // SMP: requests hit the page cache in parallel
+  if (nprocs <= 1) {
+    p.smallOpLatencyCached = 40e-6;
+    p.smallOpLatencyDisk = 40e-6;
+    p.bulkBwCached = 10.7e6;
+    p.bulkBwDisk = 10.7e6;
+    p.collectiveSyncBase = 0.005;
+    p.collectiveSyncPerNode = 0.0;
+    // Fit of the paper's streams-minus-manual differences (Table 3):
+    // overhead(N) ~ 0.235 s + 3.5e-5 s * N across a write+read pair.
+    p.bookkeepingPerElement = 1.75e-5;
+    p.bookkeepingPerRecord = 0.118;
+  } else {
+    p.smallOpLatencyCached = 150e-6;
+    p.smallOpLatencyDisk = 150e-6;
+    p.bulkBwCached = 66e6;
+    p.bulkBwDisk = 35e6;
+    p.bulkCachePerNode = 3'000'000;
+    p.collectiveSyncBase = 0.002;
+    p.collectiveSyncPerNode = 0.0008;
+    // Fit of Table 4's streams-minus-manual differences.
+    p.bookkeepingPerElement = 7e-6;
+    p.bookkeepingPerRecord = 0.08;
+  }
+  return p;
+}
+
+PerfParams noModel() { return PerfParams{}; }
+
+PerfParams paramsByName(const std::string& name, int nprocs) {
+  if (name == "paragon") return paragonParams();
+  if (name == "sgi") return sgiParams(nprocs);
+  if (name == "none" || name.empty()) return noModel();
+  throw UsageError("unknown platform model '" + name +
+                   "' (expected paragon, sgi, or none)");
+}
+
+PerfModel::PerfModel(PerfParams params, int nIoNodes, std::uint64_t stripeUnit)
+    : params_(std::move(params)), stripeUnit_(stripeUnit) {
+  PCXX_REQUIRE(nIoNodes >= 1, "PerfModel requires at least one I/O node");
+  PCXX_REQUIRE(stripeUnit >= 1, "PerfModel stripe unit must be positive");
+  queues_.assign(static_cast<size_t>(nIoNodes), 0.0);
+}
+
+void PerfModel::chargeIndependentOp(rt::Node& node, std::uint64_t offset,
+                                    std::uint64_t opBytes,
+                                    std::uint64_t fileSize,
+                                    std::uint64_t cumWritten, bool isWrite) {
+  if (!params_.enabled) return;
+
+  const double ioScale = static_cast<double>(queues_.size());
+  const int nprocs = node.nprocs();
+  if (opBytes > params_.smallOpThreshold) {
+    // Large independent transfer: bandwidth dominated, no collective sync.
+    const bool cached = isWrite
+                            ? cumWritten <= params_.smallOpCacheBytes
+                            : fileSize <= params_.smallOpCacheBytes;
+    const double bw =
+        (cached ? params_.bulkBwCached : params_.bulkBwDisk) * ioScale;
+    node.clock().advance(static_cast<double>(opBytes) / bw);
+    return;
+  }
+
+  const bool cached = isWrite ? cumWritten <= params_.smallOpCacheBytes
+                              : fileSize <= params_.smallOpCacheBytes;
+  const double latency =
+      cached ? params_.smallOpLatencyCached : params_.smallOpLatencyDisk;
+
+  if (params_.smallOpsSerialize) {
+    // Small requests funnel through the I/O node owning the first stripe of
+    // the request: the op starts when both the node and that I/O path are
+    // free, and occupies the path for `latency`. The calibrated latency is
+    // the full end-to-end cost of a small request on such machines.
+    const size_t q = static_cast<size_t>((offset / stripeUnit_) %
+                                         queues_.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    const double start = std::max(queues_[q], node.clock().now());
+    queues_[q] = start + latency;
+    node.clock().syncTo(queues_[q]);
+  } else {
+    // SMP path: requests proceed concurrently, paying a per-request
+    // software latency plus their share of the file system bandwidth (the
+    // aggregate bandwidth is divided among the nprocs concurrent nodes).
+    const std::uint64_t cache = params_.bulkCacheBytes(nprocs);
+    const bool bwCachedHit =
+        isWrite ? cumWritten <= cache : fileSize <= cache;
+    const double bw =
+        (bwCachedHit ? params_.bulkBwCached : params_.bulkBwDisk) * ioScale;
+    node.clock().advance(latency + static_cast<double>(opBytes) *
+                                       static_cast<double>(nprocs) / bw);
+  }
+}
+
+double PerfModel::collectiveBulkDuration(int nprocs, std::uint64_t totalBytes,
+                                         std::uint64_t maxNodeBytes,
+                                         std::uint64_t fileSize,
+                                         std::uint64_t cumWrittenBefore,
+                                         bool isWrite) const {
+  if (!params_.enabled) return 0.0;
+  const double ioScale = static_cast<double>(queues_.size());
+  const double bwCached = params_.bulkBwCached * ioScale;
+  const double bwDisk = params_.bulkBwDisk * ioScale;
+  const std::uint64_t cache = params_.bulkCacheBytes(nprocs);
+
+  double transfer = 0.0;
+  double effectiveBw = bwCached;
+  if (isWrite) {
+    // Bytes up to the cache boundary stream at cached bandwidth; the rest
+    // goes to disk.
+    std::uint64_t cachedBytes = 0;
+    if (cumWrittenBefore < cache) {
+      cachedBytes = std::min<std::uint64_t>(totalBytes,
+                                            cache - cumWrittenBefore);
+    }
+    const std::uint64_t diskBytes = totalBytes - cachedBytes;
+    transfer = static_cast<double>(cachedBytes) / bwCached +
+               static_cast<double>(diskBytes) / bwDisk;
+    if (totalBytes > 0) {
+      effectiveBw = static_cast<double>(totalBytes) / std::max(transfer, 1e-12);
+    }
+  } else {
+    const bool cached = fileSize <= cache;
+    effectiveBw = cached ? bwCached : bwDisk;
+    transfer = static_cast<double>(totalBytes) / effectiveBw;
+  }
+
+  // A lopsided collective (e.g. the gathered size table at node 0) is
+  // limited by the most loaded node's share of the bandwidth.
+  const double fraction =
+      std::max(params_.perNodeBwFraction, 1.0 / static_cast<double>(nprocs));
+  const double nodeLimit =
+      static_cast<double>(maxNodeBytes) / (effectiveBw * fraction);
+
+  return params_.collectiveSync(nprocs) + std::max(transfer, nodeLimit);
+}
+
+void PerfModel::chargeBookkeeping(rt::Node& node, std::uint64_t nElements) {
+  if (!params_.enabled) return;
+  node.clock().advance(params_.bookkeepingPerRecord +
+                       params_.bookkeepingPerElement *
+                           static_cast<double>(nElements));
+}
+
+void PerfModel::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(queues_.begin(), queues_.end(), 0.0);
+}
+
+}  // namespace pcxx::pfs

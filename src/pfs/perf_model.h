@@ -1,0 +1,160 @@
+// Virtual-time performance model for the parallel file system.
+//
+// The paper's evaluation ran on a 1995 Intel Paragon (OSF/1 + PFS) and an
+// SGI Challenge; neither is available, so simulation-mode benches advance
+// per-node virtual clocks according to this model instead of sleeping. The
+// model reproduces the *shape* of the paper's Tables 1-4 (see DESIGN.md
+// section 6 for the calibration): who wins, by roughly what factor, and
+// where the cliffs fall — not the absolute 1995 numbers.
+//
+// Mechanisms modeled (each visible in the paper's own data):
+//
+//  * Small independent operations (unbuffered I/O) pay a per-request
+//    latency: a cached value while the file still fits the I/O-node file
+//    cache, a much larger disk value beyond it. This produces the dramatic
+//    unbuffered-I/O cliff between 512 and 1000 segments on the Paragon
+//    (14.73 s -> 283 s). On the Paragon small requests serialize through
+//    the I/O nodes (4- and 8-node unbuffered times are nearly identical in
+//    the paper); on the SGI (an SMP with a unified page cache) they proceed
+//    in parallel.
+//
+//  * Bulk transfers (manual buffering, pC++/streams) move at an aggregate
+//    cached bandwidth until the cumulative bytes exceed the cache (which
+//    scales with the node count), then at disk bandwidth. This produces the
+//    manual-buffering knee at 11.2 MB on the 4-node Paragon (5.42 s ->
+//    54.17 s) and its absence on 8 nodes (9.69 s).
+//
+//  * Collective operations pay a synchronization cost that grows with the
+//    node count (Paragon gsync was expensive), which is why small I/O on
+//    8 nodes is *slower* than on 4 in the paper's manual-buffering rows.
+//
+//  * Per-element bookkeeping (pointer-list traversal, size table) charges
+//    CPU time to the streams library; it shrinks relative to data volume,
+//    reproducing the "% of Manual Buf." row rising toward 100%.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/machine.h"
+
+namespace pcxx::pfs {
+
+/// Platform timing parameters (all times seconds, sizes bytes, rates B/s).
+struct PerfParams {
+  bool enabled = false;
+  std::string name = "none";
+
+  // -- small independent operations (per-request latency dominated) --------
+  double smallOpLatencyCached = 0.0;
+  double smallOpLatencyDisk = 0.0;
+  /// File-cache capacity governing the small-op latency cliff: writes are
+  /// cached while cumulative bytes written stay below this; reads are cached
+  /// while the whole file fits.
+  std::uint64_t smallOpCacheBytes = std::numeric_limits<std::uint64_t>::max();
+  /// Requests at or below this size take the small-op path.
+  std::uint64_t smallOpThreshold = 16 * 1024;
+  /// True when small requests serialize through a shared I/O-node queue
+  /// (Paragon); false when they proceed concurrently (SGI SMP page cache).
+  bool smallOpsSerialize = true;
+
+  // -- bulk transfers (bandwidth dominated) ---------------------------------
+  double bulkBwCached = 1e18;
+  double bulkBwDisk = 1e18;
+  /// Bulk cache capacity per node; total capacity = this * nprocs.
+  std::uint64_t bulkCachePerNode = std::numeric_limits<std::uint64_t>::max();
+  /// A single compute node can drive at most this fraction of the aggregate
+  /// file system bandwidth (node-0 bottleneck for gathered headers); on a
+  /// single-node machine the full bandwidth is available.
+  double perNodeBwFraction = 0.5;
+
+  // -- collective costs ------------------------------------------------------
+  double collectiveSyncBase = 0.0;
+  double collectiveSyncPerNode = 0.0;
+
+  // -- library CPU costs -----------------------------------------------------
+  /// Charged by pC++/streams per element for pointer-list traversal and
+  /// size-table bookkeeping.
+  double bookkeepingPerElement = 0.0;
+  /// Charged by pC++/streams once per record write()/read() (header
+  /// construction, extra collective synchronizations).
+  double bookkeepingPerRecord = 0.0;
+
+  double collectiveSync(int nprocs) const {
+    return collectiveSyncBase + collectiveSyncPerNode * nprocs;
+  }
+  std::uint64_t bulkCacheBytes(int nprocs) const {
+    const std::uint64_t perNode = bulkCachePerNode;
+    const auto n = static_cast<std::uint64_t>(nprocs);
+    if (perNode > std::numeric_limits<std::uint64_t>::max() / (n ? n : 1)) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    return perNode * n;
+  }
+};
+
+/// Intel Paragon preset (calibrated to Tables 1 and 2; see DESIGN.md §6).
+PerfParams paragonParams();
+
+/// SGI Challenge preset for `nprocs` processors (Tables 3 and 4).
+PerfParams sgiParams(int nprocs);
+
+/// Disabled model (real-time mode).
+PerfParams noModel();
+
+/// Look up a preset by name: "paragon", "sgi", "none".
+PerfParams paramsByName(const std::string& name, int nprocs);
+
+/// Applies PerfParams to advance virtual clocks. One PerfModel instance is
+/// shared by all files of a Pfs; it owns the per-I/O-node small-op queues.
+///
+/// `nIoNodes` scales the file system: bulk bandwidth is multiplied by it and
+/// small requests are spread over that many serialized queues (selected by
+/// stripe, `offset / stripeUnit % nIoNodes`). The platform presets are
+/// calibrated for nIoNodes = 1; the stripe-sweep ablation varies it.
+class PerfModel {
+ public:
+  explicit PerfModel(PerfParams params, int nIoNodes = 1,
+                     std::uint64_t stripeUnit = 64 * 1024);
+
+  bool enabled() const { return params_.enabled; }
+  const PerfParams& params() const { return params_; }
+  int nIoNodes() const { return static_cast<int>(queues_.size()); }
+
+  /// Charge one independent request issued by `node`. `fileSize` is the file
+  /// size after the op; `cumWritten` is cumulative bytes ever written to the
+  /// file (after the op, for writes).
+  void chargeIndependentOp(rt::Node& node, std::uint64_t offset,
+                           std::uint64_t opBytes, std::uint64_t fileSize,
+                           std::uint64_t cumWritten, bool isWrite);
+
+  /// Duration of a collective bulk transfer of `totalBytes` (all nodes
+  /// combined), of which the most loaded node moves `maxNodeBytes`.
+  /// `cumWrittenBefore` is bytes written to the file before this op (writes
+  /// split cached/disk across the cache boundary; reads are cached only if
+  /// the whole file fits). The duration is the larger of the aggregate
+  /// transfer and the most-loaded node's transfer at its per-node bandwidth
+  /// cap, plus the collective synchronization cost.
+  double collectiveBulkDuration(int nprocs, std::uint64_t totalBytes,
+                                std::uint64_t maxNodeBytes,
+                                std::uint64_t fileSize,
+                                std::uint64_t cumWrittenBefore,
+                                bool isWrite) const;
+
+  /// Charge library bookkeeping CPU time for `nElements` local elements.
+  void chargeBookkeeping(rt::Node& node, std::uint64_t nElements);
+
+  /// Reset the small-op queues (between benchmark repetitions).
+  void reset();
+
+ private:
+  PerfParams params_;
+  std::uint64_t stripeUnit_;
+  std::mutex mu_;
+  std::vector<double> queues_;  // next-free time per I/O node
+};
+
+}  // namespace pcxx::pfs

@@ -1,0 +1,34 @@
+// Per-node virtual clock.
+//
+// In simulation mode every node carries a virtual time (seconds). I/O and
+// communication operations advance it according to the platform performance
+// model; collectives synchronize all nodes to the maximum, exactly as a
+// barrier does on a real machine. In real-time mode the virtual clock is
+// simply unused and benches measure wall time.
+#pragma once
+
+namespace pcxx::rt {
+
+/// Monotone virtual time owned by a single node (thread).
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  /// Advance local time by `seconds` (>= 0).
+  void advance(double seconds) {
+    if (seconds > 0) now_ += seconds;
+  }
+
+  /// Jump forward to `t` if it is later than local time (used by barriers
+  /// and by device-queue waits; virtual time never goes backwards).
+  void syncTo(double t) {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace pcxx::rt

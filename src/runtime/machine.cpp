@@ -1,0 +1,357 @@
+#include "runtime/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "util/log.h"
+
+namespace pcxx::rt {
+namespace {
+
+thread_local Node* g_currentNode = nullptr;
+
+/// ceil(log2(p)) hop count used for tree-shaped collective cost.
+int collectiveHops(int nprocs) {
+  int hops = 0;
+  int span = 1;
+  while (span < nprocs) {
+    span *= 2;
+    ++hops;
+  }
+  return std::max(hops, 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+int Node::nprocs() const { return machine_->nprocs(); }
+
+void Node::send(int dest, int tag, std::span<const Byte> data) {
+  PCXX_REQUIRE(dest >= 0 && dest < nprocs(), "send: bad destination node");
+  const CommModel& comm = machine_->commModel();
+  Message msg;
+  msg.src = id_;
+  msg.tag = tag;
+  msg.payload.assign(data.begin(), data.end());
+  if (comm.enabled()) {
+    // Sender pays the startup latency; the payload arrives after the
+    // transfer completes.
+    clock_.advance(comm.latency);
+    msg.arrivalTime =
+        clock_.now() + comm.perByte * static_cast<double>(data.size());
+  } else {
+    msg.arrivalTime = 0.0;
+  }
+  machine_->node(dest).mailbox_.push(std::move(msg));
+}
+
+Message Node::recv(int src, int tag) {
+  Message msg = mailbox_.waitPop(src, tag);
+  clock_.syncTo(msg.arrivalTime);
+  return msg;
+}
+
+bool Node::probe(int src, int tag) { return mailbox_.probe(src, tag); }
+
+void Node::barrier() {
+  machine_->barrierSync(nullptr, /*applyCost=*/true);
+}
+
+std::vector<std::uint64_t> Node::allgatherU64(std::uint64_t v) {
+  Machine& m = *machine_;
+  m.stageU64_[static_cast<size_t>(id_)] = v;
+  m.barrierSync(
+      [&m, n = nprocs()] {
+        m.pendingCommBytes_ = 8ull * static_cast<std::uint64_t>(n);
+      },
+      /*applyCost=*/true);
+  std::vector<std::uint64_t> out = m.stageU64_;
+  m.barrierSync(nullptr, /*applyCost=*/false);
+  return out;
+}
+
+std::vector<ByteBuffer> Node::allgatherBytes(std::span<const Byte> mine) {
+  Machine& m = *machine_;
+  m.stageSpans_[static_cast<size_t>(id_)] = mine;
+  m.barrierSync(
+      [&m] {
+        for (const auto& s : m.stageSpans_) m.pendingCommBytes_ += s.size();
+      },
+      /*applyCost=*/true);
+  std::vector<ByteBuffer> out(static_cast<size_t>(nprocs()));
+  for (int i = 0; i < nprocs(); ++i) {
+    const auto& s = m.stageSpans_[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)].assign(s.begin(), s.end());
+  }
+  m.barrierSync(nullptr, /*applyCost=*/false);
+  return out;
+}
+
+std::vector<ByteBuffer> Node::gatherBytes(int root, std::span<const Byte> mine) {
+  PCXX_REQUIRE(root >= 0 && root < nprocs(), "gatherBytes: bad root");
+  Machine& m = *machine_;
+  m.stageSpans_[static_cast<size_t>(id_)] = mine;
+  m.barrierSync(
+      [&m] {
+        for (const auto& s : m.stageSpans_) m.pendingCommBytes_ += s.size();
+      },
+      /*applyCost=*/true);
+  std::vector<ByteBuffer> out;
+  if (id_ == root) {
+    out.resize(static_cast<size_t>(nprocs()));
+    for (int i = 0; i < nprocs(); ++i) {
+      const auto& s = m.stageSpans_[static_cast<size_t>(i)];
+      out[static_cast<size_t>(i)].assign(s.begin(), s.end());
+    }
+  }
+  m.barrierSync(nullptr, /*applyCost=*/false);
+  return out;
+}
+
+ByteBuffer Node::scatterBytes(int root,
+                              const std::vector<ByteBuffer>& toEach) {
+  PCXX_REQUIRE(root >= 0 && root < nprocs(), "scatterBytes: bad root");
+  PCXX_REQUIRE(id_ != root ||
+                   static_cast<int>(toEach.size()) == nprocs(),
+               "scatterBytes: root must pass one buffer per node");
+  Machine& m = *machine_;
+  if (id_ == root) {
+    m.stageVecs_[static_cast<size_t>(root)] = &toEach;
+  }
+  m.barrierSync(
+      [&m, root] {
+        for (const auto& buf : *m.stageVecs_[static_cast<size_t>(root)]) {
+          m.pendingCommBytes_ += buf.size();
+        }
+      },
+      /*applyCost=*/true);
+  ByteBuffer out =
+      (*m.stageVecs_[static_cast<size_t>(root)])[static_cast<size_t>(id_)];
+  m.barrierSync(nullptr, /*applyCost=*/false);
+  return out;
+}
+
+void Node::broadcastBytes(int root, ByteBuffer& data) {
+  PCXX_REQUIRE(root >= 0 && root < nprocs(), "broadcastBytes: bad root");
+  Machine& m = *machine_;
+  if (id_ == root) {
+    m.stageSpans_[static_cast<size_t>(root)] = data;
+  }
+  m.barrierSync(
+      [&m, root] {
+        m.pendingCommBytes_ = m.stageSpans_[static_cast<size_t>(root)].size();
+      },
+      /*applyCost=*/true);
+  const auto& src = m.stageSpans_[static_cast<size_t>(root)];
+  if (id_ != root) {
+    data.assign(src.begin(), src.end());
+  }
+  m.barrierSync(nullptr, /*applyCost=*/false);
+}
+
+std::vector<ByteBuffer> Node::alltoallv(
+    const std::vector<ByteBuffer>& sendTo) {
+  PCXX_REQUIRE(static_cast<int>(sendTo.size()) == nprocs(),
+               "alltoallv: need one buffer per destination node");
+  Machine& m = *machine_;
+  m.stageVecs_[static_cast<size_t>(id_)] = &sendTo;
+  m.barrierSync(
+      [&m, n = nprocs()] {
+        for (int s = 0; s < n; ++s) {
+          for (const auto& buf : *m.stageVecs_[static_cast<size_t>(s)]) {
+            m.pendingCommBytes_ += buf.size();
+          }
+        }
+      },
+      /*applyCost=*/true);
+  std::vector<ByteBuffer> out(static_cast<size_t>(nprocs()));
+  for (int s = 0; s < nprocs(); ++s) {
+    out[static_cast<size_t>(s)] =
+        (*m.stageVecs_[static_cast<size_t>(s)])[static_cast<size_t>(id_)];
+  }
+  m.barrierSync(nullptr, /*applyCost=*/false);
+  return out;
+}
+
+double Node::allreduceMax(double v) {
+  Machine& m = *machine_;
+  m.stageF64_[static_cast<size_t>(id_)] = v;
+  m.barrierSync(nullptr, /*applyCost=*/true);
+  const double out = *std::max_element(m.stageF64_.begin(), m.stageF64_.end());
+  m.barrierSync(nullptr, /*applyCost=*/false);
+  return out;
+}
+
+double Node::allreduceSum(double v) {
+  Machine& m = *machine_;
+  m.stageF64_[static_cast<size_t>(id_)] = v;
+  m.barrierSync(nullptr, /*applyCost=*/true);
+  double sum = 0.0;
+  for (double x : m.stageF64_) sum += x;
+  m.barrierSync(nullptr, /*applyCost=*/false);
+  return sum;
+}
+
+std::uint64_t Node::allreduceSumU64(std::uint64_t v) {
+  Machine& m = *machine_;
+  m.stageU64_[static_cast<size_t>(id_)] = v;
+  m.barrierSync(nullptr, /*applyCost=*/true);
+  std::uint64_t sum = 0;
+  for (std::uint64_t x : m.stageU64_) sum += x;
+  m.barrierSync(nullptr, /*applyCost=*/false);
+  return sum;
+}
+
+std::uint64_t Node::exclusiveScanU64(std::uint64_t v) {
+  Machine& m = *machine_;
+  m.stageU64_[static_cast<size_t>(id_)] = v;
+  m.barrierSync(nullptr, /*applyCost=*/true);
+  std::uint64_t prefix = 0;
+  for (int i = 0; i < id_; ++i) prefix += m.stageU64_[static_cast<size_t>(i)];
+  m.barrierSync(nullptr, /*applyCost=*/false);
+  return prefix;
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(int nprocs, CommModel comm) : nprocs_(nprocs), comm_(comm) {
+  PCXX_REQUIRE(nprocs >= 1, "Machine requires at least one node");
+  nodes_.reserve(static_cast<size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    auto node = std::unique_ptr<Node>(new Node());
+    node->machine_ = this;
+    node->id_ = i;
+    nodes_.push_back(std::move(node));
+  }
+  stageSpans_.resize(static_cast<size_t>(nprocs));
+  stageU64_.resize(static_cast<size_t>(nprocs));
+  stageF64_.resize(static_cast<size_t>(nprocs));
+  stageVecs_.resize(static_cast<size_t>(nprocs));
+}
+
+Machine::~Machine() = default;
+
+void Machine::run(const std::function<void(Node&)>& fn) {
+  // Fresh SPMD region: clear abort state, mailboxes, clocks.
+  {
+    std::lock_guard<std::mutex> lock(barrierMu_);
+    aborted_ = false;
+    barrierArrived_ = 0;
+  }
+  for (auto& node : nodes_) {
+    node->mailbox_.reset();
+    node->clock_.reset();
+  }
+
+  std::exception_ptr firstException;
+  std::mutex exceptionMu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (auto& nodePtr : nodes_) {
+    Node* node = nodePtr.get();
+    threads.emplace_back([this, node, &fn, &firstException, &exceptionMu] {
+      g_currentNode = node;
+      try {
+        fn(*node);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(exceptionMu);
+          if (!firstException) firstException = std::current_exception();
+        }
+        abort();
+      }
+      g_currentNode = nullptr;
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (firstException) std::rethrow_exception(firstException);
+}
+
+void Machine::abort() {
+  {
+    std::lock_guard<std::mutex> lock(barrierMu_);
+    aborted_ = true;
+  }
+  barrierCv_.notify_all();
+  for (auto& node : nodes_) node->mailbox_.abort();
+}
+
+bool Machine::aborted() const {
+  std::lock_guard<std::mutex> lock(barrierMu_);
+  return aborted_;
+}
+
+double Machine::maxVirtualTime() const {
+  double t = 0.0;
+  for (const auto& node : nodes_) t = std::max(t, node->clock().now());
+  return t;
+}
+
+void Machine::syncClocksLocked(bool applyCost) {
+  double maxClock = 0.0;
+  for (const auto& node : nodes_) {
+    maxClock = std::max(maxClock, node->clock().now());
+  }
+  double cost = 0.0;
+  if (comm_.enabled() && applyCost) {
+    cost = comm_.latency * collectiveHops(nprocs_) +
+           comm_.perByte * static_cast<double>(pendingCommBytes_);
+  }
+  pendingCommBytes_ = 0;
+  clockTarget_ = maxClock + cost;
+}
+
+void Machine::barrierSync(const std::function<void()>& completion,
+                          bool applyCost) {
+  double target;
+  {
+    std::unique_lock<std::mutex> lock(barrierMu_);
+    if (aborted_) {
+      throw Error("machine aborted while node was waiting at a barrier");
+    }
+    ++barrierArrived_;
+    if (barrierArrived_ == nprocs_) {
+      if (completion) completion();
+      syncClocksLocked(applyCost);
+      barrierArrived_ = 0;
+      ++barrierGeneration_;
+      target = clockTarget_;
+      barrierCv_.notify_all();
+    } else {
+      const std::uint64_t gen = barrierGeneration_;
+      barrierCv_.wait(lock, [this, gen] {
+        return barrierGeneration_ != gen || aborted_;
+      });
+      // Only treat the abort as fatal if the barrier did NOT complete:
+      // when all nodes arrived, every node gets the collective's result
+      // even if a peer aborted immediately afterwards — this keeps error
+      // propagation through collectives deterministic.
+      if (barrierGeneration_ == gen && aborted_) {
+        throw Error("machine aborted while node was waiting at a barrier");
+      }
+      target = clockTarget_;
+    }
+  }
+  if (g_currentNode != nullptr && g_currentNode->machine_ == this) {
+    g_currentNode->clock_.syncTo(target);
+  }
+}
+
+Node& thisNode() {
+  if (g_currentNode == nullptr) {
+    throw UsageError(
+        "thisNode(): the calling thread is not inside Machine::run()");
+  }
+  return *g_currentNode;
+}
+
+bool inNodeContext() { return g_currentNode != nullptr; }
+
+}  // namespace pcxx::rt

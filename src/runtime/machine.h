@@ -1,0 +1,188 @@
+// The node runtime: an SPMD "machine" of N nodes simulated by threads.
+//
+// This is the stand-in for the pC++ runtime layer the paper's library sits
+// on (message passing on the Paragon/CM-5, shared memory on the SGI
+// Challenge). A Machine owns `nprocs` logical nodes; Machine::run() executes
+// a function on every node concurrently (one thread per node), giving the
+// same SPMD execution + collectives model the d/stream implementation needs:
+//
+//   Machine m(8);
+//   m.run([&](Node& node) { ... node.barrier(); ... });
+//
+// Each node has a private mailbox for tagged point-to-point messages and a
+// virtual clock used by the simulation-mode performance model. Collectives
+// (barrier, broadcast, gather, allgather, alltoallv, reductions, scans)
+// synchronize all nodes and, in simulation mode, advance every virtual clock
+// to the maximum plus a modeled communication cost.
+//
+// If a node function throws, the machine aborts: blocked peers are woken
+// with an Error and run() rethrows the original exception, so failure
+// injection tests never deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "runtime/clock.h"
+#include "runtime/mailbox.h"
+#include "runtime/message.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace pcxx::rt {
+
+class Machine;
+
+/// Communication cost model applied to collectives and p2p messages in
+/// simulation mode. All-zero (the default) disables modeling.
+struct CommModel {
+  double latency = 0.0;  ///< startup cost per operation hop (seconds)
+  double perByte = 0.0;  ///< transfer cost per byte (seconds)
+
+  bool enabled() const { return latency > 0.0 || perByte > 0.0; }
+};
+
+/// One logical node of the machine. Only the owning thread may call
+/// non-const members; a reference is passed to the SPMD function by run().
+class Node {
+ public:
+  int id() const { return id_; }
+  int nprocs() const;
+  Machine& machine() const { return *machine_; }
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+
+  // -- point-to-point ------------------------------------------------------
+
+  /// Send bytes to node `dest` with a tag. Never blocks.
+  void send(int dest, int tag, std::span<const Byte> data);
+
+  /// Block until a message matching (src, tag) arrives.
+  Message recv(int src = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking: is a matching message queued?
+  bool probe(int src = kAnySource, int tag = kAnyTag);
+
+  /// Send a single trivially copyable value.
+  template <typename T>
+  void sendValue(int dest, int tag, const T& v) {
+    send(dest, tag, asBytes(v));
+  }
+
+  /// Receive a single trivially copyable value from (src, tag).
+  template <typename T>
+  T recvValue(int src, int tag) {
+    Message m = recv(src, tag);
+    if (m.payload.size() != sizeof(T)) {
+      throw Error("recvValue: payload size mismatch");
+    }
+    T out;
+    std::memcpy(&out, m.payload.data(), sizeof(T));
+    return out;
+  }
+
+  // -- collectives (all nodes must call with matching arguments) -----------
+
+  void barrier();
+  std::vector<std::uint64_t> allgatherU64(std::uint64_t v);
+  std::vector<ByteBuffer> allgatherBytes(std::span<const Byte> mine);
+  /// Gather to `root`; non-root nodes get an empty vector.
+  std::vector<ByteBuffer> gatherBytes(int root, std::span<const Byte> mine);
+  /// Scatter from `root`: root passes one buffer per node; every node
+  /// (including root) returns the buffer addressed to it. Non-root nodes
+  /// pass an empty vector.
+  ByteBuffer scatterBytes(int root, const std::vector<ByteBuffer>& toEach);
+  /// Broadcast `data` from `root`; on other nodes `data` is replaced.
+  void broadcastBytes(int root, ByteBuffer& data);
+  /// Each node passes one buffer per destination; returns one buffer per
+  /// source (buffers addressed to this node).
+  std::vector<ByteBuffer> alltoallv(const std::vector<ByteBuffer>& sendTo);
+  double allreduceMax(double v);
+  double allreduceSum(double v);
+  std::uint64_t allreduceSumU64(std::uint64_t v);
+  /// Exclusive prefix sum across node ids (node 0 receives 0).
+  std::uint64_t exclusiveScanU64(std::uint64_t v);
+
+ private:
+  friend class Machine;
+  Node() = default;
+
+  Machine* machine_ = nullptr;
+  int id_ = -1;
+  VirtualClock clock_;
+  Mailbox mailbox_;
+};
+
+/// A simulated distributed-memory machine of `nprocs` nodes.
+class Machine {
+ public:
+  explicit Machine(int nprocs, CommModel comm = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int nprocs() const { return nprocs_; }
+  const CommModel& commModel() const { return comm_; }
+
+  /// Run `fn` on every node concurrently; returns when all nodes finish.
+  /// Virtual clocks and mailboxes are reset at entry. If any node throws,
+  /// the machine aborts the others and rethrows the first exception.
+  void run(const std::function<void(Node&)>& fn);
+
+  /// Abort: wake everything blocked in recv()/collectives with an Error.
+  void abort();
+  bool aborted() const;
+
+  /// Direct node access (e.g. to inspect clocks after run()).
+  Node& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
+
+  /// Maximum virtual time over all nodes (the simulated makespan).
+  double maxVirtualTime() const;
+
+ private:
+  friend class Node;
+
+  // Two-phase collective rendezvous. Phase 1 publishes inputs and runs
+  // `completion` (on the last arriving thread, which may set
+  // pendingCommBytes_ for the cost model); phase 2 releases shared staging
+  // so the next collective can reuse it and applies no cost.
+  void barrierSync(const std::function<void()>& completion, bool applyCost);
+
+  void syncClocksLocked(bool applyCost);
+
+  int nprocs_;
+  CommModel comm_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  // Sense-reversing barrier.
+  mutable std::mutex barrierMu_;
+  std::condition_variable barrierCv_;
+  int barrierArrived_ = 0;
+  std::uint64_t barrierGeneration_ = 0;
+  bool aborted_ = false;
+
+  // Collective staging (valid between phase-1 and phase-2 barriers).
+  std::vector<std::span<const Byte>> stageSpans_;
+  std::vector<std::uint64_t> stageU64_;
+  std::vector<double> stageF64_;
+  std::vector<const std::vector<ByteBuffer>*> stageVecs_;
+  std::uint64_t pendingCommBytes_ = 0;
+  double clockTarget_ = 0.0;
+};
+
+/// The node bound to the calling thread. Throws if the caller is not inside
+/// Machine::run(). This is how implicitly contextual constructors (e.g.
+/// Distribution, d/stream open) locate the runtime, mirroring pC++'s
+/// implicit runtime context.
+Node& thisNode();
+
+/// True when the calling thread is executing inside Machine::run().
+bool inNodeContext();
+
+}  // namespace pcxx::rt

@@ -1,0 +1,57 @@
+#include "runtime/mailbox.h"
+
+#include <algorithm>
+
+namespace pcxx::rt {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::waitPop(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (aborted_) {
+      throw Error("machine aborted while node was waiting in recv()");
+    }
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Message& m) { return matches(m, src, tag); });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int src, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [&](const Message& m) { return matches(m, src, tag); });
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+  aborted_ = false;
+}
+
+size_t Mailbox::pendingCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace pcxx::rt

@@ -1,0 +1,50 @@
+// Per-node mailbox: a tag- and source-matched message queue.
+//
+// Each node owns one mailbox. send() enqueues into the destination's
+// mailbox; recv() blocks until a message matching (src, tag) is present.
+// Matching follows MPI semantics: kAnySource / kAnyTag are wildcards, and
+// messages from the same (src, tag) pair are delivered in send order.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "runtime/message.h"
+#include "util/error.h"
+
+namespace pcxx::rt {
+
+class Mailbox {
+ public:
+  /// Enqueue a message (called by the sending node's thread).
+  void push(Message msg);
+
+  /// Block until a message matching (src, tag) arrives, then remove and
+  /// return it. Throws Error if the machine aborts while waiting.
+  Message waitPop(int src, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(int src, int tag);
+
+  /// Wake all waiters and make subsequent waits throw (machine abort).
+  void abort();
+
+  /// Clear messages and the abort flag (between SPMD regions).
+  void reset();
+
+  size_t pendingCount();
+
+ private:
+  bool matches(const Message& m, int src, int tag) const {
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace pcxx::rt

@@ -1,0 +1,26 @@
+// Point-to-point message types for the node runtime.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/bytes.h"
+
+namespace pcxx::rt {
+
+/// Matches any source node in recv().
+inline constexpr int kAnySource = -1;
+/// Matches any tag in recv().
+inline constexpr int kAnyTag = -1;
+
+/// A delivered point-to-point message.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  ByteBuffer payload;
+  /// Virtual arrival time (simulation mode); the receiver's clock is
+  /// advanced to at least this value when the message is received.
+  double arrivalTime = 0.0;
+};
+
+}  // namespace pcxx::rt

@@ -1,0 +1,95 @@
+#include "runtime/rio.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "util/error.h"
+#include "util/strfmt.h"
+
+namespace pcxx::rt::rio {
+
+void printf(Node& node, const char* fmt, ...) {
+  if (node.id() == 0) {
+    va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fwrite(msg.data(), 1, msg.size(), stdout);
+    std::fflush(stdout);
+  }
+  node.barrier();
+}
+
+ByteBuffer readFileReplicated(Node& node, const std::string& path) {
+  ByteBuffer data;
+  bool failed = false;
+  std::string error;
+  if (node.id() == 0) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      failed = true;
+      error = "cannot open '" + path + "' for reading";
+    } else {
+      in.seekg(0, std::ios::end);
+      const auto size = in.tellg();
+      in.seekg(0, std::ios::beg);
+      data.resize(static_cast<size_t>(size));
+      in.read(reinterpret_cast<char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+      if (!in) {
+        failed = true;
+        error = "short read from '" + path + "'";
+      }
+    }
+  }
+  // Broadcast the failure flag first so all nodes throw consistently.
+  const double failFlag = node.allreduceMax(failed ? 1.0 : 0.0);
+  if (failFlag > 0.0) {
+    throw IoError(node.id() == 0 ? error
+                                 : "replicated read of '" + path + "' failed");
+  }
+  node.broadcastBytes(0, data);
+  return data;
+}
+
+void writeFileReplicated(Node& node, const std::string& path,
+                         std::span<const Byte> data) {
+  bool failed = false;
+  std::string error;
+  if (node.id() == 0) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      failed = true;
+      error = "cannot open '" + path + "' for writing";
+    } else {
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size()));
+      if (!out) {
+        failed = true;
+        error = "short write to '" + path + "'";
+      }
+    }
+  }
+  const double failFlag = node.allreduceMax(failed ? 1.0 : 0.0);
+  if (failFlag > 0.0) {
+    throw IoError(node.id() == 0
+                      ? error
+                      : "replicated write of '" + path + "' failed");
+  }
+}
+
+std::string readLineReplicated(Node& node) {
+  ByteBuffer data;
+  if (node.id() == 0) {
+    std::string line;
+    if (std::getline(std::cin, line)) {
+      data.assign(line.begin(), line.end());
+    }
+  }
+  node.broadcastBytes(0, data);
+  return std::string(data.begin(), data.end());
+}
+
+}  // namespace pcxx::rt::rio

@@ -1,0 +1,32 @@
+// Replicated I/O on local (non-distributed) data — paper Section 4.2.
+//
+// pC++ transforms programs so that local data replicated on all nodes is
+// output by only one node, and on input is read by one node and broadcast
+// to the rest. These collectives provide that facility as a library: every
+// node calls them (they are collective operations), node 0 performs the
+// actual OS-level I/O, and input results are broadcast.
+#pragma once
+
+#include <string>
+
+#include "runtime/machine.h"
+#include "util/bytes.h"
+
+namespace pcxx::rt::rio {
+
+/// Collective printf: all nodes call; only node 0 writes to stdout.
+[[gnu::format(printf, 2, 3)]] void printf(Node& node, const char* fmt, ...);
+
+/// Collective: node 0 reads the whole file at `path`; contents are broadcast
+/// so every node returns an identical buffer. Throws IoError on failure.
+ByteBuffer readFileReplicated(Node& node, const std::string& path);
+
+/// Collective: node 0 writes `data` to `path` (truncating). Throws IoError.
+void writeFileReplicated(Node& node, const std::string& path,
+                         std::span<const Byte> data);
+
+/// Collective: node 0 reads one line from stdin (or returns "" at EOF) and
+/// the line is broadcast to all nodes.
+std::string readLineReplicated(Node& node);
+
+}  // namespace pcxx::rt::rio

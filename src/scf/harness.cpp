@@ -1,0 +1,205 @@
+#include "scf/harness.h"
+
+#include <chrono>
+
+#include "collection/collection.h"
+#include "pfs/parallel_file.h"
+#include "runtime/machine.h"
+#include "scf/io_methods.h"
+#include "scf/workload.h"
+#include "util/error.h"
+#include "util/strfmt.h"
+
+namespace pcxx::scf {
+namespace {
+
+/// Interconnect model per platform (used by the runtime's collectives).
+rt::CommModel commModelFor(const std::string& platform) {
+  if (platform == "paragon") {
+    return rt::CommModel{100e-6, 1.25e-8};  // ~100us latency, ~80 MB/s links
+  }
+  if (platform == "sgi") {
+    return rt::CommModel{5e-6, 2e-9};  // shared-memory "messages"
+  }
+  return rt::CommModel{};
+}
+
+pfs::PfsConfig pfsConfigFor(const std::string& platform, int nprocs) {
+  pfs::PfsConfig cfg;
+  cfg.backend = pfs::PfsConfig::Backend::Memory;
+  cfg.perf = pfs::paramsByName(platform, nprocs);
+  return cfg;
+}
+
+/// Run one (method, size) measurement: output then input on a fresh file
+/// system. Returns seconds — virtual when the platform model is enabled,
+/// wall-clock otherwise.
+double runCell(const BenchConfig& cfg, IoMethod& method,
+               std::int64_t segments) {
+  rt::Machine machine(cfg.nprocs, commModelFor(cfg.platform));
+  pfs::Pfs fs(pfsConfigFor(cfg.platform, cfg.nprocs));
+  const bool simulated = fs.model().enabled();
+
+  std::int64_t badValues = 0;
+  const auto wallStart = std::chrono::steady_clock::now();
+  machine.run([&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(segments, &P, coll::DistKind::Block);
+    coll::Collection<Segment> data(&d);
+    fillDeterministic(data, cfg.particlesPerSegment);
+
+    method.output(node, fs, data, "scf_particles");
+
+    coll::Collection<Segment> back(&d);
+    method.input(node, fs, back, "scf_particles", cfg.particlesPerSegment);
+
+    if (cfg.verify) {
+      const std::int64_t local = verifyDeterministic(back,
+                                                     cfg.particlesPerSegment);
+      const std::int64_t total = static_cast<std::int64_t>(
+          node.allreduceSumU64(static_cast<std::uint64_t>(local)));
+      if (node.id() == 0) badValues = total;
+    }
+  });
+  const auto wallEnd = std::chrono::steady_clock::now();
+
+  if (cfg.verify && badValues != 0) {
+    throw InternalError(method.name() + " corrupted " +
+                        std::to_string(badValues) + " values");
+  }
+  if (simulated) {
+    return machine.maxVirtualTime();
+  }
+  return std::chrono::duration<double>(wallEnd - wallStart).count();
+}
+
+}  // namespace
+
+BenchTableResult runBenchTable(const BenchConfig& config) {
+  BenchTableResult result;
+  result.config = config;
+  auto unbuffered = makeUnbufferedIo();
+  auto manual = makeManualBufferingIo();
+  auto streams = makeStreamsIo(config.sortedRead);
+
+  for (std::int64_t segments : config.segmentCounts) {
+    CellResult cell;
+    cell.segments = segments;
+    cell.bytes = static_cast<std::uint64_t>(segments) *
+                 (sizeof(int) +
+                  7ull * 8ull *
+                      static_cast<std::uint64_t>(config.particlesPerSegment));
+    cell.unbuffered = runCell(config, *unbuffered, segments);
+    cell.manual = runCell(config, *manual, segments);
+    cell.streams = runCell(config, *streams, segments);
+    result.cells.push_back(cell);
+  }
+  return result;
+}
+
+Table BenchTableResult::toTable() const {
+  Table t(config.title);
+  std::vector<std::string> header{"I/O Size (# of Segments)"};
+  for (const CellResult& c : cells) {
+    header.push_back(strfmt("%s (%lld)",
+                            humanBytes(c.bytes).c_str(),
+                            static_cast<long long>(c.segments)));
+  }
+  t.setHeader(std::move(header));
+
+  auto row = [&](const std::string& label,
+                 const std::function<double(const CellResult&)>& get,
+                 bool pct = false) {
+    std::vector<std::string> cellsOut{label};
+    for (const CellResult& c : cells) {
+      cellsOut.push_back(pct ? strfmt("%.1f%%", get(c))
+                             : humanSeconds(get(c)) + " sec.");
+    }
+    t.addRow(std::move(cellsOut));
+  };
+  row("Unbuffered I/O", [](const CellResult& c) { return c.unbuffered; });
+  row("Manual Buffering", [](const CellResult& c) { return c.manual; });
+  row("pC++/streams", [](const CellResult& c) { return c.streams; });
+  row("% of Manual Buf.", [](const CellResult& c) { return c.pctOfManual(); },
+      /*pct=*/true);
+  t.setFootnote("timings: output operation followed by input operation; "
+                "input uses " +
+                std::string(config.sortedRead ? "read()" : "unsortedRead()") +
+                "; platform model: " + config.platform);
+  return t;
+}
+
+BenchConfig table1Paragon4() {
+  return BenchConfig{
+      "Table 1: Benchmark Results on Intel Paragon (4 processors)",
+      "paragon", 4, {256, 512, 1000, 2000}, 100, false, true};
+}
+
+BenchConfig table2Paragon8() {
+  return BenchConfig{
+      "Table 2: Benchmark Results on Intel Paragon (8 processors)",
+      "paragon", 8, {256, 512, 1000, 2000}, 100, false, true};
+}
+
+BenchConfig table3SgiUni() {
+  return BenchConfig{
+      "Table 3: Benchmark Results on Uniprocessor SGI Challenge",
+      "sgi", 1, {1000, 2000, 20000}, 100, false, true};
+}
+
+BenchConfig table4Sgi8() {
+  return BenchConfig{
+      "Table 4: Benchmark Results on Multiprocessor SGI Challenge "
+      "(8 processors)",
+      "sgi", 8, {1000, 2000, 8000}, 100, false, true};
+}
+
+PaperRow paperValues(int tableId) {
+  switch (tableId) {
+    case 1:
+      return PaperRow{{7.13, 14.73, 283.00, 556.78},
+                      {2.14, 3.04, 5.42, 54.17},
+                      {2.47, 3.31, 5.71, 55.00}};
+    case 2:
+      return PaperRow{{7.53, 14.47, 273.77, 561.72},
+                      {2.91, 3.75, 5.72, 9.69},
+                      {3.36, 4.20, 6.16, 10.19}};
+    case 3:
+      return PaperRow{{1.68, 3.42, 32.20},
+                      {1.05, 2.13, 20.9},
+                      {1.32, 2.71, 21.84}};
+    case 4:
+      return PaperRow{{0.55, 1.10, 4.95},
+                      {0.22, 0.34, 2.38},
+                      {0.39, 0.75, 2.65}};
+    default:
+      throw UsageError("paperValues: table id must be 1..4");
+  }
+}
+
+void printWithPaperComparison(int tableId, const BenchTableResult& result) {
+  result.toTable().print();
+  const PaperRow paper = paperValues(tableId);
+  Table t(strfmt("Paper-reported values (PPoPP '95, Table %d)", tableId));
+  std::vector<std::string> header{"I/O Size (# of Segments)"};
+  for (const CellResult& c : result.cells) {
+    header.push_back(strfmt("%lld", static_cast<long long>(c.segments)));
+  }
+  t.setHeader(std::move(header));
+  auto row = [&](const std::string& label, const std::vector<double>& vals) {
+    std::vector<std::string> cells{label};
+    for (double v : vals) cells.push_back(humanSeconds(v));
+    t.addRow(std::move(cells));
+  };
+  row("Unbuffered I/O", paper.unbuffered);
+  row("Manual Buffering", paper.manual);
+  row("pC++/streams", paper.streams);
+  std::vector<std::string> pct{"% of Manual Buf."};
+  for (size_t i = 0; i < paper.streams.size(); ++i) {
+    pct.push_back(strfmt("%.1f%%", 100.0 * paper.manual[i] / paper.streams[i]));
+  }
+  t.addRow(std::move(pct));
+  t.print();
+}
+
+}  // namespace pcxx::scf

@@ -1,0 +1,75 @@
+// The SCF benchmark harness: reproduces the paper's Figure 5 tables.
+//
+// Each table is a sweep over I/O sizes (segment counts) with three methods:
+// unbuffered OS-primitive I/O, manual buffering, and pC++/streams. Each
+// measurement is "an output operation followed by an input operation on a
+// distributed data structure" (Figure 5 caption); the d/streams
+// unsortedRead primitive is used for input.
+//
+// Two timing modes:
+//  * simulation (default): the pfs performance model advances virtual
+//    clocks calibrated to the paper's platforms ("paragon", "sgi"); the
+//    reported seconds are virtual and comparable to the 1995 tables.
+//  * real: no model; wall-clock seconds on the host are reported.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace pcxx::scf {
+
+struct BenchConfig {
+  std::string title;          ///< e.g. "Table 1: ... Intel Paragon (4 processors)"
+  std::string platform;       ///< "paragon", "sgi", or "none" (real time)
+  int nprocs = 4;
+  std::vector<std::int64_t> segmentCounts;
+  int particlesPerSegment = 100;
+  bool sortedRead = false;    ///< use read() instead of unsortedRead()
+  bool verify = true;         ///< check data integrity after input
+};
+
+struct CellResult {
+  std::int64_t segments = 0;
+  std::uint64_t bytes = 0;    ///< collection payload (one direction)
+  double unbuffered = 0.0;    ///< seconds (output + input)
+  double manual = 0.0;
+  double streams = 0.0;
+
+  double pctOfManual() const {
+    return streams > 0.0 ? 100.0 * manual / streams : 0.0;
+  }
+};
+
+struct BenchTableResult {
+  BenchConfig config;
+  std::vector<CellResult> cells;
+
+  /// Render in the paper's row layout (I/O size columns; method rows;
+  /// final "% of Manual Buf." row).
+  Table toTable() const;
+};
+
+/// Run one full table. Each (method, size) cell runs on a fresh file
+/// system so cache state does not leak between measurements.
+BenchTableResult runBenchTable(const BenchConfig& config);
+
+/// The paper's four tables.
+BenchConfig table1Paragon4();
+BenchConfig table2Paragon8();
+BenchConfig table3SgiUni();
+BenchConfig table4Sgi8();
+
+/// Paper-reported values for a table id (1..4), for side-by-side printing.
+struct PaperRow {
+  std::vector<double> unbuffered, manual, streams;
+};
+PaperRow paperValues(int tableId);
+
+/// Print measured vs paper for one table id.
+void printWithPaperComparison(int tableId, const BenchTableResult& result);
+
+}  // namespace pcxx::scf

@@ -1,0 +1,125 @@
+#include "scf/physics.h"
+
+#include <cmath>
+
+namespace pcxx::scf {
+
+NBodyStepper::Gathered NBodyStepper::gatherParticles(
+    rt::Node& node, coll::Collection<Segment>& segments) {
+  // Pack local particles (x, y, z, mass) and allgather.
+  ByteBuffer local;
+  segments.forEachLocal([&](Segment& seg, std::int64_t) {
+    for (int k = 0; k < seg.numberOfParticles; ++k) {
+      const double vals[4] = {seg.x[k], seg.y[k], seg.z[k], seg.mass[k]};
+      const Byte* p = reinterpret_cast<const Byte*>(vals);
+      local.insert(local.end(), p, p + sizeof(vals));
+    }
+  });
+  const auto buffers = node.allgatherBytes(local);
+  Gathered all;
+  for (const ByteBuffer& buf : buffers) {
+    const size_t n = buf.size() / (4 * sizeof(double));
+    const double* vals = reinterpret_cast<const double*>(buf.data());
+    for (size_t i = 0; i < n; ++i) {
+      all.x.push_back(vals[4 * i + 0]);
+      all.y.push_back(vals[4 * i + 1]);
+      all.z.push_back(vals[4 * i + 2]);
+      all.mass.push_back(vals[4 * i + 3]);
+    }
+  }
+  return all;
+}
+
+void NBodyStepper::accumulateAccel(const Gathered& all, const Segment& seg,
+                                   int k, double& ax, double& ay,
+                                   double& az) const {
+  const double eps2 = config_.softening * config_.softening;
+  ax = ay = az = 0.0;
+  for (size_t j = 0; j < all.x.size(); ++j) {
+    const double dx = all.x[j] - seg.x[k];
+    const double dy = all.y[j] - seg.y[k];
+    const double dz = all.z[j] - seg.z[k];
+    const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+    if (r2 <= eps2 * 1.0000001 && dx == 0 && dy == 0 && dz == 0) {
+      continue;  // self-interaction
+    }
+    const double inv = 1.0 / (r2 * std::sqrt(r2));
+    const double f = config_.gravity * all.mass[j] * inv;
+    ax += f * dx;
+    ay += f * dy;
+    az += f * dz;
+  }
+}
+
+void NBodyStepper::step(rt::Node& node, coll::Collection<Segment>& segments) {
+  const double half = 0.5 * config_.dt;
+
+  // Kick (half) using current positions.
+  Gathered all = gatherParticles(node, segments);
+  segments.forEachLocal([&](Segment& seg, std::int64_t) {
+    for (int k = 0; k < seg.numberOfParticles; ++k) {
+      double ax, ay, az;
+      accumulateAccel(all, seg, k, ax, ay, az);
+      seg.vx[k] += half * ax;
+      seg.vy[k] += half * ay;
+      seg.vz[k] += half * az;
+    }
+  });
+
+  // Drift.
+  segments.forEachLocal([&](Segment& seg, std::int64_t) {
+    for (int k = 0; k < seg.numberOfParticles; ++k) {
+      seg.x[k] += config_.dt * seg.vx[k];
+      seg.y[k] += config_.dt * seg.vy[k];
+      seg.z[k] += config_.dt * seg.vz[k];
+    }
+  });
+
+  // Kick (half) using new positions.
+  all = gatherParticles(node, segments);
+  segments.forEachLocal([&](Segment& seg, std::int64_t) {
+    for (int k = 0; k < seg.numberOfParticles; ++k) {
+      double ax, ay, az;
+      accumulateAccel(all, seg, k, ax, ay, az);
+      seg.vx[k] += half * ax;
+      seg.vy[k] += half * ay;
+      seg.vz[k] += half * az;
+    }
+  });
+}
+
+double NBodyStepper::totalEnergy(rt::Node& node,
+                                 coll::Collection<Segment>& segments) {
+  const Gathered all = gatherParticles(node, segments);
+  const double eps2 = config_.softening * config_.softening;
+
+  double kinetic = 0.0;
+  segments.forEachLocal([&](Segment& seg, std::int64_t) {
+    for (int k = 0; k < seg.numberOfParticles; ++k) {
+      kinetic += 0.5 * seg.mass[k] *
+                 (seg.vx[k] * seg.vx[k] + seg.vy[k] * seg.vy[k] +
+                  seg.vz[k] * seg.vz[k]);
+    }
+  });
+
+  // Potential: each node sums pairs (local particle, all particles) with a
+  // factor 1/2 for double counting.
+  double potential = 0.0;
+  segments.forEachLocal([&](Segment& seg, std::int64_t) {
+    for (int k = 0; k < seg.numberOfParticles; ++k) {
+      for (size_t j = 0; j < all.x.size(); ++j) {
+        const double dx = all.x[j] - seg.x[k];
+        const double dy = all.y[j] - seg.y[k];
+        const double dz = all.z[j] - seg.z[k];
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 == 0.0) continue;
+        potential -= 0.5 * config_.gravity * seg.mass[k] * all.mass[j] /
+                     std::sqrt(r2 + eps2);
+      }
+    }
+  });
+
+  return node.allreduceSum(kinetic + potential);
+}
+
+}  // namespace pcxx::scf

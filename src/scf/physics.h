@@ -1,0 +1,47 @@
+// A small N-body stepper over Collection<Segment>, used by the examples.
+//
+// The paper's SCF application is a Grand Challenge cosmology code
+// (Hernquist & Ostriker's self-consistent field method); the benchmark only
+// exercises its I/O skeleton. For the examples we implement a direct-sum
+// leapfrog integrator with Plummer softening, which gives the checkpointing
+// and visualization examples honest dynamics without reproducing the full
+// SCF basis expansion (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+
+#include "collection/collection.h"
+#include "scf/segment.h"
+
+namespace pcxx::scf {
+
+struct StepperConfig {
+  double dt = 1e-3;
+  double softening = 0.05;
+  double gravity = 1.0;
+};
+
+class NBodyStepper {
+ public:
+  explicit NBodyStepper(StepperConfig config) : config_(config) {}
+
+  /// One leapfrog (kick-drift-kick) step. Collective: positions and masses
+  /// are allgathered for the direct force sum.
+  void step(rt::Node& node, coll::Collection<Segment>& segments);
+
+  /// Total energy (kinetic + potential) of the system; collective.
+  double totalEnergy(rt::Node& node, coll::Collection<Segment>& segments);
+
+ private:
+  struct Gathered {
+    std::vector<double> x, y, z, mass;
+  };
+  Gathered gatherParticles(rt::Node& node,
+                           coll::Collection<Segment>& segments);
+  void accumulateAccel(const Gathered& all, const Segment& seg, int k,
+                       double& ax, double& ay, double& az) const;
+
+  StepperConfig config_;
+};
+
+}  // namespace pcxx::scf

@@ -1,0 +1,95 @@
+// The SCF benchmark data structure (paper §4.3).
+//
+// "SCF is an N-body code in which the primary data structure is a one
+// dimensional collection of Segments where each segment stores data
+// corresponding to several particles. Per-particle information includes
+// the x, y, and z coordinates of the particles, their x, y, and z
+// velocities, and their masses."
+//
+// A segment with n particles holds 4 + 7*8*n bytes of payload: 100
+// particles/segment gives the paper's 5.6 KB per segment (1000 segments =
+// 5.6 MB).
+#pragma once
+
+#include <cstdint>
+
+#include "dstream/element_io.h"
+
+namespace pcxx::scf {
+
+struct Segment {
+  int numberOfParticles = 0;
+  double* x = nullptr;
+  double* y = nullptr;
+  double* z = nullptr;
+  double* vx = nullptr;
+  double* vy = nullptr;
+  double* vz = nullptr;
+  double* mass = nullptr;
+
+  Segment() = default;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+  ~Segment() { release(); }
+
+  /// Allocate per-particle arrays for `n` particles (freeing any previous).
+  void allocate(int n) {
+    release();
+    numberOfParticles = n;
+    if (n > 0) {
+      x = new double[static_cast<size_t>(n)];
+      y = new double[static_cast<size_t>(n)];
+      z = new double[static_cast<size_t>(n)];
+      vx = new double[static_cast<size_t>(n)];
+      vy = new double[static_cast<size_t>(n)];
+      vz = new double[static_cast<size_t>(n)];
+      mass = new double[static_cast<size_t>(n)];
+    }
+  }
+
+  void release() {
+    delete[] x;
+    delete[] y;
+    delete[] z;
+    delete[] vx;
+    delete[] vy;
+    delete[] vz;
+    delete[] mass;
+    x = y = z = vx = vy = vz = mass = nullptr;
+    numberOfParticles = 0;
+  }
+
+  /// Payload bytes this segment contributes to a d/stream record.
+  std::uint64_t payloadBytes() const {
+    return sizeof(int) +
+           7ull * 8ull * static_cast<std::uint64_t>(numberOfParticles);
+  }
+};
+
+// d/stream insertion/extraction for Segment (paper §4.1 style; also what
+// the stream-gen tool generates for this type).
+declareStreamInserter(Segment& seg) {
+  s << seg.numberOfParticles;
+  s << ds::array(seg.x, seg.numberOfParticles);
+  s << ds::array(seg.y, seg.numberOfParticles);
+  s << ds::array(seg.z, seg.numberOfParticles);
+  s << ds::array(seg.vx, seg.numberOfParticles);
+  s << ds::array(seg.vy, seg.numberOfParticles);
+  s << ds::array(seg.vz, seg.numberOfParticles);
+  s << ds::array(seg.mass, seg.numberOfParticles);
+}
+
+declareStreamExtractor(Segment& seg) {
+  int n = 0;
+  s >> n;
+  if (n != seg.numberOfParticles) seg.allocate(n);
+  s >> ds::array(seg.x, seg.numberOfParticles);
+  s >> ds::array(seg.y, seg.numberOfParticles);
+  s >> ds::array(seg.z, seg.numberOfParticles);
+  s >> ds::array(seg.vx, seg.numberOfParticles);
+  s >> ds::array(seg.vy, seg.numberOfParticles);
+  s >> ds::array(seg.vz, seg.numberOfParticles);
+  s >> ds::array(seg.mass, seg.numberOfParticles);
+}
+
+}  // namespace pcxx::scf

@@ -1,0 +1,70 @@
+#include "scf/workload.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pcxx::scf {
+
+void fillPlummer(coll::Collection<Segment>& segments, int particlesPerSegment,
+                 std::uint64_t seed) {
+  segments.forEachLocal([&](Segment& seg, std::int64_t g) {
+    seg.allocate(particlesPerSegment);
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(g + 1)));
+    for (int k = 0; k < particlesPerSegment; ++k) {
+      // Plummer sphere radius sampling: r = a / sqrt(u^(-2/3) - 1).
+      const double u = std::max(rng.uniform01(), 1e-12);
+      const double r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+      const double theta = std::acos(2.0 * rng.uniform01() - 1.0);
+      const double phi = 2.0 * M_PI * rng.uniform01();
+      seg.x[k] = r * std::sin(theta) * std::cos(phi);
+      seg.y[k] = r * std::sin(theta) * std::sin(phi);
+      seg.z[k] = r * std::cos(theta);
+      // Modest isotropic velocities.
+      seg.vx[k] = rng.uniform(-0.1, 0.1);
+      seg.vy[k] = rng.uniform(-0.1, 0.1);
+      seg.vz[k] = rng.uniform(-0.1, 0.1);
+      seg.mass[k] = 1.0 / static_cast<double>(particlesPerSegment);
+    }
+  });
+}
+
+double deterministicValue(std::int64_t g, int k, int f) {
+  return static_cast<double>(g) * 1000.0 + static_cast<double>(k) * 10.0 +
+         static_cast<double>(f);
+}
+
+void fillDeterministic(coll::Collection<Segment>& segments,
+                       int particlesPerSegment) {
+  segments.forEachLocal([&](Segment& seg, std::int64_t g) {
+    seg.allocate(particlesPerSegment);
+    double* fields[7] = {seg.x, seg.y, seg.z, seg.vx, seg.vy, seg.vz,
+                         seg.mass};
+    for (int k = 0; k < particlesPerSegment; ++k) {
+      for (int f = 0; f < 7; ++f) {
+        fields[f][k] = deterministicValue(g, k, f);
+      }
+    }
+  });
+}
+
+std::int64_t verifyDeterministic(const coll::Collection<Segment>& segments,
+                                 int particlesPerSegment) {
+  std::int64_t mismatches = 0;
+  segments.forEachLocal([&](const Segment& seg, std::int64_t g) {
+    if (seg.numberOfParticles != particlesPerSegment) {
+      ++mismatches;
+      return;
+    }
+    const double* fields[7] = {seg.x, seg.y, seg.z, seg.vx,
+                               seg.vy, seg.vz, seg.mass};
+    for (int k = 0; k < particlesPerSegment; ++k) {
+      for (int f = 0; f < 7; ++f) {
+        if (fields[f][k] != deterministicValue(g, k, f)) ++mismatches;
+      }
+    }
+  });
+  return mismatches;
+}
+
+}  // namespace pcxx::scf

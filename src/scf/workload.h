@@ -1,0 +1,32 @@
+// Workload generation for the SCF benchmark and examples.
+#pragma once
+
+#include <cstdint>
+
+#include "collection/collection.h"
+#include "scf/segment.h"
+
+namespace pcxx::scf {
+
+/// Fill every local segment with `particlesPerSegment` particles drawn from
+/// a Plummer-like sphere (deterministic per global segment index, so any
+/// node count generates the same global data set).
+void fillPlummer(coll::Collection<Segment>& segments, int particlesPerSegment,
+                 std::uint64_t seed);
+
+/// Deterministic synthetic fill used by tests: every value is a function of
+/// (global segment index, particle index, field), so readers can verify
+/// content without communicating.
+void fillDeterministic(coll::Collection<Segment>& segments,
+                       int particlesPerSegment);
+
+/// Verify a deterministically filled collection; returns the number of
+/// mismatching values on this node.
+std::int64_t verifyDeterministic(const coll::Collection<Segment>& segments,
+                                 int particlesPerSegment);
+
+/// Expected value for field `f` (0..6 = x,y,z,vx,vy,vz,mass) of particle
+/// `k` in global segment `g` under the deterministic fill.
+double deterministicValue(std::int64_t g, int k, int f);
+
+}  // namespace pcxx::scf

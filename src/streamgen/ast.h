@@ -1,0 +1,44 @@
+// AST for the stream-gen C++ subset: struct/class definitions with data
+// members, enough to generate d/stream insertion and extraction functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcxx::sg {
+
+/// How a field will be streamed by the generated code.
+enum class FieldCategory {
+  Scalar,          ///< arithmetic / enum / user struct streamed by value
+  FixedArray,      ///< T name[N] of scalars
+  SizedPointer,    ///< T* with a pcxx:size(expr) annotation
+  RecursivePointer,///< pointer to the enclosing struct type (linked node)
+  Vector,          ///< std::vector<T> (self-describing)
+  String,          ///< std::string (self-describing)
+  Skipped,         ///< pcxx:skip annotation — not streamed
+  UnknownPointer,  ///< pointer without annotation — generates a TODO comment
+};
+
+struct Field {
+  std::string typeName;   ///< base type without pointers ("double", "Pos")
+  int pointerDepth = 0;
+  std::string name;
+  std::vector<std::string> arrayDims;  ///< fixed dimensions, textual
+  std::string sizeExpr;   ///< from pcxx:size(...), empty otherwise
+  FieldCategory category = FieldCategory::Scalar;
+  int line = 0;
+};
+
+struct StructDef {
+  std::string name;            ///< unqualified name
+  std::string qualifiedName;   ///< with enclosing namespaces
+  std::vector<Field> fields;
+  int line = 0;
+};
+
+struct ParsedUnit {
+  std::vector<StructDef> structs;
+};
+
+}  // namespace pcxx::sg

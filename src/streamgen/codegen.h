@@ -1,0 +1,28 @@
+// Code generator: emits d/stream insertion and extraction functions for
+// parsed struct definitions (the output of the stream-gen tool, §4.2).
+#pragma once
+
+#include <string>
+
+#include "streamgen/ast.h"
+
+namespace pcxx::sg {
+
+struct CodegenOptions {
+  /// Header to #include in the generated file (the analyzed header), empty
+  /// to omit.
+  std::string includeHeader;
+  /// Include guard macro; derived from the output name when empty.
+  std::string guardMacro = "PCXX_STREAMGEN_GENERATED_H";
+};
+
+/// Generate the full output file (inserters + extractors for every struct).
+std::string generate(const ParsedUnit& unit, const CodegenOptions& options);
+
+/// Generate only the insertion function for one struct (testing).
+std::string generateInserter(const StructDef& def);
+
+/// Generate only the extraction function for one struct (testing).
+std::string generateExtractor(const StructDef& def);
+
+}  // namespace pcxx::sg

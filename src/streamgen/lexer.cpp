@@ -1,0 +1,131 @@
+#include "streamgen/lexer.h"
+
+#include <cctype>
+
+#include "util/error.h"
+
+namespace pcxx::sg {
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+TokenStream lex(const std::string& src) {
+  TokenStream out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = src.size();
+
+  auto peek = [&](size_t ahead = 0) -> char {
+    return i + ahead < n ? src[i + ahead] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor line: skip to end of line (honoring backslash splices).
+    if (c == '#') {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Line comment (possibly a pcxx annotation).
+    if (c == '/' && peek(1) == '/') {
+      size_t end = i + 2;
+      while (end < n && src[end] != '\n') ++end;
+      std::string body = src.substr(i + 2, end - i - 2);
+      // Trim and detect "pcxx:".
+      size_t b = body.find_first_not_of(" \t");
+      if (b != std::string::npos && body.compare(b, 5, "pcxx:") == 0) {
+        out.annotations.push_back(Annotation{line, body.substr(b + 5)});
+      }
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      if (j + 1 >= n) {
+        throw FormatError("stream-gen: unterminated block comment at line " +
+                          std::to_string(line));
+      }
+      i = j + 2;
+      continue;
+    }
+    // String or char literal: skip content.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          text += src[j];
+          text += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;
+        text += src[j];
+        ++j;
+      }
+      if (j >= n) {
+        throw FormatError("stream-gen: unterminated literal at line " +
+                          std::to_string(line));
+      }
+      out.tokens.push_back(Token{TokKind::String, text, line});
+      i = j + 1;
+      continue;
+    }
+    if (isIdentStart(c)) {
+      size_t j = i;
+      while (j < n && isIdentChar(src[j])) ++j;
+      out.tokens.push_back(Token{TokKind::Identifier, src.substr(i, j - i),
+                                 line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (isIdentChar(src[j]) || src[j] == '.')) ++j;
+      out.tokens.push_back(Token{TokKind::Number, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Two-character scope operator kept as one token.
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back(Token{TokKind::Symbol, "::", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{TokKind::Symbol, std::string(1, c), line});
+    ++i;
+  }
+  out.tokens.push_back(Token{TokKind::EndOfFile, "", line});
+  return out;
+}
+
+}  // namespace pcxx::sg

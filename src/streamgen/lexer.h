@@ -1,0 +1,17 @@
+// Lexer for the stream-gen C++ subset.
+//
+// Tokenizes identifiers, numbers, strings, and punctuation; strips comments
+// and preprocessor lines, but records `// pcxx:...` annotation comments
+// (with their line numbers) so the parser can attach them to fields.
+#pragma once
+
+#include <string>
+
+#include "streamgen/token.h"
+
+namespace pcxx::sg {
+
+/// Tokenize `source`. Throws FormatError on unterminated strings/comments.
+TokenStream lex(const std::string& source);
+
+}  // namespace pcxx::sg

@@ -1,0 +1,452 @@
+#include "streamgen/parser.h"
+
+#include <algorithm>
+
+#include "streamgen/lexer.h"
+#include "util/error.h"
+
+namespace pcxx::sg {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const TokenStream& stream)
+      : tokens_(stream.tokens), annotations_(stream.annotations) {}
+
+  ParsedUnit run() {
+    std::vector<std::string> ns;
+    parseScope(ns, /*topLevel=*/true);
+    attachAnnotations();
+    classify();
+    return std::move(unit_);
+  }
+
+ private:
+  // -- token helpers ---------------------------------------------------------
+
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& peek(size_t ahead = 1) const {
+    return tokens_[std::min(pos_ + ahead, tokens_.size() - 1)];
+  }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool atEof() const { return cur().is(TokKind::EndOfFile); }
+
+  void expectSymbol(const std::string& sym) {
+    if (!cur().isSymbol(sym)) {
+      throw FormatError("stream-gen: expected '" + sym + "' at line " +
+                        std::to_string(cur().line) + ", got '" + cur().text +
+                        "'");
+    }
+    advance();
+  }
+
+  /// Skip a balanced pair starting at the current `open` symbol.
+  void skipBalanced(const std::string& open, const std::string& close) {
+    expectSymbol(open);
+    int depth = 1;
+    while (depth > 0 && !atEof()) {
+      if (cur().isSymbol(open)) ++depth;
+      if (cur().isSymbol(close)) --depth;
+      advance();
+    }
+  }
+
+  /// Skip to just past the next ';' at the current brace depth, skipping
+  /// balanced braces/parens/brackets on the way.
+  void skipStatement() {
+    while (!atEof()) {
+      if (cur().isSymbol(";")) {
+        advance();
+        return;
+      }
+      if (cur().isSymbol("{")) {
+        skipBalanced("{", "}");
+        // A function body may end without ';'.
+        if (cur().isSymbol(";")) advance();
+        return;
+      }
+      if (cur().isSymbol("(")) {
+        skipBalanced("(", ")");
+        continue;
+      }
+      if (cur().isSymbol("[")) {
+        skipBalanced("[", "]");
+        continue;
+      }
+      advance();
+    }
+  }
+
+  // -- scopes ----------------------------------------------------------------
+
+  /// Parse declarations until the matching '}' (or EOF for the top level).
+  void parseScope(std::vector<std::string>& ns, bool topLevel) {
+    while (!atEof()) {
+      if (cur().isSymbol("}")) {
+        if (topLevel) {
+          throw FormatError("stream-gen: unmatched '}' at line " +
+                            std::to_string(cur().line));
+        }
+        advance();
+        return;
+      }
+      if (cur().isIdent("namespace")) {
+        advance();
+        std::string name;
+        while (cur().is(TokKind::Identifier) || cur().isSymbol("::")) {
+          name += cur().text;
+          advance();
+        }
+        if (cur().isSymbol("{")) {
+          advance();
+          ns.push_back(name);
+          parseScope(ns, /*topLevel=*/false);
+          ns.pop_back();
+        } else {
+          skipStatement();  // namespace alias
+        }
+        continue;
+      }
+      if (cur().isIdent("template")) {
+        advance();
+        if (cur().isSymbol("<")) skipAngles();
+        skipStatement();  // skip the templated entity entirely
+        continue;
+      }
+      if (cur().isIdent("struct") || cur().isIdent("class")) {
+        parseStructOrSkip(ns);
+        continue;
+      }
+      if (cur().isIdent("enum")) {
+        skipStatement();
+        continue;
+      }
+      skipStatement();
+    }
+  }
+
+  /// Skip a balanced template argument list starting at '<'.
+  void skipAngles() {
+    expectSymbol("<");
+    int depth = 1;
+    while (depth > 0 && !atEof()) {
+      if (cur().isSymbol("<")) ++depth;
+      if (cur().isSymbol(">")) --depth;
+      advance();
+    }
+  }
+
+  void parseStructOrSkip(const std::vector<std::string>& ns) {
+    const int structLine = cur().line;
+    advance();  // struct / class
+    if (!cur().is(TokKind::Identifier)) {
+      // Anonymous struct; skip.
+      skipStatement();
+      return;
+    }
+    const std::string name = cur().text;
+    advance();
+    // Base clause or body or forward declaration.
+    while (!cur().isSymbol("{") && !cur().isSymbol(";") && !atEof()) {
+      advance();  // ": public Base", "final", ...
+    }
+    if (cur().isSymbol(";")) {
+      advance();  // forward declaration
+      return;
+    }
+    expectSymbol("{");
+
+    StructDef def;
+    def.name = name;
+    def.line = structLine;
+    def.qualifiedName.clear();
+    for (const auto& part : ns) {
+      def.qualifiedName += part + "::";
+    }
+    def.qualifiedName += name;
+
+    parseStructBody(def, ns);
+    // Optional trailing declarator list ("} x;") — skip to ';'.
+    while (!cur().isSymbol(";") && !atEof()) advance();
+    if (cur().isSymbol(";")) advance();
+    unit_.structs.push_back(std::move(def));
+  }
+
+  void parseStructBody(StructDef& def, const std::vector<std::string>& ns) {
+    while (!atEof() && !cur().isSymbol("}")) {
+      // Access specifiers.
+      if ((cur().isIdent("public") || cur().isIdent("private") ||
+           cur().isIdent("protected")) &&
+          peek().isSymbol(":")) {
+        advance();
+        advance();
+        continue;
+      }
+      if (cur().isIdent("using") || cur().isIdent("typedef") ||
+          cur().isIdent("static") || cur().isIdent("friend") ||
+          cur().isIdent("template") || cur().isIdent("enum")) {
+        if (cur().isIdent("template")) {
+          advance();
+          if (cur().isSymbol("<")) skipAngles();
+        }
+        skipStatement();
+        continue;
+      }
+      // Nested struct/class definition.
+      if ((cur().isIdent("struct") || cur().isIdent("class")) &&
+          peek().is(TokKind::Identifier) &&
+          (peek(2).isSymbol("{") || peek(2).isSymbol(":"))) {
+        auto nested = ns;
+        nested.push_back(def.name);
+        parseStructOrSkip(nested);
+        continue;
+      }
+      // Destructor / constructor / operator: starts with ~ or the struct's
+      // own name followed by '(' — or returns nothing we can parse.
+      if (cur().isSymbol("~") ||
+          (cur().isIdent(def.name) && peek().isSymbol("("))) {
+        skipStatement();
+        continue;
+      }
+      if (!tryParseField(def)) {
+        skipStatement();
+      }
+    }
+    if (cur().isSymbol("}")) advance();
+  }
+
+  // -- fields ----------------------------------------------------------------
+
+  /// Attempt to parse one data-member declaration (possibly with several
+  /// declarators). Returns false (position restored) if it is not a field.
+  bool tryParseField(StructDef& def) {
+    const size_t save = pos_;
+
+    bool sawConst = false;
+    while (cur().isIdent("const") || cur().isIdent("mutable") ||
+           cur().isIdent("volatile")) {
+      sawConst = sawConst || cur().isIdent("const");
+      advance();
+    }
+
+    // Type name: identifiers joined by '::', plus known multi-keyword
+    // builtins ("unsigned int", "long long", ...).
+    std::string typeName;
+    if (!cur().is(TokKind::Identifier)) {
+      pos_ = save;
+      return false;
+    }
+    static const char* kBuiltinWords[] = {"unsigned", "signed", "long",
+                                          "short", "int", "char", "double",
+                                          "float", "bool"};
+    auto isBuiltinWord = [&](const Token& t) {
+      if (!t.is(TokKind::Identifier)) return false;
+      for (const char* w : kBuiltinWords) {
+        if (t.text == w) return true;
+      }
+      return false;
+    };
+    if (isBuiltinWord(cur())) {
+      while (isBuiltinWord(cur())) {
+        if (!typeName.empty()) typeName += " ";
+        typeName += cur().text;
+        advance();
+      }
+    } else {
+      typeName = cur().text;
+      advance();
+      while (cur().isSymbol("::") && peek().is(TokKind::Identifier)) {
+        typeName += "::";
+        advance();
+        typeName += cur().text;
+        advance();
+      }
+      // Template arguments (std::vector<double>, ...).
+      if (cur().isSymbol("<")) {
+        const size_t argsStart = pos_;
+        skipAngles();
+        typeName += renderTokens(argsStart, pos_);
+      }
+    }
+
+    // One or more declarators.
+    bool any = false;
+    for (;;) {
+      int pointerDepth = 0;
+      while (cur().isSymbol("*") || cur().isSymbol("&") ||
+             cur().isIdent("const")) {
+        if (cur().isSymbol("*")) ++pointerDepth;
+        if (cur().isSymbol("&")) {
+          pos_ = save;
+          return false;  // reference members are not streamable fields
+        }
+        advance();
+      }
+      if (!cur().is(TokKind::Identifier)) {
+        pos_ = save;
+        return false;
+      }
+      Field field;
+      field.typeName = typeName;
+      field.pointerDepth = pointerDepth;
+      field.name = cur().text;
+      field.line = cur().line;
+      advance();
+
+      if (cur().isSymbol("(")) {
+        pos_ = save;
+        return false;  // a method, not a field
+      }
+      while (cur().isSymbol("[")) {
+        const size_t dimStart = pos_ + 1;
+        skipBalanced("[", "]");
+        field.arrayDims.push_back(renderTokens(dimStart, pos_ - 1));
+      }
+      // Default member initializer.
+      if (cur().isSymbol("=")) {
+        while (!cur().isSymbol(",") && !cur().isSymbol(";") && !atEof()) {
+          if (cur().isSymbol("{")) {
+            skipBalanced("{", "}");
+            continue;
+          }
+          advance();
+        }
+      } else if (cur().isSymbol("{")) {
+        skipBalanced("{", "}");
+      }
+
+      if (sawConst) {
+        field.category = FieldCategory::Skipped;
+      }
+      def.fields.push_back(std::move(field));
+      any = true;
+
+      if (cur().isSymbol(",")) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (!cur().isSymbol(";")) {
+      pos_ = save;
+      return false;
+    }
+    advance();
+    return any;
+  }
+
+  /// Attach annotations to fields: a trailing comment on the field's own
+  /// line wins; an annotation on the line directly above applies only when
+  /// it was not a trailing comment of some other field.
+  void attachAnnotations() {
+    std::vector<bool> used(annotations_.size(), false);
+    auto fields = [&](auto&& fn) {
+      for (StructDef& def : unit_.structs) {
+        for (Field& f : def.fields) fn(f);
+      }
+    };
+    fields([&](Field& f) {
+      for (size_t i = 0; i < annotations_.size(); ++i) {
+        if (annotations_[i].line == f.line) {
+          applyAnnotation(f, annotations_[i].body);
+          used[i] = true;
+        }
+      }
+    });
+    fields([&](Field& f) {
+      for (size_t i = 0; i < annotations_.size(); ++i) {
+        if (!used[i] && annotations_[i].line == f.line - 1) {
+          applyAnnotation(f, annotations_[i].body);
+          used[i] = true;
+        }
+      }
+    });
+  }
+
+  static void applyAnnotation(Field& field, const std::string& body) {
+    if (body.rfind("skip", 0) == 0) {
+      field.category = FieldCategory::Skipped;
+      return;
+    }
+    if (body.rfind("size(", 0) == 0) {
+      const size_t close = body.rfind(')');
+      if (close == std::string::npos || close < 5) {
+        throw FormatError("stream-gen: malformed pcxx:size annotation '" +
+                          body + "'");
+      }
+      field.sizeExpr = body.substr(5, close - 5);
+    }
+  }
+
+  /// Reconstruct source text for tokens [from, to).
+  std::string renderTokens(size_t from, size_t to) const {
+    std::string out;
+    for (size_t i = from; i < to; ++i) {
+      const Token& t = tokens_[i];
+      if (!out.empty() && t.is(TokKind::Identifier) &&
+          !tokens_[i - 1].isSymbol("::") && !tokens_[i - 1].isSymbol("<")) {
+        out += " ";
+      }
+      out += t.text;
+    }
+    // The caller includes the '<'...'>' when slicing from the symbol; keep
+    // as-is otherwise.
+    return out;
+  }
+
+  // -- classification --------------------------------------------------------
+
+  void classify() {
+    for (StructDef& def : unit_.structs) {
+      for (Field& f : def.fields) {
+        if (f.category == FieldCategory::Skipped) continue;
+        if (f.pointerDepth > 1) {
+          f.category = FieldCategory::UnknownPointer;
+          continue;
+        }
+        if (f.pointerDepth == 1) {
+          if (!f.sizeExpr.empty()) {
+            f.category = FieldCategory::SizedPointer;
+          } else if (f.typeName == def.name ||
+                     f.typeName == def.qualifiedName) {
+            f.category = FieldCategory::RecursivePointer;
+          } else {
+            f.category = FieldCategory::UnknownPointer;
+          }
+          continue;
+        }
+        if (!f.arrayDims.empty()) {
+          f.category = FieldCategory::FixedArray;
+          continue;
+        }
+        if (f.typeName.rfind("std::vector<", 0) == 0 ||
+            f.typeName.rfind("vector<", 0) == 0) {
+          f.category = FieldCategory::Vector;
+          continue;
+        }
+        if (f.typeName == "std::string" || f.typeName == "string") {
+          f.category = FieldCategory::String;
+          continue;
+        }
+        f.category = FieldCategory::Scalar;
+      }
+    }
+  }
+
+  const std::vector<Token>& tokens_;
+  const std::vector<Annotation>& annotations_;
+  size_t pos_ = 0;
+  ParsedUnit unit_;
+};
+
+}  // namespace
+
+ParsedUnit parse(const TokenStream& stream) { return Parser(stream).run(); }
+
+ParsedUnit parseSource(const std::string& source) {
+  return parse(lex(source));
+}
+
+}  // namespace pcxx::sg

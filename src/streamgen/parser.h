@@ -1,0 +1,34 @@
+// Parser for the stream-gen C++ subset.
+//
+// Recognizes struct/class definitions (top level and inside namespaces) and
+// their data members:
+//
+//   * scalar fields:              int n;  double mass;  Position p;
+//   * fixed arrays:               double m[3];  int grid[4][4];
+//   * annotated dynamic arrays:   double* mass;     // pcxx:size(n)
+//   * recursive pointers:         Node* next;       (pointer to own type)
+//   * std::vector<T>, std::string (self-describing containers)
+//   * skipped fields:             void* handle;     // pcxx:skip
+//
+// Member functions, constructors, access specifiers, static members, and
+// type aliases are recognized and ignored. Pointers with no annotation are
+// kept and marked UnknownPointer so the generator can emit the paper's
+// "comment statements allowing the programmer to specify exactly how the
+// pointers should be handled".
+#pragma once
+
+#include <string>
+
+#include "streamgen/ast.h"
+#include "streamgen/token.h"
+
+namespace pcxx::sg {
+
+/// Parse a token stream (with its annotations). Throws FormatError on
+/// constructs the subset cannot skip safely.
+ParsedUnit parse(const TokenStream& stream);
+
+/// Convenience: lex + parse a source string.
+ParsedUnit parseSource(const std::string& source);
+
+}  // namespace pcxx::sg

@@ -1,0 +1,43 @@
+// Token stream for the stream-gen C++ subset parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcxx::sg {
+
+enum class TokKind {
+  Identifier,  // foo, std, vector
+  Number,      // 123
+  Symbol,      // { } ( ) ; : , * & < > [ ] = ::
+  String,      // "..."
+  EndOfFile,
+};
+
+struct Token {
+  TokKind kind = TokKind::EndOfFile;
+  std::string text;
+  int line = 0;
+
+  bool is(TokKind k) const { return kind == k; }
+  bool isSymbol(const std::string& s) const {
+    return kind == TokKind::Symbol && text == s;
+  }
+  bool isIdent(const std::string& s) const {
+    return kind == TokKind::Identifier && text == s;
+  }
+};
+
+/// A `// pcxx:...` annotation comment found in the source.
+struct Annotation {
+  int line = 0;
+  std::string body;  ///< text after "pcxx:", e.g. "size(numberOfParticles)"
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Annotation> annotations;
+};
+
+}  // namespace pcxx::sg

@@ -1,0 +1,153 @@
+// Byte-level serialization helpers.
+//
+// All pcxx on-disk formats are little-endian with explicit widths; these
+// codecs are the single place where host values are converted to file bytes.
+// ByteWriter appends to a growable buffer; ByteReader consumes a span and
+// throws FormatError on underrun so truncated files surface as typed errors.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pcxx {
+
+using Byte = std::uint8_t;
+using ByteBuffer = std::vector<Byte>;
+
+/// Encode an unsigned 64-bit value little-endian into `out[0..8)`.
+inline void encodeU64(std::uint64_t v, Byte* out) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<Byte>(v >> (8 * i));
+  }
+}
+
+/// Decode a little-endian unsigned 64-bit value from `in[0..8)`.
+inline std::uint64_t decodeU64(const Byte* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// Encode an unsigned 32-bit value little-endian into `out[0..4)`.
+inline void encodeU32(std::uint32_t v, Byte* out) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<Byte>(v >> (8 * i));
+  }
+}
+
+/// Decode a little-endian unsigned 32-bit value from `in[0..4)`.
+inline std::uint32_t decodeU32(const Byte* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// Appends encoded values to a ByteBuffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(ByteBuffer& buf) : buf_(buf) {}
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    Byte tmp[4];
+    encodeU32(v, tmp);
+    buf_.insert(buf_.end(), tmp, tmp + 4);
+  }
+  void u64(std::uint64_t v) {
+    Byte tmp[8];
+    encodeU64(v, tmp);
+    buf_.insert(buf_.end(), tmp, tmp + 8);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void bytes(std::span<const Byte> s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Length-prefixed string (u32 length + raw bytes).
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  size_t size() const { return buf_.size(); }
+
+ private:
+  ByteBuffer& buf_;
+};
+
+/// Consumes encoded values from a byte span; throws FormatError on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const Byte> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint32_t u32() { return decodeU32(take(4).data()); }
+  std::uint64_t u64() { return decodeU64(take(8).data()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    auto s = take(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+  std::span<const Byte> bytes(size_t n) { return take(n); }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  void skip(size_t n) { take(n); }
+
+ private:
+  std::span<const Byte> take(size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw FormatError("byte stream underrun: need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(remaining()));
+    }
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const Byte> data_;
+  size_t pos_ = 0;
+};
+
+/// View any trivially copyable object as a const byte span.
+template <typename T>
+std::span<const Byte> asBytes(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<const Byte*>(&v), sizeof(T)};
+}
+
+/// View a contiguous array of trivially copyable objects as a const byte span.
+template <typename T>
+std::span<const Byte> asBytes(const T* p, size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<const Byte*>(p), n * sizeof(T)};
+}
+
+/// View any trivially copyable object as a mutable byte span.
+template <typename T>
+std::span<Byte> asWritableBytes(T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<Byte*>(&v), sizeof(T)};
+}
+
+}  // namespace pcxx

@@ -1,0 +1,126 @@
+#include "util/crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace pcxx {
+namespace {
+
+// Slicing-by-8: eight derived tables let update() consume 8 input bytes
+// per iteration instead of one — the standard fast software CRC.
+using SliceTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+SliceTables makeTables() {
+  SliceTables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = t[0][i];
+    for (size_t slice = 1; slice < 8; ++slice) {
+      c = t[0][c & 0xFFu] ^ (c >> 8);
+      t[slice][i] = c;
+    }
+  }
+  return t;
+}
+
+const SliceTables& tables() {
+  static const SliceTables t = makeTables();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::span<const Byte> data) {
+  const SliceTables& t = tables();
+  const Byte* p = data.data();
+  size_t n = data.size();
+  std::uint32_t c = state_;
+
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = t[0][(c ^ *p) & 0xFFu] ^ (c >> 8);
+    ++p;
+    --n;
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(std::span<const Byte> data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+namespace {
+
+// GF(2) 32x32 matrix operations over CRC state vectors (zlib's
+// crc32_combine). matrix[i] is the image of basis vector 1<<i.
+using GfMatrix = std::array<std::uint32_t, 32>;
+
+std::uint32_t gfTimesVec(const GfMatrix& m, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  for (int i = 0; vec != 0; ++i, vec >>= 1) {
+    if (vec & 1u) sum ^= m[static_cast<size_t>(i)];
+  }
+  return sum;
+}
+
+GfMatrix gfSquare(const GfMatrix& m) {
+  GfMatrix out;
+  for (size_t i = 0; i < 32; ++i) {
+    out[i] = gfTimesVec(m, m[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32Combine(std::uint32_t crcA, std::uint32_t crcB,
+                           std::uint64_t lenB) {
+  if (lenB == 0) return crcA;
+
+  // odd = the operator "advance CRC state by one zero bit".
+  GfMatrix odd;
+  odd[0] = 0xEDB88320u;  // reflected polynomial
+  std::uint32_t row = 1;
+  for (size_t i = 1; i < 32; ++i) {
+    odd[i] = row;
+    row <<= 1;
+  }
+  GfMatrix even = gfSquare(odd);   // advance by 2 zero bits
+  odd = gfSquare(even);            // advance by 4 zero bits
+
+  // Apply "advance by lenB zero BYTES" to crcA, squaring as we walk the
+  // bit-length of lenB (alternating between the two matrix registers).
+  std::uint64_t len = lenB;
+  do {
+    even = gfSquare(odd);
+    if (len & 1u) crcA = gfTimesVec(even, crcA);
+    len >>= 1;
+    if (len == 0) break;
+    odd = gfSquare(even);
+    if (len & 1u) crcA = gfTimesVec(odd, crcA);
+    len >>= 1;
+  } while (len != 0);
+
+  return crcA ^ crcB;
+}
+
+}  // namespace pcxx

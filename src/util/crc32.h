@@ -1,0 +1,33 @@
+// CRC-32 (IEEE 802.3 polynomial) used to checksum d/stream record headers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.h"
+
+namespace pcxx {
+
+/// Incremental CRC-32. Construct, feed bytes with update(), read value().
+class Crc32 {
+ public:
+  void update(std::span<const Byte> data);
+  /// Finalized CRC of everything fed so far.
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a byte span.
+std::uint32_t crc32(std::span<const Byte> data);
+
+/// Combine CRCs of two adjacent blocks: given crcA = crc32(A) and
+/// crcB = crc32(B), returns crc32(A || B) where B has `lenB` bytes — the
+/// zlib crc32_combine construction (GF(2) matrix exponentiation). This is
+/// what lets each node checksum only its own block of a node-order parallel
+/// write and still produce the checksum of the whole data section.
+std::uint32_t crc32Combine(std::uint32_t crcA, std::uint32_t crcB,
+                           std::uint64_t lenB);
+
+}  // namespace pcxx

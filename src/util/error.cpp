@@ -1,0 +1,21 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace pcxx::detail {
+
+void throwInternal(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "invariant `" << expr << "` violated at " << file << ":" << line;
+  throw InternalError(os.str());
+}
+
+void throwUsage(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (precondition `" << expr << "` at " << file << ":" << line
+     << ")";
+  throw UsageError(os.str());
+}
+
+}  // namespace pcxx::detail

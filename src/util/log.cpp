@@ -1,0 +1,61 @@
+#include "util/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pcxx {
+namespace {
+
+LogLevel levelFromEnv() {
+  const char* env = std::getenv("PCXX_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "off") == 0) return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger::Logger() : level_(levelFromEnv()) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  if (level < level_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[pcxx %s] %s\n", levelName(level), msg.c_str());
+}
+
+namespace detail {
+
+void logf(LogLevel level, const char* fmt, ...) {
+  Logger& logger = Logger::instance();
+  if (level < logger.level()) return;
+  va_list ap;
+  va_start(ap, fmt);
+  std::string msg = vstrfmt(fmt, ap);
+  va_end(ap);
+  logger.write(level, msg);
+}
+
+}  // namespace detail
+}  // namespace pcxx

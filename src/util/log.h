@@ -1,0 +1,46 @@
+// Tiny leveled logger. Thread-safe; off by default above WARN.
+//
+// The runtime and pfs layers log at DEBUG for tracing collective and I/O
+// activity in tests; set PCXX_LOG=debug (env) or Logger::setLevel to enable.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "util/strfmt.h"
+
+namespace pcxx {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide logger singleton.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void setLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  Logger();
+
+  LogLevel level_;
+  std::mutex mu_;
+};
+
+namespace detail {
+[[gnu::format(printf, 2, 3)]] void logf(LogLevel level, const char* fmt, ...);
+}  // namespace detail
+
+}  // namespace pcxx
+
+#define PCXX_LOG_DEBUG(...) \
+  ::pcxx::detail::logf(::pcxx::LogLevel::Debug, __VA_ARGS__)
+#define PCXX_LOG_INFO(...) \
+  ::pcxx::detail::logf(::pcxx::LogLevel::Info, __VA_ARGS__)
+#define PCXX_LOG_WARN(...) \
+  ::pcxx::detail::logf(::pcxx::LogLevel::Warn, __VA_ARGS__)
+#define PCXX_LOG_ERROR(...) \
+  ::pcxx::detail::logf(::pcxx::LogLevel::Error, __VA_ARGS__)

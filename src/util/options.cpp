@@ -1,0 +1,108 @@
+#include "util/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pcxx {
+
+void Options::add(const std::string& name, const std::string& defaultValue,
+                  const std::string& help) {
+  specs_[name] = Spec{defaultValue, help, /*isFlag=*/false};
+}
+
+void Options::addFlag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{"false", help, /*isFlag=*/true};
+}
+
+bool Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    // "-x" short options are accepted as aliases for "--x"; a bare "-"
+    // stays positional (conventional stdin/stdout marker).
+    if (arg.rfind("--", 0) != 0 && (arg.size() < 2 || arg[0] != '-')) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(arg.rfind("--", 0) == 0 ? 2 : 1);
+    std::string value;
+    bool haveValue = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      haveValue = true;
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      throw UsageError("unknown option --" + name + "\n" + usage());
+    }
+    if (it->second.isFlag) {
+      values_[name] = haveValue ? value : "true";
+    } else {
+      if (!haveValue) {
+        if (i + 1 >= argc) {
+          throw UsageError("option --" + name + " requires a value");
+        }
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+  }
+  return true;
+}
+
+const std::string& Options::get(const std::string& name) const {
+  auto spec = specs_.find(name);
+  if (spec == specs_.end()) {
+    throw UsageError("option --" + name + " was never declared");
+  }
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec->second.defaultValue;
+}
+
+std::int64_t Options::getInt(const std::string& name) const {
+  const std::string& v = get(name);
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw UsageError("option --" + name + " expects an integer, got '" + v +
+                     "'");
+  }
+  return out;
+}
+
+double Options::getDouble(const std::string& name) const {
+  const std::string& v = get(name);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw UsageError("option --" + name + " expects a number, got '" + v +
+                     "'");
+  }
+  return out;
+}
+
+bool Options::getFlag(const std::string& name) const {
+  return get(name) == "true";
+}
+
+std::string Options::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [options]\n" << description_ << "\n\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.isFlag) os << " <value>";
+    os << "\n      " << spec.help;
+    if (!spec.isFlag) os << " (default: " << spec.defaultValue << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pcxx

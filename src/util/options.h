@@ -1,0 +1,54 @@
+// Minimal CLI option parsing for examples and bench binaries.
+//
+// Supports "--name value", "--name=value", and bare "--flag" booleans.
+// Unknown options throw UsageError so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pcxx {
+
+/// Parsed command line. Declare expected options up front, then parse.
+class Options {
+ public:
+  Options(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Declare a string option with a default value.
+  void add(const std::string& name, const std::string& defaultValue,
+           const std::string& help);
+  /// Declare a boolean flag (defaults to false).
+  void addFlag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Throws UsageError on unknown options or missing values.
+  /// Returns false (after printing usage) when --help was requested.
+  bool parse(int argc, const char* const* argv);
+
+  const std::string& get(const std::string& name) const;
+  std::int64_t getInt(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  bool getFlag(const std::string& name) const;
+
+  /// Positional arguments left after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string defaultValue;
+    std::string help;
+    bool isFlag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pcxx

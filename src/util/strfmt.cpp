@@ -1,0 +1,49 @@
+#include "util/strfmt.h"
+
+#include <vector>
+
+namespace pcxx {
+
+std::string vstrfmt(const char* fmt, va_list ap) {
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  std::string out;
+  if (n > 0) {
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    out.assign(buf.data(), static_cast<size_t>(n));
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::string out = vstrfmt(fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+std::string humanBytes(unsigned long long bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1024ull * 1024 * 1024) {
+    return strfmt("%.1f GB", b / (1024.0 * 1024 * 1024));
+  }
+  if (bytes >= 1024ull * 1024) {
+    return strfmt("%.1f MB", b / (1024.0 * 1024));
+  }
+  if (bytes >= 1024ull) {
+    return strfmt("%.1f KB", b / 1024.0);
+  }
+  return strfmt("%llu B", bytes);
+}
+
+std::string humanSeconds(double seconds) {
+  if (seconds >= 100.0) return strfmt("%.2f", seconds);
+  if (seconds >= 1.0) return strfmt("%.2f", seconds);
+  return strfmt("%.3f", seconds);
+}
+
+}  // namespace pcxx

@@ -1,0 +1,22 @@
+// Minimal printf-style string formatting (libstdc++ 12 lacks <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace pcxx {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strfmt(const char* fmt, ...);
+
+/// vprintf-style formatting into a std::string.
+std::string vstrfmt(const char* fmt, va_list ap);
+
+/// Render a byte count as a human-readable quantity ("1.4 MB", "512 B").
+std::string humanBytes(unsigned long long bytes);
+
+/// Render seconds with adaptive precision ("283.00", "2.47", "0.39").
+std::string humanSeconds(double seconds);
+
+}  // namespace pcxx

@@ -1,0 +1,73 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pcxx {
+namespace {
+
+std::string pad(const std::string& s, size_t width) {
+  std::string out = s;
+  out.resize(std::max(width, s.size()), ' ');
+  return out;
+}
+
+}  // namespace
+
+void Table::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  // Compute per-column widths over header and all rows.
+  std::vector<size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  std::ostringstream os;
+  os << title_ << "\n";
+  auto renderRow = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << " " << pad(cell, widths[i]) << " |";
+    }
+    os << "\n";
+  };
+  auto renderRule = [&]() {
+    os << "+";
+    for (size_t width : widths) {
+      os << std::string(width + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+
+  renderRule();
+  if (!header_.empty()) {
+    renderRow(header_);
+    renderRule();
+  }
+  for (const auto& row : rows_) renderRow(row);
+  renderRule();
+  if (!footnote_.empty()) os << footnote_ << "\n";
+  return os.str();
+}
+
+void Table::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace pcxx

@@ -1,0 +1,31 @@
+// ASCII table renderer used by the bench harness to print the paper's
+// Tables 1-4 in the same row/column layout the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pcxx {
+
+/// A simple column-aligned ASCII table with a title and optional footnote.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void setHeader(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+  void setFootnote(std::string note) { footnote_ = std::move(note); }
+
+  /// Render the table to a string (ends with '\n').
+  std::string render() const;
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string footnote_;
+};
+
+}  // namespace pcxx

@@ -1,0 +1,188 @@
+// Tests for Collection<T>: SPMD construction, local element access, global
+// access with ownership checks, parallel apply, and field references.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/collection/collection.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::coll;
+
+struct Elem {
+  int value = -1;
+  double weight = 0.0;
+};
+
+TEST(Collection, EachNodeHoldsExactlyItsLocalElements) {
+  rt::Machine m(4);
+  std::atomic<std::int64_t> totalLocal{0};
+  m.run([&](rt::Node& node) {
+    Processors P;
+    Distribution d(13, &P, DistKind::Cyclic);
+    Collection<Elem> c(&d);
+    totalLocal.fetch_add(c.localCount());
+    EXPECT_EQ(c.size(), 13);
+    EXPECT_EQ(c.localCount(), d.localCount(node.id()));
+  });
+  EXPECT_EQ(totalLocal.load(), 13);
+}
+
+TEST(Collection, ForEachLocalVisitsAscendingGlobals) {
+  rt::Machine m(3);
+  m.run([](rt::Node& node) {
+    Processors P;
+    Distribution d(11, &P, DistKind::Block);
+    Collection<Elem> c(&d);
+    std::int64_t prev = -1;
+    std::int64_t visits = 0;
+    c.forEachLocal([&](Elem& e, std::int64_t g) {
+      e.value = static_cast<int>(g);
+      EXPECT_GT(g, prev);
+      EXPECT_EQ(d.ownerOf(g), node.id());
+      prev = g;
+      ++visits;
+    });
+    EXPECT_EQ(visits, c.localCount());
+    // local(j) / globalIndexOf(j) agree with the traversal.
+    for (std::int64_t j = 0; j < c.localCount(); ++j) {
+      EXPECT_EQ(c.local(j).value, static_cast<int>(c.globalIndexOf(j)));
+    }
+  });
+}
+
+TEST(Collection, AtAccessesOwnedGlobalsOnly) {
+  rt::Machine m(2);
+  m.run([](rt::Node&) {
+    Processors P;
+    Distribution d(8, &P, DistKind::Cyclic);
+    Collection<Elem> c(&d);
+    c.forEachLocal([](Elem& e, std::int64_t g) {
+      e.value = static_cast<int>(100 + g);
+    });
+    for (std::int64_t g = 0; g < 8; ++g) {
+      if (c.owns(g)) {
+        EXPECT_EQ(c.at(g).value, static_cast<int>(100 + g));
+      } else {
+        EXPECT_THROW(c.at(g), UsageError);
+      }
+    }
+    EXPECT_THROW(c.at(-1), UsageError);
+    EXPECT_THROW(c.at(8), UsageError);
+  });
+}
+
+TEST(Collection, LocalIndexBoundsChecked) {
+  rt::Machine m(2);
+  m.run([](rt::Node&) {
+    Processors P;
+    Distribution d(4, &P, DistKind::Block);
+    Collection<Elem> c(&d);
+    EXPECT_THROW(c.local(-1), UsageError);
+    EXPECT_THROW(c.local(c.localCount()), UsageError);
+    EXPECT_THROW(c.globalIndexOf(c.localCount()), UsageError);
+  });
+}
+
+TEST(Collection, AlignedConstructionUsesAlignment) {
+  rt::Machine m(2);
+  m.run([](rt::Node& node) {
+    Processors P;
+    Distribution d(12, &P, DistKind::Block);
+    Align a(6, 2, 0);  // elements at template slots 0,2,4,6,8,10
+    Collection<Elem> c(&d, &a);
+    EXPECT_EQ(c.size(), 6);
+    // Slots 0..5 are node 0's block: elements 0,1,2 (slots 0,2,4).
+    if (node.id() == 0) {
+      EXPECT_EQ(c.localCount(), 3);
+      EXPECT_EQ(c.globalIndexOf(0), 0);
+      EXPECT_EQ(c.globalIndexOf(2), 2);
+    } else {
+      EXPECT_EQ(c.localCount(), 3);
+      EXPECT_EQ(c.globalIndexOf(0), 3);
+    }
+  });
+}
+
+TEST(Collection, NullPointersRejected) {
+  rt::Machine m(1);
+  m.run([](rt::Node&) {
+    Processors P;
+    Distribution d(4, &P, DistKind::Block);
+    EXPECT_THROW(Collection<Elem>(nullptr), UsageError);
+    EXPECT_THROW(Collection<Elem>(&d, nullptr), UsageError);
+  });
+}
+
+TEST(Collection, OutsideMachineContextThrows) {
+  EXPECT_THROW(Processors{}, UsageError);
+}
+
+TEST(Collection, ProcessorsSubsetValidation) {
+  rt::Machine m(4);
+  m.run([](rt::Node&) {
+    Processors sub(2);
+    EXPECT_EQ(sub.count(), 2);
+    EXPECT_THROW(Processors(0), UsageError);
+    EXPECT_THROW(Processors(5), UsageError);
+  });
+}
+
+TEST(Collection, FieldRefReadsAndWritesMember) {
+  rt::Machine m(2);
+  m.run([](rt::Node&) {
+    Processors P;
+    Distribution d(6, &P, DistKind::Cyclic);
+    Collection<Elem> c(&d);
+    auto f = c.field(&Elem::weight);
+    EXPECT_EQ(&f.collection(), &c);
+    c.forEachLocal([&](Elem& e, std::int64_t g) {
+      f.of(e) = static_cast<double>(g) * 1.5;
+    });
+    c.forEachLocal([&](Elem& e, std::int64_t g) {
+      EXPECT_DOUBLE_EQ(e.weight, static_cast<double>(g) * 1.5);
+    });
+  });
+}
+
+TEST(Collection, NonCopyableElementTypeSupported) {
+  struct Owner {
+    int* data = nullptr;
+    Owner() = default;
+    Owner(const Owner&) = delete;
+    Owner& operator=(const Owner&) = delete;
+    ~Owner() { delete data; }
+  };
+  rt::Machine m(2);
+  m.run([](rt::Node&) {
+    Processors P;
+    Distribution d(5, &P, DistKind::Block);
+    Collection<Owner> c(&d);
+    c.forEachLocal([](Owner& o, std::int64_t g) {
+      o.data = new int(static_cast<int>(g));
+    });
+    c.forEachLocal([](Owner& o, std::int64_t g) {
+      EXPECT_EQ(*o.data, static_cast<int>(g));
+    });
+  });
+}
+
+TEST(Collection, ScalarElementTypeSupported) {
+  rt::Machine m(2);
+  m.run([](rt::Node&) {
+    Processors P;
+    Distribution d(7, &P, DistKind::Cyclic);
+    Collection<double> c(&d);
+    c.forEachLocal([](double& v, std::int64_t g) {
+      v = static_cast<double>(g) * 2.0;
+    });
+    c.forEachLocal([](double& v, std::int64_t g) {
+      EXPECT_DOUBLE_EQ(v, static_cast<double>(g) * 2.0);
+    });
+  });
+}
+
+}  // namespace

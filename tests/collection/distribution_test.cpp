@@ -1,0 +1,173 @@
+// Unit + property tests for HPF-style distributions: the index math must be
+// a bijection between global indices and (owner, local) pairs for every
+// kind, size, and node count.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/collection/distribution.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::coll;
+
+TEST(Distribution, BlockLaysOutContiguously) {
+  Distribution d(10, 4, DistKind::Block, 1);
+  // blockWidth = ceil(10/4) = 3: [0..2]=0, [3..5]=1, [6..8]=2, [9]=3.
+  EXPECT_EQ(d.ownerOf(0), 0);
+  EXPECT_EQ(d.ownerOf(2), 0);
+  EXPECT_EQ(d.ownerOf(3), 1);
+  EXPECT_EQ(d.ownerOf(8), 2);
+  EXPECT_EQ(d.ownerOf(9), 3);
+  EXPECT_EQ(d.localCount(0), 3);
+  EXPECT_EQ(d.localCount(3), 1);
+}
+
+TEST(Distribution, CyclicDealsRoundRobin) {
+  Distribution d(10, 3, DistKind::Cyclic, 1);
+  EXPECT_EQ(d.ownerOf(0), 0);
+  EXPECT_EQ(d.ownerOf(1), 1);
+  EXPECT_EQ(d.ownerOf(2), 2);
+  EXPECT_EQ(d.ownerOf(3), 0);
+  EXPECT_EQ(d.localCount(0), 4);  // 0,3,6,9
+  EXPECT_EQ(d.localCount(1), 3);  // 1,4,7
+  EXPECT_EQ(d.localCount(2), 3);  // 2,5,8
+  EXPECT_EQ(d.globalToLocal(9), 3);
+  EXPECT_EQ(d.localToGlobal(0, 3), 9);
+}
+
+TEST(Distribution, BlockCyclicDealsBlocks) {
+  Distribution d(12, 2, DistKind::BlockCyclic, 3);
+  // Blocks: [0-2]=0, [3-5]=1, [6-8]=0, [9-11]=1.
+  EXPECT_EQ(d.ownerOf(2), 0);
+  EXPECT_EQ(d.ownerOf(3), 1);
+  EXPECT_EQ(d.ownerOf(7), 0);
+  EXPECT_EQ(d.ownerOf(11), 1);
+  EXPECT_EQ(d.localCount(0), 6);
+  EXPECT_EQ(d.globalToLocal(7), 4);  // 0,1,2,6,7 -> position 4
+  EXPECT_EQ(d.localToGlobal(0, 4), 7);
+}
+
+TEST(Distribution, SizeSmallerThanNodeCount) {
+  Distribution d(2, 8, DistKind::Block, 1);
+  EXPECT_EQ(d.localCount(0), 1);
+  EXPECT_EQ(d.localCount(1), 1);
+  for (int p = 2; p < 8; ++p) {
+    EXPECT_EQ(d.localCount(p), 0);
+  }
+}
+
+TEST(Distribution, OutOfRangeIndexThrows) {
+  Distribution d(10, 2, DistKind::Cyclic, 1);
+  EXPECT_THROW(d.ownerOf(-1), UsageError);
+  EXPECT_THROW(d.ownerOf(10), UsageError);
+  EXPECT_THROW(d.localCount(2), UsageError);
+  EXPECT_THROW(d.localToGlobal(0, 99), UsageError);
+}
+
+TEST(Distribution, InvalidParametersThrow) {
+  EXPECT_THROW(Distribution(-1, 2, DistKind::Block, 1), UsageError);
+  EXPECT_THROW(Distribution(10, 0, DistKind::Block, 1), UsageError);
+  EXPECT_THROW(Distribution(10, 2, DistKind::BlockCyclic, 0), UsageError);
+}
+
+TEST(Distribution, EqualityIgnoresBlockSizeUnlessBlockCyclic) {
+  Distribution a(10, 2, DistKind::Cyclic, 1);
+  Distribution b(10, 2, DistKind::Cyclic, 5);
+  EXPECT_EQ(a, b);
+  Distribution c(10, 2, DistKind::BlockCyclic, 2);
+  Distribution e(10, 2, DistKind::BlockCyclic, 3);
+  EXPECT_NE(c, e);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, Distribution(11, 2, DistKind::Cyclic, 1));
+  EXPECT_NE(a, Distribution(10, 3, DistKind::Cyclic, 1));
+}
+
+TEST(Distribution, EncodeDecodeRoundTrip) {
+  for (auto kind :
+       {DistKind::Block, DistKind::Cyclic, DistKind::BlockCyclic}) {
+    Distribution d(123, 7, kind, 4);
+    ByteBuffer buf;
+    ByteWriter w(buf);
+    d.encode(w);
+    ByteReader r(buf);
+    EXPECT_EQ(Distribution::decode(r), d);
+  }
+}
+
+TEST(Distribution, DecodeRejectsGarbage) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.i64(10);
+  w.u32(2);
+  w.u8(99);  // bad kind
+  w.i64(1);
+  ByteReader r(buf);
+  EXPECT_THROW(Distribution::decode(r), FormatError);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: ownerOf / localCount / globalToLocal / localToGlobal form
+// a consistent bijection for every (kind, size, nprocs, blockSize).
+// ---------------------------------------------------------------------------
+
+using DistCase = std::tuple<DistKind, std::int64_t, int, std::int64_t>;
+
+class DistributionProperty : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionProperty, IndexMathIsABijection) {
+  const auto [kind, size, nprocs, blockSize] = GetParam();
+  Distribution d(size, nprocs, kind, blockSize);
+
+  // Forward: every global index maps to a unique (owner, local) pair with
+  // local < localCount(owner), and localToGlobal inverts it.
+  std::vector<std::vector<bool>> seen(static_cast<size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) {
+    seen[static_cast<size_t>(p)].assign(
+        static_cast<size_t>(d.localCount(p)), false);
+  }
+  std::int64_t totalCounted = 0;
+  for (int p = 0; p < nprocs; ++p) totalCounted += d.localCount(p);
+  ASSERT_EQ(totalCounted, size) << "localCount must partition the index set";
+
+  for (std::int64_t g = 0; g < size; ++g) {
+    const int owner = d.ownerOf(g);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, nprocs);
+    const std::int64_t local = d.globalToLocal(g);
+    ASSERT_GE(local, 0);
+    ASSERT_LT(local, d.localCount(owner))
+        << "g=" << g << " owner=" << owner;
+    ASSERT_FALSE(seen[static_cast<size_t>(owner)][static_cast<size_t>(local)])
+        << "duplicate (owner, local) for g=" << g;
+    seen[static_cast<size_t>(owner)][static_cast<size_t>(local)] = true;
+    ASSERT_EQ(d.localToGlobal(owner, local), g);
+  }
+}
+
+TEST_P(DistributionProperty, LocalOrderIsAscendingGlobal) {
+  const auto [kind, size, nprocs, blockSize] = GetParam();
+  Distribution d(size, nprocs, kind, blockSize);
+  for (int p = 0; p < nprocs; ++p) {
+    std::int64_t prev = -1;
+    for (std::int64_t j = 0; j < d.localCount(p); ++j) {
+      const std::int64_t g = d.localToGlobal(p, j);
+      ASSERT_GT(g, prev) << "local order must be ascending global order";
+      prev = g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributionProperty,
+    ::testing::Combine(
+        ::testing::Values(DistKind::Block, DistKind::Cyclic,
+                          DistKind::BlockCyclic),
+        ::testing::Values<std::int64_t>(0, 1, 7, 12, 64, 100),
+        ::testing::Values(1, 2, 3, 5, 8),
+        ::testing::Values<std::int64_t>(1, 2, 3, 7)));
+
+}  // namespace

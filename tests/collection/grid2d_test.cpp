@@ -1,0 +1,140 @@
+// Tests for Grid2D: row-distributed 2-D grids with variable density, and
+// their d/stream round trip (the paper's motivating data structure).
+#include <gtest/gtest.h>
+
+#include "src/dstream/dstream.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+TEST(Grid2D, RowsPartitionedAcrossNodes) {
+  rt::Machine m(3);
+  std::atomic<std::int64_t> totalRows{0};
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Grid2D<double> grid(10, 4, &P);
+    totalRows.fetch_add(grid.collection().localCount());
+    EXPECT_EQ(grid.rows(), 10);
+    EXPECT_EQ(grid.initialCols(), 4);
+  });
+  EXPECT_EQ(totalRows.load(), 10);
+}
+
+TEST(Grid2D, CellAccessAndBounds) {
+  rt::Machine m(2);
+  m.run([](rt::Node&) {
+    coll::Processors P;
+    coll::Grid2D<int> grid(6, 3, &P);
+    grid.forEachLocalRow([](std::int64_t i, std::vector<int>& cells) {
+      for (size_t j = 0; j < cells.size(); ++j) {
+        cells[j] = static_cast<int>(i * 10 + static_cast<std::int64_t>(j));
+      }
+    });
+    for (std::int64_t i = 0; i < 6; ++i) {
+      if (!grid.ownsRow(i)) continue;
+      EXPECT_EQ(grid.at(i, 2), static_cast<int>(i * 10 + 2));
+      EXPECT_THROW(grid.at(i, 3), UsageError);
+      EXPECT_THROW(grid.at(i, -1), UsageError);
+    }
+  });
+}
+
+TEST(Grid2D, VariableDensityRefinement) {
+  rt::Machine m(2);
+  m.run([](rt::Node&) {
+    coll::Processors P;
+    coll::Grid2D<double> grid(8, 2, &P);
+    // Refine row i to 2^(i%4) cells: densities vary 1..8x.
+    grid.forEachLocalRow([](std::int64_t i, std::vector<double>& cells) {
+      cells.resize(static_cast<size_t>(2) << (i % 4));
+    });
+    for (std::int64_t i = 0; i < 8; ++i) {
+      if (!grid.ownsRow(i)) continue;
+      EXPECT_EQ(grid.row(i).size(), static_cast<size_t>(2) << (i % 4));
+    }
+    EXPECT_GT(grid.localCellCount(), 0);
+  });
+}
+
+TEST(Grid2D, StreamsRoundTripWithVariableDensity) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(4);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Grid2D<double> grid(12, 2, &P, coll::DistKind::Cyclic);
+    grid.forEachLocalRow([](std::int64_t i, std::vector<double>& cells) {
+      cells.resize(static_cast<size_t>(1 + i % 5));
+      for (size_t j = 0; j < cells.size(); ++j) {
+        cells[j] = static_cast<double>(i) + 0.01 * static_cast<double>(j);
+      }
+    });
+    {
+      ds::OStream s(fs, &grid.distribution(), "grid2d");
+      s << grid.collection();
+      s.write();
+    }
+    coll::Grid2D<double> back(12, 2, &P, coll::DistKind::Cyclic);
+    ds::IStream in(fs, &back.distribution(), "grid2d");
+    in.read();
+    in >> back.collection();
+    back.forEachLocalRow([](std::int64_t i, std::vector<double>& cells) {
+      ASSERT_EQ(cells.size(), static_cast<size_t>(1 + i % 5));
+      for (size_t j = 0; j < cells.size(); ++j) {
+        EXPECT_DOUBLE_EQ(cells[j],
+                         static_cast<double>(i) +
+                             0.01 * static_cast<double>(j));
+      }
+    });
+  });
+}
+
+TEST(Grid2D, CrossNodeCountRestore) {
+  // A refined grid checkpointed on 4 nodes restores on 2 with densities
+  // intact — the adaptive-application checkpoint scenario.
+  pfs::Pfs fs = test::memFs();
+  {
+    rt::Machine m(4);
+    m.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Grid2D<int> grid(9, 1, &P);
+      grid.forEachLocalRow([](std::int64_t i, std::vector<int>& cells) {
+        cells.assign(static_cast<size_t>(1 + i), static_cast<int>(i));
+      });
+      ds::OStream s(fs, &grid.distribution(), "gridmove");
+      s << grid.collection();
+      s.write();
+    });
+  }
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Grid2D<int> grid(9, 1, &P);
+    ds::IStream in(fs, &grid.distribution(), "gridmove");
+    in.read();
+    in >> grid.collection();
+    grid.forEachLocalRow([](std::int64_t i, std::vector<int>& cells) {
+      ASSERT_EQ(cells.size(), static_cast<size_t>(1 + i));
+      for (int v : cells) {
+        EXPECT_EQ(v, static_cast<int>(i));
+      }
+    });
+  });
+}
+
+TEST(Grid2D, ZeroSizedGrids) {
+  rt::Machine m(2);
+  m.run([](rt::Node&) {
+    coll::Processors P;
+    coll::Grid2D<int> empty(0, 5, &P);
+    EXPECT_EQ(empty.collection().localCount(), 0);
+    coll::Grid2D<int> thin(3, 0, &P);
+    thin.forEachLocalRow([](std::int64_t, std::vector<int>& cells) {
+      EXPECT_TRUE(cells.empty());
+    });
+    EXPECT_THROW(coll::Grid2D<int>(-1, 2, &P), UsageError);
+  });
+}
+
+}  // namespace

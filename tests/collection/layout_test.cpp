@@ -1,0 +1,117 @@
+// Tests for Layout: ownership through an alignment, local orders, and the
+// on-disk encoding d/stream record headers rely on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/collection/layout.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::coll;
+
+TEST(Layout, IdentityMatchesDistributionMath) {
+  Distribution d(20, 4, DistKind::Cyclic, 1);
+  Layout layout(d);
+  for (std::int64_t g = 0; g < 20; ++g) {
+    EXPECT_EQ(layout.ownerOf(g), d.ownerOf(g));
+  }
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(layout.localCount(p), d.localCount(p));
+  }
+}
+
+TEST(Layout, StridedAlignmentShiftsOwnership) {
+  // 6 collection elements aligned to template slots 0,2,4,6,8,10 of a
+  // 12-slot BLOCK distribution over 2 nodes (slots 0..5 -> node 0).
+  Distribution d(12, 2, DistKind::Block, 1);
+  Align a(6, /*stride=*/2, /*offset=*/0);
+  Layout layout(d, a);
+  EXPECT_EQ(layout.ownerOf(0), 0);  // slot 0
+  EXPECT_EQ(layout.ownerOf(2), 0);  // slot 4
+  EXPECT_EQ(layout.ownerOf(3), 1);  // slot 6
+  EXPECT_EQ(layout.ownerOf(5), 1);  // slot 10
+  EXPECT_EQ(layout.localCount(0), 3);
+  EXPECT_EQ(layout.localCount(1), 3);
+}
+
+TEST(Layout, OffsetAlignmentRotatesCyclicOwnership) {
+  Distribution d(13, 3, DistKind::Cyclic, 1);
+  Align a(12, /*stride=*/1, /*offset=*/1);
+  Layout layout(d, a);
+  for (std::int64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(layout.ownerOf(i), static_cast<int>((i + 1) % 3));
+  }
+}
+
+TEST(Layout, OutOfBoundsAlignmentRejected) {
+  Distribution d(10, 2, DistKind::Block, 1);
+  EXPECT_THROW(Layout(d, Align(6, 2, 0)), UsageError);   // maps to 10
+  EXPECT_THROW(Layout(d, Align(4, 1, -1)), UsageError);  // maps to -1
+  EXPECT_NO_THROW(Layout(d, Align(5, 2, 0)));            // maps to 0..8
+}
+
+TEST(Layout, LocalElementsPartitionTheCollection) {
+  Distribution d(30, 4, DistKind::BlockCyclic, 3);
+  Align a(15, 2, 0);
+  Layout layout(d, a);
+  std::set<std::int64_t> all;
+  for (int p = 0; p < 4; ++p) {
+    const auto locals = layout.localElements(p);
+    EXPECT_EQ(static_cast<std::int64_t>(locals.size()),
+              layout.localCount(p));
+    std::int64_t prev = -1;
+    for (std::int64_t g : locals) {
+      EXPECT_GT(g, prev);  // ascending
+      prev = g;
+      EXPECT_TRUE(all.insert(g).second) << "element owned twice";
+      EXPECT_EQ(layout.ownerOf(g), p);
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(all.size()), layout.size());
+}
+
+TEST(Layout, OwnerTableMatchesOwnerOf) {
+  Distribution d(16, 3, DistKind::Cyclic, 1);
+  Layout layout(d, Align(16));
+  const auto owners = layout.ownerTable();
+  ASSERT_EQ(owners.size(), 16u);
+  for (std::int64_t g = 0; g < 16; ++g) {
+    EXPECT_EQ(owners[static_cast<size_t>(g)], layout.ownerOf(g));
+  }
+}
+
+TEST(Layout, EncodeDecodeRoundTrip) {
+  Distribution d(40, 5, DistKind::BlockCyclic, 2);
+  Align a(20, 2, 1);
+  Layout layout(d, a);
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  layout.encode(w);
+  ByteReader r(buf);
+  const Layout back = Layout::decode(r);
+  EXPECT_EQ(back, layout);
+  EXPECT_EQ(back.size(), 20);
+  EXPECT_EQ(back.nprocs(), 5);
+}
+
+TEST(Layout, EqualityRequiresBothParts) {
+  Distribution d(10, 2, DistKind::Block, 1);
+  EXPECT_EQ(Layout(d, Align(10)), Layout(d, Align(10)));
+  EXPECT_NE(Layout(d, Align(10)), Layout(d, Align(5, 2, 0)));
+  Distribution d2(10, 2, DistKind::Cyclic, 1);
+  EXPECT_NE(Layout(d, Align(10)), Layout(d2, Align(10)));
+}
+
+TEST(Layout, EmptyCollection) {
+  Distribution d(8, 2, DistKind::Block, 1);
+  Layout layout(d, Align(0));
+  EXPECT_EQ(layout.size(), 0);
+  EXPECT_EQ(layout.localCount(0), 0);
+  EXPECT_TRUE(layout.localElements(1).empty());
+  EXPECT_TRUE(layout.ownerTable().empty());
+}
+
+}  // namespace

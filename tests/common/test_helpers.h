@@ -1,0 +1,28 @@
+// Shared helpers for pcxx tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "pfs/parallel_file.h"
+#include "runtime/machine.h"
+
+namespace pcxx::test {
+
+/// Run an SPMD body on a fresh machine of `nprocs` nodes. Exceptions from
+/// node functions propagate out of this call (gtest reports them).
+inline void runSpmd(int nprocs, const std::function<void(rt::Node&)>& body,
+                    rt::CommModel comm = {}) {
+  rt::Machine machine(nprocs, comm);
+  machine.run(body);
+}
+
+/// A fresh in-memory file system with no timing model.
+inline pfs::Pfs memFs() { return pfs::Pfs(pfs::PfsConfig{}); }
+
+/// gtest assertions inside SPMD bodies: EXPECT_* is thread-safe enough for
+/// our use (failures are recorded); ASSERT_* must not be used off the main
+/// thread, so tests throw instead to abort a node.
+
+}  // namespace pcxx::test

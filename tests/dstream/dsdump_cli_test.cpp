@@ -1,0 +1,93 @@
+// End-to-end CLI test for the dsdump tool: write a real file with the
+// library, invoke the binary, check its report and exit codes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/dstream/dstream.h"
+#include "tests/common/test_helpers.h"
+
+#ifndef PCXX_DSDUMP_PATH
+#error "PCXX_DSDUMP_PATH must be defined by the build"
+#endif
+
+namespace {
+
+using namespace pcxx;
+
+class DsdumpCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcxx_dsdump_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Run dsdump with `args`; returns (exitCode, stdout+stderr).
+  std::pair<int, std::string> runTool(const std::string& args) {
+    const std::string outPath = (dir_ / "tool.out").string();
+    const std::string cmd = std::string(PCXX_DSDUMP_PATH) + " " + args +
+                            " > " + outPath + " 2>&1";
+    const int rc = std::system(cmd.c_str());
+    std::ifstream in(outPath);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return {WEXITSTATUS(rc), ss.str()};
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DsdumpCli, ReportsRecordsOfARealFile) {
+  pfs::PfsConfig cfg;
+  cfg.backend = pfs::PfsConfig::Backend::Posix;
+  cfg.dir = dir_.string();
+  pfs::Pfs fs(cfg);
+  rt::Machine m(3);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(9, &P, coll::DistKind::Cyclic);
+    coll::Collection<double> g(&d);
+    g.forEachLocal([](double& v, std::int64_t i) {
+      v = static_cast<double>(i);
+    });
+    ds::OStream s(fs, &d, "dump.ds");
+    s << g;
+    s.write();
+  });
+
+  auto [rc, out] = runTool((dir_ / "dump.ds").string());
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("1 record(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("9 elements"), std::string::npos) << out;
+  EXPECT_NE(out.find("CYCLIC x 3 nodes"), std::string::npos) << out;
+
+  auto [rcv, outv] = runTool("-v " + (dir_ / "dump.ds").string());
+  EXPECT_EQ(rcv, 0);
+  EXPECT_NE(outv.find("insert 0: collection"), std::string::npos) << outv;
+
+  auto [rce, oute] =
+      runTool("--element 0 " + (dir_ / "dump.ds").string());
+  EXPECT_EQ(rce, 0);
+  EXPECT_NE(oute.find("8 bytes"), std::string::npos) << oute;
+}
+
+TEST_F(DsdumpCli, FailsCleanlyOnAlienFile) {
+  const std::string alien = (dir_ / "alien.bin").string();
+  std::ofstream(alien) << "not a dstream file at all";
+  auto [rc, out] = runTool(alien);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("dsdump:"), std::string::npos) << out;
+}
+
+TEST_F(DsdumpCli, UsageOnMissingArgument) {
+  auto [rc, out] = runTool("");
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+}
+
+}  // namespace

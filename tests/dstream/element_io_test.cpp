@@ -1,0 +1,256 @@
+// Unit tests for the per-element insert/extract machinery in isolation:
+// pointer lists, the arena, bounds checks, and the array() wrapper.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/dstream/element_io.h"
+#include "src/dstream/record.h"
+#include "src/dstream/typetag.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::ds;
+
+ByteBuffer flatten(const std::vector<Entry>& entries) {
+  ByteBuffer out;
+  for (const Entry& e : entries) {
+    const Byte* p = static_cast<const Byte*>(e.ptr);
+    out.insert(out.end(), p, p + e.bytes);
+  }
+  return out;
+}
+
+TEST(ElementInserter, LvalueScalarsAreDeferredPointers) {
+  std::vector<Entry> entries;
+  ds::detail::Arena arena;
+  ElementInserter ins(entries, arena);
+  int v = 1;
+  ins << v;
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].ptr, &v);  // points at the caller's storage
+  EXPECT_EQ(entries[0].bytes, sizeof(int));
+  // Figure 4 semantics: mutate AFTER insert, BEFORE write — the write sees
+  // the final value.
+  v = 42;
+  const ByteBuffer data = flatten(entries);
+  int out;
+  std::memcpy(&out, data.data(), sizeof(int));
+  EXPECT_EQ(out, 42);
+}
+
+TEST(ElementInserter, RvaluesAreCopiedImmediately) {
+  std::vector<Entry> entries;
+  ds::detail::Arena arena;
+  ElementInserter ins(entries, arena);
+  {
+    int temporary = 7;
+    ins << (temporary * 3);  // prvalue: arena-copied
+  }
+  const ByteBuffer data = flatten(entries);
+  int out;
+  std::memcpy(&out, data.data(), sizeof(int));
+  EXPECT_EQ(out, 21);
+}
+
+TEST(ElementInserter, ArrayRecordsRawBytes) {
+  std::vector<Entry> entries;
+  ds::detail::Arena arena;
+  ElementInserter ins(entries, arena);
+  double* data = new double[3]{1.5, 2.5, 3.5};
+  ins << array(data, 3);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].bytes, 24u);
+  EXPECT_EQ(entries[0].ptr, data);
+  delete[] data;
+}
+
+TEST(ElementInserter, NullArrayWithZeroCountOk) {
+  std::vector<Entry> entries;
+  ds::detail::Arena arena;
+  ElementInserter ins(entries, arena);
+  double* data = nullptr;
+  EXPECT_NO_THROW(ins << array(data, 0));
+  EXPECT_THROW(ins << array(data, 3), UsageError);   // null with count
+  EXPECT_THROW(ins << array(data, -1), UsageError);  // negative count
+}
+
+TEST(ElementInserter, VectorPrefixesLength) {
+  std::vector<Entry> entries;
+  ds::detail::Arena arena;
+  ElementInserter ins(entries, arena);
+  std::vector<float> v{1.0f, 2.0f};
+  ins << v;
+  const ByteBuffer data = flatten(entries);
+  ASSERT_EQ(data.size(), 8u + 8u);
+  std::uint64_t len;
+  std::memcpy(&len, data.data(), 8);
+  EXPECT_EQ(len, 2u);
+}
+
+TEST(ElementInserter, StringPrefixesLength) {
+  std::vector<Entry> entries;
+  ds::detail::Arena arena;
+  ElementInserter ins(entries, arena);
+  std::string s = "hi";
+  ins << s;
+  const ByteBuffer data = flatten(entries);
+  ASSERT_EQ(data.size(), 10u);
+  EXPECT_EQ(data[8], 'h');
+}
+
+TEST(ElementExtractor, ReadsSequentially) {
+  ByteBuffer data;
+  ByteWriter w(data);
+  const int i = 5;
+  const double d = 2.75;
+  w.bytes(asBytes(i));
+  w.bytes(asBytes(d));
+  std::uint64_t cursor = 0;
+  ElementExtractor ex(data.data(), data.size(), cursor);
+  int i2;
+  double d2;
+  ex >> i2 >> d2;
+  EXPECT_EQ(i2, 5);
+  EXPECT_DOUBLE_EQ(d2, 2.75);
+  EXPECT_EQ(ex.remaining(), 0u);
+}
+
+TEST(ElementExtractor, OverrunThrowsFormatError) {
+  ByteBuffer data(4);
+  std::uint64_t cursor = 0;
+  ElementExtractor ex(data.data(), data.size(), cursor);
+  double d;
+  EXPECT_THROW(ex >> d, FormatError);
+}
+
+TEST(ElementExtractor, CursorPersistsAcrossExtractors) {
+  // The stream constructs a fresh extractor per extract call; the shared
+  // cursor carries the position forward — that is what lets several
+  // extracts per record walk one element's data.
+  ByteBuffer data;
+  ByteWriter w(data);
+  const int a = 1, b = 2;
+  w.bytes(asBytes(a));
+  w.bytes(asBytes(b));
+  std::uint64_t cursor = 0;
+  {
+    ElementExtractor ex(data.data(), data.size(), cursor);
+    int out;
+    ex >> out;
+    EXPECT_EQ(out, 1);
+  }
+  {
+    ElementExtractor ex(data.data(), data.size(), cursor);
+    int out;
+    ex >> out;
+    EXPECT_EQ(out, 2);
+  }
+}
+
+TEST(ElementExtractor, ArrayAllocatesWhenNull) {
+  ByteBuffer data;
+  ByteWriter w(data);
+  const double vals[2] = {4.5, 5.5};
+  w.bytes(asBytes(vals, 2));
+  std::uint64_t cursor = 0;
+  ElementExtractor ex(data.data(), data.size(), cursor);
+  double* target = nullptr;
+  ex >> array(target, 2);
+  ASSERT_NE(target, nullptr);
+  EXPECT_DOUBLE_EQ(target[1], 5.5);
+  delete[] target;
+}
+
+TEST(ElementExtractor, ArrayReusesExistingAllocation) {
+  ByteBuffer data;
+  ByteWriter w(data);
+  const double vals[2] = {1.0, 2.0};
+  w.bytes(asBytes(vals, 2));
+  std::uint64_t cursor = 0;
+  ElementExtractor ex(data.data(), data.size(), cursor);
+  double* target = new double[2]{0, 0};
+  double* before = target;
+  ex >> array(target, 2);
+  EXPECT_EQ(target, before);  // not reallocated
+  EXPECT_DOUBLE_EQ(target[0], 1.0);
+  delete[] target;
+}
+
+TEST(ElementExtractor, VectorResizesToStoredLength) {
+  ByteBuffer data;
+  ByteWriter w(data);
+  w.u64(3);
+  const std::int32_t vals[3] = {7, 8, 9};
+  w.bytes(asBytes(vals, 3));
+  std::uint64_t cursor = 0;
+  ElementExtractor ex(data.data(), data.size(), cursor);
+  std::vector<std::int32_t> v{1, 1, 1, 1, 1};  // wrong size going in
+  ex >> v;
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 9);
+}
+
+TEST(Arena, AddressesAreStable) {
+  ds::detail::Arena arena;
+  Byte* first = arena.alloc(8);
+  std::memset(first, 0xAA, 8);
+  // Many more allocations must not move the first buffer.
+  for (int i = 0; i < 1000; ++i) arena.alloc(16);
+  EXPECT_EQ(first[0], 0xAA);
+  EXPECT_EQ(first[7], 0xAA);
+}
+
+TEST(TypeTag, StableAndDistinct) {
+  EXPECT_EQ(typeTag<int>(), typeTag<int>());
+  EXPECT_NE(typeTag<int>(), typeTag<double>());
+  EXPECT_NE(typeTag<int>(), typeTag<unsigned int>());
+  struct A {
+    int x;
+  };
+  struct B {
+    int x;
+  };
+  EXPECT_NE(typeTag<A>(), typeTag<B>());
+}
+
+TEST(RecordHeader, EncodeDecodeRoundTrip) {
+  coll::Distribution d(100, 8, coll::DistKind::BlockCyclic, 4);
+  coll::Layout layout(d, coll::Align(50, 2, 0));
+  RecordHeader h{3, HeaderMode::Parallel, layout,
+                 {InsertDesc{typeTag<int>(), InsertKind::Collection, 4},
+                  InsertDesc{typeTag<double>(), InsertKind::Field, 8}},
+                 9999};
+  const ByteBuffer wire = h.encode();
+  EXPECT_EQ(RecordHeader::encodedLength(std::span<const Byte>(wire).first(8)),
+            wire.size());
+  const RecordHeader back = RecordHeader::decode(wire);
+  EXPECT_EQ(back.seq, 3u);
+  EXPECT_EQ(back.mode, HeaderMode::Parallel);
+  EXPECT_EQ(back.layout, layout);
+  ASSERT_EQ(back.inserts.size(), 2u);
+  EXPECT_EQ(back.inserts[0], h.inserts[0]);
+  EXPECT_EQ(back.inserts[1], h.inserts[1]);
+  EXPECT_EQ(back.dataBytes, 9999u);
+  EXPECT_EQ(back.sizeTableBytes(), 8u * 50u);
+}
+
+TEST(RecordHeader, CrcRejectsTampering) {
+  coll::Distribution d(4, 1, coll::DistKind::Block, 1);
+  RecordHeader h{0, HeaderMode::Gathered, coll::Layout(d), {}, 0};
+  ByteBuffer wire = h.encode();
+  wire[10] ^= 0x01;
+  EXPECT_THROW(RecordHeader::decode(wire), FormatError);
+}
+
+TEST(FileHeader, RoundTripAndRejection) {
+  const ByteBuffer hdr = encodeFileHeader();
+  EXPECT_NO_THROW(verifyFileHeader(hdr));
+  ByteBuffer bad = hdr;
+  bad[0] = 'X';
+  EXPECT_THROW(verifyFileHeader(bad), FormatError);
+  EXPECT_THROW(verifyFileHeader(ByteBuffer(4)), FormatError);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Multi-record files, append mode, shared files with several streams of
+// differing distributions, and atEnd() iteration.
+#include <gtest/gtest.h>
+
+#include "src/dstream/dstream.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+TEST(MultiRecord, ManyRecordsReadBackInOrder) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(3);
+  const int kRecords = 5;
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(9, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    {
+      ds::OStream s(fs, &d, "many");
+      for (int rec = 0; rec < kRecords; ++rec) {
+        g.forEachLocal([rec](int& v, std::int64_t i) {
+          v = static_cast<int>(rec * 1000 + i);
+        });
+        s << g;
+        s.write();
+      }
+      EXPECT_EQ(s.recordsWritten(), static_cast<std::uint32_t>(kRecords));
+    }
+    ds::IStream in(fs, &d, "many");
+    int rec = 0;
+    while (!in.atEnd()) {
+      in.read();
+      EXPECT_EQ(in.currentRecord().seq, static_cast<std::uint32_t>(rec));
+      coll::Collection<int> h(&d);
+      in >> h;
+      h.forEachLocal([rec](int& v, std::int64_t i) {
+        EXPECT_EQ(v, static_cast<int>(rec * 1000 + i));
+      });
+      ++rec;
+    }
+    EXPECT_EQ(rec, kRecords);
+  });
+}
+
+TEST(MultiRecord, AppendModeAddsRecordsToExistingFile) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  // First session.
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    g.forEachLocal([](int& v, std::int64_t i) { v = static_cast<int>(i); });
+    ds::OStream s(fs, &d, "appended");
+    s << g;
+    s.write();
+  });
+  // Second session appends.
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    g.forEachLocal([](int& v, std::int64_t i) {
+      v = static_cast<int>(100 + i);
+    });
+    ds::StreamOptions so;
+    so.append = true;
+    ds::OStream s(fs, &d, "appended", so);
+    s << g;
+    s.write();
+  });
+  // Both records present.
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> a(&d);
+    coll::Collection<int> b(&d);
+    ds::IStream in(fs, &d, "appended");
+    in.read();
+    in >> a;
+    in.read();
+    in >> b;
+    EXPECT_TRUE(in.atEnd());
+    a.forEachLocal([](int& v, std::int64_t i) {
+      EXPECT_EQ(v, static_cast<int>(i));
+    });
+    b.forEachLocal([](int& v, std::int64_t i) {
+      EXPECT_EQ(v, static_cast<int>(100 + i));
+    });
+  });
+}
+
+TEST(MultiRecord, AppendToMissingFileCreatesIt) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::StreamOptions so;
+    so.append = true;
+    ds::OStream s(fs, &d, "fresh", so);
+    s << g;
+    s.write();
+  });
+  EXPECT_TRUE(fs.exists("fresh"));
+}
+
+TEST(MultiRecord, SharedFileWithDifferingDistributions) {
+  // "Multiple d/streams may be set up and connected to the same file if
+  // collections with differing distributions and alignments are to be
+  // output." (paper §4.1)
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(4);
+  m.run([&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution dBlock(8, &P, coll::DistKind::Block);
+    coll::Distribution dCyclic(12, &P, coll::DistKind::Cyclic);
+    coll::Collection<int> a(&dBlock);
+    coll::Collection<double> b(&dCyclic);
+    a.forEachLocal([](int& v, std::int64_t i) { v = static_cast<int>(i); });
+    b.forEachLocal([](double& v, std::int64_t i) {
+      v = static_cast<double>(i) * 2.5;
+    });
+
+    // One shared underlying file, two output streams with different
+    // layouts writing alternating records.
+    auto file = fs.open(node, "sharedFile", pfs::OpenMode::Create);
+    if (node.id() == 0) {
+      file->writeAt(node, 0, ds::encodeFileHeader());
+    }
+    file->seekShared(node, ds::kFileHeaderBytes);
+    {
+      ds::OStream sa(fs, file, coll::Layout(dBlock));
+      ds::OStream sb(fs, file, coll::Layout(dCyclic));
+      sa << a;
+      sa.write();
+      sb << b;
+      sb.write();
+      sa << a;
+      sa.write();
+    }
+
+    // Read the records back with matching input streams.
+    file->seekShared(node, ds::kFileHeaderBytes);
+    ds::IStream ia(fs, file, coll::Layout(dBlock));
+    ds::IStream ib(fs, file, coll::Layout(dCyclic));
+    coll::Collection<int> a2(&dBlock);
+    coll::Collection<double> b2(&dCyclic);
+    ia.read();
+    ia >> a2;
+    ib.read();
+    ib >> b2;
+    ia.read();
+    ia >> a2;
+    a2.forEachLocal([](int& v, std::int64_t i) {
+      EXPECT_EQ(v, static_cast<int>(i));
+    });
+    b2.forEachLocal([](double& v, std::int64_t i) {
+      EXPECT_DOUBLE_EQ(v, static_cast<double>(i) * 2.5);
+    });
+  });
+}
+
+TEST(MultiRecord, RecordsWithDifferentInsertShapes) {
+  // Record 0: one collection insert; record 1: three inserts interleaved.
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(6, &P, coll::DistKind::Cyclic);
+    coll::Collection<int> g(&d);
+    g.forEachLocal([](int& v, std::int64_t i) { v = static_cast<int>(i); });
+    {
+      ds::OStream s(fs, &d, "shapes");
+      s << g;
+      s.write();
+      s << g;
+      s << g;
+      s << g;
+      s.write();
+    }
+    ds::IStream in(fs, &d, "shapes");
+    in.read();
+    EXPECT_EQ(in.currentRecord().inserts.size(), 1u);
+    coll::Collection<int> h(&d);
+    in >> h;
+    in.read();
+    EXPECT_EQ(in.currentRecord().inserts.size(), 3u);
+    in >> h;
+    in >> h;
+    in >> h;
+    h.forEachLocal([](int& v, std::int64_t i) {
+      EXPECT_EQ(v, static_cast<int>(i));
+    });
+  });
+}
+
+TEST(MultiRecord, SyncOnWriteIsDurable) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::StreamOptions so;
+    so.syncOnWrite = true;
+    ds::OStream s(fs, &d, "durable", so);
+    s << g;
+    EXPECT_NO_THROW(s.write());
+  });
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Property sweep: a write/read round trip is the identity for variable-size
+// elements across distribution kinds, node counts, element counts, and
+// header policies.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/dstream/dstream.h"
+#include "src/util/rng.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+struct VarElem {
+  int n = 0;
+  double* data = nullptr;
+  std::int64_t stamp = 0;
+  ~VarElem() { delete[] data; }
+  VarElem() = default;
+  VarElem(const VarElem&) = delete;
+  VarElem& operator=(const VarElem&) = delete;
+};
+
+declareStreamInserter(VarElem& e) {
+  s << e.n;
+  s << e.stamp;
+  s << pcxx::ds::array(e.data, e.n);
+}
+declareStreamExtractor(VarElem& e) {
+  s >> e.n;
+  s >> e.stamp;
+  s >> pcxx::ds::array(e.data, e.n);
+}
+
+/// Deterministic variable size for element g: 0..12 doubles.
+int sizeFor(std::int64_t g) { return static_cast<int>((g * 7 + 3) % 13); }
+
+void fill(coll::Collection<VarElem>& c) {
+  c.forEachLocal([](VarElem& e, std::int64_t g) {
+    e.n = sizeFor(g);
+    e.stamp = g * 31;
+    delete[] e.data;
+    e.data = e.n > 0 ? new double[static_cast<size_t>(e.n)] : nullptr;
+    for (int k = 0; k < e.n; ++k) {
+      e.data[k] = static_cast<double>(g) + 0.001 * k;
+    }
+  });
+}
+
+std::int64_t verify(coll::Collection<VarElem>& c) {
+  std::int64_t bad = 0;
+  c.forEachLocal([&](VarElem& e, std::int64_t g) {
+    if (e.n != sizeFor(g) || e.stamp != g * 31) {
+      ++bad;
+      return;
+    }
+    for (int k = 0; k < e.n; ++k) {
+      if (e.data[k] != static_cast<double>(g) + 0.001 * k) ++bad;
+    }
+  });
+  return bad;
+}
+
+using Case = std::tuple<coll::DistKind, int, std::int64_t, int>;
+
+class RoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RoundTrip, WriteReadIsIdentity) {
+  const auto [kind, nprocs, elements, policy] = GetParam();
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(nprocs);
+  std::atomic<std::int64_t> totalBad{0};
+  m.run([&, kindCopy = kind, elementsCopy = elements,
+         policyCopy = policy](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(elementsCopy, &P, kindCopy, /*blockSize=*/2);
+    coll::Collection<VarElem> out(&d);
+    fill(out);
+
+    ds::StreamOptions so;
+    so.headerPolicy =
+        static_cast<ds::StreamOptions::HeaderPolicy>(policyCopy);
+    ds::OStream s(fs, &d, "prop", so);
+    s << out;
+    s.write();
+
+    coll::Collection<VarElem> in(&d);
+    ds::IStream is(fs, &d, "prop");
+    is.read();
+    is >> in;
+    totalBad.fetch_add(verify(in));
+  });
+  EXPECT_EQ(totalBad.load(), 0);
+}
+
+TEST_P(RoundTrip, UnsortedReadDeliversSameMultiset) {
+  const auto [kind, nprocs, elements, policy] = GetParam();
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(nprocs);
+
+  // Sum over a commutative hash of element content must be preserved no
+  // matter how unsortedRead permutes elements across nodes.
+  std::atomic<std::uint64_t> writtenHash{0};
+  std::atomic<std::uint64_t> readHash{0};
+  auto hashElem = [](const VarElem& e) {
+    std::uint64_t h = static_cast<std::uint64_t>(e.stamp) * 2654435761u +
+                      static_cast<std::uint64_t>(e.n);
+    for (int k = 0; k < e.n; ++k) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &e.data[k], 8);
+      h ^= bits + 0x9E3779B97F4A7C15ull + (h << 6);
+    }
+    return h;
+  };
+
+  m.run([&, kindCopy = kind, elementsCopy = elements,
+         policyCopy = policy](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(elementsCopy, &P, kindCopy, /*blockSize=*/2);
+    coll::Collection<VarElem> out(&d);
+    fill(out);
+    out.forEachLocal([&](VarElem& e, std::int64_t) {
+      writtenHash.fetch_add(hashElem(e));
+    });
+
+    ds::StreamOptions so;
+    so.headerPolicy =
+        static_cast<ds::StreamOptions::HeaderPolicy>(policyCopy);
+    ds::OStream s(fs, &d, "prop_u", so);
+    s << out;
+    s.write();
+
+    coll::Collection<VarElem> in(&d);
+    ds::IStream is(fs, &d, "prop_u");
+    is.unsortedRead();
+    is >> in;
+    in.forEachLocal([&](VarElem& e, std::int64_t) {
+      readHash.fetch_add(hashElem(e));
+    });
+  });
+  EXPECT_EQ(readHash.load(), writtenHash.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundTrip,
+    ::testing::Combine(
+        ::testing::Values(coll::DistKind::Block, coll::DistKind::Cyclic,
+                          coll::DistKind::BlockCyclic),
+        ::testing::Values(1, 2, 4, 6),
+        ::testing::Values<std::int64_t>(1, 5, 24, 100),
+        // HeaderPolicy: Auto / ForceGathered / ForceParallel
+        ::testing::Values(0, 1, 2)));
+
+TEST(RoundTripEdge, EmptyElementsEverywhere) {
+  // Every element has zero-length payload arrays.
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(3);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(9, &P, coll::DistKind::Cyclic);
+    coll::Collection<VarElem> out(&d);
+    out.forEachLocal([](VarElem& e, std::int64_t g) {
+      e.n = 0;
+      e.stamp = g;
+    });
+    ds::OStream s(fs, &d, "empty");
+    s << out;
+    s.write();
+    coll::Collection<VarElem> in(&d);
+    ds::IStream is(fs, &d, "empty");
+    is.read();
+    is >> in;
+    in.forEachLocal([](VarElem& e, std::int64_t g) {
+      EXPECT_EQ(e.n, 0);
+      EXPECT_EQ(e.stamp, g);
+      EXPECT_EQ(e.data, nullptr);
+    });
+  });
+}
+
+TEST(RoundTripEdge, HighlySkewedSizes) {
+  // One giant element among tiny ones stresses chunk partitioning.
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(4);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(16, &P, coll::DistKind::Cyclic);
+    coll::Collection<VarElem> out(&d);
+    out.forEachLocal([](VarElem& e, std::int64_t g) {
+      e.n = g == 5 ? 10000 : 1;
+      e.stamp = g;
+      e.data = new double[static_cast<size_t>(e.n)];
+      for (int k = 0; k < e.n; ++k) {
+        e.data[k] = static_cast<double>(g * 100000 + k);
+      }
+    });
+    ds::OStream s(fs, &d, "skew");
+    s << out;
+    s.write();
+    coll::Collection<VarElem> in(&d);
+    ds::IStream is(fs, &d, "skew");
+    is.read();
+    is >> in;
+    std::int64_t bad = 0;
+    in.forEachLocal([&](VarElem& e, std::int64_t g) {
+      if (e.n != (g == 5 ? 10000 : 1)) ++bad;
+      for (int k = 0; k < e.n; ++k) {
+        if (e.data[k] != static_cast<double>(g * 100000 + k)) ++bad;
+      }
+    });
+    EXPECT_EQ(bad, 0);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Tests for IStream::skipRecord(): cheap navigation over multi-record
+// files without transferring element data.
+#include <gtest/gtest.h>
+
+#include "src/dstream/dstream.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+void writeThreeRecords(pfs::Pfs& fs, bool checksummed) {
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::StreamOptions so;
+    so.checksumData = checksummed;
+    ds::OStream s(fs, &d, "skippy", so);
+    for (int r = 0; r < 3; ++r) {
+      g.forEachLocal([r](int& v, std::int64_t i) {
+        v = r * 100 + static_cast<int>(i);
+      });
+      s << g;
+      s.write();
+    }
+  });
+}
+
+class SkipRecord : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SkipRecord, SkipsToTheWantedRecord) {
+  pfs::Pfs fs = test::memFs();
+  writeThreeRecords(fs, GetParam());
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::IStream s(fs, &d, "skippy");
+    const ds::RecordHeader h0 = s.skipRecord();
+    EXPECT_EQ(h0.seq, 0u);
+    const ds::RecordHeader h1 = s.skipRecord();
+    EXPECT_EQ(h1.seq, 1u);
+    s.read();
+    EXPECT_EQ(s.currentRecord().seq, 2u);
+    s >> g;
+    g.forEachLocal([](int& v, std::int64_t i) {
+      EXPECT_EQ(v, 200 + static_cast<int>(i));
+    });
+    EXPECT_TRUE(s.atEnd());
+  });
+}
+
+TEST_P(SkipRecord, SkipDiscardsPartialExtraction) {
+  pfs::Pfs fs = test::memFs();
+  writeThreeRecords(fs, GetParam());
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::IStream s(fs, &d, "skippy");
+    s.read();  // record 0, never extracted
+    s.skipRecord();  // record 1
+    // After a skip, extraction requires a fresh read().
+    EXPECT_THROW(s >> g, StateError);
+    s.read();  // record 2
+    s >> g;
+    g.forEachLocal([](int& v, std::int64_t i) {
+      EXPECT_EQ(v, 200 + static_cast<int>(i));
+    });
+  });
+}
+
+TEST_P(SkipRecord, SkipPastEndThrows) {
+  pfs::Pfs fs = test::memFs();
+  writeThreeRecords(fs, GetParam());
+  rt::Machine m(2);
+  EXPECT_THROW(m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    ds::IStream s(fs, &d, "skippy");
+    s.skipRecord();
+    s.skipRecord();
+    s.skipRecord();
+    EXPECT_TRUE(s.atEnd());
+    s.skipRecord();
+  }),
+               FormatError);
+}
+
+TEST_P(SkipRecord, SkipIsCheaperThanRead) {
+  // Under the Paragon model, skipping a large record must cost far less
+  // than reading it (only the header moves).
+  pfs::PfsConfig cfg;
+  cfg.perf = pfs::paragonParams();
+  pfs::Pfs fs(cfg);
+  {
+    rt::Machine m(4);
+    m.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(2000, &P, coll::DistKind::Block);
+      coll::Collection<double> g(&d);
+      ds::StreamOptions so;
+      so.checksumData = GetParam();
+      ds::OStream s(fs, &d, "bigskip", so);
+      s << g;
+      s.write();
+      s << g;
+      s.write();
+    });
+  }
+  auto timeInput = [&](bool skip) {
+    fs.model().reset();
+    rt::Machine m(4);
+    m.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(2000, &P, coll::DistKind::Block);
+      coll::Collection<double> g(&d);
+      ds::IStream s(fs, &d, "bigskip");
+      if (skip) {
+        s.skipRecord();
+      } else {
+        s.read();
+        s >> g;
+      }
+    });
+    return m.maxVirtualTime();
+  };
+  const double readTime = timeInput(false);
+  const double skipTime = timeInput(true);
+  EXPECT_LT(skipTime, readTime * 0.7)
+      << "skip " << skipTime << " vs read " << readTime;
+}
+
+INSTANTIATE_TEST_SUITE_P(PlainAndChecksummed, SkipRecord,
+                         ::testing::Bool());
+
+TEST(Rewind, SecondPassReadsTheSameRecords) {
+  pfs::Pfs fs = test::memFs();
+  writeThreeRecords(fs, false);
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::IStream s(fs, &d, "skippy");
+    // First pass: consume everything.
+    int firstPass = 0;
+    while (!s.atEnd()) {
+      s.read();
+      s >> g;
+      ++firstPass;
+    }
+    EXPECT_EQ(firstPass, 3);
+    // Rewind and re-read record 0.
+    s.rewind();
+    EXPECT_FALSE(s.atEnd());
+    s.read();
+    EXPECT_EQ(s.currentRecord().seq, 0u);
+    s >> g;
+    g.forEachLocal([](int& v, std::int64_t i) {
+      EXPECT_EQ(v, static_cast<int>(i));
+    });
+  });
+}
+
+}  // namespace

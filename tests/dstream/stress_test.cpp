@@ -1,0 +1,127 @@
+// Stress tests: large collections, many records, and deep recursion —
+// catching accidental quadratic behavior, overflow at scale, and stack
+// abuse that small unit tests never see.
+#include <gtest/gtest.h>
+
+#include "src/dstream/dstream.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+TEST(Stress, FiftyThousandElementsRoundTrip) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(4);
+  std::atomic<std::int64_t> bad{0};
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(50'000, &P, coll::DistKind::Cyclic);
+    coll::Collection<double> g(&d);
+    g.forEachLocal([](double& v, std::int64_t i) {
+      v = static_cast<double>(i) * 0.25;
+    });
+    {
+      ds::StreamOptions so;
+      so.checksumData = true;
+      ds::OStream s(fs, &d, "big", so);
+      s << g;
+      s.write();
+    }
+    // Read under a different distribution: full redistribution of 50k
+    // elements.
+    coll::Distribution d2(50'000, &P, coll::DistKind::Block);
+    coll::Collection<double> h(&d2);
+    ds::IStream in(fs, &d2, "big");
+    in.read();
+    in >> h;
+    h.forEachLocal([&](double& v, std::int64_t i) {
+      if (v != static_cast<double>(i) * 0.25) bad.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Stress, TwoHundredRecordsInOneFile) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(16, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    {
+      ds::OStream s(fs, &d, "manyrec");
+      for (int r = 0; r < 200; ++r) {
+        g.forEachLocal([r](int& v, std::int64_t i) {
+          v = r * 1000 + static_cast<int>(i);
+        });
+        s << g;
+        s.write();
+      }
+    }
+    ds::IStream in(fs, &d, "manyrec");
+    int r = 0;
+    while (!in.atEnd()) {
+      in.read();
+      in >> g;
+      g.forEachLocal([r](int& v, std::int64_t i) {
+        if (v != r * 1000 + static_cast<int>(i)) {
+          FAIL() << "record " << r << " element " << i;
+        }
+      });
+      ++r;
+    }
+    EXPECT_EQ(r, 200);
+  });
+}
+
+TEST(Stress, MegabyteSingleElement) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(3);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Grid2D<double> grid(3, 0, &P);
+    grid.forEachLocalRow([](std::int64_t i, std::vector<double>& cells) {
+      cells.assign(1 << 17, static_cast<double>(i));  // 1 MiB of doubles
+    });
+    {
+      ds::OStream s(fs, &grid.distribution(), "blob");
+      s << grid.collection();
+      s.write();
+    }
+    coll::Grid2D<double> back(3, 0, &P);
+    ds::IStream in(fs, &back.distribution(), "blob");
+    in.read();
+    in >> back.collection();
+    back.forEachLocalRow([](std::int64_t i, std::vector<double>& cells) {
+      ASSERT_EQ(cells.size(), static_cast<size_t>(1 << 17));
+      EXPECT_DOUBLE_EQ(cells.front(), static_cast<double>(i));
+      EXPECT_DOUBLE_EQ(cells.back(), static_cast<double>(i));
+    });
+  });
+}
+
+TEST(Stress, SixteenNodeMachine) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(16);
+  std::atomic<std::int64_t> bad{0};
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(99, &P, coll::DistKind::Cyclic);
+    coll::Collection<int> g(&d);
+    g.forEachLocal([](int& v, std::int64_t i) { v = static_cast<int>(i); });
+    ds::OStream s(fs, &d, "wide");
+    s << g;
+    s.write();
+    coll::Collection<int> h(&d);
+    ds::IStream in(fs, &d, "wide");
+    in.read();
+    in >> h;
+    h.forEachLocal([&](int& v, std::int64_t i) {
+      if (v != static_cast<int>(i)) bad.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Collections on a SUBSET of the machine's nodes (Processors(k) with
+// k < machine size): the remaining nodes own nothing but still take part
+// in the collective d/stream operations.
+#include <gtest/gtest.h>
+
+#include "src/dstream/dstream.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+TEST(SubsetProcessors, NonMemberNodesOwnNothing) {
+  rt::Machine m(4);
+  m.run([](rt::Node& node) {
+    coll::Processors sub(2);
+    coll::Distribution d(10, &sub, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    if (node.id() >= 2) {
+      EXPECT_EQ(g.localCount(), 0);
+    } else {
+      EXPECT_EQ(g.localCount(), 5);
+    }
+  });
+}
+
+TEST(SubsetProcessors, StreamRoundTripOnSubset) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(5);
+  std::atomic<std::int64_t> bad{0};
+  m.run([&](rt::Node&) {
+    coll::Processors sub(3);
+    coll::Distribution d(14, &sub, coll::DistKind::Cyclic);
+    coll::Collection<double> g(&d);
+    g.forEachLocal([](double& v, std::int64_t i) {
+      v = static_cast<double>(i) * 1.5;
+    });
+    // All 5 machine nodes participate in the collective write, even though
+    // only 3 own data.
+    ds::OStream s(fs, &d, "subset");
+    s << g;
+    s.write();
+
+    coll::Collection<double> h(&d);
+    ds::IStream in(fs, &d, "subset");
+    in.read();
+    in >> h;
+    h.forEachLocal([&](double& v, std::int64_t i) {
+      if (v != static_cast<double>(i) * 1.5) bad.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(SubsetProcessors, WriteOnSubsetReadOnFullMachine) {
+  pfs::Pfs fs = test::memFs();
+  {
+    rt::Machine m(6);
+    m.run([&](rt::Node&) {
+      coll::Processors sub(2);
+      coll::Distribution d(12, &sub, coll::DistKind::Block);
+      coll::Collection<int> g(&d);
+      g.forEachLocal([](int& v, std::int64_t i) {
+        v = static_cast<int>(i * 7);
+      });
+      ds::OStream s(fs, &d, "sub2full");
+      s << g;
+      s.write();
+    });
+  }
+  rt::Machine m(4);
+  std::atomic<std::int64_t> bad{0};
+  m.run([&](rt::Node&) {
+    coll::Processors P;  // all 4 nodes this time
+    coll::Distribution d(12, &P, coll::DistKind::Cyclic);
+    coll::Collection<int> g(&d);
+    ds::IStream in(fs, &d, "sub2full");
+    in.read();
+    in >> g;
+    g.forEachLocal([&](int& v, std::int64_t i) {
+      if (v != static_cast<int>(i * 7)) bad.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(SubsetProcessors, CheckpointManagerOnSubset) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(4);
+  m.run([&](rt::Node&) {
+    coll::Processors sub(2);
+    coll::Distribution d(8, &sub, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    g.forEachLocal([](double& v, std::int64_t i) {
+      v = static_cast<double>(i);
+    });
+    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    mgr.save(g);
+    coll::Collection<double> h(&d);
+    EXPECT_EQ(mgr.restoreLatest(h), 0);
+    h.forEachLocal([](double& v, std::int64_t i) {
+      EXPECT_DOUBLE_EQ(v, static_cast<double>(i));
+    });
+  });
+}
+
+}  // namespace

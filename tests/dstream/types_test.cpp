@@ -1,0 +1,306 @@
+// Element-type coverage: scalars, opted-in trivial structs, std::vector,
+// std::string, nested programmer-defined types, recursive trees, and the
+// rvalue/arena lifetime rule.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/dstream/dstream.h"
+#include "tests/common/test_helpers.h"
+
+namespace pcxxtypes {
+
+using namespace pcxx;
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+  bool operator==(const Vec3&) const = default;
+};
+
+}  // namespace pcxxtypes
+
+// Must precede any inserter that streams a Vec3 by value.
+PCXX_STREAM_TRIVIAL(pcxxtypes::Vec3);
+
+namespace pcxxtypes {
+
+using namespace pcxx;
+
+struct Inner {
+  int id = 0;
+  std::vector<double> samples;
+};
+declareStreamInserter(Inner& v) {
+  s << v.id;
+  s << v.samples;
+}
+declareStreamExtractor(Inner& v) {
+  s >> v.id;
+  s >> v.samples;
+}
+
+struct Outer {
+  std::string name;
+  Inner inner;       // nested programmer-defined type
+  Vec3 direction;    // trivially streamed struct
+};
+declareStreamInserter(Outer& v) {
+  s << v.name;
+  s << v.inner;      // recursion through the Inner inserter
+  s << v.direction;
+}
+declareStreamExtractor(Outer& v) {
+  s >> v.name;
+  s >> v.inner;
+  s >> v.direction;
+}
+
+struct ListNode {
+  int value = 0;
+  ListNode* next = nullptr;
+  ~ListNode() { delete next; }
+};
+declareStreamInserter(ListNode& v) {
+  s << v.value;
+  s << static_cast<std::uint8_t>(v.next != nullptr);
+  if (v.next != nullptr) s << *v.next;
+}
+declareStreamExtractor(ListNode& v) {
+  s >> v.value;
+  std::uint8_t has = 0;
+  s >> has;
+  if (has != 0) {
+    if (v.next == nullptr) v.next = new ListNode();
+    s >> *v.next;
+  }
+}
+
+}  // namespace pcxxtypes
+
+namespace {
+
+using namespace pcxx;
+using pcxxtypes::Inner;
+using pcxxtypes::ListNode;
+using pcxxtypes::Outer;
+using pcxxtypes::Vec3;
+
+template <typename T, typename FillFn, typename CheckFn>
+void roundTrip(std::int64_t elements, int nprocs, FillFn fill, CheckFn check) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(nprocs);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(elements, &P, coll::DistKind::Cyclic);
+    coll::Collection<T> out(&d);
+    out.forEachLocal(fill);
+    ds::OStream s(fs, &d, "types");
+    s << out;
+    s.write();
+    coll::Collection<T> in(&d);
+    ds::IStream is(fs, &d, "types");
+    is.read();
+    is >> in;
+    in.forEachLocal(check);
+  });
+}
+
+TEST(Types, ScalarDoubleCollection) {
+  roundTrip<double>(
+      17, 3,
+      [](double& v, std::int64_t g) { v = static_cast<double>(g) * 0.5; },
+      [](double& v, std::int64_t g) {
+        EXPECT_DOUBLE_EQ(v, static_cast<double>(g) * 0.5);
+      });
+}
+
+TEST(Types, ScalarBoolAndChar) {
+  roundTrip<char>(
+      9, 2, [](char& v, std::int64_t g) { v = static_cast<char>('a' + g); },
+      [](char& v, std::int64_t g) {
+        EXPECT_EQ(v, static_cast<char>('a' + g));
+      });
+  roundTrip<bool>(
+      9, 2, [](bool& v, std::int64_t g) { v = (g % 2) == 0; },
+      [](bool& v, std::int64_t g) { EXPECT_EQ(v, (g % 2) == 0); });
+}
+
+TEST(Types, TriviallyStreamedStruct) {
+  roundTrip<Vec3>(
+      10, 2,
+      [](Vec3& v, std::int64_t g) {
+        v = Vec3{static_cast<double>(g), static_cast<double>(g * 2),
+                 static_cast<double>(g * 3)};
+      },
+      [](Vec3& v, std::int64_t g) {
+        EXPECT_EQ(v, (Vec3{static_cast<double>(g), static_cast<double>(g * 2),
+                           static_cast<double>(g * 3)}));
+      });
+}
+
+TEST(Types, VectorsAreSelfDescribing) {
+  roundTrip<Inner>(
+      11, 4,
+      [](Inner& v, std::int64_t g) {
+        v.id = static_cast<int>(g);
+        v.samples.assign(static_cast<size_t>(g % 5), static_cast<double>(g));
+      },
+      [](Inner& v, std::int64_t g) {
+        EXPECT_EQ(v.id, static_cast<int>(g));
+        ASSERT_EQ(v.samples.size(), static_cast<size_t>(g % 5));
+        for (double x : v.samples) {
+          EXPECT_DOUBLE_EQ(x, static_cast<double>(g));
+        }
+      });
+}
+
+TEST(Types, NestedStructsAndStrings) {
+  roundTrip<Outer>(
+      8, 2,
+      [](Outer& v, std::int64_t g) {
+        v.name = "element-" + std::string(static_cast<size_t>(g), 'x');
+        v.inner.id = static_cast<int>(g * 7);
+        v.inner.samples = {1.0, static_cast<double>(g)};
+        v.direction = Vec3{1, 2, static_cast<double>(g)};
+      },
+      [](Outer& v, std::int64_t g) {
+        EXPECT_EQ(v.name, "element-" + std::string(static_cast<size_t>(g),
+                                                   'x'));
+        EXPECT_EQ(v.inner.id, static_cast<int>(g * 7));
+        ASSERT_EQ(v.inner.samples.size(), 2u);
+        EXPECT_DOUBLE_EQ(v.inner.samples[1], static_cast<double>(g));
+        EXPECT_EQ(v.direction, (Vec3{1, 2, static_cast<double>(g)}));
+      });
+}
+
+TEST(Types, RecursiveLinkedLists) {
+  roundTrip<ListNode>(
+      6, 3,
+      [](ListNode& v, std::int64_t g) {
+        // Element g holds a chain of length g+1.
+        v.value = static_cast<int>(g * 100);
+        ListNode* cur = &v;
+        for (int k = 1; k <= g; ++k) {
+          cur->next = new ListNode();
+          cur = cur->next;
+          cur->value = static_cast<int>(g * 100 + k);
+        }
+      },
+      [](ListNode& v, std::int64_t g) {
+        const ListNode* cur = &v;
+        for (int k = 0; k <= g; ++k) {
+          ASSERT_NE(cur, nullptr) << "chain too short at element " << g;
+          EXPECT_EQ(cur->value, static_cast<int>(g * 100 + k));
+          cur = cur->next;
+        }
+        EXPECT_EQ(cur, nullptr) << "chain too long at element " << g;
+      });
+}
+
+TEST(Types, EmptyStringsAndVectors) {
+  roundTrip<Inner>(
+      5, 2,
+      [](Inner& v, std::int64_t g) {
+        v.id = static_cast<int>(g);
+        v.samples.clear();
+      },
+      [](Inner& v, std::int64_t g) {
+        EXPECT_EQ(v.id, static_cast<int>(g));
+        EXPECT_TRUE(v.samples.empty());
+      });
+}
+
+}  // namespace
+
+// Namespace-scope ADL functions for the temporaries test.
+namespace pcxxtypes {
+
+struct CompactPair {
+  int lo = 0;
+  int hi = 0;
+};
+declareStreamInserter(CompactPair& v) {
+  // Both entries are computed temporaries: arena-copied at insert time.
+  s << (v.lo + v.hi);
+  s << (v.hi - v.lo);
+}
+declareStreamExtractor(CompactPair& v) {
+  int sum = 0;
+  int diff = 0;
+  s >> sum;
+  s >> diff;
+  v.hi = (sum + diff) / 2;
+  v.lo = (sum - diff) / 2;
+}
+
+}  // namespace pcxxtypes
+
+namespace {
+
+TEST(Types, TemporariesSurviveUntilWrite) {
+  roundTrip<pcxxtypes::CompactPair>(
+      12, 3,
+      [](pcxxtypes::CompactPair& v, std::int64_t g) {
+        v.lo = static_cast<int>(g);
+        v.hi = static_cast<int>(g * 3 + 5);
+      },
+      [](pcxxtypes::CompactPair& v, std::int64_t g) {
+        EXPECT_EQ(v.lo, static_cast<int>(g));
+        EXPECT_EQ(v.hi, static_cast<int>(g * 3 + 5));
+      });
+}
+
+TEST(Types, MixedInsertsInOneRecord) {
+  // A record holding: whole double collection, whole Inner collection,
+  // and an int field — extracted in the same order.
+  struct WithField {
+    int tag = 0;
+  };
+  pfs::Pfs fs = pcxx::test::memFs();
+  rt::Machine m(3);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(9, &P, coll::DistKind::Cyclic);
+    coll::Collection<double> a(&d);
+    coll::Collection<Inner> b(&d);
+    coll::Collection<WithField> c(&d);
+    a.forEachLocal([](double& v, std::int64_t g) {
+      v = static_cast<double>(g);
+    });
+    b.forEachLocal([](Inner& v, std::int64_t g) {
+      v.id = static_cast<int>(g);
+      v.samples.assign(1, 2.5);
+    });
+    c.forEachLocal([](WithField& v, std::int64_t g) {
+      v.tag = static_cast<int>(g + 50);
+    });
+    {
+      ds::OStream s(fs, &d, "mixed");
+      s << a;
+      s << b;
+      s << c.field(&WithField::tag);
+      s.write();
+    }
+    coll::Collection<double> a2(&d);
+    coll::Collection<Inner> b2(&d);
+    coll::Collection<WithField> c2(&d);
+    ds::IStream in(fs, &d, "mixed");
+    in.read();
+    in >> a2;
+    in >> b2;
+    in >> c2.field(&WithField::tag);
+    a2.forEachLocal([](double& v, std::int64_t g) {
+      EXPECT_DOUBLE_EQ(v, static_cast<double>(g));
+    });
+    b2.forEachLocal([](Inner& v, std::int64_t g) {
+      EXPECT_EQ(v.id, static_cast<int>(g));
+      ASSERT_EQ(v.samples.size(), 1u);
+    });
+    c2.forEachLocal([](WithField& v, std::int64_t g) {
+      EXPECT_EQ(v.tag, static_cast<int>(g + 50));
+    });
+  });
+}
+
+}  // namespace

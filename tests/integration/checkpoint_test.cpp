@@ -1,0 +1,208 @@
+// Integration tests across all layers: checkpoint/restart workflows over
+// real files, node-count changes between writer and reader, and the SCF
+// application loop with periodic state saves.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/dstream/dstream.h"
+#include "src/scf/physics.h"
+#include "src/scf/segment.h"
+#include "src/scf/workload.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcxx_ckpt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  pfs::PfsConfig posixConfig() {
+    pfs::PfsConfig cfg;
+    cfg.backend = pfs::PfsConfig::Backend::Posix;
+    cfg.dir = dir_.string();
+    return cfg;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, PosixCheckpointSurvivesProcessRestartSimulation) {
+  const std::int64_t segments = 10;
+  const int particles = 7;
+  // "Process 1": write a checkpoint to real disk and drop all state.
+  {
+    pfs::Pfs fs(posixConfig());
+    rt::Machine m(4);
+    m.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(segments, &P, coll::DistKind::Cyclic);
+      coll::Collection<scf::Segment> data(&d);
+      scf::fillDeterministic(data, particles);
+      ds::StreamOptions so;
+      so.syncOnWrite = true;
+      ds::OStream s(fs, &d, "ckpt.bin", so);
+      s << data;
+      s.write();
+    });
+  }  // fs destroyed: only the on-disk bytes remain
+
+  // "Process 2": fresh Pfs over the same directory, different node count
+  // AND distribution.
+  {
+    pfs::Pfs fs(posixConfig());
+    rt::Machine m(3);
+    std::atomic<std::int64_t> bad{0};
+    m.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(segments, &P, coll::DistKind::Block);
+      coll::Collection<scf::Segment> data(&d);
+      ds::IStream s(fs, &d, "ckpt.bin");
+      s.read();
+      s >> data;
+      bad.fetch_add(scf::verifyDeterministic(data, particles));
+    });
+    EXPECT_EQ(bad.load(), 0);
+  }
+}
+
+TEST_F(CheckpointTest, SimulationContinuesBitExactAfterRestart) {
+  // Reference: run 6 steps straight through on 4 nodes.
+  const std::int64_t segments = 4;
+  const int particles = 10;
+  scf::StepperConfig stepperCfg;
+
+  auto snapshotParticle = [](rt::Node& node,
+                             coll::Collection<scf::Segment>& c) {
+    double v = 0.0;
+    if (c.owns(1)) v = c.at(1).x[2];
+    return node.allreduceSum(v);
+  };
+
+  double straightThrough = 0.0;
+  {
+    rt::Machine m(4);
+    m.run([&](rt::Node& node) {
+      coll::Processors P;
+      coll::Distribution d(segments, &P, coll::DistKind::Block);
+      coll::Collection<scf::Segment> bodies(&d);
+      scf::fillPlummer(bodies, particles, 99);
+      scf::NBodyStepper stepper(stepperCfg);
+      for (int i = 0; i < 6; ++i) stepper.step(node, bodies);
+      const double v = snapshotParticle(node, bodies);
+      if (node.id() == 0) straightThrough = v;
+    });
+  }
+
+  // Checkpointed run: 3 steps on 4 nodes, checkpoint, resume 3 steps on 2.
+  pfs::Pfs fs = test::memFs();
+  {
+    rt::Machine m(4);
+    m.run([&](rt::Node& node) {
+      coll::Processors P;
+      coll::Distribution d(segments, &P, coll::DistKind::Block);
+      coll::Collection<scf::Segment> bodies(&d);
+      scf::fillPlummer(bodies, particles, 99);
+      scf::NBodyStepper stepper(stepperCfg);
+      for (int i = 0; i < 3; ++i) stepper.step(node, bodies);
+      ds::OStream s(fs, &d, "mid");
+      s << bodies;
+      s.write();
+    });
+  }
+  double resumed = 0.0;
+  {
+    rt::Machine m(2);
+    m.run([&](rt::Node& node) {
+      coll::Processors P;
+      coll::Distribution d(segments, &P, coll::DistKind::Cyclic);
+      coll::Collection<scf::Segment> bodies(&d);
+      ds::IStream s(fs, &d, "mid");
+      s.read();
+      s >> bodies;
+      scf::NBodyStepper stepper(stepperCfg);
+      for (int i = 0; i < 3; ++i) stepper.step(node, bodies);
+      const double v = snapshotParticle(node, bodies);
+      if (node.id() == 0) resumed = v;
+    });
+  }
+  // Same particle set, same deterministic force sum: bit-exact continuation.
+  EXPECT_DOUBLE_EQ(resumed, straightThrough);
+}
+
+TEST_F(CheckpointTest, PeriodicCheckpointsKeepOnlyLatestRecordReadable) {
+  // Overwriting checkpoints (Create mode) leaves exactly one record; a
+  // rolling checkpoint never grows the file.
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  std::uint64_t size1 = 0, size3 = 0;
+  m.run([&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(6, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      g.forEachLocal([epoch](int& v, std::int64_t i) {
+        v = static_cast<int>(epoch * 100 + i);
+      });
+      ds::OStream s(fs, &d, "rolling");
+      s << g;
+      s.write();
+      node.barrier();
+      if (node.id() == 0) {
+        auto f = fs.open(node, "rolling", pfs::OpenMode::Read);
+        if (epoch == 0) size1 = f->size();
+        if (epoch == 2) size3 = f->size();
+      } else {
+        fs.open(node, "rolling", pfs::OpenMode::Read);
+      }
+    }
+    // The latest epoch's values are what reads back.
+    coll::Collection<int> h(&d);
+    ds::IStream in(fs, &d, "rolling");
+    in.read();
+    in >> h;
+    h.forEachLocal([](int& v, std::int64_t i) {
+      EXPECT_EQ(v, static_cast<int>(200 + i));
+    });
+  });
+  EXPECT_EQ(size1, size3);
+}
+
+TEST_F(CheckpointTest, DefaultPfsRegistryWorksAcrossPrograms) {
+  pfs::Pfs fs = test::memFs();
+  ds::setDefaultPfs(&fs);
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    g.forEachLocal([](int& v, std::int64_t i) { v = static_cast<int>(i); });
+    // Paper-style constructors: no fs argument.
+    ds::oStream s(&d, "viaDefault");
+    s << g;
+    s.write();
+  });
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::iStream s(&d, "viaDefault");
+    s.read();
+    s >> g;
+    g.forEachLocal([](int& v, std::int64_t i) {
+      EXPECT_EQ(v, static_cast<int>(i));
+    });
+  });
+  ds::setDefaultPfs(nullptr);
+  EXPECT_THROW(ds::defaultPfs(), UsageError);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Tests for the parallel file system: node-order collective I/O, shared
+// cursor, namespace semantics, and cross-machine persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/pfs/parallel_file.h"
+#include "src/runtime/machine.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::pfs;
+
+class ParallelFileTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelFileTest, WriteOrderedLandsInNodeOrder) {
+  const int p = GetParam();
+  Pfs fs{PfsConfig{}};
+  rt::Machine m(p);
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "ordered", OpenMode::Create);
+    // Node i writes i+1 bytes of value i.
+    ByteBuffer mine(static_cast<size_t>(node.id() + 1),
+                    static_cast<Byte>(node.id()));
+    const auto myOffset = f->writeOrdered(node, mine);
+    // Offset equals the sum of lower-node block sizes.
+    std::uint64_t expected = 0;
+    for (int i = 0; i < node.id(); ++i) {
+      expected += static_cast<std::uint64_t>(i + 1);
+    }
+    EXPECT_EQ(myOffset, expected);
+    node.barrier();
+    // The whole file is the node blocks concatenated in node order.
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(p) * (p + 1) / 2;
+    EXPECT_EQ(f->size(), total);
+    if (node.id() == 0) {
+      ByteBuffer all(static_cast<size_t>(total));
+      EXPECT_EQ(f->readAt(node, 0, all), total);
+      size_t pos = 0;
+      for (int i = 0; i < p; ++i) {
+        for (int k = 0; k <= i; ++k) {
+          EXPECT_EQ(all[pos++], static_cast<Byte>(i));
+        }
+      }
+    }
+  });
+}
+
+TEST_P(ParallelFileTest, ReadOrderedRoundTrip) {
+  const int p = GetParam();
+  Pfs fs{PfsConfig{}};
+  rt::Machine m(p);
+  m.run([&](rt::Node& node) {
+    {
+      auto f = fs.open(node, "rt", OpenMode::Create);
+      ByteBuffer mine(static_cast<size_t>(3 * (node.id() + 1)),
+                      static_cast<Byte>(node.id() + 100));
+      f->writeOrdered(node, mine);
+    }
+    {
+      auto f = fs.open(node, "rt", OpenMode::Read);
+      ByteBuffer mine(static_cast<size_t>(3 * (node.id() + 1)));
+      const auto off = f->readOrdered(node, mine);
+      (void)off;
+      for (Byte b : mine) {
+        EXPECT_EQ(b, static_cast<Byte>(node.id() + 100));
+      }
+    }
+  });
+}
+
+TEST_P(ParallelFileTest, SharedCursorAdvancesAcrossRecords) {
+  const int p = GetParam();
+  Pfs fs{PfsConfig{}};
+  rt::Machine m(p);
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "cursor", OpenMode::Create);
+    EXPECT_EQ(f->sharedOffset(), 0u);
+    ByteBuffer block(4, 1);
+    f->writeOrdered(node, block);
+    EXPECT_EQ(f->sharedOffset(), static_cast<std::uint64_t>(4 * p));
+    f->writeOrdered(node, block);
+    EXPECT_EQ(f->sharedOffset(), static_cast<std::uint64_t>(8 * p));
+    f->seekShared(node, 4);
+    EXPECT_EQ(f->sharedOffset(), 4u);
+  });
+}
+
+TEST_P(ParallelFileTest, ZeroLengthBlocksAllowed) {
+  const int p = GetParam();
+  Pfs fs{PfsConfig{}};
+  rt::Machine m(p);
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "zeros", OpenMode::Create);
+    // Only the last node contributes data.
+    ByteBuffer mine;
+    if (node.id() == node.nprocs() - 1) mine = {7, 7};
+    f->writeOrdered(node, mine);
+    EXPECT_EQ(f->size(), 2u);
+
+    f->seekShared(node, 0);
+    ByteBuffer back(node.id() == node.nprocs() - 1 ? 2 : 0);
+    f->readOrdered(node, back);
+    if (!back.empty()) {
+      EXPECT_EQ(back[0], 7);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, ParallelFileTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelFile, ReadOrderedPastEofThrowsEverywhere) {
+  Pfs fs{PfsConfig{}};
+  rt::Machine m(3);
+  EXPECT_THROW(m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "short", OpenMode::Create);
+    ByteBuffer block(2, 1);
+    f->writeOrdered(node, block);
+    f->seekShared(node, 0);
+    ByteBuffer big(100);  // more than the file holds
+    f->readOrdered(node, big);
+  }),
+               IoError);
+}
+
+TEST(ParallelFile, OpenMissingFileThrowsOnAllNodes) {
+  Pfs fs{PfsConfig{}};
+  rt::Machine m(4);
+  std::atomic<int> throwers{0};
+  EXPECT_THROW(m.run([&](rt::Node& node) {
+    try {
+      fs.open(node, "missing", OpenMode::Read);
+    } catch (const IoError&) {
+      throwers.fetch_add(1);
+      throw;
+    }
+  }),
+               IoError);
+  EXPECT_EQ(throwers.load(), 4);
+}
+
+TEST(ParallelFile, CreateTruncatesExisting) {
+  Pfs fs{PfsConfig{}};
+  rt::Machine m(2);
+  m.run([&](rt::Node& node) {
+    {
+      auto f = fs.open(node, "trunc", OpenMode::Create);
+      ByteBuffer data(50, 1);
+      f->writeOrdered(node, data);
+    }
+    {
+      auto f = fs.open(node, "trunc", OpenMode::Create);
+      EXPECT_EQ(f->size(), 0u);
+    }
+  });
+}
+
+TEST(ParallelFile, FilePersistsAcrossMachines) {
+  // A checkpoint written by one machine must be readable by another with a
+  // different node count — the memory backend keeps the namespace.
+  Pfs fs{PfsConfig{}};
+  {
+    rt::Machine writer(4);
+    writer.run([&](rt::Node& node) {
+      auto f = fs.open(node, "xmachine", OpenMode::Create);
+      ByteBuffer mine(10, static_cast<Byte>(node.id()));
+      f->writeOrdered(node, mine);
+    });
+  }
+  {
+    rt::Machine reader(2);
+    reader.run([&](rt::Node& node) {
+      auto f = fs.open(node, "xmachine", OpenMode::Read);
+      EXPECT_EQ(f->size(), 40u);
+      ByteBuffer mine(20);
+      f->readOrdered(node, mine);
+      // Node 0 sees writer-node-0 then writer-node-1 blocks, etc.
+      EXPECT_EQ(mine[0], static_cast<Byte>(2 * node.id()));
+      EXPECT_EQ(mine[19], static_cast<Byte>(2 * node.id() + 1));
+    });
+  }
+}
+
+TEST(ParallelFile, RemoveAndExists) {
+  Pfs fs{PfsConfig{}};
+  rt::Machine m(2);
+  m.run([&](rt::Node& node) {
+    fs.open(node, "gone", OpenMode::Create);
+    node.barrier();
+    EXPECT_TRUE(fs.exists("gone"));
+    fs.remove(node, "gone");
+    EXPECT_FALSE(fs.exists("gone"));
+  });
+}
+
+TEST(ParallelFile, PosixBackendWritesRealFiles) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pcxx_pfsposix_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  PfsConfig cfg;
+  cfg.backend = PfsConfig::Backend::Posix;
+  cfg.dir = dir.string();
+  Pfs fs(cfg);
+  rt::Machine m(3);
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "real.bin", OpenMode::Create);
+    ByteBuffer mine(4, static_cast<Byte>(node.id()));
+    f->writeOrdered(node, mine);
+    f->sync(node);
+  });
+  EXPECT_EQ(std::filesystem::file_size(dir / "real.bin"), 12u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ParallelFile, OpCountTracksStorageAccesses) {
+  Pfs fs{PfsConfig{}};
+  rt::Machine m(2);
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "ops", OpenMode::Create);
+    if (node.id() == 0) {
+      f->writeAt(node, 0, ByteBuffer{1});
+    }
+    node.barrier();
+  });
+  EXPECT_EQ(fs.opCount(), 1u);
+}
+
+}  // namespace

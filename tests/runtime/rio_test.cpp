@@ -1,0 +1,123 @@
+// Tests for replicated I/O on local data (paper §4.2): node-0 output,
+// broadcast input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/runtime/rio.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::rt;
+
+class RioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcxx_rio_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(RioTest, WriteThenReadReplicated) {
+  Machine m(4);
+  const std::string file = path("data.bin");
+  m.run([&](Node& node) {
+    ByteBuffer out{1, 2, 3, 4, 5};
+    rio::writeFileReplicated(node, file, out);
+    // Every node gets identical contents back.
+    const ByteBuffer in = rio::readFileReplicated(node, file);
+    ASSERT_EQ(in.size(), 5u);
+    EXPECT_EQ(in[4], 5);
+  });
+  // Exactly one copy was written (by node 0), not four appended copies.
+  EXPECT_EQ(std::filesystem::file_size(file), 5u);
+}
+
+TEST_F(RioTest, ReadMissingFileThrowsOnAllNodes) {
+  Machine m(3);
+  std::atomic<int> throwers{0};
+  EXPECT_THROW(m.run([&](Node& node) {
+    try {
+      rio::readFileReplicated(node, path("nonexistent"));
+    } catch (const IoError&) {
+      throwers.fetch_add(1);
+      throw;
+    }
+  }),
+               IoError);
+  // All nodes observed the failure (collective error propagation), even
+  // though only node 0 attempted the open.
+  EXPECT_EQ(throwers.load(), 3);
+}
+
+TEST_F(RioTest, WriteToBadPathThrowsOnAllNodes) {
+  Machine m(2);
+  EXPECT_THROW(m.run([&](Node& node) {
+    ByteBuffer data{1};
+    rio::writeFileReplicated(node, path("no/such/dir/file"), data);
+  }),
+               IoError);
+}
+
+TEST_F(RioTest, PrintfEmitsOnce) {
+  // Validate via a round-trip through a file-backed stdout capture is
+  // heavyweight; instead check it is callable from all nodes without
+  // deadlock and ordering is preserved across two calls.
+  Machine m(4);
+  m.run([](Node& node) {
+    rio::printf(node, "%s", "");  // no-op output, still collective
+    rio::printf(node, "%s", "");
+  });
+}
+
+TEST_F(RioTest, ReadLineReplicatedBroadcastsStdin) {
+  // Swap std::cin's buffer for a string; node 0 reads the line, everyone
+  // receives it.
+  std::istringstream fake("hello from stdin\nsecond line\n");
+  std::streambuf* old = std::cin.rdbuf(fake.rdbuf());
+  Machine m(3);
+  std::atomic<int> matches{0};
+  m.run([&](Node& node) {
+    const std::string line1 = rio::readLineReplicated(node);
+    if (line1 == "hello from stdin") matches.fetch_add(1);
+    const std::string line2 = rio::readLineReplicated(node);
+    if (line2 == "second line") matches.fetch_add(1);
+  });
+  std::cin.rdbuf(old);
+  EXPECT_EQ(matches.load(), 6);
+}
+
+TEST_F(RioTest, ReadLineReplicatedAtEofReturnsEmpty) {
+  std::istringstream fake("");
+  std::streambuf* old = std::cin.rdbuf(fake.rdbuf());
+  Machine m(2);
+  m.run([&](Node& node) {
+    EXPECT_TRUE(rio::readLineReplicated(node).empty());
+  });
+  std::cin.rdbuf(old);
+  std::cin.clear();  // clear the EOF state for any later reader
+}
+
+TEST_F(RioTest, EmptyFileRoundTrip) {
+  Machine m(2);
+  const std::string file = path("empty.bin");
+  m.run([&](Node& node) {
+    rio::writeFileReplicated(node, file, {});
+    EXPECT_TRUE(rio::readFileReplicated(node, file).empty());
+  });
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Tests for the scatter collective.
+#include <gtest/gtest.h>
+
+#include "src/runtime/machine.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::rt;
+
+class ScatterTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScatterTest, EachNodeGetsItsBuffer) {
+  Machine m(GetParam());
+  m.run([](Node& node) {
+    std::vector<ByteBuffer> toEach;
+    if (node.id() == 0) {
+      toEach.resize(static_cast<size_t>(node.nprocs()));
+      for (int i = 0; i < node.nprocs(); ++i) {
+        toEach[static_cast<size_t>(i)].assign(
+            static_cast<size_t>(i + 1), static_cast<Byte>(i * 3));
+      }
+    }
+    const ByteBuffer mine = node.scatterBytes(0, toEach);
+    ASSERT_EQ(mine.size(), static_cast<size_t>(node.id() + 1));
+    for (Byte b : mine) {
+      EXPECT_EQ(b, static_cast<Byte>(node.id() * 3));
+    }
+  });
+}
+
+TEST_P(ScatterTest, NonZeroRoot) {
+  const int root = GetParam() - 1;
+  Machine m(GetParam());
+  m.run([root](Node& node) {
+    std::vector<ByteBuffer> toEach;
+    if (node.id() == root) {
+      toEach.assign(static_cast<size_t>(node.nprocs()), ByteBuffer{});
+      for (int i = 0; i < node.nprocs(); ++i) {
+        toEach[static_cast<size_t>(i)] = {static_cast<Byte>(100 + i)};
+      }
+    }
+    const ByteBuffer mine = node.scatterBytes(root, toEach);
+    ASSERT_EQ(mine.size(), 1u);
+    EXPECT_EQ(mine[0], static_cast<Byte>(100 + node.id()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, ScatterTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Scatter, RootWithWrongBufferCountThrows) {
+  Machine m(3);
+  EXPECT_THROW(m.run([](Node& node) {
+    std::vector<ByteBuffer> toEach(2);  // need 3
+    node.scatterBytes(0, toEach);
+  }),
+               Error);
+}
+
+TEST(Scatter, ThenGatherRoundTrips) {
+  Machine m(4);
+  m.run([](Node& node) {
+    std::vector<ByteBuffer> toEach;
+    if (node.id() == 0) {
+      toEach.assign(4, ByteBuffer{});
+      for (int i = 0; i < 4; ++i) {
+        toEach[static_cast<size_t>(i)] = {static_cast<Byte>(i),
+                                          static_cast<Byte>(i * 2)};
+      }
+    }
+    ByteBuffer mine = node.scatterBytes(0, toEach);
+    const auto gathered = node.gatherBytes(0, mine);
+    if (node.id() == 0) {
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(gathered[static_cast<size_t>(i)],
+                  toEach[static_cast<size_t>(i)]);
+      }
+    }
+  });
+}
+
+}  // namespace

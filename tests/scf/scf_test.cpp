@@ -1,0 +1,230 @@
+// Tests for the SCF benchmark module: segment geometry, workload
+// determinism, the three I/O methods (all must round-trip the data), and
+// the physics stepper's conservation behavior.
+#include <gtest/gtest.h>
+
+#include "src/scf/harness.h"
+#include "src/scf/io_methods.h"
+#include "src/scf/physics.h"
+#include "src/scf/segment.h"
+#include "src/scf/workload.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::scf;
+
+TEST(Segment, PayloadMatchesPaperGeometry) {
+  Segment seg;
+  seg.allocate(100);
+  // 7 double fields + the int count: 5604 bytes, the paper's ~5.6 KB.
+  EXPECT_EQ(seg.payloadBytes(), 4u + 7u * 800u);
+  // 1000 segments ~ the paper's "5.6MB" column.
+  EXPECT_NEAR(1000.0 * static_cast<double>(seg.payloadBytes()), 5.6e6,
+              0.01e6);
+}
+
+TEST(Segment, AllocateReleasesPrevious) {
+  Segment seg;
+  seg.allocate(10);
+  seg.x[9] = 1.0;
+  seg.allocate(5);
+  EXPECT_EQ(seg.numberOfParticles, 5);
+  seg.release();
+  EXPECT_EQ(seg.x, nullptr);
+  EXPECT_EQ(seg.numberOfParticles, 0);
+}
+
+TEST(Workload, DeterministicFillVerifies) {
+  rt::Machine m(3);
+  m.run([](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(12, &P, coll::DistKind::Cyclic);
+    coll::Collection<Segment> c(&d);
+    fillDeterministic(c, 8);
+    EXPECT_EQ(verifyDeterministic(c, 8), 0);
+    // Perturb one value: exactly one mismatch.
+    if (c.localCount() > 0) {
+      c.local(0).mass[0] += 1.0;
+      EXPECT_EQ(verifyDeterministic(c, 8), 1);
+    }
+  });
+}
+
+TEST(Workload, PlummerIsDeterministicPerGlobalIndex) {
+  // The same global segment must get identical particles regardless of the
+  // node count generating it (seeded by global index).
+  pfs::Pfs fs = test::memFs();
+  double probe4 = 0.0, probe2 = 0.0;
+  {
+    rt::Machine m(4);
+    m.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(8, &P, coll::DistKind::Block);
+      coll::Collection<Segment> c(&d);
+      fillPlummer(c, 16, 42);
+      if (c.owns(5)) probe4 = c.at(5).x[3];
+    });
+  }
+  {
+    rt::Machine m(2);
+    m.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(8, &P, coll::DistKind::Cyclic);
+      coll::Collection<Segment> c(&d);
+      fillPlummer(c, 16, 42);
+      if (c.owns(5)) probe2 = c.at(5).x[3];
+    });
+  }
+  EXPECT_DOUBLE_EQ(probe4, probe2);
+}
+
+class IoMethodTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoMethodTest, OutputInputRoundTripsExactly) {
+  std::unique_ptr<IoMethod> method;
+  switch (GetParam()) {
+    case 0: method = makeUnbufferedIo(); break;
+    case 1: method = makeManualBufferingIo(); break;
+    case 2: method = makeStreamsIo(false); break;
+    default: method = makeStreamsIo(true); break;
+  }
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(4);
+  std::atomic<std::int64_t> bad{0};
+  m.run([&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(25, &P, coll::DistKind::Block);
+    coll::Collection<Segment> out(&d);
+    fillDeterministic(out, 12);
+    method->output(node, fs, out, "io_rt");
+    coll::Collection<Segment> in(&d);
+    method->input(node, fs, in, "io_rt", 12);
+    bad.fetch_add(verifyDeterministic(in, 12));
+  });
+  EXPECT_EQ(bad.load(), 0) << method->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, IoMethodTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Harness, TableConfigsMatchPaperShapes) {
+  EXPECT_EQ(table1Paragon4().nprocs, 4);
+  EXPECT_EQ(table1Paragon4().segmentCounts,
+            (std::vector<std::int64_t>{256, 512, 1000, 2000}));
+  EXPECT_EQ(table2Paragon8().nprocs, 8);
+  EXPECT_EQ(table3SgiUni().nprocs, 1);
+  EXPECT_EQ(table3SgiUni().segmentCounts,
+            (std::vector<std::int64_t>{1000, 2000, 20000}));
+  EXPECT_EQ(table4Sgi8().segmentCounts,
+            (std::vector<std::int64_t>{1000, 2000, 8000}));
+  EXPECT_EQ(paperValues(1).manual.size(), 4u);
+  EXPECT_EQ(paperValues(3).streams.size(), 3u);
+  EXPECT_THROW(paperValues(5), UsageError);
+}
+
+TEST(Harness, SmallSimulatedTableReproducesOrdering) {
+  // A reduced Paragon table: buffered must beat unbuffered, streams must be
+  // within a modest factor of manual, and the streams/manual ratio must not
+  // degrade as size grows (the paper's key trend).
+  BenchConfig cfg;
+  cfg.title = "mini";
+  cfg.platform = "paragon";
+  cfg.nprocs = 4;
+  cfg.segmentCounts = {64, 256};
+  cfg.particlesPerSegment = 50;
+  const auto result = runBenchTable(cfg);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const auto& cell : result.cells) {
+    EXPECT_GT(cell.unbuffered, cell.manual);
+    EXPECT_GT(cell.unbuffered, cell.streams);
+    EXPECT_GT(cell.streams, cell.manual);  // bookkeeping costs something
+    EXPECT_GT(cell.pctOfManual(), 50.0);
+  }
+  EXPECT_GE(result.cells[1].pctOfManual(), result.cells[0].pctOfManual());
+  // The rendered table contains the paper's row labels.
+  const std::string rendered = result.toTable().render();
+  EXPECT_NE(rendered.find("Unbuffered I/O"), std::string::npos);
+  EXPECT_NE(rendered.find("Manual Buffering"), std::string::npos);
+  EXPECT_NE(rendered.find("pC++/streams"), std::string::npos);
+  EXPECT_NE(rendered.find("% of Manual Buf."), std::string::npos);
+}
+
+TEST(Harness, RealTimeModeRuns) {
+  BenchConfig cfg;
+  cfg.title = "real";
+  cfg.platform = "none";
+  cfg.nprocs = 2;
+  cfg.segmentCounts = {16};
+  cfg.particlesPerSegment = 10;
+  const auto result = runBenchTable(cfg);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_GT(result.cells[0].streams, 0.0);  // wall time measured
+}
+
+TEST(Physics, MomentumConservedByLeapfrog) {
+  rt::Machine m(2);
+  m.run([](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<Segment> bodies(&d);
+    fillPlummer(bodies, 8, 11);
+
+    auto totalMomentum = [&](coll::Collection<Segment>& c) {
+      double px = 0;
+      c.forEachLocal([&](Segment& seg, std::int64_t) {
+        for (int k = 0; k < seg.numberOfParticles; ++k) {
+          px += seg.mass[k] * seg.vx[k];
+        }
+      });
+      return node.allreduceSum(px);
+    };
+
+    const double before = totalMomentum(bodies);
+    NBodyStepper stepper(StepperConfig{});
+    for (int i = 0; i < 5; ++i) stepper.step(node, bodies);
+    const double after = totalMomentum(bodies);
+    EXPECT_NEAR(after, before, 1e-9);
+  });
+}
+
+TEST(Physics, EnergyApproximatelyConserved) {
+  rt::Machine m(2);
+  m.run([](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(2, &P, coll::DistKind::Block);
+    coll::Collection<Segment> bodies(&d);
+    fillPlummer(bodies, 12, 5);
+    NBodyStepper stepper(StepperConfig{1e-4, 0.1, 1.0});
+    const double e0 = stepper.totalEnergy(node, bodies);
+    for (int i = 0; i < 10; ++i) stepper.step(node, bodies);
+    const double e1 = stepper.totalEnergy(node, bodies);
+    EXPECT_NEAR(e1, e0, std::abs(e0) * 0.01 + 1e-6);
+  });
+}
+
+TEST(Physics, IndependentOfNodeCount) {
+  // The direct-sum force on a given particle must not depend on how the
+  // segments are distributed.
+  auto runSim = [](int nprocs) {
+    double probe = 0.0;
+    rt::Machine m(nprocs);
+    m.run([&](rt::Node& node) {
+      coll::Processors P;
+      coll::Distribution d(4, &P, coll::DistKind::Block);
+      coll::Collection<Segment> bodies(&d);
+      fillPlummer(bodies, 6, 3);
+      NBodyStepper stepper(StepperConfig{});
+      for (int i = 0; i < 3; ++i) stepper.step(node, bodies);
+      double local = 0.0;
+      if (bodies.owns(2)) local = bodies.at(2).x[1];
+      const double v = node.allreduceSum(local);
+      if (node.id() == 0) probe = v;
+    });
+    return probe;
+  };
+  EXPECT_NEAR(runSim(1), runSim(4), 1e-12);
+}
+
+}  // namespace

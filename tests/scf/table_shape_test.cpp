@@ -1,0 +1,91 @@
+// Calibration regression tests: lock in the SHAPE properties of the
+// paper's tables so a model change that breaks the reproduction fails CI,
+// not just the eyeball check of bench output.
+#include <gtest/gtest.h>
+
+#include "src/scf/harness.h"
+
+namespace {
+
+using namespace pcxx::scf;
+
+TEST(TableShape, ParagonUnbufferedCliffBetween512And1000) {
+  BenchConfig cfg = table1Paragon4();
+  cfg.segmentCounts = {512, 1000};
+  const auto result = runBenchTable(cfg);
+  ASSERT_EQ(result.cells.size(), 2u);
+  // The paper jumps 14.73 -> 283.00 (~19x). Require at least 8x.
+  EXPECT_GT(result.cells[1].unbuffered / result.cells[0].unbuffered, 8.0);
+  // No such cliff for the buffered methods at these sizes (< 3x).
+  EXPECT_LT(result.cells[1].manual / result.cells[0].manual, 3.0);
+  EXPECT_LT(result.cells[1].streams / result.cells[0].streams, 3.0);
+}
+
+TEST(TableShape, ParagonManualKneeAt11MBOnlyOn4Nodes) {
+  BenchConfig four = table1Paragon4();
+  four.segmentCounts = {1000, 2000};
+  const auto r4 = runBenchTable(four);
+  // Paper: 5.42 -> 54.17 (10x). Require at least 5x.
+  EXPECT_GT(r4.cells[1].manual / r4.cells[0].manual, 5.0);
+
+  BenchConfig eight = table2Paragon8();
+  eight.segmentCounts = {1000, 2000};
+  const auto r8 = runBenchTable(eight);
+  // Paper: 5.72 -> 9.69 (1.7x). Require under 3x — the knee must vanish.
+  EXPECT_LT(r8.cells[1].manual / r8.cells[0].manual, 3.0);
+}
+
+TEST(TableShape, StreamsOverheadShrinksWithSize) {
+  for (const BenchConfig& base :
+       {table1Paragon4(), table3SgiUni(), table4Sgi8()}) {
+    BenchConfig cfg = base;
+    // First and last size of each table.
+    cfg.segmentCounts = {base.segmentCounts.front(),
+                         base.segmentCounts.back()};
+    const auto result = runBenchTable(cfg);
+    EXPECT_GT(result.cells[1].pctOfManual() + 1.0,
+              result.cells[0].pctOfManual())
+        << base.title;
+    // And everywhere streams stays within 2x of manual.
+    for (const auto& cell : result.cells) {
+      EXPECT_LT(cell.streams, cell.manual * 2.0) << base.title;
+    }
+  }
+}
+
+TEST(TableShape, BufferedAlwaysBeatsUnbuffered) {
+  for (const BenchConfig& base : {table1Paragon4(), table4Sgi8()}) {
+    BenchConfig cfg = base;
+    cfg.segmentCounts = {base.segmentCounts.front(),
+                         base.segmentCounts.back()};
+    const auto result = runBenchTable(cfg);
+    for (const auto& cell : result.cells) {
+      EXPECT_GT(cell.unbuffered, cell.manual) << base.title;
+      EXPECT_GT(cell.unbuffered, cell.streams) << base.title;
+    }
+  }
+}
+
+TEST(TableShape, SgiUnbufferedHasNoCliff) {
+  BenchConfig cfg = table3SgiUni();
+  cfg.segmentCounts = {1000, 2000};
+  const auto result = runBenchTable(cfg);
+  // Doubling the size roughly doubles the time (paper 1.68 -> 3.42).
+  const double ratio = result.cells[1].unbuffered /
+                       result.cells[0].unbuffered;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(TableShape, EightWaySgiFasterThanUniprocessor) {
+  BenchConfig uni = table3SgiUni();
+  uni.segmentCounts = {2000};
+  BenchConfig smp = table4Sgi8();
+  smp.segmentCounts = {2000};
+  const auto rUni = runBenchTable(uni);
+  const auto rSmp = runBenchTable(smp);
+  EXPECT_LT(rSmp.cells[0].manual, rUni.cells[0].manual);
+  EXPECT_LT(rSmp.cells[0].streams, rUni.cells[0].streams);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// CLI tests for the streamgen tool, plus parser robustness against this
+// repository's own headers (the tool must skip what its subset cannot
+// stream, never crash).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/streamgen/parser.h"
+
+#ifndef PCXX_STREAMGEN_PATH
+#error "PCXX_STREAMGEN_PATH must be defined by the build"
+#endif
+#ifndef PCXX_REPO_ROOT
+#error "PCXX_REPO_ROOT must be defined by the build"
+#endif
+
+namespace {
+
+class StreamgenCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcxx_sgcli_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::pair<int, std::string> runTool(const std::string& args) {
+    const std::string outPath = (dir_ / "tool.out").string();
+    const std::string cmd = std::string(PCXX_STREAMGEN_PATH) + " " + args +
+                            " > " + outPath + " 2>&1";
+    const int rc = std::system(cmd.c_str());
+    std::ifstream in(outPath);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return {WEXITSTATUS(rc), ss.str()};
+  }
+
+  std::string writeHeader(const std::string& name,
+                          const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream(path) << content;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StreamgenCli, GeneratesToFile) {
+  const std::string hdr = writeHeader("t.h", R"(
+    struct Point { double x, y; };
+  )");
+  const std::string out = (dir_ / "t_streams.h").string();
+  auto [rc, log] = runTool(hdr + " -o " + out);
+  EXPECT_EQ(rc, 0) << log;
+  std::ifstream gen(out);
+  std::ostringstream ss;
+  ss << gen.rdbuf();
+  EXPECT_NE(ss.str().find("declareStreamInserter(Point& v)"),
+            std::string::npos);
+  EXPECT_NE(ss.str().find("s << v.x;"), std::string::npos);
+}
+
+TEST_F(StreamgenCli, ListModePrintsTypes) {
+  const std::string hdr = writeHeader("l.h", R"(
+    struct A { int n; double* data; // pcxx:size(n)
+    };
+    struct B { float f; };
+  )");
+  auto [rc, out] = runTool("--list " + hdr);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("A (2 fields)"), std::string::npos) << out;
+  EXPECT_NE(out.find("B (1 fields)"), std::string::npos) << out;
+}
+
+TEST_F(StreamgenCli, NoStructsIsAnError) {
+  const std::string hdr = writeHeader("empty.h", "// nothing here\n");
+  auto [rc, out] = runTool(hdr);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("no struct"), std::string::npos) << out;
+}
+
+TEST_F(StreamgenCli, MissingInputFileFails) {
+  auto [rc, out] = runTool((dir_ / "nope.h").string());
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("streamgen:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: parse this repository's real headers. The subset parser must
+// accept or skip everything in them without throwing or crashing.
+// ---------------------------------------------------------------------------
+
+class SelfParse : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SelfParse, RepositoryHeaderParsesWithoutThrowing) {
+  const std::string path = std::string(PCXX_REPO_ROOT) + "/" + GetParam();
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NO_THROW({
+    const auto unit = pcxx::sg::parseSource(ss.str());
+    (void)unit;
+  }) << path;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepoHeaders, SelfParse,
+    ::testing::Values("src/scf/segment.h", "src/collection/distribution.h",
+                      "src/collection/align.h", "src/pfs/fault.h",
+                      "src/pfs/perf_model.h", "src/dstream/record.h",
+                      "src/runtime/message.h", "src/util/rng.h",
+                      "examples/streamgen_types.h"));
+
+TEST(SelfParseContent, SegmentHeaderYieldsTheSegmentStruct) {
+  const std::string path =
+      std::string(PCXX_REPO_ROOT) + "/src/scf/segment.h";
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto unit = pcxx::sg::parseSource(ss.str());
+  bool found = false;
+  for (const auto& def : unit.structs) {
+    if (def.name == "Segment") {
+      found = true;
+      // 8 data members: numberOfParticles + seven arrays.
+      EXPECT_EQ(def.fields.size(), 8u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

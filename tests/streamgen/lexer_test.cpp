@@ -1,0 +1,95 @@
+// Unit tests for the stream-gen lexer.
+#include <gtest/gtest.h>
+
+#include "src/streamgen/lexer.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::sg;
+
+TEST(Lexer, TokenizesIdentifiersSymbolsNumbers) {
+  const auto ts = lex("struct Foo { int x = 42; };");
+  ASSERT_GE(ts.tokens.size(), 10u);
+  EXPECT_TRUE(ts.tokens[0].isIdent("struct"));
+  EXPECT_TRUE(ts.tokens[1].isIdent("Foo"));
+  EXPECT_TRUE(ts.tokens[2].isSymbol("{"));
+  EXPECT_TRUE(ts.tokens[3].isIdent("int"));
+  EXPECT_TRUE(ts.tokens[5].isSymbol("="));
+  EXPECT_TRUE(ts.tokens[6].is(TokKind::Number));
+  EXPECT_EQ(ts.tokens[6].text, "42");
+  EXPECT_TRUE(ts.tokens.back().is(TokKind::EndOfFile));
+}
+
+TEST(Lexer, ScopeOperatorIsOneToken) {
+  const auto ts = lex("std::vector<double> v;");
+  EXPECT_TRUE(ts.tokens[0].isIdent("std"));
+  EXPECT_TRUE(ts.tokens[1].isSymbol("::"));
+  EXPECT_TRUE(ts.tokens[2].isIdent("vector"));
+  EXPECT_TRUE(ts.tokens[3].isSymbol("<"));
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto ts = lex("int a;\nint b;\n\nint c;");
+  // Find the 'c' identifier.
+  for (const auto& t : ts.tokens) {
+    if (t.isIdent("c")) {
+      EXPECT_EQ(t.line, 4);
+      return;
+    }
+  }
+  FAIL() << "token 'c' not found";
+}
+
+TEST(Lexer, StripsCommentsButKeepsAnnotations) {
+  const auto ts = lex(
+      "int a; // plain comment\n"
+      "double* m; // pcxx:size(a)\n"
+      "/* block\n comment */ int b; // pcxx:skip\n");
+  ASSERT_EQ(ts.annotations.size(), 2u);
+  EXPECT_EQ(ts.annotations[0].line, 2);
+  EXPECT_EQ(ts.annotations[0].body, "size(a)");
+  EXPECT_EQ(ts.annotations[1].line, 4);
+  EXPECT_EQ(ts.annotations[1].body, "skip");
+  // No comment text leaked into tokens.
+  for (const auto& t : ts.tokens) {
+    EXPECT_NE(t.text, "plain");
+    EXPECT_NE(t.text, "block");
+  }
+}
+
+TEST(Lexer, SkipsPreprocessorLines) {
+  const auto ts = lex("#include <string>\n#define X \\\n 1\nint a;");
+  EXPECT_TRUE(ts.tokens[0].isIdent("int"));
+}
+
+TEST(Lexer, StringAndCharLiterals) {
+  const auto ts = lex(R"(const char* s = "hi {;} \" x"; char c = '{';)");
+  bool foundString = false;
+  for (const auto& t : ts.tokens) {
+    if (t.is(TokKind::String)) {
+      foundString = true;
+      // Braces inside literals must not be symbol tokens.
+    }
+  }
+  EXPECT_TRUE(foundString);
+  int braces = 0;
+  for (const auto& t : ts.tokens) {
+    if (t.isSymbol("{") || t.isSymbol("}")) ++braces;
+  }
+  EXPECT_EQ(braces, 0);
+}
+
+TEST(Lexer, UnterminatedConstructsThrow) {
+  EXPECT_THROW(lex("/* never closed"), FormatError);
+  EXPECT_THROW(lex("char* s = \"never closed"), FormatError);
+}
+
+TEST(Lexer, BlockCommentsCountLines) {
+  const auto ts = lex("/* a\nb\nc */ int x; // pcxx:skip");
+  ASSERT_EQ(ts.annotations.size(), 1u);
+  EXPECT_EQ(ts.annotations[0].line, 3);
+}
+
+}  // namespace

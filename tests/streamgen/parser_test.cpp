@@ -1,0 +1,230 @@
+// Unit tests for the stream-gen parser: field recognition, annotation
+// attachment, classification, and robust skipping of non-field constructs.
+#include <gtest/gtest.h>
+
+#include "src/streamgen/parser.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::sg;
+
+const StructDef& only(const ParsedUnit& u) {
+  EXPECT_EQ(u.structs.size(), 1u);
+  return u.structs.front();
+}
+
+const Field& fieldNamed(const StructDef& def, const std::string& name) {
+  for (const Field& f : def.fields) {
+    if (f.name == name) return f;
+  }
+  ADD_FAILURE() << "no field named " << name;
+  static Field dummy;
+  return dummy;
+}
+
+TEST(Parser, ScalarFields) {
+  const auto u = parseSource("struct S { int a; double b; unsigned long c; };");
+  const auto& s = only(u);
+  ASSERT_EQ(s.fields.size(), 3u);
+  EXPECT_EQ(s.fields[0].typeName, "int");
+  EXPECT_EQ(s.fields[1].typeName, "double");
+  EXPECT_EQ(s.fields[2].typeName, "unsigned long");
+  for (const auto& f : s.fields) {
+    EXPECT_EQ(f.category, FieldCategory::Scalar);
+  }
+}
+
+TEST(Parser, PaperParticleList) {
+  const auto u = parseSource(R"(
+    class ParticleList {
+     public:
+      int numberOfParticles;
+      double* mass;        // pcxx:size(numberOfParticles)
+      Position* position;  // pcxx:size(numberOfParticles)
+      void updateParticles();
+    };
+  )");
+  const auto& s = only(u);
+  EXPECT_EQ(s.name, "ParticleList");
+  ASSERT_EQ(s.fields.size(), 3u);
+  EXPECT_EQ(fieldNamed(s, "mass").category, FieldCategory::SizedPointer);
+  EXPECT_EQ(fieldNamed(s, "mass").sizeExpr, "numberOfParticles");
+  EXPECT_EQ(fieldNamed(s, "position").category, FieldCategory::SizedPointer);
+}
+
+TEST(Parser, FixedArraysSingleAndMulti) {
+  const auto u = parseSource("struct S { double w[3]; int grid[2][4]; };");
+  const auto& s = only(u);
+  EXPECT_EQ(fieldNamed(s, "w").category, FieldCategory::FixedArray);
+  ASSERT_EQ(fieldNamed(s, "w").arrayDims.size(), 1u);
+  EXPECT_EQ(fieldNamed(s, "w").arrayDims[0], "3");
+  ASSERT_EQ(fieldNamed(s, "grid").arrayDims.size(), 2u);
+  EXPECT_EQ(fieldNamed(s, "grid").arrayDims[1], "4");
+}
+
+TEST(Parser, VectorsAndStrings) {
+  const auto u = parseSource(
+      "#include <vector>\nstruct S { std::vector<int> v; std::string name; "
+      "};");
+  const auto& s = only(u);
+  EXPECT_EQ(fieldNamed(s, "v").category, FieldCategory::Vector);
+  EXPECT_EQ(fieldNamed(s, "name").category, FieldCategory::String);
+}
+
+TEST(Parser, RecursivePointerDetected) {
+  const auto u = parseSource("struct Node { int v; Node* next; };");
+  EXPECT_EQ(fieldNamed(only(u), "next").category,
+            FieldCategory::RecursivePointer);
+}
+
+TEST(Parser, UnknownPointerFlagged) {
+  const auto u = parseSource("struct S { char* name; void** handles; };");
+  EXPECT_EQ(fieldNamed(only(u), "name").category,
+            FieldCategory::UnknownPointer);
+  EXPECT_EQ(fieldNamed(only(u), "handles").category,
+            FieldCategory::UnknownPointer);
+}
+
+TEST(Parser, SkipAnnotationAndConstSkipped) {
+  const auto u = parseSource(
+      "struct S { void* scratch; // pcxx:skip\n  const int k = 3; };");
+  EXPECT_EQ(fieldNamed(only(u), "scratch").category, FieldCategory::Skipped);
+  EXPECT_EQ(fieldNamed(only(u), "k").category, FieldCategory::Skipped);
+}
+
+TEST(Parser, AnnotationOnLineAbove) {
+  const auto u = parseSource(
+      "struct S {\n  // pcxx:size(n)\n  double* data;\n  int n;\n};");
+  EXPECT_EQ(fieldNamed(only(u), "data").category, FieldCategory::SizedPointer);
+  EXPECT_EQ(fieldNamed(only(u), "data").sizeExpr, "n");
+}
+
+TEST(Parser, TrailingAnnotationDoesNotLeakToNextField) {
+  const auto u = parseSource(
+      "struct S {\n  void* a; // pcxx:skip\n  char* b;\n};");
+  EXPECT_EQ(fieldNamed(only(u), "a").category, FieldCategory::Skipped);
+  EXPECT_EQ(fieldNamed(only(u), "b").category, FieldCategory::UnknownPointer);
+}
+
+TEST(Parser, MultiDeclaratorLines) {
+  const auto u = parseSource(
+      "struct S { double *x, *y, z; int a, b; };");
+  const auto& s = only(u);
+  ASSERT_EQ(s.fields.size(), 5u);
+  EXPECT_EQ(fieldNamed(s, "x").pointerDepth, 1);
+  EXPECT_EQ(fieldNamed(s, "y").pointerDepth, 1);
+  EXPECT_EQ(fieldNamed(s, "z").pointerDepth, 0);
+  EXPECT_EQ(fieldNamed(s, "z").category, FieldCategory::Scalar);
+  EXPECT_EQ(fieldNamed(s, "b").category, FieldCategory::Scalar);
+}
+
+TEST(Parser, MethodsConstructorsDestructorsIgnored) {
+  const auto u = parseSource(R"(
+    struct S {
+      S() : a(0) { a = 1; }
+      ~S() { cleanup(); }
+      int compute(double x) const { return static_cast<int>(x) + a; }
+      void decl(int, double);
+      static int counter;
+      using alias = int;
+      int a;
+    };
+  )");
+  const auto& s = only(u);
+  ASSERT_EQ(s.fields.size(), 1u);
+  EXPECT_EQ(s.fields[0].name, "a");
+}
+
+TEST(Parser, DefaultInitializersSkipped) {
+  const auto u = parseSource(
+      "struct S { int a = 5; double b{1.5}; int* p = nullptr; // pcxx:size(a)\n };");
+  const auto& s = only(u);
+  ASSERT_EQ(s.fields.size(), 3u);
+  EXPECT_EQ(fieldNamed(s, "p").category, FieldCategory::SizedPointer);
+}
+
+TEST(Parser, NamespacesQualifyNames) {
+  const auto u = parseSource(
+      "namespace outer { namespace inner { struct S { int a; }; } }");
+  const auto& s = only(u);
+  EXPECT_EQ(s.name, "S");
+  EXPECT_EQ(s.qualifiedName, "outer::inner::S");
+}
+
+TEST(Parser, NestedStructsBothParsed) {
+  const auto u = parseSource(
+      "struct Outer { struct Inner { int x; }; Inner member; int y; };");
+  ASSERT_EQ(u.structs.size(), 2u);
+  // Inner is parsed first (completed first).
+  EXPECT_EQ(u.structs[0].name, "Inner");
+  EXPECT_EQ(u.structs[0].qualifiedName, "Outer::Inner");
+  EXPECT_EQ(u.structs[1].name, "Outer");
+  EXPECT_EQ(u.structs[1].fields.size(), 2u);
+}
+
+TEST(Parser, ForwardDeclarationsAndEnumsIgnored) {
+  const auto u = parseSource(
+      "struct Fwd;\nenum Color { Red, Green };\nstruct S { int a; };");
+  EXPECT_EQ(only(u).name, "S");
+}
+
+TEST(Parser, TemplatesSkippedEntirely) {
+  const auto u = parseSource(
+      "template <typename T> struct Box { T value; };\nstruct S { int a; };");
+  EXPECT_EQ(only(u).name, "S");
+}
+
+TEST(Parser, BaseClassesTolerated) {
+  const auto u = parseSource("struct S : public Base, private Other { int a; };");
+  EXPECT_EQ(only(u).fields.size(), 1u);
+}
+
+TEST(Parser, ReferenceMembersNotFields) {
+  const auto u = parseSource("struct S { int& r; int a; };");
+  // The reference member is skipped wholesale (skipStatement), 'a' remains.
+  EXPECT_EQ(only(u).fields.size(), 1u);
+  EXPECT_EQ(only(u).fields[0].name, "a");
+}
+
+TEST(Parser, DoublePointerIsUnknown) {
+  const auto u = parseSource("struct S { double** m; // pcxx:size(n)\n int n; };");
+  EXPECT_EQ(fieldNamed(only(u), "m").category, FieldCategory::UnknownPointer);
+}
+
+TEST(Parser, FinalClassesParsed) {
+  const auto u = parseSource("struct S final { int a; };");
+  EXPECT_EQ(only(u).name, "S");
+  EXPECT_EQ(only(u).fields.size(), 1u);
+}
+
+TEST(Parser, NestedFinalStructSkippedGracefully) {
+  // The nested-definition fast path does not recognize `final`; the subset
+  // must skip the construct without crashing and still parse the rest.
+  const auto u = parseSource(
+      "struct Outer { struct Inner final { int x; }; int y; };");
+  ASSERT_GE(u.structs.size(), 1u);
+  const auto& outer = u.structs.back();
+  EXPECT_EQ(outer.name, "Outer");
+  bool hasY = false;
+  for (const auto& f : outer.fields) {
+    if (f.name == "y") hasY = true;
+  }
+  EXPECT_TRUE(hasY);
+}
+
+TEST(Parser, EnumClassFieldIsScalar) {
+  const auto u = parseSource(
+      "struct S { Color tint; int n; };");
+  EXPECT_EQ(fieldNamed(only(u), "tint").category, FieldCategory::Scalar);
+  EXPECT_EQ(fieldNamed(only(u), "tint").typeName, "Color");
+}
+
+TEST(Parser, MalformedSizeAnnotationThrows) {
+  EXPECT_THROW(
+      parseSource("struct S { double* m; // pcxx:size(n\n int n; };"),
+      FormatError);
+}
+
+}  // namespace

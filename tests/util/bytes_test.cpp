@@ -1,0 +1,108 @@
+// Unit tests for the byte codecs (util/bytes.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/bytes.h"
+
+namespace {
+
+using namespace pcxx;
+
+TEST(Bytes, U64RoundTripsExtremes) {
+  const std::uint64_t cases[] = {0, 1, 0xFF, 0x0123456789ABCDEFull,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    Byte buf[8];
+    encodeU64(v, buf);
+    EXPECT_EQ(decodeU64(buf), v);
+  }
+}
+
+TEST(Bytes, U64IsLittleEndianOnDisk) {
+  Byte buf[8];
+  encodeU64(0x0102030405060708ull, buf);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x01);
+}
+
+TEST(Bytes, U32RoundTripsAndLayout) {
+  Byte buf[4];
+  encodeU32(0xDEADBEEFu, buf);
+  EXPECT_EQ(decodeU32(buf), 0xDEADBEEFu);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[3], 0xDE);
+}
+
+TEST(ByteWriter, AppendsAllScalarKinds) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.u8(7);
+  w.u32(1000);
+  w.u64(1ull << 40);
+  w.i64(-12345);
+  w.f64(3.25);
+  w.str("hello");
+  EXPECT_EQ(buf.size(), 1 + 4 + 8 + 8 + 8 + 4 + 5);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 1000u);
+  EXPECT_EQ(r.u64(), 1ull << 40);
+  EXPECT_EQ(r.i64(), -12345);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, ThrowsFormatErrorOnUnderrun) {
+  ByteBuffer buf{1, 2, 3};
+  ByteReader r(buf);
+  r.bytes(2);
+  EXPECT_THROW(r.u32(), FormatError);
+}
+
+TEST(ByteReader, ThrowsOnTruncatedString) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.u32(100);  // claims 100 bytes follow
+  buf.push_back('x');
+  ByteReader r(buf);
+  EXPECT_THROW(r.str(), FormatError);
+}
+
+TEST(ByteReader, SkipAdvancesAndChecksBounds) {
+  ByteBuffer buf(10);
+  ByteReader r(buf);
+  r.skip(4);
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_THROW(r.skip(7), FormatError);
+}
+
+TEST(Bytes, AsBytesViewsObjectRepresentation) {
+  const std::uint32_t v = 0x01020304u;
+  auto s = asBytes(v);
+  EXPECT_EQ(s.size(), 4u);
+  // Host is little-endian x86.
+  EXPECT_EQ(s[0], 0x04);
+
+  double arr[3] = {1.0, 2.0, 3.0};
+  EXPECT_EQ(asBytes(arr, 3).size(), 24u);
+  auto w = asWritableBytes(arr[0]);
+  w[7] = 0;  // writable
+  EXPECT_EQ(w.size(), 8u);
+}
+
+TEST(Bytes, F64PreservesNanAndInf) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  ByteReader r(buf);
+  EXPECT_TRUE(std::isinf(r.f64()));
+  EXPECT_TRUE(std::isnan(r.f64()));
+}
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Unit tests for the CRC-32 checksum.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/crc32.h"
+
+namespace {
+
+using namespace pcxx;
+
+std::uint32_t crcOfString(const std::string& s) {
+  return crc32({reinterpret_cast<const Byte*>(s.data()), s.size()});
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // Standard IEEE 802.3 CRC-32 test vectors.
+  EXPECT_EQ(crcOfString(""), 0x00000000u);
+  EXPECT_EQ(crcOfString("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crcOfString("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string s = "abcdefghijklmnopqrstuvwxyz0123456789";
+  Crc32 inc;
+  for (size_t i = 0; i < s.size(); i += 5) {
+    const size_t n = std::min<size_t>(5, s.size() - i);
+    inc.update({reinterpret_cast<const Byte*>(s.data()) + i, n});
+  }
+  EXPECT_EQ(inc.value(), crcOfString(s));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  ByteBuffer data(256);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<Byte>(i);
+  const std::uint32_t clean = crc32(data);
+  for (size_t pos : {size_t{0}, size_t{100}, size_t{255}}) {
+    data[pos] ^= 0x01;
+    EXPECT_NE(crc32(data), clean) << "flip at " << pos << " undetected";
+    data[pos] ^= 0x01;
+  }
+}
+
+TEST(Crc32, OrderMatters) {
+  EXPECT_NE(crcOfString("ab"), crcOfString("ba"));
+}
+
+}  // namespace

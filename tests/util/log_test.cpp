@@ -1,0 +1,43 @@
+// Tests for the leveled logger and the virtual clock.
+#include <gtest/gtest.h>
+
+#include "src/runtime/clock.h"
+#include "src/util/log.h"
+
+namespace {
+
+using namespace pcxx;
+
+TEST(Logger, LevelGatesOutput) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  log.setLevel(LogLevel::Error);
+  EXPECT_EQ(log.level(), LogLevel::Error);
+  // Below-threshold writes are cheap no-ops (no crash, no state change).
+  PCXX_LOG_DEBUG("invisible %d", 1);
+  PCXX_LOG_WARN("also invisible %s", "x");
+  log.setLevel(LogLevel::Off);
+  PCXX_LOG_ERROR("even errors gated at Off");
+  log.setLevel(before);
+}
+
+TEST(Logger, SingletonIsStable) {
+  EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+TEST(VirtualClock, AdvanceAndSync) {
+  rt::VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance(-1.0);  // negative advances are ignored
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.syncTo(1.0);  // never goes backwards
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.syncTo(2.25);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.25);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+}  // namespace

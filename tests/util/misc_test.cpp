@@ -1,0 +1,108 @@
+// Unit tests for strfmt, Table rendering, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/rng.h"
+#include "src/util/strfmt.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace pcxx;
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s-%.2f", 42, "x", 3.14159), "42-x-3.14");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Strfmt, HandlesLongOutput) {
+  std::string big(5000, 'a');
+  EXPECT_EQ(strfmt("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(HumanBytes, PicksUnits) {
+  EXPECT_EQ(humanBytes(512), "512 B");
+  EXPECT_EQ(humanBytes(1434624), "1.4 MB");
+  EXPECT_EQ(humanBytes(2ull * 1024 * 1024 * 1024), "2.0 GB");
+  EXPECT_EQ(humanBytes(5632), "5.5 KB");
+}
+
+TEST(HumanSeconds, AdaptsPrecision) {
+  EXPECT_EQ(humanSeconds(283.004), "283.00");
+  EXPECT_EQ(humanSeconds(2.47), "2.47");
+  EXPECT_EQ(humanSeconds(0.39), "0.390");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("Title");
+  t.setHeader({"col", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("| a      | 1     |"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t("T");
+  t.setHeader({"a", "b", "c"});
+  t.addRow({"1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, FootnoteAppended) {
+  Table t("T");
+  t.addRow({"x"});
+  t.setFootnote("note here");
+  EXPECT_NE(t.render().find("note here"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01StaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear in 1000 draws
+}
+
+TEST(Rng, RoughlyUniformMean) {
+  Rng rng(2024);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Unit tests for the CLI option parser.
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/options.h"
+
+namespace {
+
+using namespace pcxx;
+
+Options makeOpts() {
+  Options o("prog", "test program");
+  o.add("name", "default", "a string");
+  o.add("count", "3", "an int");
+  o.add("rate", "1.5", "a double");
+  o.addFlag("verbose", "a flag");
+  return o;
+}
+
+bool parseArgs(Options& o, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return o.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, DefaultsApplyWhenUnset) {
+  Options o = makeOpts();
+  ASSERT_TRUE(parseArgs(o, {}));
+  EXPECT_EQ(o.get("name"), "default");
+  EXPECT_EQ(o.getInt("count"), 3);
+  EXPECT_DOUBLE_EQ(o.getDouble("rate"), 1.5);
+  EXPECT_FALSE(o.getFlag("verbose"));
+}
+
+TEST(Options, SpaceAndEqualsForms) {
+  Options o = makeOpts();
+  ASSERT_TRUE(parseArgs(o, {"--name", "abc", "--count=7", "--verbose"}));
+  EXPECT_EQ(o.get("name"), "abc");
+  EXPECT_EQ(o.getInt("count"), 7);
+  EXPECT_TRUE(o.getFlag("verbose"));
+}
+
+TEST(Options, ShortDashAlias) {
+  Options o("prog", "t");
+  o.add("o", "-", "output");
+  const char* argv[] = {"prog", "-o", "file.txt"};
+  ASSERT_TRUE(o.parse(3, argv));
+  EXPECT_EQ(o.get("o"), "file.txt");
+}
+
+TEST(Options, BareDashIsPositional) {
+  Options o = makeOpts();
+  ASSERT_TRUE(parseArgs(o, {"input.h", "-"}));
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[1], "-");
+}
+
+TEST(Options, UnknownOptionThrows) {
+  Options o = makeOpts();
+  EXPECT_THROW(parseArgs(o, {"--bogus", "1"}), UsageError);
+}
+
+TEST(Options, MissingValueThrows) {
+  Options o = makeOpts();
+  EXPECT_THROW(parseArgs(o, {"--name"}), UsageError);
+}
+
+TEST(Options, BadIntegerThrows) {
+  Options o = makeOpts();
+  ASSERT_TRUE(parseArgs(o, {"--count", "abc"}));
+  EXPECT_THROW(o.getInt("count"), UsageError);
+}
+
+TEST(Options, UndeclaredLookupThrows) {
+  Options o = makeOpts();
+  ASSERT_TRUE(parseArgs(o, {}));
+  EXPECT_THROW(o.get("nope"), UsageError);
+}
+
+TEST(Options, HelpReturnsFalse) {
+  Options o = makeOpts();
+  EXPECT_FALSE(parseArgs(o, {"--help"}));
+}
+
+TEST(Options, UsageListsAllOptions) {
+  Options o = makeOpts();
+  const std::string u = o.usage();
+  EXPECT_NE(u.find("--name"), std::string::npos);
+  EXPECT_NE(u.find("--verbose"), std::string::npos);
+  EXPECT_NE(u.find("default: 3"), std::string::npos);
+}
+
+}  // namespace
