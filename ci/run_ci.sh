@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI driver: build + test the repository in one of three configurations.
+#
+#   ci/run_ci.sh default     plain RelWithDebInfo build
+#   ci/run_ci.sh asan        AddressSanitizer + UBSan (PCXX_SANITIZE=ON)
+#   ci/run_ci.sh tsan        ThreadSanitizer         (PCXX_TSAN=ON)
+#   ci/run_ci.sh all         the three above, sequentially
+#
+# Each configuration builds into build-ci-<name>/, runs the full ctest
+# suite, and (default config only) runs the dslint lint target so protocol
+# or symmetry regressions in client code fail CI. Sanitizer configurations
+# are separate build trees because PCXX_SANITIZE and PCXX_TSAN are
+# mutually exclusive at configure time.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"
+  shift
+  local build_dir="${repo_root}/build-ci-${name}"
+  echo "=== [${name}] configure ==="
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  echo "=== [${name}] build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== [${name}] test ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  if [ "${name}" = "default" ]; then
+    echo "=== [${name}] lint ==="
+    cmake --build "${build_dir}" --target lint
+  fi
+  echo "=== [${name}] OK ==="
+}
+
+case "${1:-all}" in
+  default) run_config default ;;
+  asan)    run_config asan -DPCXX_SANITIZE=ON ;;
+  tsan)    run_config tsan -DPCXX_TSAN=ON ;;
+  all)
+    run_config default
+    run_config asan -DPCXX_SANITIZE=ON
+    run_config tsan -DPCXX_TSAN=ON
+    ;;
+  *)
+    echo "usage: $0 [default|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,115 @@
+#include "dslint/analyzer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dslint/protocol.h"
+#include "dslint/symmetry.h"
+#include "streamgen/lexer.h"
+#include "streamgen/parser.h"
+#include "util/error.h"
+
+namespace pcxx::dslint {
+namespace {
+
+/// Positions in a FormatError already lead with "file:line:col:" (the
+/// stream-gen front end formats them via util/srcpos.h); strip the error
+/// class tag so DS001 messages do not read "format error: file:...".
+std::string stripErrorTag(const std::string& what) {
+  static const std::string kTag = "format error: ";
+  if (what.rfind(kTag, 0) == 0) return what.substr(kTag.size());
+  return what;
+}
+
+/// D3: unannotated pointer fields in streamed types.
+///
+/// streamgen itself only emits a TODO comment for these (paper §4.2: the
+/// generator produces "comment statements allowing the programmer to
+/// specify exactly how the pointers should be handled"). Here the silence
+/// becomes a diagnostic — but only for types that are demonstrably
+/// streamed: the TU declares an inserter or extractor for them and the
+/// hand-written bodies never touch the field. With --all-types every
+/// unannotated pointer in every struct is reported (header mode, where the
+/// stream functions live in generated code).
+void checkPointerFields(const sg::ParsedUnit& unit,
+                        const std::map<std::string, StreamFns>& fns,
+                        const AnalyzerOptions& options,
+                        DiagnosticEngine& diags) {
+  for (const sg::StructDef& def : unit.structs) {
+    const StreamFns* sf = nullptr;
+    if (auto it = fns.find(def.name); it != fns.end()) sf = &it->second;
+    const bool streamed = sf && (sf->hasInserter || sf->hasExtractor);
+    if (!options.allTypes && !streamed) continue;
+    for (const sg::Field& f : def.fields) {
+      if (f.category != sg::FieldCategory::UnknownPointer) continue;
+      if (sf && sf->referencedFields.count(f.name)) continue;
+      std::string msg = "pointer field '" + f.name + "' of streamed type '" +
+                        def.name +
+                        "' has no pcxx:size/pcxx:skip annotation";
+      if (streamed) {
+        msg += " and is not handled by the hand-written stream functions";
+      }
+      msg += "; it would be streamed as a raw address";
+      diags.error("DS301", unit.file, f.line, f.col, msg);
+    }
+  }
+}
+
+}  // namespace
+
+void analyzeSource(const std::string& source, const std::string& file,
+                   const AnalyzerOptions& options, DiagnosticEngine& diags) {
+  sg::TokenStream tokens;
+  try {
+    tokens = sg::lex(source, file);
+  } catch (const FormatError& e) {
+    diags.error("DS001", file, 1, 1,
+                "cannot lex translation unit: " + stripErrorTag(e.what()));
+    return;
+  }
+
+  // D1 + D4 need only the token stream.
+  analyzeProtocol(tokens, diags);
+
+  // D2 and the referenced-field set for D3.
+  const std::map<std::string, StreamFns> fns = collectStreamFns(tokens);
+  checkSymmetry(fns, file, diags);
+
+  // D3 needs struct definitions. The parser skips unknown constructs, so
+  // full client TUs normally parse; if one does not, report it rather than
+  // silently skipping the pointer check.
+  try {
+    const sg::ParsedUnit unit = sg::parse(tokens);
+    checkPointerFields(unit, fns, options, diags);
+  } catch (const FormatError& e) {
+    diags.warning("DS001", file, 1, 1,
+                  "pointer-annotation check skipped, cannot parse "
+                  "translation unit: " +
+                      stripErrorTag(e.what()));
+  }
+}
+
+bool analyzeFile(const std::string& path, const AnalyzerOptions& options,
+                 DiagnosticEngine& diags) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    diags.error("DS001", path, 1, 1, "is a directory, not a source file");
+    return false;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    diags.error("DS001", path, 1, 1, "cannot open file");
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    diags.error("DS001", path, 1, 1, "cannot read file");
+    return false;
+  }
+  analyzeSource(buf.str(), path, options, diags);
+  return true;
+}
+
+}  // namespace pcxx::dslint

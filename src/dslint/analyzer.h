@@ -1,0 +1,36 @@
+// dslint: static protocol and inserter-symmetry analysis for d/stream
+// client code (the compiler support the paper delegates to Sage++ in §4.2,
+// rebuilt as a standalone pass over this repo's stream-gen front end).
+//
+// One call analyzes one translation unit and appends diagnostics:
+//   D1 (DS101..DS107)  d/stream protocol violations   — protocol.h
+//   D2 (DS201..DS203)  inserter/extractor asymmetry   — symmetry.h
+//   D3 (DS301)         unannotated pointer fields in streamed types
+//   D4 (DS401, DS402)  interleave / alignment misuse  — protocol.h
+#pragma once
+
+#include <string>
+
+#include "dslint/diagnostics.h"
+
+namespace pcxx::dslint {
+
+struct AnalyzerOptions {
+  /// Report DS301 for every struct with unannotated pointer fields, not
+  /// just those with a visible inserter/extractor. For header analysis,
+  /// where the stream functions live in a generated file.
+  bool allTypes = false;
+};
+
+/// Analyze one translation unit. `file` names the source in diagnostics.
+/// Never throws on malformed input: unparseable sources produce a DS001
+/// diagnostic instead.
+void analyzeSource(const std::string& source, const std::string& file,
+                   const AnalyzerOptions& options, DiagnosticEngine& diags);
+
+/// Convenience: read `path` and analyze it. Returns false (with a DS001
+/// diagnostic) when the file cannot be read.
+bool analyzeFile(const std::string& path, const AnalyzerOptions& options,
+                 DiagnosticEngine& diags);
+
+}  // namespace pcxx::dslint

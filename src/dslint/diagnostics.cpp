@@ -1,0 +1,89 @@
+#include "dslint/diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pcxx::dslint {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "error";
+}
+
+std::string Diagnostic::render() const {
+  return formatDiagnostic(file, line, col, severityName(severity),
+                          message + " [" + id + "]");
+}
+
+void DiagnosticEngine::add(std::string id, Severity sev, std::string file,
+                           int line, int col, std::string message) {
+  diags_.push_back(Diagnostic{std::move(id), sev, std::move(file), line, col,
+                              std::move(message)});
+}
+
+void DiagnosticEngine::sort() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     return a.id < b.id;
+                   });
+}
+
+std::string DiagnosticEngine::renderText() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.render();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DiagnosticEngine::renderJson() const {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  for (size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i) os << ",";
+    os << "{\"file\":\"" << jsonEscape(d.file) << "\",\"line\":" << d.line
+       << ",\"col\":" << d.col << ",\"id\":\"" << d.id << "\",\"severity\":\""
+       << severityName(d.severity) << "\",\"message\":\""
+       << jsonEscape(d.message) << "\"}";
+  }
+  os << "],\"count\":" << diags_.size() << "}\n";
+  return os.str();
+}
+
+}  // namespace pcxx::dslint

@@ -1,0 +1,84 @@
+// Diagnostic engine for dslint (and shared position formatting with the
+// stream-gen front end, via util/srcpos.h).
+//
+// Every diagnostic has a stable ID (catalogued in docs/DSLINT.md):
+//
+//   D1 — d/stream protocol (Figure 2 state machine):
+//     DS101  read-mode call on an output stream / write-mode call on an
+//            input stream
+//     DS102  write() with nothing inserted since the last write
+//     DS103  extraction (>>) before read()/unsortedRead()
+//     DS104  double close
+//     DS105  use of a stream after close()
+//     DS106  pending inserts discarded (close or end of scope before write)
+//     DS107  output stream never writes a record
+//   D2 — inserter/extractor symmetry:
+//     DS201  field order differs between inserter and extractor
+//     DS202  field count differs between inserter and extractor
+//     DS203  operation or size expression differs for the same field
+//   D3 — pointer annotations:
+//     DS301  unannotated pointer field in a streamed type
+//   D4 — interleave / alignment:
+//     DS401  interleaved inserts of collections with differing layouts
+//     DS402  collection layout differs from the stream's declared layout
+//   DS001  analyzer could not parse the translation unit
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/srcpos.h"
+
+namespace pcxx::dslint {
+
+enum class Severity { Note, Warning, Error };
+
+const char* severityName(Severity s);
+
+struct Diagnostic {
+  std::string id;  ///< "DS104"
+  Severity severity = Severity::Error;
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;
+
+  /// "file:line:col: error: message [DS104]"
+  std::string render() const;
+};
+
+/// Collects diagnostics for one run (possibly over several files).
+class DiagnosticEngine {
+ public:
+  void add(std::string id, Severity sev, std::string file, int line, int col,
+           std::string message);
+
+  void error(const std::string& id, const std::string& file, int line, int col,
+             const std::string& message) {
+    add(id, Severity::Error, file, line, col, message);
+  }
+  void warning(const std::string& id, const std::string& file, int line,
+               int col, const std::string& message) {
+    add(id, Severity::Warning, file, line, col, message);
+  }
+
+  /// Sort by (file, line, col, id) for stable golden output.
+  void sort();
+
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  size_t count() const { return diags_.size(); }
+
+  /// One GCC-style line per diagnostic, newline-terminated.
+  std::string renderText() const;
+
+  /// Machine-readable output for CI:
+  /// {"diagnostics":[{"file":...,"line":...,"col":...,"id":...,
+  ///   "severity":...,"message":...}],"count":N}
+  std::string renderJson() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace pcxx::dslint

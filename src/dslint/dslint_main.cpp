@@ -1,0 +1,55 @@
+// dslint — static protocol & symmetry analyzer for d/stream client code.
+//
+//   dslint [--json] [--all-types] file.cpp [file2.cpp ...]
+//
+// Exit status: 0 when every file is clean, 1 when diagnostics were
+// reported, 2 on usage or I/O errors.
+
+#include <cstdio>
+#include <iostream>
+
+#include "dslint/analyzer.h"
+#include "util/error.h"
+#include "util/options.h"
+
+int main(int argc, char** argv) {
+  using namespace pcxx;
+
+  Options opts("dslint",
+               "Static analyzer for d/stream client code: protocol (DS1xx), "
+               "inserter/extractor symmetry (DS2xx), pointer annotations "
+               "(DS301), and interleave layout (DS4xx) checks.");
+  opts.addFlag("json", "emit diagnostics as JSON (for CI)");
+  opts.addFlag("all-types",
+               "report unannotated pointer fields in every struct, not just "
+               "types with visible stream functions");
+
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+  } catch (const UsageError& e) {
+    std::cerr << "dslint: " << e.what() << "\n";
+    return 2;
+  }
+  if (opts.positional().empty()) {
+    std::cerr << "dslint: no input files\n" << opts.usage();
+    return 2;
+  }
+
+  dslint::AnalyzerOptions analyzerOpts;
+  analyzerOpts.allTypes = opts.getFlag("all-types");
+
+  dslint::DiagnosticEngine diags;
+  bool ioError = false;
+  for (const std::string& path : opts.positional()) {
+    if (!dslint::analyzeFile(path, analyzerOpts, diags)) ioError = true;
+  }
+  diags.sort();
+
+  if (opts.getFlag("json")) {
+    std::cout << diags.renderJson() << "\n";
+  } else {
+    std::cout << diags.renderText();
+  }
+  if (ioError) return 2;
+  return diags.empty() ? 0 : 1;
+}

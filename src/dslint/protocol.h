@@ -1,0 +1,35 @@
+// D1/D4: static checking of the d/stream protocol (the paper's Figure 2
+// state machine) over client C++ code.
+//
+// The analysis is a conservative intraprocedural abstract interpretation
+// over the token stream: every local variable declared as a d/stream
+// (ds::OStream / ds::IStream / the paper-style oStream / iStream aliases)
+// is tracked through the statement sequence as a SET of possible protocol
+// states. Control flow is approximated:
+//
+//   * if/else, switch:  both arms analyzed, states joined (set union)
+//   * for/while/do:     body analyzed once, joined with the zero-trip state
+//   * return/break/continue: the path is dead afterwards
+//   * lambdas:          bodies analyzed inline (they run under machine.run)
+//   * escapes:          a stream passed by reference/address to unknown
+//                       code is no longer diagnosed
+//
+// A diagnostic is reported only when the operation is invalid in EVERY
+// possible state (must-error), so joins never produce false positives.
+//
+// Collection variables (coll::Collection<T> g(&d, &a)) are tracked too:
+// inserting collections with differing (distribution, alignment) into one
+// stream between writes is the paper's interleave-misalignment error (D4).
+#pragma once
+
+#include <string>
+
+#include "dslint/diagnostics.h"
+#include "streamgen/token.h"
+
+namespace pcxx::dslint {
+
+/// Run the protocol analysis over one translation unit's tokens.
+void analyzeProtocol(const sg::TokenStream& stream, DiagnosticEngine& diags);
+
+}  // namespace pcxx::dslint

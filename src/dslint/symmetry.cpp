@@ -1,0 +1,326 @@
+#include "dslint/symmetry.h"
+
+#include <algorithm>
+
+namespace pcxx::dslint {
+namespace {
+
+using sg::TokKind;
+using sg::Token;
+
+class BodyScanner {
+ public:
+  BodyScanner(const std::vector<Token>& toks, size_t pos,
+              const std::string& param)
+      : toks_(toks), pos_(pos), param_(param) {}
+
+  /// Scan the function body; cur() == '{'. Returns position after the
+  /// matching '}'.
+  size_t scan(std::vector<StreamOp>& ops, std::set<std::string>& referenced) {
+    int depth = 0;
+    do {
+      const Token& t = cur();
+      if (t.is(TokKind::EndOfFile)) break;
+      if (t.isSymbol("{")) {
+        ++depth;
+        advance();
+        continue;
+      }
+      if (t.isSymbol("}")) {
+        --depth;
+        advance();
+        continue;
+      }
+      // Any `v.member` mention counts as referencing that field.
+      if (t.isIdent(param_) && peek().isSymbol(".") &&
+          peek(2).is(TokKind::Identifier)) {
+        referenced.insert(peek(2).text);
+      }
+      // `s <<` / `s >>` — the stream parameter of the macro is always `s`.
+      if (t.isIdent("s") && (nextIsShift('<') || nextIsShift('>'))) {
+        const bool insert = nextIsShift('<');
+        advance();  // s; cur() is now the first shift character
+        while (curShift(insert ? '<' : '>')) {
+          advance();  // first op char
+          advance();  // second
+          ops.push_back(scanOperand(referenced));
+        }
+        continue;
+      }
+      advance();
+    } while (depth > 0);
+    return pos_;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(size_t ahead = 1) const {
+    return toks_[std::min(pos_ + ahead, toks_.size() - 1)];
+  }
+  void advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  /// True when the token after cur() starts a `<<` / `>>` operator.
+  bool nextIsShift(char c) const {
+    const std::string s(1, c);
+    return peek().isSymbol(s) && peek(2).isSymbol(s) &&
+           peek(2).line == peek().line && peek(2).col == peek().col + 1;
+  }
+  bool curShift(char c) const {
+    const std::string s(1, c);
+    return cur().isSymbol(s) && peek().isSymbol(s) &&
+           peek().line == cur().line && peek().col == cur().col + 1;
+  }
+
+  /// Normalize one operand. Recognized forms (with any number of leading
+  /// '*'):
+  ///   v.field, v.field[i]...           -> Field
+  ///   [pcxx::][ds::]array(v.field, e)  -> Array(field, normalized e)
+  /// anything else                      -> Opaque
+  StreamOp scanOperand(std::set<std::string>& referenced) {
+    StreamOp op;
+    op.line = cur().line;
+    op.col = cur().col;
+
+    // Try the array(...) form.
+    {
+      const size_t save = pos_;
+      if (cur().isIdent("pcxx") && peek().isSymbol("::")) {
+        advance();
+        advance();
+      }
+      if (cur().isIdent("ds") && peek().isSymbol("::")) {
+        advance();
+        advance();
+      }
+      if (cur().isIdent("array") && peek().isSymbol("(")) {
+        advance();  // array
+        advance();  // '('
+        std::string field = matchParamField(referenced);
+        if (!field.empty() && cur().isSymbol(",")) {
+          advance();
+          std::string size;
+          int depth = 0;
+          while (!cur().is(TokKind::EndOfFile)) {
+            if (depth == 0 && cur().isSymbol(")")) break;
+            if (cur().isSymbol("(")) ++depth;
+            if (cur().isSymbol(")")) --depth;
+            // Normalize the parameter name away so `p.n` == `q.n`.
+            if (cur().isIdent(param_)) size += "@";
+            else size += cur().text;
+            advance();
+          }
+          if (cur().isSymbol(")")) advance();
+          op.kind = StreamOp::Kind::Array;
+          op.field = field;
+          op.sizeExpr = size;
+          skipRestOfOperand();
+          return op;
+        }
+      }
+      pos_ = save;
+    }
+
+    // Try the plain field form, with leading dereferences.
+    {
+      const size_t save = pos_;
+      while (cur().isSymbol("*")) advance();
+      std::string field = matchParamField(referenced);
+      if (!field.empty()) {
+        op.kind = StreamOp::Kind::Field;
+        op.field = field;
+        skipRestOfOperand();
+        return op;
+      }
+      pos_ = save;
+    }
+
+    op.kind = StreamOp::Kind::Opaque;
+    skipRestOfOperand();
+    return op;
+  }
+
+  /// Match `param.member` (plus trailing [..] indices / nested members,
+  /// which are skipped); returns the first member name or "".
+  std::string matchParamField(std::set<std::string>& referenced) {
+    if (!cur().isIdent(param_) || !peek().isSymbol(".") ||
+        !peek(2).is(TokKind::Identifier)) {
+      return "";
+    }
+    const std::string field = peek(2).text;
+    referenced.insert(field);
+    advance();  // param
+    advance();  // '.'
+    advance();  // member
+    for (;;) {
+      if (cur().isSymbol("[")) {
+        int depth = 1;
+        advance();
+        while (depth > 0 && !cur().is(TokKind::EndOfFile)) {
+          if (cur().isSymbol("[")) ++depth;
+          if (cur().isSymbol("]")) --depth;
+          advance();
+        }
+        continue;
+      }
+      if (cur().isSymbol(".") && peek().is(TokKind::Identifier)) {
+        advance();
+        advance();
+        continue;
+      }
+      break;
+    }
+    return field;
+  }
+
+  /// Consume the remainder of the operand: up to ';', ',' at depth 0, the
+  /// next shift op at depth 0, or an unbalanced close.
+  void skipRestOfOperand() {
+    int depth = 0;
+    while (!cur().is(TokKind::EndOfFile)) {
+      if (depth == 0 &&
+          (cur().isSymbol(";") || cur().isSymbol(",") || curShift('<') ||
+           curShift('>') || cur().isSymbol("}") || cur().isSymbol(")"))) {
+        return;
+      }
+      if (cur().isSymbol("(") || cur().isSymbol("[") || cur().isSymbol("{")) {
+        ++depth;
+        advance();
+        continue;
+      }
+      if (cur().isSymbol(")") || cur().isSymbol("]") || cur().isSymbol("}")) {
+        --depth;
+        advance();
+        continue;
+      }
+      advance();
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  size_t pos_;
+  const std::string param_;
+};
+
+std::vector<StreamOp> filtered(const std::vector<StreamOp>& ops) {
+  std::vector<StreamOp> out;
+  for (const StreamOp& op : ops) {
+    if (op.kind != StreamOp::Kind::Opaque) out.push_back(op);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, StreamFns> collectStreamFns(const sg::TokenStream& ts) {
+  std::map<std::string, StreamFns> fns;
+  const std::vector<Token>& toks = ts.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    const bool isIns = t.isIdent("declareStreamInserter");
+    const bool isExt = t.isIdent("declareStreamExtractor");
+    if ((!isIns && !isExt) || !toks[i + 1].isSymbol("(")) continue;
+    // Signature: ( [ns::]Type & param )
+    size_t j = i + 2;
+    std::string typeName;
+    while (j < toks.size() && (toks[j].is(TokKind::Identifier) ||
+                               toks[j].isSymbol("::"))) {
+      if (toks[j].is(TokKind::Identifier)) typeName = toks[j].text;
+      ++j;
+    }
+    if (j + 2 >= toks.size() || !toks[j].isSymbol("&") ||
+        !toks[j + 1].is(TokKind::Identifier) || !toks[j + 2].isSymbol(")")) {
+      continue;
+    }
+    const std::string param = toks[j + 1].text;
+    size_t bodyPos = j + 3;
+    if (bodyPos >= toks.size() || !toks[bodyPos].isSymbol("{")) continue;
+
+    StreamFns& f = fns[typeName];
+    std::vector<StreamOp> ops;
+    BodyScanner scanner(toks, bodyPos, param);
+    const size_t end = scanner.scan(ops, f.referencedFields);
+    if (isIns) {
+      f.hasInserter = true;
+      f.inserterLine = t.line;
+      f.inserterOps = std::move(ops);
+    } else {
+      f.hasExtractor = true;
+      f.extractorLine = t.line;
+      f.extractorOps = std::move(ops);
+    }
+    i = end > i ? end - 1 : i;
+  }
+  return fns;
+}
+
+void checkSymmetry(const std::map<std::string, StreamFns>& fns,
+                   const std::string& file, DiagnosticEngine& diags) {
+  for (const auto& [type, f] : fns) {
+    if (!f.hasInserter || !f.hasExtractor) continue;
+    // When the two bodies stream the same number of operands, compare them
+    // pairwise with Opaque as a wildcard: `s >> n` into a local lines up
+    // with `s << v.count` (the allocate-then-fill extractor idiom). Only
+    // when the lengths differ are Opaque ops dropped from both sides
+    // before comparing — positional alignment is lost anyway.
+    const bool aligned = f.inserterOps.size() == f.extractorOps.size();
+    const std::vector<StreamOp> ins =
+        aligned ? f.inserterOps : filtered(f.inserterOps);
+    const std::vector<StreamOp> ext =
+        aligned ? f.extractorOps : filtered(f.extractorOps);
+    const size_t common = std::min(ins.size(), ext.size());
+    bool mismatch = false;
+    for (size_t i = 0; i < common; ++i) {
+      if (ins[i].kind == StreamOp::Kind::Opaque ||
+          ext[i].kind == StreamOp::Kind::Opaque) {
+        continue;  // wildcard slot on the equal-length path
+      }
+      if (ins[i].field != ext[i].field) {
+        diags.error("DS201", file, ext[i].line, ext[i].col,
+                    "extractor for '" + type + "' streams field '" +
+                        ext[i].field + "' at position " + std::to_string(i) +
+                        " where the inserter (line " +
+                        std::to_string(f.inserterLine) + ") streams '" +
+                        ins[i].field + "'; field order must match");
+        mismatch = true;
+        break;
+      }
+      if (ins[i].kind != ext[i].kind) {
+        diags.error("DS203", file, ext[i].line, ext[i].col,
+                    "extractor for '" + type + "' streams field '" +
+                        ext[i].field + "' as " +
+                        (ext[i].kind == StreamOp::Kind::Array ? "an array"
+                                                              : "a scalar") +
+                        " but the inserter (line " +
+                        std::to_string(f.inserterLine) + ") streams it as " +
+                        (ins[i].kind == StreamOp::Kind::Array ? "an array"
+                                                              : "a scalar"));
+        mismatch = true;
+        break;
+      }
+      if (ins[i].kind == StreamOp::Kind::Array &&
+          ins[i].sizeExpr != ext[i].sizeExpr) {
+        diags.error("DS203", file, ext[i].line, ext[i].col,
+                    "array field '" + ext[i].field + "' of '" + type +
+                        "' extracted with size '" + ext[i].sizeExpr +
+                        "' but inserted (line " +
+                        std::to_string(f.inserterLine) + ") with size '" +
+                        ins[i].sizeExpr + "'");
+        mismatch = true;
+        break;
+      }
+    }
+    if (!mismatch && ins.size() != ext.size()) {
+      const bool insLonger = ins.size() > ext.size();
+      const StreamOp& extra = insLonger ? ins[ext.size()] : ext[ins.size()];
+      diags.error("DS202", file, extra.line, extra.col,
+                  "inserter for '" + type + "' streams " +
+                      std::to_string(ins.size()) +
+                      " fields but the extractor streams " +
+                      std::to_string(ext.size()) + " (first unmatched: '" +
+                      extra.field + "')");
+    }
+  }
+}
+
+}  // namespace pcxx::dslint

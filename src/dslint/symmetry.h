@@ -1,0 +1,60 @@
+// D2: inserter/extractor symmetry checking.
+//
+// The d/stream format is order-dependent: an extractor must traverse a
+// type's fields in exactly the order its inserter wrote them (paper §4.1 —
+// the generated functions always agree; hand-written ones can drift). This
+// pass scans a translation unit for
+//
+//   declareStreamInserter(T& v) { s << v.a; s << pcxx::ds::array(v.p, v.n); }
+//   declareStreamExtractor(T& v) { s >> v.a; s >> pcxx::ds::array(v.p, v.n); }
+//
+// pairs, normalizes each body to a sequence of stream operations, and
+// reports order (DS201), count (DS202), and operation/size (DS203)
+// mismatches. Operands that are not simple `v.field` / array(v.field, n)
+// forms (casts, locals, conditionals around recursive pointers) are treated
+// as opaque and skipped on both sides, so hand-written inserters with
+// presence flags do not false-positive.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dslint/diagnostics.h"
+#include "streamgen/token.h"
+
+namespace pcxx::dslint {
+
+/// One `s <<` / `s >>` operand, normalized.
+struct StreamOp {
+  enum class Kind { Field, Array, Opaque };
+  Kind kind = Kind::Opaque;
+  std::string field;     ///< member name for Field/Array ops
+  std::string sizeExpr;  ///< normalized size expression for Array ops
+  int line = 0;
+  int col = 0;
+};
+
+/// Everything learned about one type's stream functions in a TU.
+struct StreamFns {
+  bool hasInserter = false;
+  bool hasExtractor = false;
+  int inserterLine = 0;
+  int extractorLine = 0;
+  std::vector<StreamOp> inserterOps;
+  std::vector<StreamOp> extractorOps;
+  /// Every member of the parameter referenced anywhere in either body
+  /// (used by D3: a pointer field referenced by hand is "handled").
+  std::set<std::string> referencedFields;
+};
+
+/// Scan a TU's tokens for declareStreamInserter/Extractor bodies.
+/// Keyed by the unqualified type name.
+std::map<std::string, StreamFns> collectStreamFns(const sg::TokenStream& ts);
+
+/// Report DS201/DS202/DS203 for every type with both functions present.
+void checkSymmetry(const std::map<std::string, StreamFns>& fns,
+                   const std::string& file, DiagnosticEngine& diags);
+
+}  // namespace pcxx::dslint

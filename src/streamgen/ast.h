@@ -28,6 +28,7 @@ struct Field {
   std::string sizeExpr;   ///< from pcxx:size(...), empty otherwise
   FieldCategory category = FieldCategory::Scalar;
   int line = 0;
+  int col = 0;  ///< column of the field's name
 };
 
 struct StructDef {
@@ -35,9 +36,11 @@ struct StructDef {
   std::string qualifiedName;   ///< with enclosing namespaces
   std::vector<Field> fields;
   int line = 0;
+  int col = 0;  ///< column of the `struct` / `class` keyword
 };
 
 struct ParsedUnit {
+  std::string file;  ///< source name for diagnostics (may be empty)
   std::vector<StructDef> structs;
 };
 

@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "util/error.h"
+#include "util/srcpos.h"
 
 namespace pcxx::sg {
 namespace {
@@ -16,14 +17,22 @@ bool isIdentChar(char c) {
 
 }  // namespace
 
-TokenStream lex(const std::string& src) {
+TokenStream lex(const std::string& src, const std::string& file) {
   TokenStream out;
+  out.file = file;
   size_t i = 0;
   int line = 1;
+  size_t lineStart = 0;  // offset of the current line's first character
   const size_t n = src.size();
 
   auto peek = [&](size_t ahead = 0) -> char {
     return i + ahead < n ? src[i + ahead] : '\0';
+  };
+  auto colOf = [&](size_t offset) -> int {
+    return static_cast<int>(offset - lineStart) + 1;
+  };
+  auto fail = [&](int atLine, int atCol, const std::string& msg) {
+    throw FormatError(formatDiagnostic(file, atLine, atCol, "error", msg));
   };
 
   while (i < n) {
@@ -31,6 +40,7 @@ TokenStream lex(const std::string& src) {
     if (c == '\n') {
       ++line;
       ++i;
+      lineStart = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -43,6 +53,7 @@ TokenStream lex(const std::string& src) {
         if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
           ++line;
           i += 2;
+          lineStart = i;
           continue;
         }
         ++i;
@@ -51,27 +62,32 @@ TokenStream lex(const std::string& src) {
     }
     // Line comment (possibly a pcxx annotation).
     if (c == '/' && peek(1) == '/') {
+      const int col = colOf(i);
       size_t end = i + 2;
       while (end < n && src[end] != '\n') ++end;
       std::string body = src.substr(i + 2, end - i - 2);
       // Trim and detect "pcxx:".
       size_t b = body.find_first_not_of(" \t");
       if (b != std::string::npos && body.compare(b, 5, "pcxx:") == 0) {
-        out.annotations.push_back(Annotation{line, body.substr(b + 5)});
+        out.annotations.push_back(Annotation{line, col, body.substr(b + 5)});
       }
       i = end;
       continue;
     }
     // Block comment.
     if (c == '/' && peek(1) == '*') {
+      const int startLine = line;
+      const int startCol = colOf(i);
       size_t j = i + 2;
       while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
-        if (src[j] == '\n') ++line;
+        if (src[j] == '\n') {
+          ++line;
+          lineStart = j + 1;
+        }
         ++j;
       }
       if (j + 1 >= n) {
-        throw FormatError("stream-gen: unterminated block comment at line " +
-                          std::to_string(line));
+        fail(startLine, startCol, "unterminated block comment");
       }
       i = j + 2;
       continue;
@@ -79,6 +95,8 @@ TokenStream lex(const std::string& src) {
     // String or char literal: skip content.
     if (c == '"' || c == '\'') {
       const char quote = c;
+      const int startLine = line;
+      const int startCol = colOf(i);
       size_t j = i + 1;
       std::string text;
       while (j < n && src[j] != quote) {
@@ -88,43 +106,49 @@ TokenStream lex(const std::string& src) {
           j += 2;
           continue;
         }
-        if (src[j] == '\n') ++line;
+        if (src[j] == '\n') {
+          ++line;
+          lineStart = j + 1;
+        }
         text += src[j];
         ++j;
       }
       if (j >= n) {
-        throw FormatError("stream-gen: unterminated literal at line " +
-                          std::to_string(line));
+        fail(startLine, startCol, "unterminated literal");
       }
-      out.tokens.push_back(Token{TokKind::String, text, line});
+      out.tokens.push_back(Token{TokKind::String, text, startLine, startCol});
       i = j + 1;
       continue;
     }
     if (isIdentStart(c)) {
+      const int col = colOf(i);
       size_t j = i;
       while (j < n && isIdentChar(src[j])) ++j;
-      out.tokens.push_back(Token{TokKind::Identifier, src.substr(i, j - i),
-                                 line});
+      out.tokens.push_back(
+          Token{TokKind::Identifier, src.substr(i, j - i), line, col});
       i = j;
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
+      const int col = colOf(i);
       size_t j = i;
       while (j < n && (isIdentChar(src[j]) || src[j] == '.')) ++j;
-      out.tokens.push_back(Token{TokKind::Number, src.substr(i, j - i), line});
+      out.tokens.push_back(
+          Token{TokKind::Number, src.substr(i, j - i), line, col});
       i = j;
       continue;
     }
     // Two-character scope operator kept as one token.
     if (c == ':' && peek(1) == ':') {
-      out.tokens.push_back(Token{TokKind::Symbol, "::", line});
+      out.tokens.push_back(Token{TokKind::Symbol, "::", line, colOf(i)});
       i += 2;
       continue;
     }
-    out.tokens.push_back(Token{TokKind::Symbol, std::string(1, c), line});
+    out.tokens.push_back(Token{TokKind::Symbol, std::string(1, c), line,
+                               colOf(i)});
     ++i;
   }
-  out.tokens.push_back(Token{TokKind::EndOfFile, "", line});
+  out.tokens.push_back(Token{TokKind::EndOfFile, "", line, colOf(i)});
   return out;
 }
 

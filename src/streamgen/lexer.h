@@ -11,7 +11,9 @@
 
 namespace pcxx::sg {
 
-/// Tokenize `source`. Throws FormatError on unterminated strings/comments.
-TokenStream lex(const std::string& source);
+/// Tokenize `source`. Throws FormatError on unterminated strings/comments;
+/// error messages carry GCC-style `file:line:col:` positions (`file` names
+/// the source in diagnostics and may be empty).
+TokenStream lex(const std::string& source, const std::string& file = "");
 
 }  // namespace pcxx::sg

@@ -18,6 +18,7 @@
 #include "streamgen/parser.h"
 #include "util/error.h"
 #include "util/options.h"
+#include "util/srcpos.h"
 
 namespace {
 
@@ -60,7 +61,25 @@ int main(int argc, char** argv) {
     }
     const std::string inputPath = opts.positional()[0];
     const pcxx::sg::ParsedUnit unit =
-        pcxx::sg::parseSource(readFile(inputPath));
+        pcxx::sg::parseSource(readFile(inputPath), inputPath);
+
+    // Promote the generated TODO comment into a real, positioned warning:
+    // an unannotated pointer produces code the programmer must finish.
+    for (const auto& def : unit.structs) {
+      for (const auto& f : def.fields) {
+        if (f.category == pcxx::sg::FieldCategory::UnknownPointer) {
+          std::fprintf(stderr, "%s\n",
+                       pcxx::formatDiagnostic(
+                           inputPath, f.line, f.col, "warning",
+                           "pointer field '" + f.name + "' of '" +
+                               def.qualifiedName +
+                               "' has no pcxx:size(...) annotation; the "
+                               "generated inserter/extractor contains a TODO "
+                               "[-Wstreamgen-pointer]")
+                           .c_str());
+        }
+      }
+    }
 
     if (unit.structs.empty()) {
       std::fprintf(stderr, "streamgen: no struct/class definitions in %s\n",
@@ -99,6 +118,14 @@ int main(int argc, char** argv) {
       out << code;
     }
     return 0;
+  } catch (const pcxx::FormatError& e) {
+    // Parse errors carry a file:line:col: prefix; print GCC-style (drop the
+    // exception hierarchy's "format error: " tag so the path leads).
+    std::string w = e.what();
+    const std::string tag = "format error: ";
+    if (w.rfind(tag, 0) == 0) w.erase(0, tag.size());
+    std::fprintf(stderr, "%s\n", w.c_str());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "streamgen: %s\n", e.what());
     return 1;

@@ -4,6 +4,7 @@
 
 #include "streamgen/lexer.h"
 #include "util/error.h"
+#include "util/srcpos.h"
 
 namespace pcxx::sg {
 namespace {
@@ -11,9 +12,12 @@ namespace {
 class Parser {
  public:
   explicit Parser(const TokenStream& stream)
-      : tokens_(stream.tokens), annotations_(stream.annotations) {}
+      : file_(stream.file),
+        tokens_(stream.tokens),
+        annotations_(stream.annotations) {}
 
   ParsedUnit run() {
+    unit_.file = file_;
     std::vector<std::string> ns;
     parseScope(ns, /*topLevel=*/true);
     attachAnnotations();
@@ -33,11 +37,13 @@ class Parser {
   }
   bool atEof() const { return cur().is(TokKind::EndOfFile); }
 
+  [[noreturn]] void fail(const Token& at, const std::string& msg) const {
+    throw FormatError(formatDiagnostic(file_, at.line, at.col, "error", msg));
+  }
+
   void expectSymbol(const std::string& sym) {
     if (!cur().isSymbol(sym)) {
-      throw FormatError("stream-gen: expected '" + sym + "' at line " +
-                        std::to_string(cur().line) + ", got '" + cur().text +
-                        "'");
+      fail(cur(), "expected '" + sym + "' before '" + cur().text + "'");
     }
     advance();
   }
@@ -86,8 +92,7 @@ class Parser {
     while (!atEof()) {
       if (cur().isSymbol("}")) {
         if (topLevel) {
-          throw FormatError("stream-gen: unmatched '}' at line " +
-                            std::to_string(cur().line));
+          fail(cur(), "unmatched '}'");
         }
         advance();
         return;
@@ -140,6 +145,7 @@ class Parser {
 
   void parseStructOrSkip(const std::vector<std::string>& ns) {
     const int structLine = cur().line;
+    const int structCol = cur().col;
     advance();  // struct / class
     if (!cur().is(TokKind::Identifier)) {
       // Anonymous struct; skip.
@@ -161,6 +167,7 @@ class Parser {
     StructDef def;
     def.name = name;
     def.line = structLine;
+    def.col = structCol;
     def.qualifiedName.clear();
     for (const auto& part : ns) {
       def.qualifiedName += part + "::";
@@ -293,6 +300,7 @@ class Parser {
       field.pointerDepth = pointerDepth;
       field.name = cur().text;
       field.line = cur().line;
+      field.col = cur().col;
       advance();
 
       if (cur().isSymbol("(")) {
@@ -350,7 +358,7 @@ class Parser {
     fields([&](Field& f) {
       for (size_t i = 0; i < annotations_.size(); ++i) {
         if (annotations_[i].line == f.line) {
-          applyAnnotation(f, annotations_[i].body);
+          applyAnnotation(f, annotations_[i]);
           used[i] = true;
         }
       }
@@ -358,25 +366,26 @@ class Parser {
     fields([&](Field& f) {
       for (size_t i = 0; i < annotations_.size(); ++i) {
         if (!used[i] && annotations_[i].line == f.line - 1) {
-          applyAnnotation(f, annotations_[i].body);
+          applyAnnotation(f, annotations_[i]);
           used[i] = true;
         }
       }
     });
   }
 
-  static void applyAnnotation(Field& field, const std::string& body) {
-    if (body.rfind("skip", 0) == 0) {
+  void applyAnnotation(Field& field, const Annotation& ann) const {
+    if (ann.body.rfind("skip", 0) == 0) {
       field.category = FieldCategory::Skipped;
       return;
     }
-    if (body.rfind("size(", 0) == 0) {
-      const size_t close = body.rfind(')');
+    if (ann.body.rfind("size(", 0) == 0) {
+      const size_t close = ann.body.rfind(')');
       if (close == std::string::npos || close < 5) {
-        throw FormatError("stream-gen: malformed pcxx:size annotation '" +
-                          body + "'");
+        throw FormatError(formatDiagnostic(
+            file_, ann.line, ann.col, "error",
+            "malformed pcxx:size annotation '" + ann.body + "'"));
       }
-      field.sizeExpr = body.substr(5, close - 5);
+      field.sizeExpr = ann.body.substr(5, close - 5);
     }
   }
 
@@ -435,6 +444,7 @@ class Parser {
     }
   }
 
+  const std::string file_;
   const std::vector<Token>& tokens_;
   const std::vector<Annotation>& annotations_;
   size_t pos_ = 0;
@@ -445,8 +455,8 @@ class Parser {
 
 ParsedUnit parse(const TokenStream& stream) { return Parser(stream).run(); }
 
-ParsedUnit parseSource(const std::string& source) {
-  return parse(lex(source));
+ParsedUnit parseSource(const std::string& source, const std::string& file) {
+  return parse(lex(source, file));
 }
 
 }  // namespace pcxx::sg

@@ -25,10 +25,12 @@
 namespace pcxx::sg {
 
 /// Parse a token stream (with its annotations). Throws FormatError on
-/// constructs the subset cannot skip safely.
+/// constructs the subset cannot skip safely; error messages carry GCC-style
+/// `file:line:col:` positions taken from the token stream.
 ParsedUnit parse(const TokenStream& stream);
 
-/// Convenience: lex + parse a source string.
-ParsedUnit parseSource(const std::string& source);
+/// Convenience: lex + parse a source string. `file` names the source in
+/// diagnostics (may be empty).
+ParsedUnit parseSource(const std::string& source, const std::string& file = "");
 
 }  // namespace pcxx::sg

@@ -19,6 +19,7 @@ struct Token {
   TokKind kind = TokKind::EndOfFile;
   std::string text;
   int line = 0;
+  int col = 0;  ///< 1-based column of the token's first character
 
   bool is(TokKind k) const { return kind == k; }
   bool isSymbol(const std::string& s) const {
@@ -32,10 +33,12 @@ struct Token {
 /// A `// pcxx:...` annotation comment found in the source.
 struct Annotation {
   int line = 0;
+  int col = 0;       ///< column of the "//" that starts the comment
   std::string body;  ///< text after "pcxx:", e.g. "size(numberOfParticles)"
 };
 
 struct TokenStream {
+  std::string file;  ///< source name for diagnostics (may be empty)
   std::vector<Token> tokens;
   std::vector<Annotation> annotations;
 };

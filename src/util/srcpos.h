@@ -1,0 +1,39 @@
+// Source positions and GCC-style diagnostic formatting, shared by the
+// stream-gen front end and the dslint analyzer.
+//
+// Every diagnostic the tooling prints follows the compiler convention
+//   path:line:col: severity: message
+// so editors and CI annotators can parse it.
+#pragma once
+
+#include <string>
+
+namespace pcxx {
+
+/// A position in a source file. `col` is 1-based; 0 means "unknown".
+struct SrcLoc {
+  std::string file;
+  int line = 0;
+  int col = 0;
+};
+
+/// "path:line:col" (omitting missing parts): "t.h:3:7", "t.h:3", "<source>".
+inline std::string locString(const std::string& file, int line, int col) {
+  std::string out = file.empty() ? "<source>" : file;
+  if (line > 0) {
+    out.append(":").append(std::to_string(line));
+    if (col > 0) out.append(":").append(std::to_string(col));
+  }
+  return out;
+}
+
+/// Full GCC-style diagnostic line: "t.h:3:7: error: unterminated comment".
+inline std::string formatDiagnostic(const std::string& file, int line, int col,
+                                    const std::string& severity,
+                                    const std::string& message) {
+  std::string out = locString(file, line, col);
+  out.append(": ").append(severity).append(": ").append(message);
+  return out;
+}
+
+}  // namespace pcxx

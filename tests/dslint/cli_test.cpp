@@ -1,0 +1,166 @@
+// Golden-output tests for the dslint CLI over tests/dslint/fixtures/, plus
+// the regression guarantee that this repository's own client code (the
+// examples and the SCF harness) lints clean.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#ifndef PCXX_DSLINT_PATH
+#error "PCXX_DSLINT_PATH must be defined by the build"
+#endif
+#ifndef PCXX_REPO_ROOT
+#error "PCXX_REPO_ROOT must be defined by the build"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kFixtures =
+    fs::path(PCXX_REPO_ROOT) / "tests" / "dslint" / "fixtures";
+
+std::pair<int, std::string> runTool(const std::string& args) {
+  std::string outName = "pcxx_dslint_";
+  outName.append(std::to_string(::getpid())).append(".out");
+  const fs::path outPath = fs::temp_directory_path() / outName;
+  std::string cmd = PCXX_DSLINT_PATH;
+  cmd.append(" ").append(args).append(" > ").append(outPath.string())
+      .append(" 2>&1");
+  const int rc = std::system(cmd.c_str());
+  std::ifstream in(outPath);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  fs::remove(outPath);
+  return {WEXITSTATUS(rc), ss.str()};
+}
+
+/// Parse "path:line:col: sev: msg [DSxxx]" lines into (id, line) pairs.
+std::multiset<std::pair<std::string, int>> parseDiags(const std::string& out) {
+  std::multiset<std::pair<std::string, int>> got;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t open = line.rfind(" [DS");
+    if (open == std::string::npos || line.back() != ']') continue;
+    const std::string id = line.substr(open + 2, line.size() - open - 3);
+    // Line number: second ':'-separated field.
+    const size_t c1 = line.find(':');
+    if (c1 == std::string::npos) continue;
+    const size_t c2 = line.find(':', c1 + 1);
+    if (c2 == std::string::npos) continue;
+    got.emplace(id, std::atoi(line.substr(c1 + 1, c2 - c1 - 1).c_str()));
+  }
+  return got;
+}
+
+std::multiset<std::pair<std::string, int>> readExpected(const fs::path& path) {
+  std::multiset<std::pair<std::string, int>> want;
+  std::ifstream in(path);
+  std::string id;
+  int line = 0;
+  while (in >> id >> line) want.emplace(id, line);
+  return want;
+}
+
+std::string describe(const std::multiset<std::pair<std::string, int>>& set) {
+  std::ostringstream ss;
+  for (const auto& [id, line] : set) ss << id << ":" << line << " ";
+  return ss.str();
+}
+
+TEST(DslintCli, EveryBadFixtureMatchesItsGolden) {
+  int checked = 0;
+  for (const auto& entry : fs::directory_iterator(kFixtures)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 8 || name.substr(name.size() - 8) != "_bad.cpp") {
+      continue;
+    }
+    const fs::path expected =
+        entry.path().parent_path() /
+        (name.substr(0, name.size() - 4) + ".expected");
+    ASSERT_TRUE(fs::exists(expected)) << "missing golden for " << name;
+    auto [rc, out] = runTool(entry.path().string());
+    EXPECT_EQ(rc, 1) << name << ": " << out;
+    EXPECT_EQ(parseDiags(out), readExpected(expected))
+        << name << "\n got: " << describe(parseDiags(out))
+        << "\nwant: " << describe(readExpected(expected)) << "\nraw:\n"
+        << out;
+    ++checked;
+  }
+  // One bad fixture per diagnostic ID (DS001, DS101..DS107, DS201..DS203,
+  // DS301, DS401, DS402).
+  EXPECT_GE(checked, 14);
+}
+
+TEST(DslintCli, EveryGoodFixtureIsClean) {
+  int checked = 0;
+  for (const auto& entry : fs::directory_iterator(kFixtures)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 9 || name.substr(name.size() - 9) != "_good.cpp") {
+      continue;
+    }
+    auto [rc, out] = runTool(entry.path().string());
+    EXPECT_EQ(rc, 0) << name << " should lint clean but printed:\n" << out;
+    EXPECT_TRUE(out.empty()) << name << ":\n" << out;
+    ++checked;
+  }
+  EXPECT_GE(checked, 14);
+}
+
+TEST(DslintCli, RepositoryClientCodeLintsClean) {
+  // The examples and the SCF harness are the analyzer's false-positive
+  // budget: every construct they use must stay diagnostic-free.
+  std::string files;
+  for (const char* dir : {"examples", "src/scf", "src/dstream",
+                          "src/collection"}) {
+    for (const auto& entry :
+         fs::directory_iterator(fs::path(PCXX_REPO_ROOT) / dir)) {
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".h") {
+        files.append(" ").append(entry.path().string());
+      }
+    }
+  }
+  auto [rc, out] = runTool(files);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST(DslintCli, JsonModeEmitsMachineReadableOutput) {
+  auto [rc, out] = runTool("--json " + (kFixtures / "ds104_bad.cpp").string());
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("\"id\":\"DS104\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"count\":1"), std::string::npos) << out;
+}
+
+TEST(DslintCli, MultipleFilesAggregateAndSort) {
+  auto [rc, out] = runTool((kFixtures / "ds104_bad.cpp").string() + " " +
+                           (kFixtures / "ds101_bad.cpp").string());
+  EXPECT_EQ(rc, 1);
+  // Sorted by file: ds101 first even though given second.
+  const size_t p101 = out.find("[DS101]");
+  const size_t p104 = out.find("[DS104]");
+  ASSERT_NE(p101, std::string::npos) << out;
+  ASSERT_NE(p104, std::string::npos) << out;
+  EXPECT_LT(p101, p104);
+}
+
+TEST(DslintCli, MissingFileExitsTwo) {
+  auto [rc, out] = runTool("/nonexistent/no_such_file.cpp");
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("DS001"), std::string::npos) << out;
+}
+
+TEST(DslintCli, NoInputsExitsTwoWithUsage) {
+  auto [rc, out] = runTool("");
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("no input files"), std::string::npos) << out;
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Tests for the diagnostic engine: rendering, sorting, JSON output, and
+// the shared position-formatting helpers.
+#include <gtest/gtest.h>
+
+#include "src/dslint/analyzer.h"
+#include "src/dslint/diagnostics.h"
+#include "src/util/srcpos.h"
+
+namespace {
+
+using pcxx::dslint::AnalyzerOptions;
+using pcxx::dslint::DiagnosticEngine;
+using pcxx::dslint::Severity;
+
+TEST(SrcPosTest, LocStringOmitsMissingParts) {
+  EXPECT_EQ(pcxx::locString("t.h", 3, 7), "t.h:3:7");
+  EXPECT_EQ(pcxx::locString("t.h", 3, 0), "t.h:3");
+  EXPECT_EQ(pcxx::locString("", 0, 0), "<source>");
+}
+
+TEST(SrcPosTest, FormatDiagnosticIsGccStyle) {
+  EXPECT_EQ(pcxx::formatDiagnostic("t.h", 3, 7, "error", "bad token"),
+            "t.h:3:7: error: bad token");
+}
+
+TEST(DiagnosticsTest, RenderIncludesIdTag) {
+  DiagnosticEngine d;
+  d.error("DS104", "a.cpp", 9, 3, "double close of d/stream 'out'");
+  EXPECT_EQ(d.all()[0].render(),
+            "a.cpp:9:3: error: double close of d/stream 'out' [DS104]");
+}
+
+TEST(DiagnosticsTest, SortOrdersByFileLineColId) {
+  DiagnosticEngine d;
+  d.error("DS105", "b.cpp", 2, 1, "m");
+  d.error("DS104", "a.cpp", 9, 3, "m");
+  d.error("DS102", "a.cpp", 4, 1, "m");
+  d.sort();
+  EXPECT_EQ(d.all()[0].id, "DS102");
+  EXPECT_EQ(d.all()[1].id, "DS104");
+  EXPECT_EQ(d.all()[2].id, "DS105");
+}
+
+TEST(DiagnosticsTest, JsonEscapesAndCounts) {
+  DiagnosticEngine d;
+  d.warning("DS107", "a\"b.cpp", 1, 2, "path with \"quotes\"\nand newline");
+  const std::string json = d.renderJson();
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b.cpp"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"warning\""), std::string::npos);
+}
+
+TEST(AnalyzerTest, UnlexableSourceYieldsDs001NotAThrow) {
+  DiagnosticEngine d;
+  pcxx::dslint::analyzeSource("const char* s = \"open\n", "t.cpp",
+                              AnalyzerOptions{}, d);
+  ASSERT_EQ(d.count(), 1u);
+  EXPECT_EQ(d.all()[0].id, "DS001");
+}
+
+TEST(AnalyzerTest, AllTypesFlagsPointerInPlainStruct) {
+  const std::string src = R"(
+    struct Blob {
+      int n;
+      char* bytes;
+    };
+  )";
+  DiagnosticEngine quiet;
+  pcxx::dslint::analyzeSource(src, "t.h", AnalyzerOptions{}, quiet);
+  EXPECT_TRUE(quiet.empty());  // no stream functions in sight: default off
+
+  DiagnosticEngine loud;
+  AnalyzerOptions all;
+  all.allTypes = true;
+  pcxx::dslint::analyzeSource(src, "t.h", all, loud);
+  ASSERT_EQ(loud.count(), 1u);
+  EXPECT_EQ(loud.all()[0].id, "DS301");
+  EXPECT_EQ(loud.all()[0].line, 4);
+}
+
+TEST(AnalyzerTest, AnnotatedPointersAreClean) {
+  DiagnosticEngine d;
+  pcxx::dslint::analyzeSource(R"(
+    struct Blob {
+      int n;
+      char* bytes;   // pcxx:size(n)
+      void* handle;  // pcxx:skip
+    };
+  )", "t.h", AnalyzerOptions{.allTypes = true}, d);
+  EXPECT_TRUE(d.empty());
+}
+
+}  // namespace

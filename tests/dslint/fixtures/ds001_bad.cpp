@@ -1,0 +1,4 @@
+// Unterminated literal: the analyzer cannot lex this TU at all.
+struct Broken {
+  const char* name = "never closed
+};

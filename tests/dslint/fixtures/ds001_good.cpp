@@ -1,0 +1,5 @@
+// Lexes and parses cleanly; nothing stream-related at all.
+struct Fine {
+  int a = 0;
+  double b = 1.0;
+};

@@ -1,0 +1,9 @@
+// Write-mode call on an input stream / read-mode call on an output stream.
+#include "dstream/dstream.h"
+
+void consume() {
+  pcxx::ds::IStream in("particles.ds");
+  in.read();
+  in.write();  // wrong direction
+  in.close();
+}

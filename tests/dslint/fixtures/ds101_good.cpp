@@ -1,0 +1,10 @@
+// Direction-correct twin of ds101_bad.
+#include "dstream/dstream.h"
+
+void consume() {
+  pcxx::ds::IStream in("particles.ds");
+  in.read();
+  int v = 0;
+  in >> v;
+  in.close();
+}

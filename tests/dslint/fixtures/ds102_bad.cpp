@@ -1,0 +1,8 @@
+// write() with nothing inserted since the last record boundary.
+#include "dstream/dstream.h"
+
+void produce() {
+  pcxx::ds::OStream out("empty.ds");
+  out.write();  // nothing inserted yet
+  out.close();
+}

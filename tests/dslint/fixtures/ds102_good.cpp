@@ -1,0 +1,14 @@
+// Insert-before-write twin of ds102_bad; the insert happens in both arms
+// of a branch, so the join still proves a pending insert.
+#include "dstream/dstream.h"
+
+void produce(bool fancy) {
+  pcxx::ds::OStream out("records.ds");
+  if (fancy) {
+    out << 2.0;
+  } else {
+    out << 1.0;
+  }
+  out.write();
+  out.close();
+}

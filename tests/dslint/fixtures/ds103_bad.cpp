@@ -1,0 +1,9 @@
+// Extraction before read()/unsortedRead() selected a record.
+#include "dstream/dstream.h"
+
+void consume() {
+  pcxx::ds::IStream in("particles.ds");
+  double x = 0;
+  in >> x;  // no record loaded yet
+  in.close();
+}

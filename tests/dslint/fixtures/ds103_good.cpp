@@ -1,0 +1,15 @@
+// read-then-extract twin of ds103_bad, with the paper's sorted/unsorted
+// choice: both arms of the branch load a record, so the join is safe.
+#include "dstream/dstream.h"
+
+void consume(bool sorted) {
+  pcxx::ds::IStream in("particles.ds");
+  if (sorted) {
+    in.read();
+  } else {
+    in.unsortedRead();
+  }
+  double x = 0;
+  in >> x;
+  in.close();
+}

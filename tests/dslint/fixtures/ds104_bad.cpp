@@ -1,0 +1,10 @@
+// Double close.
+#include "dstream/dstream.h"
+
+void produce() {
+  pcxx::ds::OStream out("records.ds");
+  out << 1;
+  out.write();
+  out.close();
+  out.close();  // already closed
+}

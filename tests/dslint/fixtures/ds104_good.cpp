@@ -1,0 +1,10 @@
+// Single-close twin of ds104_bad: close in only one branch is fine as
+// long as no later use can see the closed state on every path.
+#include "dstream/dstream.h"
+
+void produce() {
+  pcxx::ds::OStream out("records.ds");
+  out << 1;
+  out.write();
+  out.close();
+}

@@ -1,0 +1,10 @@
+// Use of a stream after close().
+#include "dstream/dstream.h"
+
+void produce() {
+  pcxx::ds::OStream out("records.ds");
+  out << 1;
+  out.write();
+  out.close();
+  out << 2;  // stream is closed
+}

@@ -1,0 +1,10 @@
+// Twin of ds105_bad: all uses precede the close.
+#include "dstream/dstream.h"
+
+void produce() {
+  pcxx::ds::OStream out("records.ds");
+  out << 1;
+  out << 2;
+  out.write();
+  out.close();
+}

@@ -1,0 +1,9 @@
+// Pending inserts discarded by close (never written to a record).
+#include "dstream/dstream.h"
+
+void produce() {
+  pcxx::ds::OStream out("records.ds");
+  out << 1;
+  out << 2;
+  out.close();  // the two inserts are lost
+}

@@ -1,0 +1,12 @@
+// Loop twin of ds106_bad: each iteration writes what it inserted, so no
+// pending data can reach the close on any path.
+#include "dstream/dstream.h"
+
+void produce(int n) {
+  pcxx::ds::OStream out("records.ds");
+  for (int i = 0; i < n; ++i) {
+    out << i;
+    out.write();
+  }
+  out.close();
+}

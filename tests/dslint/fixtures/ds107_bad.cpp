@@ -1,0 +1,7 @@
+// Output stream opened and closed without ever writing a record.
+#include "dstream/dstream.h"
+
+void produce() {
+  pcxx::ds::OStream out("empty.ds");
+  out.close();  // zero records
+}

@@ -1,0 +1,12 @@
+// Twin of ds107_bad: a write in a loop body counts — the analysis cannot
+// prove the loop runs, but DS107 only fires when NO path writes.
+#include "dstream/dstream.h"
+
+void produce(int n) {
+  pcxx::ds::OStream out("records.ds");
+  for (int i = 0; i < n; ++i) {
+    out << i;
+    out.write();
+  }
+  out.close();
+}

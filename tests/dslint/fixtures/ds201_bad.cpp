@@ -1,0 +1,17 @@
+// Field order differs between inserter and extractor.
+#include "dstream/element_io.h"
+
+struct Particle {
+  double x;
+  double y;
+};
+
+declareStreamInserter(Particle& v) {
+  s << v.x;
+  s << v.y;
+}
+
+declareStreamExtractor(Particle& v) {
+  s >> v.y;  // order swapped
+  s >> v.x;
+}

@@ -1,0 +1,17 @@
+// Order-matched twin of ds201_bad.
+#include "dstream/element_io.h"
+
+struct Particle {
+  double x;
+  double y;
+};
+
+declareStreamInserter(Particle& v) {
+  s << v.x;
+  s << v.y;
+}
+
+declareStreamExtractor(Particle& v) {
+  s >> v.x;
+  s >> v.y;
+}

@@ -1,0 +1,19 @@
+// Field count differs between inserter and extractor.
+#include "dstream/element_io.h"
+
+struct Sample {
+  int id;
+  double value;
+  double weight;
+};
+
+declareStreamInserter(Sample& v) {
+  s << v.id;
+  s << v.value;
+  s << v.weight;
+}
+
+declareStreamExtractor(Sample& v) {
+  s >> v.id;
+  s >> v.value;  // weight never extracted
+}

@@ -1,0 +1,21 @@
+// Count-matched twin of ds202_bad. The extractor's temporaries and casts
+// are opaque to the checker and must not count as fields.
+#include "dstream/element_io.h"
+
+struct Sample {
+  int id;
+  double value;
+  double weight;
+};
+
+declareStreamInserter(Sample& v) {
+  s << v.id;
+  s << v.value;
+  s << v.weight;
+}
+
+declareStreamExtractor(Sample& v) {
+  s >> v.id;
+  s >> v.value;
+  s >> v.weight;
+}

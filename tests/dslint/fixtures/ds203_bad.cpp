@@ -1,0 +1,20 @@
+// Array size expression differs between inserter and extractor.
+#include "dstream/element_io.h"
+
+struct Track {
+  int count;
+  int capacity;
+  double* samples;  // pcxx:size(count)
+};
+
+declareStreamInserter(Track& v) {
+  s << v.count;
+  s << v.capacity;
+  s << pcxx::ds::array(v.samples, v.count);
+}
+
+declareStreamExtractor(Track& v) {
+  s >> v.count;
+  s >> v.capacity;
+  s >> pcxx::ds::array(v.samples, v.capacity);  // wrong extent
+}

@@ -1,0 +1,21 @@
+// Size-matched twin of ds203_bad; the parameter name differs between the
+// two functions, which must not defeat the comparison.
+#include "dstream/element_io.h"
+
+struct Track {
+  int count;
+  int capacity;
+  double* samples;  // pcxx:size(count)
+};
+
+declareStreamInserter(Track& out) {
+  s << out.count;
+  s << out.capacity;
+  s << pcxx::ds::array(out.samples, out.count);
+}
+
+declareStreamExtractor(Track& in) {
+  s >> in.count;
+  s >> in.capacity;
+  s >> pcxx::ds::array(in.samples, in.count);
+}

@@ -1,0 +1,16 @@
+// Unannotated pointer field in a streamed type that the hand-written
+// stream functions never handle: the raw address would be streamed.
+#include "dstream/element_io.h"
+
+struct Node {
+  int key;
+  char* label;  // no pcxx:size / pcxx:skip, not handled below
+};
+
+declareStreamInserter(Node& v) {
+  s << v.key;
+}
+
+declareStreamExtractor(Node& v) {
+  s >> v.key;
+}

@@ -1,0 +1,25 @@
+// Twin of ds301_bad: one pointer is size-annotated, the other is covered
+// by the hand-written functions, the third is explicitly skipped.
+#include "dstream/element_io.h"
+
+struct Node {
+  int key;
+  int len;
+  char* label;    // pcxx:size(len)
+  double* extra;  // handled by hand below
+  void* handle;   // pcxx:skip
+};
+
+declareStreamInserter(Node& v) {
+  s << v.key;
+  s << v.len;
+  s << pcxx::ds::array(v.label, v.len);
+  s << pcxx::ds::array(v.extra, v.len);
+}
+
+declareStreamExtractor(Node& v) {
+  s >> v.key;
+  s >> v.len;
+  s >> pcxx::ds::array(v.label, v.len);
+  s >> pcxx::ds::array(v.extra, v.len);
+}

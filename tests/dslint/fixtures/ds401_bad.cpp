@@ -1,0 +1,15 @@
+// Interleaved inserts of collections with differing layouts into one
+// record (the stream itself declares no layout, so only the interleave
+// conflict fires).
+#include "collection/collection.h"
+#include "dstream/dstream.h"
+
+void dump(pcxx::rt::Dist& rows, pcxx::rt::Dist& cols, pcxx::rt::Align& a) {
+  pcxx::coll::Collection<double> u(&rows, &a);
+  pcxx::coll::Collection<double> v(&cols, &a);
+  pcxx::ds::OStream out("fields.ds");
+  out << u;
+  out << v;  // different distribution in the same record
+  out.write();
+  out.close();
+}

@@ -1,0 +1,14 @@
+// Aligned twin of ds401_bad: both collections share (dist, align), so
+// interleaving them element-wise is exactly the paper's Figure 4 case.
+#include "collection/collection.h"
+#include "dstream/dstream.h"
+
+void dump(pcxx::rt::Dist& rows, pcxx::rt::Align& a) {
+  pcxx::coll::Collection<double> u(&rows, &a);
+  pcxx::coll::Collection<double> v(&rows, &a);
+  pcxx::ds::OStream out("fields.ds");
+  out << u;
+  out << v;
+  out.write();
+  out.close();
+}

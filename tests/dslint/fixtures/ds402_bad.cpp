@@ -1,0 +1,11 @@
+// Collection layout differs from the layout the stream was declared with.
+#include "collection/collection.h"
+#include "dstream/dstream.h"
+
+void dump(pcxx::rt::Dist& rows, pcxx::rt::Dist& cols, pcxx::rt::Align& a) {
+  pcxx::coll::Collection<double> u(&cols, &a);
+  pcxx::ds::OStream out("fields.ds", &rows, &a);
+  out << u;  // (cols, a) into a (rows, a) stream
+  out.write();
+  out.close();
+}

@@ -1,0 +1,11 @@
+// Matched twin of ds402_bad.
+#include "collection/collection.h"
+#include "dstream/dstream.h"
+
+void dump(pcxx::rt::Dist& rows, pcxx::rt::Align& a) {
+  pcxx::coll::Collection<double> u(&rows, &a);
+  pcxx::ds::OStream out("fields.ds", &rows, &a);
+  out << u;
+  out.write();
+  out.close();
+}

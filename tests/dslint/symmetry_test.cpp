@@ -1,0 +1,152 @@
+// Library-level tests for the D2 symmetry pass: body normalization, opaque
+// filtering, parameter-name normalization, referenced-field collection.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/dslint/symmetry.h"
+#include "src/streamgen/lexer.h"
+
+namespace {
+
+using pcxx::dslint::DiagnosticEngine;
+using pcxx::dslint::StreamFns;
+using pcxx::dslint::StreamOp;
+
+std::map<std::string, StreamFns> collect(const std::string& source) {
+  return pcxx::dslint::collectStreamFns(pcxx::sg::lex(source, "t.cpp"));
+}
+
+std::vector<std::string> idsOf(const std::string& source) {
+  DiagnosticEngine diags;
+  pcxx::dslint::checkSymmetry(collect(source), "t.cpp", diags);
+  diags.sort();
+  std::vector<std::string> ids;
+  for (const auto& d : diags.all()) ids.push_back(d.id);
+  return ids;
+}
+
+TEST(SymmetryTest, CollectsBothFunctionsKeyedByType) {
+  auto fns = collect(R"(
+    declareStreamInserter(Particle& v) { s << v.x; s << v.y; }
+    declareStreamExtractor(Particle& v) { s >> v.x; s >> v.y; }
+  )");
+  ASSERT_EQ(fns.count("Particle"), 1u);
+  EXPECT_TRUE(fns["Particle"].hasInserter);
+  EXPECT_TRUE(fns["Particle"].hasExtractor);
+  ASSERT_EQ(fns["Particle"].inserterOps.size(), 2u);
+  EXPECT_EQ(fns["Particle"].inserterOps[0].field, "x");
+  EXPECT_EQ(fns["Particle"].inserterOps[1].field, "y");
+}
+
+TEST(SymmetryTest, QualifiedTypeNameUsesUnqualifiedKey) {
+  auto fns = collect(R"(
+    declareStreamInserter(scf::Segment& v) { s << v.id; }
+  )");
+  EXPECT_EQ(fns.count("Segment"), 1u);
+}
+
+TEST(SymmetryTest, ChainedOperatorsCountEachOperand) {
+  auto fns = collect(R"(
+    declareStreamInserter(P& v) { s << v.a << v.b << v.c; }
+  )");
+  ASSERT_EQ(fns["P"].inserterOps.size(), 3u);
+  EXPECT_EQ(fns["P"].inserterOps[2].field, "c");
+}
+
+TEST(SymmetryTest, ArrayOperandNormalizesSizeExpr) {
+  auto fns = collect(R"(
+    declareStreamInserter(T& out) {
+      s << out.n;
+      s << pcxx::ds::array(out.data, out.n * 2);
+    }
+  )");
+  ASSERT_EQ(fns["T"].inserterOps.size(), 2u);
+  const StreamOp& op = fns["T"].inserterOps[1];
+  EXPECT_EQ(op.kind, StreamOp::Kind::Array);
+  EXPECT_EQ(op.field, "data");
+  // The parameter name is normalized to "@" so differently named
+  // parameters in the two functions still compare equal.
+  EXPECT_EQ(op.sizeExpr, "@.n*2");
+}
+
+TEST(SymmetryTest, CastsAndLocalsAreOpaque) {
+  auto fns = collect(R"(
+    declareStreamInserter(Node& v) {
+      int flag = v.child ? 1 : 0;
+      s << v.key;
+      s << flag;
+      s << static_cast<int>(v.depth);
+    }
+  )");
+  ASSERT_EQ(fns["Node"].inserterOps.size(), 3u);
+  EXPECT_EQ(fns["Node"].inserterOps[0].kind, StreamOp::Kind::Field);
+  EXPECT_EQ(fns["Node"].inserterOps[1].kind, StreamOp::Kind::Opaque);
+  EXPECT_EQ(fns["Node"].inserterOps[2].kind, StreamOp::Kind::Opaque);
+}
+
+TEST(SymmetryTest, OpaqueOpsAreFilteredFromComparison) {
+  // Presence-flag idiom (examples/adaptive_tree.cpp): locals and casts on
+  // both sides must not trip the order/count checks.
+  EXPECT_TRUE(idsOf(R"(
+    declareStreamInserter(Node& v) {
+      int flag = v.child ? 1 : 0;
+      s << flag;
+      s << v.key;
+    }
+    declareStreamExtractor(Node& v) {
+      int flag = 0;
+      s >> flag;
+      s >> v.key;
+    }
+  )").empty());
+}
+
+TEST(SymmetryTest, ReferencedFieldsIncludeEveryMention) {
+  auto fns = collect(R"(
+    declareStreamInserter(Node& v) {
+      int flag = v.child ? 1 : 0;
+      s << flag;
+      s << v.key;
+    }
+  )");
+  EXPECT_EQ(fns["Node"].referencedFields.count("child"), 1u);
+  EXPECT_EQ(fns["Node"].referencedFields.count("key"), 1u);
+}
+
+TEST(SymmetryTest, OrderMismatchReportsDs201) {
+  EXPECT_EQ(idsOf(R"(
+    declareStreamInserter(P& v) { s << v.a; s << v.b; }
+    declareStreamExtractor(P& v) { s >> v.b; s >> v.a; }
+  )"), (std::vector<std::string>{"DS201"}));
+}
+
+TEST(SymmetryTest, CountMismatchReportsDs202) {
+  EXPECT_EQ(idsOf(R"(
+    declareStreamInserter(P& v) { s << v.a; s << v.b; }
+    declareStreamExtractor(P& v) { s >> v.a; }
+  )"), (std::vector<std::string>{"DS202"}));
+}
+
+TEST(SymmetryTest, SizeExprMismatchReportsDs203) {
+  EXPECT_EQ(idsOf(R"(
+    declareStreamInserter(P& v) { s << v.n; s << ds::array(v.p, v.n); }
+    declareStreamExtractor(P& v) { s >> v.n; s >> ds::array(v.p, v.cap); }
+  )"), (std::vector<std::string>{"DS203"}));
+}
+
+TEST(SymmetryTest, DifferentParameterNamesCompareEqual) {
+  EXPECT_TRUE(idsOf(R"(
+    declareStreamInserter(P& out) { s << out.n; s << ds::array(out.p, out.n); }
+    declareStreamExtractor(P& in) { s >> in.n; s >> ds::array(in.p, in.n); }
+  )").empty());
+}
+
+TEST(SymmetryTest, InserterOnlyTypeIsNotChecked) {
+  EXPECT_TRUE(idsOf(R"(
+    declareStreamInserter(P& v) { s << v.a; }
+  )").empty());
+}
+
+}  // namespace

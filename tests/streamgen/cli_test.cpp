@@ -89,6 +89,27 @@ TEST_F(StreamgenCli, MissingInputFileFails) {
   EXPECT_NE(out.find("streamgen:"), std::string::npos);
 }
 
+TEST_F(StreamgenCli, UnannotatedPointerWarnsWithPosition) {
+  const std::string hdr = writeHeader("w.h",
+                                      "struct S {\n"
+                                      "  int n;\n"
+                                      "  char* name;\n"
+                                      "};\n");
+  const std::string out = (dir_ / "w_streams.h").string();
+  auto [rc, log] = runTool(hdr + " -o " + out);
+  EXPECT_EQ(rc, 0) << log;  // a warning, not an error
+  EXPECT_NE(log.find(hdr + ":3:9: warning:"), std::string::npos) << log;
+  EXPECT_NE(log.find("[-Wstreamgen-pointer]"), std::string::npos) << log;
+}
+
+TEST_F(StreamgenCli, ParseErrorsLeadWithThePosition) {
+  const std::string hdr =
+      writeHeader("bad.h", "struct S { int a; };\n}\n");
+  auto [rc, log] = runTool(hdr);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(log.find(hdr + ":2:1: error:"), std::string::npos) << log;
+}
+
 // ---------------------------------------------------------------------------
 // Robustness: parse this repository's real headers. The subset parser must
 // accept or skip everything in them without throwing or crashing.

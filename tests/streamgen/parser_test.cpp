@@ -227,4 +227,24 @@ TEST(Parser, MalformedSizeAnnotationThrows) {
       FormatError);
 }
 
+TEST(Parser, ErrorsCarryGccStylePositions) {
+  // front-end errors lead with "file:line:col:" so editors can jump to
+  // them; the file name is whatever the caller passed to parseSource.
+  try {
+    parseSource("struct S { int a; };\n}\n", "types.h");
+    FAIL() << "unmatched '}' should throw";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("types.h:2:1: error:"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Parser, FieldsRecordLineAndColumn) {
+  const auto u = parseSource("struct S {\n  int alpha;\n};", "s.h");
+  EXPECT_EQ(u.file, "s.h");
+  EXPECT_EQ(fieldNamed(only(u), "alpha").line, 2);
+  EXPECT_EQ(fieldNamed(only(u), "alpha").col, 7);
+}
+
 }  // namespace
