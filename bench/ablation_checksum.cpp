@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_obs.h"
 #include "src/collection/collection.h"
 #include "src/dstream/dstream.h"
 #include "src/scf/segment.h"
@@ -22,11 +23,13 @@ using namespace pcxx;
 namespace {
 
 double runOnce(int nprocs, std::int64_t segments, int particles,
-               bool checksum, int reps) {
+               bool checksum, int reps, benchutil::MetricsDump& dump) {
   double best = 1e99;
   for (int rep = 0; rep < reps; ++rep) {
     pfs::Pfs fs{pfs::PfsConfig{}};
     rt::Machine machine(nprocs);
+    // Observe the first rep only; the timed best-of reps run uninstrumented.
+    if (rep == 0) dump.attach(machine);
     const auto t0 = std::chrono::steady_clock::now();
     machine.run([&](rt::Node&) {
       coll::Processors P;
@@ -46,6 +49,11 @@ double runOnce(int nprocs, std::int64_t segments, int particles,
       in >> back;
     });
     const auto t1 = std::chrono::steady_clock::now();
+    if (rep == 0) {
+      dump.capture(strfmt("segments=%lld checksum=%s",
+                          static_cast<long long>(segments),
+                          checksum ? "on" : "off"));
+    }
     best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
   }
   return best;
@@ -58,17 +66,19 @@ int main(int argc, char** argv) {
                "host-time cost of the data-integrity CRC (write+read)");
   opts.add("nprocs", "4", "node count");
   opts.add("reps", "3", "repetitions (best-of)");
+  opts.add("metrics-json", "", "write per-run obs snapshots to this path");
   if (!opts.parse(argc, argv)) return 0;
   const int nprocs = static_cast<int>(opts.getInt("nprocs"));
   const int reps = static_cast<int>(opts.getInt("reps"));
+  benchutil::MetricsDump dump(opts.get("metrics-json"));
 
   Table t("Ablation: data checksum overhead (host time, memory backend, "
           "output+input)");
   t.setHeader({"# of Segments", "no checksum", "CRC-32 + verify",
                "overhead"});
   for (std::int64_t n : {256ll, 1000ll, 4000ll}) {
-    const double off = runOnce(nprocs, n, 100, false, reps);
-    const double on = runOnce(nprocs, n, 100, true, reps);
+    const double off = runOnce(nprocs, n, 100, false, reps, dump);
+    const double on = runOnce(nprocs, n, 100, true, reps, dump);
     t.addRow({strfmt("%lld", static_cast<long long>(n)),
               strfmt("%.4f sec.", off), strfmt("%.4f sec.", on),
               strfmt("%+.1f%%", 100.0 * (on - off) / off)});
@@ -79,5 +89,6 @@ int main(int argc, char** argv) {
       "this the worst case — against real disks or the modeled 1995 "
       "platforms the CRC cost vanishes next to the transfer time");
   t.print();
+  dump.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 // strategy across element counts and shows the crossover.
 #include <cstdio>
 
+#include "bench/bench_obs.h"
 #include "src/collection/collection.h"
 #include "src/dstream/dstream.h"
 #include "src/util/options.h"
@@ -19,11 +20,13 @@ using namespace pcxx;
 namespace {
 
 double runOnce(int nprocs, std::int64_t elements,
-               ds::StreamOptions::HeaderPolicy policy) {
+               ds::StreamOptions::HeaderPolicy policy,
+               benchutil::MetricsDump& dump, const std::string& label) {
   rt::Machine machine(nprocs, rt::CommModel{100e-6, 1.25e-8});
   pfs::PfsConfig cfg;
   cfg.perf = pfs::paragonParams();
   pfs::Pfs fs(cfg);
+  dump.attach(machine);
 
   // Small (int) elements: the size table is twice the data, so the header
   // strategy dominates the record cost — the regime §4.1 discusses.
@@ -40,6 +43,7 @@ double runOnce(int nprocs, std::int64_t elements,
     s << data;
     s.write();
   });
+  dump.capture(label);
   return machine.maxVirtualTime();
 }
 
@@ -49,8 +53,10 @@ int main(int argc, char** argv) {
   Options opts("ablation_header_strategy",
                "gathered vs parallel size-table write (Paragon model)");
   opts.add("nprocs", "8", "node count");
+  opts.add("metrics-json", "", "write per-run obs snapshots to this path");
   if (!opts.parse(argc, argv)) return 0;
   const int nprocs = static_cast<int>(opts.getInt("nprocs"));
+  benchutil::MetricsDump dump(opts.get("metrics-json"));
 
   Table t("Ablation: output time, size table gathered to node 0 vs written "
           "in parallel (Paragon model, " +
@@ -59,9 +65,13 @@ int main(int argc, char** argv) {
   for (std::int64_t n :
        {64ll, 1000ll, 16000ll, 128000ll, 512000ll, 2048000ll}) {
     const double gathered =
-        runOnce(nprocs, n, ds::StreamOptions::HeaderPolicy::ForceGathered);
+        runOnce(nprocs, n, ds::StreamOptions::HeaderPolicy::ForceGathered,
+                dump, strfmt("elements=%lld gathered",
+                             static_cast<long long>(n)));
     const double parallel =
-        runOnce(nprocs, n, ds::StreamOptions::HeaderPolicy::ForceParallel);
+        runOnce(nprocs, n, ds::StreamOptions::HeaderPolicy::ForceParallel,
+                dump, strfmt("elements=%lld parallel",
+                             static_cast<long long>(n)));
     t.addRow({strfmt("%lld", static_cast<long long>(n)),
               strfmt("%.3f sec.", gathered), strfmt("%.3f sec.", parallel),
               gathered <= parallel ? "gathered" : "parallel"});
@@ -70,5 +80,6 @@ int main(int argc, char** argv) {
       "pC++/streams' Auto policy picks gathered below the threshold and "
       "parallel above it (StreamOptions::parallelHeaderThreshold)");
   t.print();
+  dump.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 // This measures both and verifies the interleaved byte layout.
 #include <cstdio>
 
+#include "bench/bench_obs.h"
 #include "src/collection/collection.h"
 #include "src/dstream/dstream.h"
 #include "src/util/options.h"
@@ -22,11 +23,13 @@ struct GridCell {
   double particleDensity = 0.0;
 };
 
-double runOnce(int nprocs, std::int64_t n, bool interleaved) {
+double runOnce(int nprocs, std::int64_t n, bool interleaved,
+               benchutil::MetricsDump& dump) {
   rt::Machine machine(nprocs, rt::CommModel{100e-6, 1.25e-8});
   pfs::PfsConfig cfg;
   cfg.perf = pfs::paragonParams();
   pfs::Pfs fs(cfg);
+  dump.attach(machine);
 
   machine.run([&](rt::Node&) {
     coll::Processors P;
@@ -52,6 +55,8 @@ double runOnce(int nprocs, std::int64_t n, bool interleaved) {
       s.write();
     }
   });
+  dump.capture(strfmt("elements=%lld %s", static_cast<long long>(n),
+                      interleaved ? "interleaved" : "two_records"));
   return machine.maxVirtualTime();
 }
 
@@ -61,15 +66,17 @@ int main(int argc, char** argv) {
   Options opts("ablation_interleave",
                "one interleaved record vs one record per field");
   opts.add("nprocs", "8", "node count");
+  opts.add("metrics-json", "", "write per-run obs snapshots to this path");
   if (!opts.parse(argc, argv)) return 0;
   const int nprocs = static_cast<int>(opts.getInt("nprocs"));
+  benchutil::MetricsDump dump(opts.get("metrics-json"));
 
   Table t("Ablation: two corresponding fields written contiguously "
           "(interleaved, 1 record) vs separately (2 records)");
   t.setHeader({"# of elements", "interleaved", "two records", "saving"});
   for (std::int64_t n : {256ll, 2000ll, 16000ll}) {
-    const double one = runOnce(nprocs, n, true);
-    const double two = runOnce(nprocs, n, false);
+    const double one = runOnce(nprocs, n, true, dump);
+    const double two = runOnce(nprocs, n, false, dump);
     t.addRow({strfmt("%lld", static_cast<long long>(n)),
               strfmt("%.3f sec.", one), strfmt("%.3f sec.", two),
               strfmt("%.1f%%", 100.0 * (two - one) / two)});
@@ -78,5 +85,6 @@ int main(int argc, char** argv) {
                 "contiguously in the file, the layout visualization tools "
                 "require (verified by tests/dstream/interleave_test)");
   t.print();
+  dump.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 // no-communication fast path).
 #include <cstdio>
 
+#include "bench/bench_obs.h"
 #include "src/collection/collection.h"
 #include "src/dstream/dstream.h"
 #include "src/scf/segment.h"
@@ -23,9 +24,11 @@ int main(int argc, char** argv) {
                "read() cost vs reading node count (written on 8 nodes)");
   opts.add("segments", "1000", "collection size");
   opts.add("particles", "100", "particles per segment");
+  opts.add("metrics-json", "", "write per-run obs snapshots to this path");
   if (!opts.parse(argc, argv)) return 0;
   const std::int64_t segments = opts.getInt("segments");
   const int particles = static_cast<int>(opts.getInt("particles"));
+  benchutil::MetricsDump dump(opts.get("metrics-json"));
 
   pfs::PfsConfig cfg;
   cfg.perf = pfs::paragonParams();
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
       const bool sorted = pass == 0;
       fs.model().reset();
       rt::Machine reader(q, rt::CommModel{100e-6, 1.25e-8});
+      dump.attach(reader);
       std::int64_t bad = -1;
       reader.run([&](rt::Node& node) {
         coll::Processors P;
@@ -81,6 +85,8 @@ int main(int argc, char** argv) {
                      static_cast<long long>(bad));
         return 1;
       }
+      dump.capture(strfmt("readers=%d %s", q,
+                          sorted ? "read" : "unsortedRead"));
       times[pass] = reader.maxVirtualTime();
     }
     // An 8->8 BLOCK read matches the writer layout: the library skips the
@@ -95,5 +101,6 @@ int main(int argc, char** argv) {
                 "absolute times also show the bulk-cache effect of reading "
                 "the same 5+ MB file with fewer nodes");
   t.print();
+  dump.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 // (they spread over more queues but each request still pays full latency).
 #include <cstdio>
 
+#include "bench/bench_obs.h"
 #include "src/collection/collection.h"
 #include "src/scf/io_methods.h"
 #include "src/scf/segment.h"
@@ -21,12 +22,13 @@ using namespace pcxx;
 namespace {
 
 double runOnce(int nprocs, int nIoNodes, std::int64_t segments, int particles,
-               scf::IoMethod& method) {
+               scf::IoMethod& method, benchutil::MetricsDump& dump) {
   rt::Machine machine(nprocs, rt::CommModel{100e-6, 1.25e-8});
   pfs::PfsConfig cfg;
   cfg.perf = pfs::paragonParams();
   cfg.nIoNodes = nIoNodes;
   pfs::Pfs fs(cfg);
+  dump.attach(machine);
   machine.run([&](rt::Node& node) {
     coll::Processors P;
     coll::Distribution d(segments, &P, coll::DistKind::Block);
@@ -36,6 +38,7 @@ double runOnce(int nprocs, int nIoNodes, std::int64_t segments, int particles,
     coll::Collection<scf::Segment> back(&d);
     method.input(node, fs, back, "stripe_sweep", particles);
   });
+  dump.capture(strfmt("io_nodes=%d %s", nIoNodes, method.name().c_str()));
   return machine.maxVirtualTime();
 }
 
@@ -46,9 +49,11 @@ int main(int argc, char** argv) {
                "output+input time vs I/O node count (Paragon model)");
   opts.add("segments", "2000", "collection size");
   opts.add("nprocs", "8", "compute node count");
+  opts.add("metrics-json", "", "write per-run obs snapshots to this path");
   if (!opts.parse(argc, argv)) return 0;
   const std::int64_t segments = opts.getInt("segments");
   const int nprocs = static_cast<int>(opts.getInt("nprocs"));
+  benchutil::MetricsDump dump(opts.get("metrics-json"));
 
   auto unbuffered = scf::makeUnbufferedIo();
   auto manual = scf::makeManualBufferingIo();
@@ -61,11 +66,13 @@ int main(int argc, char** argv) {
   for (int io : {1, 2, 4, 8}) {
     t.addRow({strfmt("%d", io),
               strfmt("%.2f sec.",
-                     runOnce(nprocs, io, segments, 100, *unbuffered)),
-              strfmt("%.2f sec.", runOnce(nprocs, io, segments, 100, *manual)),
+                     runOnce(nprocs, io, segments, 100, *unbuffered, dump)),
               strfmt("%.2f sec.",
-                     runOnce(nprocs, io, segments, 100, *streams))});
+                     runOnce(nprocs, io, segments, 100, *manual, dump)),
+              strfmt("%.2f sec.",
+                     runOnce(nprocs, io, segments, 100, *streams, dump))});
   }
   t.print();
+  dump.write();
   return 0;
 }

@@ -1,0 +1,63 @@
+// Shared --metrics-json support for the ablation/micro benches, which drive
+// rt::Machine directly rather than through the SCF harness. One MetricsDump
+// collects a labeled obs snapshot per machine run and writes them all as a
+// single JSON document. With an empty path every call is a no-op, so benches
+// thread one instance through unconditionally.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/obs.h"
+#include "src/runtime/machine.h"
+#include "src/util/error.h"
+
+namespace pcxx::benchutil {
+
+class MetricsDump {
+ public:
+  explicit MetricsDump(std::string path) : path_(std::move(path)) {}
+  bool enabled() const { return !path_.empty(); }
+
+  /// Attach a fresh registry to `machine`; call before machine.run() and
+  /// pair with capture() after the run completes.
+  void attach(rt::Machine& machine) {
+    if (!enabled()) return;
+    registry_ = std::make_unique<obs::MetricsRegistry>(machine.nprocs());
+    obs::Observer observer;
+    observer.metrics = registry_.get();
+    observer.timeMode = obs::Observer::TimeMode::Virtual;
+    machine.attachObserver(observer);
+  }
+
+  /// Snapshot the registry from the last attach() under `label`.
+  void capture(const std::string& label) {
+    if (registry_ == nullptr) return;
+    runs_.emplace_back(label, obs::snapshotJson(registry_->snapshot()));
+    registry_.reset();
+  }
+
+  void write() const {
+    if (!enabled()) return;
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open metrics output file: " + path_);
+    out << "{\"schema\": \"pcxx-bench-metrics-v1\", \"runs\": [\n";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      out << "{\"label\": \"" << runs_[i].first
+          << "\", \"metrics\": " << runs_[i].second << "}"
+          << (i + 1 < runs_.size() ? "," : "") << "\n";
+    }
+    out << "]}\n";
+    if (!out) throw IoError("failed writing metrics output file: " + path_);
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::vector<std::pair<std::string, std::string>> runs_;  // label -> JSON
+};
+
+}  // namespace pcxx::benchutil

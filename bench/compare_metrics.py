@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff two pcxx-metrics-v1 JSON files phase-by-phase.
+
+Usage:
+    bench/compare_metrics.py baseline.json candidate.json [--threshold PCT]
+
+Prints, for every (table, cell, method) present in both files, the change in
+total time and in each I/O phase.  Rows whose relative change exceeds the
+threshold (default 5%) are flagged with '!'.  Exit status is 1 when any row
+is flagged, so the script can gate a CI perf check.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = ("insert_buffer_fill", "header", "redistribution",
+          "pfs_read", "pfs_write", "other")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "pcxx-metrics-v1":
+        raise SystemExit(f"{path}: not a pcxx-metrics-v1 file "
+                         f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def index(doc):
+    """Map (table title, segments, method) -> method record."""
+    out = {}
+    for table in doc.get("tables", []):
+        for cell in table.get("cells", []):
+            for method in cell.get("methods", []):
+                key = (table.get("title", "?"), cell.get("segments", 0),
+                       method.get("method", "?"))
+                out[key] = method
+    return out
+
+
+def fmt_delta(base, cand):
+    delta = cand - base
+    if base != 0.0:
+        return f"{delta:+.4g}s ({100.0 * delta / base:+.1f}%)"
+    if delta == 0.0:
+        return "unchanged"
+    return f"{delta:+.4g}s (new)"
+
+
+def rel_change(base, cand):
+    if base == 0.0:
+        return float("inf") if cand != 0.0 else 0.0
+    return abs(cand - base) / base
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=5.0,
+                    help="flag phases whose relative change exceeds this "
+                         "percentage (default: 5)")
+    args = ap.parse_args()
+
+    base = index(load(args.baseline))
+    cand = index(load(args.candidate))
+
+    common = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if not common:
+        print("no (table, cell, method) keys in common", file=sys.stderr)
+        return 2
+
+    flagged = 0
+    thresh = args.threshold / 100.0
+    for key in common:
+        title, segments, method = key
+        b, c = base[key], cand[key]
+        rows = [("total", b.get("total_seconds", 0.0),
+                 c.get("total_seconds", 0.0))]
+        bp = b.get("phases", {})
+        cp = c.get("phases", {})
+        for phase in PHASES:
+            rows.append((phase, bp.get(phase, 0.0), cp.get(phase, 0.0)))
+
+        header_printed = False
+        for name, bv, cv in rows:
+            mark = "!" if rel_change(bv, cv) > thresh else " "
+            if mark == "!" or name == "total":
+                if not header_printed:
+                    print(f"{title} | segments={segments} | {method}")
+                    header_printed = True
+                print(f"  {mark} {name:<20} {bv:.6g}s -> {cv:.6g}s  "
+                      f"{fmt_delta(bv, cv)}")
+            if mark == "!":
+                flagged += 1
+        if header_printed:
+            print()
+
+    for key in only_base:
+        print(f"only in baseline:  {key}")
+    for key in only_cand:
+        print(f"only in candidate: {key}")
+    if flagged:
+        print(f"{flagged} phase(s) changed by more than {args.threshold}%")
+    return 1 if flagged else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

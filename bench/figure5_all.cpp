@@ -4,8 +4,11 @@
 //      ("% of Manual Buf." rises toward 100%), and
 //   2. buffered I/O (manual or pC++/streams) outperforms unbuffered I/O.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/scf/harness.h"
+#include "src/scf/metrics_json.h"
 #include "src/util/options.h"
 #include "src/util/strfmt.h"
 #include "src/util/table.h"
@@ -13,8 +16,16 @@
 int main(int argc, char** argv) {
   pcxx::Options opts("figure5_all", "Paper Figure 5 reproduction (Tables 1-4)");
   opts.addFlag("real", "measure wall-clock on the host instead of the model");
+  opts.add("metrics-json", "",
+           "write one combined pcxx-metrics-v1 JSON covering all four "
+           "tables to this path");
+  opts.add("trace-json", "",
+           "base path for Chrome trace_event JSONs; one file per table is "
+           "written as <base>.tableN.json");
   if (!opts.parse(argc, argv)) return 0;
   const bool real = opts.getFlag("real");
+  const std::string metricsPath = opts.get("metrics-json");
+  const std::string traceBase = opts.get("trace-json");
 
   const pcxx::scf::BenchConfig configs[4] = {
       pcxx::scf::table1Paragon4(), pcxx::scf::table2Paragon8(),
@@ -24,9 +35,15 @@ int main(int argc, char** argv) {
   trend.setHeader({"Table", "smallest size", "largest size",
                    "buffered beats unbuffered at every size?"});
 
+  std::vector<pcxx::scf::BenchTableResult> results;
   for (int i = 0; i < 4; ++i) {
     pcxx::scf::BenchConfig cfg = configs[i];
     if (real) cfg.platform = "none";
+    cfg.collectMetrics = !metricsPath.empty();
+    if (!traceBase.empty()) {
+      cfg.traceJsonPath = pcxx::strfmt("%s.table%d.json",
+                                       traceBase.c_str(), i + 1);
+    }
     const auto result = pcxx::scf::runBenchTable(cfg);
     pcxx::scf::printWithPaperComparison(i + 1, result);
     std::puts("");
@@ -43,7 +60,12 @@ int main(int argc, char** argv) {
                   pcxx::strfmt("%.1f%% of manual",
                                result.cells.back().pctOfManual()),
                   bufferedWins ? "yes" : "NO"});
+    results.push_back(result);
   }
   trend.print();
+  if (!metricsPath.empty()) {
+    pcxx::scf::writeMetricsJson(metricsPath, results);
+    std::printf("wrote metrics: %s\n", metricsPath.c_str());
+  }
   return 0;
 }

@@ -4,6 +4,10 @@
 // platforms).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
+#include "bench/bench_obs.h"
 #include "src/collection/collection.h"
 #include "src/dstream/dstream.h"
 #include "src/scf/io_methods.h"
@@ -120,6 +124,56 @@ BENCHMARK(BM_UnbufferedVsBuffered)
     ->Arg(1)
     ->ArgNames({"buffered"});
 
+/// --metrics-json support: google-benchmark owns argv, so the flag is
+/// stripped before Initialize(). When given, one instrumented stream
+/// round-trip (the BM_StreamRoundtrip workload) is run and its obs snapshot
+/// dumped — enough for phase-level before/after diffs of the library path.
+std::string extractMetricsPath(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      path = argv[i] + 15;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+void dumpInstrumentedRoundtrip(const std::string& path) {
+  benchutil::MetricsDump dump(path);
+  rt::Machine machine(4);
+  pfs::Pfs fs{pfs::PfsConfig{}};
+  dump.attach(machine);
+  machine.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(512, &P, coll::DistKind::Block);
+    coll::Collection<scf::Segment> data(&d);
+    scf::fillDeterministic(data, 100);
+    ds::OStream out(fs, &d, "bench");
+    out << data;
+    out.write();
+    coll::Collection<scf::Segment> back(&d);
+    ds::IStream in(fs, &d, "bench");
+    in.unsortedRead();
+    in >> back;
+  });
+  dump.capture("stream_roundtrip segments=512 nprocs=4");
+  dump.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string metricsPath = extractMetricsPath(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metricsPath.empty()) dumpInstrumentedRoundtrip(metricsPath);
+  return 0;
+}

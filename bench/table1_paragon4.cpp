@@ -2,6 +2,7 @@
 #include <cstdio>
 
 #include "src/scf/harness.h"
+#include "src/scf/metrics_json.h"
 #include "src/util/options.h"
 
 int main(int argc, char** argv) {
@@ -9,12 +10,22 @@ int main(int argc, char** argv) {
   opts.addFlag("real", "measure wall-clock on the host instead of the model");
   opts.addFlag("sorted", "use read() for input instead of the paper's "
                          "unsortedRead()");
+  opts.add("metrics-json", "",
+           "write a pcxx-metrics-v1 phase-breakdown JSON to this path");
+  opts.add("trace-json", "",
+           "write a Chrome trace_event JSON (pC++/streams at the largest "
+           "size) to this path");
   if (!opts.parse(argc, argv)) return 0;
 
   pcxx::scf::BenchConfig cfg = pcxx::scf::table1Paragon4();
   if (opts.getFlag("real")) cfg.platform = "none";
   cfg.sortedRead = opts.getFlag("sorted");
+  cfg.collectMetrics = !opts.get("metrics-json").empty();
+  cfg.traceJsonPath = opts.get("trace-json");
   const auto result = pcxx::scf::runBenchTable(cfg);
   pcxx::scf::printWithPaperComparison(1, result);
+  if (cfg.collectMetrics) {
+    pcxx::scf::writeMetricsJson(opts.get("metrics-json"), {result});
+  }
   return 0;
 }

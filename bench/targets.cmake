@@ -4,7 +4,8 @@
 function(pcxx_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    pcxx_scf pcxx_ds pcxx_coll pcxx_pfs pcxx_rt pcxx_util benchmark::benchmark)
+    pcxx_scf pcxx_ds pcxx_coll pcxx_pfs pcxx_rt pcxx_obs pcxx_util
+    benchmark::benchmark)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -4,7 +4,8 @@
 #   ci/run_ci.sh default     plain RelWithDebInfo build
 #   ci/run_ci.sh asan        AddressSanitizer + UBSan (PCXX_SANITIZE=ON)
 #   ci/run_ci.sh tsan        ThreadSanitizer         (PCXX_TSAN=ON)
-#   ci/run_ci.sh all         the three above, sequentially
+#   ci/run_ci.sh obs-off     instrumentation compiled out (PCXX_OBS=OFF)
+#   ci/run_ci.sh all         the four above, sequentially
 #
 # Each configuration builds into build-ci-<name>/, runs the full ctest
 # suite, and (default config only) runs the dslint lint target so protocol
@@ -37,13 +38,15 @@ case "${1:-all}" in
   default) run_config default ;;
   asan)    run_config asan -DPCXX_SANITIZE=ON ;;
   tsan)    run_config tsan -DPCXX_TSAN=ON ;;
+  obs-off) run_config obs-off -DPCXX_OBS=OFF ;;
   all)
     run_config default
     run_config asan -DPCXX_SANITIZE=ON
     run_config tsan -DPCXX_TSAN=ON
+    run_config obs-off -DPCXX_OBS=OFF
     ;;
   *)
-    echo "usage: $0 [default|asan|tsan|all]" >&2
+    echo "usage: $0 [default|asan|tsan|obs-off|all]" >&2
     exit 2
     ;;
 esac

@@ -2,6 +2,10 @@
 //
 //   dslint [--json] [--all-types] file.cpp [file2.cpp ...]
 //
+// Generated .json artifacts (obs traces, --metrics-json reports) are
+// skipped, so globbing a directory that benches have written into does not
+// produce bogus diagnostics or I/O errors.
+//
 // Exit status: 0 when every file is clean, 1 when diagnostics were
 // reported, 2 on usage or I/O errors.
 
@@ -38,10 +42,23 @@ int main(int argc, char** argv) {
   dslint::AnalyzerOptions analyzerOpts;
   analyzerOpts.allTypes = opts.getFlag("all-types");
 
+  auto isJsonArtifact = [](const std::string& path) {
+    return path.size() >= 5 &&
+           path.compare(path.size() - 5, 5, ".json") == 0;
+  };
+
   dslint::DiagnosticEngine diags;
   bool ioError = false;
+  bool analyzedAny = false;
   for (const std::string& path : opts.positional()) {
+    if (isJsonArtifact(path)) continue;  // generated trace/metrics output
+    analyzedAny = true;
     if (!dslint::analyzeFile(path, analyzerOpts, diags)) ioError = true;
+  }
+  if (!analyzedAny) {
+    std::cerr << "dslint: no source files among the inputs "
+                 "(.json artifacts are skipped)\n";
+    return 2;
   }
   diags.sort();
 

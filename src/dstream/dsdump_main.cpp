@@ -2,6 +2,7 @@
 //
 //   dsdump wholeGridFile             # record summary
 //   dsdump -v wholeGridFile          # + insert descriptors, histograms
+//   dsdump --stats wholeGridFile     # aggregate I/O statistics (statdump)
 //   dsdump --element 3 file          # hex dump of one element's payload
 #include <cstdio>
 
@@ -14,6 +15,9 @@ int main(int argc, char** argv) {
   try {
     pcxx::Options opts("dsdump", "inspect a d/stream file");
     opts.addFlag("v", "verbose: insert descriptors and size histograms");
+    opts.addFlag("stats",
+                 "aggregate statistics: data vs. metadata bytes, header "
+                 "modes, size histogram, per-writer-node volumes");
     opts.add("record", "0", "record index for --element");
     opts.add("element", "-1",
              "hex-dump the payload of this file-order element");
@@ -49,7 +53,9 @@ int main(int argc, char** argv) {
     }
 
     const std::string report =
-        pcxx::ds::formatReport(info, opts.getFlag("v"));
+        opts.getFlag("stats")
+            ? pcxx::ds::formatStatReport(info)
+            : pcxx::ds::formatReport(info, opts.getFlag("v"));
     std::fputs(report.c_str(), stdout);
     return 0;
   } catch (const std::exception& e) {

@@ -166,4 +166,86 @@ std::string formatReport(const FileInfo& info, bool verbose) {
   return os.str();
 }
 
+std::string formatStatReport(const FileInfo& info) {
+  std::ostringstream os;
+  std::uint64_t dataBytes = 0;
+  std::uint64_t headerBytes = 0;
+  std::uint64_t tableBytes = 0;
+  std::uint64_t trailerBytes = 0;
+  std::uint64_t elements = 0;
+  int gathered = 0;
+  int parallel = 0;
+  // log2 element-size histogram: bucket 0 holds 0, bucket i holds
+  // [2^(i-1), 2^i).
+  constexpr int kBuckets = 33;
+  std::uint64_t sizeHist[kBuckets] = {0};
+  std::vector<std::uint64_t> perNodeBytes;
+
+  for (const RecordInfo& rec : info.records) {
+    const auto& h = rec.header;
+    dataBytes += h.dataBytes;
+    headerBytes += rec.headerBytes;
+    tableBytes += h.sizeTableBytes();
+    trailerBytes += h.trailerBytes();
+    elements += static_cast<std::uint64_t>(h.elementCount());
+    (h.mode == HeaderMode::Gathered ? gathered : parallel) += 1;
+    for (std::uint64_t sz : rec.elementSizes) {
+      int b = 0;
+      for (std::uint64_t v = sz; v != 0; v >>= 1) ++b;
+      ++sizeHist[std::min(b, kBuckets - 1)];
+    }
+    // File order concatenates each writer node's elements in node order,
+    // so per-node data volumes are contiguous runs of the size table.
+    if (static_cast<size_t>(h.layout.nprocs()) > perNodeBytes.size()) {
+      perNodeBytes.resize(static_cast<size_t>(h.layout.nprocs()), 0);
+    }
+    size_t at = 0;
+    for (int proc = 0; proc < h.layout.nprocs(); ++proc) {
+      const auto n = static_cast<size_t>(h.layout.localCount(proc));
+      for (size_t k = 0; k < n && at < rec.elementSizes.size(); ++k) {
+        perNodeBytes[static_cast<size_t>(proc)] += rec.elementSizes[at++];
+      }
+    }
+  }
+
+  const std::uint64_t metaBytes =
+      kFileHeaderBytes + headerBytes + tableBytes + trailerBytes;
+  os << "d/stream file statistics\n";
+  os << strfmt("  file:       %s (%llu bytes)\n",
+               humanBytes(info.fileBytes).c_str(),
+               static_cast<unsigned long long>(info.fileBytes));
+  os << strfmt("  records:    %zu (%d gathered, %d parallel header)\n",
+               info.records.size(), gathered, parallel);
+  os << strfmt("  elements:   %llu\n",
+               static_cast<unsigned long long>(elements));
+  os << strfmt("  data:       %s\n", humanBytes(dataBytes).c_str());
+  os << strfmt(
+      "  metadata:   %s (%s headers, %s size tables, %s trailers)\n",
+      humanBytes(metaBytes).c_str(), humanBytes(headerBytes).c_str(),
+      humanBytes(tableBytes).c_str(), humanBytes(trailerBytes).c_str());
+  if (dataBytes + metaBytes > 0) {
+    os << strfmt("  overhead:   %.2f%% of file bytes are metadata\n",
+                 100.0 * static_cast<double>(metaBytes) /
+                     static_cast<double>(dataBytes + metaBytes));
+  }
+  if (elements > 0) {
+    os << "  element size histogram (bytes -> count):\n";
+    for (int b = 0; b < kBuckets; ++b) {
+      if (sizeHist[b] == 0) continue;
+      const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+      os << strfmt("    >= %-10llu %llu\n",
+                   static_cast<unsigned long long>(lo),
+                   static_cast<unsigned long long>(sizeHist[b]));
+    }
+  }
+  if (!perNodeBytes.empty()) {
+    os << "  data bytes by writer node:\n";
+    for (size_t p = 0; p < perNodeBytes.size(); ++p) {
+      os << strfmt("    node %-4zu %s\n", p,
+                   humanBytes(perNodeBytes[p]).c_str());
+    }
+  }
+  return os.str();
+}
+
 }  // namespace pcxx::ds

@@ -53,4 +53,10 @@ ByteBuffer readElementData(pfs::StorageBackend& storage,
 /// size histograms and insert descriptors.
 std::string formatReport(const FileInfo& info, bool verbose);
 
+/// Statistics report (`dsdump --stats`, the pcxx-statdump mode): aggregate
+/// I/O accounting for the file — data vs. metadata bytes and overhead,
+/// header-mode usage, a log2 element-size histogram, and per-writer-node
+/// data volumes recovered from the stored layouts.
+std::string formatStatReport(const FileInfo& info);
+
 }  // namespace pcxx::ds

@@ -121,12 +121,15 @@ void IStream::checkExtract(const coll::Layout& collectionLayout,
         "extract type mismatch: the extracted element type differs from the "
         "inserted element type for this position in the record");
   }
+  PCXX_OBS_COUNT(node_->obs(), DsExtracts, 1);
 }
 
 RecordHeader IStream::skipRecord() {
   if (state_ == State::Closed) {
     throw StateError("skipRecord on a closed d/stream");
   }
+  PCXX_OBS_SPAN(node_->obs(), "ds.skip");
+  PCXX_OBS_COUNT(node_->obs(), DsSkips, 1);
   const std::uint64_t recordStart = file_->sharedOffset();
   ByteBuffer headerBytes;
   if (node_->id() == 0) {
@@ -163,6 +166,7 @@ void IStream::readRecord(bool sorted) {
   if (state_ == State::Closed) {
     throw StateError("read on a closed d/stream");
   }
+  PCXX_OBS_PHASE(node_->obs(), "ds.read", DsReadSeconds);
 
   // ---- record header (node 0 reads, then broadcast) -----------------------
   const std::uint64_t recordStart = file_->sharedOffset();
@@ -189,6 +193,7 @@ void IStream::readRecord(bool sorted) {
                       " (no further record in file?)");
   }
   RecordHeader header = RecordHeader::decode(headerBytes);
+  PCXX_OBS_COUNT(node_->obs(), DsHeaderDecodes, 1);
 
   if (header.elementCount() != layout_.size()) {
     throw UsageError(
@@ -262,6 +267,7 @@ void IStream::readRecord(bool sorted) {
     }
   } else {
     // ---- phase 2: sort + send to owner nodes (paper §4.1) ------------------
+    PCXX_OBS_PHASE(node_->obs(), "ds.redist", DsRedistSeconds);
     // Global indices of elements in file order, from the WRITER's layout.
     std::vector<std::int64_t> fileOrderGlobals;
     fileOrderGlobals.reserve(static_cast<size_t>(header.elementCount()));
@@ -289,8 +295,22 @@ void IStream::readRecord(bool sorted) {
       w.u64(bytes);
       w.bytes({chunk.data() + off, static_cast<size_t>(bytes)});
       off += bytes;
+      if (owner != node_->id()) {
+        PCXX_OBS_COUNT(node_->obs(), RedistElementsMoved, 1);
+      }
     }
+    for (int peer = 0; peer < node_->nprocs(); ++peer) {
+      const auto& buf = sendTo[static_cast<size_t>(peer)];
+      if (peer == node_->id() || buf.empty()) continue;
+      PCXX_OBS_COUNT(node_->obs(), RedistBytesSent, buf.size());
+      PCXX_OBS_COUNT(node_->obs(), RedistMessagesSent, 1);
+      PCXX_OBS_PEER_BYTES(node_->obs(), peer, buf.size());
+    }
+    [[maybe_unused]] const double waitedBefore =
+        node_->clock().waitedSeconds();
     const auto received = node_->alltoallv(sendTo);
+    PCXX_OBS_SECONDS(node_->obs(), RedistWaitSeconds,
+                     node_->clock().waitedSeconds() - waitedBefore);
 
     // Collect my owned elements, then order them by ascending global index
     // (= local order).
@@ -335,6 +355,11 @@ void IStream::readRecord(bool sorted) {
   extractCursors_.assign(static_cast<size_t>(localCount_), 0);
   nextExtract_ = 0;
   state_ = State::Extracting;
+  if (sorted) {
+    PCXX_OBS_COUNT(node_->obs(), DsReads, 1);
+  } else {
+    PCXX_OBS_COUNT(node_->obs(), DsUnsortedReads, 1);
+  }
 }
 
 }  // namespace pcxx::ds

@@ -108,6 +108,7 @@ void OStream::checkInsert(const coll::Layout& collectionLayout) const {
 
 void OStream::beginInsert(std::uint32_t tag, InsertKind kind,
                           std::uint32_t fixedPerElement) {
+  PCXX_OBS_COUNT(node_->obs(), DsInserts, 1);
   descs_.push_back(InsertDesc{tag, kind, fixedPerElement});
   state_ = State::Inserting;
 }
@@ -137,52 +138,69 @@ void OStream::write() {
   if (state_ != State::Inserting) {
     throw StateError("write() requires at least one insert (Figure 2)");
   }
+  PCXX_OBS_PHASE(node_->obs(), "ds.write", DsWriteSeconds);
 
   // Step 0: traverse the pointer lists — per-element sizes and the packed
   // local data buffer (the "per-node buffer" of Figure 4).
   std::uint64_t localBytes = 0;
   ByteBuffer sizeTableLocal;
-  sizeTableLocal.reserve(static_cast<size_t>(localCount_) * 8);
-  for (const auto& entries : pending_) {
-    std::uint64_t elemBytes = 0;
-    for (const Entry& e : entries) elemBytes += e.bytes;
-    Byte enc[8];
-    encodeU64(elemBytes, enc);
-    sizeTableLocal.insert(sizeTableLocal.end(), enc, enc + 8);
-    localBytes += elemBytes;
-  }
   ByteBuffer data;
-  data.reserve(static_cast<size_t>(localBytes));
-  for (const auto& entries : pending_) {
-    for (const Entry& e : entries) {
-      const Byte* p = static_cast<const Byte*>(e.ptr);
-      data.insert(data.end(), p, p + e.bytes);
+  {
+    PCXX_OBS_PHASE(node_->obs(), "ds.bufferFill", DsBufferFillSeconds);
+    sizeTableLocal.reserve(static_cast<size_t>(localCount_) * 8);
+    for (const auto& entries : pending_) {
+      std::uint64_t elemBytes = 0;
+      for (const Entry& e : entries) elemBytes += e.bytes;
+      Byte enc[8];
+      encodeU64(elemBytes, enc);
+      sizeTableLocal.insert(sizeTableLocal.end(), enc, enc + 8);
+      localBytes += elemBytes;
     }
+    data.reserve(static_cast<size_t>(localBytes));
+    for (const auto& entries : pending_) {
+      for (const Entry& e : entries) {
+        const Byte* p = static_cast<const Byte*>(e.ptr);
+        data.insert(data.end(), p, p + e.bytes);
+      }
+    }
+    fs_->model().chargeBookkeeping(*node_, static_cast<std::uint64_t>(
+                                               localCount_));
   }
-  fs_->model().chargeBookkeeping(*node_, static_cast<std::uint64_t>(
-                                             localCount_));
+  PCXX_OBS_COUNT(node_->obs(), DsBufferFillBytes, data.size());
+  PCXX_OBS_COUNT(node_->obs(), DsSizeTableBytes, sizeTableLocal.size());
+  PCXX_OBS_TRACE_COUNTER(node_->obs(), "ds.bufferBytes", data.size());
 
   // Step 1 (paper §4.1): distribution and size information. All nodes
   // construct the identical record header.
-  const std::uint64_t totalBytes = node_->allreduceSumU64(localBytes);
+  ByteBuffer headerBytes;
+  std::uint32_t dataCrc = 0;
+  std::uint64_t totalBytes = 0;
+  {
+    PCXX_OBS_PHASE(node_->obs(), "ds.header", DsHeaderSeconds);
+    totalBytes = node_->allreduceSumU64(localBytes);
+  }
   const HeaderMode mode = chooseHeaderMode();
   RecordHeader header{recordSeq_, mode, layout_, descs_, totalBytes};
   if (opts_.checksumData) header.flags |= kRecordFlagDataCrc;
-  const ByteBuffer headerBytes = header.encode();
+  {
+    PCXX_OBS_PHASE(node_->obs(), "ds.header", DsHeaderSeconds);
+    headerBytes = header.encode();
 
-  // Each node checksums only its own block; the data-section CRC is the
-  // in-order combination.
-  std::uint32_t dataCrc = 0;
-  if (opts_.checksumData) {
-    const auto crcs = node_->allgatherU64(crc32(data));
-    const auto lens = node_->allgatherU64(localBytes);
-    for (int i = 0; i < node_->nprocs(); ++i) {
-      dataCrc = crc32Combine(dataCrc,
-                             static_cast<std::uint32_t>(
-                                 crcs[static_cast<size_t>(i)]),
-                             lens[static_cast<size_t>(i)]);
+    // Each node checksums only its own block; the data-section CRC is the
+    // in-order combination.
+    if (opts_.checksumData) {
+      const auto crcs = node_->allgatherU64(crc32(data));
+      const auto lens = node_->allgatherU64(localBytes);
+      for (int i = 0; i < node_->nprocs(); ++i) {
+        dataCrc = crc32Combine(dataCrc,
+                               static_cast<std::uint32_t>(
+                                   crcs[static_cast<size_t>(i)]),
+                               lens[static_cast<size_t>(i)]);
+      }
     }
   }
+  PCXX_OBS_COUNT(node_->obs(), DsHeaderEncodes, 1);
+  PCXX_OBS_COUNT(node_->obs(), DsHeaderBytes, headerBytes.size());
 
   if (mode == HeaderMode::Parallel) {
     // Node 0 writes the header; the size table and data go out as two
@@ -235,6 +253,8 @@ void OStream::write() {
   descs_.clear();
   ++recordSeq_;
   state_ = State::Ready;
+  PCXX_OBS_COUNT(node_->obs(), DsWrites, 1);
+  PCXX_OBS_TRACE_COUNTER(node_->obs(), "ds.bufferBytes", 0);
 }
 
 }  // namespace pcxx::ds

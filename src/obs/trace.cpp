@@ -1,0 +1,66 @@
+#include "obs/obs.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pcxx::obs {
+
+TraceSession::TraceSession(int nnodes)
+    : perNode_(static_cast<size_t>(nnodes > 0 ? nnodes : 0)) {}
+
+std::size_t TraceSession::eventCount() const {
+  std::size_t n = 0;
+  for (const auto& v : perNode_) n += v.size();
+  return n;
+}
+
+std::string TraceSession::toJson() const {
+  std::ostringstream ss;
+  ss << "{\"traceEvents\": [\n";
+  bool first = true;
+  char buf[64];
+  // Metadata: name each tid track after its node.
+  for (size_t node = 0; node < perNode_.size(); ++node) {
+    ss << (first ? "" : ",\n")
+       << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
+       << node << ", \"args\": {\"name\": \"node " << node << "\"}}";
+    first = false;
+  }
+  for (size_t node = 0; node < perNode_.size(); ++node) {
+    for (const Event& e : perNode_[node]) {
+      // Microsecond timestamps, printed as a fixed-point decimal so the
+      // JSON is stable across locales and float-format settings.
+      std::snprintf(buf, sizeof(buf), "%.3f", e.tsSeconds * 1e6);
+      ss << (first ? "" : ",\n") << "{\"name\": \"" << e.name
+         << "\", \"cat\": \"pcxx\", \"ph\": \"" << e.phase
+         << "\", \"ts\": " << buf << ", \"pid\": 0, \"tid\": " << node;
+      if (e.phase == 'C') {
+        std::snprintf(buf, sizeof(buf), "%.3f", e.value);
+        ss << ", \"args\": {\"value\": " << buf << "}";
+      } else if (e.phase == 'i') {
+        ss << ", \"s\": \"t\"";
+      }
+      ss << "}";
+      first = false;
+    }
+  }
+  ss << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return ss.str();
+}
+
+void TraceSession::writeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw IoError("cannot open trace output file: " + path);
+  }
+  out << toJson();
+  if (!out) {
+    throw IoError("failed writing trace output file: " + path);
+  }
+}
+
+}  // namespace pcxx::obs

@@ -1,19 +1,25 @@
-// Fault injection hooks for the parallel file system.
+// Fault injection and operation-recording hooks for the parallel file
+// system.
 //
 // Tests install a FaultHook on a Pfs instance; the hook runs before every
-// storage access and may throw IoError to simulate device failures, or
-// record operations to assert on access patterns.
+// storage access and may throw IoError to simulate device failures. An
+// observe hook (Pfs::setObserveHook) runs *after* every access with the
+// modeled duration filled in, so the same OpContext infrastructure feeds
+// both fault injection and metrics. OpRecorder is the canonical
+// record-only consumer for either hook point.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace pcxx::pfs {
 
 enum class OpKind { Read, Write };
 
-/// Context passed to the fault hook before each storage access.
+/// Context passed to the fault and observe hooks around each storage access.
 struct OpContext {
   std::string file;     ///< pfs file name
   OpKind kind;          ///< read or write
@@ -21,10 +27,68 @@ struct OpContext {
   std::uint64_t bytes;  ///< request size
   int nodeId;           ///< issuing node
   std::uint64_t opIndex;///< global op counter for this Pfs instance
+  /// Virtual seconds the issuing node spent in the operation (per the perf
+  /// model, including collective synchronization for ordered transfers).
+  /// Filled only for observe hooks, which run after the access; fault hooks
+  /// run before it and always see 0.
+  double opDurationSeconds = 0.0;
 };
 
-/// Runs before each storage access; may throw (e.g. IoError) to inject a
-/// failure. Must be thread-safe: nodes call concurrently.
+/// Runs around each storage access; fault hooks may throw (e.g. IoError) to
+/// inject a failure. Must be thread-safe: nodes call concurrently.
 using FaultHook = std::function<void(const OpContext&)>;
+
+/// Thread-safe operation recorder: install `recorder.hook()` as a fault or
+/// observe hook and assert on the captured contexts afterwards, instead of
+/// writing a bespoke mutex-plus-vector lambda per test.
+class OpRecorder {
+ public:
+  /// A hook that appends every context it sees to this recorder.
+  FaultHook hook() {
+    return [this](const OpContext& op) { record(op); };
+  }
+
+  void record(const OpContext& op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(op);
+  }
+
+  std::vector<OpContext> ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_;
+  }
+
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_.size();
+  }
+
+  std::uint64_t totalBytes(OpKind kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t sum = 0;
+    for (const OpContext& op : ops_) {
+      if (op.kind == kind) sum += op.bytes;
+    }
+    return sum;
+  }
+
+  /// Sum of opDurationSeconds over all recorded contexts (meaningful when
+  /// installed as an observe hook).
+  double totalSeconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    double sum = 0.0;
+    for (const OpContext& op : ops_) sum += op.opDurationSeconds;
+    return sum;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<OpContext> ops_;
+};
 
 }  // namespace pcxx::pfs

@@ -16,8 +16,8 @@ ParallelFile::ParallelFile(Pfs* fs, std::string fsName,
                            std::shared_ptr<StorageBackend> storage)
     : fs_(fs), name_(std::move(fsName)), storage_(std::move(storage)) {}
 
-void ParallelFile::runFaultHook(OpKind kind, std::uint64_t offset,
-                                std::uint64_t bytes, int nodeId) {
+std::uint64_t ParallelFile::runFaultHook(OpKind kind, std::uint64_t offset,
+                                         std::uint64_t bytes, int nodeId) {
   const std::uint64_t index = fs_->opCounter_.fetch_add(1);
   FaultHook hook;
   {
@@ -27,28 +27,66 @@ void ParallelFile::runFaultHook(OpKind kind, std::uint64_t offset,
   if (hook) {
     hook(OpContext{name_, kind, offset, bytes, nodeId, index});
   }
+  return index;
+}
+
+void ParallelFile::runObserveHook(OpKind kind, std::uint64_t offset,
+                                  std::uint64_t bytes, int nodeId,
+                                  std::uint64_t opIndex, double duration) {
+  FaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(fs_->hookMu_);
+    hook = fs_->observeHook_;
+  }
+  if (hook) {
+    OpContext ctx{name_, kind, offset, bytes, nodeId, opIndex};
+    ctx.opDurationSeconds = duration;
+    hook(ctx);
+  }
 }
 
 void ParallelFile::writeAt(rt::Node& node, std::uint64_t offset,
                            std::span<const Byte> data) {
-  runFaultHook(OpKind::Write, offset, data.size(), node.id());
+  PCXX_OBS_PHASE(node.obs(), "pfs.writeAt", PfsWriteSeconds);
+  PCXX_OBS_COUNT(node.obs(), PfsWriteOps, 1);
+  PCXX_OBS_COUNT(node.obs(), PfsWriteBytes, data.size());
+  PCXX_OBS_HIST(node.obs(), PfsWriteSize, data.size());
+  const double t0 = node.clock().now();
+  const std::uint64_t index =
+      runFaultHook(OpKind::Write, offset, data.size(), node.id());
   storage_->writeAt(offset, data);
   const std::uint64_t cum = cumWritten_.fetch_add(data.size()) + data.size();
   fs_->model_.chargeIndependentOp(node, offset, data.size(), storage_->size(),
                                   cum, /*isWrite=*/true);
+  runObserveHook(OpKind::Write, offset, data.size(), node.id(), index,
+                 node.clock().now() - t0);
 }
 
 std::uint64_t ParallelFile::readAt(rt::Node& node, std::uint64_t offset,
                                    std::span<Byte> out) {
-  runFaultHook(OpKind::Read, offset, out.size(), node.id());
+  PCXX_OBS_PHASE(node.obs(), "pfs.readAt", PfsReadSeconds);
+  PCXX_OBS_COUNT(node.obs(), PfsReadOps, 1);
+  PCXX_OBS_COUNT(node.obs(), PfsReadBytes, out.size());
+  PCXX_OBS_HIST(node.obs(), PfsReadSize, out.size());
+  const double t0 = node.clock().now();
+  const std::uint64_t index =
+      runFaultHook(OpKind::Read, offset, out.size(), node.id());
   const std::uint64_t n = storage_->readAt(offset, out);
   fs_->model_.chargeIndependentOp(node, offset, out.size(), storage_->size(),
                                   cumWritten_.load(), /*isWrite=*/false);
+  runObserveHook(OpKind::Read, offset, out.size(), node.id(), index,
+                 node.clock().now() - t0);
   return n;
 }
 
 std::uint64_t ParallelFile::writeOrdered(rt::Node& node,
                                          std::span<const Byte> myBlock) {
+  PCXX_OBS_PHASE(node.obs(), "pfs.writeOrdered", PfsWriteSeconds);
+  PCXX_OBS_COUNT(node.obs(), PfsWriteOps, 1);
+  PCXX_OBS_COUNT(node.obs(), PfsWriteBytes, myBlock.size());
+  PCXX_OBS_COUNT(node.obs(), PfsCollectiveOps, 1);
+  PCXX_OBS_HIST(node.obs(), PfsWriteSize, myBlock.size());
+  const double t0 = node.clock().now();
   const std::uint64_t base = cursor_.load();
   const std::uint64_t cumBefore = cumWritten_.load();
   const auto sizes = node.allgatherU64(myBlock.size());
@@ -60,7 +98,8 @@ std::uint64_t ParallelFile::writeOrdered(rt::Node& node,
     total += sizes[static_cast<size_t>(i)];
     maxNode = std::max(maxNode, sizes[static_cast<size_t>(i)]);
   }
-  runFaultHook(OpKind::Write, myOffset, myBlock.size(), node.id());
+  const std::uint64_t index =
+      runFaultHook(OpKind::Write, myOffset, myBlock.size(), node.id());
   storage_->writeAt(myOffset, myBlock);
 
   // All nodes complete the collective transfer together; charge the modeled
@@ -73,11 +112,19 @@ std::uint64_t ParallelFile::writeOrdered(rt::Node& node,
   cursor_.store(base + total);
   cumWritten_.store(cumBefore + total);
   node.barrier();
+  runObserveHook(OpKind::Write, myOffset, myBlock.size(), node.id(), index,
+                 node.clock().now() - t0);
   return myOffset;
 }
 
 std::uint64_t ParallelFile::readOrdered(rt::Node& node,
                                         std::span<Byte> myBlock) {
+  PCXX_OBS_PHASE(node.obs(), "pfs.readOrdered", PfsReadSeconds);
+  PCXX_OBS_COUNT(node.obs(), PfsReadOps, 1);
+  PCXX_OBS_COUNT(node.obs(), PfsReadBytes, myBlock.size());
+  PCXX_OBS_COUNT(node.obs(), PfsCollectiveOps, 1);
+  PCXX_OBS_HIST(node.obs(), PfsReadSize, myBlock.size());
+  const double t0 = node.clock().now();
   const std::uint64_t base = cursor_.load();
   const auto sizes = node.allgatherU64(myBlock.size());
   std::uint64_t myOffset = base;
@@ -88,7 +135,8 @@ std::uint64_t ParallelFile::readOrdered(rt::Node& node,
     total += sizes[static_cast<size_t>(i)];
     maxNode = std::max(maxNode, sizes[static_cast<size_t>(i)]);
   }
-  runFaultHook(OpKind::Read, myOffset, myBlock.size(), node.id());
+  const std::uint64_t index =
+      runFaultHook(OpKind::Read, myOffset, myBlock.size(), node.id());
   const std::uint64_t got = storage_->readAt(myOffset, myBlock);
   const bool shortRead = got != myBlock.size();
 
@@ -99,6 +147,8 @@ std::uint64_t ParallelFile::readOrdered(rt::Node& node,
   node.clock().advance(duration);
   cursor_.store(base + total);
   node.barrier();
+  runObserveHook(OpKind::Read, myOffset, myBlock.size(), node.id(), index,
+                 node.clock().now() - t0);
   if (shortRead) {
     throw IoError("readOrdered: file '" + name_ + "' ended early (wanted " +
                   std::to_string(myBlock.size()) + " bytes at offset " +
@@ -109,12 +159,14 @@ std::uint64_t ParallelFile::readOrdered(rt::Node& node,
 }
 
 void ParallelFile::seekShared(rt::Node& node, std::uint64_t offset) {
+  PCXX_OBS_COUNT(node.obs(), PfsCollectiveOps, 1);
   node.barrier();
   cursor_.store(offset);
   node.barrier();
 }
 
 void ParallelFile::sync(rt::Node& node) {
+  PCXX_OBS_COUNT(node.obs(), PfsCollectiveOps, 1);
   node.barrier();
   if (node.id() == 0) storage_->sync();
   const double duration = fs_->model_.enabled()
@@ -165,6 +217,8 @@ std::shared_ptr<StorageBackend> Pfs::backendFor(const std::string& fsName,
 
 ParallelFilePtr Pfs::open(rt::Node& node, const std::string& fsName,
                           OpenMode mode) {
+  PCXX_OBS_SPAN(node.obs(), "pfs.open");
+  PCXX_OBS_COUNT(node.obs(), PfsCollectiveOps, 1);
   // Node 0 resolves the backend; the resulting file object is shared.
   node.barrier();
   ParallelFilePtr file;
@@ -234,6 +288,11 @@ bool Pfs::exists(const std::string& fsName) {
 void Pfs::setFaultHook(FaultHook hook) {
   std::lock_guard<std::mutex> lock(hookMu_);
   faultHook_ = std::move(hook);
+}
+
+void Pfs::setObserveHook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(hookMu_);
+  observeHook_ = std::move(hook);
 }
 
 void Pfs::corruptByte(const std::string& fsName, std::uint64_t offset,

@@ -94,8 +94,12 @@ class ParallelFile {
   ParallelFile(Pfs* fs, std::string fsName,
                std::shared_ptr<StorageBackend> storage);
 
-  void runFaultHook(OpKind kind, std::uint64_t offset, std::uint64_t bytes,
-                    int nodeId);
+  /// Runs the fault hook (pre-op) and returns the op's global index.
+  std::uint64_t runFaultHook(OpKind kind, std::uint64_t offset,
+                             std::uint64_t bytes, int nodeId);
+  /// Runs the observe hook (post-op) with the modeled duration.
+  void runObserveHook(OpKind kind, std::uint64_t offset, std::uint64_t bytes,
+                      int nodeId, std::uint64_t opIndex, double duration);
 
   Pfs* fs_;
   std::string name_;
@@ -125,8 +129,15 @@ class Pfs {
   PerfModel& model() { return model_; }
   const PfsConfig& config() const { return config_; }
 
-  /// Install (or clear, with nullptr) the fault-injection hook.
+  /// Install (or clear, with nullptr) the fault-injection hook. Runs
+  /// before each storage access and may throw.
   void setFaultHook(FaultHook hook);
+
+  /// Install (or clear, with nullptr) the observation hook. Runs after
+  /// each storage access with OpContext::opDurationSeconds filled from the
+  /// perf model; must not throw. Feeds metrics without disturbing the
+  /// fault-injection hook.
+  void setObserveHook(FaultHook hook);
 
   /// Test helper: overwrite one byte of a file's storage directly,
   /// bypassing timing and fault hooks.
@@ -156,6 +167,7 @@ class Pfs {
   // other nodes (guarded by mu_ and the surrounding barriers).
   ParallelFilePtr pendingOpen_;
   FaultHook faultHook_;
+  FaultHook observeHook_;
   std::mutex hookMu_;
   std::atomic<std::uint64_t> opCounter_{0};
 };

@@ -106,6 +106,10 @@ void PerfModel::chargeIndependentOp(rt::Node& node, std::uint64_t offset,
                                          queues_.size());
     std::lock_guard<std::mutex> lock(mu_);
     const double start = std::max(queues_[q], node.clock().now());
+    const double queueWait = start - node.clock().now();
+    if (queueWait > 0) {
+      PCXX_OBS_SECONDS(node.obs(), PfsQueueWaitSeconds, queueWait);
+    }
     queues_[q] = start + latency;
     node.clock().syncTo(queues_[q]);
   } else {

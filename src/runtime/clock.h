@@ -20,15 +20,29 @@ class VirtualClock {
   }
 
   /// Jump forward to `t` if it is later than local time (used by barriers
-  /// and by device-queue waits; virtual time never goes backwards).
+  /// and by device-queue waits; virtual time never goes backwards). The
+  /// absorbed skew — how long this node idled waiting for the rendezvous —
+  /// accumulates into waitedSeconds().
   void syncTo(double t) {
-    if (t > now_) now_ = t;
+    if (t > now_) {
+      waited_ += t - now_;
+      now_ = t;
+    }
   }
 
-  void reset() { now_ = 0.0; }
+  /// Cumulative skew absorbed by syncTo() since the last reset(): the total
+  /// time this node spent waiting at barriers, collectives, message
+  /// arrivals, and device queues rather than computing.
+  double waitedSeconds() const { return waited_; }
+
+  void reset() {
+    now_ = 0.0;
+    waited_ = 0.0;
+  }
 
  private:
   double now_ = 0.0;
+  double waited_ = 0.0;
 };
 
 }  // namespace pcxx::rt

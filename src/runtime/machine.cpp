@@ -1,6 +1,7 @@
 #include "runtime/machine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -10,6 +11,20 @@ namespace pcxx::rt {
 namespace {
 
 thread_local Node* g_currentNode = nullptr;
+
+double wallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double obsVirtualNow(const obs::NodeObs& o) {
+  return static_cast<const VirtualClock*>(o.clock)->now();
+}
+
+double obsWallNow(const obs::NodeObs& o) {
+  return wallSeconds() - o.wallEpoch;
+}
 
 /// ceil(log2(p)) hop count used for tree-shaped collective cost.
 int collectiveHops(int nprocs) {
@@ -46,6 +61,8 @@ void Node::send(int dest, int tag, std::span<const Byte> data) {
   } else {
     msg.arrivalTime = 0.0;
   }
+  PCXX_OBS_COUNT(obs(), RtMessagesSent, 1);
+  PCXX_OBS_COUNT(obs(), RtMessageBytes, data.size());
   machine_->node(dest).mailbox_.push(std::move(msg));
 }
 
@@ -340,7 +357,47 @@ void Machine::barrierSync(const std::function<void()>& completion,
     }
   }
   if (g_currentNode != nullptr && g_currentNode->machine_ == this) {
-    g_currentNode->clock_.syncTo(target);
+    Node& n = *g_currentNode;
+    if (applyCost) {
+      // Phase-1 rendezvous of a collective (phase 2 is release-only):
+      // count it once and attribute the absorbed skew to sync wait.
+      PCXX_OBS_COUNT(n.obs(), RtCollectives, 1);
+      const double skew = target - n.clock_.now();
+      if (skew > 0) {
+        PCXX_OBS_SECONDS(n.obs(), RtSyncWaitSeconds, skew);
+      }
+    }
+    n.clock_.syncTo(target);
+  }
+}
+
+void Machine::attachObserver(const obs::Observer& observer) {
+  PCXX_REQUIRE(observer.metrics == nullptr ||
+                   observer.metrics->nnodes() >= nprocs_,
+               "attachObserver: metrics registry smaller than the machine");
+  const double epoch = wallSeconds();
+  for (auto& node : nodes_) {
+    obs::NodeObs& o = node->obs_;
+    o.metrics = observer.metrics != nullptr
+                    ? &observer.metrics->node(node->id_)
+                    : nullptr;
+    o.trace = observer.trace;
+    o.nodeId = node->id_;
+    if (observer.timeMode == obs::Observer::TimeMode::Virtual) {
+      o.clock = &node->clock_;
+      o.nowFn = &obsVirtualNow;
+    } else {
+      o.wallEpoch = epoch;
+      o.nowFn = &obsWallNow;
+    }
+    node->obsAttached_ = true;
+  }
+}
+
+void Machine::detachObserver() {
+  for (auto& node : nodes_) {
+    node->obsAttached_ = false;
+    node->obs_ = obs::NodeObs{};
   }
 }
 

@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/obs.h"
 #include "runtime/clock.h"
 #include "runtime/mailbox.h"
 #include "runtime/message.h"
@@ -56,6 +57,11 @@ class Node {
   Machine& machine() const { return *machine_; }
   VirtualClock& clock() { return clock_; }
   const VirtualClock& clock() const { return clock_; }
+
+  /// This node's observation handle, or nullptr when no observer is
+  /// attached (Machine::attachObserver). Intended for the PCXX_OBS_*
+  /// macros, which tolerate null.
+  obs::NodeObs* obs() { return obsAttached_ ? &obs_ : nullptr; }
 
   // -- point-to-point ------------------------------------------------------
 
@@ -116,6 +122,8 @@ class Node {
   int id_ = -1;
   VirtualClock clock_;
   Mailbox mailbox_;
+  obs::NodeObs obs_;
+  bool obsAttached_ = false;
 };
 
 /// A simulated distributed-memory machine of `nprocs` nodes.
@@ -144,6 +152,16 @@ class Machine {
 
   /// Maximum virtual time over all nodes (the simulated makespan).
   double maxVirtualTime() const;
+
+  /// Attach metrics/trace sinks: each node i observes into
+  /// observer.metrics->node(i) (when non-null) and observer.trace tracks
+  /// pid 0 / tid i. Time stamps come from the node's virtual clock
+  /// (TimeMode::Virtual) or wall seconds since attach (TimeMode::Wall).
+  /// The sinks are borrowed and must outlive the machine or a
+  /// detachObserver() call. Attach before run(); not thread-safe against
+  /// a concurrently running SPMD region.
+  void attachObserver(const obs::Observer& observer);
+  void detachObserver();
 
  private:
   friend class Node;

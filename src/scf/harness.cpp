@@ -1,6 +1,7 @@
 #include "scf/harness.h"
 
 #include <chrono>
+#include <memory>
 
 #include "collection/collection.h"
 #include "pfs/parallel_file.h"
@@ -33,12 +34,28 @@ pfs::PfsConfig pfsConfigFor(const std::string& platform, int nprocs) {
 
 /// Run one (method, size) measurement: output then input on a fresh file
 /// system. Returns seconds — virtual when the platform model is enabled,
-/// wall-clock otherwise.
-double runCell(const BenchConfig& cfg, IoMethod& method,
-               std::int64_t segments) {
+/// wall-clock otherwise. When `metricsOut` is non-null the run is observed
+/// and the per-node snapshot + totals are stored there; `trace` (optional)
+/// additionally records Chrome-trace spans.
+double runCell(const BenchConfig& cfg, IoMethod& method, std::int64_t segments,
+               MethodMetrics* metricsOut = nullptr,
+               obs::TraceSession* trace = nullptr) {
   rt::Machine machine(cfg.nprocs, commModelFor(cfg.platform));
   pfs::Pfs fs(pfsConfigFor(cfg.platform, cfg.nprocs));
   const bool simulated = fs.model().enabled();
+
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  if (metricsOut != nullptr || trace != nullptr) {
+    obs::Observer observer;
+    if (metricsOut != nullptr) {
+      registry = std::make_unique<obs::MetricsRegistry>(cfg.nprocs);
+      observer.metrics = registry.get();
+    }
+    observer.trace = trace;
+    observer.timeMode = simulated ? obs::Observer::TimeMode::Virtual
+                                  : obs::Observer::TimeMode::Wall;
+    machine.attachObserver(observer);
+  }
 
   std::int64_t badValues = 0;
   const auto wallStart = std::chrono::steady_clock::now();
@@ -48,10 +65,16 @@ double runCell(const BenchConfig& cfg, IoMethod& method,
     coll::Collection<Segment> data(&d);
     fillDeterministic(data, cfg.particlesPerSegment);
 
-    method.output(node, fs, data, "scf_particles");
+    {
+      PCXX_OBS_PHASE(node.obs(), "scf.output", ScfOutputSeconds);
+      method.output(node, fs, data, "scf_particles");
+    }
 
     coll::Collection<Segment> back(&d);
-    method.input(node, fs, back, "scf_particles", cfg.particlesPerSegment);
+    {
+      PCXX_OBS_PHASE(node.obs(), "scf.input", ScfInputSeconds);
+      method.input(node, fs, back, "scf_particles", cfg.particlesPerSegment);
+    }
 
     if (cfg.verify) {
       const std::int64_t local = verifyDeterministic(back,
@@ -67,10 +90,20 @@ double runCell(const BenchConfig& cfg, IoMethod& method,
     throw InternalError(method.name() + " corrupted " +
                         std::to_string(badValues) + " values");
   }
-  if (simulated) {
-    return machine.maxVirtualTime();
+  const double wallSeconds =
+      std::chrono::duration<double>(wallEnd - wallStart).count();
+  const double total = simulated ? machine.maxVirtualTime() : wallSeconds;
+  if (metricsOut != nullptr) {
+    metricsOut->method = method.name();
+    metricsOut->totalSeconds = total;
+    metricsOut->nodeSeconds.resize(static_cast<size_t>(cfg.nprocs));
+    for (int i = 0; i < cfg.nprocs; ++i) {
+      metricsOut->nodeSeconds[static_cast<size_t>(i)] =
+          simulated ? machine.node(i).clock().now() : wallSeconds;
+    }
+    metricsOut->snapshot = registry->snapshot();
   }
-  return std::chrono::duration<double>(wallEnd - wallStart).count();
+  return total;
 }
 
 }  // namespace
@@ -89,10 +122,27 @@ BenchTableResult runBenchTable(const BenchConfig& config) {
                  (sizeof(int) +
                   7ull * 8ull *
                       static_cast<std::uint64_t>(config.particlesPerSegment));
-    cell.unbuffered = runCell(config, *unbuffered, segments);
-    cell.manual = runCell(config, *manual, segments);
-    cell.streams = runCell(config, *streams, segments);
-    result.cells.push_back(cell);
+    const bool collect = config.collectMetrics;
+    if (collect) cell.metrics.resize(3);
+    MethodMetrics* m = collect ? cell.metrics.data() : nullptr;
+    // The Chrome trace captures the streams method at the table's largest
+    // I/O size (one trace per table keeps the file reviewable in Perfetto).
+    const bool traceThisCell = !config.traceJsonPath.empty() &&
+                               segments == config.segmentCounts.back();
+    std::unique_ptr<obs::TraceSession> trace;
+    if (traceThisCell) {
+      trace = std::make_unique<obs::TraceSession>(config.nprocs);
+    }
+    cell.unbuffered =
+        runCell(config, *unbuffered, segments, collect ? &m[0] : nullptr);
+    cell.manual =
+        runCell(config, *manual, segments, collect ? &m[1] : nullptr);
+    cell.streams = runCell(config, *streams, segments,
+                           collect ? &m[2] : nullptr, trace.get());
+    if (trace != nullptr) {
+      trace->writeJson(config.traceJsonPath);
+    }
+    result.cells.push_back(std::move(cell));
   }
   return result;
 }
@@ -129,29 +179,41 @@ Table BenchTableResult::toTable() const {
   return t;
 }
 
+namespace {
+BenchConfig makeTableConfig(std::string title, std::string platform,
+                            int nprocs, std::vector<std::int64_t> segments) {
+  BenchConfig cfg;
+  cfg.title = std::move(title);
+  cfg.platform = std::move(platform);
+  cfg.nprocs = nprocs;
+  cfg.segmentCounts = std::move(segments);
+  return cfg;
+}
+}  // namespace
+
 BenchConfig table1Paragon4() {
-  return BenchConfig{
+  return makeTableConfig(
       "Table 1: Benchmark Results on Intel Paragon (4 processors)",
-      "paragon", 4, {256, 512, 1000, 2000}, 100, false, true};
+      "paragon", 4, {256, 512, 1000, 2000});
 }
 
 BenchConfig table2Paragon8() {
-  return BenchConfig{
+  return makeTableConfig(
       "Table 2: Benchmark Results on Intel Paragon (8 processors)",
-      "paragon", 8, {256, 512, 1000, 2000}, 100, false, true};
+      "paragon", 8, {256, 512, 1000, 2000});
 }
 
 BenchConfig table3SgiUni() {
-  return BenchConfig{
+  return makeTableConfig(
       "Table 3: Benchmark Results on Uniprocessor SGI Challenge",
-      "sgi", 1, {1000, 2000, 20000}, 100, false, true};
+      "sgi", 1, {1000, 2000, 20000});
 }
 
 BenchConfig table4Sgi8() {
-  return BenchConfig{
+  return makeTableConfig(
       "Table 4: Benchmark Results on Multiprocessor SGI Challenge "
       "(8 processors)",
-      "sgi", 8, {1000, 2000, 8000}, 100, false, true};
+      "sgi", 8, {1000, 2000, 8000});
 }
 
 PaperRow paperValues(int tableId) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/table.h"
 
 namespace pcxx::scf {
@@ -30,6 +31,22 @@ struct BenchConfig {
   int particlesPerSegment = 100;
   bool sortedRead = false;    ///< use read() instead of unsortedRead()
   bool verify = true;         ///< check data integrity after input
+  /// Collect per-cell obs metrics snapshots into CellResult::metrics
+  /// (--metrics-json). Zero extra collectives; just attaches an observer.
+  bool collectMetrics = false;
+  /// When non-empty, write a Chrome trace_event JSON of the pC++/streams
+  /// run at the table's largest I/O size to this path (--trace-json).
+  std::string traceJsonPath;
+};
+
+/// Per-(cell, method) observability capture: the merged + per-node metric
+/// snapshot plus each node's own total, so reports can decompose the bench
+/// time into phases per node.
+struct MethodMetrics {
+  std::string method;                ///< "unbuffered", "manual", "streams"
+  double totalSeconds = 0.0;         ///< the bench cell's reported seconds
+  std::vector<double> nodeSeconds;   ///< per-node end time (virtual mode)
+  obs::MetricsSnapshot snapshot;
 };
 
 struct CellResult {
@@ -38,6 +55,7 @@ struct CellResult {
   double unbuffered = 0.0;    ///< seconds (output + input)
   double manual = 0.0;
   double streams = 0.0;
+  std::vector<MethodMetrics> metrics;  ///< when BenchConfig::collectMetrics
 
   double pctOfManual() const {
     return streams > 0.0 ? 100.0 * manual / streams : 0.0;

@@ -1,0 +1,160 @@
+#include "scf/metrics_json.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pcxx::scf {
+
+namespace {
+
+using obs::Counter;
+using obs::NodeSnapshot;
+using obs::Timer;
+
+std::string num(double v) {
+  std::ostringstream ss;
+  ss.precision(9);
+  ss << v;
+  return ss.str();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void appendPhases(std::ostringstream& ss, const PhaseBreakdown& p) {
+  ss << "{\"insert_buffer_fill\": " << num(p.insertBufferFill)
+     << ", \"header\": " << num(p.header)
+     << ", \"redistribution\": " << num(p.redistribution)
+     << ", \"pfs_read\": " << num(p.pfsRead)
+     << ", \"pfs_write\": " << num(p.pfsWrite)
+     << ", \"other\": " << num(p.other) << "}";
+}
+
+void appendMethod(std::ostringstream& ss, const MethodMetrics& m,
+                  const std::string& indent) {
+  const NodeSnapshot& merged = m.snapshot.merged;
+  double nodeSum = 0.0;
+  for (double s : m.nodeSeconds) nodeSum += s;
+
+  ss << indent << "{\n";
+  ss << indent << "  \"method\": \"" << jsonEscape(m.method) << "\",\n";
+  ss << indent << "  \"total_seconds\": " << num(m.totalSeconds) << ",\n";
+  ss << indent << "  \"node_seconds_sum\": " << num(nodeSum) << ",\n";
+  ss << indent << "  \"phases\": ";
+  appendPhases(ss, phaseBreakdown(merged, nodeSum));
+  ss << ",\n";
+  ss << indent << "  \"redistribution\": {\"bytes_sent\": "
+     << merged.counter(Counter::RedistBytesSent)
+     << ", \"messages\": " << merged.counter(Counter::RedistMessagesSent)
+     << ", \"elements_moved\": "
+     << merged.counter(Counter::RedistElementsMoved)
+     << ", \"wait_seconds\": "
+     << num(merged.timer(Timer::RedistWaitSeconds)) << "},\n";
+  ss << indent << "  \"counters\": {";
+  bool first = true;
+  for (int c = 0; c < obs::kNumCounters; ++c) {
+    const std::uint64_t v = merged.counters[static_cast<size_t>(c)];
+    if (v == 0) continue;
+    ss << (first ? "" : ", ") << "\""
+       << obs::counterName(static_cast<Counter>(c)) << "\": " << v;
+    first = false;
+  }
+  ss << "},\n";
+  ss << indent << "  \"seconds\": {";
+  first = true;
+  for (int t = 0; t < obs::kNumTimers; ++t) {
+    const double v = merged.seconds[static_cast<size_t>(t)];
+    if (v == 0.0) continue;
+    ss << (first ? "" : ", ") << "\""
+       << obs::timerName(static_cast<Timer>(t)) << "\": " << num(v);
+    first = false;
+  }
+  ss << "},\n";
+  ss << indent << "  \"per_node\": [\n";
+  for (size_t i = 0; i < m.snapshot.perNode.size(); ++i) {
+    const double nodeTotal =
+        i < m.nodeSeconds.size() ? m.nodeSeconds[i] : 0.0;
+    ss << indent << "    {\"node\": " << i
+       << ", \"total_seconds\": " << num(nodeTotal) << ", \"phases\": ";
+    appendPhases(ss, phaseBreakdown(m.snapshot.perNode[i], nodeTotal));
+    ss << "}" << (i + 1 < m.snapshot.perNode.size() ? "," : "") << "\n";
+  }
+  ss << indent << "  ]\n";
+  ss << indent << "}";
+}
+
+}  // namespace
+
+PhaseBreakdown phaseBreakdown(const NodeSnapshot& s, double totalSeconds) {
+  PhaseBreakdown p;
+  p.insertBufferFill = s.timer(Timer::DsBufferFillSeconds);
+  p.header = s.timer(Timer::DsHeaderSeconds);
+  p.redistribution = s.timer(Timer::DsRedistSeconds);
+  p.pfsRead = s.timer(Timer::PfsReadSeconds);
+  p.pfsWrite = s.timer(Timer::PfsWriteSeconds);
+  p.other = totalSeconds - (p.insertBufferFill + p.header + p.redistribution +
+                            p.pfsRead + p.pfsWrite);
+  return p;
+}
+
+std::string metricsReportJson(const std::vector<BenchTableResult>& tables) {
+  std::ostringstream ss;
+  ss << "{\n  \"schema\": \"pcxx-metrics-v1\",\n  \"tables\": [\n";
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const BenchTableResult& table = tables[t];
+    ss << "    {\n";
+    ss << "      \"title\": \"" << jsonEscape(table.config.title) << "\",\n";
+    ss << "      \"platform\": \"" << jsonEscape(table.config.platform)
+       << "\",\n";
+    ss << "      \"nprocs\": " << table.config.nprocs << ",\n";
+    ss << "      \"sorted_read\": "
+       << (table.config.sortedRead ? "true" : "false") << ",\n";
+    ss << "      \"cells\": [\n";
+    for (size_t c = 0; c < table.cells.size(); ++c) {
+      const CellResult& cell = table.cells[c];
+      ss << "        {\n";
+      ss << "          \"segments\": " << cell.segments << ",\n";
+      ss << "          \"bytes\": " << cell.bytes << ",\n";
+      ss << "          \"methods\": [\n";
+      for (size_t m = 0; m < cell.metrics.size(); ++m) {
+        appendMethod(ss, cell.metrics[m], "            ");
+        ss << (m + 1 < cell.metrics.size() ? "," : "") << "\n";
+      }
+      ss << "          ]\n";
+      ss << "        }" << (c + 1 < table.cells.size() ? "," : "") << "\n";
+    }
+    ss << "      ]\n";
+    ss << "    }" << (t + 1 < tables.size() ? "," : "") << "\n";
+  }
+  ss << "  ]\n}\n";
+  return ss.str();
+}
+
+void writeMetricsJson(const std::string& path,
+                      const std::vector<BenchTableResult>& tables) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw IoError("cannot open metrics output file: " + path);
+  }
+  out << metricsReportJson(tables);
+  if (!out) {
+    throw IoError("failed writing metrics output file: " + path);
+  }
+}
+
+}  // namespace pcxx::scf

@@ -1,0 +1,46 @@
+// Machine-readable phase-breakdown reports for the SCF benchmarks
+// (the --metrics-json output; schema "pcxx-metrics-v1").
+//
+// The report decomposes each (cell, method) measurement into disjoint
+// phases — insert/buffer fill, header, redistribution, pfs read, pfs
+// write — plus an "other" remainder defined as total minus the sum, so
+// per-node numbers always sum exactly to the per-node totals. See
+// docs/OBSERVABILITY.md for the phase taxonomy and bench/compare_metrics.py
+// for the before/after diff helper that consumes this format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scf/harness.h"
+
+namespace pcxx::scf {
+
+/// Disjoint phase decomposition of a node (or merged) snapshot against a
+/// total: the named phases never overlap by construction (the
+/// instrumentation brackets contain no pfs calls inside ds.bufferFill /
+/// ds.header / ds.redist), and `other` absorbs the remainder.
+struct PhaseBreakdown {
+  double insertBufferFill = 0.0;  ///< ds.buffer_fill_seconds
+  double header = 0.0;            ///< ds.header_seconds
+  double redistribution = 0.0;    ///< ds.redist_seconds
+  double pfsRead = 0.0;           ///< pfs.read_seconds
+  double pfsWrite = 0.0;          ///< pfs.write_seconds
+  double other = 0.0;             ///< total - sum of the above
+
+  double sum() const {
+    return insertBufferFill + header + redistribution + pfsRead + pfsWrite +
+           other;
+  }
+};
+
+PhaseBreakdown phaseBreakdown(const obs::NodeSnapshot& s, double totalSeconds);
+
+/// Render the full report for a set of bench tables run with
+/// BenchConfig::collectMetrics.
+std::string metricsReportJson(const std::vector<BenchTableResult>& tables);
+
+void writeMetricsJson(const std::string& path,
+                      const std::vector<BenchTableResult>& tables);
+
+}  // namespace pcxx::scf

@@ -5,6 +5,7 @@
 namespace pcxx {
 
 std::string vstrfmt(const char* fmt, va_list ap) {
+  if (fmt == nullptr) return {};
   va_list ap2;
   va_copy(ap2, ap);
   const int n = std::vsnprintf(nullptr, 0, fmt, ap);

@@ -1,0 +1,141 @@
+// A minimal recursive-descent JSON syntax checker for tests that must
+// assert generated JSON "loads cleanly" without a JSON library dependency.
+// Accepts exactly the RFC 8259 grammar (no comments, no trailing commas).
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace pcxx::test {
+
+class JsonChecker {
+ public:
+  /// True iff `text` is one complete, syntactically valid JSON value.
+  static bool valid(const std::string& text) {
+    JsonChecker c(text);
+    c.skipWs();
+    if (!c.value()) return false;
+    c.skipWs();
+    return c.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skipWs();
+    if (eat('}')) return true;
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (!eat(':')) return false;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skipWs();
+    if (eat(']')) return true;
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (true) {
+      if (pos_ >= text_.size()) return false;
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      return false;
+    }
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pcxx::test

@@ -163,4 +163,25 @@ TEST(DslintCli, NoInputsExitsTwoWithUsage) {
   EXPECT_NE(out.find("no input files"), std::string::npos) << out;
 }
 
+TEST(DslintCli, SkipsGeneratedJsonArtifacts) {
+  // Benches drop trace/metrics .json files next to their sources; a glob
+  // that sweeps them up must not produce diagnostics or I/O errors.
+  const fs::path dir =
+      fs::temp_directory_path() / ("pcxx_dslint_json_" +
+                                   std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const fs::path artifact = dir / "trace.json";
+  std::ofstream(artifact) << "{\"traceEvents\": []}\n";
+  // Alongside a clean fixture: the artifact is ignored, the source linted.
+  auto [rc, out] = runTool(artifact.string() + " " +
+                           (kFixtures / "ds101_good.cpp").string());
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_TRUE(out.empty()) << out;
+  // Alone: nothing left to analyze is a usage error, not a crash.
+  auto [rcAlone, outAlone] = runTool(artifact.string());
+  EXPECT_EQ(rcAlone, 2);
+  EXPECT_NE(outAlone.find("skipped"), std::string::npos) << outAlone;
+  fs::remove_all(dir);
+}
+
 }  // namespace

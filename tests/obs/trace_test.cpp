@@ -1,0 +1,200 @@
+// Golden-schema test for the Chrome trace_event output, plus the
+// "observability is free" guarantee: a write+read round-trip produces a
+// trace that loads cleanly (valid JSON, matched B/E pairs, monotone
+// timestamps per track), and attaching an observer must not change a
+// single byte of the stream file it observes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/dstream/dstream.h"
+#include "src/obs/obs.h"
+#include "src/runtime/machine.h"
+#include "tests/common/json_check.h"
+
+namespace {
+
+using namespace pcxx;
+
+#if PCXX_OBS_ENABLED
+
+/// One parsed trace event (the fields the schema checks need).
+struct Ev {
+  std::string name;
+  char phase = '?';
+  double ts = 0.0;
+  int tid = -1;
+};
+
+/// Extract the events from TraceSession JSON (one event object per line).
+std::vector<Ev> parseEvents(const std::string& json) {
+  std::vector<Ev> events;
+  std::istringstream in(json);
+  std::string line;
+  auto field = [](const std::string& s, const std::string& key) {
+    const auto at = s.find("\"" + key + "\": ");
+    return at == std::string::npos ? std::string()
+                                   : s.substr(at + key.size() + 4);
+  };
+  while (std::getline(in, line)) {
+    const std::string ph = field(line, "ph");
+    if (ph.empty() || ph[1] == 'M') continue;  // metadata / non-events
+    Ev e;
+    e.phase = ph[1];
+    const std::string name = field(line, "name");
+    e.name = name.substr(1, name.find('"', 1) - 1);
+    e.ts = std::stod(field(line, "ts"));
+    e.tid = std::stoi(field(line, "tid"));
+    events.push_back(e);
+  }
+  return events;
+}
+
+#endif  // PCXX_OBS_ENABLED
+
+/// Write + read a small collection with `observer` attached (if any);
+/// returns the stream file's bytes.
+std::string roundtrip(const std::filesystem::path& dir,
+                      obs::Observer* observer) {
+  std::filesystem::create_directories(dir);
+  pfs::PfsConfig cfg;
+  cfg.backend = pfs::PfsConfig::Backend::Posix;
+  cfg.dir = dir.string();
+  cfg.perf = pfs::paragonParams();
+  pfs::Pfs fs(cfg);
+  rt::Machine m(3);
+  if (observer != nullptr) m.attachObserver(*observer);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(12, &P, coll::DistKind::Cyclic);
+    coll::Collection<double> g(&d);
+    g.forEachLocal([](double& v, std::int64_t i) {
+      v = 0.25 * static_cast<double>(i);
+    });
+    {
+      ds::OStream s(fs, &d, "trace.ds");
+      s << g;
+      s.write();
+    }
+    coll::Distribution dr(12, &P, coll::DistKind::Block);
+    coll::Collection<double> back(&dr);
+    ds::IStream in(fs, &dr, "trace.ds");
+    in.read();
+    in >> back;
+  });
+  std::ifstream raw(dir / "trace.ds", std::ios::binary);
+  std::ostringstream bytes;
+  bytes << raw.rdbuf();
+  return bytes.str();
+}
+
+class TraceGolden : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcxx_trace_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+#if PCXX_OBS_ENABLED
+
+TEST_F(TraceGolden, RoundtripTraceLoadsCleanly) {
+  obs::MetricsRegistry reg(3);
+  obs::TraceSession trace(3);
+  obs::Observer observer;
+  observer.metrics = &reg;
+  observer.trace = &trace;
+  roundtrip(dir_ / "a", &observer);
+
+  ASSERT_GT(trace.eventCount(), 0u);
+  const std::string json = trace.toJson();
+  EXPECT_TRUE(test::JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+
+  const std::vector<Ev> events = parseEvents(json);
+  ASSERT_FALSE(events.empty());
+
+  // Schema: every track is a well-nested B/E sequence with monotone
+  // timestamps, and tids stay within the machine's node range.
+  std::map<int, std::vector<std::string>> stack;
+  std::map<int, double> lastTs;
+  for (const Ev& e : events) {
+    EXPECT_GE(e.tid, 0);
+    EXPECT_LT(e.tid, 3);
+    if (lastTs.count(e.tid) != 0) {
+      EXPECT_GE(e.ts, lastTs[e.tid])
+          << e.name << " went backwards on tid " << e.tid;
+    }
+    lastTs[e.tid] = e.ts;
+    if (e.phase == 'B') {
+      stack[e.tid].push_back(e.name);
+    } else if (e.phase == 'E') {
+      ASSERT_FALSE(stack[e.tid].empty()) << "E without B: " << e.name;
+      EXPECT_EQ(stack[e.tid].back(), e.name) << "mismatched span nesting";
+      stack[e.tid].pop_back();
+    }
+  }
+  for (const auto& [tid, open] : stack) {
+    EXPECT_TRUE(open.empty()) << open.size() << " unclosed span(s) on tid "
+                              << tid;
+  }
+
+  // The round-trip must show the headline phases on some track.
+  EXPECT_NE(json.find("\"ds.write\""), std::string::npos);
+  EXPECT_NE(json.find("\"ds.bufferFill\""), std::string::npos);
+  EXPECT_NE(json.find("\"ds.read\""), std::string::npos);
+  EXPECT_NE(json.find("\"ds.redist\""), std::string::npos);
+  EXPECT_NE(json.find("\"pfs.writeAt\""), std::string::npos);
+
+  // And the metrics side of the same run must agree on the op counts.
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.merged.counter(obs::Counter::DsWrites), 3u);
+  EXPECT_EQ(snap.merged.counter(obs::Counter::DsReads), 3u);
+  EXPECT_GT(snap.merged.counter(obs::Counter::PfsWriteBytes), 0u);
+  EXPECT_GT(snap.merged.counter(obs::Counter::RedistElementsMoved), 0u);
+}
+
+TEST_F(TraceGolden, WriteJsonProducesLoadableFile) {
+  obs::TraceSession trace(2);
+  trace.begin(0, "x", 0.0);
+  trace.end(0, "x", 1e-3);
+  trace.counter(1, "bytes", 42.0, 5e-4);
+  trace.instant(1, "mark", 6e-4);
+  const std::string path = (dir_ / "t.json").string();
+  trace.writeJson(path);
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(test::JsonChecker::valid(ss.str())) << ss.str();
+  EXPECT_NE(ss.str().find("\"value\": 42.000"), std::string::npos);
+}
+
+#endif  // PCXX_OBS_ENABLED
+
+TEST_F(TraceGolden, ObserverDoesNotChangeStreamFileBytes) {
+  std::filesystem::create_directories(dir_ / "obs");
+  std::filesystem::create_directories(dir_ / "plain");
+  obs::MetricsRegistry reg(3);
+  obs::TraceSession trace(3);
+  obs::Observer observer;
+  observer.metrics = &reg;
+  observer.trace = &trace;
+  const std::string observed = roundtrip(dir_ / "obs", &observer);
+  const std::string plain = roundtrip(dir_ / "plain", nullptr);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(observed, plain)
+      << "attaching an observer altered the stream file";
+}
+
+}  // namespace

@@ -136,4 +136,76 @@ TEST(Fault, TruncateFileShortensReads) {
   });
 }
 
+TEST(OpRecorder, CapturesAccessPatternAsAFaultHook) {
+  Pfs fs{PfsConfig{}};
+  OpRecorder rec;
+  fs.setFaultHook(rec.hook());
+  rt::Machine m(2);
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "rec", OpenMode::Create);
+    f->writeAt(node, static_cast<std::uint64_t>(node.id()) * 32,
+               ByteBuffer(32, 9));
+    ByteBuffer back(32);
+    f->readAt(node, 0, back);
+  });
+  EXPECT_EQ(rec.count(), 4u);
+  EXPECT_EQ(rec.totalBytes(OpKind::Write), 64u);
+  EXPECT_EQ(rec.totalBytes(OpKind::Read), 64u);
+  // Fault hooks run before the access: duration is never filled in.
+  for (const OpContext& op : rec.ops()) {
+    EXPECT_EQ(op.opDurationSeconds, 0.0);
+    EXPECT_EQ(op.file, "rec");
+  }
+  rec.clear();
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(ObserveHook, RecordsModeledDurationsAfterEachAccess) {
+  PfsConfig cfg;
+  cfg.perf = paragonParams();
+  Pfs fs(cfg);
+  OpRecorder rec;
+  fs.setObserveHook(rec.hook());
+  rt::Machine m(2, rt::CommModel{100e-6, 1.25e-8});
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "obs", OpenMode::Create);
+    ByteBuffer mine(4096, 7);
+    f->writeOrdered(node, mine);
+    f->seekShared(node, 0);
+    ByteBuffer back(4096);
+    f->readOrdered(node, back);
+  });
+  // One write and one read context per node.
+  EXPECT_EQ(rec.count(), 4u);
+  EXPECT_EQ(rec.totalBytes(OpKind::Write), 8192u);
+  EXPECT_EQ(rec.totalBytes(OpKind::Read), 8192u);
+  EXPECT_GT(rec.totalSeconds(), 0.0);
+  for (const OpContext& op : rec.ops()) {
+    EXPECT_GT(op.opDurationSeconds, 0.0) << "op " << op.opIndex;
+  }
+  // Observe hooks must not fire once cleared.
+  fs.setObserveHook(nullptr);
+  rec.clear();
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "obs2", OpenMode::Create);
+    f->writeAt(node, 0, ByteBuffer(8, 1));
+  });
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(ObserveHook, RunsEvenWhenNoFaultHookIsInstalled) {
+  Pfs fs{PfsConfig{}};
+  OpRecorder rec;
+  fs.setObserveHook(rec.hook());
+  rt::Machine m(1);
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, "solo", OpenMode::Create);
+    f->writeAt(node, 0, ByteBuffer(16, 3));
+  });
+  ASSERT_EQ(rec.count(), 1u);
+  EXPECT_EQ(rec.ops()[0].kind, OpKind::Write);
+  EXPECT_EQ(rec.ops()[0].bytes, 16u);
+  EXPECT_EQ(rec.ops()[0].nodeId, 0);
+}
+
 }  // namespace

@@ -185,4 +185,40 @@ TEST(Machine, SingleNodeMachineWorks) {
   });
 }
 
+TEST(VirtualClock, TracksCumulativeSyncWait) {
+  VirtualClock c;
+  EXPECT_DOUBLE_EQ(c.waitedSeconds(), 0.0);
+  c.advance(1.0);
+  c.syncTo(0.5);  // earlier than now: no wait, no jump
+  EXPECT_DOUBLE_EQ(c.now(), 1.0);
+  EXPECT_DOUBLE_EQ(c.waitedSeconds(), 0.0);
+  c.syncTo(3.0);  // absorbs 2.0s of skew
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+  EXPECT_DOUBLE_EQ(c.waitedSeconds(), 2.0);
+  c.advance(1.0);
+  c.syncTo(4.5);  // another 0.5s
+  EXPECT_DOUBLE_EQ(c.waitedSeconds(), 2.5);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  EXPECT_DOUBLE_EQ(c.waitedSeconds(), 0.0);
+}
+
+TEST(VirtualClock, BarrierSkewShowsUpAsWaitedSeconds) {
+  Machine m(2);
+  m.run([](Node& node) {
+    // Node 1 is "slower": the barrier drags node 0 forward to node 1's
+    // time, and the absorbed skew is visible on node 0's clock.
+    node.clock().advance(node.id() == 1 ? 2.0 : 0.0);
+    const double waitedBefore = node.clock().waitedSeconds();
+    node.barrier();
+    const double waited = node.clock().waitedSeconds() - waitedBefore;
+    if (node.id() == 0) {
+      EXPECT_GE(waited, 2.0);
+    } else {
+      EXPECT_DOUBLE_EQ(waited, 0.0);
+    }
+    EXPECT_GE(node.clock().now(), 2.0);
+  });
+}
+
 }  // namespace

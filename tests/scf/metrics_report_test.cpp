@@ -1,0 +1,114 @@
+// Tests for the SCF harness metrics collection and the pcxx-metrics-v1
+// report: the acceptance bar is that per-node phase decompositions sum
+// (exactly, since "other" is the remainder) to each node's total, and the
+// emitted JSON is machine-loadable.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "src/obs/obs.h"
+#include "src/scf/harness.h"
+#include "src/scf/metrics_json.h"
+#include "tests/common/json_check.h"
+
+namespace {
+
+using namespace pcxx;
+using scf::BenchConfig;
+using scf::BenchTableResult;
+using scf::MethodMetrics;
+
+BenchConfig tinyConfig() {
+  BenchConfig cfg;
+  cfg.title = "tiny";
+  cfg.platform = "paragon";
+  cfg.nprocs = 2;
+  cfg.segmentCounts = {8, 16};
+  cfg.particlesPerSegment = 10;
+  cfg.collectMetrics = true;
+  return cfg;
+}
+
+#if PCXX_OBS_ENABLED
+
+TEST(ScfMetrics, CollectsThreeMethodsPerCell) {
+  const BenchTableResult result = scf::runBenchTable(tinyConfig());
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const auto& cell : result.cells) {
+    ASSERT_EQ(cell.metrics.size(), 3u);
+    EXPECT_EQ(cell.metrics[0].method, "Unbuffered I/O");
+    EXPECT_EQ(cell.metrics[2].method, "pC++/streams");
+    for (const MethodMetrics& m : cell.metrics) {
+      EXPECT_GT(m.totalSeconds, 0.0);
+      ASSERT_EQ(m.nodeSeconds.size(), 2u);
+      ASSERT_EQ(m.snapshot.perNode.size(), 2u);
+    }
+  }
+}
+
+TEST(ScfMetrics, PhasesSumToPerNodeTotals) {
+  const BenchTableResult result = scf::runBenchTable(tinyConfig());
+  for (const auto& cell : result.cells) {
+    for (const MethodMetrics& m : cell.metrics) {
+      double nodeSum = 0.0;
+      for (size_t i = 0; i < m.snapshot.perNode.size(); ++i) {
+        const double total = m.nodeSeconds[i];
+        const scf::PhaseBreakdown p =
+            scf::phaseBreakdown(m.snapshot.perNode[i], total);
+        EXPECT_NEAR(p.sum(), total, 1e-9 + 1e-9 * total)
+            << m.method << " node " << i;
+        // The disjoint phases must not overshoot the node's total.
+        EXPECT_GE(p.other, -1e-9) << m.method << " node " << i;
+        nodeSum += total;
+      }
+      // Each node's clock ends at most at the bench's reported total
+      // (the max over nodes).
+      EXPECT_LE(nodeSum, m.totalSeconds * 2 + 1e-9);
+    }
+  }
+}
+
+TEST(ScfMetrics, StreamsCellShowsTheExpectedActivity) {
+  BenchConfig cfg = tinyConfig();
+  cfg.sortedRead = true;  // force the redistribution path on input
+  const BenchTableResult result = scf::runBenchTable(cfg);
+  const MethodMetrics& streams = result.cells[0].metrics[2];
+  const obs::NodeSnapshot& merged = streams.snapshot.merged;
+  EXPECT_EQ(merged.counter(obs::Counter::DsWrites), 2u);
+  EXPECT_EQ(merged.counter(obs::Counter::DsReads), 2u);
+  EXPECT_GT(merged.counter(obs::Counter::DsBufferFillBytes), 0u);
+  EXPECT_GT(merged.counter(obs::Counter::PfsWriteBytes), 0u);
+  EXPECT_GT(merged.timer(obs::Timer::PfsWriteSeconds), 0.0);
+  EXPECT_GT(merged.timer(obs::Timer::ScfOutputSeconds), 0.0);
+  EXPECT_GT(merged.timer(obs::Timer::ScfInputSeconds), 0.0);
+  // The unbuffered method never touches the d/stream layer.
+  const obs::NodeSnapshot& unbuf = result.cells[0].metrics[0].snapshot.merged;
+  EXPECT_EQ(unbuf.counter(obs::Counter::DsWrites), 0u);
+  EXPECT_GT(unbuf.counter(obs::Counter::PfsWriteOps), 0u);
+}
+
+TEST(ScfMetrics, ReportJsonIsValidAndCarriesTheSchema) {
+  const BenchTableResult result = scf::runBenchTable(tinyConfig());
+  const std::string json = scf::metricsReportJson({result});
+  EXPECT_TRUE(test::JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"pcxx-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"insert_buffer_fill\""), std::string::npos);
+  EXPECT_NE(json.find("\"redistribution\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_node\""), std::string::npos);
+}
+
+#endif  // PCXX_OBS_ENABLED
+
+// Runs in the obs-off configuration too: the bench works identically with
+// collection disabled (or compiled out), it just reports no metrics.
+TEST(ScfMetrics, DisabledCollectionLeavesCellsEmpty) {
+  BenchConfig cfg = tinyConfig();
+  cfg.collectMetrics = false;
+  cfg.segmentCounts = {8};
+  const BenchTableResult result = scf::runBenchTable(cfg);
+  EXPECT_TRUE(result.cells[0].metrics.empty());
+  EXPECT_GT(result.cells[0].streams, 0.0);
+}
+
+}  // namespace
