@@ -9,6 +9,11 @@ total time and in each I/O phase.  Rows whose relative change exceeds the
 threshold (default 5%) are flagged with '!'.  Exit status is 1 when any row
 is flagged, so the script can gate a CI perf check.
 
+Counters are also diffed, informationally (never flagged): the JSON emits
+only non-zero counters, and older reports predate some counters entirely
+(e.g. the retry/fault set pfs.retries, pfs.give_ups), so a counter absent
+on either side is read as 0 rather than an error.
+
 Only the Python standard library is used.
 """
 
@@ -98,6 +103,19 @@ def main():
                       f"{fmt_delta(bv, cv)}")
             if mark == "!":
                 flagged += 1
+
+        # Counters: informational only.  Union the keys — a counter missing
+        # from one side (older schema, or zero-suppressed) just reads as 0.
+        bc = b.get("counters", {}) or {}
+        cc = c.get("counters", {}) or {}
+        for cname in sorted(set(bc) | set(cc)):
+            bv, cv = bc.get(cname, 0), cc.get(cname, 0)
+            if bv == cv:
+                continue
+            if not header_printed:
+                print(f"{title} | segments={segments} | {method}")
+                header_printed = True
+            print(f"    {cname:<20} {bv} -> {cv}  ({cv - bv:+d})")
         if header_printed:
             print()
 

@@ -5,13 +5,17 @@
 #   ci/run_ci.sh asan        AddressSanitizer + UBSan (PCXX_SANITIZE=ON)
 #   ci/run_ci.sh tsan        ThreadSanitizer         (PCXX_TSAN=ON)
 #   ci/run_ci.sh obs-off     instrumentation compiled out (PCXX_OBS=OFF)
-#   ci/run_ci.sh all         the four above, sequentially
+#   ci/run_ci.sh fault       ASan build, fault-tolerance suite only
+#   ci/run_ci.sh all         the five above, sequentially
 #
 # Each configuration builds into build-ci-<name>/, runs the full ctest
 # suite, and (default config only) runs the dslint lint target so protocol
 # or symmetry regressions in client code fail CI. Sanitizer configurations
 # are separate build trees because PCXX_SANITIZE and PCXX_TSAN are
-# mutually exclusive at configure time.
+# mutually exclusive at configure time. The fault leg reuses the asan
+# build tree and re-runs just the fault/recovery tests (fault plans,
+# retry/backoff, crash-point sweep, salvage, checkpoint fallback, dsdump
+# verify/repair) so their failures surface as their own CI row.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -34,19 +38,36 @@ run_config() {
   echo "=== [${name}] OK ==="
 }
 
+# Fault-tolerance leg: build under ASan (heap misuse in recovery paths is
+# the realistic failure mode) and run only the fault/recovery tests.
+run_fault() {
+  local build_dir="${repo_root}/build-ci-asan"
+  echo "=== [fault] configure ==="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPCXX_SANITIZE=ON
+  echo "=== [fault] build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== [fault] test ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+    -R 'FaultPlan|RetryPolicy|CrashSweep|FaultHookConcurrency|Salvage|CheckpointManager|DsdumpCli|Fault'
+  echo "=== [fault] OK ==="
+}
+
 case "${1:-all}" in
   default) run_config default ;;
   asan)    run_config asan -DPCXX_SANITIZE=ON ;;
   tsan)    run_config tsan -DPCXX_TSAN=ON ;;
   obs-off) run_config obs-off -DPCXX_OBS=OFF ;;
+  fault)   run_fault ;;
   all)
     run_config default
     run_config asan -DPCXX_SANITIZE=ON
     run_config tsan -DPCXX_TSAN=ON
     run_config obs-off -DPCXX_OBS=OFF
+    run_fault
     ;;
   *)
-    echo "usage: $0 [default|asan|tsan|obs-off|all]" >&2
+    echo "usage: $0 [default|asan|tsan|obs-off|fault|all]" >&2
     exit 2
     ;;
 esac

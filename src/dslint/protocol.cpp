@@ -57,6 +57,10 @@ struct StreamVar {
   unsigned states = 0;
   bool escaped = false;
   bool layoutKnown = false;
+  /// Input stream opened with StreamOptions::salvage: read() may consume
+  /// damage to end-of-file and yield no record, so extraction legality is a
+  /// runtime hasRecord() question the FSM must not second-guess.
+  bool salvageMode = false;
   std::string distVar, alignVar;
   /// Collections inserted since the last write: (layout key, first line).
   std::vector<std::pair<std::string, int>> pendingKeys;
@@ -80,6 +84,7 @@ Env join(Env a, const Env& b) {
     StreamVar& av = it->second;
     av.states |= sv.states;
     av.escaped = av.escaped || sv.escaped;
+    av.salvageMode = av.salvageMode || sv.salvageMode;
     for (const auto& key : sv.pendingKeys) {
       bool have = false;
       for (const auto& k : av.pendingKeys) have = have || k.first == key.first;
@@ -365,6 +370,12 @@ class Walker {
           first = false;
           continue;
         }
+        // `opts.salvage = true;` marks an options variable whose streams
+        // open in salvage mode.
+        if (peek().isSymbol(".") && peek(2).isIdent("salvage") &&
+            peek(3).isSymbol("=") && peek(4).isIdent("true")) {
+          salvageOpts_.insert(cur().text);
+        }
       }
       first = false;
       advance();
@@ -401,13 +412,21 @@ class Walker {
 
   // -- declarations -----------------------------------------------------------
 
+  struct CtorArgs {
+    std::vector<std::string> refs;
+    bool simple = true;
+    bool salvage = false;
+  };
+
   /// Collect constructor arguments: returns the `&ident` reference args in
   /// order and whether every `&...` arg was a simple `&ident` (an opaque
   /// layout argument such as `&layout.distribution()` makes the stream's
-  /// layout unknown and disables D4 checks). cur() == '('.
-  std::pair<std::vector<std::string>, bool> scanCtorArgs() {
-    std::vector<std::string> refs;
-    bool simple = true;
+  /// layout unknown and disables D4 checks). Also notes whether the args
+  /// mention the `salvage` stream option, either inline
+  /// (`StreamOptions{.salvage = true}`) or via an options variable that had
+  /// `.salvage = true` assigned earlier. cur() == '('.
+  CtorArgs scanCtorArgs() {
+    CtorArgs out;
     advance();  // '('
     int depth = 1;
     while (!atEof() && depth > 0) {
@@ -417,17 +436,21 @@ class Walker {
         advance();
         continue;
       }
+      if (cur().is(TokKind::Identifier) &&
+          (cur().text == "salvage" || salvageOpts_.count(cur().text))) {
+        out.salvage = true;
+      }
       if (depth == 1 && cur().isSymbol("&")) {
         if (peek().is(TokKind::Identifier) &&
             (peek(2).isSymbol(",") || peek(2).isSymbol(")"))) {
-          refs.push_back(peek().text);
+          out.refs.push_back(peek().text);
         } else {
-          simple = false;
+          out.simple = false;
         }
       }
       advance();
     }
-    return {refs, simple};
+    return out;
   }
 
   /// ds::OStream name(args); (also pcxx::ds::, bare, and the oStream /
@@ -461,10 +484,11 @@ class Walker {
     sv.declLine = cur().line;
     const std::string name = cur().text;
     advance();  // name; cur() == '('
-    auto [refs, simple] = scanCtorArgs();
-    sv.layoutKnown = simple && !refs.empty();
-    if (!refs.empty()) sv.distVar = refs[0];
-    if (refs.size() > 1) sv.alignVar = refs[1];
+    const CtorArgs args = scanCtorArgs();
+    sv.layoutKnown = args.simple && !args.refs.empty();
+    if (!args.refs.empty()) sv.distVar = args.refs[0];
+    if (args.refs.size() > 1) sv.alignVar = args.refs[1];
+    sv.salvageMode = args.salvage && dir == Dir::In;
     sv.states = dir == Dir::Out ? kOEmpty0 : kINoRec;
     env.streams[name] = sv;  // shadowing redeclaration replaces
     return true;
@@ -493,11 +517,11 @@ class Walker {
     }
     const std::string name = cur().text;
     advance();  // name; cur() == '('
-    auto [refs, simple] = scanCtorArgs();
+    const CtorArgs args = scanCtorArgs();
     CollectionVar cv;
-    cv.layoutKnown = simple && !refs.empty();
-    if (!refs.empty()) cv.distVar = refs[0];
-    if (refs.size() > 1) cv.alignVar = refs[1];
+    cv.layoutKnown = args.simple && !args.refs.empty();
+    if (!args.refs.empty()) cv.distVar = args.refs[0];
+    if (args.refs.size() > 1) cv.alignVar = args.refs[1];
     env.colls[name] = cv;
     return true;
   }
@@ -636,6 +660,12 @@ class Walker {
       report(commonId, commonSev, at, describe(commonId, e, name, v));
     }
     v.states = next;
+    // Salvage-mode read() may land at end-of-file with no record; keep the
+    // no-record state live so later extractions (guarded by hasRecord() at
+    // runtime) are not flagged as definite DS103 errors.
+    if (v.salvageMode && (e == Event::Read || e == Event::UnsortedRead)) {
+      v.states |= kINoRec;
+    }
 
     // D4 bookkeeping.
     if (e == Event::Write) v.pendingKeys.clear();
@@ -755,6 +785,9 @@ class Walker {
   const std::vector<Token>& toks_;
   DiagnosticEngine& diags_;
   size_t pos_ = 0;
+  /// Names of StreamOptions variables observed with `.salvage = true`
+  /// (flow-insensitive — fine for a lint heuristic).
+  std::set<std::string> salvageOpts_;
 };
 
 }  // namespace

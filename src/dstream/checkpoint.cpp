@@ -1,5 +1,9 @@
 #include "dstream/checkpoint.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
 #include "dstream/inspect.h"
 
 #include "runtime/rio.h"
@@ -139,20 +143,78 @@ bool CheckpointManager::tryRestore(
   }
 }
 
+std::vector<std::uint64_t> CheckpointManager::scanEpochs() {
+  const std::string prefix = options_.baseName + ".";
+  std::vector<std::uint64_t> epochs;
+  for (const std::string& name : fs_->listFiles(prefix)) {
+    const std::string suffix = name.substr(prefix.size());
+    if (suffix.empty()) continue;
+    bool digits = true;
+    for (char c : suffix) {
+      if (c < '0' || c > '9') { digits = false; break; }
+    }
+    if (!digits) continue;  // e.g. the ".latest" marker itself
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(suffix.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') continue;
+    epochs.push_back(static_cast<std::uint64_t>(v));
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+  const size_t cap = static_cast<size_t>(options_.keepLast) + 1;
+  if (epochs.size() > cap) epochs.resize(cap);
+  return epochs;
+}
+
 std::int64_t CheckpointManager::restoreWith(
     rt::Node& node, const coll::Layout& layout,
     const std::function<void(IStream&)>& reader) {
   const std::int64_t marked = latestEpoch(node);
-  if (marked < 0) return -1;
-  // Try the marked epoch, then older retained epochs.
-  const std::uint64_t start = static_cast<std::uint64_t>(marked);
-  for (std::uint64_t back = 0; back <= start; ++back) {
-    const std::uint64_t epoch = start - back;
-    if (back >= static_cast<std::uint64_t>(options_.keepLast) + 1) break;
+
+  // Candidate epochs, newest first: the marker's target and the retained
+  // window below it when the marker is intact; otherwise (lost or torn
+  // marker — e.g. a crash between its truncation and its 8-byte write) the
+  // epoch files actually on disk.
+  std::vector<std::uint64_t> candidates;
+  if (marked >= 0) {
+    const std::uint64_t start = static_cast<std::uint64_t>(marked);
+    for (std::uint64_t back = 0;
+         back <= start &&
+         back <= static_cast<std::uint64_t>(options_.keepLast);
+         ++back) {
+      candidates.push_back(start - back);
+    }
+  } else {
+    candidates = scanEpochs();
+  }
+  if (candidates.empty()) return -1;
+
+  std::vector<std::uint64_t> rejected;
+  for (const std::uint64_t epoch : candidates) {
     if (tryRestore(node, layout, epoch, reader)) {
-      nextEpoch_ = start + 1;
+      // Resume numbering past every epoch we know about, so the next save
+      // never collides with a newer-but-corrupt file still on disk.
+      nextEpoch_ = candidates.front() + 1;
       return static_cast<std::int64_t>(epoch);
     }
+    if (fs_->exists(epochFileName(epoch))) rejected.push_back(epoch);
+  }
+
+  // A marker that names an epoch is a promise that a checkpoint was made
+  // durable; failing every candidate then is data loss and must not look
+  // like "no checkpoint exists". Without a marker file, torn leftovers of
+  // a first save that never completed roll back to a fresh start.
+  if (fs_->exists(markerFileName())) {
+    std::string list;
+    for (const std::uint64_t e : rejected) {
+      list += strfmt("%s%llu", list.empty() ? "" : ", ",
+                     static_cast<unsigned long long>(e));
+    }
+    throw CheckpointError(
+        strfmt("no recoverable epoch for '%s' (rejected: %s)",
+               options_.baseName.c_str(),
+               list.empty() ? "none on disk" : list.c_str()),
+        std::move(rejected));
   }
   return -1;
 }

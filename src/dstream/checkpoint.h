@@ -22,12 +22,27 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "collection/collection.h"
 #include "dstream/istream.h"
 #include "dstream/ostream.h"
 
 namespace pcxx::ds {
+
+/// Thrown by restore when the marker names a checkpoint but neither it nor
+/// any retained fallback epoch could be restored — silent data loss would
+/// otherwise masquerade as "no checkpoint exists". Carries the epochs that
+/// were tried and rejected.
+class CheckpointError : public Error {
+ public:
+  CheckpointError(const std::string& what,
+                  std::vector<std::uint64_t> rejected)
+      : Error("checkpoint error: " + what),
+        rejectedEpochs(std::move(rejected)) {}
+
+  std::vector<std::uint64_t> rejectedEpochs;
+};
 
 struct CheckpointOptions {
   std::string baseName = "checkpoint";
@@ -57,7 +72,8 @@ class CheckpointManager {
   std::int64_t latestEpoch(rt::Node& node);
 
   /// Restore the newest recoverable epoch into `data`; returns the epoch
-  /// id, or -1 if no epoch could be restored.
+  /// id, or -1 if no checkpoint exists. Throws CheckpointError when the
+  /// marker names an epoch but nothing retained could be restored.
   template <typename T>
   std::int64_t restoreLatest(coll::Collection<T>& data) {
     return restoreWith(data.node(), data.layout(),
@@ -65,7 +81,9 @@ class CheckpointManager {
   }
 
   /// General form of restoreLatest. Tries the marker's epoch first, then
-  /// walks backwards over retained epochs if it is damaged.
+  /// walks backwards over retained epochs if it is damaged. A lost or torn
+  /// marker falls back to enumerating epoch files, so a crash mid-marker
+  /// never hides an otherwise durable checkpoint.
   std::int64_t restoreWith(rt::Node& node, const coll::Layout& layout,
                            const std::function<void(IStream&)>& reader);
 
@@ -78,6 +96,9 @@ class CheckpointManager {
   bool tryRestore(rt::Node& node, const coll::Layout& layout,
                   std::uint64_t epoch,
                   const std::function<void(IStream&)>& reader);
+  /// Epochs with files on disk, newest first, capped at keepLast + 1 — the
+  /// marker-loss fallback candidate list.
+  std::vector<std::uint64_t> scanEpochs();
 
   pfs::Pfs* fs_;
   CheckpointOptions options_;

@@ -4,12 +4,45 @@
 //   dsdump -v wholeGridFile          # + insert descriptors, histograms
 //   dsdump --stats wholeGridFile     # aggregate I/O statistics (statdump)
 //   dsdump --element 3 file          # hex dump of one element's payload
+//   dsdump --verify file             # tolerant scan; exit 0 clean, 3 corrupt
+//   dsdump --repair file             # truncate to the last valid record
 #include <cstdio>
 
 #include "dstream/inspect.h"
 #include "pfs/backend.h"
 #include "util/options.h"
 #include "util/strfmt.h"
+
+namespace {
+
+// Tolerant integrity scan (exit 0 clean / 3 corrupt / 1 unreadable), with
+// optional repair by truncating to the longest valid record prefix.
+int verifyOrRepair(const std::string& path, bool repair) {
+  pcxx::pfs::PosixStorage storage(path);
+  pcxx::ds::ScanResult scan;
+  try {
+    scan = pcxx::ds::scanFile(storage);
+  } catch (const pcxx::FormatError& e) {
+    // Even the 16-byte file header is damaged: corrupt, and unrepairable.
+    std::fprintf(stderr, "dsdump: %s: %s\n", path.c_str(), e.what());
+    return repair ? 1 : 3;
+  }
+  std::fputs(pcxx::ds::formatSalvageReport(scan.report).c_str(), stdout);
+  if (scan.report.clean()) {
+    std::printf("%s: clean\n", path.c_str());
+    return 0;
+  }
+  if (!repair) return 3;
+  storage.truncate(scan.validPrefixEnd);
+  storage.sync();
+  std::printf("%s: repaired, truncated to %llu bytes (%zu record(s) kept)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(scan.validPrefixEnd),
+              scan.info.records.size());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   try {
@@ -18,6 +51,12 @@ int main(int argc, char** argv) {
     opts.addFlag("stats",
                  "aggregate statistics: data vs. metadata bytes, header "
                  "modes, size histogram, per-writer-node volumes");
+    opts.addFlag("verify",
+                 "tolerant integrity scan incl. data checksums; exit 0 "
+                 "when clean, 3 when corrupt");
+    opts.addFlag("repair",
+                 "truncate the file to its longest valid record prefix "
+                 "(implies --verify's scan)");
     opts.add("record", "0", "record index for --element");
     opts.add("element", "-1",
              "hex-dump the payload of this file-order element");
@@ -25,6 +64,10 @@ int main(int argc, char** argv) {
     if (opts.positional().size() != 1) {
       std::fputs(opts.usage().c_str(), stderr);
       return 2;
+    }
+
+    if (opts.getFlag("verify") || opts.getFlag("repair")) {
+      return verifyOrRepair(opts.positional()[0], opts.getFlag("repair"));
     }
 
     pcxx::pfs::PosixStorage storage(opts.positional()[0]);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <sstream>
 
 #include "collection/distribution.h"
+#include "util/crc32.h"
 #include "util/error.h"
 #include "util/strfmt.h"
 
@@ -90,6 +92,131 @@ FileInfo inspectFile(pfs::StorageBackend& storage) {
 FileInfo inspectFile(const std::string& path) {
   pfs::PosixStorage storage(path);
   return inspectFile(storage);
+}
+
+ScanResult scanFile(pfs::StorageBackend& storage) {
+  ScanResult result;
+  result.info.fileBytes = storage.size();
+  result.validPrefixEnd = kFileHeaderBytes;
+
+  ByteBuffer fileHeader(kFileHeaderBytes);
+  if (storage.readAt(0, fileHeader) != kFileHeaderBytes) {
+    throw FormatError("file too short for a d/stream file header");
+  }
+  verifyFileHeader(fileHeader);
+
+  const std::uint64_t fileBytes = result.info.fileBytes;
+  bool prefixIntact = true;
+  std::uint64_t pos = kFileHeaderBytes;
+
+  // A torn tail ends the walk: without intact framing nothing behind the
+  // damage can be located.
+  const auto tornTail = [&](const char* reason) {
+    result.report.recordsLost += 1;
+    result.report.damage.push_back(
+        DamagedRange{pos, fileBytes - pos, reason});
+  };
+  // A damaged record with intact framing is skipped; the walk continues at
+  // `next`.
+  const auto damagedRecord = [&](std::uint64_t next, const char* reason) {
+    result.report.recordsLost += 1;
+    result.report.damage.push_back(DamagedRange{pos, next - pos, reason});
+    prefixIntact = false;
+    pos = next;
+  };
+
+  while (pos < fileBytes) {
+    Byte prefix[8];
+    if (storage.readAt(pos, prefix) != 8) {
+      tornTail("truncated record header prefix");
+      break;
+    }
+    std::uint64_t headerLen = 0;
+    try {
+      headerLen = RecordHeader::encodedLength(prefix);
+    } catch (const FormatError&) {
+      tornTail("invalid record header prefix");
+      break;
+    }
+    ByteBuffer headerBytes(static_cast<size_t>(headerLen));
+    if (storage.readAt(pos, headerBytes) != headerLen) {
+      tornTail("truncated record header");
+      break;
+    }
+    std::optional<RecordHeader> header;
+    try {
+      header = RecordHeader::decode(headerBytes);
+    } catch (const FormatError&) {
+      tornTail("record header checksum mismatch");
+      break;
+    }
+
+    RecordInfo rec{std::move(*header), pos, headerLen, 0, {}};
+    const std::uint64_t tableOffset = pos + rec.headerBytes;
+    const std::uint64_t tableBytes = rec.header.sizeTableBytes();
+    rec.dataOffset = tableOffset + tableBytes;
+    const std::uint64_t recordEnd =
+        rec.dataOffset + rec.header.dataBytes + rec.header.trailerBytes();
+    if (recordEnd > fileBytes) {
+      tornTail("record extends past end of file");
+      break;
+    }
+
+    ByteBuffer table(static_cast<size_t>(tableBytes));
+    if (storage.readAt(tableOffset, table) != tableBytes) {
+      tornTail("truncated size table");
+      break;
+    }
+    rec.elementSizes.resize(static_cast<size_t>(rec.header.elementCount()));
+    for (size_t i = 0; i < rec.elementSizes.size(); ++i) {
+      rec.elementSizes[i] = decodeU64(table.data() + 8 * i);
+    }
+    if (rec.totalDataBytes() != rec.header.dataBytes) {
+      // The header (CRC-verified) still frames the record, so the walk can
+      // continue behind it.
+      damagedRecord(recordEnd, "size table inconsistent with record header");
+      continue;
+    }
+
+    if (rec.header.hasDataCrc()) {
+      ByteBuffer data(static_cast<size_t>(rec.header.dataBytes));
+      ByteBuffer trailer(4);
+      if (storage.readAt(rec.dataOffset, data) != data.size() ||
+          storage.readAt(rec.dataOffset + rec.header.dataBytes, trailer) !=
+              4) {
+        tornTail("truncated data section");
+        break;
+      }
+      if (crc32(data) != decodeU32(trailer.data())) {
+        damagedRecord(recordEnd, "data checksum mismatch");
+        continue;
+      }
+    }
+
+    result.report.recordsRecovered += 1;
+    result.info.records.push_back(std::move(rec));
+    pos = recordEnd;
+    if (prefixIntact) result.validPrefixEnd = recordEnd;
+  }
+  return result;
+}
+
+ScanResult scanFile(const std::string& path) {
+  pfs::PosixStorage storage(path);
+  return scanFile(storage);
+}
+
+std::string formatSalvageReport(const SalvageReport& report) {
+  std::ostringstream os;
+  os << strfmt("salvage: %llu record(s) recovered, %llu lost\n",
+               static_cast<unsigned long long>(report.recordsRecovered),
+               static_cast<unsigned long long>(report.recordsLost));
+  for (const DamagedRange& d : report.damage) {
+    os << strfmt("  damaged: [%llu, +%llu) %s\n",
+                 static_cast<unsigned long long>(d.offset),
+                 static_cast<unsigned long long>(d.bytes), d.reason.c_str());
+  }
+  return os.str();
 }
 
 ByteBuffer readElementData(pfs::StorageBackend& storage,

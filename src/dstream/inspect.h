@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dstream/record.h"
+#include "dstream/salvage.h"
 #include "pfs/backend.h"
 
 namespace pcxx::ds {
@@ -42,6 +43,26 @@ FileInfo inspectFile(pfs::StorageBackend& storage);
 
 /// Convenience: inspect a d/stream file on the local file system.
 FileInfo inspectFile(const std::string& path);
+
+/// Result of a tolerant scan (scanFile).
+struct ScanResult {
+  FileInfo info;         ///< the intact records only
+  SalvageReport report;  ///< what was damaged and why
+  /// End offset of the longest valid record *prefix* — the truncation
+  /// point `dsdump --repair` uses. At least kFileHeaderBytes. Intact
+  /// records behind a damaged one do not extend it (normal readers stop at
+  /// the first damage; only salvage-mode readers reach them).
+  std::uint64_t validPrefixEnd = 0;
+};
+
+/// Tolerant scan: walk records like inspectFile, but record damage in the
+/// report instead of throwing, and — unlike inspectFile — verify each
+/// record's data CRC-32 trailer when present. Only a damaged 16-byte file
+/// header still throws FormatError (there is nothing to salvage then).
+ScanResult scanFile(pfs::StorageBackend& storage);
+
+/// Convenience: tolerant scan of a d/stream file on the local file system.
+ScanResult scanFile(const std::string& path);
 
 /// Read one element's raw payload bytes (by file-order position) from a
 /// record. Bounds-checked.

@@ -167,7 +167,30 @@ void IStream::readRecord(bool sorted) {
     throw StateError("read on a closed d/stream");
   }
   PCXX_OBS_PHASE(node_->obs(), "ds.read", DsReadSeconds);
+  for (;;) {
+    if (opts_.salvage && atEnd()) {
+      // Salvage consumed the rest of the file (or it was already
+      // exhausted): no record to extract, but no exception either.
+      record_.reset();
+      state_ = State::Ready;
+      return;
+    }
+    if (readRecordOnce(sorted)) return;
+    // A damaged record was skipped; the cursor sits past the damage.
+  }
+}
 
+bool IStream::skipDamage(std::uint64_t from, std::uint64_t to,
+                         const char* reason) {
+  salvage_.recordsLost += 1;
+  salvage_.damage.push_back(DamagedRange{from, to - from, reason});
+  file_->seekShared(*node_, to);
+  record_.reset();
+  state_ = State::Ready;
+  return false;
+}
+
+bool IStream::readRecordOnce(bool sorted) {
   // ---- record header (node 0 reads, then broadcast) -----------------------
   const std::uint64_t recordStart = file_->sharedOffset();
   ByteBuffer headerBytes;
@@ -188,12 +211,40 @@ void IStream::readRecord(bool sorted) {
   }
   node_->broadcastBytes(0, headerBytes);
   if (headerBytes.empty()) {
+    if (opts_.salvage) {
+      // The framing itself is gone; nothing behind this point can be
+      // located without it, so the rest of the file is the damage.
+      return skipDamage(recordStart, file_->size(),
+                        "truncated or invalid record header (torn tail)");
+    }
     throw FormatError("truncated or invalid record header at offset " +
                       std::to_string(recordStart) +
                       " (no further record in file?)");
   }
-  RecordHeader header = RecordHeader::decode(headerBytes);
+  std::optional<RecordHeader> decoded;
+  try {
+    decoded = RecordHeader::decode(headerBytes);
+  } catch (const FormatError&) {
+    // decode() throws identically on every node (the bytes were broadcast).
+    if (opts_.salvage) {
+      return skipDamage(recordStart, file_->size(),
+                        "record header checksum mismatch (torn tail)");
+    }
+    throw;
+  }
+  RecordHeader header = std::move(*decoded);
   PCXX_OBS_COUNT(node_->obs(), DsHeaderDecodes, 1);
+
+  // Salvage pre-check: make sure the whole record extent fits the file
+  // BEFORE entering the collective reads, so every node makes the same
+  // skip-vs-read decision and no collective sees a short read.
+  const std::uint64_t recordEnd = recordStart + headerBytes.size() +
+                                  header.sizeTableBytes() + header.dataBytes +
+                                  header.trailerBytes();
+  if (opts_.salvage && recordEnd > file_->size()) {
+    return skipDamage(recordStart, file_->size(),
+                      "record extends past end of file (torn tail)");
+  }
 
   if (header.elementCount() != layout_.size()) {
     throw UsageError(
@@ -219,6 +270,16 @@ void IStream::readRecord(bool sorted) {
         decodeU64(sizeChunk.data() + 8 * static_cast<size_t>(j));
     myChunkBytes += chunkSizes[static_cast<size_t>(j)];
   }
+  if (opts_.salvage) {
+    // A corrupted size table would send the data reads to the wrong
+    // extents; cross-check its sum against the header before using it.
+    // The allreduce keeps the skip decision collectively consistent.
+    const std::uint64_t tableSum = node_->allreduceSumU64(myChunkBytes);
+    if (tableSum != header.dataBytes) {
+      return skipDamage(recordStart, recordEnd,
+                        "size table inconsistent with record header");
+    }
+  }
 
   // ---- data (phase 1: conforming contiguous read) --------------------------
   ByteBuffer chunk(static_cast<size_t>(myChunkBytes));
@@ -242,9 +303,16 @@ void IStream::readRecord(bool sorted) {
     }
     node_->broadcastBytes(0, trailer);
     if (trailer.size() != 4) {
+      if (opts_.salvage) {
+        return skipDamage(recordStart, file_->size(),
+                          "data checksum trailer missing (torn tail)");
+      }
       throw FormatError("record data checksum trailer missing (truncated?)");
     }
     if (decodeU32(trailer.data()) != dataCrc) {
+      if (opts_.salvage) {
+        return skipDamage(recordStart, recordEnd, "data checksum mismatch");
+      }
       throw FormatError(
           "record data checksum mismatch: the element data was corrupted");
     }
@@ -355,11 +423,13 @@ void IStream::readRecord(bool sorted) {
   extractCursors_.assign(static_cast<size_t>(localCount_), 0);
   nextExtract_ = 0;
   state_ = State::Extracting;
+  salvage_.recordsRecovered += 1;
   if (sorted) {
     PCXX_OBS_COUNT(node_->obs(), DsReads, 1);
   } else {
     PCXX_OBS_COUNT(node_->obs(), DsUnsortedReads, 1);
   }
+  return true;
 }
 
 }  // namespace pcxx::ds

@@ -25,6 +25,7 @@
 #include "collection/collection.h"
 #include "dstream/element_io.h"
 #include "dstream/record.h"
+#include "dstream/salvage.h"
 #include "dstream/stream_common.h"
 #include "dstream/typetag.h"
 #include "pfs/parallel_file.h"
@@ -112,11 +113,27 @@ class IStream {
   /// Header of the record currently being extracted (after read()).
   const RecordHeader& currentRecord() const;
 
+  /// True when a read() actually produced a record to extract. In salvage
+  /// mode a read() that reached a torn tail (or end of file) leaves no
+  /// record; without salvage this is equivalent to "a read() succeeded and
+  /// extraction has not been invalidated".
+  bool hasRecord() const { return state_ == State::Extracting; }
+
+  /// What salvage-mode reads recovered and skipped so far (records and
+  /// damaged byte ranges). Meaningful once StreamOptions::salvage is set.
+  const SalvageReport& salvageReport() const { return salvage_; }
+
  private:
   enum class State { Ready, Extracting, Closed };
 
   void openFile(const std::string& fileName);
   void readRecord(bool sorted);
+  /// One record-read attempt. True: a record is ready for extraction.
+  /// False (salvage mode only): damage was skipped — the shared cursor has
+  /// advanced past it and the caller should retry or stop at end of file.
+  bool readRecordOnce(bool sorted);
+  /// Record damage [from, to) in the salvage report and advance past it.
+  bool skipDamage(std::uint64_t from, std::uint64_t to, const char* reason);
   void checkExtract(const coll::Layout& collectionLayout, std::uint32_t tag,
                     InsertKind kind) const;
 
@@ -139,6 +156,7 @@ class IStream {
   std::int64_t localCount_;
 
   std::optional<RecordHeader> record_;
+  SalvageReport salvage_;
   ByteBuffer buffer_;                      // this node's element data
   std::vector<std::uint64_t> elemOffsets_; // per local element, into buffer_
   std::vector<std::uint64_t> elemSizes_;

@@ -1,0 +1,39 @@
+// Torn-write salvage reporting for d/stream files.
+//
+// A d/stream file damaged by a torn write (a crash mid-record) or by media
+// corruption keeps a well-defined recoverable prefix: every record whose
+// framing is intact and whose checksums verify (docs/FORMAT.md, "Partial
+// writes and recoverable prefixes"). Salvage-mode readers (StreamOptions::
+// salvage) and the offline scanner (inspect.h scanFile / dsdump --verify)
+// both report what was recovered and what was lost through these types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcxx::ds {
+
+/// One damaged byte range of a d/stream file.
+struct DamagedRange {
+  std::uint64_t offset = 0;  ///< first damaged byte
+  std::uint64_t bytes = 0;   ///< extent of the damage
+  std::string reason;        ///< e.g. "data checksum mismatch"
+};
+
+/// What a salvage pass recovered and what it had to give up.
+struct SalvageReport {
+  std::uint64_t recordsRecovered = 0;
+  /// Records skipped or truncated away. Damage that hides the record
+  /// framing (a torn tail) counts as one lost record even though more may
+  /// be unrecoverable behind it.
+  std::uint64_t recordsLost = 0;
+  std::vector<DamagedRange> damage;
+
+  bool clean() const { return recordsLost == 0 && damage.empty(); }
+};
+
+/// Human-readable rendering (what `dsdump --verify` prints).
+std::string formatSalvageReport(const SalvageReport& report);
+
+}  // namespace pcxx::ds

@@ -28,6 +28,12 @@ struct StreamOptions {
   /// Open the file for appending records instead of truncating (used when
   /// several streams with differing distributions share one file).
   bool append = false;
+  /// Input streams only: salvage mode. On a damaged record (checksum
+  /// mismatch, torn tail, truncated framing) read() skips the damage and
+  /// continues with the next intact record instead of throwing; after a
+  /// read, hasRecord() says whether a record was actually recovered, and
+  /// salvageReport() accounts for the losses.
+  bool salvage = false;
 };
 
 /// Set the process-default file system used by the (d, a, filename) stream

@@ -26,6 +26,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "pfs.read_bytes",
     "pfs.write_bytes",
     "pfs.collective_ops",
+    "pfs.retries",
+    "pfs.give_ups",
     "rt.messages_sent",
     "rt.message_bytes",
     "rt.collectives",
@@ -41,6 +43,7 @@ constexpr const char* kTimerNames[kNumTimers] = {
     "pfs.read_seconds",
     "pfs.write_seconds",
     "pfs.queue_wait_seconds",
+    "pfs.backoff_seconds",
     "rt.sync_wait_seconds",
     "scf.output_seconds",
     "scf.input_seconds",

@@ -60,6 +60,8 @@ enum class Counter : int {
   PfsReadBytes,       ///< bytes requested by reads
   PfsWriteBytes,      ///< bytes written
   PfsCollectiveOps,   ///< node-order collective transfers + syncs + opens
+  PfsRetries,         ///< storage op attempts retried under a RetryPolicy
+  PfsGiveUps,         ///< storage ops abandoned (attempts/deadline spent)
   RtMessagesSent,     ///< point-to-point messages sent
   RtMessageBytes,     ///< point-to-point payload bytes sent
   RtCollectives,      ///< collective operations entered (incl. barriers)
@@ -77,6 +79,7 @@ enum class Timer : int {
   PfsReadSeconds,       ///< phase: inside pfs read ops (incl. their syncs)
   PfsWriteSeconds,      ///< phase: inside pfs write ops (incl. their syncs)
   PfsQueueWaitSeconds,  ///< of which: small-op I/O-node queue wait
+  PfsBackoffSeconds,    ///< modeled backoff charged before retries
   RtSyncWaitSeconds,    ///< total barrier/collective skew absorbed
   ScfOutputSeconds,     ///< harness bracket around IoMethod::output
   ScfInputSeconds,      ///< harness bracket around IoMethod::input

@@ -2,11 +2,13 @@
 // system.
 //
 // Tests install a FaultHook on a Pfs instance; the hook runs before every
-// storage access and may throw IoError to simulate device failures. An
-// observe hook (Pfs::setObserveHook) runs *after* every access with the
-// modeled duration filled in, so the same OpContext infrastructure feeds
-// both fault injection and metrics. OpRecorder is the canonical
-// record-only consumer for either hook point.
+// storage access and may throw IoError to simulate device failures, or fill
+// in OpContext::outcome to request a partial completion / a crash after a
+// durable prefix (torn writes). An observe hook (Pfs::setObserveHook) runs
+// *after* every access with the modeled duration filled in, so the same
+// OpContext infrastructure feeds both fault injection and metrics.
+// OpRecorder is the canonical record-only consumer for either hook point;
+// FaultPlan (fault_plan.h) is the canonical deterministic producer.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +17,30 @@
 #include <string>
 #include <vector>
 
+#include "util/error.h"
+
 namespace pcxx::pfs {
 
 enum class OpKind { Read, Write };
+
+/// Thrown when a fault hook requests a crash: the storage holds exactly the
+/// bytes durably written before the crash point and the run unwinds. Fatal
+/// by definition — never retried by a RetryPolicy.
+class CrashInjected : public Error {
+ public:
+  explicit CrashInjected(const std::string& what)
+      : Error("crash injected: " + what) {}
+};
+
+/// A fault hook's verdict on one storage access, reported through
+/// OpContext::outcome instead of throwing. Lowering completeBytes makes the
+/// access complete only that prefix (a short write / short read); setting
+/// crash additionally unwinds the run with CrashInjected *after* the prefix
+/// was applied, so the storage reflects exactly the durable bytes.
+struct OpOutcome {
+  std::uint64_t completeBytes = 0;  ///< preset to the request size by pfs
+  bool crash = false;               ///< throw CrashInjected after the prefix
+};
 
 /// Context passed to the fault and observe hooks around each storage access.
 struct OpContext {
@@ -32,10 +55,16 @@ struct OpContext {
   /// Filled only for observe hooks, which run after the access; fault hooks
   /// run before it and always see 0.
   double opDurationSeconds = 0.0;
+  /// Non-null only while a *fault* hook runs: the hook may lower
+  /// outcome->completeBytes or set outcome->crash instead of throwing.
+  /// Observe hooks and OpRecorder always see null.
+  OpOutcome* outcome = nullptr;
 };
 
 /// Runs around each storage access; fault hooks may throw (e.g. IoError) to
-/// inject a failure. Must be thread-safe: nodes call concurrently.
+/// inject a failure, or write through OpContext::outcome to request a
+/// partial completion or crash. Must be thread-safe: nodes call
+/// concurrently.
 using FaultHook = std::function<void(const OpContext&)>;
 
 /// Thread-safe operation recorder: install `recorder.hook()` as a fault or
@@ -51,6 +80,8 @@ class OpRecorder {
   void record(const OpContext& op) {
     std::lock_guard<std::mutex> lock(mu_);
     ops_.push_back(op);
+    // The outcome slot lives on the caller's stack; never keep it.
+    ops_.back().outcome = nullptr;
   }
 
   std::vector<OpContext> ops() const {

@@ -1,0 +1,222 @@
+#include "pfs/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/strfmt.h"
+
+namespace pcxx::pfs {
+
+FaultPlan::FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+FaultPlan::FaultPlan(FaultPlan&& other) noexcept : rng_(0) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  rng_ = other.rng_;
+  clauses_ = std::move(other.clauses_);
+  fired_ = other.fired_;
+}
+
+FaultPlan& FaultPlan::failAtOp(std::uint64_t opIndex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clauses_.push_back(Clause{Shape::FailAt, opIndex, 0.0, 0, {}, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::failWithProbability(double p) {
+  PCXX_REQUIRE(p >= 0.0 && p <= 1.0,
+               "fault probability must lie in [0, 1]");
+  std::lock_guard<std::mutex> lock(mu_);
+  clauses_.push_back(Clause{Shape::FailProb, 0, p, 0, {}, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::shortCompletionAtOp(std::uint64_t opIndex,
+                                          std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clauses_.push_back(Clause{Shape::ShortAt, opIndex, 0.0, bytes, {}, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crashAtOp(std::uint64_t opIndex,
+                                std::uint64_t durableBytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clauses_.push_back(
+      Clause{Shape::CrashAt, opIndex, 0.0, durableBytes, {}, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::onlyKind(OpKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PCXX_REQUIRE(!clauses_.empty(), "onlyKind requires a preceding clause");
+  clauses_.back().kind = kind;
+  return *this;
+}
+
+FaultPlan& FaultPlan::onlyFile(std::string fsName) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PCXX_REQUIRE(!clauses_.empty(), "onlyFile requires a preceding clause");
+  clauses_.back().file = std::move(fsName);
+  return *this;
+}
+
+FaultHook FaultPlan::hook() {
+  return [this](const OpContext& op) { apply(op); };
+}
+
+bool FaultPlan::matches(const Clause& c, const OpContext& op) {
+  if (c.kind.has_value() && *c.kind != op.kind) return false;
+  if (c.file.has_value() && *c.file != op.file) return false;
+  switch (c.shape) {
+    case Shape::FailAt:
+    case Shape::ShortAt:
+    case Shape::CrashAt:
+      return op.opIndex == c.opIndex;
+    case Shape::FailProb:
+      // One deterministic draw per (clause, op) evaluation; the lock in
+      // apply() serializes access to the generator.
+      return rng_.uniform01() < c.probability;
+  }
+  return false;
+}
+
+void FaultPlan::apply(const OpContext& op) {
+  Clause hit;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Clause& c : clauses_) {
+      if (matches(c, op)) {
+        hit = c;
+        found = true;
+        ++fired_;
+        break;
+      }
+    }
+  }
+  if (!found) return;
+  switch (hit.shape) {
+    case Shape::FailAt:
+      throw IoError(strfmt("fault plan: injected transient failure at op "
+                           "%llu ('%s')",
+                           static_cast<unsigned long long>(op.opIndex),
+                           op.file.c_str()));
+    case Shape::FailProb:
+      throw IoError(strfmt("fault plan: injected probabilistic failure at "
+                           "op %llu ('%s')",
+                           static_cast<unsigned long long>(op.opIndex),
+                           op.file.c_str()));
+    case Shape::ShortAt:
+      if (op.outcome != nullptr) {
+        op.outcome->completeBytes =
+            std::min(op.outcome->completeBytes, hit.bytes);
+      }
+      return;
+    case Shape::CrashAt:
+      if (op.outcome != nullptr) {
+        op.outcome->completeBytes =
+            std::min(op.outcome->completeBytes, hit.bytes);
+        op.outcome->crash = true;
+        return;
+      }
+      // Installed somewhere without an outcome slot: crash with nothing
+      // applied rather than silently skipping the fault.
+      throw CrashInjected(strfmt("at op %llu ('%s')",
+                                 static_cast<unsigned long long>(op.opIndex),
+                                 op.file.c_str()));
+  }
+}
+
+std::uint64_t FaultPlan::firedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::size_t FaultPlan::clauseCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clauses_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Spec-string parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void badSpec(const std::string& clause, const char* why) {
+  throw UsageError("fault plan spec clause '" + clause + "': " + why);
+}
+
+std::uint64_t parseU64(const std::string& clause, const std::string& text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    badSpec(clause, "expected a non-negative integer");
+  }
+  return std::stoull(text);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan(seed);
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    // Trim surrounding spaces.
+    while (!clause.empty() && clause.front() == ' ') clause.erase(0, 1);
+    while (!clause.empty() && clause.back() == ' ') clause.pop_back();
+    if (clause.empty()) continue;
+
+    std::optional<OpKind> kind;
+    std::string body = clause;
+    if (body.rfind("read:", 0) == 0) {
+      kind = OpKind::Read;
+      body = body.substr(5);
+    } else if (body.rfind("write:", 0) == 0) {
+      kind = OpKind::Write;
+      body = body.substr(6);
+    }
+
+    if (body.rfind("fail@", 0) == 0) {
+      plan.failAtOp(parseU64(clause, body.substr(5)));
+    } else if (body.rfind("fail%", 0) == 0) {
+      const std::string num = body.substr(5);
+      char* rest = nullptr;
+      const double p = std::strtod(num.c_str(), &rest);
+      if (num.empty() || rest == nullptr || *rest != '\0' || p < 0.0 ||
+          p > 1.0) {
+        badSpec(clause, "expected a probability in [0, 1]");
+      }
+      plan.failWithProbability(p);
+    } else if (body.rfind("short@", 0) == 0) {
+      const std::string args = body.substr(6);
+      const std::size_t colon = args.find(':');
+      if (colon == std::string::npos) {
+        badSpec(clause, "short@N:K needs a completed-byte count");
+      }
+      plan.shortCompletionAtOp(parseU64(clause, args.substr(0, colon)),
+                               parseU64(clause, args.substr(colon + 1)));
+    } else if (body.rfind("crash@", 0) == 0) {
+      const std::string args = body.substr(6);
+      const std::size_t colon = args.find(':');
+      if (colon == std::string::npos) {
+        plan.crashAtOp(parseU64(clause, args));
+      } else {
+        plan.crashAtOp(parseU64(clause, args.substr(0, colon)),
+                       parseU64(clause, args.substr(colon + 1)));
+      }
+    } else {
+      badSpec(clause, "unknown shape (want fail@N, fail%p, short@N:K, "
+                      "crash@N[:K], optionally prefixed read:/write:)");
+    }
+    if (kind.has_value()) plan.onlyKind(*kind);
+  }
+  if (plan.clauseCount() == 0) {
+    throw UsageError("fault plan spec '" + spec + "' contains no clauses");
+  }
+  return plan;
+}
+
+}  // namespace pcxx::pfs

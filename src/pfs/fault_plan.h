@@ -1,0 +1,114 @@
+// Deterministic fault schedules for the parallel file system.
+//
+// A FaultPlan replaces the hand-rolled fault-hook lambdas tests used to
+// write: it is a seeded, thread-safe schedule of injected failures that can
+// be installed directly as a Pfs fault hook.  Four fault shapes are
+// supported (composable; the first matching clause per op wins, evaluated
+// in the order they were added):
+//
+//   * transient IoError at a specific op index      failAtOp(n)
+//   * transient IoError with probability p          failWithProbability(p)
+//   * short completion: op applies only k bytes     shortCompletionAtOp(n, k)
+//   * crash after k durable bytes of op n           crashAtOp(n[, k])
+//
+// Probabilistic clauses draw from a PRNG seeded at construction — no
+// wall-clock anywhere — so a plan replays identically run after run.
+// Clauses may be restricted to reads or writes and to one pfs file name.
+//
+// Plans also parse from a compact spec string (the grammar documented in
+// docs/FAULTS.md), so CLI tools and scripts can describe fault schedules:
+//
+//   "fail@3"                 transient IoError at op 3
+//   "write:fail%0.1"         each write fails with p = 0.1
+//   "short@5:16"             op 5 completes only 16 bytes
+//   "crash@7"                crash before op 7 applies anything
+//   "crash@7:16"             op 7 applies 16 bytes, then crash
+//   "fail@3;crash@9"         clauses compose, separated by ';'
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pfs/fault.h"
+#include "util/rng.h"
+
+namespace pcxx::pfs {
+
+/// A seeded, deterministic schedule of injected storage faults.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0);
+
+  /// Movable (for parse()); move before calling hook() — the hook binds
+  /// the plan's address. Not copyable.
+  FaultPlan(FaultPlan&& other) noexcept;
+  FaultPlan& operator=(FaultPlan&&) = delete;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Parse a plan from a spec string (grammar above / docs/FAULTS.md).
+  /// Throws UsageError on a malformed spec.
+  static FaultPlan parse(const std::string& spec, std::uint64_t seed = 0);
+
+  // -- clause builders (chainable) ------------------------------------------
+
+  /// Throw a transient IoError when the global op counter equals `opIndex`.
+  FaultPlan& failAtOp(std::uint64_t opIndex);
+
+  /// Throw a transient IoError on each matching op with probability `p`
+  /// (seeded PRNG; deterministic given the seed and the op sequence).
+  FaultPlan& failWithProbability(double p);
+
+  /// Complete only `bytes` of the request at op `opIndex` (a short write
+  /// or short read), without throwing.
+  FaultPlan& shortCompletionAtOp(std::uint64_t opIndex, std::uint64_t bytes);
+
+  /// Crash at op `opIndex`: the op applies `durableBytes` of its request
+  /// (default 0 — nothing) and then the run unwinds via CrashInjected.
+  FaultPlan& crashAtOp(std::uint64_t opIndex, std::uint64_t durableBytes = 0);
+
+  /// Restrict the most recently added clause to reads or writes.
+  FaultPlan& onlyKind(OpKind kind);
+
+  /// Restrict the most recently added clause to one pfs file name.
+  FaultPlan& onlyFile(std::string fsName);
+
+  // -- use ------------------------------------------------------------------
+
+  /// The hook to install via Pfs::setFaultHook. The returned hook shares
+  /// this plan's state; the plan must outlive it.
+  FaultHook hook();
+
+  /// Apply the plan to one op (what the hook does). Thread-safe.
+  void apply(const OpContext& op);
+
+  /// How many faults this plan has injected so far (all shapes).
+  std::uint64_t firedCount() const;
+
+  /// Number of clauses (parsed or built).
+  std::size_t clauseCount() const;
+
+ private:
+  enum class Shape { FailAt, FailProb, ShortAt, CrashAt };
+
+  struct Clause {
+    Shape shape;
+    std::uint64_t opIndex = 0;      ///< FailAt / ShortAt / CrashAt
+    double probability = 0.0;       ///< FailProb
+    std::uint64_t bytes = 0;        ///< ShortAt: completed; CrashAt: durable
+    std::optional<OpKind> kind;     ///< restrict to reads or writes
+    std::optional<std::string> file;///< restrict to one pfs file
+  };
+
+  bool matches(const Clause& c, const OpContext& op);
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<Clause> clauses_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace pcxx::pfs

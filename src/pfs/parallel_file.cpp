@@ -5,8 +5,32 @@
 
 #include "util/error.h"
 #include "util/log.h"
+#include "util/rng.h"
+#include "util/strfmt.h"
 
 namespace pcxx::pfs {
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------------------
+
+double RetryPolicy::backoffFor(int retryIndex, std::uint64_t opIndex,
+                               int nodeId) const {
+  double b = backoffBase;
+  for (int i = 1; i < retryIndex && b < backoffMax; ++i) b *= backoffFactor;
+  b = std::min(b, backoffMax);
+  if (jitter > 0.0) {
+    // Stateless deterministic jitter: hash (seed, opIndex, nodeId) so the
+    // same retry of the same op always waits the same modeled time.
+    std::uint64_t h = seed ^ (opIndex * 0x9E3779B97F4A7C15ull) ^
+                      (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(nodeId))
+                       << 32);
+    const double u = static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+    b *= 1.0 + jitter * (2.0 * u - 1.0);
+  }
+  return b;
+}
 
 // ---------------------------------------------------------------------------
 // ParallelFile
@@ -16,18 +40,143 @@ ParallelFile::ParallelFile(Pfs* fs, std::string fsName,
                            std::shared_ptr<StorageBackend> storage)
     : fs_(fs), name_(std::move(fsName)), storage_(std::move(storage)) {}
 
-std::uint64_t ParallelFile::runFaultHook(OpKind kind, std::uint64_t offset,
-                                         std::uint64_t bytes, int nodeId) {
-  const std::uint64_t index = fs_->opCounter_.fetch_add(1);
-  FaultHook hook;
-  {
-    std::lock_guard<std::mutex> lock(fs_->hookMu_);
-    hook = fs_->faultHook_;
+std::uint64_t ParallelFile::performWrite(rt::Node& node, std::uint64_t offset,
+                                         std::span<const Byte> data) {
+  const RetryPolicy rp = fs_->retryPolicy();
+  const double start = node.clock().now();
+  std::uint64_t done = 0;
+  std::uint64_t lastIndex = 0;
+  std::exception_ptr lastError;
+  for (int attempt = 1;; ++attempt) {
+    const std::uint64_t want = data.size() - done;
+    const std::uint64_t index = fs_->opCounter_.fetch_add(1);
+    lastIndex = index;
+    FaultHook hook;
+    {
+      std::lock_guard<std::mutex> lock(fs_->hookMu_);
+      hook = fs_->faultHook_;
+    }
+    OpOutcome outcome{want, false};
+    bool failed = false;
+    if (hook) {
+      OpContext ctx{name_, OpKind::Write, offset + done, want, node.id(),
+                    index};
+      ctx.outcome = &outcome;
+      try {
+        hook(ctx);
+      } catch (const CrashInjected&) {
+        throw;  // fatal by contract; nothing of this attempt was applied
+      } catch (const IoError&) {
+        failed = true;
+        lastError = std::current_exception();
+      }
+    }
+    if (!failed) {
+      const std::uint64_t granted = std::min(outcome.completeBytes, want);
+      if (granted > 0) {
+        storage_->writeAt(offset + done,
+                          data.subspan(static_cast<size_t>(done),
+                                       static_cast<size_t>(granted)));
+        done += granted;
+      }
+      if (outcome.crash) {
+        throw CrashInjected(strfmt(
+            "write on '%s' at op %llu: %llu of %llu bytes durable",
+            name_.c_str(), static_cast<unsigned long long>(index),
+            static_cast<unsigned long long>(done),
+            static_cast<unsigned long long>(data.size())));
+      }
+      if (done == data.size()) return lastIndex;
+      lastError = nullptr;  // short completion, not an exception
+    }
+    // Transient failure or short completion: retry if the policy allows;
+    // a retry resumes from the completed prefix.
+    if (attempt >= rp.maxAttempts ||
+        node.clock().now() - start >= rp.opDeadlineSeconds) {
+      PCXX_OBS_COUNT(node.obs(), PfsGiveUps, 1);
+      if (lastError) std::rethrow_exception(lastError);
+      throw IoError(strfmt(
+          "short write on '%s': only %llu of %llu bytes completed at "
+          "offset %llu",
+          name_.c_str(), static_cast<unsigned long long>(done),
+          static_cast<unsigned long long>(data.size()),
+          static_cast<unsigned long long>(offset)));
+    }
+    const double backoff = rp.backoffFor(attempt, index, node.id());
+    node.clock().advance(backoff);
+    PCXX_OBS_COUNT(node.obs(), PfsRetries, 1);
+    PCXX_OBS_SECONDS(node.obs(), PfsBackoffSeconds, backoff);
   }
-  if (hook) {
-    hook(OpContext{name_, kind, offset, bytes, nodeId, index});
+}
+
+std::uint64_t ParallelFile::performRead(rt::Node& node, std::uint64_t offset,
+                                        std::span<Byte> out,
+                                        std::uint64_t* got) {
+  const RetryPolicy rp = fs_->retryPolicy();
+  const double start = node.clock().now();
+  std::uint64_t done = 0;
+  std::uint64_t lastIndex = 0;
+  std::exception_ptr lastError;
+  for (int attempt = 1;; ++attempt) {
+    const std::uint64_t want = out.size() - done;
+    const std::uint64_t index = fs_->opCounter_.fetch_add(1);
+    lastIndex = index;
+    FaultHook hook;
+    {
+      std::lock_guard<std::mutex> lock(fs_->hookMu_);
+      hook = fs_->faultHook_;
+    }
+    OpOutcome outcome{want, false};
+    bool failed = false;
+    if (hook) {
+      OpContext ctx{name_, OpKind::Read, offset + done, want, node.id(),
+                    index};
+      ctx.outcome = &outcome;
+      try {
+        hook(ctx);
+      } catch (const CrashInjected&) {
+        throw;
+      } catch (const IoError&) {
+        failed = true;
+        lastError = std::current_exception();
+      }
+    }
+    if (!failed) {
+      if (outcome.crash) {
+        throw CrashInjected(strfmt("read on '%s' at op %llu", name_.c_str(),
+                                   static_cast<unsigned long long>(index)));
+      }
+      const std::uint64_t limit = std::min(outcome.completeBytes, want);
+      const std::uint64_t n =
+          storage_->readAt(offset + done,
+                           out.subspan(static_cast<size_t>(done),
+                                       static_cast<size_t>(limit)));
+      done += n;
+      if (done == out.size() || n < limit) {
+        // Complete, or a true end-of-file (the backend granted less than
+        // the fault-free limit): not a fault.
+        *got = done;
+        return lastIndex;
+      }
+      // n == limit < want: a hook-limited short read; retry the remainder.
+      lastError = nullptr;
+    }
+    if (attempt >= rp.maxAttempts ||
+        node.clock().now() - start >= rp.opDeadlineSeconds) {
+      PCXX_OBS_COUNT(node.obs(), PfsGiveUps, 1);
+      if (lastError) std::rethrow_exception(lastError);
+      throw IoError(strfmt(
+          "short read on '%s': only %llu of %llu bytes completed at "
+          "offset %llu",
+          name_.c_str(), static_cast<unsigned long long>(done),
+          static_cast<unsigned long long>(out.size()),
+          static_cast<unsigned long long>(offset)));
+    }
+    const double backoff = rp.backoffFor(attempt, index, node.id());
+    node.clock().advance(backoff);
+    PCXX_OBS_COUNT(node.obs(), PfsRetries, 1);
+    PCXX_OBS_SECONDS(node.obs(), PfsBackoffSeconds, backoff);
   }
-  return index;
 }
 
 void ParallelFile::runObserveHook(OpKind kind, std::uint64_t offset,
@@ -52,9 +201,7 @@ void ParallelFile::writeAt(rt::Node& node, std::uint64_t offset,
   PCXX_OBS_COUNT(node.obs(), PfsWriteBytes, data.size());
   PCXX_OBS_HIST(node.obs(), PfsWriteSize, data.size());
   const double t0 = node.clock().now();
-  const std::uint64_t index =
-      runFaultHook(OpKind::Write, offset, data.size(), node.id());
-  storage_->writeAt(offset, data);
+  const std::uint64_t index = performWrite(node, offset, data);
   const std::uint64_t cum = cumWritten_.fetch_add(data.size()) + data.size();
   fs_->model_.chargeIndependentOp(node, offset, data.size(), storage_->size(),
                                   cum, /*isWrite=*/true);
@@ -69,9 +216,8 @@ std::uint64_t ParallelFile::readAt(rt::Node& node, std::uint64_t offset,
   PCXX_OBS_COUNT(node.obs(), PfsReadBytes, out.size());
   PCXX_OBS_HIST(node.obs(), PfsReadSize, out.size());
   const double t0 = node.clock().now();
-  const std::uint64_t index =
-      runFaultHook(OpKind::Read, offset, out.size(), node.id());
-  const std::uint64_t n = storage_->readAt(offset, out);
+  std::uint64_t n = 0;
+  const std::uint64_t index = performRead(node, offset, out, &n);
   fs_->model_.chargeIndependentOp(node, offset, out.size(), storage_->size(),
                                   cumWritten_.load(), /*isWrite=*/false);
   runObserveHook(OpKind::Read, offset, out.size(), node.id(), index,
@@ -98,9 +244,7 @@ std::uint64_t ParallelFile::writeOrdered(rt::Node& node,
     total += sizes[static_cast<size_t>(i)];
     maxNode = std::max(maxNode, sizes[static_cast<size_t>(i)]);
   }
-  const std::uint64_t index =
-      runFaultHook(OpKind::Write, myOffset, myBlock.size(), node.id());
-  storage_->writeAt(myOffset, myBlock);
+  const std::uint64_t index = performWrite(node, myOffset, myBlock);
 
   // All nodes complete the collective transfer together; charge the modeled
   // duration uniformly (the collective below also synchronizes clocks).
@@ -135,9 +279,8 @@ std::uint64_t ParallelFile::readOrdered(rt::Node& node,
     total += sizes[static_cast<size_t>(i)];
     maxNode = std::max(maxNode, sizes[static_cast<size_t>(i)]);
   }
-  const std::uint64_t index =
-      runFaultHook(OpKind::Read, myOffset, myBlock.size(), node.id());
-  const std::uint64_t got = storage_->readAt(myOffset, myBlock);
+  std::uint64_t got = 0;
+  const std::uint64_t index = performRead(node, myOffset, myBlock, &got);
   const bool shortRead = got != myBlock.size();
 
   node.barrier();
@@ -285,6 +428,25 @@ bool Pfs::exists(const std::string& fsName) {
   return std::filesystem::exists(posixPath(fsName));
 }
 
+std::vector<std::string> Pfs::listFiles(const std::string& prefix) {
+  std::vector<std::string> out;
+  if (config_.backend == PfsConfig::Backend::Memory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, storage] : memFiles_) {
+      if (name.rfind(prefix, 0) == 0) out.push_back(name);
+    }
+  } else {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(config_.dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) == 0) out.push_back(name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void Pfs::setFaultHook(FaultHook hook) {
   std::lock_guard<std::mutex> lock(hookMu_);
   faultHook_ = std::move(hook);
@@ -293,6 +455,18 @@ void Pfs::setFaultHook(FaultHook hook) {
 void Pfs::setObserveHook(FaultHook hook) {
   std::lock_guard<std::mutex> lock(hookMu_);
   observeHook_ = std::move(hook);
+}
+
+void Pfs::setRetryPolicy(RetryPolicy policy) {
+  PCXX_REQUIRE(policy.maxAttempts >= 1,
+               "RetryPolicy needs at least one attempt");
+  std::lock_guard<std::mutex> lock(hookMu_);
+  retryPolicy_ = policy;
+}
+
+RetryPolicy Pfs::retryPolicy() const {
+  std::lock_guard<std::mutex> lock(hookMu_);
+  return retryPolicy_;
 }
 
 void Pfs::corruptByte(const std::string& fsName, std::uint64_t offset,

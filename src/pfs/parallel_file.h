@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "pfs/backend.h"
 #include "pfs/fault.h"
@@ -46,6 +47,36 @@ struct PfsConfig {
 enum class OpenMode {
   Create,  ///< truncate / create for writing
   Read,    ///< existing file for reading
+};
+
+/// Bounded-retry policy for transient storage failures (Pfs::setRetryPolicy).
+///
+/// A transient IoError (thrown by a fault hook or the storage backend) is
+/// retried up to maxAttempts total tries; each retry first charges an
+/// exponential backoff with deterministic jitter to the issuing node's
+/// VirtualClock, so retried runs show the delay in modeled time. A short
+/// completion (a hook granting only k of n bytes) resumes from the
+/// completed prefix rather than re-transferring it. CrashInjected and
+/// non-IoError exceptions are fatal and never retried. An op that exhausts
+/// its attempts or its modeled-time deadline rethrows the last failure.
+struct RetryPolicy {
+  /// Total tries per op (1 = no retries; the default Pfs behavior).
+  int maxAttempts = 1;
+  /// Backoff before retry k (1-based) is base * factor^(k-1), capped.
+  double backoffBase = 1e-3;
+  double backoffFactor = 2.0;
+  double backoffMax = 1.0;
+  /// Jitter fraction: each backoff is scaled by a deterministic factor in
+  /// [1 - jitter, 1 + jitter] drawn from (seed, opIndex, nodeId).
+  double jitter = 0.1;
+  /// Give up once an op's modeled elapsed time (including backoff) exceeds
+  /// this many virtual seconds.
+  double opDeadlineSeconds = 60.0;
+  std::uint64_t seed = 0;
+
+  /// Backoff (seconds, jitter applied) before retry `retryIndex` (1-based)
+  /// of op `opIndex` on `nodeId`. Pure function of the policy fields.
+  double backoffFor(int retryIndex, std::uint64_t opIndex, int nodeId) const;
 };
 
 class Pfs;
@@ -94,9 +125,14 @@ class ParallelFile {
   ParallelFile(Pfs* fs, std::string fsName,
                std::shared_ptr<StorageBackend> storage);
 
-  /// Runs the fault hook (pre-op) and returns the op's global index.
-  std::uint64_t runFaultHook(OpKind kind, std::uint64_t offset,
-                             std::uint64_t bytes, int nodeId);
+  /// One storage write with fault hook, retry/backoff, and short-completion
+  /// resumption applied. Returns the op index of the last attempt.
+  std::uint64_t performWrite(rt::Node& node, std::uint64_t offset,
+                             std::span<const Byte> data);
+  /// Read counterpart; `*got` receives the bytes read (fewer than requested
+  /// only at end of file). Returns the op index of the last attempt.
+  std::uint64_t performRead(rt::Node& node, std::uint64_t offset,
+                            std::span<Byte> out, std::uint64_t* got);
   /// Runs the observe hook (post-op) with the modeled duration.
   void runObserveHook(OpKind kind, std::uint64_t offset, std::uint64_t bytes,
                       int nodeId, std::uint64_t opIndex, double duration);
@@ -126,6 +162,11 @@ class Pfs {
   /// Does a file exist (independent, no timing charge)?
   bool exists(const std::string& fsName);
 
+  /// Names of all files starting with `prefix`, sorted (independent, no
+  /// timing charge). Lets recovery code enumerate epoch files when a
+  /// marker is lost.
+  std::vector<std::string> listFiles(const std::string& prefix);
+
   PerfModel& model() { return model_; }
   const PfsConfig& config() const { return config_; }
 
@@ -138,6 +179,12 @@ class Pfs {
   /// perf model; must not throw. Feeds metrics without disturbing the
   /// fault-injection hook.
   void setObserveHook(FaultHook hook);
+
+  /// Install the retry policy applied to every storage read/write issued
+  /// through this file system. The default ({}, maxAttempts = 1) retries
+  /// nothing.
+  void setRetryPolicy(RetryPolicy policy);
+  RetryPolicy retryPolicy() const;
 
   /// Test helper: overwrite one byte of a file's storage directly,
   /// bypassing timing and fault hooks.
@@ -168,7 +215,8 @@ class Pfs {
   ParallelFilePtr pendingOpen_;
   FaultHook faultHook_;
   FaultHook observeHook_;
-  std::mutex hookMu_;
+  RetryPolicy retryPolicy_;
+  mutable std::mutex hookMu_;
   std::atomic<std::uint64_t> opCounter_{0};
 };
 

@@ -1,14 +1,63 @@
 #include "runtime/rio.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <iostream>
 
 #include "util/error.h"
 #include "util/strfmt.h"
 
 namespace pcxx::rt::rio {
+
+namespace {
+
+// POSIX read/write may be interrupted by a signal before transferring any
+// data (EINTR) or transfer only part of the request; both are retried here
+// so callers see all-or-error semantics. Returns false (with `error` set,
+// always naming the path) on any other failure.
+bool readAll(int fd, const std::string& path, Byte* out, size_t n,
+             std::string& error) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, out + done, n - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      error = strfmt("read from '%s' failed: %s", path.c_str(),
+                     std::strerror(errno));
+      return false;
+    }
+    if (got == 0) {
+      error = strfmt("short read from '%s': got %zu of %zu bytes",
+                     path.c_str(), done, n);
+      return false;
+    }
+    done += static_cast<size_t>(got);
+  }
+  return true;
+}
+
+bool writeAll(int fd, const std::string& path, const Byte* data, size_t n,
+              std::string& error) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::write(fd, data + done, n - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      error = strfmt("write to '%s' failed: %s", path.c_str(),
+                     std::strerror(errno));
+      return false;
+    }
+    done += static_cast<size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
 
 void printf(Node& node, const char* fmt, ...) {
   if (node.id() == 0) {
@@ -27,21 +76,22 @@ ByteBuffer readFileReplicated(Node& node, const std::string& path) {
   bool failed = false;
   std::string error;
   if (node.id() == 0) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
       failed = true;
-      error = "cannot open '" + path + "' for reading";
+      error = strfmt("cannot open '%s' for reading: %s", path.c_str(),
+                     std::strerror(errno));
     } else {
-      in.seekg(0, std::ios::end);
-      const auto size = in.tellg();
-      in.seekg(0, std::ios::beg);
-      data.resize(static_cast<size_t>(size));
-      in.read(reinterpret_cast<char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
-      if (!in) {
+      const off_t size = ::lseek(fd, 0, SEEK_END);
+      if (size < 0 || ::lseek(fd, 0, SEEK_SET) < 0) {
         failed = true;
-        error = "short read from '" + path + "'";
+        error = strfmt("cannot seek in '%s': %s", path.c_str(),
+                       std::strerror(errno));
+      } else {
+        data.resize(static_cast<size_t>(size));
+        failed = !readAll(fd, path, data.data(), data.size(), error);
       }
+      ::close(fd);
     }
   }
   // Broadcast the failure flag first so all nodes throw consistently.
@@ -59,16 +109,18 @@ void writeFileReplicated(Node& node, const std::string& path,
   bool failed = false;
   std::string error;
   if (node.id() == 0) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
       failed = true;
-      error = "cannot open '" + path + "' for writing";
+      error = strfmt("cannot open '%s' for writing: %s", path.c_str(),
+                     std::strerror(errno));
     } else {
-      out.write(reinterpret_cast<const char*>(data.data()),
-                static_cast<std::streamsize>(data.size()));
-      if (!out) {
+      failed = !writeAll(fd, path, data.data(), data.size(), error);
+      if (::close(fd) != 0 && !failed) {
         failed = true;
-        error = "short write to '" + path + "'";
+        error = strfmt("close of '%s' failed: %s", path.c_str(),
+                       std::strerror(errno));
       }
     }
   }

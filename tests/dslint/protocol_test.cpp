@@ -268,4 +268,48 @@ TEST(ProtocolTest, WriteClearsInterleaveWindow) {
   )").empty());
 }
 
+TEST(ProtocolTest, SalvageReadLoopViaOptionsVariableIsClean) {
+  // The canonical salvage loop: read() may consume damage and land at end
+  // of file with no record, so the body bails on !hasRecord() before
+  // extracting. The analyzer must not flag the extraction.
+  EXPECT_TRUE(idsOf(R"(
+    void f(pfs::Pfs& fs, coll::Dist& d, coll::Collection<double>& g) {
+      ds::StreamOptions so;
+      so.salvage = true;
+      ds::IStream in(fs, &d, "x", so);
+      while (!in.atEnd()) {
+        in.read();
+        if (!in.hasRecord()) break;
+        in >> g;
+      }
+      in.close();
+    }
+  )").empty());
+}
+
+TEST(ProtocolTest, SalvageReadLoopViaInlineOptionsIsClean) {
+  EXPECT_TRUE(idsOf(R"(
+    void f(pfs::Pfs& fs, coll::Dist& d, coll::Collection<double>& g) {
+      ds::IStream in(fs, &d, "x", ds::StreamOptions{.salvage = true});
+      in.read();
+      in >> g;
+      in.close();
+    }
+  )").empty());
+}
+
+TEST(ProtocolTest, SalvageDoesNotExcuseExtractBeforeAnyRead) {
+  // Salvage relaxes the state only *after* a read; an extraction with no
+  // read at all is still a definite DS103.
+  EXPECT_EQ(idsOf(R"(
+    void f(pfs::Pfs& fs, coll::Dist& d, coll::Collection<double>& g) {
+      ds::StreamOptions so;
+      so.salvage = true;
+      ds::IStream in(fs, &d, "x", so);
+      in >> g;
+      in.close();
+    }
+  )"), (std::vector<std::string>{"DS103"}));
+}
+
 }  // namespace

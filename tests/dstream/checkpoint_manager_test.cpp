@@ -215,6 +215,158 @@ TEST(CheckpointManager, MultiCollectionEpochViaSaveWith) {
   });
 }
 
+TEST(CheckpointManager, FallsBackTwoEpochsWhenNewestTwoAreDamaged) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  ds::CheckpointOptions opts;
+  opts.keepLast = 3;
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> data(&d);
+    ds::CheckpointManager mgr(fs, opts);
+    for (int e = 0; e < 3; ++e) {
+      fill(data, e);
+      mgr.save(data);
+    }
+  });
+  // Corrupt BOTH the newest and the second-newest epoch.
+  for (const char* name : {"checkpoint.2", "checkpoint.1"}) {
+    fs.corruptByte(name, 200, 0x00);
+    fs.corruptByte(name, 201, 0x00);
+  }
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> back(&d);
+    ds::CheckpointManager mgr(fs, opts);
+    EXPECT_EQ(mgr.restoreLatest(back), 0);
+    EXPECT_EQ(countWrong(back, 0), 0);
+  });
+}
+
+TEST(CheckpointManager, NothingRecoverableIsATypedErrorListingRejects) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> data(&d);
+    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    fill(data, 0);
+    mgr.save(data);
+    fill(data, 1);
+    mgr.save(data);
+  });
+  // 0xFF rather than 0x00: epoch 0's small double values are mostly zero
+  // bytes already, and a no-op "corruption" would leave it restorable.
+  fs.corruptByte("checkpoint.0", 200, 0xFF);
+  fs.corruptByte("checkpoint.0", 201, 0xFF);
+  fs.corruptByte("checkpoint.1", 200, 0xFF);
+  fs.corruptByte("checkpoint.1", 201, 0xFF);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> back(&d);
+    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    // The marker promises a checkpoint; losing every retained epoch must
+    // not masquerade as "no checkpoint exists".
+    try {
+      mgr.restoreLatest(back);
+      ADD_FAILURE() << "expected CheckpointError";
+    } catch (const ds::CheckpointError& e) {
+      EXPECT_EQ(e.rejectedEpochs, (std::vector<std::uint64_t>{1, 0}));
+      EXPECT_NE(std::string(e.what()).find("rejected"), std::string::npos);
+    }
+  });
+}
+
+TEST(CheckpointManager, TornMarkerFallsBackToScanningEpochFiles) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> data(&d);
+    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    fill(data, 0);
+    mgr.save(data);
+    fill(data, 1);
+    mgr.save(data);
+  });
+  // A crash between the marker's truncation and its 8-byte write leaves an
+  // empty marker file; both epoch files are durable.
+  fs.truncateFile("checkpoint.latest", 0);
+  m.run([&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> back(&d);
+    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    EXPECT_EQ(mgr.latestEpoch(node), -1);  // the marker itself is useless
+    EXPECT_EQ(mgr.restoreLatest(back), 1);  // but the epochs are found
+    EXPECT_EQ(countWrong(back, 1), 0);
+  });
+}
+
+TEST(CheckpointManager, LostMarkerAlsoFallsBackToScan) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  m.run([&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> data(&d);
+    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    fill(data, 0);
+    mgr.save(data);
+    fs.remove(node, mgr.markerFileName());
+
+    coll::Collection<double> back(&d);
+    EXPECT_EQ(mgr.restoreLatest(back), 0);
+    EXPECT_EQ(countWrong(back, 0), 0);
+  });
+}
+
+TEST(CheckpointManager, EmptyDirectoryRestoresNothingSilently) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> back(&d);
+    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    EXPECT_EQ(mgr.restoreLatest(back), -1);
+  });
+}
+
+TEST(CheckpointManager, SaveAfterScanRestoreDoesNotCollideWithLeftovers) {
+  pfs::Pfs fs = test::memFs();
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> data(&d);
+    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    fill(data, 0);
+    mgr.save(data);
+    fill(data, 1);
+    mgr.save(data);
+  });
+  // Torn marker + damaged newest epoch: restore falls back to epoch 0 but
+  // epoch 1's file is still on disk; the next save must not reuse its id.
+  fs.truncateFile("checkpoint.latest", 0);
+  fs.corruptByte("checkpoint.1", 200, 0x00);
+  fs.corruptByte("checkpoint.1", 201, 0x00);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> back(&d);
+    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    EXPECT_EQ(mgr.restoreLatest(back), 0);
+    fill(back, 5);
+    EXPECT_EQ(mgr.save(back), 2u);  // numbering resumes past the leftover
+  });
+}
+
 TEST(CheckpointManager, InvalidOptionsRejected) {
   pfs::Pfs fs = test::memFs();
   ds::CheckpointOptions bad;

@@ -39,6 +39,30 @@ class DsdumpCli : public ::testing::Test {
     return {WEXITSTATUS(rc), ss.str()};
   }
 
+  /// Write `records` checksummed records to `name` inside the temp dir.
+  void writeStream(const std::string& name, int records) {
+    pfs::PfsConfig cfg;
+    cfg.backend = pfs::PfsConfig::Backend::Posix;
+    cfg.dir = dir_.string();
+    pfs::Pfs fs(cfg);
+    rt::Machine m(2);
+    m.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(8, &P, coll::DistKind::Block);
+      coll::Collection<double> g(&d);
+      ds::StreamOptions so;
+      so.checksumData = true;
+      ds::OStream s(fs, &d, name, so);
+      for (int r = 0; r < records; ++r) {
+        g.forEachLocal([r](double& v, std::int64_t i) {
+          v = static_cast<double>(r * 10 + i);
+        });
+        s << g;
+        s.write();
+      }
+    });
+  }
+
   std::filesystem::path dir_;
 };
 
@@ -82,6 +106,57 @@ TEST_F(DsdumpCli, FailsCleanlyOnAlienFile) {
   auto [rc, out] = runTool(alien);
   EXPECT_EQ(rc, 1);
   EXPECT_NE(out.find("dsdump:"), std::string::npos) << out;
+}
+
+TEST_F(DsdumpCli, VerifyReportsCleanFilesWithExitZero) {
+  writeStream("ok.ds", 2);
+  auto [rc, out] = runTool("--verify " + (dir_ / "ok.ds").string());
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("clean"), std::string::npos) << out;
+}
+
+TEST_F(DsdumpCli, VerifyFlagsCorruptionWithExitThree) {
+  writeStream("bad.ds", 2);
+  const auto path = dir_ / "bad.ds";
+  // Flip bytes near the end of the file: inside the last record's data.
+  const auto size = std::filesystem::file_size(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size) - 10);
+    f.put('\xff');
+    f.put('\xff');
+  }
+  auto [rc, out] = runTool("--verify " + path.string());
+  EXPECT_EQ(rc, 3) << out;
+  EXPECT_NE(out.find("lost"), std::string::npos) << out;
+}
+
+TEST_F(DsdumpCli, VerifyFlagsTornTailsWithExitThree) {
+  writeStream("torn.ds", 2);
+  const auto path = dir_ / "torn.ds";
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 7);
+  auto [rc, out] = runTool("--verify " + path.string());
+  EXPECT_EQ(rc, 3) << out;
+}
+
+TEST_F(DsdumpCli, RepairTruncatesToTheValidPrefix) {
+  writeStream("fix.ds", 3);
+  const auto path = dir_ / "fix.ds";
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);  // torn tail mid-record-2
+
+  auto [rc, out] = runTool("--repair " + path.string());
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("repaired"), std::string::npos) << out;
+  EXPECT_NE(out.find("2 record(s) kept"), std::string::npos) << out;
+
+  // After repair the file verifies clean and dumps the surviving records.
+  auto [rcv, outv] = runTool("--verify " + path.string());
+  EXPECT_EQ(rcv, 0) << outv;
+  auto [rcd, outd] = runTool(path.string());
+  EXPECT_EQ(rcd, 0) << outd;
+  EXPECT_NE(outd.find("2 record(s)"), std::string::npos) << outd;
 }
 
 TEST_F(DsdumpCli, UsageOnMissingArgument) {

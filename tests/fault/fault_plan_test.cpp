@@ -1,0 +1,176 @@
+// FaultPlan: deterministic fault schedules — clause shapes, filters, the
+// spec-string grammar, seeded replay, and integration as a Pfs fault hook.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/pfs/fault_plan.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+pfs::OpContext makeOp(std::uint64_t opIndex, pfs::OpKind kind,
+                      pfs::OpOutcome* outcome,
+                      const std::string& file = "f") {
+  pfs::OpContext op;
+  op.file = file;
+  op.kind = kind;
+  op.offset = 0;
+  op.bytes = outcome != nullptr ? outcome->completeBytes : 64;
+  op.nodeId = 0;
+  op.opIndex = opIndex;
+  op.outcome = outcome;
+  return op;
+}
+
+TEST(FaultPlan, FailAtOpFiresExactlyOnce) {
+  pfs::FaultPlan plan;
+  plan.failAtOp(3);
+  pfs::OpOutcome out{64, false};
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    out = {64, false};
+    if (i == 3) {
+      EXPECT_THROW(plan.apply(makeOp(i, pfs::OpKind::Write, &out)), IoError);
+    } else {
+      plan.apply(makeOp(i, pfs::OpKind::Write, &out));
+      EXPECT_EQ(out.completeBytes, 64u);
+      EXPECT_FALSE(out.crash);
+    }
+  }
+  EXPECT_EQ(plan.firedCount(), 1u);
+}
+
+TEST(FaultPlan, ShortCompletionLowersOutcome) {
+  pfs::FaultPlan plan;
+  plan.shortCompletionAtOp(5, 16);
+  pfs::OpOutcome out{64, false};
+  plan.apply(makeOp(5, pfs::OpKind::Write, &out));
+  EXPECT_EQ(out.completeBytes, 16u);
+  EXPECT_FALSE(out.crash);
+  // A short clause never raises the grant above the request.
+  pfs::FaultPlan big;
+  big.shortCompletionAtOp(1, 1000);
+  out = {64, false};
+  big.apply(makeOp(1, pfs::OpKind::Write, &out));
+  EXPECT_EQ(out.completeBytes, 64u);
+}
+
+TEST(FaultPlan, CrashAtOpSetsOutcomeOrThrows) {
+  pfs::FaultPlan plan;
+  plan.crashAtOp(2, 8);
+  pfs::OpOutcome out{64, false};
+  plan.apply(makeOp(2, pfs::OpKind::Write, &out));
+  EXPECT_TRUE(out.crash);
+  EXPECT_EQ(out.completeBytes, 8u);
+  // Without an outcome slot (observe-style caller) the crash throws
+  // directly.
+  pfs::FaultPlan plan2;
+  plan2.crashAtOp(2);
+  EXPECT_THROW(plan2.apply(makeOp(2, pfs::OpKind::Write, nullptr)),
+               pfs::CrashInjected);
+}
+
+TEST(FaultPlan, KindAndFileFiltersRestrictTheLastClause) {
+  pfs::FaultPlan plan;
+  plan.failAtOp(1).onlyKind(pfs::OpKind::Read).onlyFile("a");
+  pfs::OpOutcome out{64, false};
+  // Wrong kind, wrong file: no fire.
+  plan.apply(makeOp(1, pfs::OpKind::Write, &out, "a"));
+  plan.apply(makeOp(1, pfs::OpKind::Read, &out, "b"));
+  EXPECT_EQ(plan.firedCount(), 0u);
+  EXPECT_THROW(plan.apply(makeOp(1, pfs::OpKind::Read, &out, "a")), IoError);
+  EXPECT_EQ(plan.firedCount(), 1u);
+}
+
+TEST(FaultPlan, ProbabilisticClauseReplaysWithTheSeed) {
+  // Two plans with the same seed see the same op sequence and fire on the
+  // same ops; no wall-clock is involved anywhere.
+  std::vector<bool> a, b;
+  for (int run = 0; run < 2; ++run) {
+    pfs::FaultPlan plan(1234);
+    plan.failWithProbability(0.3);
+    std::vector<bool>& fired = run == 0 ? a : b;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      pfs::OpOutcome out{64, false};
+      bool f = false;
+      try {
+        plan.apply(makeOp(i, pfs::OpKind::Write, &out));
+      } catch (const IoError&) {
+        f = true;
+      }
+      fired.push_back(f);
+    }
+  }
+  EXPECT_EQ(a, b);
+  const auto count = static_cast<size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(count, 20u);  // ~60 expected at p = 0.3
+  EXPECT_LT(count, 120u);
+}
+
+TEST(FaultPlan, FirstMatchingClauseWins) {
+  pfs::FaultPlan plan;
+  plan.shortCompletionAtOp(4, 8).failAtOp(4);
+  pfs::OpOutcome out{64, false};
+  plan.apply(makeOp(4, pfs::OpKind::Write, &out));  // short, not fail
+  EXPECT_EQ(out.completeBytes, 8u);
+  EXPECT_EQ(plan.firedCount(), 1u);
+}
+
+TEST(FaultPlan, ParsesTheSpecGrammar) {
+  pfs::FaultPlan plan = pfs::FaultPlan::parse("fail@3;crash@9:16");
+  EXPECT_EQ(plan.clauseCount(), 2u);
+  pfs::OpOutcome out{64, false};
+  EXPECT_THROW(plan.apply(makeOp(3, pfs::OpKind::Write, &out)), IoError);
+  out = {64, false};
+  plan.apply(makeOp(9, pfs::OpKind::Write, &out));
+  EXPECT_TRUE(out.crash);
+  EXPECT_EQ(out.completeBytes, 16u);
+
+  pfs::FaultPlan wr = pfs::FaultPlan::parse("write:fail@2;read:short@6:4");
+  pfs::OpOutcome o2{64, false};
+  wr.apply(makeOp(2, pfs::OpKind::Read, &o2));  // write-only clause
+  EXPECT_EQ(wr.firedCount(), 0u);
+  EXPECT_THROW(wr.apply(makeOp(2, pfs::OpKind::Write, &o2)), IoError);
+  o2 = {64, false};
+  wr.apply(makeOp(6, pfs::OpKind::Read, &o2));
+  EXPECT_EQ(o2.completeBytes, 4u);
+
+  pfs::FaultPlan prob = pfs::FaultPlan::parse("fail%0.5", 7);
+  EXPECT_EQ(prob.clauseCount(), 1u);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(pfs::FaultPlan::parse("bogus@1"), UsageError);
+  EXPECT_THROW(pfs::FaultPlan::parse("fail@"), UsageError);
+  EXPECT_THROW(pfs::FaultPlan::parse("fail@x"), UsageError);
+  EXPECT_THROW(pfs::FaultPlan::parse("fail%1.5"), UsageError);
+  EXPECT_THROW(pfs::FaultPlan::parse("short@3"), UsageError);
+  EXPECT_THROW(pfs::FaultPlan::parse(""), UsageError);
+}
+
+TEST(FaultPlan, WorksAsAPfsFaultHook) {
+  pfs::Pfs fs = test::memFs();
+  test::runSpmd(1, [&](rt::Node& node) {
+    auto f = fs.open(node, "t.bin", pfs::OpenMode::Create);
+    const ByteBuffer data(32, Byte{0xAB});
+    f->writeAt(node, 0, data);
+
+    pfs::FaultPlan plan;
+    plan.failAtOp(fs.opCount()).onlyKind(pfs::OpKind::Write);
+    fs.setFaultHook(plan.hook());
+    EXPECT_THROW(f->writeAt(node, 0, data), IoError);
+    fs.setFaultHook(nullptr);
+    EXPECT_EQ(plan.firedCount(), 1u);
+
+    // The failed op applied nothing; the file still reads back clean.
+    ByteBuffer back(32);
+    EXPECT_EQ(f->readAt(node, 0, back), 32u);
+    EXPECT_EQ(back, data);
+  });
+}
+
+}  // namespace
