@@ -23,3 +23,4 @@ pcxx_add_bench(ablation_interleave)
 pcxx_add_bench(ablation_stripe_sweep)
 pcxx_add_bench(micro_benchmarks)
 pcxx_add_bench(ablation_checksum)
+pcxx_add_bench(ablation_overlap)

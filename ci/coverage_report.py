@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage for the library sources (src/**).
+
+Usage: coverage_report.py <build-dir> [--threshold-file ci/coverage_threshold.txt]
+
+Walks the build tree for .gcda files (written by the instrumented test
+binaries; see PCXX_COVERAGE in the top-level CMakeLists), runs `gcov -n`
+per object directory, and parses the
+
+    File '<path>'
+    Lines executed:<pct>% of <total>
+
+pairs. Only files under the repository's src/ directory count; tests,
+examples, and system/third-party headers are excluded. When one source is
+exercised from several translation units the best-covered report wins (a
+header constexpr helper unused by one TU should not dilute the number).
+
+Exits 1 when total line coverage falls below the checked-in threshold, so
+the CI coverage leg catches regressions. Uses only the Python standard
+library.
+"""
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+FILE_RE = re.compile(r"^File '(.*)'$")
+LINES_RE = re.compile(r"^Lines executed:([0-9.]+)% of (\d+)$")
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for f in files:
+            if f.endswith(".gcda"):
+                yield os.path.join(root, f)
+
+
+def parse_gcov_output(text, repo_src, best):
+    """Fold `gcov -n` stdout into best: path -> (covered_lines, total_lines)."""
+    current = None
+    for line in text.splitlines():
+        m = FILE_RE.match(line.strip())
+        if m:
+            path = os.path.realpath(m.group(1))
+            current = path if path.startswith(repo_src + os.sep) else None
+            continue
+        m = LINES_RE.match(line.strip())
+        if m and current is not None:
+            pct, total = float(m.group(1)), int(m.group(2))
+            covered = int(round(pct / 100.0 * total))
+            prev = best.get(current)
+            if prev is None or covered > prev[0]:
+                best[current] = (covered, total)
+            current = None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument("--threshold-file", default=None,
+                    help="file holding the minimum total line coverage in %%")
+    ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    args = ap.parse_args()
+
+    repo_root = os.path.realpath(os.path.join(os.path.dirname(__file__), ".."))
+    repo_src = os.path.join(repo_root, "src")
+    build_dir = os.path.realpath(args.build_dir)
+
+    # Group the data files by object directory: one gcov run per directory
+    # keeps the invocation count (and wall time) reasonable.
+    by_dir = {}
+    for gcda in find_gcda(build_dir):
+        by_dir.setdefault(os.path.dirname(gcda), []).append(gcda)
+    if not by_dir:
+        print("coverage_report: no .gcda files under", build_dir,
+              "(build with -DPCXX_COVERAGE=ON and run the tests first)",
+              file=sys.stderr)
+        return 1
+
+    best = {}
+    for objdir, gcdas in sorted(by_dir.items()):
+        proc = subprocess.run(
+            [args.gcov, "-n", "-o", objdir] + sorted(gcdas),
+            capture_output=True, text=True, cwd=build_dir, check=False)
+        parse_gcov_output(proc.stdout, repo_src, best)
+
+    if not best:
+        print("coverage_report: gcov reported no src/ files", file=sys.stderr)
+        return 1
+
+    covered = sum(c for c, _t in best.values())
+    total = sum(t for _c, t in best.values())
+    overall = 100.0 * covered / total if total else 0.0
+
+    width = max(len(os.path.relpath(p, repo_root)) for p in best)
+    for path in sorted(best):
+        c, t = best[path]
+        print("%-*s %7.2f%%  (%d/%d lines)"
+              % (width, os.path.relpath(path, repo_root),
+                 100.0 * c / t if t else 0.0, c, t))
+    print("-" * (width + 30))
+    print("%-*s %7.2f%%  (%d/%d lines)" % (width, "TOTAL", overall,
+                                           covered, total))
+
+    if args.threshold_file:
+        with open(args.threshold_file) as f:
+            threshold = float(f.read().strip())
+        if overall < threshold:
+            print("coverage_report: total %.2f%% is below the %.2f%% "
+                  "threshold (%s)" % (overall, threshold, args.threshold_file),
+                  file=sys.stderr)
+            return 1
+        print("coverage_report: total %.2f%% meets the %.2f%% threshold"
+              % (overall, threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,17 +5,21 @@
 #   ci/run_ci.sh asan        AddressSanitizer + UBSan (PCXX_SANITIZE=ON)
 #   ci/run_ci.sh tsan        ThreadSanitizer         (PCXX_TSAN=ON)
 #   ci/run_ci.sh obs-off     instrumentation compiled out (PCXX_OBS=OFF)
+#   ci/run_ci.sh aio-off     overlap pipelines compiled out (PCXX_AIO=OFF)
 #   ci/run_ci.sh fault       ASan build, fault-tolerance suite only
-#   ci/run_ci.sh all         the five above, sequentially
+#   ci/run_ci.sh coverage    gcov-instrumented build + line-coverage gate
+#   ci/run_ci.sh all         all of the above, sequentially
 #
 # Each configuration builds into build-ci-<name>/, runs the full ctest
 # suite, and (default config only) runs the dslint lint target so protocol
 # or symmetry regressions in client code fail CI. Sanitizer configurations
 # are separate build trees because PCXX_SANITIZE and PCXX_TSAN are
-# mutually exclusive at configure time. The fault leg reuses the asan
-# build tree and re-runs just the fault/recovery tests (fault plans,
-# retry/backoff, crash-point sweep, salvage, checkpoint fallback, dsdump
-# verify/repair) so their failures surface as their own CI row.
+# mutually exclusive at configure time. Test suites carry ctest labels
+# (unit | fault | stress | roundtrip; see tests/CMakeLists.txt), so legs
+# select by label: the fault leg reuses the asan build tree and re-runs
+# `ctest -L fault` as its own CI row. The coverage leg builds with
+# PCXX_COVERAGE=ON, runs the tests, and gates total src/ line coverage
+# (ci/coverage_report.py) against the checked-in ci/coverage_threshold.txt.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -39,7 +43,7 @@ run_config() {
 }
 
 # Fault-tolerance leg: build under ASan (heap misuse in recovery paths is
-# the realistic failure mode) and run only the fault/recovery tests.
+# the realistic failure mode) and run only the fault-labeled suites.
 run_fault() {
   local build_dir="${repo_root}/build-ci-asan"
   echo "=== [fault] configure ==="
@@ -48,26 +52,46 @@ run_fault() {
   echo "=== [fault] build ==="
   cmake --build "${build_dir}" -j "${jobs}"
   echo "=== [fault] test ==="
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'FaultPlan|RetryPolicy|CrashSweep|FaultHookConcurrency|Salvage|CheckpointManager|DsdumpCli|Fault'
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L fault
   echo "=== [fault] OK ==="
 }
 
+# Coverage leg: Debug-ish gcov instrumentation, full test run, then the
+# aggregate line-coverage gate over src/.
+run_coverage() {
+  local build_dir="${repo_root}/build-ci-coverage"
+  echo "=== [coverage] configure ==="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug -DPCXX_COVERAGE=ON
+  echo "=== [coverage] build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== [coverage] test ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  echo "=== [coverage] report ==="
+  python3 "${repo_root}/ci/coverage_report.py" "${build_dir}" \
+    --threshold-file "${repo_root}/ci/coverage_threshold.txt"
+  echo "=== [coverage] OK ==="
+}
+
 case "${1:-all}" in
-  default) run_config default ;;
-  asan)    run_config asan -DPCXX_SANITIZE=ON ;;
-  tsan)    run_config tsan -DPCXX_TSAN=ON ;;
-  obs-off) run_config obs-off -DPCXX_OBS=OFF ;;
-  fault)   run_fault ;;
+  default)  run_config default ;;
+  asan)     run_config asan -DPCXX_SANITIZE=ON ;;
+  tsan)     run_config tsan -DPCXX_TSAN=ON ;;
+  obs-off)  run_config obs-off -DPCXX_OBS=OFF ;;
+  aio-off)  run_config aio-off -DPCXX_AIO=OFF ;;
+  fault)    run_fault ;;
+  coverage) run_coverage ;;
   all)
     run_config default
     run_config asan -DPCXX_SANITIZE=ON
     run_config tsan -DPCXX_TSAN=ON
     run_config obs-off -DPCXX_OBS=OFF
+    run_config aio-off -DPCXX_AIO=OFF
     run_fault
+    run_coverage
     ;;
   *)
-    echo "usage: $0 [default|asan|tsan|obs-off|fault|all]" >&2
+    echo "usage: $0 [default|asan|tsan|obs-off|aio-off|fault|coverage|all]" >&2
     exit 2
     ;;
 esac

@@ -85,11 +85,16 @@ std::uint64_t CheckpointManager::saveWith(
   StreamOptions so;
   so.checksumData = options_.checksumData;
   so.syncOnWrite = options_.syncOnWrite;
+  so.aioQueueDepth = options_.aioQueueDepth;
   {
     OStream s(*fs_, &layout.distribution(), &layout.align(),
               epochFileName(epoch), so);
     writer(s);
     s.write();
+    // Explicit close: drains the write-behind queue, so a background flush
+    // failure throws here — not from the destructor — and the marker below
+    // never moves to a torn epoch.
+    s.close();
   }
   // Only after the epoch file is durable does the marker move; a crash
   // before this line leaves the previous epoch authoritative.
@@ -132,7 +137,10 @@ bool CheckpointManager::tryRestore(
     // Remaining failure modes (data checksum mismatch) throw consistently
     // on every node, so catching here keeps the machine healthy.
     f->seekShared(node, kFileHeaderBytes);
-    IStream s(*fs_, f, coll::Layout(layout.distribution(), layout.align()));
+    StreamOptions ro;
+    ro.aioPrefetchDepth = options_.aioPrefetchDepth;
+    IStream s(*fs_, f, coll::Layout(layout.distribution(), layout.align()),
+              ro);
     s.read();
     reader(s);
     return true;

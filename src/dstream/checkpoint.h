@@ -50,6 +50,14 @@ struct CheckpointOptions {
   int keepLast = 2;
   bool checksumData = true;
   bool syncOnWrite = true;
+  /// Write-behind queue depth for epoch writes (StreamOptions::aioQueueDepth;
+  /// 0 = synchronous). The marker-after-durable discipline is preserved:
+  /// save() drains the queue and observes any flush failure BEFORE the
+  /// marker moves, so a crash inside a background flush leaves the previous
+  /// epoch authoritative.
+  int aioQueueDepth = 0;
+  /// Read-ahead depth for restores (StreamOptions::aioPrefetchDepth).
+  int aioPrefetchDepth = 0;
 };
 
 class CheckpointManager {

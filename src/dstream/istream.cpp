@@ -45,6 +45,7 @@ IStream::IStream(pfs::Pfs& fs, pfs::ParallelFilePtr file, coll::Layout layout,
       opts_(opts),
       localCount_(layout_.localCount(node_->id())) {
   PCXX_REQUIRE(file_ != nullptr, "IStream requires an open file");
+  setupPrefetch();
 }
 
 void IStream::openFile(const std::string& fileName) {
@@ -58,15 +59,18 @@ void IStream::openFile(const std::string& fileName) {
   node_->broadcastBytes(0, hdr);
   verifyFileHeader(hdr);
   file_->seekShared(*node_, kFileHeaderBytes);
+  setupPrefetch();
 }
 
 IStream::~IStream() {
   state_ = State::Closed;
+  prefetcher_.reset();  // before file_: the plan holds a file reference
   file_.reset();
 }
 
 void IStream::close() {
   state_ = State::Closed;
+  prefetcher_.reset();  // before file_: the plan holds a file reference
   file_.reset();
 }
 
@@ -77,6 +81,7 @@ void IStream::rewind() {
   file_->seekShared(*node_, kFileHeaderBytes);
   record_.reset();
   state_ = State::Ready;
+  restartPrefetch();
 }
 
 bool IStream::atEnd() const {
@@ -159,6 +164,7 @@ RecordHeader IStream::skipRecord() {
   // read -> read, and skip is a cheaper read).
   record_.reset();
   state_ = State::Ready;
+  restartPrefetch();
   return header;
 }
 
@@ -175,7 +181,11 @@ void IStream::readRecord(bool sorted) {
       state_ = State::Ready;
       return;
     }
-    if (readRecordOnce(sorted)) return;
+    const bool got = readRecordOnce(sorted);
+    // A prefetch miss (or a salvage skip) parks the read-ahead chain;
+    // re-aim it at the new shared cursor before the next record.
+    if (prefetcher_ != nullptr && !prefetchLive_) restartPrefetch();
+    if (got) return;
     // A damaged record was skipped; the cursor sits past the damage.
   }
 }
@@ -191,6 +201,14 @@ bool IStream::skipDamage(std::uint64_t from, std::uint64_t to,
 }
 
 bool IStream::readRecordOnce(bool sorted) {
+  // ---- read-ahead fast path ------------------------------------------------
+  if (prefetcher_ != nullptr) {
+    const int got = tryPrefetched(sorted);
+    if (got >= 0) return got != 0;
+    // Miss: fall through to the synchronous path, which owns all error and
+    // salvage semantics.
+  }
+
   // ---- record header (node 0 reads, then broadcast) -----------------------
   const std::uint64_t recordStart = file_->sharedOffset();
   ByteBuffer headerBytes;
@@ -286,39 +304,54 @@ bool IStream::readRecordOnce(bool sorted) {
   file_->readOrdered(*node_, chunk);
 
   // ---- optional data checksum trailer ---------------------------------------
-  if (header.hasDataCrc()) {
-    const auto crcs = node_->allgatherU64(crc32(chunk));
-    const auto lens = node_->allgatherU64(myChunkBytes);
-    std::uint32_t dataCrc = 0;
-    for (int i = 0; i < node_->nprocs(); ++i) {
-      dataCrc = crc32Combine(dataCrc,
-                             static_cast<std::uint32_t>(
-                                 crcs[static_cast<size_t>(i)]),
-                             lens[static_cast<size_t>(i)]);
-    }
-    const std::uint64_t trailerAt = file_->sharedOffset();
-    ByteBuffer trailer(4);
-    if (node_->id() == 0) {
-      if (file_->readAt(*node_, trailerAt, trailer) != 4) trailer.clear();
-    }
-    node_->broadcastBytes(0, trailer);
-    if (trailer.size() != 4) {
-      if (opts_.salvage) {
-        return skipDamage(recordStart, file_->size(),
-                          "data checksum trailer missing (torn tail)");
-      }
-      throw FormatError("record data checksum trailer missing (truncated?)");
-    }
-    if (decodeU32(trailer.data()) != dataCrc) {
-      if (opts_.salvage) {
-        return skipDamage(recordStart, recordEnd, "data checksum mismatch");
-      }
-      throw FormatError(
-          "record data checksum mismatch: the element data was corrupted");
-    }
-    file_->seekShared(*node_, trailerAt + 4);
+  if (!checkTrailer(header, chunk, myChunkBytes, recordStart, recordEnd)) {
+    return false;
   }
 
+  return finishRecord(sorted, std::move(header), std::move(chunk),
+                      std::move(chunkSizes));
+}
+
+bool IStream::checkTrailer(const RecordHeader& header, const ByteBuffer& chunk,
+                           std::uint64_t myChunkBytes,
+                           std::uint64_t recordStart,
+                           std::uint64_t recordEnd) {
+  if (!header.hasDataCrc()) return true;
+  const auto crcs = node_->allgatherU64(crc32(chunk));
+  const auto lens = node_->allgatherU64(myChunkBytes);
+  std::uint32_t dataCrc = 0;
+  for (int i = 0; i < node_->nprocs(); ++i) {
+    dataCrc = crc32Combine(dataCrc,
+                           static_cast<std::uint32_t>(
+                               crcs[static_cast<size_t>(i)]),
+                           lens[static_cast<size_t>(i)]);
+  }
+  const std::uint64_t trailerAt = file_->sharedOffset();
+  ByteBuffer trailer(4);
+  if (node_->id() == 0) {
+    if (file_->readAt(*node_, trailerAt, trailer) != 4) trailer.clear();
+  }
+  node_->broadcastBytes(0, trailer);
+  if (trailer.size() != 4) {
+    if (opts_.salvage) {
+      return skipDamage(recordStart, file_->size(),
+                        "data checksum trailer missing (torn tail)");
+    }
+    throw FormatError("record data checksum trailer missing (truncated?)");
+  }
+  if (decodeU32(trailer.data()) != dataCrc) {
+    if (opts_.salvage) {
+      return skipDamage(recordStart, recordEnd, "data checksum mismatch");
+    }
+    throw FormatError(
+        "record data checksum mismatch: the element data was corrupted");
+  }
+  file_->seekShared(*node_, trailerAt + 4);
+  return true;
+}
+
+bool IStream::finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
+                           std::vector<std::uint64_t> chunkSizes) {
   const bool sameLayout = header.layout == layout_;
   if (!sorted || sameLayout) {
     // unsortedRead, or a sorted read where nothing moved: phase-1 data is
@@ -430,6 +463,201 @@ bool IStream::readRecordOnce(bool sorted) {
     PCXX_OBS_COUNT(node_->obs(), DsUnsortedReads, 1);
   }
   return true;
+}
+
+void IStream::setupPrefetch() {
+#if PCXX_AIO_ENABLED
+  if (opts_.aioPrefetchDepth <= 0) return;
+  // The plan runs on the prefetch thread: thread-safe pfs entry points and
+  // pure decoding only, never a Node. Everything it needs is captured by
+  // value. Anything the synchronous path would reject or salvage makes the
+  // plan return false — a miss — so the node thread keeps ownership of all
+  // error and salvage semantics.
+  pfs::ParallelFilePtr file = file_;
+  const int nodeId = node_->id();
+  const std::int64_t localCount = localCount_;
+  std::int64_t chunkStartElems = 0;
+  for (int r = 0; r < nodeId; ++r) chunkStartElems += layout_.localCount(r);
+  const std::int64_t layoutSize = layout_.size();
+  auto plan = [file, nodeId, localCount, chunkStartElems, layoutSize](
+                  std::uint64_t offset, aio::PrefetchedRecord& out,
+                  pfs::BgIoStats& stats) -> bool {
+    Byte prefix[8];
+    if (file->readAtBackground(nodeId, offset, prefix, stats) != 8) {
+      return false;
+    }
+    std::uint64_t hdrLen = 0;
+    try {
+      hdrLen = RecordHeader::encodedLength(prefix);
+    } catch (const FormatError&) {
+      return false;
+    }
+    out.headerBytes.resize(static_cast<size_t>(hdrLen));
+    if (file->readAtBackground(nodeId, offset, out.headerBytes, stats) !=
+        hdrLen) {
+      return false;
+    }
+    std::optional<RecordHeader> hdr;
+    try {
+      hdr = RecordHeader::decode(out.headerBytes);
+    } catch (const FormatError&) {
+      return false;
+    }
+    if (hdr->elementCount() != layoutSize) return false;
+    const std::uint64_t tableAt = offset + hdrLen;
+    const std::uint64_t tableBytes = hdr->sizeTableBytes();
+    const std::uint64_t recordEnd =
+        tableAt + tableBytes + hdr->dataBytes + hdr->trailerBytes();
+    if (recordEnd > file->size()) return false;
+    // A node cannot locate its phase-1 block without every preceding
+    // node's chunk size, so the plan fetches the whole size table (there
+    // are no collectives off the node thread).
+    ByteBuffer table(static_cast<size_t>(tableBytes));
+    if (file->readAtBackground(nodeId, tableAt, table, stats) != tableBytes) {
+      return false;
+    }
+    std::uint64_t before = 0;
+    std::uint64_t mine = 0;
+    std::uint64_t all = 0;
+    const std::int64_t total = hdr->elementCount();
+    for (std::int64_t j = 0; j < total; ++j) {
+      const std::uint64_t sz =
+          decodeU64(table.data() + 8 * static_cast<size_t>(j));
+      if (j < chunkStartElems) {
+        before += sz;
+      } else if (j < chunkStartElems + localCount) {
+        mine += sz;
+      }
+      all += sz;
+    }
+    if (all != hdr->dataBytes) return false;  // damaged size table
+    out.dataChunk.resize(static_cast<size_t>(mine));
+    if (mine > 0 &&
+        file->readAtBackground(nodeId, tableAt + tableBytes + before,
+                               out.dataChunk, stats) != mine) {
+      return false;
+    }
+    const auto sliceFrom =
+        table.begin() + static_cast<std::ptrdiff_t>(8 * chunkStartElems);
+    out.sizeChunk.assign(
+        sliceFrom, sliceFrom + static_cast<std::ptrdiff_t>(8 * localCount));
+    out.start = offset;
+    out.next = recordEnd;
+    out.bytesRead = 8 + hdrLen + tableBytes + mine;
+    out.readOps = mine > 0 ? 4 : 3;
+    return true;
+  };
+  aio::Prefetcher::Options po;
+  po.depth = opts_.aioPrefetchDepth;
+  po.waitDeadlineSeconds = opts_.aioDrainDeadlineSeconds;
+  prefetcher_ =
+      std::make_unique<aio::Prefetcher>(node_->machine(), std::move(plan), po);
+  restartPrefetch();
+#endif
+}
+
+void IStream::restartPrefetch() {
+  if (prefetcher_ == nullptr) return;
+  prefetcher_->start(file_->sharedOffset());
+  prefetchLive_ = true;
+  prefetchEpoch_ = node_->clock().now();
+  prefetchPrevReady_ = prefetchEpoch_;
+  prefetchConsumedAt_.clear();
+}
+
+int IStream::tryPrefetched(bool sorted) {
+  const std::uint64_t recordStart = file_->sharedOffset();
+  std::optional<aio::PrefetchedRecord> rec;
+  if (prefetchLive_) rec = prefetcher_->consume(recordStart);
+  // Background accounting accrues whether or not the record is usable.
+  const pfs::BgIoStats bg = prefetcher_->takeStatsDelta();
+  PCXX_OBS_COUNT(node_->obs(), PfsRetries, bg.retries);
+  PCXX_OBS_COUNT(node_->obs(), PfsGiveUps, bg.giveUps);
+  PCXX_OBS_SECONDS(node_->obs(), PfsBackoffSeconds, bg.backoffSeconds);
+  PCXX_OBS_COUNT(node_->obs(), AioBgReadBytes, bg.bytesRead);
+#if !PCXX_OBS_ENABLED
+  (void)bg;
+#endif
+
+  // The collective reads below must be entered by every node together, so
+  // the fast path is all-or-nothing: one miss anywhere makes this record
+  // synchronous everywhere.
+  const std::uint64_t myHit = rec.has_value() ? 1 : 0;
+  if (node_->allreduceSumU64(myHit) !=
+      static_cast<std::uint64_t>(node_->nprocs())) {
+    prefetchLive_ = false;  // readRecord re-aims the chain after the record
+    PCXX_OBS_COUNT(node_->obs(), AioPrefetchMisses, 1);
+    return -1;
+  }
+
+  aio::PrefetchedRecord r = std::move(*rec);
+  // Modeled fetch timeline, maintained on the node thread so the simulated
+  // overlap is independent of real scheduling: fetch k starts once fetch
+  // k-1 finished AND its slot was free (record k-depth consumed); the
+  // reader stalls only until this fetch's modeled completion.
+  rt::VirtualClock& clock = node_->clock();
+  const double fetchSeconds = fs_->model().backgroundOpSeconds(
+      node_->nprocs(), r.readOps, r.bytesRead, file_->size(),
+      /*isWrite=*/false);
+  const size_t idx = prefetchConsumedAt_.size();
+  const size_t depth = static_cast<size_t>(opts_.aioPrefetchDepth);
+  const double gate =
+      idx < depth ? prefetchEpoch_ : prefetchConsumedAt_[idx - depth];
+  const double fetchStart = std::max(prefetchPrevReady_, gate);
+  const double ready = fetchStart + fetchSeconds;
+  prefetchPrevReady_ = ready;
+  if (ready > clock.now()) {
+    PCXX_OBS_SECONDS(node_->obs(), AioStallSeconds, ready - clock.now());
+    clock.syncTo(ready);
+  }
+  prefetchConsumedAt_.push_back(clock.now());
+#if PCXX_OBS_ENABLED
+  {
+    obs::NodeObs* o = node_->obs();
+    if (o != nullptr && o->trace != nullptr && !o->wallTime) {
+      const int track = o->trace->prefetchTrack(o->nodeId);
+      o->trace->begin(track, "aio.prefetch", fetchStart);
+      o->trace->end(track, "aio.prefetch", ready);
+    }
+  }
+#endif
+  PCXX_OBS_COUNT(node_->obs(), AioPrefetchHits, 1);
+
+  // The plan decoded these exact bytes, so this cannot throw; every node
+  // holds an identical copy (no broadcast needed).
+  RecordHeader header = RecordHeader::decode(r.headerBytes);
+  PCXX_OBS_COUNT(node_->obs(), DsHeaderDecodes, 1);
+
+  std::vector<std::uint64_t> chunkSizes(static_cast<size_t>(localCount_));
+  std::uint64_t myChunkBytes = 0;
+  for (std::int64_t j = 0; j < localCount_; ++j) {
+    chunkSizes[static_cast<size_t>(j)] =
+        decodeU64(r.sizeChunk.data() + 8 * static_cast<size_t>(j));
+    myChunkBytes += chunkSizes[static_cast<size_t>(j)];
+  }
+  if (opts_.salvage) {
+    // Mirror the synchronous path's collective cross-check (the plan
+    // already validated the table against the header, so this passes on
+    // every node that voted hit).
+    const std::uint64_t tableSum = node_->allreduceSumU64(myChunkBytes);
+    if (tableSum != header.dataBytes) {
+      skipDamage(recordStart, r.next,
+                 "size table inconsistent with record header");
+      restartPrefetch();
+      return 0;
+    }
+  }
+  // The chunks were fetched positionally; advance the shared cursor past
+  // the data section (collective) so the stream sits exactly where the
+  // synchronous path would before its trailer check.
+  file_->seekShared(*node_, r.next - header.trailerBytes());
+  if (!checkTrailer(header, r.dataChunk, myChunkBytes, recordStart, r.next)) {
+    restartPrefetch();
+    return 0;
+  }
+  finishRecord(sorted, std::move(header), std::move(r.dataChunk),
+               std::move(chunkSizes));
+  return 1;
 }
 
 }  // namespace pcxx::ds

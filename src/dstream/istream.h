@@ -18,10 +18,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "aio/aio.h"
 #include "collection/collection.h"
 #include "dstream/element_io.h"
 #include "dstream/record.h"
@@ -123,15 +125,34 @@ class IStream {
   /// damaged byte ranges). Meaningful once StreamOptions::salvage is set.
   const SalvageReport& salvageReport() const { return salvage_; }
 
+  /// True when read-ahead prefetch is active for this stream.
+  bool asyncActive() const { return prefetcher_ != nullptr; }
+
  private:
   enum class State { Ready, Extracting, Closed };
 
   void openFile(const std::string& fileName);
+  void setupPrefetch();
+  /// (Re)point the read-ahead chain at the shared cursor.
+  void restartPrefetch();
   void readRecord(bool sorted);
   /// One record-read attempt. True: a record is ready for extraction.
   /// False (salvage mode only): damage was skipped — the shared cursor has
   /// advanced past it and the caller should retry or stop at end of file.
   bool readRecordOnce(bool sorted);
+  /// Consume a prefetched record if every node has it. Returns 1 (record
+  /// ready), 0 (salvage skipped damage), or -1 (miss — take the
+  /// synchronous path). Collective.
+  int tryPrefetched(bool sorted);
+  /// Verify the optional CRC trailer and advance past it. True when valid
+  /// or absent; false when salvage mode skipped the record.
+  bool checkTrailer(const RecordHeader& header, const ByteBuffer& chunk,
+                    std::uint64_t myChunkBytes, std::uint64_t recordStart,
+                    std::uint64_t recordEnd);
+  /// Common tail of a record read: redistribution (or in-place placement),
+  /// bookkeeping, and the transition to Extracting. Always returns true.
+  bool finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
+                    std::vector<std::uint64_t> chunkSizes);
   /// Record damage [from, to) in the salvage report and advance past it.
   bool skipDamage(std::uint64_t from, std::uint64_t to, const char* reason);
   void checkExtract(const coll::Layout& collectionLayout, std::uint32_t tag,
@@ -162,6 +183,16 @@ class IStream {
   std::vector<std::uint64_t> elemSizes_;
   std::vector<std::uint64_t> extractCursors_;
   size_t nextExtract_ = 0;
+
+  // Read-ahead state (null prefetcher_ = synchronous path). The modeled
+  // fetch timeline is maintained here on the node thread — fetch k starts
+  // when fetch k-1 finished AND slot capacity freed (record k-depth was
+  // consumed) — so simulated results are independent of real scheduling.
+  std::unique_ptr<aio::Prefetcher> prefetcher_;
+  bool prefetchLive_ = false;
+  double prefetchEpoch_ = 0.0;      ///< modeled time the chain started
+  double prefetchPrevReady_ = 0.0;  ///< modeled end of the previous fetch
+  std::vector<double> prefetchConsumedAt_;  ///< consume time per chain slot
 };
 
 }  // namespace pcxx::ds

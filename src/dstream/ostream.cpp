@@ -44,6 +44,18 @@ OStream::OStream(pfs::Pfs& fs, pfs::ParallelFilePtr file, coll::Layout layout,
       localCount_(layout_.localCount(node_->id())) {
   PCXX_REQUIRE(file_ != nullptr, "OStream requires an open file");
   pending_.resize(static_cast<size_t>(localCount_));
+  setupAsync();
+}
+
+void OStream::setupAsync() {
+#if PCXX_AIO_ENABLED
+  if (opts_.aioQueueDepth <= 0) return;
+  aio::Writer::Options wo;
+  wo.queueDepth = opts_.aioQueueDepth;
+  wo.poolBuffers = opts_.aioPoolBuffers;
+  wo.drainDeadlineSeconds = opts_.aioDrainDeadlineSeconds;
+  writer_ = std::make_unique<aio::Writer>(*node_, file_, wo);
+#endif
 }
 
 void OStream::openFile(const std::string& fileName) {
@@ -62,6 +74,7 @@ void OStream::openFile(const std::string& fileName) {
     node_->broadcastBytes(0, hdr);
     verifyFileHeader(hdr);
     file_->seekShared(*node_, file_->size());
+    setupAsync();
     return;
   }
   file_ = fs_->open(*node_, fileName, pfs::OpenMode::Create);
@@ -70,6 +83,7 @@ void OStream::openFile(const std::string& fileName) {
     file_->writeAt(*node_, 0, hdr);
   }
   file_->seekShared(*node_, kFileHeaderBytes);
+  setupAsync();
 }
 
 OStream::~OStream() {
@@ -80,6 +94,13 @@ OStream::~OStream() {
         file_ != nullptr ? file_->name().c_str() : "?");
   }
   state_ = State::Closed;
+  if (writer_ != nullptr && writer_->failed()) {
+    PCXX_LOG_WARN(
+        "OStream('%s') destroyed with an unobserved write-behind failure; "
+        "the file keeps its durable prefix (call close() to observe errors)",
+        file_ != nullptr ? file_->name().c_str() : "?");
+  }
+  writer_.reset();  // best-effort flush of queued blocks; never throws
   file_.reset();
 }
 
@@ -90,6 +111,18 @@ void OStream::close() {
         "close(): stream has pending inserts; call write() first");
   }
   state_ = State::Closed;
+  if (writer_ != nullptr) {
+    // Drain before releasing the file: a failed background flush must
+    // surface here as its typed error, not vanish with the stream.
+    try {
+      writer_->drain();
+    } catch (...) {
+      writer_.reset();
+      file_.reset();
+      throw;
+    }
+    writer_.reset();
+  }
   file_.reset();
 }
 
@@ -138,13 +171,17 @@ void OStream::write() {
   if (state_ != State::Inserting) {
     throw StateError("write() requires at least one insert (Figure 2)");
   }
+  if (writer_ != nullptr) writer_->rethrowPending();
   PCXX_OBS_PHASE(node_->obs(), "ds.write", DsWriteSeconds);
 
   // Step 0: traverse the pointer lists — per-element sizes and the packed
-  // local data buffer (the "per-node buffer" of Figure 4).
+  // local data buffer (the "per-node buffer" of Figure 4). In async mode
+  // the data is packed straight into a recycled staging buffer, so the
+  // steady state allocates nothing.
   std::uint64_t localBytes = 0;
   ByteBuffer sizeTableLocal;
-  ByteBuffer data;
+  ByteBuffer data =
+      writer_ != nullptr ? writer_->acquireBuffer() : ByteBuffer{};
   {
     PCXX_OBS_PHASE(node_->obs(), "ds.bufferFill", DsBufferFillSeconds);
     sizeTableLocal.reserve(static_cast<size_t>(localCount_) * 8);
@@ -202,6 +239,11 @@ void OStream::write() {
   PCXX_OBS_COUNT(node_->obs(), DsHeaderEncodes, 1);
   PCXX_OBS_COUNT(node_->obs(), DsHeaderBytes, headerBytes.size());
 
+  // syncOnWrite in async mode rides the last background job of the record
+  // (the flusher syncs storage after that block lands) instead of the
+  // collective sync(); see docs/ASYNC.md for the durability ordering.
+  const bool syncViaFlusher = writer_ != nullptr && opts_.syncOnWrite;
+
   if (mode == HeaderMode::Parallel) {
     // Node 0 writes the header; the size table and data go out as two
     // parallel node-order writes.
@@ -210,15 +252,32 @@ void OStream::write() {
       file_->writeAt(*node_, recordStart, headerBytes);
     }
     file_->seekShared(*node_, recordStart + headerBytes.size());
-    file_->writeOrdered(*node_, sizeTableLocal);
-    file_->writeOrdered(*node_, data);
+    if (writer_ != nullptr) {
+      // Async: the collective reservations advance the shared cursor (and
+      // all node-order bookkeeping) exactly like writeOrdered, but the
+      // blocks themselves travel via the write-behind flusher.
+      const pfs::OrderedReservation tableRes =
+          file_->reserveOrdered(*node_, sizeTableLocal.size());
+      ByteBuffer tableBuf = writer_->acquireBuffer();
+      tableBuf.assign(sizeTableLocal.begin(), sizeTableLocal.end());
+      writer_->submit(tableRes.offset, std::move(tableBuf),
+                      tableRes.transferSeconds);
+      const pfs::OrderedReservation dataRes =
+          file_->reserveOrdered(*node_, data.size());
+      writer_->submit(dataRes.offset, std::move(data),
+                      dataRes.transferSeconds, syncViaFlusher);
+    } else {
+      file_->writeOrdered(*node_, sizeTableLocal);
+      file_->writeOrdered(*node_, data);
+    }
   } else {
     // Gathered: the size table is collected to node 0 and written at the
     // head of node 0's block, together with the header and node 0's data —
     // one parallel write total (the paper's small-collection optimization).
     auto gathered = node_->gatherBytes(0, sizeTableLocal);
+    ByteBuffer block;
     if (node_->id() == 0) {
-      ByteBuffer block;
+      if (writer_ != nullptr) block = writer_->acquireBuffer();
       block.reserve(headerBytes.size() +
                     static_cast<size_t>(header.sizeTableBytes()) +
                     data.size());
@@ -227,9 +286,18 @@ void OStream::write() {
         block.insert(block.end(), part.begin(), part.end());
       }
       block.insert(block.end(), data.begin(), data.end());
-      file_->writeOrdered(*node_, block);
+    }
+    ByteBuffer& myBlock = node_->id() == 0 ? block : data;
+    if (writer_ != nullptr) {
+      const pfs::OrderedReservation res =
+          file_->reserveOrdered(*node_, myBlock.size());
+      writer_->submit(res.offset, std::move(myBlock), res.transferSeconds,
+                      syncViaFlusher);
+      if (node_->id() == 0) {
+        writer_->releaseBuffer(std::move(data));  // folded into the block
+      }
     } else {
-      file_->writeOrdered(*node_, data);
+      file_->writeOrdered(*node_, myBlock);
     }
   }
 
@@ -243,7 +311,7 @@ void OStream::write() {
     file_->seekShared(*node_, trailerAt + 4);
   }
 
-  if (opts_.syncOnWrite) {
+  if (opts_.syncOnWrite && writer_ == nullptr) {
     file_->sync(*node_);
   }
 

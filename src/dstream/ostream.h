@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "aio/aio.h"
 #include "collection/collection.h"
 #include "dstream/element_io.h"
 #include "dstream/record.h"
@@ -92,12 +94,27 @@ class OStream {
   }
 
   /// Write one record: distribution + size information, then the data, via
-  /// the node-order parallel write. Requires at least one insert.
+  /// the node-order parallel write. Requires at least one insert. With
+  /// StreamOptions::aioQueueDepth > 0 the data transfer is handed to this
+  /// node's write-behind flusher and write() returns after the collective
+  /// reservation; a failed background flush surfaces here (on the next
+  /// write) or at close(), never silently.
   void write();
 
   /// Close the stream (also called by the destructor). Pending inserts that
-  /// were never written are an error when closing explicitly.
+  /// were never written are an error when closing explicitly. Drains the
+  /// write-behind queue first: close() returning normally means every
+  /// record is in storage.
   void close();
+
+  /// True when asynchronous write-behind is active for this stream.
+  bool asyncActive() const { return writer_ != nullptr; }
+
+  /// Staging buffers ever allocated by the write-behind pool (testing the
+  /// steady-state-allocation-zero property); 0 when synchronous.
+  int asyncBufferAllocations() const {
+    return writer_ != nullptr ? writer_->bufferAllocations() : 0;
+  }
 
   const coll::Layout& layout() const { return layout_; }
   const std::string& fileName() const { return file_->name(); }
@@ -112,6 +129,7 @@ class OStream {
   enum class State { Ready, Inserting, Closed };
 
   void openFile(const std::string& fileName);
+  void setupAsync();
   void checkInsert(const coll::Layout& collectionLayout) const;
   void beginInsert(std::uint32_t tag, InsertKind kind,
                    std::uint32_t fixedPerElement);
@@ -130,6 +148,7 @@ class OStream {
   std::vector<std::vector<Entry>> pending_;  // per local element
   detail::Arena arena_;
   std::uint32_t recordSeq_ = 0;
+  std::unique_ptr<aio::Writer> writer_;  // null = synchronous path
 };
 
 }  // namespace pcxx::ds

@@ -34,6 +34,19 @@ struct StreamOptions {
   /// read, hasRecord() says whether a record was actually recovered, and
   /// salvageReport() accounts for the losses.
   bool salvage = false;
+
+  // -- pcxx::aio overlap (see docs/ASYNC.md) ---------------------------------
+  /// Output streams: write-behind queue depth (buffers in flight per node).
+  /// 0 = fully synchronous (today's path, byte-for-byte). Ignored when the
+  /// library is built with PCXX_AIO=OFF.
+  int aioQueueDepth = 0;
+  /// Input streams: records prefetched ahead per node. 0 = synchronous.
+  int aioPrefetchDepth = 0;
+  /// Staging buffers per write-behind pipeline (0 = aioQueueDepth + 2).
+  int aioPoolBuffers = 0;
+  /// Wall-clock bound on any wait against an aio helper thread (drain at
+  /// close, full queue, exhausted pool, in-flight prefetch).
+  double aioDrainDeadlineSeconds = 30.0;
 };
 
 /// Set the process-default file system used by the (d, a, filename) stream

@@ -31,6 +31,12 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "rt.messages_sent",
     "rt.message_bytes",
     "rt.collectives",
+    "aio.submits",
+    "aio.drains",
+    "aio.prefetch_hits",
+    "aio.prefetch_misses",
+    "aio.bg_write_bytes",
+    "aio.bg_read_bytes",
 };
 
 constexpr const char* kTimerNames[kNumTimers] = {
@@ -47,11 +53,14 @@ constexpr const char* kTimerNames[kNumTimers] = {
     "rt.sync_wait_seconds",
     "scf.output_seconds",
     "scf.input_seconds",
+    "aio.stall_seconds",
+    "aio.drain_seconds",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
     "pfs.read_size",
     "pfs.write_size",
+    "aio.queue_depth",
 };
 
 }  // namespace

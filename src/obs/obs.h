@@ -65,6 +65,12 @@ enum class Counter : int {
   RtMessagesSent,     ///< point-to-point messages sent
   RtMessageBytes,     ///< point-to-point payload bytes sent
   RtCollectives,      ///< collective operations entered (incl. barriers)
+  AioSubmits,         ///< write-behind jobs handed to a flusher
+  AioDrains,          ///< write-behind drain points (close/collectives)
+  AioPrefetchHits,    ///< records consumed from the read-ahead cache
+  AioPrefetchMisses,  ///< records read synchronously despite prefetch on
+  AioBgWriteBytes,    ///< bytes flushed by background writer threads
+  AioBgReadBytes,     ///< bytes fetched by background prefetch threads
   kCount
 };
 
@@ -83,6 +89,8 @@ enum class Timer : int {
   RtSyncWaitSeconds,    ///< total barrier/collective skew absorbed
   ScfOutputSeconds,     ///< harness bracket around IoMethod::output
   ScfInputSeconds,      ///< harness bracket around IoMethod::input
+  AioStallSeconds,      ///< producer blocked on a full write-behind queue
+  AioDrainSeconds,      ///< waiting for the flusher at drain points
   kCount
 };
 
@@ -90,6 +98,7 @@ enum class Timer : int {
 enum class Hist : int {
   PfsReadSize,   ///< bytes per storage read request
   PfsWriteSize,  ///< bytes per storage write request
+  AioQueueDepth, ///< write-behind queue occupancy sampled at each submit
   kCount
 };
 
@@ -217,10 +226,23 @@ std::string snapshotJson(const MetricsSnapshot& s);
 /// appended only by that node's thread; toJson()/writeJson() are called
 /// after the SPMD region ends (Machine::run joins its threads).
 ///
+/// Besides the `nnodes` primary tracks there are two auxiliary tracks per
+/// node — "aio flusher N" and "aio prefetch N" — addressed via
+/// flusherTrack()/prefetchTrack(). The aio pipelines emit their background
+/// activity there with *modeled* timestamps, pushed by the owning node's
+/// thread (never by the helper thread), so the single-writer-per-track
+/// rule holds even with several streams open on one node. Aux tracks that
+/// stay empty are omitted from the JSON.
+///
 /// Span names must be string literals (or otherwise outlive the session).
 class TraceSession {
  public:
   explicit TraceSession(int nnodes);
+
+  /// Auxiliary track ids for node `node`'s background pipelines. Valid as
+  /// the `node` argument of begin/end/counter/instant.
+  int flusherTrack(int node) const { return nnodes_ + node; }
+  int prefetchTrack(int node) const { return 2 * nnodes_ + node; }
 
   void begin(int node, const char* name, double tsSeconds) {
     push(node, Event{name, tsSeconds, 0.0, 'B'});
@@ -236,7 +258,7 @@ class TraceSession {
     push(node, Event{name, tsSeconds, 0.0, 'i'});
   }
 
-  int nnodes() const { return static_cast<int>(perNode_.size()); }
+  int nnodes() const { return nnodes_; }
   std::size_t eventCount() const;
 
   /// Chrome trace_event JSON ("traceEvents" array; ts in microseconds,
@@ -254,7 +276,8 @@ class TraceSession {
   void push(int node, Event e) {
     perNode_[static_cast<size_t>(node)].push_back(e);
   }
-  std::vector<std::vector<Event>> perNode_;
+  int nnodes_ = 0;
+  std::vector<std::vector<Event>> perNode_;  // nnodes_ primary + 2x aux
 };
 
 // ---------------------------------------------------------------------------
@@ -282,6 +305,9 @@ struct NodeObs {
   double (*nowFn)(const NodeObs&) = nullptr;
   const void* clock = nullptr;
   double wallEpoch = 0.0;
+  /// True when timestamps are wall seconds (Observer::TimeMode::Wall); the
+  /// aio pipelines skip their modeled background-track spans in that mode.
+  bool wallTime = false;
 
   double now() const { return nowFn != nullptr ? nowFn(*this) : 0.0; }
 };

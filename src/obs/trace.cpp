@@ -10,7 +10,8 @@
 namespace pcxx::obs {
 
 TraceSession::TraceSession(int nnodes)
-    : perNode_(static_cast<size_t>(nnodes > 0 ? nnodes : 0)) {}
+    : nnodes_(nnodes > 0 ? nnodes : 0),
+      perNode_(static_cast<size_t>(3 * (nnodes > 0 ? nnodes : 0))) {}
 
 std::size_t TraceSession::eventCount() const {
   std::size_t n = 0;
@@ -23,11 +24,23 @@ std::string TraceSession::toJson() const {
   ss << "{\"traceEvents\": [\n";
   bool first = true;
   char buf[64];
-  // Metadata: name each tid track after its node.
-  for (size_t node = 0; node < perNode_.size(); ++node) {
+  // Metadata: name each tid track. The first nnodes_ tracks are the node
+  // threads; the aux flusher/prefetch tracks only appear when they carry
+  // events so synchronous runs keep the exact pre-aio trace layout.
+  const size_t n = static_cast<size_t>(nnodes_);
+  for (size_t track = 0; track < perNode_.size(); ++track) {
+    if (track >= n && perNode_[track].empty()) continue;
     ss << (first ? "" : ",\n")
        << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
-       << node << ", \"args\": {\"name\": \"node " << node << "\"}}";
+       << track << ", \"args\": {\"name\": \"";
+    if (track < n) {
+      ss << "node " << track;
+    } else if (track < 2 * n) {
+      ss << "aio flusher " << (track - n);
+    } else {
+      ss << "aio prefetch " << (track - 2 * n);
+    }
+    ss << "\"}}";
     first = false;
   }
   for (size_t node = 0; node < perNode_.size(); ++node) {

@@ -179,6 +179,148 @@ std::uint64_t ParallelFile::performRead(rt::Node& node, std::uint64_t offset,
   }
 }
 
+void ParallelFile::writeAtBackground(int nodeId, std::uint64_t offset,
+                                     std::span<const Byte> data,
+                                     BgIoStats& stats) {
+  const RetryPolicy rp = fs_->retryPolicy();
+  const double start = stats.backoffSeconds;
+  std::uint64_t done = 0;
+  std::uint64_t lastIndex = 0;
+  std::exception_ptr lastError;
+  for (int attempt = 1;; ++attempt) {
+    const std::uint64_t want = data.size() - done;
+    const std::uint64_t index = fs_->opCounter_.fetch_add(1);
+    lastIndex = index;
+    FaultHook hook;
+    {
+      std::lock_guard<std::mutex> lock(fs_->hookMu_);
+      hook = fs_->faultHook_;
+    }
+    OpOutcome outcome{want, false};
+    bool failed = false;
+    if (hook) {
+      OpContext ctx{name_, OpKind::Write, offset + done, want, nodeId, index};
+      ctx.outcome = &outcome;
+      try {
+        hook(ctx);
+      } catch (const CrashInjected&) {
+        throw;  // fatal by contract; nothing of this attempt was applied
+      } catch (const IoError&) {
+        failed = true;
+        lastError = std::current_exception();
+      }
+    }
+    if (!failed) {
+      const std::uint64_t granted = std::min(outcome.completeBytes, want);
+      if (granted > 0) {
+        storage_->writeAt(offset + done,
+                          data.subspan(static_cast<size_t>(done),
+                                       static_cast<size_t>(granted)));
+        done += granted;
+      }
+      if (outcome.crash) {
+        throw CrashInjected(strfmt(
+            "background write on '%s' at op %llu: %llu of %llu bytes durable",
+            name_.c_str(), static_cast<unsigned long long>(index),
+            static_cast<unsigned long long>(done),
+            static_cast<unsigned long long>(data.size())));
+      }
+      if (done == data.size()) {
+        stats.writeOps += 1;
+        stats.bytesWritten += data.size();
+        runObserveHook(OpKind::Write, offset, data.size(), nodeId, lastIndex,
+                       0.0);
+        return;
+      }
+      lastError = nullptr;  // short completion, not an exception
+    }
+    // Transient failure or short completion: the accumulated modeled
+    // backoff stands in for the issuing node's clock in the deadline check.
+    if (attempt >= rp.maxAttempts ||
+        stats.backoffSeconds - start >= rp.opDeadlineSeconds) {
+      stats.giveUps += 1;
+      if (lastError) std::rethrow_exception(lastError);
+      throw IoError(strfmt(
+          "short background write on '%s': only %llu of %llu bytes "
+          "completed at offset %llu",
+          name_.c_str(), static_cast<unsigned long long>(done),
+          static_cast<unsigned long long>(data.size()),
+          static_cast<unsigned long long>(offset)));
+    }
+    stats.retries += 1;
+    stats.backoffSeconds += rp.backoffFor(attempt, index, nodeId);
+  }
+}
+
+std::uint64_t ParallelFile::readAtBackground(int nodeId, std::uint64_t offset,
+                                             std::span<Byte> out,
+                                             BgIoStats& stats) {
+  const RetryPolicy rp = fs_->retryPolicy();
+  const double start = stats.backoffSeconds;
+  std::uint64_t done = 0;
+  std::uint64_t lastIndex = 0;
+  std::exception_ptr lastError;
+  for (int attempt = 1;; ++attempt) {
+    const std::uint64_t want = out.size() - done;
+    const std::uint64_t index = fs_->opCounter_.fetch_add(1);
+    lastIndex = index;
+    FaultHook hook;
+    {
+      std::lock_guard<std::mutex> lock(fs_->hookMu_);
+      hook = fs_->faultHook_;
+    }
+    OpOutcome outcome{want, false};
+    bool failed = false;
+    if (hook) {
+      OpContext ctx{name_, OpKind::Read, offset + done, want, nodeId, index};
+      ctx.outcome = &outcome;
+      try {
+        hook(ctx);
+      } catch (const CrashInjected&) {
+        throw;
+      } catch (const IoError&) {
+        failed = true;
+        lastError = std::current_exception();
+      }
+    }
+    if (!failed) {
+      if (outcome.crash) {
+        throw CrashInjected(strfmt("background read on '%s' at op %llu",
+                                   name_.c_str(),
+                                   static_cast<unsigned long long>(index)));
+      }
+      const std::uint64_t limit = std::min(outcome.completeBytes, want);
+      const std::uint64_t n =
+          storage_->readAt(offset + done,
+                           out.subspan(static_cast<size_t>(done),
+                                       static_cast<size_t>(limit)));
+      done += n;
+      if (done == out.size() || n < limit) {
+        // Complete, or a true end-of-file: not a fault.
+        stats.readOps += 1;
+        stats.bytesRead += done;
+        runObserveHook(OpKind::Read, offset, out.size(), nodeId, lastIndex,
+                       0.0);
+        return done;
+      }
+      lastError = nullptr;
+    }
+    if (attempt >= rp.maxAttempts ||
+        stats.backoffSeconds - start >= rp.opDeadlineSeconds) {
+      stats.giveUps += 1;
+      if (lastError) std::rethrow_exception(lastError);
+      throw IoError(strfmt(
+          "short background read on '%s': only %llu of %llu bytes "
+          "completed at offset %llu",
+          name_.c_str(), static_cast<unsigned long long>(done),
+          static_cast<unsigned long long>(out.size()),
+          static_cast<unsigned long long>(offset)));
+    }
+    stats.retries += 1;
+    stats.backoffSeconds += rp.backoffFor(attempt, index, nodeId);
+  }
+}
+
 void ParallelFile::runObserveHook(OpKind kind, std::uint64_t offset,
                                   std::uint64_t bytes, int nodeId,
                                   std::uint64_t opIndex, double duration) {
@@ -259,6 +401,44 @@ std::uint64_t ParallelFile::writeOrdered(rt::Node& node,
   runObserveHook(OpKind::Write, myOffset, myBlock.size(), node.id(), index,
                  node.clock().now() - t0);
   return myOffset;
+}
+
+OrderedReservation ParallelFile::reserveOrdered(rt::Node& node,
+                                                std::uint64_t myBytes) {
+  PCXX_OBS_PHASE(node.obs(), "pfs.reserveOrdered", PfsWriteSeconds);
+  PCXX_OBS_COUNT(node.obs(), PfsWriteOps, 1);
+  PCXX_OBS_COUNT(node.obs(), PfsWriteBytes, myBytes);
+  PCXX_OBS_COUNT(node.obs(), PfsCollectiveOps, 1);
+  PCXX_OBS_HIST(node.obs(), PfsWriteSize, myBytes);
+  const std::uint64_t base = cursor_.load();
+  const std::uint64_t cumBefore = cumWritten_.load();
+  const auto sizes = node.allgatherU64(myBytes);
+  OrderedReservation r;
+  r.offset = base;
+  std::uint64_t maxNode = 0;
+  for (int i = 0; i < node.nprocs(); ++i) {
+    if (i < node.id()) r.offset += sizes[static_cast<size_t>(i)];
+    r.totalBytes += sizes[static_cast<size_t>(i)];
+    maxNode = std::max(maxNode, sizes[static_cast<size_t>(i)]);
+  }
+  node.barrier();
+  // The file size writeOrdered's model charge would see is the region end:
+  // the background transfer will have extended the file that far.
+  const std::uint64_t sizeAfter =
+      std::max<std::uint64_t>(storage_->size(), base + r.totalBytes);
+  const double full = fs_->model_.collectiveBulkDuration(
+      node.nprocs(), r.totalBytes, maxNode, sizeAfter, cumBefore,
+      /*isWrite=*/true);
+  const double syncShare =
+      fs_->model_.enabled()
+          ? fs_->model_.params().collectiveSync(node.nprocs())
+          : 0.0;
+  r.transferSeconds = std::max(0.0, full - syncShare);
+  node.clock().advance(syncShare);
+  cursor_.store(base + r.totalBytes);
+  cumWritten_.store(cumBefore + r.totalBytes);
+  node.barrier();
+  return r;
 }
 
 std::uint64_t ParallelFile::readOrdered(rt::Node& node,

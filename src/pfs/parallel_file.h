@@ -81,6 +81,32 @@ struct RetryPolicy {
 
 class Pfs;
 
+/// Accounting for storage ops issued by background (pcxx::aio) threads,
+/// which own no VirtualClock: modeled backoff accumulates here (doubling as
+/// the per-op retry deadline clock) and the owning node folds the totals
+/// into its metrics when it drains the pipeline. One instance per pipeline;
+/// written only by that pipeline's background thread.
+struct BgIoStats {
+  std::uint64_t writeOps = 0;
+  std::uint64_t readOps = 0;
+  std::uint64_t bytesWritten = 0;
+  std::uint64_t bytesRead = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t giveUps = 0;
+  double backoffSeconds = 0.0;
+};
+
+/// Result of reserveOrdered(): where this node's block will land once a
+/// background flusher transfers it, plus the modeled bulk-transfer share
+/// the caller should charge to its write-behind timeline.
+struct OrderedReservation {
+  std::uint64_t offset = 0;      ///< this node's block offset in the file
+  std::uint64_t totalBytes = 0;  ///< all nodes' contributions combined
+  /// Modeled transfer duration (collective bulk time minus the collective
+  /// synchronization share, which reserveOrdered charges inline).
+  double transferSeconds = 0.0;
+};
+
 /// An open parallel file. Thread-safe; collective methods must be invoked
 /// by all nodes of the machine with matching arguments.
 class ParallelFile {
@@ -108,6 +134,16 @@ class ParallelFile {
   /// IoError if the file ends early. Returns this node's block offset.
   std::uint64_t readOrdered(rt::Node& node, std::span<Byte> myBlock);
 
+  /// Collective: reserve a node-order region at the shared cursor without
+  /// performing any storage I/O. Advances the cursor and the cumulative
+  /// write accounting exactly as writeOrdered would — so a later
+  /// writeAtBackground of each node's block produces a byte-identical file
+  /// — but charges only the collective-synchronization share of the
+  /// modeled cost inline; the transfer share is returned for the caller's
+  /// write-behind timeline. Every node must eventually transfer its block
+  /// to the returned offset (pcxx::aio::Writer does).
+  OrderedReservation reserveOrdered(rt::Node& node, std::uint64_t myBytes);
+
   /// Collective: set the shared cursor.
   void seekShared(rt::Node& node, std::uint64_t offset);
 
@@ -119,6 +155,27 @@ class ParallelFile {
 
   std::uint64_t size() { return storage_->size(); }
   const std::string& name() const { return name_; }
+
+  // -- background operations (pcxx::aio flusher / prefetch threads) ---------
+
+  /// Positional write issued by a background thread on behalf of `nodeId`.
+  /// Fault hook, retry policy, short-completion resumption, and
+  /// CrashInjected durable-prefix semantics match writeAt, but no Node is
+  /// touched: backoff is accounted to `stats` instead of a VirtualClock,
+  /// and the cumulative-write accounting is NOT advanced (the matching
+  /// reserveOrdered already advanced it).
+  void writeAtBackground(int nodeId, std::uint64_t offset,
+                         std::span<const Byte> data, BgIoStats& stats);
+
+  /// Read counterpart (no cursor or model interaction); returns bytes read
+  /// (fewer than requested only at end of file).
+  std::uint64_t readAtBackground(int nodeId, std::uint64_t offset,
+                                 std::span<Byte> out, BgIoStats& stats);
+
+  /// Flush the storage backend directly (no collective, no timing charge):
+  /// the write-behind flusher's substitute for the collective sync() when
+  /// StreamOptions::syncOnWrite rides an async record.
+  void syncStorage() { storage_->sync(); }
 
  private:
   friend class Pfs;

@@ -169,6 +169,26 @@ double PerfModel::collectiveBulkDuration(int nprocs, std::uint64_t totalBytes,
   return params_.collectiveSync(nprocs) + std::max(transfer, nodeLimit);
 }
 
+double PerfModel::backgroundOpSeconds(int nprocs, int ops,
+                                      std::uint64_t bytes,
+                                      std::uint64_t refBytes,
+                                      bool isWrite) const {
+  if (!params_.enabled) return 0.0;
+  const double ioScale = static_cast<double>(queues_.size());
+  const bool cached = refBytes <= params_.bulkCacheBytes(nprocs);
+  const double bulkBw =
+      (cached ? params_.bulkBwCached : params_.bulkBwDisk) * ioScale;
+  const bool latCached = refBytes <= params_.smallOpCacheBytes;
+  const double latency = latCached ? params_.smallOpLatencyCached
+                                   : params_.smallOpLatencyDisk;
+  // One node drives at most its per-node fraction of the striped bandwidth.
+  const double fraction =
+      std::max(params_.perNodeBwFraction, 1.0 / static_cast<double>(nprocs));
+  (void)isWrite;  // the tier selection via refBytes is direction-agnostic
+  return static_cast<double>(ops) * latency +
+         static_cast<double>(bytes) / (bulkBw * fraction);
+}
+
 void PerfModel::chargeBookkeeping(rt::Node& node, std::uint64_t nElements) {
   if (!params_.enabled) return;
   node.clock().advance(params_.bookkeepingPerRecord +

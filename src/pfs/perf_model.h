@@ -144,6 +144,15 @@ class PerfModel {
                                 std::uint64_t cumWrittenBefore,
                                 bool isWrite) const;
 
+  /// Pure modeled duration of `ops` background (pcxx::aio) transfers by one
+  /// node totalling `bytes`: per-op latency plus the bytes at this node's
+  /// per-node share of the bulk bandwidth. `refBytes` selects the cache
+  /// tier — cumulative bytes written for writes, file size for reads. No
+  /// clock or I/O-node-queue interaction, so prefetch/flusher timelines
+  /// stay deterministic regardless of real thread scheduling.
+  double backgroundOpSeconds(int nprocs, int ops, std::uint64_t bytes,
+                             std::uint64_t refBytes, bool isWrite) const;
+
   /// Charge library bookkeeping CPU time for `nElements` local elements.
   void chargeBookkeeping(rt::Node& node, std::uint64_t nElements);
 

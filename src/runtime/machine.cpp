@@ -327,6 +327,16 @@ void Machine::syncClocksLocked(bool applyCost) {
 
 void Machine::barrierSync(const std::function<void()>& completion,
                           bool applyCost) {
+  // Thread-ownership rule: collectives may only be entered by the thread
+  // that owns a node of THIS machine. Helper threads (pcxx::aio flushers
+  // and prefetchers) would otherwise corrupt the rendezvous count silently;
+  // turn that race into a typed error instead.
+  if (g_currentNode == nullptr || g_currentNode->machine_ != this) {
+    throw UsageError(
+        "collective entered from a thread that is not a node of this "
+        "machine (background/helper threads must not use Node collectives "
+        "or mutate node state; see the threading rules in machine.h)");
+  }
   double target;
   {
     std::unique_lock<std::mutex> lock(barrierMu_);
@@ -389,6 +399,7 @@ void Machine::attachObserver(const obs::Observer& observer) {
     } else {
       o.wallEpoch = epoch;
       o.nowFn = &obsWallNow;
+      o.wallTime = true;
     }
     node->obsAttached_ = true;
   }

@@ -18,6 +18,21 @@
 // If a node function throws, the machine aborts: blocked peers are woken
 // with an Error and run() rethrows the original exception, so failure
 // injection tests never deadlock.
+//
+// Thread-ownership rules (enforced where cheap, relied on everywhere):
+//
+//   * Only the thread run() spawned for a node may call that Node's
+//     non-const members — collectives, send/recv, clock mutation, obs
+//     writes. Entering a collective from any other thread throws
+//     UsageError instead of corrupting the rendezvous.
+//   * Helper threads (e.g. the pcxx::aio flusher/prefetcher a node owns)
+//     may touch only explicitly thread-safe lower layers
+//     (pfs::ParallelFile::{write,read}AtBackground, storage backends) and
+//     their own synchronization state. They must never block a node
+//     indefinitely: any node-side wait on a helper must poll
+//     Machine::aborted() with a timeout so abort-on-throw still wins.
+//   * A node must join or detach its helper threads before its SPMD
+//     function returns; run() joins only node threads.
 #pragma once
 
 #include <condition_variable>

@@ -114,6 +114,8 @@ BenchTableResult runBenchTable(const BenchConfig& config) {
   auto unbuffered = makeUnbufferedIo();
   auto manual = makeManualBufferingIo();
   auto streams = makeStreamsIo(config.sortedRead);
+  auto streamsAsync = makeStreamsAsyncIo(
+      config.sortedRead, config.asyncQueueDepth, config.asyncPrefetchDepth);
 
   for (std::int64_t segments : config.segmentCounts) {
     CellResult cell;
@@ -123,7 +125,7 @@ BenchTableResult runBenchTable(const BenchConfig& config) {
                   7ull * 8ull *
                       static_cast<std::uint64_t>(config.particlesPerSegment));
     const bool collect = config.collectMetrics;
-    if (collect) cell.metrics.resize(3);
+    if (collect) cell.metrics.resize(4);
     MethodMetrics* m = collect ? cell.metrics.data() : nullptr;
     // The Chrome trace captures the streams method at the table's largest
     // I/O size (one trace per table keeps the file reviewable in Perfetto).
@@ -139,6 +141,8 @@ BenchTableResult runBenchTable(const BenchConfig& config) {
         runCell(config, *manual, segments, collect ? &m[1] : nullptr);
     cell.streams = runCell(config, *streams, segments,
                            collect ? &m[2] : nullptr, trace.get());
+    cell.streamsAsync = runCell(config, *streamsAsync, segments,
+                                collect ? &m[3] : nullptr);
     if (trace != nullptr) {
       trace->writeJson(config.traceJsonPath);
     }
@@ -170,6 +174,8 @@ Table BenchTableResult::toTable() const {
   row("Unbuffered I/O", [](const CellResult& c) { return c.unbuffered; });
   row("Manual Buffering", [](const CellResult& c) { return c.manual; });
   row("pC++/streams", [](const CellResult& c) { return c.streams; });
+  row("pC++/streams (async)",
+      [](const CellResult& c) { return c.streamsAsync; });
   row("% of Manual Buf.", [](const CellResult& c) { return c.pctOfManual(); },
       /*pct=*/true);
   t.setFootnote("timings: output operation followed by input operation; "

@@ -37,6 +37,9 @@ struct BenchConfig {
   /// When non-empty, write a Chrome trace_event JSON of the pC++/streams
   /// run at the table's largest I/O size to this path (--trace-json).
   std::string traceJsonPath;
+  /// Overlap settings for the "pC++/streams (async)" row (pcxx::aio).
+  int asyncQueueDepth = 4;
+  int asyncPrefetchDepth = 2;
 };
 
 /// Per-(cell, method) observability capture: the merged + per-node metric
@@ -55,6 +58,7 @@ struct CellResult {
   double unbuffered = 0.0;    ///< seconds (output + input)
   double manual = 0.0;
   double streams = 0.0;
+  double streamsAsync = 0.0;  ///< pC++/streams with the aio overlap pipeline
   std::vector<MethodMetrics> metrics;  ///< when BenchConfig::collectMetrics
 
   double pctOfManual() const {

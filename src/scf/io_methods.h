@@ -48,5 +48,13 @@ std::unique_ptr<IoMethod> makeUnbufferedIo();
 std::unique_ptr<IoMethod> makeManualBufferingIo();
 /// `sorted` selects read() instead of the paper's unsortedRead() input path.
 std::unique_ptr<IoMethod> makeStreamsIo(bool sorted = false);
+/// pC++/streams with the pcxx::aio overlap pipeline: write-behind flushing
+/// on output (queueDepth buffers in flight per node) and read-ahead
+/// prefetch on input (prefetchDepth records). Produces byte-identical
+/// files; only the modeled overlap differs. Falls back to the synchronous
+/// path when the library is built with PCXX_AIO=OFF or depths are 0.
+std::unique_ptr<IoMethod> makeStreamsAsyncIo(bool sorted = false,
+                                             int queueDepth = 4,
+                                             int prefetchDepth = 2);
 
 }  // namespace pcxx::scf

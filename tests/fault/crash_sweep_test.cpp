@@ -37,34 +37,40 @@ std::int64_t countWrong(coll::Collection<double>& c, int epoch) {
   return bad;
 }
 
-void saveEpoch(rt::Machine& m, pfs::Pfs& fs, int epoch) {
+void saveEpoch(rt::Machine& m, pfs::Pfs& fs, int epoch,
+               const ds::CheckpointOptions& co = {}) {
   m.run([&](rt::Node&) {
     coll::Processors P;
     coll::Distribution d(kElems, &P, coll::DistKind::Block);
     coll::Collection<double> data(&d);
     fill(data, epoch);
-    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    ds::CheckpointManager mgr(fs, co);
     mgr.save(data);
   });
 }
 
 /// Count the storage ops one save of epoch 1 issues (after a clean epoch 0
 /// exists, so the op sequence matches the sweep runs).
-std::uint64_t opsPerSave() {
+std::uint64_t opsPerSave(const ds::CheckpointOptions& co = {}) {
   pfs::Pfs fs = test::memFs();
   rt::Machine m(kNodes);
-  saveEpoch(m, fs, 0);
+  saveEpoch(m, fs, 0, co);
   const std::uint64_t before = fs.opCount();
-  saveEpoch(m, fs, 1);
+  saveEpoch(m, fs, 1, co);
   return fs.opCount() - before;
 }
 
 /// One sweep point: crash at the k-th storage op of the epoch-1 save
 /// (`durableFraction` of that op's request applied first), then restore.
-void sweepPoint(std::uint64_t k, std::uint64_t totalOps, bool halfDurable) {
+/// With co.aioQueueDepth > 0 the data flushes run on background threads,
+/// so WHICH logical access is the k-th op varies run to run — the
+/// durability contract must hold for all interleavings, which is exactly
+/// what the sweep then exercises.
+void sweepPoint(std::uint64_t k, std::uint64_t totalOps, bool halfDurable,
+                const ds::CheckpointOptions& co = {}) {
   pfs::Pfs fs = test::memFs();
   rt::Machine m(kNodes);
-  saveEpoch(m, fs, 0);
+  saveEpoch(m, fs, 0, co);
   const std::uint64_t base = fs.opCount();
 
   bool crashed = false;
@@ -76,14 +82,14 @@ void sweepPoint(std::uint64_t k, std::uint64_t totalOps, bool halfDurable) {
     plan.crashAtOp(base + k, halfDurable ? 4 : 0);
     fs.setFaultHook(plan.hook());
     try {
-      saveEpoch(m, fs, 1);
+      saveEpoch(m, fs, 1, co);
     } catch (const Error&) {
       crashed = true;  // CrashInjected (possibly wrapped by peer aborts)
     }
     fs.setFaultHook(nullptr);
     EXPECT_TRUE(crashed) << "crash point " << k << " never fired";
   } else {
-    saveEpoch(m, fs, 1);  // the no-crash end of the sweep
+    saveEpoch(m, fs, 1, co);  // the no-crash end of the sweep
   }
 
   // Whatever the crash point, restore must land on a consistent epoch:
@@ -93,7 +99,7 @@ void sweepPoint(std::uint64_t k, std::uint64_t totalOps, bool halfDurable) {
     coll::Processors P;
     coll::Distribution d(kElems, &P, coll::DistKind::Block);
     coll::Collection<double> back(&d);
-    ds::CheckpointManager mgr(fs, ds::CheckpointOptions{});
+    ds::CheckpointManager mgr(fs, co);
     const std::int64_t epoch = mgr.restoreLatest(back);
     EXPECT_TRUE(epoch == 0 || epoch == 1)
         << "crash point " << k << " restored epoch " << epoch;
@@ -126,5 +132,40 @@ TEST(CrashSweep, TornMidOpCrashesAlsoRecover) {
     sweepPoint(k, total, /*halfDurable=*/true);
   }
 }
+
+#if PCXX_AIO_ENABLED
+
+/// The overlap configuration under sweep: epoch data flushed write-behind,
+/// restores prefetching. saveWith drains the stream (explicit close) before
+/// the marker moves, so a crash inside a background flush must still leave
+/// the previous epoch recoverable.
+ds::CheckpointOptions asyncOptions() {
+  ds::CheckpointOptions co;
+  co.aioQueueDepth = 2;
+  co.aioPrefetchDepth = 1;
+  return co;
+}
+
+TEST(CrashSweep, AsyncEveryCrashPointLeavesARecoverableEpoch) {
+  const ds::CheckpointOptions co = asyncOptions();
+  const std::uint64_t total = opsPerSave(co);
+  ASSERT_GT(total, 0u);
+  for (std::uint64_t k = 0; k <= total; ++k) {
+    SCOPED_TRACE("async: crash at save op " + std::to_string(k));
+    sweepPoint(k, total, /*halfDurable=*/false, co);
+  }
+}
+
+TEST(CrashSweep, AsyncTornMidOpCrashesAlsoRecover) {
+  const ds::CheckpointOptions co = asyncOptions();
+  const std::uint64_t total = opsPerSave(co);
+  ASSERT_GT(total, 0u);
+  for (std::uint64_t k = 0; k < total; ++k) {
+    SCOPED_TRACE("async: torn crash at save op " + std::to_string(k));
+    sweepPoint(k, total, /*halfDurable=*/true, co);
+  }
+}
+
+#endif  // PCXX_AIO_ENABLED
 
 }  // namespace

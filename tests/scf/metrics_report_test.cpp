@@ -36,9 +36,10 @@ TEST(ScfMetrics, CollectsThreeMethodsPerCell) {
   const BenchTableResult result = scf::runBenchTable(tinyConfig());
   ASSERT_EQ(result.cells.size(), 2u);
   for (const auto& cell : result.cells) {
-    ASSERT_EQ(cell.metrics.size(), 3u);
+    ASSERT_EQ(cell.metrics.size(), 4u);
     EXPECT_EQ(cell.metrics[0].method, "Unbuffered I/O");
     EXPECT_EQ(cell.metrics[2].method, "pC++/streams");
+    EXPECT_EQ(cell.metrics[3].method, "pC++/streams (async)");
     for (const MethodMetrics& m : cell.metrics) {
       EXPECT_GT(m.totalSeconds, 0.0);
       ASSERT_EQ(m.nodeSeconds.size(), 2u);
