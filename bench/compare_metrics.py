@@ -11,8 +11,9 @@ is flagged, so the script can gate a CI perf check.
 
 Counters are also diffed, informationally (never flagged): the JSON emits
 only non-zero counters, and older reports predate some counters entirely
-(e.g. the retry/fault set pfs.retries, pfs.give_ups), so a counter absent
-on either side is read as 0 rather than an error.
+(e.g. the retry/fault set pfs.retries, pfs.give_ups, or the redistribution
+engine's redist.plan_hits / redist.plan_misses), so a counter absent on
+either side is read as 0 rather than an error.
 
 Only the Python standard library is used.
 """

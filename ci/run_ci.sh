@@ -38,6 +38,11 @@ run_config() {
   if [ "${name}" = "default" ]; then
     echo "=== [${name}] lint ==="
     cmake --build "${build_dir}" --target lint
+    # Redistribution-engine smoke: plan vs legacy byte-identity plus a
+    # nonzero plan-cache hit count (the binary exits 1 on either failure).
+    echo "=== [${name}] redist ablation smoke ==="
+    "${build_dir}/bench/ablation_redist" \
+      --segments 600 --particles 6 --records 2 --repeats 2
   fi
   echo "=== [${name}] OK ==="
 }

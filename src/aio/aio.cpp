@@ -131,6 +131,9 @@ void Writer::submit(std::uint64_t offset, ByteBuffer&& buf,
                     double transferSeconds, bool syncAfter) {
   rethrowPending();
   obs::NodeObs* o = node_.obs();
+#if !PCXX_OBS_ENABLED
+  (void)o;
+#endif
   rt::VirtualClock& clock = node_.clock();
 
   // Modeled overlap timeline (deterministic; real scheduling irrelevant):
@@ -188,6 +191,9 @@ void Writer::submit(std::uint64_t offset, ByteBuffer&& buf,
 
 void Writer::drain() {
   obs::NodeObs* o = node_.obs();
+#if !PCXX_OBS_ENABLED
+  (void)o;
+#endif
   PCXX_OBS_COUNT(o, AioDrains, 1);
   rt::VirtualClock& clock = node_.clock();
   if (flusherReady_ > clock.now()) {

@@ -6,12 +6,22 @@ namespace pcxx::coll {
 
 Layout::Layout(Distribution dist, Align align)
     : dist_(std::move(dist)), align_(std::move(align)) {
-  // Every collection element must map inside the distribution's index space.
+  // Every collection element must map inside the distribution's index
+  // space. The affine map stride*i + offset is monotone in exact
+  // arithmetic, so in-range endpoints bound every intermediate index —
+  // but only if the endpoints themselves are computed without wraparound.
+  // A crafted (or bit-flipped) stride can overflow int64 for intermediate
+  // i while map(0) and map(size-1) both land back in range, which would
+  // alias distinct elements onto one template index; compute the last
+  // endpoint overflow-checked so that route is closed.
   if (align_.size() > 0) {
     const std::int64_t first = align_.map(0);
-    const std::int64_t last = align_.map(align_.size() - 1);
-    PCXX_REQUIRE(first >= 0 && first < dist_.size() && last >= 0 &&
-                     last < dist_.size(),
+    std::int64_t last = 0;
+    const bool overflow =
+        __builtin_mul_overflow(align_.stride(), align_.size() - 1, &last) ||
+        __builtin_add_overflow(last, align_.offset(), &last);
+    PCXX_REQUIRE(!overflow && first >= 0 && first < dist_.size() &&
+                     last >= 0 && last < dist_.size(),
                  "alignment maps elements outside the distribution");
   }
 }
@@ -19,7 +29,7 @@ Layout::Layout(Distribution dist, Align align)
 Layout::Layout(Distribution dist)
     : Layout(dist, Align(dist.size())) {}
 
-bool Layout::identityFastPath() const {
+bool Layout::closedForm() const {
   return align_.identity() && align_.size() == dist_.size();
 }
 
@@ -30,7 +40,7 @@ std::int64_t Layout::localCount(int proc) const {
   // `Processors P` need not span all nodes) while d/stream operations stay
   // machine-collective.
   if (proc >= dist_.nprocs()) return 0;
-  if (identityFastPath()) return dist_.localCount(proc);
+  if (closedForm()) return dist_.localCount(proc);
   std::int64_t count = 0;
   for (std::int64_t i = 0; i < align_.size(); ++i) {
     if (ownerOf(i) == proc) ++count;
@@ -42,6 +52,16 @@ std::vector<std::int64_t> Layout::localElements(int proc) const {
   PCXX_REQUIRE(proc >= 0, "localElements: bad node");
   if (proc >= dist_.nprocs()) return {};
   std::vector<std::int64_t> out;
+  if (closedForm()) {
+    // Identity alignment: local order is the distribution's own, and
+    // localToGlobal enumerates it ascending in O(1) per element.
+    const std::int64_t n = dist_.localCount(proc);
+    out.reserve(static_cast<size_t>(n));
+    for (std::int64_t l = 0; l < n; ++l) {
+      out.push_back(dist_.localToGlobal(proc, l));
+    }
+    return out;
+  }
   out.reserve(static_cast<size_t>(localCount(proc)));
   for (std::int64_t i = 0; i < align_.size(); ++i) {
     if (ownerOf(i) == proc) out.push_back(i);
@@ -65,7 +85,15 @@ void Layout::encode(ByteWriter& w) const {
 Layout Layout::decode(ByteReader& r) {
   Distribution dist = Distribution::decode(r);
   Align align = Align::decode(r);
-  return Layout(std::move(dist), std::move(align));
+  try {
+    return Layout(std::move(dist), std::move(align));
+  } catch (const Error& e) {
+    // The individual pieces decoded but cannot be combined into a layout:
+    // the file's header is inconsistent. Reclassify so readers (and
+    // salvage mode) see the malformed-file error type, not a caller bug.
+    throw FormatError(std::string("record header layout is inconsistent: ") +
+                      e.what());
+  }
 }
 
 }  // namespace pcxx::coll

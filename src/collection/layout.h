@@ -34,11 +34,18 @@ class Layout {
   /// Owning node of collection element `i`.
   int ownerOf(std::int64_t i) const { return dist_.ownerOf(align_.map(i)); }
 
-  /// Number of elements local to `proc` (O(size) for non-identity
-  /// alignments; O(1) for the identity fast path).
+  /// True when per-element questions reduce to the Distribution's O(1)
+  /// closed forms (identity alignment over the template's full index
+  /// space). The redistribution planner keys its O(local) fast path on
+  /// this; non-closed-form layouts fall back to one O(size) enumeration.
+  bool closedForm() const;
+
+  /// Number of elements local to `proc` (O(size) for non-closed-form
+  /// layouts; O(1) for the closed-form fast path).
   std::int64_t localCount(int proc) const;
 
   /// Global indices owned by `proc`, ascending (defines local order).
+  /// O(local) for closed-form layouts, O(size) otherwise.
   std::vector<std::int64_t> localElements(int proc) const;
 
   /// Owner of every element, indexed by global element index.
@@ -50,11 +57,14 @@ class Layout {
   bool operator!=(const Layout& other) const { return !(*this == other); }
 
   void encode(ByteWriter& w) const;
+  /// Decode a layout from its on-disk form. Parameter combinations that
+  /// cannot describe a valid layout (alignment escaping the distribution's
+  /// index space, affine overflow) throw FormatError — file bytes passed
+  /// header framing checks but still lie, which is a format problem, not a
+  /// caller bug.
   static Layout decode(ByteReader& r);
 
  private:
-  bool identityFastPath() const;
-
   Distribution dist_;
   Align align_;
 };

@@ -191,9 +191,9 @@ void IStream::readRecord(bool sorted) {
 }
 
 bool IStream::skipDamage(std::uint64_t from, std::uint64_t to,
-                         const char* reason) {
+                         std::string reason) {
   salvage_.recordsLost += 1;
-  salvage_.damage.push_back(DamagedRange{from, to - from, reason});
+  salvage_.damage.push_back(DamagedRange{from, to - from, std::move(reason)});
   file_->seekShared(*node_, to);
   record_.reset();
   state_ = State::Ready;
@@ -309,7 +309,7 @@ bool IStream::readRecordOnce(bool sorted) {
   }
 
   return finishRecord(sorted, std::move(header), std::move(chunk),
-                      std::move(chunkSizes));
+                      std::move(chunkSizes), recordStart, recordEnd);
 }
 
 bool IStream::checkTrailer(const RecordHeader& header, const ByteBuffer& chunk,
@@ -351,7 +351,8 @@ bool IStream::checkTrailer(const RecordHeader& header, const ByteBuffer& chunk,
 }
 
 bool IStream::finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
-                           std::vector<std::uint64_t> chunkSizes) {
+                           std::vector<std::uint64_t> chunkSizes,
+                           std::uint64_t recordStart, std::uint64_t recordEnd) {
   const bool sameLayout = header.layout == layout_;
   if (!sorted || sameLayout) {
     // unsortedRead, or a sorted read where nothing moved: phase-1 data is
@@ -366,86 +367,37 @@ bool IStream::finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
       elemOffsets_[j] = off;
       off += elemSizes_[j];
     }
-  } else {
-    // ---- phase 2: sort + send to owner nodes (paper §4.1) ------------------
+  } else if (opts_.redistUsePlan) {
+    // ---- phase 2: plan-based redistribution (paper §4.1) -------------------
     PCXX_OBS_PHASE(node_->obs(), "ds.redist", DsRedistSeconds);
-    // Global indices of elements in file order, from the WRITER's layout.
-    std::vector<std::int64_t> fileOrderGlobals;
-    fileOrderGlobals.reserve(static_cast<size_t>(header.elementCount()));
-    for (int proc = 0; proc < header.layout.nprocs(); ++proc) {
-      const auto locals = header.layout.localElements(proc);
-      fileOrderGlobals.insert(fileOrderGlobals.end(), locals.begin(),
-                              locals.end());
-    }
-    // My chunk covers file positions [chunkStart, chunkStart + localCount_).
-    std::int64_t chunkStart = 0;
-    for (int r = 0; r < node_->id(); ++r) {
-      chunkStart += layout_.localCount(r);
-    }
-    // Route each element of my chunk to its reading owner.
-    std::vector<ByteBuffer> sendTo(static_cast<size_t>(node_->nprocs()));
-    std::uint64_t off = 0;
-    for (std::int64_t k = 0; k < localCount_; ++k) {
-      const std::int64_t g =
-          fileOrderGlobals[static_cast<size_t>(chunkStart + k)];
-      const std::uint64_t bytes = chunkSizes[static_cast<size_t>(k)];
-      const int owner = layout_.ownerOf(g);
-      ByteBuffer& out = sendTo[static_cast<size_t>(owner)];
-      ByteWriter w(out);
-      w.i64(g);
-      w.u64(bytes);
-      w.bytes({chunk.data() + off, static_cast<size_t>(bytes)});
-      off += bytes;
-      if (owner != node_->id()) {
-        PCXX_OBS_COUNT(node_->obs(), RedistElementsMoved, 1);
+    try {
+      // Stream-level memo over the process-wide cache: the records of one
+      // file usually share a writer layout, so repeat reads skip even the
+      // cache-key encoding.
+      if (plan_ != nullptr && planWriter_.has_value() &&
+          *planWriter_ == header.layout) {
+        PCXX_OBS_COUNT(node_->obs(), RedistPlanHits, 1);
+      } else {
+        plan_ = redist::planFor(header.layout, layout_, *node_);
+        planWriter_ = header.layout;
       }
+      redist::execute(*node_, *plan_, chunk, chunkSizes,
+                      opts_.redistChunkBytes, buffer_, elemOffsets_,
+                      elemSizes_, redistScratch_);
+    } catch (const FormatError& e) {
+      // Plan building is pure arithmetic over the broadcast header bytes,
+      // so a FormatError (duplicate / out-of-range global index from a
+      // corrupt header) is raised identically on every node BEFORE any
+      // collective — the skip below is collectively consistent without a
+      // vote.
+      if (opts_.salvage) return skipDamage(recordStart, recordEnd, e.what());
+      throw;
     }
-    for (int peer = 0; peer < node_->nprocs(); ++peer) {
-      const auto& buf = sendTo[static_cast<size_t>(peer)];
-      if (peer == node_->id() || buf.empty()) continue;
-      PCXX_OBS_COUNT(node_->obs(), RedistBytesSent, buf.size());
-      PCXX_OBS_COUNT(node_->obs(), RedistMessagesSent, 1);
-      PCXX_OBS_PEER_BYTES(node_->obs(), peer, buf.size());
-    }
-    [[maybe_unused]] const double waitedBefore =
-        node_->clock().waitedSeconds();
-    const auto received = node_->alltoallv(sendTo);
-    PCXX_OBS_SECONDS(node_->obs(), RedistWaitSeconds,
-                     node_->clock().waitedSeconds() - waitedBefore);
-
-    // Collect my owned elements, then order them by ascending global index
-    // (= local order).
-    std::map<std::int64_t, std::pair<const Byte*, std::uint64_t>> byGlobal;
-    for (const ByteBuffer& buf : received) {
-      ByteReader r(buf);
-      while (r.remaining() > 0) {
-        const std::int64_t g = r.i64();
-        const std::uint64_t bytes = r.u64();
-        const auto span = r.bytes(static_cast<size_t>(bytes));
-        byGlobal[g] = {span.data(), bytes};
-      }
-    }
-    const auto myGlobals = layout_.localElements(node_->id());
-    if (static_cast<std::int64_t>(byGlobal.size()) != localCount_) {
-      throw FormatError(
-          "redistribution did not deliver exactly the local element set "
-          "(file layout inconsistent with its header)");
-    }
-    buffer_.clear();
-    elemOffsets_.assign(myGlobals.size(), 0);
-    elemSizes_.assign(myGlobals.size(), 0);
-    std::uint64_t pos = 0;
-    for (size_t j = 0; j < myGlobals.size(); ++j) {
-      const auto it = byGlobal.find(myGlobals[j]);
-      if (it == byGlobal.end()) {
-        throw FormatError("redistribution missing element " +
-                          std::to_string(myGlobals[j]));
-      }
-      elemOffsets_[j] = pos;
-      elemSizes_[j] = it->second.second;
-      buffer_.insert(buffer_.end(), it->second.first,
-                     it->second.first + it->second.second);
-      pos += it->second.second;
+  } else {
+    PCXX_OBS_PHASE(node_->obs(), "ds.redist", DsRedistSeconds);
+    if (!redistributeLegacy(header, chunk, chunkSizes, recordStart,
+                            recordEnd)) {
+      return false;
     }
   }
 
@@ -456,11 +408,139 @@ bool IStream::finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
   extractCursors_.assign(static_cast<size_t>(localCount_), 0);
   nextExtract_ = 0;
   state_ = State::Extracting;
-  salvage_.recordsRecovered += 1;
+  // A record only counts as *recovered* when salvage mode is actually
+  // scanning past damage; clean reads must report a clean SalvageReport.
+  if (opts_.salvage) salvage_.recordsRecovered += 1;
   if (sorted) {
     PCXX_OBS_COUNT(node_->obs(), DsReads, 1);
   } else {
     PCXX_OBS_COUNT(node_->obs(), DsUnsortedReads, 1);
+  }
+  return true;
+}
+
+bool IStream::redistributeLegacy(const RecordHeader& header,
+                                 const ByteBuffer& chunk,
+                                 const std::vector<std::uint64_t>& chunkSizes,
+                                 std::uint64_t recordStart,
+                                 std::uint64_t recordEnd) {
+  // ---- phase 2, seed path: sort + send to owner nodes (paper §4.1) --------
+  // Format problems found here are NODE-LOCAL (each node sees only its own
+  // chunk and its own arriving elements), so nothing may throw before the
+  // collectives: errors are captured in `error` and, in salvage mode,
+  // resolved by a vote after the exchange so every node skips together.
+  std::string error;
+  // Global indices of elements in file order, from the WRITER's layout.
+  std::vector<std::int64_t> fileOrderGlobals;
+  fileOrderGlobals.reserve(static_cast<size_t>(header.elementCount()));
+  for (int proc = 0; proc < header.layout.nprocs(); ++proc) {
+    const auto locals = header.layout.localElements(proc);
+    fileOrderGlobals.insert(fileOrderGlobals.end(), locals.begin(),
+                            locals.end());
+  }
+  // My chunk covers file positions [chunkStart, chunkStart + localCount_).
+  std::int64_t chunkStart = 0;
+  for (int r = 0; r < node_->id(); ++r) {
+    chunkStart += layout_.localCount(r);
+  }
+  // Route each element of my chunk to its reading owner.
+  std::vector<ByteBuffer> sendTo(static_cast<size_t>(node_->nprocs()));
+  std::uint64_t off = 0;
+  for (std::int64_t k = 0; k < localCount_; ++k) {
+    const std::int64_t g =
+        fileOrderGlobals[static_cast<size_t>(chunkStart + k)];
+    const std::uint64_t bytes = chunkSizes[static_cast<size_t>(k)];
+    off += bytes;
+    if (g < 0 || g >= layout_.size()) {
+      if (error.empty()) {
+        error = "record header routes global index " + std::to_string(g) +
+                " outside the collection during redistribution";
+      }
+      continue;
+    }
+    const int owner = layout_.ownerOf(g);
+    ByteBuffer& out = sendTo[static_cast<size_t>(owner)];
+    ByteWriter w(out);
+    w.i64(g);
+    w.u64(bytes);
+    w.bytes({chunk.data() + (off - bytes), static_cast<size_t>(bytes)});
+    if (owner != node_->id()) {
+      PCXX_OBS_COUNT(node_->obs(), RedistElementsMoved, 1);
+    }
+  }
+  for (int peer = 0; peer < node_->nprocs(); ++peer) {
+    const auto& buf = sendTo[static_cast<size_t>(peer)];
+    if (peer == node_->id() || buf.empty()) continue;
+    PCXX_OBS_COUNT(node_->obs(), RedistBytesSent, buf.size());
+    PCXX_OBS_COUNT(node_->obs(), RedistMessagesSent, 1);
+    PCXX_OBS_PEER_BYTES(node_->obs(), peer, buf.size());
+  }
+  [[maybe_unused]] const double waitedBefore = node_->clock().waitedSeconds();
+  const auto received = node_->alltoallv(sendTo);
+  PCXX_OBS_SECONDS(node_->obs(), RedistWaitSeconds,
+                   node_->clock().waitedSeconds() - waitedBefore);
+
+  // Collect my owned elements, then order them by ascending global index
+  // (= local order).
+  std::map<std::int64_t, std::pair<const Byte*, std::uint64_t>> byGlobal;
+  for (const ByteBuffer& buf : received) {
+    ByteReader r(buf);
+    while (r.remaining() > 0) {
+      const std::int64_t g = r.i64();
+      const std::uint64_t bytes = r.u64();
+      const auto span = r.bytes(static_cast<size_t>(bytes));
+      const auto [it, inserted] =
+          byGlobal.emplace(g, std::make_pair(span.data(), bytes));
+      if (!inserted && error.empty()) {
+        // A corrupt header listed the same global index under two writer
+        // positions; the map would silently keep one copy and a later
+        // "missing element" error would point at the wrong index.
+        error = "duplicate delivery for global index " + std::to_string(g) +
+                " during redistribution — the record header's element "
+                "mapping is corrupt";
+      }
+    }
+  }
+  const auto myGlobals = layout_.localElements(node_->id());
+  if (error.empty() &&
+      static_cast<std::int64_t>(byGlobal.size()) != localCount_) {
+    error =
+        "redistribution did not deliver exactly the local element set "
+        "(file layout inconsistent with its header)";
+  }
+  if (error.empty()) {
+    buffer_.clear();
+    elemOffsets_.assign(myGlobals.size(), 0);
+    elemSizes_.assign(myGlobals.size(), 0);
+    std::uint64_t pos = 0;
+    for (size_t j = 0; j < myGlobals.size(); ++j) {
+      const auto it = byGlobal.find(myGlobals[j]);
+      if (it == byGlobal.end()) {
+        error = "redistribution missing element " +
+                std::to_string(myGlobals[j]);
+        break;
+      }
+      elemOffsets_[j] = pos;
+      elemSizes_[j] = it->second.second;
+      buffer_.insert(buffer_.end(), it->second.first,
+                     it->second.first + it->second.second);
+      pos += it->second.second;
+    }
+  }
+  if (opts_.salvage) {
+    // One node's corrupt chunk is invisible to the others; vote so the
+    // whole machine skips the record together.
+    const std::uint64_t bad =
+        node_->allreduceSumU64(error.empty() ? 0 : 1);
+    if (bad != 0) {
+      return skipDamage(recordStart, recordEnd,
+                        error.empty()
+                            ? "a peer node detected inconsistent "
+                              "redistribution routing"
+                            : error);
+    }
+  } else if (!error.empty()) {
+    throw FormatError(error);
   }
   return true;
 }
@@ -655,8 +735,13 @@ int IStream::tryPrefetched(bool sorted) {
     restartPrefetch();
     return 0;
   }
-  finishRecord(sorted, std::move(header), std::move(r.dataChunk),
-               std::move(chunkSizes));
+  if (!finishRecord(sorted, std::move(header), std::move(r.dataChunk),
+                    std::move(chunkSizes), recordStart, r.next)) {
+    // Salvage skipped a record whose header routes a corrupt element set;
+    // the shared cursor moved past it.
+    restartPrefetch();
+    return 0;
+  }
   return 1;
 }
 

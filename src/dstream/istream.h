@@ -31,6 +31,7 @@
 #include "dstream/stream_common.h"
 #include "dstream/typetag.h"
 #include "pfs/parallel_file.h"
+#include "redist/redist.h"
 #include "runtime/machine.h"
 
 namespace pcxx::ds {
@@ -150,11 +151,21 @@ class IStream {
                     std::uint64_t myChunkBytes, std::uint64_t recordStart,
                     std::uint64_t recordEnd);
   /// Common tail of a record read: redistribution (or in-place placement),
-  /// bookkeeping, and the transition to Extracting. Always returns true.
+  /// bookkeeping, and the transition to Extracting. Returns false when
+  /// salvage mode skipped the record because its header routes an
+  /// inconsistent element set (duplicate or out-of-range global indices).
   bool finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
-                    std::vector<std::uint64_t> chunkSizes);
+                    std::vector<std::uint64_t> chunkSizes,
+                    std::uint64_t recordStart, std::uint64_t recordEnd);
+  /// Seed-era phase 2 (StreamOptions::redistUsePlan = false): per-record
+  /// enumeration of every node's element list and a std::map collection.
+  /// Kept for A/B comparison against the plan engine; byte-identical
+  /// output. Returns false when salvage mode skipped corrupt routing.
+  bool redistributeLegacy(const RecordHeader& header, const ByteBuffer& chunk,
+                          const std::vector<std::uint64_t>& chunkSizes,
+                          std::uint64_t recordStart, std::uint64_t recordEnd);
   /// Record damage [from, to) in the salvage report and advance past it.
-  bool skipDamage(std::uint64_t from, std::uint64_t to, const char* reason);
+  bool skipDamage(std::uint64_t from, std::uint64_t to, std::string reason);
   void checkExtract(const coll::Layout& collectionLayout, std::uint32_t tag,
                     InsertKind kind) const;
 
@@ -183,6 +194,15 @@ class IStream {
   std::vector<std::uint64_t> elemSizes_;
   std::vector<std::uint64_t> extractCursors_;
   size_t nextExtract_ = 0;
+
+  // Redistribution state for sorted reads under a changed layout. The
+  // stream memoizes the last plan (records of one file usually share a
+  // writer layout) on top of the process-wide redist::PlanCache; the
+  // scratch keeps exchange buffers at high-water capacity so steady-state
+  // redistribution allocates nothing.
+  redist::PlanPtr plan_;
+  std::optional<coll::Layout> planWriter_;  ///< writer layout of plan_
+  redist::ExchangeScratch redistScratch_;
 
   // Read-ahead state (null prefetcher_ = synchronous path). The modeled
   // fetch timeline is maintained here on the node thread — fetch k starts

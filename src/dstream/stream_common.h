@@ -35,6 +35,17 @@ struct StreamOptions {
   /// salvageReport() accounts for the losses.
   bool salvage = false;
 
+  // -- pcxx::redist (see docs/REDIST.md) -------------------------------------
+  /// Sorted reads under a changed layout: use the cached-plan redistribution
+  /// engine (pcxx::redist). Off = the legacy per-record enumeration + map
+  /// path, kept for A/B comparison; both produce byte-identical buffers.
+  bool redistUsePlan = true;
+  /// Bound on the payload bytes sent to any single peer per exchange round
+  /// during redistribution. Caps peak redistribution memory at
+  /// O(nprocs * redistChunkBytes) regardless of record size. 0 = exchange
+  /// each record in a single unchunked round.
+  std::uint64_t redistChunkBytes = 1 << 20;
+
   // -- pcxx::aio overlap (see docs/ASYNC.md) ---------------------------------
   /// Output streams: write-behind queue depth (buffers in flight per node).
   /// 0 = fully synchronous (today's path, byte-for-byte). Ignored when the

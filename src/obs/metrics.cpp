@@ -21,6 +21,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "redist.bytes_sent",
     "redist.messages_sent",
     "redist.elements_moved",
+    "redist.plan_hits",
+    "redist.plan_misses",
     "pfs.read_ops",
     "pfs.write_ops",
     "pfs.read_bytes",
@@ -46,6 +48,7 @@ constexpr const char* kTimerNames[kNumTimers] = {
     "ds.header_seconds",
     "ds.redist_seconds",
     "redist.wait_seconds",
+    "redist.plan_build_seconds",
     "pfs.read_seconds",
     "pfs.write_seconds",
     "pfs.queue_wait_seconds",
@@ -61,6 +64,7 @@ constexpr const char* kHistNames[kNumHists] = {
     "pfs.read_size",
     "pfs.write_size",
     "aio.queue_depth",
+    "redist.chunk_bytes",
 };
 
 }  // namespace

@@ -55,6 +55,8 @@ enum class Counter : int {
   RedistBytesSent,      ///< phase-2 bytes sent to *other* nodes
   RedistMessagesSent,   ///< phase-2 non-empty buffers sent to other nodes
   RedistElementsMoved,  ///< elements routed to other nodes
+  RedistPlanHits,       ///< redistribution plans served from a cache
+  RedistPlanMisses,     ///< redistribution plans built from scratch
   PfsReadOps,         ///< storage read requests issued
   PfsWriteOps,        ///< storage write requests issued
   PfsReadBytes,       ///< bytes requested by reads
@@ -82,6 +84,7 @@ enum class Timer : int {
   DsHeaderSeconds,      ///< phase: header construct + checksum collectives
   DsRedistSeconds,      ///< phase: two-phase redistribution exchange
   RedistWaitSeconds,    ///< of which: sync skew absorbed in the exchange
+  RedistPlanBuildSeconds,  ///< phase: building redistribution plans
   PfsReadSeconds,       ///< phase: inside pfs read ops (incl. their syncs)
   PfsWriteSeconds,      ///< phase: inside pfs write ops (incl. their syncs)
   PfsQueueWaitSeconds,  ///< of which: small-op I/O-node queue wait
@@ -99,6 +102,7 @@ enum class Hist : int {
   PfsReadSize,   ///< bytes per storage read request
   PfsWriteSize,  ///< bytes per storage write request
   AioQueueDepth, ///< write-behind queue occupancy sampled at each submit
+  RedistChunkBytes,  ///< bytes per peer per chunked-exchange round
   kCount
 };
 

@@ -1,0 +1,390 @@
+// RedistPlan construction and the process-wide plan cache.
+//
+// Plan building is pure layout arithmetic: no collectives, no I/O. Every
+// node derives its plan from the same broadcast record-header bytes, so
+// any FormatError raised here fires on every node at the same program
+// point — which is what lets salvage mode make a collectively consistent
+// skip decision without an extra vote.
+#include "redist/redist.h"
+
+#include <algorithm>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.h"
+
+namespace pcxx::redist {
+
+namespace {
+
+/// File order is writer-proc-major: node w's elements occupy file
+/// positions [writerPrefix[w], writerPrefix[w+1]), ascending by global
+/// index. This helper answers both directions of that mapping, using the
+/// distribution's closed forms when the alignment is identity and one
+/// O(size) enumeration otherwise (paid once per plan build, then cached).
+class WriterOrder {
+ public:
+  WriterOrder(const coll::Layout& writer, std::int64_t size)
+      : writer_(writer), closed_(writer.closedForm()) {
+    const int wprocs = writer_.nprocs();
+    prefix_.assign(static_cast<size_t>(wprocs) + 1, 0);
+    if (closed_) {
+      for (int w = 0; w < wprocs; ++w) {
+        prefix_[static_cast<size_t>(w) + 1] =
+            prefix_[static_cast<size_t>(w)] +
+            writer_.distribution().localCount(w);
+      }
+    } else {
+      std::vector<std::int64_t> counts(static_cast<size_t>(wprocs), 0);
+      for (std::int64_t i = 0; i < size; ++i) {
+        const int o = writer_.ownerOf(i);
+        if (o < 0 || o >= wprocs) {
+          throw FormatError(
+              "record header layout routes global index " + std::to_string(i) +
+              " to node " + std::to_string(o) + " of " +
+              std::to_string(wprocs) + " — the file's layout is corrupt");
+        }
+        counts[static_cast<size_t>(o)] += 1;
+      }
+      for (int w = 0; w < wprocs; ++w) {
+        prefix_[static_cast<size_t>(w) + 1] =
+            prefix_[static_cast<size_t>(w)] + counts[static_cast<size_t>(w)];
+      }
+      // Second pass: both directions of the file-order mapping.
+      fileIndexOf_.assign(static_cast<size_t>(size), 0);
+      globalAtFile_.assign(static_cast<size_t>(size), 0);
+      std::vector<std::int64_t> cursor(prefix_.begin(), prefix_.end() - 1);
+      for (std::int64_t i = 0; i < size; ++i) {
+        const int o = writer_.ownerOf(i);
+        const std::int64_t f = cursor[static_cast<size_t>(o)]++;
+        fileIndexOf_[static_cast<size_t>(i)] = f;
+        globalAtFile_[static_cast<size_t>(f)] = i;
+      }
+    }
+    if (prefix_.back() != size) {
+      throw FormatError(
+          "record header layout's local element lists cover " +
+          std::to_string(prefix_.back()) + " of " + std::to_string(size) +
+          " elements — the file's layout is corrupt");
+    }
+  }
+
+  std::int64_t total() const { return prefix_.back(); }
+
+  /// Global index at file position `f`. `w` is a monotone cursor hint for
+  /// sequential scans (callers pass the same int across ascending f).
+  std::int64_t globalAt(std::int64_t f, int& w) const {
+    if (!closed_) return globalAtFile_[static_cast<size_t>(f)];
+    while (w + 1 < static_cast<int>(prefix_.size()) - 1 &&
+           f >= prefix_[static_cast<size_t>(w) + 1]) {
+      ++w;
+    }
+    return writer_.distribution().localToGlobal(
+        w, f - prefix_[static_cast<size_t>(w)]);
+  }
+
+  /// File position of global index `g`.
+  std::int64_t fileIndexOf(std::int64_t g) const {
+    if (!closed_) return fileIndexOf_[static_cast<size_t>(g)];
+    const int o = writer_.distribution().ownerOf(g);
+    return prefix_[static_cast<size_t>(o)] +
+           writer_.distribution().globalToLocal(g);
+  }
+
+ private:
+  const coll::Layout& writer_;
+  bool closed_;
+  std::vector<std::int64_t> prefix_;        // size wprocs + 1
+  std::vector<std::int64_t> fileIndexOf_;   // non-closed-form only
+  std::vector<std::int64_t> globalAtFile_;  // non-closed-form only
+};
+
+}  // namespace
+
+PlanPtr buildPlan(const coll::Layout& writer, const coll::Layout& reader,
+                  int nprocs, int me) {
+  PCXX_REQUIRE(nprocs > 0 && me >= 0 && me < nprocs,
+               "buildPlan: bad machine shape");
+  const std::int64_t size = reader.size();
+  if (writer.size() != size) {
+    throw FormatError("record header layout describes " +
+                      std::to_string(writer.size()) +
+                      " elements but the reader expects " +
+                      std::to_string(size));
+  }
+
+  auto plan = std::make_shared<RedistPlan>();
+  plan->nprocs = nprocs;
+  plan->me = me;
+
+  // ---- reader side: per-node counts, owners, and local slots -------------
+  const bool readerClosed = reader.closedForm();
+  std::vector<std::int64_t> readerCounts(static_cast<size_t>(nprocs), 0);
+  std::vector<std::int64_t> readerSlotOf;  // non-closed-form fallback
+  std::vector<int> readerOwnerOf;          // non-closed-form fallback
+  if (readerClosed) {
+    for (int p = 0; p < nprocs; ++p) {
+      readerCounts[static_cast<size_t>(p)] = reader.localCount(p);
+    }
+  } else {
+    readerOwnerOf.assign(static_cast<size_t>(size), 0);
+    readerSlotOf.assign(static_cast<size_t>(size), 0);
+    for (std::int64_t i = 0; i < size; ++i) {
+      const int o = reader.ownerOf(i);
+      PCXX_CHECK(o >= 0 && o < nprocs);
+      readerOwnerOf[static_cast<size_t>(i)] = o;
+      // Locals ascend by global index, so the running count IS the slot.
+      readerSlotOf[static_cast<size_t>(i)] =
+          readerCounts[static_cast<size_t>(o)]++;
+    }
+  }
+  // Phase-1 chunks partition file order by the reader's local counts.
+  std::vector<std::int64_t> chunkPrefix(static_cast<size_t>(nprocs) + 1, 0);
+  for (int p = 0; p < nprocs; ++p) {
+    chunkPrefix[static_cast<size_t>(p) + 1] =
+        chunkPrefix[static_cast<size_t>(p)] +
+        readerCounts[static_cast<size_t>(p)];
+  }
+  PCXX_CHECK(chunkPrefix.back() == size);
+  plan->chunkStart = chunkPrefix[static_cast<size_t>(me)];
+  plan->chunkCount = readerCounts[static_cast<size_t>(me)];
+  plan->localCount = readerCounts[static_cast<size_t>(me)];
+
+  // ---- writer side: the file-order mapping (may throw FormatError) -------
+  const WriterOrder order(writer, size);
+
+  // ---- sender side: route my chunk, counting-sorted by destination -------
+  const std::int64_t chunkCount = plan->chunkCount;
+  std::vector<int> ownerOfChunk(static_cast<size_t>(chunkCount), 0);
+  std::vector<std::int64_t> slotOfChunk(static_cast<size_t>(chunkCount), 0);
+  std::vector<std::int64_t> sendCounts(static_cast<size_t>(nprocs), 0);
+  int wCursor = 0;
+  for (std::int64_t k = 0; k < chunkCount; ++k) {
+    const std::int64_t g = order.globalAt(plan->chunkStart + k, wCursor);
+    if (g < 0 || g >= size) {
+      throw FormatError("record header layout yields out-of-range global "
+                        "index " +
+                        std::to_string(g) + " at file position " +
+                        std::to_string(plan->chunkStart + k));
+    }
+    const int o =
+        readerClosed ? reader.ownerOf(g) : readerOwnerOf[static_cast<size_t>(g)];
+    PCXX_CHECK(o >= 0 && o < nprocs);
+    ownerOfChunk[static_cast<size_t>(k)] = o;
+    slotOfChunk[static_cast<size_t>(k)] =
+        readerClosed ? reader.distribution().globalToLocal(g)
+                     : readerSlotOf[static_cast<size_t>(g)];
+    sendCounts[static_cast<size_t>(o)] += 1;
+  }
+  plan->sendStarts.assign(static_cast<size_t>(nprocs) + 1, 0);
+  for (int p = 0; p < nprocs; ++p) {
+    plan->sendStarts[static_cast<size_t>(p) + 1] =
+        plan->sendStarts[static_cast<size_t>(p)] +
+        sendCounts[static_cast<size_t>(p)];
+  }
+  plan->sendIdx.assign(static_cast<size_t>(chunkCount), 0);
+  plan->sendSlot.assign(static_cast<size_t>(chunkCount), 0);
+  std::vector<std::int64_t> fill(plan->sendStarts.begin(),
+                                 plan->sendStarts.end() - 1);
+  for (std::int64_t k = 0; k < chunkCount; ++k) {
+    const int o = ownerOfChunk[static_cast<size_t>(k)];
+    const std::int64_t at = fill[static_cast<size_t>(o)]++;
+    plan->sendIdx[static_cast<size_t>(at)] = k;
+    plan->sendSlot[static_cast<size_t>(at)] = slotOfChunk[static_cast<size_t>(k)];
+  }
+
+  // ---- receiver side: where each of my elements arrives from -------------
+  std::vector<std::int64_t> myGlobals;
+  myGlobals.reserve(static_cast<size_t>(plan->localCount));
+  if (readerClosed) {
+    const std::int64_t n = plan->localCount;
+    for (std::int64_t l = 0; l < n; ++l) {
+      myGlobals.push_back(reader.distribution().localToGlobal(me, l));
+    }
+  } else {
+    for (std::int64_t i = 0; i < size; ++i) {
+      if (readerOwnerOf[static_cast<size_t>(i)] == me) myGlobals.push_back(i);
+    }
+  }
+  struct Arrival {
+    int src;
+    std::int64_t filePos;
+    std::int64_t slot;
+  };
+  std::vector<Arrival> arrivals;
+  std::int64_t selfSeen = 0;
+  for (std::int64_t j = 0;
+       j < static_cast<std::int64_t>(myGlobals.size()); ++j) {
+    const std::int64_t f = order.fileIndexOf(myGlobals[static_cast<size_t>(j)]);
+    const auto it =
+        std::upper_bound(chunkPrefix.begin(), chunkPrefix.end(), f);
+    const int s = static_cast<int>(it - chunkPrefix.begin()) - 1;
+    if (s == me) {
+      selfSeen += 1;
+      continue;
+    }
+    arrivals.push_back(Arrival{s, f, j});
+  }
+  PCXX_CHECK(selfSeen == plan->sendCountTo(me));
+  // A peer transmits its group to me in its file order, so my arrival
+  // order from that peer is ascending file position.
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return a.src != b.src ? a.src < b.src : a.filePos < b.filePos;
+            });
+  plan->recvStarts.assign(static_cast<size_t>(nprocs) + 1, 0);
+  for (const Arrival& a : arrivals) {
+    plan->recvStarts[static_cast<size_t>(a.src) + 1] += 1;
+  }
+  for (int p = 0; p < nprocs; ++p) {
+    plan->recvStarts[static_cast<size_t>(p) + 1] +=
+        plan->recvStarts[static_cast<size_t>(p)];
+  }
+  plan->recvSlot.reserve(arrivals.size());
+  plan->recvSlot.clear();
+  for (const Arrival& a : arrivals) {
+    plan->recvSlot.push_back(a.slot);
+  }
+
+  // ---- validation: self + arrivals must tile [0, localCount) exactly -----
+  // Any aliasing in a corrupt writer layout shows up here as a duplicate
+  // delivery slot; name the offending global index precisely instead of
+  // letting it surface later as a vague count mismatch.
+  std::vector<std::uint8_t> seen(static_cast<size_t>(plan->localCount), 0);
+  std::int64_t covered = 0;
+  auto mark = [&](std::int64_t slot) {
+    if (slot < 0 || slot >= plan->localCount ||
+        seen[static_cast<size_t>(slot)] != 0) {
+      const std::int64_t g =
+          (slot >= 0 && slot < static_cast<std::int64_t>(myGlobals.size()))
+              ? myGlobals[static_cast<size_t>(slot)]
+              : slot;
+      throw FormatError(
+          "duplicate delivery for global index " + std::to_string(g) +
+          " during redistribution routing — the record header's layout is "
+          "corrupt");
+    }
+    seen[static_cast<size_t>(slot)] = 1;
+    covered += 1;
+  };
+  for (std::int64_t i = plan->sendStarts[static_cast<size_t>(me)];
+       i < plan->sendStarts[static_cast<size_t>(me) + 1]; ++i) {
+    mark(plan->sendSlot[static_cast<size_t>(i)]);
+  }
+  for (const std::int64_t slot : plan->recvSlot) mark(slot);
+  if (covered != plan->localCount) {
+    throw FormatError(
+        "redistribution routing covers " + std::to_string(covered) + " of " +
+        std::to_string(plan->localCount) +
+        " local elements — the record header's layout is corrupt");
+  }
+  return plan;
+}
+
+std::string planKey(const coll::Layout& writer, const coll::Layout& reader,
+                    int nprocs, int me) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  writer.encode(w);
+  reader.encode(w);
+  w.u32(static_cast<std::uint32_t>(nprocs));
+  w.u32(static_cast<std::uint32_t>(me));
+  return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+struct PlanCache::Impl {
+  std::mutex mu;
+  size_t capacity;
+  // Front = most recently used. The map indexes into the list.
+  std::list<std::pair<std::string, PlanPtr>> lru;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, PlanPtr>>::iterator>
+      index;
+
+  void evictOverCapacityLocked() {
+    while (lru.size() > capacity) {
+      index.erase(lru.back().first);
+      lru.pop_back();
+    }
+  }
+};
+
+PlanCache::PlanCache(size_t capacity) : impl_(std::make_shared<Impl>()) {
+  impl_->capacity = capacity;
+}
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache;
+  return cache;
+}
+
+PlanPtr PlanCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->index.find(key);
+  if (it == impl_->index.end()) return nullptr;
+  impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+  return impl_->lru.front().second;
+}
+
+void PlanCache::put(const std::string& key, PlanPtr plan) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->capacity == 0) return;
+  const auto it = impl_->index.find(key);
+  if (it != impl_->index.end()) {
+    it->second->second = std::move(plan);
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+    return;
+  }
+  impl_->lru.emplace_front(key, std::move(plan));
+  impl_->index.emplace(key, impl_->lru.begin());
+  impl_->evictOverCapacityLocked();
+}
+
+size_t PlanCache::size() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->lru.size();
+}
+
+size_t PlanCache::capacity() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->capacity;
+}
+
+void PlanCache::setCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->capacity = capacity;
+  impl_->evictOverCapacityLocked();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->lru.clear();
+  impl_->index.clear();
+}
+
+PlanPtr planFor(const coll::Layout& writer, const coll::Layout& reader,
+                rt::Node& node) {
+  const std::string key = planKey(writer, reader, node.nprocs(), node.id());
+  PlanCache& cache = PlanCache::instance();
+  if (PlanPtr hit = cache.get(key)) {
+    PCXX_OBS_COUNT(node.obs(), RedistPlanHits, 1);
+    return hit;
+  }
+  PCXX_OBS_COUNT(node.obs(), RedistPlanMisses, 1);
+  PlanPtr plan;
+  {
+    PCXX_OBS_PHASE(node.obs(), "redist.plan", RedistPlanBuildSeconds);
+    plan = buildPlan(writer, reader, node.nprocs(), node.id());
+  }
+  cache.put(key, plan);
+  return plan;
+}
+
+}  // namespace pcxx::redist

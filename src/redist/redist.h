@@ -1,0 +1,160 @@
+// pcxx::redist — the plan-based redistribution engine (paper §4.1 phase 2).
+//
+// A sorted read whose reader layout differs from the layout stored in the
+// record header must move every element from its phase-1 file-order
+// position to its reader-side owner. The seed implementation recomputed
+// that mapping per record per node by enumerating EVERY node's local
+// element list (O(total elements) work and memory) and collected the
+// exchanged elements through a std::map. This module separates the
+// mapping (a RedistPlan, computed once per (writer layout, reader layout,
+// nprocs, node) and cached) from the per-record execution (counting-sort
+// placement into preallocated buffers + a chunked alltoallv with bounded
+// peak memory):
+//
+//   * buildPlan() — pure layout arithmetic, no collectives. Closed-form
+//     layouts (identity alignment) cost O(local + nprocs) per node; a
+//     non-closed-form side falls back to one O(size) enumeration — but
+//     only at plan-build time, never per record.
+//   * PlanCache — process-wide LRU keyed by the encoded layout pair plus
+//     (nprocs, node id). ViPIOS-style: the source→target mapping is a
+//     reusable object, not a per-operation recomputation.
+//   * execute() — places this node's phase-1 chunk and the exchanged
+//     bytes straight into the caller's (buffer, offsets, sizes) arrays.
+//     All scratch space lives in an ExchangeScratch the caller keeps
+//     across records, so steady-state execution allocates nothing
+//     (matching the aio BufferPool discipline). The data exchange runs in
+//     rounds of at most `chunkBytes` per peer, bounding peak
+//     redistribution memory independently of record size.
+//
+// Layering: redist sits on collection + runtime (+obs via runtime); the
+// d/stream input path consumes it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collection/layout.h"
+#include "runtime/machine.h"
+#include "util/bytes.h"
+
+namespace pcxx::redist {
+
+/// One node's precomputed routing for a (writer layout, reader layout,
+/// nprocs) triple. Plans are immutable after construction and shared
+/// across streams/records via PlanPtr.
+struct RedistPlan {
+  int nprocs = 0;  ///< machine size the plan was built for
+  int me = 0;      ///< node the plan belongs to
+
+  std::int64_t localCount = 0;  ///< reader-side elements this node owns
+  std::int64_t chunkCount = 0;  ///< elements in this node's phase-1 chunk
+  std::int64_t chunkStart = 0;  ///< file-order position of the chunk
+
+  /// Sender side: the chunk's elements grouped by destination peer
+  /// (counting-sorted, stable in file order). Peer p's group is
+  /// sendIdx[sendStarts[p] .. sendStarts[p+1]):
+  ///   sendIdx[k]  — chunk-relative element index (ascending in a group)
+  ///   sendSlot[k] — destination local slot at peer p
+  /// The me-group is never transmitted; execute() places it locally.
+  std::vector<std::int64_t> sendStarts;  ///< size nprocs + 1
+  std::vector<std::int64_t> sendIdx;
+  std::vector<std::int64_t> sendSlot;
+
+  /// Receiver side: local slots of elements arriving from each peer, in
+  /// the peer's transmission (= file) order. Excludes the self group.
+  std::vector<std::int64_t> recvStarts;  ///< size nprocs + 1
+  std::vector<std::int64_t> recvSlot;
+
+  std::int64_t sendCountTo(int peer) const {
+    return sendStarts[static_cast<size_t>(peer) + 1] -
+           sendStarts[static_cast<size_t>(peer)];
+  }
+  std::int64_t recvCountFrom(int peer) const {
+    return recvStarts[static_cast<size_t>(peer) + 1] -
+           recvStarts[static_cast<size_t>(peer)];
+  }
+};
+
+using PlanPtr = std::shared_ptr<const RedistPlan>;
+
+/// Compute node `me`'s plan for redistributing a record written under
+/// `writer` into collections laid out by `reader` on an `nprocs`-node
+/// machine. Pure (no collectives): every node derives its plan from the
+/// same broadcast header bytes, so a FormatError here is raised on every
+/// node at the same point. Throws FormatError when the writer layout
+/// (which came from the file) routes duplicate or out-of-range global
+/// indices — the precise index is named in the message.
+PlanPtr buildPlan(const coll::Layout& writer, const coll::Layout& reader,
+                  int nprocs, int me);
+
+/// Cache key for a plan: the encoded layout pair + (nprocs, me).
+std::string planKey(const coll::Layout& writer, const coll::Layout& reader,
+                    int nprocs, int me);
+
+/// Process-wide LRU cache of plans. Thread-safe (node threads of one or
+/// several machines hit it concurrently); bounded so a long-running
+/// process scanning many layout pairs cannot grow without limit.
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity);
+
+  /// The process-wide instance used by planFor().
+  static PlanCache& instance();
+
+  /// Lookup; refreshes LRU position. Null when absent.
+  PlanPtr get(const std::string& key);
+  /// Insert (or refresh), evicting the least recently used entry beyond
+  /// capacity.
+  void put(const std::string& key, PlanPtr plan);
+
+  size_t size();
+  size_t capacity();
+  /// Resize; drops LRU entries if shrinking. Capacity 0 disables caching.
+  void setCapacity(size_t capacity);
+  void clear();
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Cache-aware plan lookup for `node`: consults PlanCache::instance(),
+/// building and inserting on a miss. Counts redist.plan_hits/misses and
+/// times plan builds on the node's observer.
+PlanPtr planFor(const coll::Layout& writer, const coll::Layout& reader,
+                rt::Node& node);
+
+/// Reusable per-stream workspace for execute(). Keeping it across records
+/// is what makes steady-state execution allocation-free: every vector is
+/// resized/assigned in place and settles at its high-water capacity.
+struct ExchangeScratch {
+  std::vector<ByteBuffer> sendBufs;
+  std::vector<ByteBuffer> recvBufs;
+  std::vector<std::uint64_t> chunkOffsets;   ///< chunk element -> byte offset
+  std::vector<std::uint64_t> sendPeerBytes;  ///< payload bytes owed per peer
+  std::vector<std::uint64_t> recvPeerBytes;  ///< payload bytes due per peer
+  // Per-round pack/consume cursors (element index into sendIdx/recvSlot +
+  // byte offset inside the element at the cursor).
+  std::vector<std::int64_t> sendCursor;
+  std::vector<std::uint64_t> sendInner;
+  std::vector<std::int64_t> recvCursor;
+  std::vector<std::uint64_t> recvInner;
+};
+
+/// Execute phase 2 for one record: redistribute this node's phase-1 chunk
+/// (`chunk`, per-element sizes `chunkSizes` in file order) into reader
+/// local order, depositing into (buffer, elemOffsets, elemSizes).
+/// `chunkBytes` bounds the payload sent to any single peer per exchange
+/// round (0 = a single unchunked round, the seed behaviour). Collective:
+/// every node must call with plans built from the same layout pair.
+void execute(rt::Node& node, const RedistPlan& plan, const ByteBuffer& chunk,
+             const std::vector<std::uint64_t>& chunkSizes,
+             std::uint64_t chunkBytes, ByteBuffer& buffer,
+             std::vector<std::uint64_t>& elemOffsets,
+             std::vector<std::uint64_t>& elemSizes, ExchangeScratch& scratch);
+
+}  // namespace pcxx::redist

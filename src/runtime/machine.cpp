@@ -172,8 +172,17 @@ void Node::broadcastBytes(int root, ByteBuffer& data) {
 
 std::vector<ByteBuffer> Node::alltoallv(
     const std::vector<ByteBuffer>& sendTo) {
+  std::vector<ByteBuffer> out;
+  alltoallvInto(sendTo, out);
+  return out;
+}
+
+void Node::alltoallvInto(const std::vector<ByteBuffer>& sendTo,
+                         std::vector<ByteBuffer>& recv) {
   PCXX_REQUIRE(static_cast<int>(sendTo.size()) == nprocs(),
                "alltoallv: need one buffer per destination node");
+  PCXX_REQUIRE(&sendTo != &recv,
+               "alltoallvInto: send and receive vectors must be distinct");
   Machine& m = *machine_;
   m.stageVecs_[static_cast<size_t>(id_)] = &sendTo;
   m.barrierSync(
@@ -185,13 +194,15 @@ std::vector<ByteBuffer> Node::alltoallv(
         }
       },
       /*applyCost=*/true);
-  std::vector<ByteBuffer> out(static_cast<size_t>(nprocs()));
+  recv.resize(static_cast<size_t>(nprocs()));
   for (int s = 0; s < nprocs(); ++s) {
-    out[static_cast<size_t>(s)] =
+    const ByteBuffer& src =
         (*m.stageVecs_[static_cast<size_t>(s)])[static_cast<size_t>(id_)];
+    // assign() never shrinks capacity: repeated exchanges into the same
+    // vector settle into steady-state zero allocation.
+    recv[static_cast<size_t>(s)].assign(src.begin(), src.end());
   }
   m.barrierSync(nullptr, /*applyCost=*/false);
-  return out;
 }
 
 double Node::allreduceMax(double v) {

@@ -123,6 +123,13 @@ class Node {
   /// Each node passes one buffer per destination; returns one buffer per
   /// source (buffers addressed to this node).
   std::vector<ByteBuffer> alltoallv(const std::vector<ByteBuffer>& sendTo);
+  /// alltoallv variant that deposits into caller-owned buffers: `recv` is
+  /// resized to nprocs and each slot is overwritten via assign(), so the
+  /// buffers' capacity is reused across calls. This is what lets the
+  /// chunked redistribution exchange run with zero steady-state
+  /// allocation — round k reuses round k-1's receive storage.
+  void alltoallvInto(const std::vector<ByteBuffer>& sendTo,
+                     std::vector<ByteBuffer>& recv);
   double allreduceMax(double v);
   double allreduceSum(double v);
   std::uint64_t allreduceSumU64(std::uint64_t v);

@@ -5,27 +5,47 @@
 namespace pcxx::rt {
 
 void Mailbox::push(Message msg) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(msg));
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(msg));
+  const Message& m = queue_.back();
+  // Wake every matching waiter that has not been signaled yet (not just
+  // the first: an earlier push may already have signaled one of them, and
+  // that waiter will take the earlier message). Waiters whose pattern
+  // cannot match this message stay asleep.
+  for (Waiter* w : waiters_) {
+    if (!w->signaled && matches(m, w->src, w->tag)) {
+      w->signaled = true;
+      w->cv.notify_one();
+    }
   }
-  cv_.notify_all();
 }
 
 Message Mailbox::waitPop(int src, int tag) {
   std::unique_lock<std::mutex> lock(mu_);
+  Waiter self;
+  self.src = src;
+  self.tag = tag;
+  bool registered = false;
   for (;;) {
     if (aborted_) {
+      if (registered) std::erase(waiters_, &self);
       throw Error("machine aborted while node was waiting in recv()");
     }
-    auto it = std::find_if(queue_.begin(), queue_.end(),
-                           [&](const Message& m) { return matches(m, src, tag); });
+    auto it =
+        std::find_if(queue_.begin(), queue_.end(),
+                     [&](const Message& m) { return matches(m, src, tag); });
     if (it != queue_.end()) {
       Message out = std::move(*it);
       queue_.erase(it);
+      if (registered) std::erase(waiters_, &self);
       return out;
     }
-    cv_.wait(lock);
+    if (!registered) {
+      waiters_.push_back(&self);
+      registered = true;
+    }
+    self.signaled = false;
+    self.cv.wait(lock, [&] { return self.signaled || aborted_; });
   }
 }
 
@@ -36,11 +56,12 @@ bool Mailbox::probe(int src, int tag) {
 }
 
 void Mailbox::abort() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    aborted_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+  for (Waiter* w : waiters_) {
+    w->signaled = true;
+    w->cv.notify_one();
   }
-  cv_.notify_all();
 }
 
 void Mailbox::reset() {

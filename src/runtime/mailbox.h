@@ -4,11 +4,19 @@
 // mailbox; recv() blocks until a message matching (src, tag) is present.
 // Matching follows MPI semantics: kAnySource / kAnyTag are wildcards, and
 // messages from the same (src, tag) pair are delivered in send order.
+//
+// Blocked receivers register a per-waiter condition variable with the
+// (src, tag) pattern they are waiting for; push() signals only waiters the
+// new message can satisfy. With one shared condition variable every push
+// would wake every blocked receiver to re-scan the queue — a thundering
+// herd once the chunked redistribution exchange has several rounds of
+// traffic in flight.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "runtime/message.h"
 #include "util/error.h"
@@ -17,7 +25,8 @@ namespace pcxx::rt {
 
 class Mailbox {
  public:
-  /// Enqueue a message (called by the sending node's thread).
+  /// Enqueue a message (called by the sending node's thread). Wakes only
+  /// waiters whose (src, tag) pattern matches the message.
   void push(Message msg);
 
   /// Block until a message matching (src, tag) arrives, then remove and
@@ -36,14 +45,24 @@ class Mailbox {
   size_t pendingCount();
 
  private:
+  /// One blocked waitPop(), registered while it sleeps. Lives on the
+  /// waiter's stack; the registry only ever holds live entries because
+  /// waitPop() deregisters on every exit path while holding mu_.
+  struct Waiter {
+    int src;
+    int tag;
+    bool signaled = false;
+    std::condition_variable cv;
+  };
+
   bool matches(const Message& m, int src, int tag) const {
     return (src == kAnySource || m.src == src) &&
            (tag == kAnyTag || m.tag == tag);
   }
 
   std::mutex mu_;
-  std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::vector<Waiter*> waiters_;  // guarded by mu_
   bool aborted_ = false;
 };
 

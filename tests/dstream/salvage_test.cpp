@@ -112,6 +112,37 @@ TEST(Salvage, CleanFileReadsEverythingWithEmptyReport) {
   EXPECT_EQ(report.recordsLost, 0u);
 }
 
+TEST(Salvage, NonSalvageReadsClaimNoRecoveries) {
+  // Regression: recordsRecovered used to be bumped on EVERY successful
+  // finishRecord, so a clean reader without salvage enabled reported
+  // "recoveries" it never performed. Recovery counts are salvage-mode
+  // bookkeeping only.
+  pfs::Pfs fs = test::memFs();
+  writeRecords(fs, 3);
+  ds::SalvageReport cleanReport;
+  test::runSpmd(kNodes, [&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(kElems, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    ds::IStream s(fs, &d, "f.ds");  // salvage OFF
+    for (int r = 0; r < 3; ++r) {
+      s.read();
+      s >> g;
+      EXPECT_EQ(countWrong(g, r), 0);
+    }
+    if (node.id() == 0) cleanReport = s.salvageReport();
+  });
+  EXPECT_EQ(cleanReport.recordsRecovered, 0u);
+  EXPECT_EQ(cleanReport.recordsLost, 0u);
+  EXPECT_TRUE(cleanReport.clean());
+
+  // The same file under salvage DOES count its records as recovered — the
+  // two reports must differ exactly in that counter.
+  auto [recovered, report] = salvageRead(fs, 3);
+  EXPECT_EQ(recovered, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(report.recordsRecovered, 3u);
+}
+
 TEST(Salvage, CorruptMiddleRecordIsSkippedAndReported) {
   pfs::Pfs fs = test::memFs();
   const auto spans = writeRecords(fs, 3);

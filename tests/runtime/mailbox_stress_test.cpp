@@ -1,0 +1,175 @@
+// Targeted concurrency stress for the per-waiter mailbox wakeup (the
+// thundering-herd fix): many blocked receivers with distinct (src, tag)
+// patterns, concurrent pushers, wildcard waiters, and abort while waiting.
+// Run under the TSan CI leg; the assertions here are about delivery
+// completeness, the interesting failures are data races and lost wakeups
+// (which present as a hung test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/mailbox.h"
+
+namespace {
+
+using namespace pcxx;
+
+TEST(MailboxStress, DistinctTagWaitersEachGetTheirMessages) {
+  rt::Mailbox box;
+  constexpr int kTags = 8;
+  constexpr int kPerTag = 200;
+  std::atomic<std::uint64_t> received{0};
+  std::vector<std::thread> receivers;
+  for (int t = 0; t < kTags; ++t) {
+    receivers.emplace_back([&box, &received, t] {
+      for (int i = 0; i < kPerTag; ++i) {
+        const rt::Message m = box.waitPop(/*src=*/0, /*tag=*/t);
+        EXPECT_EQ(m.tag, t);
+        EXPECT_EQ(m.payload.size(), static_cast<size_t>(t + 1));
+        received.fetch_add(1);
+      }
+    });
+  }
+  // Two pushers interleave tags so most pushes match exactly one of the
+  // eight sleeping waiters.
+  std::vector<std::thread> pushers;
+  for (int p = 0; p < 2; ++p) {
+    pushers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerTag / 2; ++i) {
+        for (int t = 0; t < kTags; ++t) {
+          rt::Message m;
+          m.src = 0;
+          m.tag = t;
+          m.payload.assign(static_cast<size_t>(t + 1),
+                           static_cast<Byte>(p));
+          box.push(std::move(m));
+        }
+      }
+    });
+  }
+  for (auto& th : pushers) th.join();
+  for (auto& th : receivers) th.join();
+  EXPECT_EQ(received.load(), static_cast<std::uint64_t>(kTags * kPerTag));
+  EXPECT_EQ(box.pendingCount(), 0u);
+}
+
+TEST(MailboxStress, WildcardWaiterDrainsEverySource) {
+  rt::Mailbox box;
+  constexpr int kSources = 6;
+  constexpr int kPerSource = 100;
+  std::atomic<std::uint64_t> received{0};
+  std::thread receiver([&box, &received] {
+    for (int i = 0; i < kSources * kPerSource; ++i) {
+      (void)box.waitPop(rt::kAnySource, rt::kAnyTag);
+      received.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> pushers;
+  for (int s = 0; s < kSources; ++s) {
+    pushers.emplace_back([&box, s] {
+      for (int i = 0; i < kPerSource; ++i) {
+        rt::Message m;
+        m.src = s;
+        m.tag = i;
+        box.push(std::move(m));
+      }
+    });
+  }
+  for (auto& th : pushers) th.join();
+  receiver.join();
+  EXPECT_EQ(received.load(),
+            static_cast<std::uint64_t>(kSources * kPerSource));
+}
+
+TEST(MailboxStress, MixedSpecificAndWildcardWaiters) {
+  // A wildcard waiter competes with tag-specific waiters; every message
+  // matches at least one of them and all messages are consumed. push()
+  // signals ALL matching unsignaled waiters (not just the first), so a
+  // waiter that loses the race re-registers and sleeps again instead of
+  // hanging.
+  rt::Mailbox box;
+  constexpr int kMessages = 400;
+  std::atomic<std::uint64_t> received{0};
+  std::vector<std::thread> receivers;
+  receivers.emplace_back([&box, &received] {
+    for (int i = 0; i < kMessages / 2; ++i) {
+      (void)box.waitPop(rt::kAnySource, rt::kAnyTag);
+      received.fetch_add(1);
+    }
+  });
+  receivers.emplace_back([&box, &received] {
+    for (int i = 0; i < kMessages / 2; ++i) {
+      const rt::Message m = box.waitPop(0, /*tag=*/7);
+      EXPECT_EQ(m.tag, 7);
+      received.fetch_add(1);
+    }
+  });
+  std::thread pusher([&box] {
+    // Tag 7 for everyone: both waiters match every message; between them
+    // they must consume all of it.
+    for (int i = 0; i < kMessages; ++i) {
+      rt::Message m;
+      m.src = 0;
+      m.tag = 7;
+      box.push(std::move(m));
+    }
+  });
+  pusher.join();
+  for (auto& th : receivers) th.join();
+  EXPECT_EQ(received.load(), static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(box.pendingCount(), 0u);
+}
+
+TEST(MailboxStress, AbortWakesAllBlockedWaiters) {
+  rt::Mailbox box;
+  constexpr int kWaiters = 8;
+  std::atomic<int> threw{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&box, &threw, t] {
+      try {
+        (void)box.waitPop(/*src=*/1, /*tag=*/t);
+      } catch (const Error&) {
+        threw.fetch_add(1);
+      }
+    });
+  }
+  // Give the waiters a moment to block, then abort.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.abort();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(threw.load(), kWaiters);
+}
+
+TEST(MailboxStress, PushAfterSignalDoesNotLoseWakeups) {
+  // Regression for the first-match-only wakeup design: two messages pushed
+  // back-to-back while two matching waiters sleep — if the second push
+  // skipped already-signaled waiter A instead of also signaling B, B would
+  // hang even though its message is queued.
+  for (int round = 0; round < 200; ++round) {
+    rt::Mailbox box;
+    std::atomic<int> got{0};
+    std::thread a([&] {
+      (void)box.waitPop(0, 3);
+      got.fetch_add(1);
+    });
+    std::thread b([&] {
+      (void)box.waitPop(0, 3);
+      got.fetch_add(1);
+    });
+    rt::Message m1;
+    m1.src = 0;
+    m1.tag = 3;
+    rt::Message m2 = m1;
+    box.push(std::move(m1));
+    box.push(std::move(m2));
+    a.join();
+    b.join();
+    EXPECT_EQ(got.load(), 2);
+  }
+}
+
+}  // namespace
