@@ -1,0 +1,26 @@
+# Runs dslint in SARIF mode over the library, examples, and headers, and
+# writes the report to OUTPUT. Separate -P script because add_custom_target
+# COMMANDs cannot redirect stdout portably.
+#
+#   cmake -DDSLINT=<dslint-exe> -DREPO_ROOT=<repo> -DOUTPUT=<file> \
+#         -P ci/dslint_sarif.cmake
+#
+# Fails (so the `lint` target fails) when dslint reports diagnostics or
+# cannot run; the SARIF file is written either way so CI can upload it.
+if(NOT DSLINT OR NOT REPO_ROOT OR NOT OUTPUT)
+  message(FATAL_ERROR "usage: cmake -DDSLINT=... -DREPO_ROOT=... -DOUTPUT=... -P ci/dslint_sarif.cmake")
+endif()
+
+file(GLOB_RECURSE srcs
+     ${REPO_ROOT}/src/*.cpp ${REPO_ROOT}/src/*.h
+     ${REPO_ROOT}/examples/*.cpp ${REPO_ROOT}/examples/*.h)
+
+execute_process(
+  COMMAND ${DSLINT} --format=sarif ${srcs}
+  OUTPUT_FILE ${OUTPUT}
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dslint exited ${rc}; report written to ${OUTPUT}")
+endif()
+message(STATUS "dslint: clean; SARIF report at ${OUTPUT}")

@@ -12,7 +12,9 @@
 #
 # Each configuration builds into build-ci-<name>/, runs the full ctest
 # suite, and (default config only) runs the dslint lint target so protocol
-# or symmetry regressions in client code fail CI. Sanitizer configurations
+# or symmetry regressions in client code fail CI; the default leg also
+# gates on the SARIF report (valid JSON, good fixtures clean, bad fixtures
+# caught) and leaves *.sarif in the build tree for CI to archive. Sanitizer configurations
 # are separate build trees because PCXX_SANITIZE and PCXX_TSAN are
 # mutually exclusive at configure time. Test suites carry ctest labels
 # (unit | fault | stress | roundtrip; see tests/CMakeLists.txt), so legs
@@ -38,6 +40,25 @@ run_config() {
   if [ "${name}" = "default" ]; then
     echo "=== [${name}] lint ==="
     cmake --build "${build_dir}" --target lint
+    # dslint gate: the SARIF report over src/ + examples/ (written by the
+    # lint-sarif target above) must be loadable JSON, every good fixture
+    # must stay clean, and every bad fixture must still be caught — the
+    # fixture corpus doubles as the analyzer's end-to-end regression net.
+    echo "=== [${name}] dslint sarif gate ==="
+    local dslint_bin="${build_dir}/src/dslint/dslint"
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+      "${build_dir}/dslint.sarif"
+    "${dslint_bin}" --format=sarif \
+      "${repo_root}"/tests/dslint/fixtures/*_good.cpp \
+      > "${build_dir}/dslint-fixtures.sarif"
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+      "${build_dir}/dslint-fixtures.sarif"
+    for f in "${repo_root}"/tests/dslint/fixtures/*_bad.cpp; do
+      if "${dslint_bin}" "${f}" > /dev/null; then
+        echo "dslint gate: expected diagnostics in ${f}" >&2
+        return 1
+      fi
+    done
     # Redistribution-engine smoke: plan vs legacy byte-identity plus a
     # nonzero plan-cache hit count (the binary exits 1 on either failure).
     echo "=== [${name}] redist ablation smoke ==="

@@ -69,8 +69,11 @@ void analyzeSource(const std::string& source, const std::string& file,
     return;
   }
 
-  // D1 + D4 need only the token stream.
-  analyzeProtocol(tokens, diags);
+  // D1 + D4 + D5 (and the interprocedural summary layer) need only the
+  // token stream.
+  ProtocolOptions protoOpts;
+  protoOpts.strict = options.strict;
+  analyzeProtocol(tokens, diags, protoOpts);
 
   // D2 and the referenced-field set for D3.
   const std::map<std::string, StreamFns> fns = collectStreamFns(tokens);

@@ -7,6 +7,8 @@
 //   D2 (DS201..DS203)  inserter/extractor asymmetry   — symmetry.h
 //   D3 (DS301)         unannotated pointer fields in streamed types
 //   D4 (DS401, DS402)  interleave / alignment misuse  — protocol.h
+//   D5 (DS501..DS503)  collective divergence          — protocol.h
+//   DS108/DS109        interprocedural summaries      — summary.h
 #pragma once
 
 #include <string>
@@ -20,6 +22,9 @@ struct AnalyzerOptions {
   /// just those with a visible inserter/extractor. For header analysis,
   /// where the stream functions live in a generated file.
   bool allTypes = false;
+  /// Emit DS109 notes where a d/stream escapes to unanalyzed code and
+  /// protocol tracking is dropped (--strict).
+  bool strict = false;
 };
 
 /// Analyze one translation unit. `file` names the source in diagnostics.

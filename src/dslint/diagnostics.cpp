@@ -46,8 +46,37 @@ std::string Diagnostic::render() const {
                           message + " [" + id + "]");
 }
 
+const std::vector<RuleInfo>& ruleCatalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {"DS001", "analyzer could not read or parse the translation unit"},
+      {"DS101", "read-mode call on an output stream or vice versa"},
+      {"DS102", "write() with nothing inserted since the last write"},
+      {"DS103", "extraction (>>) before read()/unsortedRead()"},
+      {"DS104", "double close of a d/stream"},
+      {"DS105", "use of a d/stream after close()"},
+      {"DS106", "pending inserts discarded without a write"},
+      {"DS107", "output d/stream never writes a record"},
+      {"DS108", "call violates the d/stream protocol inside the helper"},
+      {"DS109", "d/stream escapes to unanalyzed code (tracking dropped)"},
+      {"DS201", "field order differs between inserter and extractor"},
+      {"DS202", "field count differs between inserter and extractor"},
+      {"DS203", "operation or size expression differs for the same field"},
+      {"DS301", "unannotated pointer field in a streamed type"},
+      {"DS401", "interleaved inserts of collections with differing layouts"},
+      {"DS402", "collection layout differs from the stream's layout"},
+      {"DS501", "collective executed by a node-dependent subset of nodes"},
+      {"DS502", "node-dependent branches order collectives differently"},
+      {"DS503", "collective inside a loop with node-dependent trip count"},
+  };
+  return kRules;
+}
+
 void DiagnosticEngine::add(std::string id, Severity sev, std::string file,
                            int line, int col, std::string message) {
+  std::string key = id;
+  key.append("|").append(file).append("|").append(std::to_string(line))
+      .append("|").append(std::to_string(col));
+  if (!seen_.insert(std::move(key)).second) return;
   diags_.push_back(Diagnostic{std::move(id), sev, std::move(file), line, col,
                               std::move(message)});
 }
@@ -84,6 +113,79 @@ std::string DiagnosticEngine::renderJson() const {
   }
   os << "],\"count\":" << diags_.size() << "}\n";
   return os.str();
+}
+
+std::string DiagnosticEngine::renderSarif() const {
+  std::ostringstream os;
+  os << "{\"version\":\"2.1.0\",\"$schema\":"
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{";
+  os << "\"tool\":{\"driver\":{\"name\":\"dslint\","
+        "\"informationUri\":\"docs/DSLINT.md\",\"rules\":[";
+  const auto& rules = ruleCatalog();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"id\":\"" << rules[i].id << "\",\"shortDescription\":{\"text\":\""
+       << jsonEscape(rules[i].shortDescription) << "\"}}";
+  }
+  os << "]}},\"results\":[";
+  for (size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i) os << ",";
+    const char* level = "error";
+    if (d.severity == Severity::Warning) level = "warning";
+    if (d.severity == Severity::Note) level = "note";
+    os << "{\"ruleId\":\"" << jsonEscape(d.id) << "\",\"level\":\"" << level
+       << "\",\"message\":{\"text\":\"" << jsonEscape(d.message)
+       << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+          "{\"uri\":\""
+       << jsonEscape(d.file) << "\"},\"region\":{\"startLine\":" << d.line
+       << ",\"startColumn\":" << d.col << "}}}]}";
+  }
+  os << "]}]}\n";
+  return os.str();
+}
+
+size_t DiagnosticEngine::applyBaseline(const std::string& baselineText) {
+  // Entries: "DSxxx path:line" (one per line; '#' starts a comment; the
+  // path is matched as a suffix, so baselines survive checkout roots).
+  struct Entry {
+    std::string id, path;
+    int line = 0;
+  };
+  std::vector<Entry> entries;
+  std::istringstream in(baselineText);
+  std::string lineText;
+  while (std::getline(in, lineText)) {
+    const size_t hash = lineText.find('#');
+    if (hash != std::string::npos) lineText.resize(hash);
+    std::istringstream ls(lineText);
+    std::string id, loc;
+    if (!(ls >> id >> loc)) continue;
+    const size_t colon = loc.rfind(':');
+    if (colon == std::string::npos) continue;
+    Entry e;
+    e.id = id;
+    e.path = loc.substr(0, colon);
+    e.line = std::atoi(loc.c_str() + colon + 1);
+    entries.push_back(std::move(e));
+  }
+  const auto suppressed = [&](const Diagnostic& d) {
+    for (const Entry& e : entries) {
+      if (e.id != d.id || e.line != d.line) continue;
+      if (d.file == e.path) return true;
+      if (d.file.size() > e.path.size() &&
+          d.file.compare(d.file.size() - e.path.size(), e.path.size(),
+                         e.path) == 0 &&
+          d.file[d.file.size() - e.path.size() - 1] == '/') {
+        return true;
+      }
+    }
+    return false;
+  };
+  const size_t before = diags_.size();
+  diags_.erase(std::remove_if(diags_.begin(), diags_.end(), suppressed),
+               diags_.end());
+  return before - diags_.size();
 }
 
 }  // namespace pcxx::dslint

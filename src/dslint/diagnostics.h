@@ -21,9 +21,17 @@
 //   D4 — interleave / alignment:
 //     DS401  interleaved inserts of collections with differing layouts
 //     DS402  collection layout differs from the stream's declared layout
+//   D5 — collective divergence (deadlock):
+//     DS501  collective executed by a node-dependent subset of nodes
+//     DS502  node-dependent branches order collectives differently
+//     DS503  collective inside a loop with node-dependent trip count
+//   Interprocedural:
+//     DS108  call violates the d/stream protocol inside the helper
+//     DS109  stream escapes to unanalyzed code (--strict note)
 //   DS001  analyzer could not parse the translation unit
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,7 +55,22 @@ struct Diagnostic {
   std::string render() const;
 };
 
+/// One entry of the rule catalog (stable IDs and short descriptions, used
+/// by the SARIF writer and docs).
+struct RuleInfo {
+  const char* id;
+  const char* shortDescription;
+};
+
+/// Every diagnostic ID the analyzer can emit, sorted by ID.
+const std::vector<RuleInfo>& ruleCatalog();
+
 /// Collects diagnostics for one run (possibly over several files).
+///
+/// Adding is idempotent per (id, file, line, col): the v2 engine walks
+/// loop bodies under several state views (joined, first-iteration,
+/// loop-carried), so the same must-error can surface more than once —
+/// duplicates are dropped at insertion.
 class DiagnosticEngine {
  public:
   void add(std::string id, Severity sev, std::string file, int line, int col,
@@ -77,8 +100,18 @@ class DiagnosticEngine {
   ///   "severity":...,"message":...}],"count":N}
   std::string renderJson() const;
 
+  /// SARIF 2.1.0 (one run, tool "dslint", the full rule catalog, one
+  /// result per diagnostic with a physicalLocation region).
+  std::string renderSarif() const;
+
+  /// Remove diagnostics suppressed by a baseline file: one `DSxxx
+  /// path:line` entry per line, `#` comments, path matched by suffix.
+  /// Returns the number removed.
+  size_t applyBaseline(const std::string& baselineText);
+
  private:
   std::vector<Diagnostic> diags_;
+  std::set<std::string> seen_;  ///< "id|file|line|col" dedup keys
 };
 
 }  // namespace pcxx::dslint

@@ -1,16 +1,23 @@
 // dslint — static protocol & symmetry analyzer for d/stream client code.
 //
-//   dslint [--json] [--all-types] file.cpp [file2.cpp ...]
+//   dslint [--format=text|json|sarif] [--baseline FILE] [--strict]
+//          [--all-types] file.cpp [file2.cpp ...]
 //
 // Generated .json artifacts (obs traces, --metrics-json reports) are
 // skipped, so globbing a directory that benches have written into does not
 // produce bogus diagnostics or I/O errors.
 //
-// Exit status: 0 when every file is clean, 1 when diagnostics were
-// reported, 2 on usage or I/O errors.
+// --baseline FILE suppresses known findings ("DSxxx path:line" per line,
+// '#' comments); --strict adds DS109 notes where a stream escapes to
+// unanalyzed code. --json is kept as an alias for --format=json.
+//
+// Exit status: 0 when every file is clean (after baseline suppression),
+// 1 when diagnostics were reported, 2 on usage or I/O errors.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "dslint/analyzer.h"
 #include "util/error.h"
@@ -22,8 +29,16 @@ int main(int argc, char** argv) {
   Options opts("dslint",
                "Static analyzer for d/stream client code: protocol (DS1xx), "
                "inserter/extractor symmetry (DS2xx), pointer annotations "
-               "(DS301), and interleave layout (DS4xx) checks.");
-  opts.addFlag("json", "emit diagnostics as JSON (for CI)");
+               "(DS301), interleave layout (DS4xx), and collective "
+               "divergence (DS5xx) checks.");
+  opts.add("format", "text", "output format: text, json, or sarif");
+  opts.add("baseline", "",
+           "suppress diagnostics listed in FILE (one 'DSxxx path:line' "
+           "entry per line, '#' comments)");
+  opts.addFlag("json", "alias for --format=json (kept for CI scripts)");
+  opts.addFlag("strict",
+               "emit DS109 notes where a d/stream escapes to unanalyzed "
+               "code and tracking is dropped");
   opts.addFlag("all-types",
                "report unannotated pointer fields in every struct, not just "
                "types with visible stream functions");
@@ -39,8 +54,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::string format = opts.get("format");
+  if (opts.getFlag("json")) format = "json";
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "dslint: unknown --format '" << format
+              << "' (expected text, json, or sarif)\n";
+    return 2;
+  }
+
+  std::string baselineText;
+  if (!opts.get("baseline").empty()) {
+    std::ifstream in(opts.get("baseline"), std::ios::binary);
+    if (!in) {
+      std::cerr << "dslint: cannot open baseline file '"
+                << opts.get("baseline") << "'\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    baselineText = buf.str();
+  }
+
   dslint::AnalyzerOptions analyzerOpts;
   analyzerOpts.allTypes = opts.getFlag("all-types");
+  analyzerOpts.strict = opts.getFlag("strict");
 
   auto isJsonArtifact = [](const std::string& path) {
     return path.size() >= 5 &&
@@ -60,10 +97,13 @@ int main(int argc, char** argv) {
                  "(.json artifacts are skipped)\n";
     return 2;
   }
+  if (!baselineText.empty()) diags.applyBaseline(baselineText);
   diags.sort();
 
-  if (opts.getFlag("json")) {
+  if (format == "json") {
     std::cout << diags.renderJson() << "\n";
+  } else if (format == "sarif") {
+    std::cout << diags.renderSarif();
   } else {
     std::cout << diags.renderText();
   }

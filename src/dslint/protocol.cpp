@@ -1,799 +1,261 @@
 #include "dslint/protocol.h"
 
-#include <map>
 #include <set>
 #include <vector>
+
+#include "dslint/cfg.h"
+#include "dslint/dataflow.h"
+#include "dslint/summary.h"
 
 namespace pcxx::dslint {
 namespace {
 
-using sg::TokKind;
-using sg::Token;
+// -- DS5xx: collective divergence ---------------------------------------------
+//
+// Paper §4.2: d/stream operations are collective — every node must
+// execute open/read/write/close in the same order or the runtime
+// deadlocks waiting for the missing participants. The dataflow's
+// statement tree keeps conditions tagged with node-identity dependence
+// (`node.id()`, `thisNode`, `myRank`, ...), so divergence is a structural
+// property: a collective whose execution (or execution count, or order)
+// depends on which node is evaluating the condition.
 
-// -- abstract domain ----------------------------------------------------------
-
-/// Protocol states, as a bitmask so a variable can be in a SET of states
-/// after a control-flow join.
-enum : unsigned {
-  kOEmpty0 = 1u << 0,  ///< output: open, nothing pending, never wrote
-  kOPend0 = 1u << 1,   ///< output: pending inserts, never wrote
-  kOEmpty1 = 1u << 2,  ///< output: nothing pending, has written
-  kOPend1 = 1u << 3,   ///< output: pending inserts, has written
-  kINoRec = 1u << 4,   ///< input: open, no current record
-  kIHasRec = 1u << 5,  ///< input: record read, extraction allowed
-  kClosed = 1u << 6,   ///< closed (either direction)
+struct CollEvent {
+  std::string desc;  ///< comparison key and message fragment
+  int line = 0, col = 0;
 };
 
-enum class Dir { Out, In };
-
-enum class Event {
-  Insert,        // s << ...
-  Write,         // s.write()
-  Read,          // s.read()
-  UnsortedRead,  // s.unsortedRead()
-  SkipRecord,    // s.skipRecord()
-  Rewind,        // s.rewind()
-  Extract,       // s >> ...
-  Close,         // s.close()
-  Use,           // any other method call (atEnd(), layout(), ...)
-  ScopeEnd,      // destructor at end of the declaring scope
-};
-
-bool isReadMode(Event e) {
-  return e == Event::Read || e == Event::UnsortedRead ||
-         e == Event::SkipRecord || e == Event::Rewind || e == Event::Extract;
-}
-bool isWriteMode(Event e) { return e == Event::Insert || e == Event::Write; }
-
-struct CollectionVar {
-  std::string distVar;   ///< "&d" constructor argument, "" if none
-  std::string alignVar;  ///< "&a" constructor argument, "" if none
-  bool layoutKnown = false;
-};
-
-struct StreamVar {
-  Dir dir = Dir::Out;
-  int declLine = 0;
-  unsigned states = 0;
-  bool escaped = false;
-  bool layoutKnown = false;
-  /// Input stream opened with StreamOptions::salvage: read() may consume
-  /// damage to end-of-file and yield no record, so extraction legality is a
-  /// runtime hasRecord() question the FSM must not second-guess.
-  bool salvageMode = false;
-  std::string distVar, alignVar;
-  /// Collections inserted since the last write: (layout key, first line).
-  std::vector<std::pair<std::string, int>> pendingKeys;
-};
-
-struct Env {
-  std::map<std::string, StreamVar> streams;
-  std::map<std::string, CollectionVar> colls;
-  bool dead = false;  ///< path ended in return/throw/break/continue
-};
-
-Env join(Env a, const Env& b) {
-  if (a.dead) return b;
-  if (b.dead) return a;
-  for (const auto& [name, sv] : b.streams) {
-    auto it = a.streams.find(name);
-    if (it == a.streams.end()) {
-      a.streams.emplace(name, sv);
-      continue;
-    }
-    StreamVar& av = it->second;
-    av.states |= sv.states;
-    av.escaped = av.escaped || sv.escaped;
-    av.salvageMode = av.salvageMode || sv.salvageMode;
-    for (const auto& key : sv.pendingKeys) {
-      bool have = false;
-      for (const auto& k : av.pendingKeys) have = have || k.first == key.first;
-      if (!have) av.pendingKeys.push_back(key);
-    }
+bool sameSeq(const std::vector<CollEvent>& a, const std::vector<CollEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].desc != b[i].desc) return false;
   }
-  for (const auto& [name, cv] : b.colls) a.colls.emplace(name, cv);
-  return a;
+  return true;
 }
 
-/// One state's reaction to an event.
-struct Outcome {
-  const char* id = nullptr;  ///< diagnostic ID, nullptr when legal
-  Severity sev = Severity::Error;
-  unsigned next = 0;
-};
-
-Outcome transition(unsigned state, Event e) {
-  if (state == kClosed) {
-    if (e == Event::Close) return {"DS104", Severity::Error, kClosed};
-    if (e == Event::ScopeEnd) return {nullptr, Severity::Error, kClosed};
-    return {"DS105", Severity::Error, kClosed};
+std::string listSeq(const std::vector<CollEvent>& seq) {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i) out += ", ";
+    out += seq[i].desc;
   }
-  switch (e) {
-    case Event::Insert:
-      if (state == kOEmpty0 || state == kOPend0)
-        return {nullptr, Severity::Error, kOPend0};
-      return {nullptr, Severity::Error, kOPend1};
-    case Event::Write:
-      if (state == kOEmpty0 || state == kOEmpty1)
-        return {"DS102", Severity::Error, kOEmpty1};
-      return {nullptr, Severity::Error, kOEmpty1};
-    case Event::Read:
-    case Event::UnsortedRead:
-      return {nullptr, Severity::Error, kIHasRec};
-    case Event::SkipRecord:
-    case Event::Rewind:
-      return {nullptr, Severity::Error, kINoRec};
-    case Event::Extract:
-      if (state == kINoRec) return {"DS103", Severity::Error, kIHasRec};
-      return {nullptr, Severity::Error, kIHasRec};
-    case Event::Close:
-      if (state == kOPend0 || state == kOPend1)
-        return {"DS106", Severity::Error, kClosed};
-      if (state == kOEmpty0) return {"DS107", Severity::Warning, kClosed};
-      return {nullptr, Severity::Error, kClosed};
-    case Event::ScopeEnd:
-      if (state == kOPend0 || state == kOPend1)
-        return {"DS106", Severity::Error, state};
-      if (state == kOEmpty0) return {"DS107", Severity::Warning, state};
-      return {nullptr, Severity::Error, state};
-    case Event::Use:
-      return {nullptr, Severity::Error, state};
-  }
-  return {nullptr, Severity::Error, state};
+  return out;
 }
 
-// -- the walker ---------------------------------------------------------------
-
-class Walker {
- public:
-  Walker(const sg::TokenStream& stream, DiagnosticEngine& diags)
-      : file_(stream.file), toks_(stream.tokens), diags_(diags) {}
-
-  void run() {
-    Env env;
-    while (!atEof()) {
-      if (cur().isSymbol("}")) {
-        advance();  // stray; keep walking
-        continue;
+/// True when every path through the statement leaves the enclosing
+/// region (return/throw/break/continue at the statement level).
+bool definitelyExits(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::Return:
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      return true;
+    case Stmt::Kind::Seq:
+      for (const auto& c : s.children) {
+        if (definitelyExits(*c)) return true;
       }
-      walkStatement(env);
-    }
-    destroyNewStreams(env, /*outer=*/{}, lastToken());
+      return false;
+    default:
+      return false;
   }
+}
+
+/// One arm of a node-dependent branch exits (returns/breaks) while the
+/// other falls through: everything after the branch runs on a
+/// node-dependent subset of nodes.
+bool exitAsymmetric(const Stmt& ifStmt) {
+  const bool thenExits =
+      !ifStmt.children.empty() && definitelyExits(*ifStmt.children[0]);
+  const bool elseExits =
+      ifStmt.children.size() > 1 && definitelyExits(*ifStmt.children[1]);
+  return thenExits != elseExits;
+}
+
+class CollectiveChecker {
+ public:
+  CollectiveChecker(const SummaryMap& summaries, const std::string& file,
+                    DiagnosticEngine& diags)
+      : summaries_(summaries), file_(file), diags_(diags) {}
+
+  void run(const Stmt& root) { walk(root); }
 
  private:
-  // -- token helpers ----------------------------------------------------------
-
-  const Token& cur() const { return toks_[pos_]; }
-  const Token& peek(size_t ahead = 1) const {
-    return toks_[std::min(pos_ + ahead, toks_.size() - 1)];
-  }
-  const Token& lastToken() const { return toks_[toks_.size() - 1]; }
-  void advance() {
-    if (pos_ + 1 < toks_.size()) ++pos_;
-    else pos_ = toks_.size() - 1;
-  }
-  bool atEof() const { return cur().is(TokKind::EndOfFile); }
-
-  /// True at a `<<` / `>>` operator: the lexer emits two adjacent one-char
-  /// symbol tokens (only "::" is fused).
-  bool atShiftOp(char c) const {
-    const std::string s(1, c);
-    return cur().isSymbol(s) && peek().isSymbol(s) &&
-           peek().line == cur().line && peek().col == cur().col + 1;
-  }
-
-  /// Skip a balanced template argument list starting at '<'.
-  void skipAngles() {
-    advance();  // '<'
-    int depth = 1;
-    while (depth > 0 && !atEof()) {
-      if (cur().isSymbol("<")) ++depth;
-      if (cur().isSymbol(">")) --depth;
-      advance();
-    }
-  }
-
-  // -- scopes and control flow ------------------------------------------------
-
-  std::set<std::string> streamNames(const Env& env) const {
-    std::set<std::string> names;
-    for (const auto& [name, sv] : env.streams) names.insert(name);
-    return names;
-  }
-
-  /// Run destructor checks for streams declared inside the exited scope and
-  /// drop them (and same-scope collections are dropped by the caller's copy
-  /// semantics; collections have no destructor diagnostics).
-  void destroyNewStreams(Env& env, const std::set<std::string>& outer,
-                         const Token& at) {
-    for (auto it = env.streams.begin(); it != env.streams.end();) {
-      if (outer.count(it->first)) {
-        ++it;
-        continue;
-      }
-      if (!env.dead) applyScopeEnd(env, it->first, it->second, at);
-      it = env.streams.erase(it);
-    }
-  }
-
-  /// cur() == '{': walk the compound statement, destroying inner streams at
-  /// the closing brace.
-  void walkScope(Env& env) {
-    const std::set<std::string> outer = streamNames(env);
-    advance();  // '{'
-    while (!atEof() && !cur().isSymbol("}")) {
-      walkStatement(env);
-    }
-    const Token closing = cur();
-    if (cur().isSymbol("}")) advance();
-    destroyNewStreams(env, outer, closing);
-  }
-
-  /// A control-flow arm: either a compound statement or one statement.
-  /// Either way, variables it declares die at its end.
-  void walkControlled(Env& env) {
-    if (cur().isSymbol("{")) {
-      walkScope(env);
-      return;
-    }
-    const std::set<std::string> outer = streamNames(env);
-    walkStatement(env);
-    destroyNewStreams(env, outer, toks_[pos_ == 0 ? 0 : pos_ - 1]);
-  }
-
-  void walkStatement(Env& env) {
-    if (cur().isSymbol("{")) {
-      walkScope(env);
-      return;
-    }
-    if (cur().isSymbol(";")) {
-      advance();
-      return;
-    }
-    if (cur().is(TokKind::Identifier)) {
-      const std::string& kw = cur().text;
-      if (kw == "if") {
-        advance();
-        if (cur().isIdent("constexpr")) advance();
-        if (cur().isSymbol("(")) scanParens(env);
-        Env thenEnv = env;
-        walkControlled(thenEnv);
-        if (cur().isIdent("else")) {
-          advance();
-          Env elseEnv = env;
-          walkControlled(elseEnv);
-          env = join(std::move(thenEnv), elseEnv);
-        } else {
-          env = join(std::move(env), thenEnv);
-        }
-        return;
-      }
-      if (kw == "for" || kw == "while") {
-        advance();
-        if (cur().isSymbol("(")) scanParens(env);
-        Env bodyEnv = env;
-        walkControlled(bodyEnv);
-        env = join(std::move(env), bodyEnv);
-        return;
-      }
-      if (kw == "do") {
-        advance();
-        walkControlled(env);  // body runs at least once
-        if (cur().isIdent("while")) {
-          advance();
-          if (cur().isSymbol("(")) scanParens(env);
-          if (cur().isSymbol(";")) advance();
-        }
-        return;
-      }
-      if (kw == "switch") {
-        advance();
-        if (cur().isSymbol("(")) scanParens(env);
-        Env bodyEnv = env;
-        walkControlled(bodyEnv);
-        env = join(std::move(env), bodyEnv);
-        return;
-      }
-      if (kw == "try") {
-        advance();
-        walkControlled(env);
-        while (cur().isIdent("catch")) {
-          advance();
-          if (cur().isSymbol("(")) scanParens(env);
-          Env handler = env;
-          walkControlled(handler);
-          env = join(std::move(env), handler);
-        }
-        return;
-      }
-      if (kw == "return" || kw == "throw") {
-        advance();
-        scanStatement(env);
-        // Leaving the function: local streams are destroyed here. Only the
-        // definite data-loss check fires on early exits (a return before
-        // write is usually an error path, not a protocol bug).
-        if (!env.dead) {
-          for (auto& [name, sv] : env.streams) {
-            applyEarlyExit(env, name, sv, toks_[pos_ == 0 ? 0 : pos_ - 1]);
+  /// Returns the sequence of collectives this subtree executes on the
+  /// nodes that reach it, reporting divergence along the way.
+  std::vector<CollEvent> walk(const Stmt& s) {
+    std::vector<CollEvent> seq;
+    switch (s.kind) {
+      case Stmt::Kind::Actions:
+        collectActions(s, seq);
+        return seq;
+      case Stmt::Kind::Seq: {
+        bool divergedExit = false;
+        int divergeLine = 0;
+        for (const auto& child : s.children) {
+          std::vector<CollEvent> sub = walk(*child);
+          if (divergedExit && !sub.empty()) {
+            diags_.error("DS501", file_, sub[0].line, sub[0].col,
+                         sub[0].desc +
+                             " is reached only by a node-identity-dependent "
+                             "subset of nodes (the branch at line " +
+                             std::to_string(divergeLine) +
+                             " exits early on some nodes); collectives must "
+                             "run on every node in the same order");
+            divergedExit = false;  // one report per divergence point
+          }
+          append(seq, sub);
+          if (child->kind == Stmt::Kind::If && child->nodeDependent &&
+              exitAsymmetric(*child)) {
+            divergedExit = true;
+            divergeLine = child->line;
           }
         }
-        env.dead = true;
-        return;
+        return seq;
       }
-      if (kw == "break" || kw == "continue") {
-        advance();
-        if (cur().isSymbol(";")) advance();
-        env.dead = true;
-        return;
-      }
-    }
-    scanStatement(env);
-  }
-
-  // -- statement scanning -----------------------------------------------------
-
-  /// Scan one statement: until ';' at depth 0 (consumed) or '}' at depth 0
-  /// (left for the caller). Detects declarations and stream events;
-  /// descends into any '{' (lambda bodies, nested blocks) as a scope.
-  void scanStatement(Env& env) {
-    int depth = 0;  // () and [] nesting
-    bool first = true;
-    while (!atEof()) {
-      if (depth == 0 && cur().isSymbol(";")) {
-        advance();
-        return;
-      }
-      if (depth == 0 && cur().isSymbol("}")) return;
-      if (cur().isSymbol("(") || cur().isSymbol("[")) {
-        ++depth;
-        advance();
-        continue;
-      }
-      if (cur().isSymbol(")") || cur().isSymbol("]")) {
-        if (depth > 0) --depth;
-        advance();
-        continue;
-      }
-      if (cur().isSymbol("{")) {
-        walkScope(env);
-        continue;
-      }
-      if (cur().is(TokKind::Identifier)) {
-        if (depth == 0 && first &&
-            (matchStreamDecl(env) || matchCollectionDecl(env))) {
-          first = false;
-          continue;
-        }
-        if (env.streams.count(cur().text)) {
-          handleStreamUse(env);
-          first = false;
-          continue;
-        }
-        // `opts.salvage = true;` marks an options variable whose streams
-        // open in salvage mode.
-        if (peek().isSymbol(".") && peek(2).isIdent("salvage") &&
-            peek(3).isSymbol("=") && peek(4).isIdent("true")) {
-          salvageOpts_.insert(cur().text);
-        }
-      }
-      first = false;
-      advance();
-    }
-  }
-
-  /// Scan a balanced parenthesized region (condition, call args) for stream
-  /// events; cur() == '('.
-  void scanParens(Env& env) {
-    advance();  // '('
-    int depth = 1;
-    while (!atEof() && depth > 0) {
-      if (cur().isSymbol("(")) {
-        ++depth;
-        advance();
-        continue;
-      }
-      if (cur().isSymbol(")")) {
-        --depth;
-        advance();
-        continue;
-      }
-      if (cur().isSymbol("{")) {
-        walkScope(env);  // lambda body used inside the condition/args
-        continue;
-      }
-      if (cur().is(TokKind::Identifier) && env.streams.count(cur().text)) {
-        handleStreamUse(env);
-        continue;
-      }
-      advance();
-    }
-  }
-
-  // -- declarations -----------------------------------------------------------
-
-  struct CtorArgs {
-    std::vector<std::string> refs;
-    bool simple = true;
-    bool salvage = false;
-  };
-
-  /// Collect constructor arguments: returns the `&ident` reference args in
-  /// order and whether every `&...` arg was a simple `&ident` (an opaque
-  /// layout argument such as `&layout.distribution()` makes the stream's
-  /// layout unknown and disables D4 checks). Also notes whether the args
-  /// mention the `salvage` stream option, either inline
-  /// (`StreamOptions{.salvage = true}`) or via an options variable that had
-  /// `.salvage = true` assigned earlier. cur() == '('.
-  CtorArgs scanCtorArgs() {
-    CtorArgs out;
-    advance();  // '('
-    int depth = 1;
-    while (!atEof() && depth > 0) {
-      if (cur().isSymbol("(")) ++depth;
-      if (cur().isSymbol(")")) {
-        --depth;
-        advance();
-        continue;
-      }
-      if (cur().is(TokKind::Identifier) &&
-          (cur().text == "salvage" || salvageOpts_.count(cur().text))) {
-        out.salvage = true;
-      }
-      if (depth == 1 && cur().isSymbol("&")) {
-        if (peek().is(TokKind::Identifier) &&
-            (peek(2).isSymbol(",") || peek(2).isSymbol(")"))) {
-          out.refs.push_back(peek().text);
-        } else {
-          out.simple = false;
-        }
-      }
-      advance();
-    }
-    return out;
-  }
-
-  /// ds::OStream name(args); (also pcxx::ds::, bare, and the oStream /
-  /// iStream aliases). Registers the stream variable.
-  bool matchStreamDecl(Env& env) {
-    const size_t save = pos_;
-    if (cur().isIdent("pcxx") && peek().isSymbol("::")) {
-      advance();
-      advance();
-    }
-    if (cur().isIdent("ds") && peek().isSymbol("::")) {
-      advance();
-      advance();
-    }
-    Dir dir;
-    if (cur().isIdent("OStream") || cur().isIdent("oStream")) {
-      dir = Dir::Out;
-    } else if (cur().isIdent("IStream") || cur().isIdent("iStream")) {
-      dir = Dir::In;
-    } else {
-      pos_ = save;
-      return false;
-    }
-    advance();
-    if (!cur().is(TokKind::Identifier) || !peek().isSymbol("(")) {
-      pos_ = save;
-      return false;
-    }
-    StreamVar sv;
-    sv.dir = dir;
-    sv.declLine = cur().line;
-    const std::string name = cur().text;
-    advance();  // name; cur() == '('
-    const CtorArgs args = scanCtorArgs();
-    sv.layoutKnown = args.simple && !args.refs.empty();
-    if (!args.refs.empty()) sv.distVar = args.refs[0];
-    if (args.refs.size() > 1) sv.alignVar = args.refs[1];
-    sv.salvageMode = args.salvage && dir == Dir::In;
-    sv.states = dir == Dir::Out ? kOEmpty0 : kINoRec;
-    env.streams[name] = sv;  // shadowing redeclaration replaces
-    return true;
-  }
-
-  /// coll::Collection<T> name(args); — tracked for D4 layout comparison.
-  bool matchCollectionDecl(Env& env) {
-    const size_t save = pos_;
-    if (cur().isIdent("pcxx") && peek().isSymbol("::")) {
-      advance();
-      advance();
-    }
-    if (cur().isIdent("coll") && peek().isSymbol("::")) {
-      advance();
-      advance();
-    }
-    if (!cur().isIdent("Collection") || !peek().isSymbol("<")) {
-      pos_ = save;
-      return false;
-    }
-    advance();  // Collection; cur() == '<'
-    skipAngles();
-    if (!cur().is(TokKind::Identifier) || !peek().isSymbol("(")) {
-      pos_ = save;
-      return false;
-    }
-    const std::string name = cur().text;
-    advance();  // name; cur() == '('
-    const CtorArgs args = scanCtorArgs();
-    CollectionVar cv;
-    cv.layoutKnown = args.simple && !args.refs.empty();
-    if (!args.refs.empty()) cv.distVar = args.refs[0];
-    if (args.refs.size() > 1) cv.alignVar = args.refs[1];
-    env.colls[name] = cv;
-    return true;
-  }
-
-  // -- stream uses ------------------------------------------------------------
-
-  static std::string layoutKey(const std::string& dist,
-                               const std::string& align) {
-    return align.empty() ? dist : dist + ", " + align;
-  }
-
-  /// cur() is an identifier naming a tracked stream. Classify the use.
-  void handleStreamUse(Env& env) {
-    const std::string name = cur().text;
-    const Token nameTok = cur();
-    advance();
-    if (cur().isSymbol(".") && peek().is(TokKind::Identifier) &&
-        peek(2).isSymbol("(")) {
-      const Token methodTok = peek();
-      const std::string& m = methodTok.text;
-      advance();  // '.'
-      advance();  // method; cur() == '(' — scanned by the caller for events
-      Event e = Event::Use;
-      if (m == "write") e = Event::Write;
-      else if (m == "read") e = Event::Read;
-      else if (m == "unsortedRead") e = Event::UnsortedRead;
-      else if (m == "skipRecord") e = Event::SkipRecord;
-      else if (m == "rewind") e = Event::Rewind;
-      else if (m == "close") e = Event::Close;
-      applyEvent(env, name, e, methodTok, nullptr, "");
-      return;
-    }
-    if (atShiftOp('<') || atShiftOp('>')) {
-      const bool insert = atShiftOp('<');
-      while (atShiftOp(insert ? '<' : '>')) {
-        const Token opTok = cur();
-        advance();  // first '<' / '>'
-        advance();  // second
-        std::string collName = scanOperand(env);
-        const CollectionVar* cv = nullptr;
-        auto it = env.colls.find(collName);
-        if (it != env.colls.end()) cv = &it->second;
-        applyEvent(env, name, insert ? Event::Insert : Event::Extract, opTok,
-                   cv, collName);
-      }
-      return;
-    }
-    // The stream is named in some other context (passed by reference, its
-    // address taken, ...). Be conservative: stop diagnosing it.
-    auto it = env.streams.find(name);
-    if (it != env.streams.end()) it->second.escaped = true;
-    (void)nameTok;
-  }
-
-  /// Scan one `<<`/`>>` operand; returns the collection variable name when
-  /// the operand is `g` or `g.field(...)` for a tracked collection.
-  std::string scanOperand(Env& env) {
-    std::string collName;
-    if (cur().is(TokKind::Identifier) && env.colls.count(cur().text)) {
-      collName = cur().text;
-    }
-    int depth = 0;
-    while (!atEof()) {
-      if (depth == 0 &&
-          (cur().isSymbol(";") || cur().isSymbol(",") || atShiftOp('<') ||
-           atShiftOp('>') || cur().isSymbol("}"))) {
-        break;
-      }
-      if (depth == 0 && cur().isSymbol(")")) break;
-      if (cur().isSymbol("(") || cur().isSymbol("[") || cur().isSymbol("{")) {
-        ++depth;
-        advance();
-        continue;
-      }
-      if (cur().isSymbol(")") || cur().isSymbol("]") || cur().isSymbol("}")) {
-        --depth;
-        advance();
-        continue;
-      }
-      advance();
-    }
-    return collName;
-  }
-
-  // -- event application ------------------------------------------------------
-
-  void report(const char* id, Severity sev, const Token& at,
-              const std::string& message) {
-    diags_.add(id, sev, file_, at.line, at.col, message);
-  }
-
-  void applyEvent(Env& env, const std::string& name, Event e, const Token& at,
-                  const CollectionVar* cv, const std::string& collName) {
-    auto it = env.streams.find(name);
-    if (it == env.streams.end()) return;
-    StreamVar& v = it->second;
-    if (env.dead || v.escaped || v.states == 0) return;
-
-    // Direction errors are definite regardless of protocol state (D1: mixing
-    // write-mode and read-mode calls).
-    if (v.dir == Dir::Out && isReadMode(e)) {
-      report("DS101", Severity::Error, at,
-             "read-mode operation on output d/stream '" + name +
-                 "' (declared line " + std::to_string(v.declLine) + ")");
-      return;
-    }
-    if (v.dir == Dir::In && isWriteMode(e)) {
-      report("DS101", Severity::Error, at,
-             "write-mode operation on input d/stream '" + name +
-                 "' (declared line " + std::to_string(v.declLine) + ")");
-      return;
-    }
-
-    // Per-state transition with must-error reporting: diagnose only if the
-    // event misbehaves in EVERY possible state.
-    unsigned next = 0;
-    const char* commonId = nullptr;
-    Severity commonSev = Severity::Error;
-    bool allError = true;
-    bool any = false;
-    for (unsigned bit = 1; bit <= kClosed; bit <<= 1) {
-      if (!(v.states & bit)) continue;
-      const Outcome o = transition(bit, e);
-      next |= o.next;
-      if (!any) {
-        commonId = o.id;
-        commonSev = o.sev;
-        any = true;
-      } else if (o.id == nullptr || commonId == nullptr ||
-                 std::string(o.id) != commonId) {
-        allError = false;
-      }
-      if (o.id == nullptr) allError = false;
-    }
-    if (any && allError && commonId != nullptr) {
-      report(commonId, commonSev, at, describe(commonId, e, name, v));
-    }
-    v.states = next;
-    // Salvage-mode read() may land at end-of-file with no record; keep the
-    // no-record state live so later extractions (guarded by hasRecord() at
-    // runtime) are not flagged as definite DS103 errors.
-    if (v.salvageMode && (e == Event::Read || e == Event::UnsortedRead)) {
-      v.states |= kINoRec;
-    }
-
-    // D4 bookkeeping.
-    if (e == Event::Write) v.pendingKeys.clear();
-    if ((e == Event::Insert || e == Event::Extract) && cv != nullptr &&
-        cv->layoutKnown) {
-      if (v.layoutKnown) {
-        const std::string sKey = layoutKey(v.distVar, v.alignVar);
-        const std::string cKey = layoutKey(cv->distVar, cv->alignVar);
-        if (sKey != cKey) {
-          report("DS402", Severity::Error, at,
-                 "collection '" + collName + "' is laid out over (" + cKey +
-                     ") but d/stream '" + name + "' was declared over (" +
-                     sKey + "); layouts must match");
-        }
-      }
-      if (e == Event::Insert) {
-        const std::string cKey = layoutKey(cv->distVar, cv->alignVar);
-        for (const auto& [key, line] : v.pendingKeys) {
-          if (key != cKey) {
-            report("DS401", Severity::Error, at,
-                   "collection '" + collName + "' over (" + cKey +
-                       ") interleaved with an insert over (" + key +
-                       ") from line " + std::to_string(line) +
-                       "; interleaved inserts require aligned collections");
-            break;
+      case Stmt::Kind::If: {
+        std::vector<CollEvent> condSeq = walkList(s.cond);
+        std::vector<CollEvent> thenSeq =
+            s.children.empty() ? std::vector<CollEvent>{}
+                               : walk(*s.children[0]);
+        std::vector<CollEvent> elseSeq =
+            s.children.size() > 1 ? walk(*s.children[1])
+                                  : std::vector<CollEvent>{};
+        if (s.nodeDependent && !sameSeq(thenSeq, elseSeq)) {
+          if (thenSeq.empty() || elseSeq.empty()) {
+            const std::vector<CollEvent>& div =
+                thenSeq.empty() ? elseSeq : thenSeq;
+            diags_.error(
+                "DS501", file_, div[0].line, div[0].col,
+                div[0].desc +
+                    " is executed only when a node-identity-dependent "
+                    "condition (line " +
+                    std::to_string(s.line) +
+                    ") holds; collectives must run on every node in the "
+                    "same order");
+          } else {
+            diags_.error("DS502", file_, s.line, s.col,
+                         "node-dependent branches execute collectives in "
+                         "different orders: one branch runs [" +
+                             listSeq(thenSeq) + "], the other [" +
+                             listSeq(elseSeq) + "]");
           }
         }
-        bool have = false;
-        for (const auto& [key, line] : v.pendingKeys) {
-          have = have || key == cKey;
+        append(condSeq, thenSeq);
+        if (!sameSeq(thenSeq, elseSeq)) append(condSeq, elseSeq);
+        return condSeq;
+      }
+      case Stmt::Kind::Loop:
+      case Stmt::Kind::DoLoop: {
+        std::vector<CollEvent> condSeq = walkList(s.cond);
+        std::vector<CollEvent> bodySeq =
+            s.children.empty() ? std::vector<CollEvent>{}
+                               : walk(*s.children[0]);
+        if (s.nodeDependent && !(condSeq.empty() && bodySeq.empty())) {
+          const CollEvent& first =
+              bodySeq.empty() ? condSeq[0] : bodySeq[0];
+          diags_.error("DS503", file_, first.line, first.col,
+                       first.desc +
+                           " executes inside a loop whose trip count "
+                           "depends on node identity (line " +
+                           std::to_string(s.line) +
+                           "); nodes would issue different numbers of "
+                           "collectives");
         }
-        if (!have) v.pendingKeys.emplace_back(cKey, at.line);
+        append(condSeq, bodySeq);
+        return condSeq;
+      }
+      case Stmt::Kind::Switch: {
+        std::vector<CollEvent> condSeq = walkList(s.cond);
+        std::vector<CollEvent> bodySeq =
+            s.children.empty() ? std::vector<CollEvent>{}
+                               : walk(*s.children[0]);
+        if (s.nodeDependent && !bodySeq.empty()) {
+          diags_.error("DS501", file_, bodySeq[0].line, bodySeq[0].col,
+                       bodySeq[0].desc +
+                           " is executed under a node-identity-dependent "
+                           "switch (line " +
+                           std::to_string(s.line) +
+                           "); collectives must run on every node in the "
+                           "same order");
+        }
+        append(condSeq, bodySeq);
+        return condSeq;
+      }
+      case Stmt::Kind::Try: {
+        for (const auto& c : s.children) append(seq, walk(*c));
+        return seq;
+      }
+      case Stmt::Kind::Return:
+      case Stmt::Kind::Break:
+      case Stmt::Kind::Continue:
+        return seq;
+    }
+    return seq;
+  }
+
+  std::vector<CollEvent> walkList(
+      const std::vector<std::unique_ptr<Stmt>>& stmts) {
+    std::vector<CollEvent> seq;
+    for (const auto& s : stmts) append(seq, walk(*s));
+    return seq;
+  }
+
+  void collectActions(const Stmt& s, std::vector<CollEvent>& seq) const {
+    for (const Action& a : s.actions) {
+      if (a.kind == Action::Kind::StreamDecl) {
+        seq.push_back(CollEvent{
+            "collective open of d/stream '" + a.name + "'", a.line, a.col});
+      } else if (a.kind == Action::Kind::Event &&
+                 isCollectiveEvent(a.event)) {
+        seq.push_back(
+            CollEvent{"collective " + std::string(eventName(a.event)) +
+                          " on d/stream '" + a.name + "'",
+                      a.line, a.col});
+      } else if (a.kind == Action::Kind::Call) {
+        auto it = summaries_.find(a.callee);
+        if (it != summaries_.end() && it->second.collective) {
+          seq.push_back(CollEvent{"collective-performing call to '" +
+                                      a.callee + "'",
+                                  a.line, a.col});
+        }
       }
     }
   }
 
-  std::string describe(const std::string& id, Event e, const std::string& name,
-                       const StreamVar& v) const {
-    (void)e;
-    if (id == "DS102") {
-      return "write() on d/stream '" + name +
-             "' with nothing inserted since the last record boundary";
-    }
-    if (id == "DS103") {
-      return "extraction from d/stream '" + name +
-             "' before read() or unsortedRead()";
-    }
-    if (id == "DS104") return "double close of d/stream '" + name + "'";
-    if (id == "DS105") {
-      return "use of d/stream '" + name + "' after close (declared line " +
-             std::to_string(v.declLine) + ")";
-    }
-    if (id == "DS106") {
-      return "close of d/stream '" + name +
-             "' discards pending inserts that were never written";
-    }
-    if (id == "DS107") {
-      return "output d/stream '" + name + "' never writes a record";
-    }
-    return "d/stream protocol violation on '" + name + "'";
+  static void append(std::vector<CollEvent>& into,
+                     const std::vector<CollEvent>& from) {
+    into.insert(into.end(), from.begin(), from.end());
   }
 
-  void applyScopeEnd(Env& env, const std::string& name, StreamVar& v,
-                     const Token& at) {
-    if (v.escaped || v.states == 0 || env.dead) return;
-    unsigned next = 0;
-    const char* commonId = nullptr;
-    Severity commonSev = Severity::Error;
-    bool allError = true;
-    bool any = false;
-    for (unsigned bit = 1; bit <= kClosed; bit <<= 1) {
-      if (!(v.states & bit)) continue;
-      const Outcome o = transition(bit, Event::ScopeEnd);
-      next |= o.next;
-      if (!any) {
-        commonId = o.id;
-        commonSev = o.sev;
-        any = true;
-      } else if (o.id == nullptr || commonId == nullptr ||
-                 std::string(o.id) != commonId) {
-        allError = false;
-      }
-      if (o.id == nullptr) allError = false;
-    }
-    if (any && allError && commonId != nullptr) {
-      std::string msg =
-          std::string(commonId) == "DS106"
-              ? "d/stream '" + name +
-                    "' destroyed with pending inserts never written "
-                    "(declared line " +
-                    std::to_string(v.declLine) + ")"
-              : "output d/stream '" + name +
-                    "' never writes a record (declared line " +
-                    std::to_string(v.declLine) + ")";
-      report(commonId, commonSev, at, msg);
-    }
-  }
-
-  /// Destructor semantics on return/throw: only the definite data-loss
-  /// check (pending inserts on every path) fires.
-  void applyEarlyExit(Env& env, const std::string& name, StreamVar& v,
-                      const Token& at) {
-    (void)env;
-    if (v.escaped || v.states == 0) return;
-    const unsigned pend = kOPend0 | kOPend1;
-    if ((v.states & pend) != 0 && (v.states & ~pend) == 0) {
-      report("DS106", Severity::Error, at,
-             "d/stream '" + name +
-                 "' destroyed with pending inserts never written "
-                 "(declared line " +
-                 std::to_string(v.declLine) + ")");
-    }
-    v.escaped = true;  // do not re-report at the enclosing scope end
-  }
-
+  const SummaryMap& summaries_;
   const std::string file_;
-  const std::vector<Token>& toks_;
   DiagnosticEngine& diags_;
-  size_t pos_ = 0;
-  /// Names of StreamOptions variables observed with `.salvage = true`
-  /// (flow-insensitive — fine for a lint heuristic).
-  std::set<std::string> salvageOpts_;
 };
 
 }  // namespace
 
 void analyzeProtocol(const sg::TokenStream& stream, DiagnosticEngine& diags) {
-  Walker(stream, diags).run();
+  analyzeProtocol(stream, diags, ProtocolOptions{});
+}
+
+void analyzeProtocol(const sg::TokenStream& stream, DiagnosticEngine& diags,
+                     const ProtocolOptions& options) {
+  if (stream.tokens.empty()) return;
+  // Interprocedural layer first: helper summaries (reports violations a
+  // helper trips in every call context at their body location).
+  const SummaryMap summaries = computeSummaries(stream, diags);
+  std::set<std::string> helperNames;
+  for (const auto& [name, fn] : summaries) {
+    (void)fn;
+    helperNames.insert(name);
+  }
+  const std::unique_ptr<Stmt> root = parseUnit(stream, helperNames);
+  const Cfg cfg = buildCfg(*root);
+  DataflowOptions dfOpts;
+  dfOpts.strict = options.strict;
+  dfOpts.summaries = &summaries;
+  runDataflow(cfg, {}, {}, stream.file, dfOpts, diags);
+  CollectiveChecker(summaries, stream.file, diags).run(*root);
 }
 
 }  // namespace pcxx::dslint

@@ -1,21 +1,27 @@
-// D1/D4: static checking of the d/stream protocol (the paper's Figure 2
-// state machine) over client C++ code.
+// D1/D4/D5: static checking of the d/stream protocol (the paper's
+// Figure 2 state machine) and of collective discipline (§4.2) over client
+// C++ code.
 //
-// The analysis is a conservative intraprocedural abstract interpretation
-// over the token stream: every local variable declared as a d/stream
-// (ds::OStream / ds::IStream / the paper-style oStream / iStream aliases)
-// is tracked through the statement sequence as a SET of possible protocol
-// states. Control flow is approximated:
+// v2 engine: the token stream is parsed into a scope-aware statement tree
+// and lowered to a control-flow graph (cfg.h); a worklist fixpoint
+// dataflow (dataflow.h) tracks every d/stream variable as a SET of
+// protocol states, iterating loop bodies until the loop-carried states
+// converge instead of analyzing them once. Helper functions and named
+// lambdas taking ds::OStream&/ds::IStream& parameters get protocol-effect
+// summaries (summary.h) applied at their call sites (DS108) instead of
+// ending tracking. A diagnostic is reported only when the operation is
+// invalid in EVERY possible state (must-error), so joins never produce
+// false positives; loops additionally get a first-iteration view and a
+// carried-state ("iteration >= 2") view so bugs that only materialize
+// with loop-carried state are still definite.
 //
-//   * if/else, switch:  both arms analyzed, states joined (set union)
-//   * for/while/do:     body analyzed once, joined with the zero-trip state
-//   * return/break/continue: the path is dead afterwards
-//   * lambdas:          bodies analyzed inline (they run under machine.run)
-//   * escapes:          a stream passed by reference/address to unknown
-//                       code is no longer diagnosed
-//
-// A diagnostic is reported only when the operation is invalid in EVERY
-// possible state (must-error), so joins never produce false positives.
+// On top of the dataflow, a structural pass checks collective discipline:
+// every node must execute stream collectives (open/read/write/close/...)
+// in the same order, so a collective reachable only under a
+// node-identity-dependent condition is a guaranteed deadlock:
+//   DS501  collective executed by a node-dependent subset of nodes
+//   DS502  node-dependent branches order collectives differently
+//   DS503  collective inside a loop with node-dependent trip count
 //
 // Collection variables (coll::Collection<T> g(&d, &a)) are tracked too:
 // inserting collections with differing (distribution, alignment) into one
@@ -29,7 +35,15 @@
 
 namespace pcxx::dslint {
 
+struct ProtocolOptions {
+  /// Emit DS109 notes where a stream escapes to unanalyzed code and
+  /// protocol tracking is dropped (opt-in: --strict).
+  bool strict = false;
+};
+
 /// Run the protocol analysis over one translation unit's tokens.
 void analyzeProtocol(const sg::TokenStream& stream, DiagnosticEngine& diags);
+void analyzeProtocol(const sg::TokenStream& stream, DiagnosticEngine& diags,
+                     const ProtocolOptions& options);
 
 }  // namespace pcxx::dslint

@@ -1,0 +1,33 @@
+// dslint v2 interprocedural layer: protocol-effect summaries for helper
+// functions and named lambdas that take `ds::OStream&` / `ds::IStream&`
+// parameters.
+//
+// For every such definition in the translation unit the body is parsed
+// (cfg.h) and probed once per possible initial protocol state of each
+// stream parameter (dataflow.h probeHelper). The result per parameter is
+// a transfer function over the state bitmask — what states the stream can
+// be in when the helper returns — plus, per initial state, the diagnostic
+// the body definitely trips when entered in that state. Call sites apply
+// the transfer and report DS108 when every state reaching the call is an
+// erroring one; violations the body trips in EVERY initial state are
+// reported directly at their location inside the body.
+//
+// Scope: free functions and `auto name = [..](..) {..}` lambdas called by
+// their bare name with the stream passed as a bare argument. Method
+// calls, overload sets, and recursion are out of scope — those call sites
+// keep the conservative escape semantics (DS109 under --strict).
+#pragma once
+
+#include "dslint/dataflow.h"
+#include "dslint/diagnostics.h"
+#include "streamgen/token.h"
+
+namespace pcxx::dslint {
+
+/// Scan one translation unit for helper definitions and compute their
+/// summaries. Diagnostics for violations a body trips in every call
+/// context are reported here, attributed to the body location.
+SummaryMap computeSummaries(const sg::TokenStream& stream,
+                            DiagnosticEngine& diags);
+
+}  // namespace pcxx::dslint

@@ -9,7 +9,9 @@ namespace pcxx {
 namespace {
 
 LogLevel levelFromEnv() {
-  const char* env = std::getenv("PCXX_LOG");
+  // Read once before any thread can spawn (initializes a function-local
+  // static), so the non-thread-safe getenv is fine here.
+  const char* env = std::getenv("PCXX_LOG");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return LogLevel::Warn;
   if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
   if (std::strcmp(env, "info") == 0) return LogLevel::Info;

@@ -11,6 +11,8 @@
 #include <string>
 #include <utility>
 
+#include "tests/common/json_check.h"
+
 #ifndef PCXX_DSLINT_PATH
 #error "PCXX_DSLINT_PATH must be defined by the build"
 #endif
@@ -93,9 +95,9 @@ TEST(DslintCli, EveryBadFixtureMatchesItsGolden) {
         << out;
     ++checked;
   }
-  // One bad fixture per diagnostic ID (DS001, DS101..DS107, DS201..DS203,
-  // DS301, DS401, DS402).
-  EXPECT_GE(checked, 14);
+  // One bad fixture per diagnostic ID (DS001, DS101..DS108, DS201..DS203,
+  // DS301, DS401, DS402, DS501..DS503) plus the loop-carried regression.
+  EXPECT_GE(checked, 19);
 }
 
 TEST(DslintCli, EveryGoodFixtureIsClean) {
@@ -110,7 +112,7 @@ TEST(DslintCli, EveryGoodFixtureIsClean) {
     EXPECT_TRUE(out.empty()) << name << ":\n" << out;
     ++checked;
   }
-  EXPECT_GE(checked, 14);
+  EXPECT_GE(checked, 19);
 }
 
 TEST(DslintCli, RepositoryClientCodeLintsClean) {
@@ -137,6 +139,73 @@ TEST(DslintCli, JsonModeEmitsMachineReadableOutput) {
   EXPECT_EQ(rc, 1);
   EXPECT_NE(out.find("\"id\":\"DS104\""), std::string::npos) << out;
   EXPECT_NE(out.find("\"count\":1"), std::string::npos) << out;
+}
+
+TEST(DslintCli, FormatJsonIsAnAliasForJsonFlag) {
+  auto [rc, out] =
+      runTool("--format=json " + (kFixtures / "ds104_bad.cpp").string());
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("\"id\":\"DS104\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"count\":1"), std::string::npos) << out;
+}
+
+TEST(DslintCli, UnknownFormatExitsTwo) {
+  auto [rc, out] =
+      runTool("--format=xml " + (kFixtures / "ds104_bad.cpp").string());
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("unknown --format"), std::string::npos) << out;
+}
+
+TEST(DslintCli, SarifOutputIsValidJsonWithRulesAndRegions) {
+  auto [rc, out] =
+      runTool("--format=sarif " + (kFixtures / "ds104_bad.cpp").string());
+  EXPECT_EQ(rc, 1);
+  EXPECT_TRUE(pcxx::test::JsonChecker::valid(out)) << out;
+  EXPECT_NE(out.find("\"version\":\"2.1.0\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"name\":\"dslint\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ruleId\":\"DS104\""), std::string::npos) << out;
+  // ds104_bad.cpp's double close sits at line 9, column 7 (the method
+  // name is the diagnostic anchor).
+  EXPECT_NE(out.find("\"startLine\":9"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"startColumn\":7"), std::string::npos) << out;
+}
+
+TEST(DslintCli, SarifOnCleanInputHasEmptyResultsAndExitZero) {
+  auto [rc, out] =
+      runTool("--format=sarif " + (kFixtures / "ds104_good.cpp").string());
+  EXPECT_EQ(rc, 0);
+  EXPECT_TRUE(pcxx::test::JsonChecker::valid(out)) << out;
+  EXPECT_NE(out.find("\"results\":[]"), std::string::npos) << out;
+}
+
+TEST(DslintCli, BaselineSuppressesKnownFindings) {
+  const fs::path baseline =
+      fs::temp_directory_path() /
+      ("pcxx_dslint_baseline_" + std::to_string(::getpid()) + ".txt");
+  std::ofstream(baseline) << "# accepted legacy finding\n"
+                          << "DS104 ds104_bad.cpp:9\n";
+  auto [rc, out] = runTool("--baseline " + baseline.string() + " " +
+                           (kFixtures / "ds104_bad.cpp").string());
+  fs::remove(baseline);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST(DslintCli, MissingBaselineFileExitsTwo) {
+  auto [rc, out] = runTool("--baseline /nonexistent/base.txt " +
+                           (kFixtures / "ds104_bad.cpp").string());
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("baseline"), std::string::npos) << out;
+}
+
+TEST(DslintCli, StrictModeNotesEscapesOtherwiseSilent) {
+  const std::string fixture = (kFixtures / "strict_escape.cpp").string();
+  auto [rcPlain, outPlain] = runTool(fixture);
+  EXPECT_EQ(rcPlain, 0) << outPlain;
+  EXPECT_TRUE(outPlain.empty()) << outPlain;
+  auto [rcStrict, outStrict] = runTool("--strict " + fixture);
+  EXPECT_EQ(rcStrict, 1);
+  EXPECT_NE(outStrict.find("[DS109]"), std::string::npos) << outStrict;
 }
 
 TEST(DslintCli, MultipleFilesAggregateAndSort) {

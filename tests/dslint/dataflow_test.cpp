@@ -1,0 +1,393 @@
+// Tests for the v2 dataflow engine: worklist fixpoint convergence,
+// loop-carried must-errors, interprocedural summaries (DS108/DS109), and
+// collective-divergence checks (DS501/DS502/DS503).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/dslint/protocol.h"
+#include "src/streamgen/lexer.h"
+
+namespace {
+
+using pcxx::dslint::DiagnosticEngine;
+using pcxx::dslint::ProtocolOptions;
+
+std::vector<std::string> idsOf(const std::string& source,
+                               bool strict = false) {
+  DiagnosticEngine diags;
+  ProtocolOptions opts;
+  opts.strict = strict;
+  pcxx::dslint::analyzeProtocol(pcxx::sg::lex(source, "t.cpp"), diags, opts);
+  diags.sort();
+  std::vector<std::string> ids;
+  for (const auto& d : diags.all()) ids.push_back(d.id);
+  return ids;
+}
+
+// -- fixpoint convergence -----------------------------------------------------
+
+TEST(DataflowTest, LoopCarriedCloseIsMustErrorOnSecondIteration) {
+  // Iteration 1 is legal; iteration 2 inserts into a closed stream. Needs
+  // the loop-carried view of the converged fixpoint.
+  EXPECT_EQ(idsOf(R"(
+    void f(int n) {
+      ds::OStream out("x");
+      for (int i = 0; i < n; ++i) {
+        out << i;
+        out.write();
+        out.close();
+      }
+    }
+  )"), (std::vector<std::string>{"DS105", "DS105", "DS104"}));
+}
+
+TEST(DataflowTest, LoopCarriedWriteStateIsClean) {
+  // wrote-on-iteration->=1 is part of the carried state; must not trip
+  // DS102/DS107.
+  EXPECT_TRUE(idsOf(R"(
+    void f(int n) {
+      ds::OStream out("x");
+      for (int i = 0; i < n; ++i) {
+        out << i;
+        out.write();
+      }
+      out.close();
+    }
+  )").empty());
+}
+
+TEST(DataflowTest, DeeplyNestedLoopsTerminateAndStayStable) {
+  // 4-deep loop nest with branches: the worklist must reach a fixpoint,
+  // and re-running the analysis must reproduce the same diagnostics.
+  const std::string src = R"(
+    void f(int n, bool b) {
+      ds::OStream out("x");
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          while (b) {
+            do {
+              if (b) { out << 1; } else { out << 2; }
+              out.write();
+            } while (b);
+          }
+          if (b) { out << j; out.write(); }
+        }
+      }
+      out << 0;
+      out.write();
+      out.close();
+    }
+  )";
+  const std::vector<std::string> first = idsOf(src);
+  EXPECT_TRUE(first.empty());
+  EXPECT_EQ(idsOf(src), first);
+}
+
+TEST(DataflowTest, NestedLoopCarriedErrorSurvivesDepth) {
+  // The closing statement sits two loops deep; the carried view still
+  // reaches it with the closed state.
+  const std::vector<std::string> ids = idsOf(R"(
+    void f(int n) {
+      ds::IStream in("x");
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          in.close();
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(ids, (std::vector<std::string>{"DS104"}));
+}
+
+TEST(DataflowTest, PostLoopStateJoinsWithZeroTripPath) {
+  // close() inside the loop is a definite double close once the loop
+  // iterates twice (carried view: DS104) — but the use AFTER the loop is
+  // NOT a must-error, because the zero-trip path leaves the stream open.
+  EXPECT_EQ(idsOf(R"(
+    void f(int n) {
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      for (int i = 0; i < n; ++i) {
+        out.close();
+      }
+      out << 2;
+      out.write();
+    }
+  )"), (std::vector<std::string>{"DS104"}));
+}
+
+// -- duplicate suppression ----------------------------------------------------
+
+TEST(DataflowTest, DiagnosticsAreDeduplicatedAcrossViews) {
+  // The erroring statement is inside a loop, so the joined, carried, and
+  // first-iteration walks all visit it; the report must appear once.
+  const std::vector<std::string> ids = idsOf(R"(
+    void f(int n) {
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      out.close();
+      for (int i = 0; i < n; ++i) {
+        out << i;
+      }
+    }
+  )");
+  EXPECT_EQ(ids, (std::vector<std::string>{"DS105"}));
+}
+
+// -- interprocedural summaries ------------------------------------------------
+
+TEST(DataflowTest, HelperEffectIsAppliedAtCallSite) {
+  // The helper writes and closes; the caller's later close is a definite
+  // double close — visible only if the call's effect is applied.
+  EXPECT_EQ(idsOf(R"(
+    void finish(ds::OStream& s) {
+      s << 1;
+      s.write();
+      s.close();
+    }
+    void f() {
+      ds::OStream out("x");
+      finish(out);
+      out.close();
+    }
+  )"), (std::vector<std::string>{"DS104"}));
+}
+
+TEST(DataflowTest, HelperViolationInEveryCallContextIsDS108) {
+  EXPECT_EQ(idsOf(R"(
+    void finish(ds::OStream& s) {
+      s.close();
+    }
+    void f() {
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      out.close();
+      finish(out);
+    }
+  )"), (std::vector<std::string>{"DS108"}));
+}
+
+TEST(DataflowTest, HelperCleanInContextIsNotReported) {
+  EXPECT_TRUE(idsOf(R"(
+    void finish(ds::OStream& s) {
+      s.close();
+    }
+    void f() {
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      finish(out);
+    }
+  )").empty());
+}
+
+TEST(DataflowTest, HelperWrongDirectionIsDS108) {
+  // An IStream passed where the helper performs write-mode operations.
+  const std::vector<std::string> ids = idsOf(R"(
+    void fill(ds::OStream& s) {
+      s << 1;
+      s.write();
+    }
+    void f() {
+      ds::IStream in("x");
+      fill(in);
+    }
+  )");
+  EXPECT_EQ(ids, (std::vector<std::string>{"DS108"}));
+}
+
+TEST(DataflowTest, NamedLambdaHelperIsSummarized) {
+  EXPECT_EQ(idsOf(R"(
+    void f() {
+      auto finish = [](ds::OStream& s) {
+        s.close();
+      };
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      out.close();
+      finish(out);
+    }
+  )"), (std::vector<std::string>{"DS108"}));
+}
+
+TEST(DataflowTest, HelperUnconditionalViolationReportsAtBody) {
+  // A read-mode call on the output parameter errs in every entry state:
+  // reported once at the helper body (DS101), not re-reported as DS108 at
+  // each call site.
+  const std::vector<std::string> ids = idsOf(R"(
+    void drain(ds::OStream& s) {
+      s.read();
+    }
+    void f() {
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      drain(out);
+      out.close();
+    }
+  )");
+  EXPECT_EQ(ids, (std::vector<std::string>{"DS101"}));
+}
+
+TEST(DataflowTest, StrictModeNotesEscapes) {
+  const std::string src = R"(
+    void mystery(ds::OStream* s);
+    void f() {
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      mystery(&out);
+      out.close();
+    }
+  )";
+  EXPECT_TRUE(idsOf(src).empty());
+  EXPECT_EQ(idsOf(src, /*strict=*/true),
+            (std::vector<std::string>{"DS109"}));
+}
+
+// -- collective divergence (DS5xx) --------------------------------------------
+
+TEST(DataflowTest, CollectiveUnderNodeDependentBranchIsDS501) {
+  EXPECT_EQ(idsOf(R"(
+    void f(Node& node) {
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      if (node.id() == 0) {
+        out.close();
+      }
+    }
+  )"), (std::vector<std::string>{"DS501"}));
+}
+
+TEST(DataflowTest, NodeLocalWorkUnderNodeBranchIsClean) {
+  EXPECT_TRUE(idsOf(R"(
+    void f(Node& node) {
+      ds::OStream out("x");
+      out << 1;
+      if (node.id() == 0) {
+        out << 2;
+      }
+      out.write();
+      out.close();
+    }
+  )").empty());
+}
+
+TEST(DataflowTest, SameCollectivesBothArmsIsClean) {
+  EXPECT_TRUE(idsOf(R"(
+    void f(Node& node) {
+      ds::OStream out("x");
+      if (node.id() == 0) {
+        out << 1;
+        out.write();
+      } else {
+        out << 2;
+        out.write();
+      }
+      out.close();
+    }
+  )").empty());
+}
+
+TEST(DataflowTest, ReorderedCollectivesAcrossArmsIsDS502) {
+  EXPECT_EQ(idsOf(R"(
+    void f(Node& node) {
+      ds::OStream a("a");
+      ds::OStream b("b");
+      if (node.id() == 0) {
+        a << 1; a.write();
+        b << 2; b.write();
+      } else {
+        b << 2; b.write();
+        a << 1; a.write();
+      }
+      a.close();
+      b.close();
+    }
+  )"), (std::vector<std::string>{"DS502"}));
+}
+
+TEST(DataflowTest, CollectiveInNodeDependentLoopIsDS503) {
+  EXPECT_EQ(idsOf(R"(
+    void f(Node& node) {
+      ds::OStream out("x");
+      for (int i = 0; i < node.id(); ++i) {
+        out << i;
+        out.write();
+      }
+      out << 0;
+      out.write();
+      out.close();
+    }
+  )"), (std::vector<std::string>{"DS503"}));
+}
+
+TEST(DataflowTest, NodeIndependentLoopCollectivesAreClean) {
+  EXPECT_TRUE(idsOf(R"(
+    void f(int n) {
+      ds::OStream out("x");
+      for (int i = 0; i < n; ++i) {
+        out << i;
+        out.write();
+      }
+      out.close();
+    }
+  )").empty());
+}
+
+TEST(DataflowTest, EarlyReturnOnNodeIdentityIsDS501) {
+  // Node 0 returns before the collectives; the rest deadlock.
+  EXPECT_EQ(idsOf(R"(
+    void f(Node& node) {
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      if (node.id() == 0) {
+        return;
+      }
+      out.close();
+    }
+  )"), (std::vector<std::string>{"DS501"}));
+}
+
+TEST(DataflowTest, ThisNodeAliasIsRecognizedAsNodeDependent) {
+  EXPECT_EQ(idsOf(R"(
+    void f(int thisNode) {
+      ds::OStream out("x");
+      out << 1;
+      out.write();
+      if (thisNode == 0) {
+        out.close();
+      }
+    }
+  )"), (std::vector<std::string>{"DS501"}));
+}
+
+TEST(DataflowTest, CollectivePerformingHelperUnderNodeBranchIsDS501) {
+  // The collective hides inside a summarized helper; the divergence check
+  // must see through the call.
+  EXPECT_EQ(idsOf(R"(
+    void flush(ds::OStream& s) {
+      s << 1;
+      s.write();
+    }
+    void f(Node& node) {
+      ds::OStream out("x");
+      if (node.id() == 0) {
+        flush(out);
+      }
+      out << 2;
+      out.write();
+      out.close();
+    }
+  )"), (std::vector<std::string>{"DS501"}));
+}
+
+}  // namespace

@@ -51,6 +51,73 @@ TEST(DiagnosticsTest, JsonEscapesAndCounts) {
   EXPECT_NE(json.find("\"severity\":\"warning\""), std::string::npos);
 }
 
+TEST(DiagnosticsTest, DuplicateAddsAreDroppedAtInsertion) {
+  DiagnosticEngine d;
+  d.error("DS104", "a.cpp", 9, 3, "double close");
+  d.error("DS104", "a.cpp", 9, 3, "double close");
+  d.error("DS104", "a.cpp", 9, 3, "same site, different wording");
+  d.error("DS104", "a.cpp", 9, 4, "different column survives");
+  d.error("DS105", "a.cpp", 9, 3, "different id survives");
+  EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(DiagnosticsTest, RuleCatalogCoversEveryFamilySorted) {
+  const auto& rules = pcxx::dslint::ruleCatalog();
+  ASSERT_GE(rules.size(), 19u);
+  for (size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_LT(std::string(rules[i - 1].id), std::string(rules[i].id));
+  }
+  bool sawDs108 = false, sawDs501 = false;
+  for (const auto& r : rules) {
+    if (std::string(r.id) == "DS108") sawDs108 = true;
+    if (std::string(r.id) == "DS501") sawDs501 = true;
+  }
+  EXPECT_TRUE(sawDs108);
+  EXPECT_TRUE(sawDs501);
+}
+
+TEST(DiagnosticsTest, SarifCarriesRulesResultsAndRegions) {
+  DiagnosticEngine d;
+  d.error("DS104", "src/a.cpp", 9, 3, "double close of d/stream \"out\"");
+  d.warning("DS107", "src/b.cpp", 2, 1, "never wrote");
+  const std::string sarif = d.renderSarif();
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"dslint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"DS104\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":9"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startColumn\":3"), std::string::npos);
+  EXPECT_NE(sarif.find("\\\"out\\\""), std::string::npos);  // escaping
+  // Every catalogued rule appears in the driver's rule list.
+  for (const auto& r : pcxx::dslint::ruleCatalog()) {
+    EXPECT_NE(sarif.find("\"id\":\"" + std::string(r.id) + "\""),
+              std::string::npos)
+        << r.id;
+  }
+}
+
+TEST(DiagnosticsTest, BaselineSuppressesBySuffixAndLine) {
+  DiagnosticEngine d;
+  d.error("DS104", "/repo/src/a.cpp", 9, 3, "m");
+  d.error("DS104", "/repo/src/a.cpp", 12, 3, "m");
+  d.error("DS105", "/repo/src/b.cpp", 9, 3, "m");
+  const size_t removed = d.applyBaseline(
+      "# known findings\n"
+      "DS104 src/a.cpp:9\n"
+      "DS105 other.cpp:9  # wrong file, keeps b.cpp finding\n");
+  EXPECT_EQ(removed, 1u);
+  ASSERT_EQ(d.count(), 2u);
+  EXPECT_EQ(d.all()[0].line, 12);
+  EXPECT_EQ(d.all()[1].id, "DS105");
+}
+
+TEST(DiagnosticsTest, BaselineDoesNotMatchPartialPathComponents) {
+  DiagnosticEngine d;
+  d.error("DS104", "/repo/src/xa.cpp", 9, 3, "m");
+  EXPECT_EQ(d.applyBaseline("DS104 a.cpp:9\n"), 0u);
+  EXPECT_EQ(d.count(), 1u);
+}
+
 TEST(AnalyzerTest, UnlexableSourceYieldsDs001NotAThrow) {
   DiagnosticEngine d;
   pcxx::dslint::analyzeSource("const char* s = \"open\n", "t.cpp",

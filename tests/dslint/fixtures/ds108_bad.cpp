@@ -1,0 +1,15 @@
+// Interprocedural: the helper closes its stream parameter, so calling it
+// with a stream the caller already closed double-closes inside the helper.
+#include "dstream/dstream.h"
+
+void finish(pcxx::ds::OStream& s) {
+  s.close();
+}
+
+void produce() {
+  pcxx::ds::OStream out("records.ds");
+  out << 1;
+  out.write();
+  out.close();
+  finish(out);  // 'out' is already closed on entry
+}

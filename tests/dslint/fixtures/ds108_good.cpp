@@ -1,0 +1,14 @@
+// Interprocedural twin of ds108_bad: the same closing helper is fine when
+// the caller hands over an open stream and never touches it afterwards.
+#include "dstream/dstream.h"
+
+void finish(pcxx::ds::OStream& s) {
+  s.close();
+}
+
+void produce() {
+  pcxx::ds::OStream out("records.ds");
+  out << 1;
+  out.write();
+  finish(out);  // helper performs the close
+}

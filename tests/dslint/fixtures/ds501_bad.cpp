@@ -1,0 +1,12 @@
+// Collective divergence: close() is a collective (every node must take
+// part), but only node 0 executes it — the other nodes deadlock waiting.
+#include "dstream/dstream.h"
+
+void checkpoint(pcxx::coll::Node& node) {
+  pcxx::ds::OStream out("ckpt.ds");
+  out << 1;
+  out.write();
+  if (node.id() == 0) {
+    out.close();  // collective on a node-dependent subset
+  }
+}

@@ -1,0 +1,14 @@
+// Node-dependent branching is fine as long as the collectives themselves
+// are unconditional: inserts (<<) are node-local, so only node 0 staging
+// extra data does not diverge — every node reaches write() and close().
+#include "dstream/dstream.h"
+
+void checkpoint(pcxx::coll::Node& node) {
+  pcxx::ds::OStream out("ckpt.ds");
+  out << 1;
+  if (node.id() == 0) {
+    out << 2;  // node-local staging, not a collective
+  }
+  out.write();
+  out.close();
+}

@@ -1,0 +1,22 @@
+// Collective divergence: both arms of a node-dependent branch run the
+// same collectives but in opposite orders, so node 0 waits on 'a' while
+// the rest wait on 'b'.
+#include "dstream/dstream.h"
+
+void exchange(pcxx::coll::Node& node) {
+  pcxx::ds::OStream a("a.ds");
+  pcxx::ds::OStream b("b.ds");
+  if (node.id() == 0) {
+    a << 1;
+    a.write();
+    b << 2;
+    b.write();
+  } else {
+    b << 2;
+    b.write();
+    a << 1;
+    a.write();
+  }
+  a.close();
+  b.close();
+}

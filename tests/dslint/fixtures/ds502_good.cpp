@@ -1,0 +1,21 @@
+// Twin of ds502_bad: node-dependent branches may differ in node-local
+// work as long as they issue the same collectives in the same order.
+#include "dstream/dstream.h"
+
+void exchange(pcxx::coll::Node& node) {
+  pcxx::ds::OStream a("a.ds");
+  pcxx::ds::OStream b("b.ds");
+  if (node.id() == 0) {
+    a << 1;
+    a.write();
+    b << 2;
+    b.write();
+  } else {
+    a << 10;
+    a.write();
+    b << 20;
+    b.write();
+  }
+  a.close();
+  b.close();
+}

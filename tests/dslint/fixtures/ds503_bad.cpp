@@ -1,0 +1,14 @@
+// Collective divergence: the loop's trip count depends on node identity,
+// so nodes issue different numbers of collective write()s and deadlock.
+#include "dstream/dstream.h"
+
+void stage(pcxx::coll::Node& node) {
+  pcxx::ds::OStream out("stage.ds");
+  for (int i = 0; i < node.id(); ++i) {
+    out << i;
+    out.write();  // collective, executed node.id() times
+  }
+  out << 0;
+  out.write();
+  out.close();
+}

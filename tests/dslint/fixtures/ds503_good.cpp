@@ -1,0 +1,19 @@
+// Twin of ds503_bad: collectives inside a loop are fine when the trip
+// count is node-independent, and a node-dependent loop is fine when it
+// performs no collectives.
+#include "dstream/dstream.h"
+
+void stage(pcxx::coll::Node& node, int n) {
+  pcxx::ds::OStream out("stage.ds");
+  for (int i = 0; i < n; ++i) {
+    out << i;
+    out.write();  // same trip count on every node
+  }
+  int local = 0;
+  for (int i = 0; i < node.id(); ++i) {
+    local += i;  // node-dependent loop, but no collectives inside
+  }
+  out << local;
+  out.write();
+  out.close();
+}

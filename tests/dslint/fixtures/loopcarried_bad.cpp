@@ -1,0 +1,13 @@
+// Loop-carried protocol state: iteration 1 is legal, but close() inside
+// the body means iteration 2 inserts into a closed stream. A single pass
+// over the body misses this; the fixpoint's carried view catches it.
+#include "dstream/dstream.h"
+
+void produce(int n) {
+  pcxx::ds::OStream out("records.ds");
+  for (int i = 0; i < n; ++i) {
+    out << i;
+    out.write();
+    out.close();  // iteration 2 sees a closed stream
+  }
+}

@@ -1,0 +1,12 @@
+// Twin of loopcarried_bad: close once after the loop. The loop-carried
+// state (wrote on iteration >= 1) must not trip any must-error.
+#include "dstream/dstream.h"
+
+void produce(int n) {
+  pcxx::ds::OStream out("records.ds");
+  for (int i = 0; i < n; ++i) {
+    out << i;
+    out.write();
+  }
+  out.close();
+}

@@ -1,0 +1,15 @@
+// --strict fixture (deliberately not named *_bad/_good: it is only
+// diagnosed under --strict, which the golden sweeps do not pass).
+// Taking the stream's address hands it to code the analyzer cannot see,
+// so tracking is dropped — DS109 notes where.
+#include "dstream/dstream.h"
+
+void mystery(pcxx::ds::OStream* s);
+
+void produce() {
+  pcxx::ds::OStream out("records.ds");
+  out << 1;
+  out.write();
+  mystery(&out);  // escapes: protocol tracking ends here
+  out.close();
+}
