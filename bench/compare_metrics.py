@@ -9,6 +9,12 @@ total time and in each I/O phase.  Rows whose relative change exceeds the
 threshold (default 5%) are flagged with '!'.  Exit status is 1 when any row
 is flagged, so the script can gate a CI perf check.
 
+With --fail-on-regression PCT the script becomes a one-sided gate: only
+*increases* count (a speedup never fails the build), and the exit status is
+3 when any total or phase grew by more than PCT percent, 0 otherwise, 2 on
+usage errors (bad arguments, unreadable files, or no comparable keys).
+bench/perf_gate.py drives this mode against the checked-in baseline.
+
 Counters are also diffed, informationally (never flagged): the JSON emits
 only non-zero counters, and older reports predate some counters entirely
 (e.g. the retry/fault set pfs.retries, pfs.give_ups, or the redistribution
@@ -62,6 +68,18 @@ def rel_change(base, cand):
     return abs(cand - base) / base
 
 
+def is_regression(base, cand, pct):
+    """One-sided check: did `cand` grow past `base` by more than pct%?
+
+    A phase absent from the baseline (base == 0) only counts when the
+    candidate spends measurable time there — 1 microsecond of simulated
+    time — so schema growth alone cannot fail the gate.
+    """
+    if base == 0.0:
+        return cand > 1e-6
+    return (cand - base) / base * 100.0 > pct
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
@@ -69,7 +87,14 @@ def main():
     ap.add_argument("--threshold", type=float, default=5.0,
                     help="flag phases whose relative change exceeds this "
                          "percentage (default: 5)")
+    ap.add_argument("--fail-on-regression", type=float, default=None,
+                    metavar="PCT",
+                    help="gate mode: exit 3 when any total or phase grew "
+                         "by more than PCT percent (improvements never "
+                         "fail); exit 0 otherwise")
     args = ap.parse_args()
+    if args.fail_on_regression is not None and args.fail_on_regression < 0:
+        ap.error("--fail-on-regression must be non-negative")
 
     base = index(load(args.baseline))
     cand = index(load(args.candidate))
@@ -82,6 +107,7 @@ def main():
         return 2
 
     flagged = 0
+    regressions = []
     thresh = args.threshold / 100.0
     for key in common:
         title, segments, method = key
@@ -95,6 +121,9 @@ def main():
 
         header_printed = False
         for name, bv, cv in rows:
+            if (args.fail_on_regression is not None and
+                    is_regression(bv, cv, args.fail_on_regression)):
+                regressions.append((key, name, bv, cv))
             mark = "!" if rel_change(bv, cv) > thresh else " "
             if mark == "!" or name == "total":
                 if not header_printed:
@@ -126,6 +155,15 @@ def main():
         print(f"only in candidate: {key}")
     if flagged:
         print(f"{flagged} phase(s) changed by more than {args.threshold}%")
+    if args.fail_on_regression is not None:
+        if regressions:
+            print(f"{len(regressions)} regression(s) beyond "
+                  f"{args.fail_on_regression}%:")
+            for (title, segments, method), name, bv, cv in regressions:
+                print(f"  {title} | segments={segments} | {method}: "
+                      f"{name} {bv:.6g}s -> {cv:.6g}s {fmt_delta(bv, cv)}")
+            return 3
+        return 0
     return 1 if flagged else 0
 
 

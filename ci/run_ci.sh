@@ -8,6 +8,7 @@
 #   ci/run_ci.sh aio-off     overlap pipelines compiled out (PCXX_AIO=OFF)
 #   ci/run_ci.sh fault       ASan build, fault-tolerance suite only
 #   ci/run_ci.sh coverage    gcov-instrumented build + line-coverage gate
+#   ci/run_ci.sh perf        perf-regression gate vs bench/BENCH_7.json
 #   ci/run_ci.sh all         all of the above, sequentially
 #
 # Each configuration builds into build-ci-<name>/, runs the full ctest
@@ -99,6 +100,26 @@ run_coverage() {
   echo "=== [coverage] OK ==="
 }
 
+# Perf leg: release build (no test run — the other legs own correctness),
+# then the perf-regression gate: run the virtual-time benches, validate
+# the causal-trace artifacts, self-test the gate against a synthetic +20%
+# regression, and compare against the checked-in baseline
+# (bench/BENCH_7.json). The simulation is deterministic, so any growth
+# beyond the threshold is a genuine model regression. Artifacts (traces,
+# metrics, gate_report.txt) are left in build-ci-perf/perf/ for CI to
+# archive.
+run_perf() {
+  local build_dir="${repo_root}/build-ci-perf"
+  echo "=== [perf] configure ==="
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+  echo "=== [perf] build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== [perf] gate ==="
+  python3 "${repo_root}/bench/perf_gate.py" --build-dir "${build_dir}" \
+    --self-test
+  echo "=== [perf] OK ==="
+}
+
 case "${1:-all}" in
   default)  run_config default ;;
   asan)     run_config asan -DPCXX_SANITIZE=ON ;;
@@ -107,6 +128,7 @@ case "${1:-all}" in
   aio-off)  run_config aio-off -DPCXX_AIO=OFF ;;
   fault)    run_fault ;;
   coverage) run_coverage ;;
+  perf)     run_perf ;;
   all)
     run_config default
     run_config asan -DPCXX_SANITIZE=ON
@@ -115,9 +137,10 @@ case "${1:-all}" in
     run_config aio-off -DPCXX_AIO=OFF
     run_fault
     run_coverage
+    run_perf
     ;;
   *)
-    echo "usage: $0 [default|asan|tsan|obs-off|aio-off|fault|coverage|all]" >&2
+    echo "usage: $0 [default|asan|tsan|obs-off|aio-off|fault|coverage|perf|all]" >&2
     exit 2
     ;;
 esac

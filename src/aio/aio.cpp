@@ -128,11 +128,13 @@ ByteBuffer Writer::acquireBuffer() {
 }
 
 void Writer::submit(std::uint64_t offset, ByteBuffer&& buf,
-                    double transferSeconds, bool syncAfter) {
+                    double transferSeconds, bool syncAfter,
+                    std::uint64_t flowId) {
   rethrowPending();
   obs::NodeObs* o = node_.obs();
 #if !PCXX_OBS_ENABLED
   (void)o;
+  (void)flowId;
 #endif
   rt::VirtualClock& clock = node_.clock();
 
@@ -148,7 +150,7 @@ void Writer::submit(std::uint64_t offset, ByteBuffer&& buf,
     completions_.pop_front();
     if (readyAt > now) {
       PCXX_OBS_SECONDS(o, AioStallSeconds, readyAt - now);
-      clock.syncTo(readyAt);
+      clock.stallTo(readyAt);
     }
   }
   const double start = std::max(flusherReady_, clock.now());
@@ -159,6 +161,11 @@ void Writer::submit(std::uint64_t offset, ByteBuffer&& buf,
   if (o != nullptr && o->trace != nullptr && !o->wallTime) {
     const int track = o->trace->flusherTrack(o->nodeId);
     o->trace->begin(track, "aio.flush", start);
+    if (flowId != 0) {
+      // Terminate the record's flow chain inside the modeled flush span:
+      // the arrow lands on the background write that carried its bytes.
+      o->trace->flowEnd(track, "ds.record", start, flowId);
+    }
     o->trace->end(track, "aio.flush", end);
   }
 #endif
@@ -198,7 +205,10 @@ void Writer::drain() {
   rt::VirtualClock& clock = node_.clock();
   if (flusherReady_ > clock.now()) {
     PCXX_OBS_SECONDS(o, AioDrainSeconds, flusherReady_ - clock.now());
-    clock.syncTo(flusherReady_);
+    // stallTo, not syncTo: drain time is already charged to
+    // aio.drain_seconds; routing the jump through waitedSeconds() would
+    // double-count it in the collective wait timers too.
+    clock.stallTo(flusherReady_);
   }
   completions_.clear();
   {

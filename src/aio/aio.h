@@ -109,9 +109,12 @@ class Writer {
   /// block's share of the transfer (OrderedReservation::transferSeconds or
   /// an independent-op estimate); it drives the modeled overlap timeline.
   /// `syncAfter` flushes the storage backend after this block lands
-  /// (StreamOptions::syncOnWrite). Rethrows a pending background failure.
+  /// (StreamOptions::syncOnWrite). A nonzero `flowId` terminates that trace
+  /// flow chain inside the modeled flush span on the flusher track, linking
+  /// the record's node-track span to its background write. Rethrows a
+  /// pending background failure.
   void submit(std::uint64_t offset, ByteBuffer&& buf, double transferSeconds,
-              bool syncAfter = false);
+              bool syncAfter = false, std::uint64_t flowId = 0);
 
   /// Wait until every queued block is durable in storage; advance the
   /// node's virtual clock to the modeled flusher-idle time; fold the

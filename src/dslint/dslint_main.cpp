@@ -3,9 +3,10 @@
 //   dslint [--format=text|json|sarif] [--baseline FILE] [--strict]
 //          [--all-types] file.cpp [file2.cpp ...]
 //
-// Generated .json artifacts (obs traces, --metrics-json reports) are
-// skipped, so globbing a directory that benches have written into does not
-// produce bogus diagnostics or I/O errors.
+// Generated .json artifacts (obs traces, --metrics-json reports, perf-gate
+// baselines) and .sarif reports are skipped, so globbing a directory that
+// benches or the lint targets have written into does not produce bogus
+// diagnostics or I/O errors.
 //
 // --baseline FILE suppresses known findings ("DSxxx path:line" per line,
 // '#' comments); --strict adds DS109 notes where a stream escapes to
@@ -80,8 +81,12 @@ int main(int argc, char** argv) {
   analyzerOpts.strict = opts.getFlag("strict");
 
   auto isJsonArtifact = [](const std::string& path) {
-    return path.size() >= 5 &&
-           path.compare(path.size() - 5, 5, ".json") == 0;
+    const auto endsWith = [&path](const char* suffix) {
+      const std::string s(suffix);
+      return path.size() >= s.size() &&
+             path.compare(path.size() - s.size(), s.size(), s) == 0;
+    };
+    return endsWith(".json") || endsWith(".sarif");
   };
 
   dslint::DiagnosticEngine diags;
@@ -94,7 +99,7 @@ int main(int argc, char** argv) {
   }
   if (!analyzedAny) {
     std::cerr << "dslint: no source files among the inputs "
-                 "(.json artifacts are skipped)\n";
+                 "(.json and .sarif artifacts are skipped)\n";
     return 2;
   }
   if (!baselineText.empty()) diags.applyBaseline(baselineText);

@@ -211,6 +211,19 @@ bool IStream::readRecordOnce(bool sorted) {
 
   // ---- record header (node 0 reads, then broadcast) -----------------------
   const std::uint64_t recordStart = file_->sharedOffset();
+
+  // Record-scoped correlation id: opens a "ds.record" flow chain that the
+  // ordered data read and the redistribution exchange extend, so Perfetto
+  // links each record to the work that reconstructed it.
+  std::uint64_t rid = 0;
+#if PCXX_OBS_ENABLED
+  obs::NodeObs* fobs = node_->obs();
+  if (fobs != nullptr && fobs->trace != nullptr) {
+    rid = node_->machine().nextFlowId();
+    fobs->trace->flowStart(node_->id(), "ds.record", fobs->now(), rid);
+  }
+#endif
+
   ByteBuffer headerBytes;
   if (node_->id() == 0) {
     Byte prefix[8];
@@ -301,6 +314,11 @@ bool IStream::readRecordOnce(bool sorted) {
 
   // ---- data (phase 1: conforming contiguous read) --------------------------
   ByteBuffer chunk(static_cast<size_t>(myChunkBytes));
+#if PCXX_OBS_ENABLED
+  if (fobs != nullptr && fobs->trace != nullptr) {
+    fobs->trace->flowStep(node_->id(), "ds.record", fobs->now(), rid);
+  }
+#endif
   file_->readOrdered(*node_, chunk);
 
   // ---- optional data checksum trailer ---------------------------------------
@@ -309,7 +327,7 @@ bool IStream::readRecordOnce(bool sorted) {
   }
 
   return finishRecord(sorted, std::move(header), std::move(chunk),
-                      std::move(chunkSizes), recordStart, recordEnd);
+                      std::move(chunkSizes), recordStart, recordEnd, rid);
 }
 
 bool IStream::checkTrailer(const RecordHeader& header, const ByteBuffer& chunk,
@@ -352,7 +370,8 @@ bool IStream::checkTrailer(const RecordHeader& header, const ByteBuffer& chunk,
 
 bool IStream::finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
                            std::vector<std::uint64_t> chunkSizes,
-                           std::uint64_t recordStart, std::uint64_t recordEnd) {
+                           std::uint64_t recordStart, std::uint64_t recordEnd,
+                           std::uint64_t flowId) {
   const bool sameLayout = header.layout == layout_;
   if (!sorted || sameLayout) {
     // unsortedRead, or a sorted read where nothing moved: phase-1 data is
@@ -383,7 +402,7 @@ bool IStream::finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
       }
       redist::execute(*node_, *plan_, chunk, chunkSizes,
                       opts_.redistChunkBytes, buffer_, elemOffsets_,
-                      elemSizes_, redistScratch_);
+                      elemSizes_, redistScratch_, flowId);
     } catch (const FormatError& e) {
       // Plan building is pure arithmetic over the broadcast header bytes,
       // so a FormatError (duplicate / out-of-range global index from a
@@ -396,7 +415,7 @@ bool IStream::finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
   } else {
     PCXX_OBS_PHASE(node_->obs(), "ds.redist", DsRedistSeconds);
     if (!redistributeLegacy(header, chunk, chunkSizes, recordStart,
-                            recordEnd)) {
+                            recordEnd, flowId)) {
       return false;
     }
   }
@@ -416,6 +435,14 @@ bool IStream::finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
   } else {
     PCXX_OBS_COUNT(node_->obs(), DsUnsortedReads, 1);
   }
+#if PCXX_OBS_ENABLED
+  // Terminate the record's flow chain: the record is fully assembled in
+  // local order. "bp":"e" binds the arrow into the enclosing ds.read span.
+  if (obs::NodeObs* o = node_->obs();
+      flowId != 0 && o != nullptr && o->trace != nullptr) {
+    o->trace->flowEnd(node_->id(), "ds.record", o->now(), flowId);
+  }
+#endif
   return true;
 }
 
@@ -423,7 +450,11 @@ bool IStream::redistributeLegacy(const RecordHeader& header,
                                  const ByteBuffer& chunk,
                                  const std::vector<std::uint64_t>& chunkSizes,
                                  std::uint64_t recordStart,
-                                 std::uint64_t recordEnd) {
+                                 std::uint64_t recordEnd,
+                                 std::uint64_t flowId) {
+#if !PCXX_OBS_ENABLED
+  (void)flowId;
+#endif
   // ---- phase 2, seed path: sort + send to owner nodes (paper §4.1) --------
   // Format problems found here are NODE-LOCAL (each node sees only its own
   // chunk and its own arriving elements), so nothing may throw before the
@@ -476,6 +507,12 @@ bool IStream::redistributeLegacy(const RecordHeader& header,
     PCXX_OBS_PEER_BYTES(node_->obs(), peer, buf.size());
   }
   [[maybe_unused]] const double waitedBefore = node_->clock().waitedSeconds();
+#if PCXX_OBS_ENABLED
+  if (obs::NodeObs* o = node_->obs();
+      flowId != 0 && o != nullptr && o->trace != nullptr) {
+    o->trace->flowStep(node_->id(), "ds.record", o->now(), flowId);
+  }
+#endif
   const auto received = node_->alltoallv(sendTo);
   PCXX_OBS_SECONDS(node_->obs(), RedistWaitSeconds,
                    node_->clock().waitedSeconds() - waitedBefore);
@@ -688,16 +725,25 @@ int IStream::tryPrefetched(bool sorted) {
   prefetchPrevReady_ = ready;
   if (ready > clock.now()) {
     PCXX_OBS_SECONDS(node_->obs(), AioStallSeconds, ready - clock.now());
-    clock.syncTo(ready);
+    // stallTo: prefetch catch-up is a local pipeline stall, already charged
+    // to aio.stall_seconds — keep it out of the sync-wait bucket.
+    clock.stallTo(ready);
   }
   prefetchConsumedAt_.push_back(clock.now());
+  std::uint64_t rid = 0;
 #if PCXX_OBS_ENABLED
   {
     obs::NodeObs* o = node_->obs();
     if (o != nullptr && o->trace != nullptr && !o->wallTime) {
+      // The record's flow chain starts inside the modeled prefetch span:
+      // the background fetch is where the bytes came from, and the step on
+      // the node track marks where they were consumed.
+      rid = node_->machine().nextFlowId();
       const int track = o->trace->prefetchTrack(o->nodeId);
       o->trace->begin(track, "aio.prefetch", fetchStart);
+      o->trace->flowStart(track, "ds.record", fetchStart, rid);
       o->trace->end(track, "aio.prefetch", ready);
+      o->trace->flowStep(o->nodeId, "ds.record", o->now(), rid);
     }
   }
 #endif
@@ -736,7 +782,7 @@ int IStream::tryPrefetched(bool sorted) {
     return 0;
   }
   if (!finishRecord(sorted, std::move(header), std::move(r.dataChunk),
-                    std::move(chunkSizes), recordStart, r.next)) {
+                    std::move(chunkSizes), recordStart, r.next, rid)) {
     // Salvage skipped a record whose header routes a corrupt element set;
     // the shared cursor moved past it.
     restartPrefetch();

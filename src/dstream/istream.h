@@ -154,16 +154,20 @@ class IStream {
   /// bookkeeping, and the transition to Extracting. Returns false when
   /// salvage mode skipped the record because its header routes an
   /// inconsistent element set (duplicate or out-of-range global indices).
+  /// `flowId` (0 = untraced) extends the record's trace flow chain through
+  /// the redistribution exchange.
   bool finishRecord(bool sorted, RecordHeader header, ByteBuffer chunk,
                     std::vector<std::uint64_t> chunkSizes,
-                    std::uint64_t recordStart, std::uint64_t recordEnd);
+                    std::uint64_t recordStart, std::uint64_t recordEnd,
+                    std::uint64_t flowId);
   /// Seed-era phase 2 (StreamOptions::redistUsePlan = false): per-record
   /// enumeration of every node's element list and a std::map collection.
   /// Kept for A/B comparison against the plan engine; byte-identical
   /// output. Returns false when salvage mode skipped corrupt routing.
   bool redistributeLegacy(const RecordHeader& header, const ByteBuffer& chunk,
                           const std::vector<std::uint64_t>& chunkSizes,
-                          std::uint64_t recordStart, std::uint64_t recordEnd);
+                          std::uint64_t recordStart, std::uint64_t recordEnd,
+                          std::uint64_t flowId);
   /// Record damage [from, to) in the salvage report and advance past it.
   bool skipDamage(std::uint64_t from, std::uint64_t to, std::string reason);
   void checkExtract(const coll::Layout& collectionLayout, std::uint32_t tag,

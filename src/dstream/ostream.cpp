@@ -174,6 +174,19 @@ void OStream::write() {
   if (writer_ != nullptr) writer_->rethrowPending();
   PCXX_OBS_PHASE(node_->obs(), "ds.write", DsWriteSeconds);
 
+  // Record-scoped correlation id: opens a "ds.record" flow chain on this
+  // node's track that the downstream stages (pfs ordered writes or the aio
+  // flusher's modeled flush span) extend/terminate, so Perfetto links the
+  // record to the background work that carried its bytes.
+  std::uint64_t rid = 0;
+#if PCXX_OBS_ENABLED
+  obs::NodeObs* fobs = node_->obs();
+  if (fobs != nullptr && fobs->trace != nullptr) {
+    rid = node_->machine().nextFlowId();
+    fobs->trace->flowStart(node_->id(), "ds.record", fobs->now(), rid);
+  }
+#endif
+
   // Step 0: traverse the pointer lists — per-element sizes and the packed
   // local data buffer (the "per-node buffer" of Figure 4). In async mode
   // the data is packed straight into a recycled staging buffer, so the
@@ -261,14 +274,26 @@ void OStream::write() {
       ByteBuffer tableBuf = writer_->acquireBuffer();
       tableBuf.assign(sizeTableLocal.begin(), sizeTableLocal.end());
       writer_->submit(tableRes.offset, std::move(tableBuf),
-                      tableRes.transferSeconds);
+                      tableRes.transferSeconds, false, rid);
       const pfs::OrderedReservation dataRes =
           file_->reserveOrdered(*node_, data.size());
       writer_->submit(dataRes.offset, std::move(data),
-                      dataRes.transferSeconds, syncViaFlusher);
+                      dataRes.transferSeconds, syncViaFlusher, rid);
     } else {
       file_->writeOrdered(*node_, sizeTableLocal);
+#if PCXX_OBS_ENABLED
+      if (fobs != nullptr && fobs->trace != nullptr) {
+        fobs->trace->flowStep(node_->id(), "ds.record", fobs->now(), rid);
+      }
+#endif
       file_->writeOrdered(*node_, data);
+#if PCXX_OBS_ENABLED
+      // Synchronous chains terminate here: the record's bytes are on
+      // storage. (Async chains terminate on the flusher track instead.)
+      if (fobs != nullptr && fobs->trace != nullptr) {
+        fobs->trace->flowEnd(node_->id(), "ds.record", fobs->now(), rid);
+      }
+#endif
     }
   } else {
     // Gathered: the size table is collected to node 0 and written at the
@@ -292,12 +317,22 @@ void OStream::write() {
       const pfs::OrderedReservation res =
           file_->reserveOrdered(*node_, myBlock.size());
       writer_->submit(res.offset, std::move(myBlock), res.transferSeconds,
-                      syncViaFlusher);
+                      syncViaFlusher, rid);
       if (node_->id() == 0) {
         writer_->releaseBuffer(std::move(data));  // folded into the block
       }
     } else {
+#if PCXX_OBS_ENABLED
+      if (fobs != nullptr && fobs->trace != nullptr) {
+        fobs->trace->flowStep(node_->id(), "ds.record", fobs->now(), rid);
+      }
+#endif
       file_->writeOrdered(*node_, myBlock);
+#if PCXX_OBS_ENABLED
+      if (fobs != nullptr && fobs->trace != nullptr) {
+        fobs->trace->flowEnd(node_->id(), "ds.record", fobs->now(), rid);
+      }
+#endif
     }
   }
 

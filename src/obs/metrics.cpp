@@ -39,6 +39,7 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "aio.prefetch_misses",
     "aio.bg_write_bytes",
     "aio.bg_read_bytes",
+    "rt.coll_straggler_ops",
 };
 
 constexpr const char* kTimerNames[kNumTimers] = {
@@ -65,6 +66,7 @@ constexpr const char* kHistNames[kNumHists] = {
     "pfs.write_size",
     "aio.queue_depth",
     "redist.chunk_bytes",
+    "rt.coll_skew_seconds",
 };
 
 }  // namespace

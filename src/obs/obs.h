@@ -73,6 +73,7 @@ enum class Counter : int {
   AioPrefetchMisses,  ///< records read synchronously despite prefetch on
   AioBgWriteBytes,    ///< bytes flushed by background writer threads
   AioBgReadBytes,     ///< bytes fetched by background prefetch threads
+  RtCollStragglerOps,  ///< collectives this node was the last to arrive at
   kCount
 };
 
@@ -103,6 +104,7 @@ enum class Hist : int {
   PfsWriteSize,  ///< bytes per storage write request
   AioQueueDepth, ///< write-behind queue occupancy sampled at each submit
   RedistChunkBytes,  ///< bytes per peer per chunked-exchange round
+  RtCollSkew,    ///< per-collective skew absorbed, in whole microseconds
   kCount
 };
 
@@ -262,12 +264,32 @@ class TraceSession {
     push(node, Event{name, tsSeconds, 0.0, 'i'});
   }
 
+  /// Flow events ("ph":"s"/"t"/"f" sharing a correlation `id`): Perfetto
+  /// draws an arrow along each same-id chain in timestamp order, binding
+  /// every event to its enclosing slice ("bp":"e" on the terminator). The
+  /// id space is partitioned by the issuer (rt::Machine::nextFlowId plus
+  /// tag bits for p2p/collective edges) so chains never collide.
+  void flowStart(int node, const char* name, double tsSeconds,
+                 std::uint64_t id) {
+    push(node, Event{name, tsSeconds, 0.0, 's', id});
+  }
+  void flowStep(int node, const char* name, double tsSeconds,
+                std::uint64_t id) {
+    push(node, Event{name, tsSeconds, 0.0, 't', id});
+  }
+  void flowEnd(int node, const char* name, double tsSeconds,
+               std::uint64_t id) {
+    push(node, Event{name, tsSeconds, 0.0, 'f', id});
+  }
+
   int nnodes() const { return nnodes_; }
   std::size_t eventCount() const;
 
   /// Chrome trace_event JSON ("traceEvents" array; ts in microseconds,
   /// pid 0, tid = node id, one event per line). Loads in Perfetto.
   std::string toJson() const;
+  /// Writes toJson() to a sibling temp file, then renames it over `path`,
+  /// so a crash mid-dump never leaves a truncated/unparseable artifact.
   void writeJson(const std::string& path) const;
 
  private:
@@ -276,6 +298,7 @@ class TraceSession {
     double tsSeconds;
     double value;
     char phase;
+    std::uint64_t id = 0;  ///< correlation id (flow events only)
   };
   void push(int node, Event e) {
     perNode_[static_cast<size_t>(node)].push_back(e);

@@ -56,6 +56,16 @@ std::string TraceSession::toJson() const {
         ss << ", \"args\": {\"value\": " << buf << "}";
       } else if (e.phase == 'i') {
         ss << ", \"s\": \"t\"";
+      } else if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+        // Flow events carry their correlation id, printed as a hex string:
+        // ids above 2^62 (the p2p/collective id spaces) are not exactly
+        // representable as JSON doubles, and a numeric id would silently
+        // collide in double-based consumers. The terminator binds to the
+        // enclosing slice ("bp":"e") so Perfetto draws the arrow into the
+        // span that consumed the flow, not to a bare point.
+        std::snprintf(buf, sizeof(buf), "0x%" PRIx64, e.id);
+        ss << ", \"id\": \"" << buf << "\"";
+        if (e.phase == 'f') ss << ", \"bp\": \"e\"";
       }
       ss << "}";
       first = false;
@@ -66,13 +76,26 @@ std::string TraceSession::toJson() const {
 }
 
 void TraceSession::writeJson(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw IoError("cannot open trace output file: " + path);
+  // Dump to a sibling temp file and rename it into place: rename within a
+  // directory is atomic on POSIX, so readers (and the fault/crash-sweep CI
+  // legs) either see the previous artifact or the complete new one, never
+  // a truncated half-written trace.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw IoError("cannot open trace output file: " + tmp);
+    }
+    out << toJson();
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw IoError("failed writing trace output file: " + tmp);
+    }
   }
-  out << toJson();
-  if (!out) {
-    throw IoError("failed writing trace output file: " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename trace output file into place: " + path);
   }
 }
 

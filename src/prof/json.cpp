@@ -1,0 +1,231 @@
+#include "prof/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pcxx::prof {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& m : members) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+double JsonValue::numberAt(const std::string& key, double def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::Number ? v->number : def;
+}
+
+std::uint64_t JsonValue::countAt(const std::string& key,
+                                 std::uint64_t def) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->kind != Kind::Number || v->number < 0.0) return def;
+  return static_cast<std::uint64_t>(v->number);
+}
+
+std::string JsonValue::stringAt(const std::string& key,
+                                const std::string& def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::String ? v->str : def;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parseDocument() {
+    JsonValue v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing data after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream ss;
+    ss << "JSON parse error at byte " << pos_ << ": " << what;
+    throw FormatError(ss.str());
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', found '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue parseValue() {
+    skipWs();
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return parseString();
+      case 't': return parseLiteral("true", JsonValue::Kind::Bool, true);
+      case 'f': return parseLiteral("false", JsonValue::Kind::Bool, false);
+      case 'n': return parseLiteral("null", JsonValue::Kind::Null, false);
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue key = parseString();
+      skipWs();
+      expect(':');
+      v.members.emplace_back(std::move(key.str), parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parseString() {
+    expect('"');
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.str.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.str.push_back('"'); break;
+        case '\\': v.str.push_back('\\'); break;
+        case '/': v.str.push_back('/'); break;
+        case 'n': v.str.push_back('\n'); break;
+        case 't': v.str.push_back('\t'); break;
+        case 'r': v.str.push_back('\r'); break;
+        case 'b': v.str.push_back('\b'); break;
+        case 'f': v.str.push_back('\f'); break;
+        case 'u': {
+          // The emitters never write \u escapes; accept and keep the raw
+          // code unit as '?' so foreign documents still parse.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          pos_ += 4;
+          v.str.push_back('?');
+          break;
+        }
+        default: fail(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+
+  JsonValue parseNumber() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double num = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("malformed number '" + tok + "'");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = num;
+    return v;
+  }
+
+  JsonValue parseLiteral(const char* word, JsonValue::Kind kind, bool b) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      fail(std::string("expected '") + word + "'");
+    }
+    pos_ += len;
+    JsonValue v;
+    v.kind = kind;
+    v.boolean = b;
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parseJson(const std::string& text) {
+  return Parser(text).parseDocument();
+}
+
+JsonValue parseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open input file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw IoError("failed reading input file: " + path);
+  try {
+    return parseJson(buf.str());
+  } catch (const FormatError& e) {
+    throw FormatError(path + ": " + e.what());
+  }
+}
+
+}  // namespace pcxx::prof

@@ -1,0 +1,55 @@
+// Minimal JSON reader for pcxx-prof.
+//
+// pcxx-prof ingests artifacts the library itself wrote (--metrics-json
+// reports and --trace-json Chrome traces), so this parser covers exactly
+// the JSON subset those emitters produce: objects, arrays, double
+// numbers, strings with \" \\ \n escapes, true/false/null. It is a small
+// recursive-descent parser over an in-memory string — no dependency is
+// pulled in for it, matching the repo's no-new-deps rule.
+//
+// Numbers are held as double, which is lossless for every value the
+// emitters write (timestamps, seconds, and counters well under 2^53).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcxx::prof {
+
+/// One parsed JSON value. Object members preserve document order.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                             ///< Array
+  std::vector<std::pair<std::string, JsonValue>> members;   ///< Object
+
+  bool isNull() const { return kind == Kind::Null; }
+  bool isObject() const { return kind == Kind::Object; }
+  bool isArray() const { return kind == Kind::Array; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Member value coerced to double/uint64/string, or `def` when the
+  /// member is absent or has the wrong kind.
+  double numberAt(const std::string& key, double def = 0.0) const;
+  std::uint64_t countAt(const std::string& key, std::uint64_t def = 0) const;
+  std::string stringAt(const std::string& key,
+                       const std::string& def = {}) const;
+};
+
+/// Parse a complete JSON document. Throws pcxx::FormatError (with byte
+/// offset and context) on malformed input or trailing garbage.
+JsonValue parseJson(const std::string& text);
+
+/// Read and parse a JSON file. Throws pcxx::IoError when the file cannot
+/// be read, pcxx::FormatError when it does not parse.
+JsonValue parseJsonFile(const std::string& path);
+
+}  // namespace pcxx::prof

@@ -30,7 +30,21 @@ void execute(rt::Node& node, const RedistPlan& plan, const ByteBuffer& chunk,
              const std::vector<std::uint64_t>& chunkSizes,
              std::uint64_t chunkBytes, ByteBuffer& buffer,
              std::vector<std::uint64_t>& elemOffsets,
-             std::vector<std::uint64_t>& elemSizes, ExchangeScratch& scratch) {
+             std::vector<std::uint64_t>& elemSizes, ExchangeScratch& scratch,
+             std::uint64_t flowId) {
+#if PCXX_OBS_ENABLED
+  // Step the record's flow chain at each wire touch (size swap + every
+  // payload round) so the trace links the record to its exchanges.
+  const auto flowStep = [&node, flowId] {
+    obs::NodeObs* o = node.obs();
+    if (flowId != 0 && o != nullptr && o->trace != nullptr) {
+      o->trace->flowStep(o->nodeId, "ds.record", o->now(), flowId);
+    }
+  };
+#else
+  (void)flowId;
+  const auto flowStep = [] {};
+#endif
   const int nprocs = plan.nprocs;
   const int me = plan.me;
   PCXX_REQUIRE(node.nprocs() == nprocs && node.id() == me,
@@ -86,6 +100,7 @@ void execute(rt::Node& node, const RedistPlan& plan, const ByteBuffer& chunk,
 #if !PCXX_OBS_ENABLED
   (void)elementsMoved;
 #endif
+  flowStep();
   node.alltoallvInto(scratch.sendBufs, scratch.recvBufs);
   for (int p = 0; p < nprocs; ++p) {
     if (p == me) continue;
@@ -186,6 +201,7 @@ void execute(rt::Node& node, const RedistPlan& plan, const ByteBuffer& chunk,
         PCXX_OBS_HIST(node.obs(), RedistChunkBytes, sent);
       }
     }
+    flowStep();
     node.alltoallvInto(scratch.sendBufs, scratch.recvBufs);
     for (int p = 0; p < nprocs; ++p) {
       if (p == me) continue;

@@ -151,10 +151,13 @@ struct ExchangeScratch {
 /// `chunkBytes` bounds the payload sent to any single peer per exchange
 /// round (0 = a single unchunked round, the seed behaviour). Collective:
 /// every node must call with plans built from the same layout pair.
+/// A nonzero `flowId` extends that record's trace flow chain with a step at
+/// each exchange round, so Perfetto links the record to its exchanges.
 void execute(rt::Node& node, const RedistPlan& plan, const ByteBuffer& chunk,
              const std::vector<std::uint64_t>& chunkSizes,
              std::uint64_t chunkBytes, ByteBuffer& buffer,
              std::vector<std::uint64_t>& elemOffsets,
-             std::vector<std::uint64_t>& elemSizes, ExchangeScratch& scratch);
+             std::vector<std::uint64_t>& elemSizes, ExchangeScratch& scratch,
+             std::uint64_t flowId = 0);
 
 }  // namespace pcxx::redist

@@ -30,19 +30,38 @@ class VirtualClock {
     }
   }
 
+  /// Jump forward to `t` like syncTo(), but attribute the jump to a local
+  /// pipeline stall (aio write-behind backpressure, drain-at-close,
+  /// prefetch catch-up) instead of communication wait. Keeping the two
+  /// buckets separate makes waitedSeconds() a pure sync-wait measure:
+  /// aio.stall_seconds/aio.drain_seconds and the barrier wait timer are
+  /// disjoint by construction instead of double-counting drain time.
+  void stallTo(double t) {
+    if (t > now_) {
+      stalled_ += t - now_;
+      now_ = t;
+    }
+  }
+
   /// Cumulative skew absorbed by syncTo() since the last reset(): the total
   /// time this node spent waiting at barriers, collectives, message
   /// arrivals, and device queues rather than computing.
   double waitedSeconds() const { return waited_; }
 
+  /// Cumulative time absorbed by stallTo(): local pipeline stalls, disjoint
+  /// from waitedSeconds().
+  double stalledSeconds() const { return stalled_; }
+
   void reset() {
     now_ = 0.0;
     waited_ = 0.0;
+    stalled_ = 0.0;
   }
 
  private:
   double now_ = 0.0;
   double waited_ = 0.0;
+  double stalled_ = 0.0;
 };
 
 }  // namespace pcxx::rt

@@ -63,12 +63,27 @@ void Node::send(int dest, int tag, std::span<const Byte> data) {
   }
   PCXX_OBS_COUNT(obs(), RtMessagesSent, 1);
   PCXX_OBS_COUNT(obs(), RtMessageBytes, data.size());
+#if PCXX_OBS_ENABLED
+  // Stamp the message with a correlation id and open the flow edge on the
+  // sender track; the receiver closes it in recv(), so Perfetto draws the
+  // actual sender→receiver causality arrow.
+  if (obs::NodeObs* o = obs(); o != nullptr && o->trace != nullptr) {
+    msg.flowId = Machine::kFlowP2P | machine_->nextFlowId();
+    o->trace->flowStart(id_, "rt.msg", o->now(), msg.flowId);
+  }
+#endif
   machine_->node(dest).mailbox_.push(std::move(msg));
 }
 
 Message Node::recv(int src, int tag) {
   Message msg = mailbox_.waitPop(src, tag);
   clock_.syncTo(msg.arrivalTime);
+#if PCXX_OBS_ENABLED
+  if (obs::NodeObs* o = obs();
+      o != nullptr && o->trace != nullptr && msg.flowId != 0) {
+    o->trace->flowEnd(id_, "rt.msg", o->now(), msg.flowId);
+  }
+#endif
   return msg;
 }
 
@@ -266,12 +281,16 @@ Machine::Machine(int nprocs, CommModel comm) : nprocs_(nprocs), comm_(comm) {
 Machine::~Machine() = default;
 
 void Machine::run(const std::function<void(Node&)>& fn) {
-  // Fresh SPMD region: clear abort state, mailboxes, clocks.
+  // Fresh SPMD region: clear abort state, mailboxes, clocks, trace ids.
   {
     std::lock_guard<std::mutex> lock(barrierMu_);
     aborted_ = false;
     barrierArrived_ = 0;
+    collOpCount_ = 0;
+    collOpId_ = 0;
+    collStraggler_ = 0;
   }
+  flowIdCounter_.store(0, std::memory_order_relaxed);
   for (auto& node : nodes_) {
     node->mailbox_.reset();
     node->clock_.reset();
@@ -324,8 +343,12 @@ double Machine::maxVirtualTime() const {
 
 void Machine::syncClocksLocked(bool applyCost) {
   double maxClock = 0.0;
+  int straggler = 0;
   for (const auto& node : nodes_) {
-    maxClock = std::max(maxClock, node->clock().now());
+    if (node->clock().now() > maxClock) {
+      maxClock = node->clock().now();
+      straggler = node->id_;
+    }
   }
   double cost = 0.0;
   if (comm_.enabled() && applyCost) {
@@ -334,6 +357,12 @@ void Machine::syncClocksLocked(bool applyCost) {
   }
   pendingCommBytes_ = 0;
   clockTarget_ = maxClock + cost;
+  if (applyCost) {
+    // Phase-1 rendezvous of a collective: issue the op id and record who
+    // arrived last (ties break to the lowest node id, deterministically).
+    collOpId_ = ++collOpCount_;
+    collStraggler_ = straggler;
+  }
 }
 
 void Machine::barrierSync(const std::function<void()>& completion,
@@ -349,6 +378,8 @@ void Machine::barrierSync(const std::function<void()>& completion,
         "or mutate node state; see the threading rules in machine.h)");
   }
   double target;
+  std::uint64_t opId = 0;
+  int straggler = -1;
   {
     std::unique_lock<std::mutex> lock(barrierMu_);
     if (aborted_) {
@@ -376,6 +407,8 @@ void Machine::barrierSync(const std::function<void()>& completion,
       }
       target = clockTarget_;
     }
+    opId = collOpId_;
+    straggler = collStraggler_;
   }
   if (g_currentNode != nullptr && g_currentNode->machine_ == this) {
     Node& n = *g_currentNode;
@@ -387,7 +420,47 @@ void Machine::barrierSync(const std::function<void()>& completion,
       if (skew > 0) {
         PCXX_OBS_SECONDS(n.obs(), RtSyncWaitSeconds, skew);
       }
+      PCXX_OBS_HIST(n.obs(), RtCollSkew,
+                    skew > 0 ? skew * 1e6 : 0.0);  // whole microseconds
+      if (n.id_ == straggler) {
+        PCXX_OBS_COUNT(n.obs(), RtCollStragglerOps, 1);
+      }
+#if PCXX_OBS_ENABLED
+      if (obs::NodeObs* o = n.obs(); o != nullptr && o->trace != nullptr) {
+        // Per-node arrival/release span plus the straggler's flow edges:
+        // the last-arriving node opens one edge per peer at its release
+        // point; every other node terminates its own edge inside its
+        // rt.coll span, so Perfetto draws straggler→waiter causality for
+        // every collective. Edge ids derive from the op id and receiver so
+        // chains never collide across collectives.
+        const double tArr = o->now();
+        n.clock_.syncTo(target);
+        const double tRel = o->now();
+        o->trace->begin(n.id_, "rt.coll", tArr);
+        if (n.id_ == straggler) {
+          o->trace->instant(n.id_, "rt.coll_last_arrival", tArr);
+          for (int r = 0; r < nprocs_; ++r) {
+            if (r == n.id_) continue;
+            o->trace->flowStart(
+                n.id_, "rt.coll", tRel,
+                kFlowColl | (opId * static_cast<std::uint64_t>(nprocs_) +
+                             static_cast<std::uint64_t>(r)));
+          }
+        } else {
+          o->trace->flowEnd(
+              n.id_, "rt.coll", tRel,
+              kFlowColl | (opId * static_cast<std::uint64_t>(nprocs_) +
+                           static_cast<std::uint64_t>(n.id_)));
+        }
+        o->trace->end(n.id_, "rt.coll", tRel);
+        return;
+      }
+#endif
     }
+#if !PCXX_OBS_ENABLED
+    (void)opId;
+    (void)straggler;
+#endif
     n.clock_.syncTo(target);
   }
 }

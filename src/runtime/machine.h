@@ -35,6 +35,7 @@
 //     function returns; run() joins only node threads.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -185,6 +186,24 @@ class Machine {
   void attachObserver(const obs::Observer& observer);
   void detachObserver();
 
+  // -- trace correlation ids ------------------------------------------------
+  //
+  // Flow edges in the trace share a 64-bit id space, partitioned by issuer
+  // so chains never collide: record-scoped ids are raw nextFlowId() values,
+  // p2p message edges set kFlowP2P, and per-collective edges are derived
+  // from the collective op id with kFlowColl set.
+
+  /// High bit tagging p2p message flow ids.
+  static constexpr std::uint64_t kFlowP2P = std::uint64_t{1} << 62;
+  /// High bit tagging collective arrival/release flow ids.
+  static constexpr std::uint64_t kFlowColl = std::uint64_t{1} << 63;
+
+  /// Monotonically-issued correlation id (1, 2, ...). Thread-safe; ids are
+  /// unique within one run() region (the counter resets at entry).
+  std::uint64_t nextFlowId() {
+    return flowIdCounter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
  private:
   friend class Node;
 
@@ -214,6 +233,15 @@ class Machine {
   std::vector<const std::vector<ByteBuffer>*> stageVecs_;
   std::uint64_t pendingCommBytes_ = 0;
   double clockTarget_ = 0.0;
+
+  // Collective stamping (guarded by barrierMu_): the last-arriving thread
+  // issues the op id and records which node it was; every node copies both
+  // before leaving the phase-1 rendezvous.
+  std::uint64_t collOpCount_ = 0;
+  std::uint64_t collOpId_ = 0;
+  int collStraggler_ = 0;
+
+  std::atomic<std::uint64_t> flowIdCounter_{0};
 };
 
 /// The node bound to the calling thread. Throws if the caller is not inside

@@ -21,6 +21,9 @@ struct Message {
   /// Virtual arrival time (simulation mode); the receiver's clock is
   /// advanced to at least this value when the message is received.
   double arrivalTime = 0.0;
+  /// Trace correlation id stamped by Node::send when tracing is attached
+  /// (0 = untraced). recv() closes the flow edge with the same id.
+  std::uint64_t flowId = 0;
 };
 
 }  // namespace pcxx::rt

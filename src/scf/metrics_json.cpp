@@ -89,9 +89,22 @@ void appendMethod(std::ostringstream& ss, const MethodMetrics& m,
   for (size_t i = 0; i < m.snapshot.perNode.size(); ++i) {
     const double nodeTotal =
         i < m.nodeSeconds.size() ? m.nodeSeconds[i] : 0.0;
+    const NodeSnapshot& ns = m.snapshot.perNode[i];
     ss << indent << "    {\"node\": " << i
        << ", \"total_seconds\": " << num(nodeTotal) << ", \"phases\": ";
-    appendPhases(ss, phaseBreakdown(m.snapshot.perNode[i], nodeTotal));
+    appendPhases(ss, phaseBreakdown(ns, nodeTotal));
+    // Runtime wait attribution per node: how long this node sat in
+    // collectives, how often it was the one everyone waited for, and its
+    // local aio pipeline stalls — the inputs to pcxx-prof's straggler
+    // league table.
+    ss << ", \"sync_wait_seconds\": "
+       << num(ns.timer(Timer::RtSyncWaitSeconds))
+       << ", \"straggler_ops\": "
+       << ns.counter(Counter::RtCollStragglerOps)
+       << ", \"collectives\": " << ns.counter(Counter::RtCollectives)
+       << ", \"aio_stall_seconds\": " << num(ns.timer(Timer::AioStallSeconds))
+       << ", \"aio_drain_seconds\": "
+       << num(ns.timer(Timer::AioDrainSeconds));
     ss << "}" << (i + 1 < m.snapshot.perNode.size() ? "," : "") << "\n";
   }
   ss << indent << "  ]\n";

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Unit tests for bench/compare_metrics.py --fail-on-regression.
+
+Exit-code contract under test (gate mode):
+    0  no regression (including improvements beyond the threshold)
+    3  some total or phase grew by more than PCT percent
+    2  usage errors (bad flag value, no comparable keys)
+and the pre-existing diff mode (no flag): 1 when flagged, 0 when clean.
+
+Standard library only; runs the script as a subprocess exactly like the
+CI perf gate does.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, os.pardir, "bench", "compare_metrics.py")
+
+
+def make_doc(total=10.0, pfs_read=4.0, other=6.0):
+    return {
+        "schema": "pcxx-metrics-v1",
+        "tables": [{
+            "title": "T",
+            "platform": "sim",
+            "nprocs": 4,
+            "sorted_read": True,
+            "cells": [{
+                "segments": 256,
+                "bytes": 1,
+                "methods": [{
+                    "method": "pC++/streams",
+                    "total_seconds": total,
+                    "phases": {
+                        "insert_buffer_fill": 0.0,
+                        "header": 0.0,
+                        "redistribution": 0.0,
+                        "pfs_read": pfs_read,
+                        "pfs_write": 0.0,
+                        "other": other,
+                    },
+                    "counters": {},
+                }],
+            }],
+        }],
+    }
+
+
+class CompareMetricsGateTest(unittest.TestCase):
+    def run_compare(self, base, cand, *extra):
+        with tempfile.TemporaryDirectory() as d:
+            bp = os.path.join(d, "base.json")
+            cp = os.path.join(d, "cand.json")
+            with open(bp, "w", encoding="utf-8") as f:
+                json.dump(base, f)
+            with open(cp, "w", encoding="utf-8") as f:
+                json.dump(cand, f)
+            proc = subprocess.run(
+                [sys.executable, SCRIPT, bp, cp, *extra],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        return proc
+
+    def test_identical_passes_gate(self):
+        doc = make_doc()
+        proc = self.run_compare(doc, doc, "--fail-on-regression", "10")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_total_regression_fails_gate(self):
+        base = make_doc()
+        cand = make_doc(total=12.0)  # +20%
+        proc = self.run_compare(base, cand, "--fail-on-regression", "10")
+        self.assertEqual(proc.returncode, 3, proc.stdout + proc.stderr)
+        self.assertIn("regression(s) beyond", proc.stdout)
+
+    def test_phase_regression_fails_gate(self):
+        base = make_doc()
+        cand = make_doc(pfs_read=4.8)  # +20% in one phase, total unchanged
+        proc = self.run_compare(base, cand, "--fail-on-regression", "10")
+        self.assertEqual(proc.returncode, 3, proc.stdout + proc.stderr)
+        self.assertIn("pfs_read", proc.stdout)
+
+    def test_regression_within_threshold_passes(self):
+        base = make_doc()
+        cand = make_doc(total=10.5)  # +5% < 10%
+        proc = self.run_compare(base, cand, "--fail-on-regression", "10")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_improvement_never_fails_gate(self):
+        base = make_doc()
+        cand = make_doc(total=5.0, pfs_read=2.0, other=3.0)  # -50%
+        proc = self.run_compare(base, cand, "--fail-on-regression", "10")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_new_tiny_phase_is_not_a_regression(self):
+        base = make_doc(pfs_read=0.0)
+        cand = make_doc(pfs_read=1e-8)  # below the 1 microsecond floor
+        proc = self.run_compare(base, cand, "--fail-on-regression", "10")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_no_common_keys_is_usage_error(self):
+        base = make_doc()
+        cand = copy.deepcopy(base)
+        cand["tables"][0]["title"] = "different"
+        proc = self.run_compare(base, cand, "--fail-on-regression", "10")
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_negative_pct_is_usage_error(self):
+        doc = make_doc()
+        proc = self.run_compare(doc, doc, "--fail-on-regression", "-1")
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_diff_mode_still_exits_one_when_flagged(self):
+        base = make_doc()
+        cand = make_doc(total=12.0)
+        proc = self.run_compare(base, cand)  # no gate flag: old behavior
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+    def test_diff_mode_clean_exits_zero(self):
+        doc = make_doc()
+        proc = self.run_compare(doc, doc)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

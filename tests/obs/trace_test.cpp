@@ -30,6 +30,8 @@ struct Ev {
   char phase = '?';
   double ts = 0.0;
   int tid = -1;
+  std::string id;    ///< flow correlation id (hex string; empty when absent)
+  bool bp = false;   ///< terminator bound to enclosing slice ("bp": "e")
 };
 
 /// Extract the events from TraceSession JSON (one event object per line).
@@ -51,6 +53,11 @@ std::vector<Ev> parseEvents(const std::string& json) {
     e.name = name.substr(1, name.find('"', 1) - 1);
     e.ts = std::stod(field(line, "ts"));
     e.tid = std::stoi(field(line, "tid"));
+    const std::string id = field(line, "id");
+    if (!id.empty() && id[0] == '"') {
+      e.id = id.substr(1, id.find('"', 1) - 1);
+    }
+    e.bp = line.find("\"bp\": \"e\"") != std::string::npos;
     events.push_back(e);
   }
   return events;
@@ -61,7 +68,8 @@ std::vector<Ev> parseEvents(const std::string& json) {
 /// Write + read a small collection with `observer` attached (if any);
 /// returns the stream file's bytes.
 std::string roundtrip(const std::filesystem::path& dir,
-                      obs::Observer* observer) {
+                      obs::Observer* observer,
+                      ds::StreamOptions opts = {}) {
   std::filesystem::create_directories(dir);
   pfs::PfsConfig cfg;
   cfg.backend = pfs::PfsConfig::Backend::Posix;
@@ -78,13 +86,13 @@ std::string roundtrip(const std::filesystem::path& dir,
       v = 0.25 * static_cast<double>(i);
     });
     {
-      ds::OStream s(fs, &d, "trace.ds");
+      ds::OStream s(fs, &d, "trace.ds", opts);
       s << g;
       s.write();
     }
     coll::Distribution dr(12, &P, coll::DistKind::Block);
     coll::Collection<double> back(&dr);
-    ds::IStream in(fs, &dr, "trace.ds");
+    ds::IStream in(fs, &dr, "trace.ds", opts);
     in.read();
     in >> back;
   });
@@ -163,6 +171,146 @@ TEST_F(TraceGolden, RoundtripTraceLoadsCleanly) {
   EXPECT_EQ(snap.merged.counter(obs::Counter::DsReads), 3u);
   EXPECT_GT(snap.merged.counter(obs::Counter::PfsWriteBytes), 0u);
   EXPECT_GT(snap.merged.counter(obs::Counter::RedistElementsMoved), 0u);
+}
+
+TEST_F(TraceGolden, FlowEventsFormTerminatedCausalChains) {
+  obs::MetricsRegistry reg(3);
+  obs::TraceSession trace(3);
+  obs::Observer observer;
+  observer.metrics = &reg;
+  observer.trace = &trace;
+  roundtrip(dir_ / "flow", &observer);
+
+  const std::string json = trace.toJson();
+  const std::vector<Ev> events = parseEvents(json);
+  ASSERT_FALSE(events.empty());
+
+  std::map<std::string, int> starts;
+  std::map<std::string, int> ends;
+  int recordChains = 0;
+  int collEdges = 0;
+  int collEdgeEnds = 0;
+  int stragglerMarks = 0;
+  for (const Ev& e : events) {
+    if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      EXPECT_FALSE(e.id.empty()) << "flow event without id: " << e.name;
+      EXPECT_EQ(e.id.compare(0, 2, "0x"), 0) << "non-hex flow id " << e.id;
+    }
+    if (e.phase == 's') {
+      ++starts[e.id];
+      if (e.name == "ds.record") ++recordChains;
+      if (e.name == "rt.coll") ++collEdges;
+    } else if (e.phase == 'f') {
+      ++ends[e.id];
+      EXPECT_TRUE(e.bp) << "terminator without bp binding: " << e.name;
+      if (e.name == "rt.coll") ++collEdgeEnds;
+    } else if (e.phase == 'i' && e.name == "rt.coll_last_arrival") {
+      ++stragglerMarks;
+    }
+  }
+
+  // One chain per record per node: 3 writers + 3 sorted readers.
+  EXPECT_EQ(recordChains, 6);
+  // Collectives emit one causal edge per receiver, terminated on the
+  // receiver's own track, plus a straggler instant on the blamed node.
+  EXPECT_GT(collEdges, 0);
+  EXPECT_EQ(collEdges, collEdgeEnds);
+  EXPECT_GT(stragglerMarks, 0);
+  // Ids are issued once, and every chain reaches a terminator.
+  for (const auto& [id, n] : starts) {
+    EXPECT_EQ(n, 1) << "flow id " << id << " started " << n << " times";
+    EXPECT_TRUE(ends.count(id) != 0) << "unterminated flow chain " << id;
+  }
+
+  // Metrics agree: each costed collective blames exactly one straggler,
+  // and the skew histogram saw every one of them.
+  const auto snap = reg.snapshot();
+  std::uint64_t stragglerOps = 0;
+  for (const auto& node : snap.perNode) {
+    stragglerOps += node.counter(obs::Counter::RtCollStragglerOps);
+  }
+  EXPECT_GT(stragglerOps, 0u);
+  EXPECT_LE(stragglerOps, snap.perNode[0].counter(obs::Counter::RtCollectives));
+  std::uint64_t skewSamples = 0;
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+    skewSamples += snap.merged
+        .hists[static_cast<size_t>(obs::Hist::RtCollSkew)][static_cast<size_t>(b)];
+  }
+  EXPECT_EQ(skewSamples, 3 * stragglerOps)
+      << "every costed collective must record a skew sample on each node";
+}
+
+TEST_F(TraceGolden, WallTimeAsyncTraceIsCleanAndLeavesBytesIdentical) {
+  ds::StreamOptions async;
+  async.aioQueueDepth = 2;
+  async.aioPrefetchDepth = 2;
+
+  obs::MetricsRegistry reg(3);
+  obs::TraceSession trace(3);
+  obs::Observer observer;
+  observer.metrics = &reg;
+  observer.trace = &trace;
+  observer.timeMode = obs::Observer::TimeMode::Wall;
+  const std::string observed = roundtrip(dir_ / "wall", &observer, async);
+  const std::string plain = roundtrip(dir_ / "wallplain", nullptr, async);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(observed, plain)
+      << "wall-time tracing with aio enabled altered the stream file";
+
+  const std::string json = trace.toJson();
+  EXPECT_TRUE(test::JsonChecker::valid(json)) << json;
+  const std::vector<Ev> events = parseEvents(json);
+  ASSERT_FALSE(events.empty());
+
+  // Wall timestamps must be monotone per track with matched B/E nesting;
+  // the modeled aio flusher/prefetch spans (virtual-timeline artifacts)
+  // must not appear in a wall-time trace.
+  std::map<int, std::vector<std::string>> stack;
+  std::map<int, double> lastTs;
+  for (const Ev& e : events) {
+    EXPECT_GE(e.tid, 0);
+    EXPECT_LT(e.tid, 3) << "wall-time trace wrote to a modeled aux track";
+    if (lastTs.count(e.tid) != 0) {
+      EXPECT_GE(e.ts, lastTs[e.tid])
+          << e.name << " went backwards on tid " << e.tid;
+    }
+    lastTs[e.tid] = e.ts;
+    if (e.phase == 'B') {
+      stack[e.tid].push_back(e.name);
+    } else if (e.phase == 'E') {
+      ASSERT_FALSE(stack[e.tid].empty()) << "E without B: " << e.name;
+      EXPECT_EQ(stack[e.tid].back(), e.name) << "mismatched span nesting";
+      stack[e.tid].pop_back();
+    }
+  }
+  for (const auto& [tid, open] : stack) {
+    EXPECT_TRUE(open.empty())
+        << open.size() << " unclosed span(s) on tid " << tid;
+  }
+  EXPECT_EQ(json.find("\"aio.flush\""), std::string::npos);
+  EXPECT_EQ(json.find("\"aio.prefetch\""), std::string::npos);
+}
+
+TEST_F(TraceGolden, WriteJsonIsAtomicAndLeavesNoTempFile) {
+  obs::TraceSession trace(1);
+  trace.begin(0, "x", 0.0);
+  trace.end(0, "x", 1e-3);
+  const std::filesystem::path path = dir_ / "atomic.json";
+  // Pre-existing content must be replaced wholesale, never appended to or
+  // left truncated.
+  {
+    std::ofstream out(path);
+    out << "{\"stale\": true}";
+  }
+  trace.writeJson(path.string());
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "atomic.json.tmp"))
+      << "temp file left behind after rename";
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(test::JsonChecker::valid(ss.str())) << ss.str();
+  EXPECT_EQ(ss.str().find("stale"), std::string::npos);
+  EXPECT_NE(ss.str().find("\"traceEvents\""), std::string::npos);
 }
 
 TEST_F(TraceGolden, WriteJsonProducesLoadableFile) {

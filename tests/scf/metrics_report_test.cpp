@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "src/obs/obs.h"
@@ -97,6 +98,42 @@ TEST(ScfMetrics, ReportJsonIsValidAndCarriesTheSchema) {
   EXPECT_NE(json.find("\"insert_buffer_fill\""), std::string::npos);
   EXPECT_NE(json.find("\"redistribution\""), std::string::npos);
   EXPECT_NE(json.find("\"per_node\""), std::string::npos);
+  // Straggler attribution rides along in every per_node entry.
+  EXPECT_NE(json.find("\"sync_wait_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"straggler_ops\""), std::string::npos);
+}
+
+TEST(ScfMetrics, WaitCategoriesAreDisjointAndBounded) {
+  // sync_wait (collective skew, via VirtualClock::syncTo) and the aio
+  // stall/drain buckets (local pipeline waits, via stallTo) are charged to
+  // separate clock accounts, so per node they can never sum past the
+  // node's own elapsed time. A double-charge bug (e.g. a stall recorded as
+  // sync wait AND as aio stall) shows up here as an overshoot.
+  const BenchTableResult result = scf::runBenchTable(tinyConfig());
+  for (const auto& cell : result.cells) {
+    for (const MethodMetrics& m : cell.metrics) {
+      std::uint64_t stragglerOps = 0;
+      for (size_t i = 0; i < m.snapshot.perNode.size(); ++i) {
+        const obs::NodeSnapshot& node = m.snapshot.perNode[i];
+        const double waits =
+            node.timer(obs::Timer::RtSyncWaitSeconds) +
+            node.timer(obs::Timer::AioStallSeconds) +
+            node.timer(obs::Timer::AioDrainSeconds);
+        EXPECT_LE(waits, m.nodeSeconds[i] + 1e-9)
+            << m.method << " node " << i
+            << ": wait categories overlap (double-charged time)";
+        stragglerOps += node.counter(obs::Counter::RtCollStragglerOps);
+      }
+      // Exactly one node is blamed per costed collective, so the blame
+      // total can never exceed the collective count every node shares.
+      const std::uint64_t collectives =
+          m.snapshot.perNode[0].counter(obs::Counter::RtCollectives);
+      if (collectives > 0) {
+        EXPECT_GT(stragglerOps, 0u) << m.method;
+        EXPECT_LE(stragglerOps, collectives) << m.method;
+      }
+    }
+  }
 }
 
 #endif  // PCXX_OBS_ENABLED
