@@ -7,6 +7,7 @@
 #   ci/run_ci.sh obs-off     instrumentation compiled out (PCXX_OBS=OFF)
 #   ci/run_ci.sh aio-off     overlap pipelines compiled out (PCXX_AIO=OFF)
 #   ci/run_ci.sh fault       ASan build, fault-tolerance suite only
+#   ci/run_ci.sh chaos       ASan build, runtime chaos/watchdog suite only
 #   ci/run_ci.sh coverage    gcov-instrumented build + line-coverage gate
 #   ci/run_ci.sh perf        perf-regression gate vs bench/BENCH_7.json
 #   ci/run_ci.sh all         all of the above, sequentially
@@ -18,9 +19,9 @@
 # caught) and leaves *.sarif in the build tree for CI to archive. Sanitizer configurations
 # are separate build trees because PCXX_SANITIZE and PCXX_TSAN are
 # mutually exclusive at configure time. Test suites carry ctest labels
-# (unit | fault | stress | roundtrip; see tests/CMakeLists.txt), so legs
-# select by label: the fault leg reuses the asan build tree and re-runs
-# `ctest -L fault` as its own CI row. The coverage leg builds with
+# (unit | fault | stress | roundtrip | chaos; see tests/CMakeLists.txt), so
+# legs select by label: the fault and chaos legs reuse the asan build tree
+# and re-run `ctest -L fault` / `ctest -L chaos` as their own CI rows. The coverage leg builds with
 # PCXX_COVERAGE=ON, runs the tests, and gates total src/ line coverage
 # (ci/coverage_report.py) against the checked-in ci/coverage_threshold.txt.
 set -euo pipefail
@@ -83,6 +84,21 @@ run_fault() {
   echo "=== [fault] OK ==="
 }
 
+# Chaos leg: the seeded rt::ChaosPlan x pfs::FaultPlan soak sweep plus the
+# watchdog/abort suites, under ASan — the no-leak half of the no-hang/
+# no-leak guarantee. Reuses (or creates) the asan build tree.
+run_chaos() {
+  local build_dir="${repo_root}/build-ci-asan"
+  echo "=== [chaos] configure ==="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPCXX_SANITIZE=ON
+  echo "=== [chaos] build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== [chaos] test ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L chaos
+  echo "=== [chaos] OK ==="
+}
+
 # Coverage leg: Debug-ish gcov instrumentation, full test run, then the
 # aggregate line-coverage gate over src/.
 run_coverage() {
@@ -127,6 +143,7 @@ case "${1:-all}" in
   obs-off)  run_config obs-off -DPCXX_OBS=OFF ;;
   aio-off)  run_config aio-off -DPCXX_AIO=OFF ;;
   fault)    run_fault ;;
+  chaos)    run_chaos ;;
   coverage) run_coverage ;;
   perf)     run_perf ;;
   all)
@@ -136,11 +153,12 @@ case "${1:-all}" in
     run_config obs-off -DPCXX_OBS=OFF
     run_config aio-off -DPCXX_AIO=OFF
     run_fault
+    run_chaos
     run_coverage
     run_perf
     ;;
   *)
-    echo "usage: $0 [default|asan|tsan|obs-off|aio-off|fault|coverage|perf|all]" >&2
+    echo "usage: $0 [default|asan|tsan|obs-off|aio-off|fault|chaos|coverage|perf|all]" >&2
     exit 2
     ;;
 esac

@@ -33,24 +33,33 @@ pfs::BgIoStats subStats(const pfs::BgIoStats& a, const pfs::BgIoStats& b) {
   return d;
 }
 
-/// Slice-wait on `cv` until pred() holds, polling `cancelled` (e.g.
-/// Machine::aborted) every 50 ms so abort-on-throw always wins over a stuck
-/// helper. Returns false when `deadlineSeconds` of wall time elapse first.
+constexpr const char* kAioAbortMessage =
+    "machine aborted while a node was waiting on its aio pipeline";
+
+/// Wait on `cv` until pred() holds. The caller must have registered
+/// (lk's mutex, cv) with `machine` via AbortWaiterGuard BEFORE locking, so
+/// Machine::abort() delivers an O(1) wake here; an abort rethrows the
+/// machine's typed abort error. Returns false when `deadlineSeconds` of
+/// wall time elapse first.
 template <typename Pred>
 bool boundedWait(std::condition_variable& cv,
                  std::unique_lock<std::mutex>& lk, double deadlineSeconds,
-                 const std::function<bool()>& cancelled, Pred pred) {
+                 rt::Machine* machine, Pred pred) {
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(deadlineSeconds));
   while (!pred()) {
-    if (cancelled && cancelled()) {
-      throw Error(
-          "machine aborted while a node was waiting on its aio pipeline");
+    if (machine != nullptr && machine->aborted()) {
+      machine->throwAbortError(kAioAbortMessage);
     }
-    if (std::chrono::steady_clock::now() >= deadline) return false;
-    cv.wait_for(lk, std::chrono::milliseconds(50));
+    if (cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      if (pred()) return true;
+      if (machine != nullptr && machine->aborted()) {
+        machine->throwAbortError(kAioAbortMessage);
+      }
+      return false;
+    }
   }
   return true;
 }
@@ -65,14 +74,17 @@ BufferPool::BufferPool(int capacity) : capacity_(capacity) {
   PCXX_REQUIRE(capacity >= 1, "BufferPool needs at least one buffer");
 }
 
-ByteBuffer BufferPool::acquire(double deadlineSeconds,
-                               const std::function<bool()>& cancelled) {
+ByteBuffer BufferPool::acquire(double deadlineSeconds, rt::Machine* machine) {
+  // Register with the abort registry before taking mu_ (lock order:
+  // registry mutex, then the wait mutex).
+  std::optional<rt::AbortWaiterGuard> guard;
+  if (machine != nullptr) guard.emplace(*machine, mu_, cv_);
   std::unique_lock<std::mutex> lk(mu_);
   if (free_.empty() && created_ < capacity_) {
     ++created_;
     return ByteBuffer{};
   }
-  if (!boundedWait(cv_, lk, deadlineSeconds, cancelled,
+  if (!boundedWait(cv_, lk, deadlineSeconds, machine,
                    [&] { return !free_.empty(); })) {
     throw IoError("aio: staging-buffer pool exhausted past the drain "
                   "deadline (flusher stuck?)");
@@ -123,8 +135,7 @@ Writer::~Writer() {
 }
 
 ByteBuffer Writer::acquireBuffer() {
-  return pool_.acquire(opts_.drainDeadlineSeconds,
-                       [this] { return node_.machine().aborted(); });
+  return pool_.acquire(opts_.drainDeadlineSeconds, &node_.machine());
 }
 
 void Writer::submit(std::uint64_t offset, ByteBuffer&& buf,
@@ -171,18 +182,33 @@ void Writer::submit(std::uint64_t offset, ByteBuffer&& buf,
 #endif
   PCXX_OBS_COUNT(o, AioSubmits, 1);
 
-  // Real handoff: bounded queue gives wall-clock backpressure.
+  // Real handoff: bounded queue gives wall-clock backpressure. Whatever
+  // way the wait ends short of enqueueing — deadline, abort, pending
+  // background failure — `buf` goes back to the pool first, so a failed
+  // submit never strands a staging-pool slot.
   {
+    rt::AbortWaiterGuard guard(node_.machine(), mu_, cvProducer_);
     std::unique_lock<std::mutex> lk(mu_);
     const auto outstanding = [&] {
       return queue_.size() + (busy_ ? 1u : 0u);
     };
-    if (!boundedWait(cvProducer_, lk, opts_.drainDeadlineSeconds,
-                     [this] { return node_.machine().aborted(); }, [&] {
-                       return error_ != nullptr ||
-                              outstanding() <
-                                  static_cast<size_t>(opts_.queueDepth);
-                     })) {
+    bool queueReady = false;
+    try {
+      queueReady = boundedWait(cvProducer_, lk, opts_.drainDeadlineSeconds,
+                               &node_.machine(), [&] {
+                                 return error_ != nullptr ||
+                                        outstanding() <
+                                            static_cast<size_t>(
+                                                opts_.queueDepth);
+                               });
+    } catch (...) {
+      lk.unlock();
+      pool_.release(std::move(buf));
+      throw;
+    }
+    if (!queueReady) {
+      lk.unlock();
+      pool_.release(std::move(buf));
       throw IoError("aio: write-behind queue full past the drain deadline "
                     "(flusher stuck?)");
     }
@@ -212,9 +238,10 @@ void Writer::drain() {
   }
   completions_.clear();
   {
+    rt::AbortWaiterGuard guard(node_.machine(), mu_, cvProducer_);
     std::unique_lock<std::mutex> lk(mu_);
     if (!boundedWait(cvProducer_, lk, opts_.drainDeadlineSeconds,
-                     [this] { return node_.machine().aborted(); },
+                     &node_.machine(),
                      [&] { return queue_.empty() && !busy_; })) {
       throw IoError(
           "aio: write-behind drain exceeded its deadline (flusher stuck?)");
@@ -334,6 +361,7 @@ void Prefetcher::invalidate() {
 }
 
 std::optional<PrefetchedRecord> Prefetcher::consume(std::uint64_t offset) {
+  rt::AbortWaiterGuard guard(machine_, mu_, cv_);
   std::unique_lock<std::mutex> lk(mu_);
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -367,11 +395,13 @@ std::optional<PrefetchedRecord> Prefetcher::consume(std::uint64_t offset) {
       break;  // idle (EOF) or fetching a different chain
     }
     if (machine_.aborted()) {
-      throw Error(
-          "machine aborted while a node was waiting on its aio pipeline");
+      machine_.throwAbortError(kAioAbortMessage);
     }
     if (std::chrono::steady_clock::now() >= deadline) break;
-    cv_.wait_for(lk, std::chrono::milliseconds(50));
+    // The fetch thread notifies on every state change and abort() notifies
+    // via the abort-waiter registration above, so a bare bounded wait
+    // (no 50 ms polling) cannot miss a wake-up.
+    cv_.wait_until(lk, deadline);
   }
   // Miss: stop the chain; the caller reads synchronously and restarts it.
   slots_.clear();

@@ -21,8 +21,10 @@
 // stalling its own clock only when the modeled queue is full — so
 // simulated overlap results are identical regardless of how the OS
 // schedules the real threads. Real (wall-clock) backpressure is separate:
-// the bounded job queue blocks the producer when full, polling
-// Machine::aborted() so abort-on-throw never deadlocks.
+// the bounded job queue blocks the producer when full. Every such wait
+// registers with the machine's abort-waiter registry (AbortWaiterGuard),
+// so Machine::abort() wakes it in O(1) and the wait rethrows the
+// machine's typed abort error — no polling, no deadlock.
 //
 // Failure semantics: a background flush failure is captured and rethrown
 // on the node thread at the next submit() or at drain()/close() — never
@@ -56,10 +58,10 @@ class BufferPool {
   explicit BufferPool(int capacity);
 
   /// Take a buffer, blocking up to `deadlineSeconds` (wall time) when the
-  /// pool is exhausted. `cancelled` is polled while waiting (e.g.
-  /// Machine::aborted); a true return aborts the wait with Error.
-  ByteBuffer acquire(double deadlineSeconds,
-                     const std::function<bool()>& cancelled);
+  /// pool is exhausted; throws IoError when the deadline passes. When
+  /// `machine` is non-null the wait registers as an abort-waiter: an abort
+  /// wakes it immediately and rethrows the machine's typed abort error.
+  ByteBuffer acquire(double deadlineSeconds, rt::Machine* machine);
 
   /// Return a buffer (cleared, capacity kept). Thread-safe.
   void release(ByteBuffer&& buf);

@@ -40,6 +40,12 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "aio.bg_write_bytes",
     "aio.bg_read_bytes",
     "rt.coll_straggler_ops",
+    "rt.watchdog_trips",
+    "rt.chaos_dropped",
+    "rt.chaos_delayed",
+    "rt.chaos_duplicated",
+    "rt.chaos_reordered",
+    "rt.chaos_skewed",
 };
 
 constexpr const char* kTimerNames[kNumTimers] = {

@@ -74,6 +74,12 @@ enum class Counter : int {
   AioBgWriteBytes,    ///< bytes flushed by background writer threads
   AioBgReadBytes,     ///< bytes fetched by background prefetch threads
   RtCollStragglerOps,  ///< collectives this node was the last to arrive at
+  RtWatchdogTrips,     ///< watchdog deadlines that expired on this node
+  RtChaosDropped,      ///< p2p messages dropped by a ChaosPlan
+  RtChaosDelayed,      ///< p2p messages delay-injected by a ChaosPlan
+  RtChaosDuplicated,   ///< p2p messages duplicated by a ChaosPlan
+  RtChaosReordered,    ///< p2p messages reorder-deferred by a ChaosPlan
+  RtChaosSkewed,       ///< collective arrivals skew-injected by a ChaosPlan
   kCount
 };
 

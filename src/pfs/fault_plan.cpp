@@ -1,8 +1,8 @@
 #include "pfs/fault_plan.h"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "util/faultspec.h"
 #include "util/strfmt.h"
 
 namespace pcxx::pfs {
@@ -142,33 +142,23 @@ std::size_t FaultPlan::clauseCount() const {
 
 namespace {
 
+// Clause tokenization + number validation live in util/faultspec.h, shared
+// with rt::ChaosPlan so both planes keep one grammar style and error voice.
+constexpr const char* kPlane = "fault plan";
+
 [[noreturn]] void badSpec(const std::string& clause, const char* why) {
-  throw UsageError("fault plan spec clause '" + clause + "': " + why);
+  spec::badClause(kPlane, clause, why);
 }
 
 std::uint64_t parseU64(const std::string& clause, const std::string& text) {
-  if (text.empty() ||
-      text.find_first_not_of("0123456789") != std::string::npos) {
-    badSpec(clause, "expected a non-negative integer");
-  }
-  return std::stoull(text);
+  return spec::clauseU64(kPlane, clause, text);
 }
 
 }  // namespace
 
 FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
   FaultPlan plan(seed);
-  std::size_t start = 0;
-  while (start <= spec.size()) {
-    std::size_t end = spec.find(';', start);
-    if (end == std::string::npos) end = spec.size();
-    std::string clause = spec.substr(start, end - start);
-    start = end + 1;
-    // Trim surrounding spaces.
-    while (!clause.empty() && clause.front() == ' ') clause.erase(0, 1);
-    while (!clause.empty() && clause.back() == ' ') clause.pop_back();
-    if (clause.empty()) continue;
-
+  for (const std::string& clause : spec::splitClauses(spec)) {
     std::optional<OpKind> kind;
     std::string body = clause;
     if (body.rfind("read:", 0) == 0) {
@@ -182,14 +172,9 @@ FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
     if (body.rfind("fail@", 0) == 0) {
       plan.failAtOp(parseU64(clause, body.substr(5)));
     } else if (body.rfind("fail%", 0) == 0) {
-      const std::string num = body.substr(5);
-      char* rest = nullptr;
-      const double p = std::strtod(num.c_str(), &rest);
-      if (num.empty() || rest == nullptr || *rest != '\0' || p < 0.0 ||
-          p > 1.0) {
-        badSpec(clause, "expected a probability in [0, 1]");
-      }
-      plan.failWithProbability(p);
+      plan.failWithProbability(
+          spec::clauseDouble(kPlane, clause, body.substr(5), 0.0, 1.0,
+                             "expected a probability in [0, 1]"));
     } else if (body.rfind("short@", 0) == 0) {
       const std::string args = body.substr(6);
       const std::size_t colon = args.find(':');

@@ -1,0 +1,285 @@
+#include "runtime/chaos_plan.h"
+
+#include "runtime/rt_errors.h"
+#include "util/faultspec.h"
+
+namespace pcxx::rt {
+
+namespace {
+
+constexpr const char* kPlane = "chaos plan";
+
+// Per-node PRNG streams: expand (seed, node) into independent sequences so
+// node k's draws do not depend on how many draws other nodes made.
+std::uint64_t nodeSeed(std::uint64_t seed, int node) {
+  std::uint64_t state = seed ^ (0xA5A5A5A5A5A5A5A5ull +
+                                static_cast<std::uint64_t>(node + 1));
+  return splitmix64(state);
+}
+
+}  // namespace
+
+ChaosPlan::ChaosPlan(std::uint64_t seed) : seed_(seed) {}
+
+ChaosPlan::ChaosPlan(ChaosPlan&& other) noexcept
+    : seed_(other.seed_),
+      clauses_(std::move(other.clauses_)),
+      nodes_(std::move(other.nodes_)),
+      fired_(other.fired_.load(std::memory_order_relaxed)) {}
+
+ChaosPlan& ChaosPlan::dropAtSend(std::uint64_t sendIndex) {
+  clauses_.push_back(Clause{Shape::DropAt, sendIndex, 0.0, 0.0, -1});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::dropWithProbability(double p) {
+  PCXX_REQUIRE(p >= 0.0 && p <= 1.0, "chaos probability must lie in [0, 1]");
+  clauses_.push_back(Clause{Shape::DropProb, 0, p, 0.0, -1});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::delayAtSend(std::uint64_t sendIndex, double seconds) {
+  PCXX_REQUIRE(seconds >= 0.0, "chaos delay must be non-negative");
+  clauses_.push_back(Clause{Shape::DelayAt, sendIndex, 0.0, seconds, -1});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::delayWithProbability(double p, double seconds) {
+  PCXX_REQUIRE(p >= 0.0 && p <= 1.0, "chaos probability must lie in [0, 1]");
+  PCXX_REQUIRE(seconds >= 0.0, "chaos delay must be non-negative");
+  clauses_.push_back(Clause{Shape::DelayProb, 0, p, seconds, -1});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::dupAtSend(std::uint64_t sendIndex) {
+  clauses_.push_back(Clause{Shape::DupAt, sendIndex, 0.0, 0.0, -1});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::reorderAtSend(std::uint64_t sendIndex) {
+  clauses_.push_back(Clause{Shape::ReorderAt, sendIndex, 0.0, 0.0, -1});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::crashNodeAtOp(int node, std::uint64_t opIndex) {
+  PCXX_REQUIRE(node >= 0, "crashNodeAtOp needs a node id");
+  clauses_.push_back(Clause{Shape::CrashNode, opIndex, 0.0, 0.0, node});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::skewAtCollective(std::uint64_t collIndex,
+                                       double seconds) {
+  PCXX_REQUIRE(seconds >= 0.0, "chaos skew must be non-negative");
+  clauses_.push_back(Clause{Shape::SkewAt, collIndex, 0.0, seconds, -1});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::skewWithProbability(double p, double seconds) {
+  PCXX_REQUIRE(p >= 0.0 && p <= 1.0, "chaos probability must lie in [0, 1]");
+  PCXX_REQUIRE(seconds >= 0.0, "chaos skew must be non-negative");
+  clauses_.push_back(Clause{Shape::SkewProb, 0, p, seconds, -1});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::onlyNode(int node) {
+  PCXX_REQUIRE(!clauses_.empty(), "onlyNode requires a preceding clause");
+  PCXX_REQUIRE(clauses_.back().shape != Shape::CrashNode,
+               "crash-node clauses already name their node");
+  PCXX_REQUIRE(node >= 0, "onlyNode needs a node id");
+  clauses_.back().node = node;
+  return *this;
+}
+
+void ChaosPlan::bind(int nprocs) {
+  nodes_.clear();
+  nodes_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    NodeState st;
+    st.rng = Rng(nodeSeed(seed_, i));
+    nodes_.push_back(st);
+  }
+}
+
+ChaosPlan::NodeState& ChaosPlan::state(int node) {
+  PCXX_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < nodes_.size(),
+               "ChaosPlan: node out of range (bind() not called?)");
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+void ChaosPlan::maybeCrash(NodeState& st, int node) {
+  for (const Clause& c : clauses_) {
+    if (c.shape == Shape::CrashNode && c.node == node &&
+        c.opIndex == st.ops) {
+      fired_.fetch_add(1, std::memory_order_relaxed);
+      throw ChaosCrashError(node, st.ops);
+    }
+  }
+}
+
+ChaosPlan::SendVerdict ChaosPlan::onSend(int node) {
+  NodeState& st = state(node);
+  maybeCrash(st, node);
+  const std::uint64_t sendIdx = st.sends++;
+  ++st.ops;
+  SendVerdict v;
+  for (const Clause& c : clauses_) {
+    if (!clauseAppliesTo(c, node)) continue;
+    switch (c.shape) {
+      case Shape::DropAt:
+        if (sendIdx != c.opIndex) continue;
+        v.drop = true;
+        break;
+      case Shape::DropProb:
+        if (st.rng.uniform01() >= c.probability) continue;
+        v.drop = true;
+        break;
+      case Shape::DelayAt:
+        if (sendIdx != c.opIndex) continue;
+        v.delaySeconds = c.seconds;
+        break;
+      case Shape::DelayProb:
+        if (st.rng.uniform01() >= c.probability) continue;
+        v.delaySeconds = c.seconds;
+        break;
+      case Shape::DupAt:
+        if (sendIdx != c.opIndex) continue;
+        v.duplicate = true;
+        break;
+      case Shape::ReorderAt:
+        if (sendIdx != c.opIndex) continue;
+        v.reorder = true;
+        break;
+      case Shape::CrashNode:
+      case Shape::SkewAt:
+      case Shape::SkewProb:
+        continue;  // not a send shape
+    }
+    // First matching send clause wins (mirrors FaultPlan::apply).
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    return v;
+  }
+  return v;
+}
+
+double ChaosPlan::onCollectiveArrival(int node) {
+  NodeState& st = state(node);
+  maybeCrash(st, node);
+  const std::uint64_t collIdx = st.colls++;
+  ++st.ops;
+  for (const Clause& c : clauses_) {
+    if (!clauseAppliesTo(c, node)) continue;
+    switch (c.shape) {
+      case Shape::SkewAt:
+        if (collIdx != c.opIndex) continue;
+        break;
+      case Shape::SkewProb:
+        if (st.rng.uniform01() >= c.probability) continue;
+        break;
+      default:
+        continue;
+    }
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    return c.seconds;
+  }
+  return 0.0;
+}
+
+void ChaosPlan::onRecv(int node) {
+  NodeState& st = state(node);
+  maybeCrash(st, node);
+  ++st.ops;
+}
+
+// ---------------------------------------------------------------------------
+// Spec-string parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Split "N:D" into its two parts, or fail with `why`.
+std::pair<std::string, std::string> splitColon(const std::string& clause,
+                                               const std::string& args,
+                                               const char* why) {
+  const std::size_t colon = args.find(':');
+  if (colon == std::string::npos) spec::badClause(kPlane, clause, why);
+  return {args.substr(0, colon), args.substr(colon + 1)};
+}
+
+double parseSeconds(const std::string& clause, const std::string& text) {
+  return spec::clauseDouble(kPlane, clause, text, 0.0, 1e18,
+                            "expected a non-negative duration in seconds");
+}
+
+double parseProb(const std::string& clause, const std::string& text) {
+  return spec::clauseDouble(kPlane, clause, text, 0.0, 1.0,
+                            "expected a probability in [0, 1]");
+}
+
+}  // namespace
+
+ChaosPlan ChaosPlan::parse(const std::string& spec, std::uint64_t seed) {
+  ChaosPlan plan(seed);
+  for (const std::string& clause : spec::splitClauses(spec)) {
+    std::string body = clause;
+    int restrictNode = -1;
+    // Optional sender restriction: "nK:" prefixes any non-crash shape.
+    if (body.size() >= 3 && body[0] == 'n' && body[1] >= '0' &&
+        body[1] <= '9') {
+      const std::size_t colon = body.find(':');
+      if (colon != std::string::npos) {
+        restrictNode = static_cast<int>(
+            spec::clauseU64(kPlane, clause, body.substr(1, colon - 1)));
+        body = body.substr(colon + 1);
+      }
+    }
+
+    if (body.rfind("drop@", 0) == 0) {
+      plan.dropAtSend(spec::clauseU64(kPlane, clause, body.substr(5)));
+    } else if (body.rfind("drop%", 0) == 0) {
+      plan.dropWithProbability(parseProb(clause, body.substr(5)));
+    } else if (body.rfind("delay@", 0) == 0) {
+      const auto [n, d] = splitColon(clause, body.substr(6),
+                                     "delay@N:D needs a duration");
+      plan.delayAtSend(spec::clauseU64(kPlane, clause, n),
+                       parseSeconds(clause, d));
+    } else if (body.rfind("delay%", 0) == 0) {
+      const auto [p, d] = splitColon(clause, body.substr(6),
+                                     "delay%p:D needs a duration");
+      plan.delayWithProbability(parseProb(clause, p), parseSeconds(clause, d));
+    } else if (body.rfind("dup@", 0) == 0) {
+      plan.dupAtSend(spec::clauseU64(kPlane, clause, body.substr(4)));
+    } else if (body.rfind("reorder@", 0) == 0) {
+      plan.reorderAtSend(spec::clauseU64(kPlane, clause, body.substr(8)));
+    } else if (body.rfind("crash-node@", 0) == 0) {
+      const auto [k, op] = splitColon(clause, body.substr(11),
+                                      "crash-node@K:op=M needs an op index");
+      if (op.rfind("op=", 0) != 0) {
+        spec::badClause(kPlane, clause, "crash-node@K:op=M needs 'op='");
+      }
+      plan.crashNodeAtOp(
+          static_cast<int>(spec::clauseU64(kPlane, clause, k)),
+          spec::clauseU64(kPlane, clause, op.substr(3)));
+    } else if (body.rfind("skew@", 0) == 0) {
+      const auto [n, d] = splitColon(clause, body.substr(5),
+                                     "skew@N:D needs a duration");
+      plan.skewAtCollective(spec::clauseU64(kPlane, clause, n),
+                            parseSeconds(clause, d));
+    } else if (body.rfind("skew%", 0) == 0) {
+      const auto [p, d] = splitColon(clause, body.substr(5),
+                                     "skew%p:D needs a duration");
+      plan.skewWithProbability(parseProb(clause, p), parseSeconds(clause, d));
+    } else {
+      spec::badClause(kPlane, clause,
+                      "unknown shape (want drop@N, drop%p, delay@N:D, "
+                      "delay%p:D, dup@N, reorder@N, crash-node@K:op=M, "
+                      "skew@N:D, skew%p:D, optionally prefixed nK:)");
+    }
+    if (restrictNode >= 0) plan.onlyNode(restrictNode);
+  }
+  if (plan.clauseCount() == 0) {
+    throw UsageError("chaos plan spec '" + spec + "' contains no clauses");
+  }
+  return plan;
+}
+
+}  // namespace pcxx::rt

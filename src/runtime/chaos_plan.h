@@ -1,0 +1,179 @@
+// Deterministic fault schedules for the runtime transport — the
+// pfs::FaultPlan design one layer down.
+//
+// A ChaosPlan is a seeded schedule of injected transport faults that a
+// Machine consults (MachineOptions::chaos) on every p2p send, recv, and
+// collective arrival. Seven clause shapes compose; the first matching
+// clause per op wins, evaluated in the order they were added:
+//
+//   * drop the node's N-th send                      dropAtSend(n)
+//   * drop each send with probability p              dropWithProbability(p)
+//   * delay the N-th send's arrival by D seconds     delayAtSend(n, d)
+//   * delay each send with probability p             delayWithProbability(p, d)
+//   * deliver the N-th send twice                    dupAtSend(n)
+//   * defer the N-th send behind the node's next op  reorderAtSend(n)
+//   * crash node K at its M-th runtime op            crashNodeAtOp(k, m)
+//   * add D seconds of skew at the N-th collective   skewAtCollective(n, d)
+//
+// All indices are per-node (each node counts its own sends, collective
+// arrivals, and runtime ops), and probabilistic clauses draw from a
+// per-node PRNG stream derived from the seed — so a schedule replays
+// identically however the OS interleaves the node threads. Delays and skew
+// are charged to the VirtualClock, never to wall time.
+//
+// Plans also parse from a compact spec string (grammar documented in
+// docs/FAULTS.md; tokenization shared with pfs::FaultPlan via
+// util/faultspec.h):
+//
+//   "drop@1"                 drop each node's send #1
+//   "n2:drop%0.1"            node 2 drops each send with p = 0.1
+//   "delay@0:0.5"            each node's send #0 arrives 0.5 s late
+//   "dup@3"                  send #3 is delivered twice
+//   "reorder@0"              send #0 is deferred behind the next send
+//   "crash-node@2:op=7"      node 2 dies (ChaosCrashError) at its op #7
+//   "skew@1:0.25"            0.25 s of skew at collective arrival #1
+//   "drop@1;skew@0:0.5"      clauses compose, separated by ';'
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pcxx::rt {
+
+/// A seeded, deterministic schedule of injected transport faults.
+class ChaosPlan {
+ public:
+  explicit ChaosPlan(std::uint64_t seed = 0);
+
+  /// Movable (for parse()); move before installing — MachineOptions binds
+  /// the plan's address. Not copyable.
+  ChaosPlan(ChaosPlan&& other) noexcept;
+  ChaosPlan& operator=(ChaosPlan&&) = delete;
+  ChaosPlan(const ChaosPlan&) = delete;
+  ChaosPlan& operator=(const ChaosPlan&) = delete;
+
+  /// Parse a plan from a spec string (grammar above / docs/FAULTS.md).
+  /// Throws UsageError on a malformed spec.
+  static ChaosPlan parse(const std::string& spec, std::uint64_t seed = 0);
+
+  // -- clause builders (chainable) ------------------------------------------
+
+  /// Drop a node's send number `sendIndex` (per-node, 0-based).
+  ChaosPlan& dropAtSend(std::uint64_t sendIndex);
+
+  /// Drop each matching send with probability `p` (per-node PRNG stream).
+  ChaosPlan& dropWithProbability(double p);
+
+  /// Deliver send number `sendIndex` with its arrival time `seconds` later
+  /// on the virtual clock.
+  ChaosPlan& delayAtSend(std::uint64_t sendIndex, double seconds);
+
+  /// Delay each matching send with probability `p`.
+  ChaosPlan& delayWithProbability(double p, double seconds);
+
+  /// Deliver send number `sendIndex` twice (the duplicate follows
+  /// immediately, same payload and arrival time).
+  ChaosPlan& dupAtSend(std::uint64_t sendIndex);
+
+  /// Defer send number `sendIndex` until the sender's next runtime op
+  /// (send, recv, or collective entry) — the two messages swap order on
+  /// the wire, deterministically, because the deferral happens on the
+  /// sender's own thread.
+  ChaosPlan& reorderAtSend(std::uint64_t sendIndex);
+
+  /// Crash node `node` with ChaosCrashError when its per-node runtime op
+  /// counter (sends + recvs + collective arrivals) reaches `opIndex`.
+  ChaosPlan& crashNodeAtOp(int node, std::uint64_t opIndex);
+
+  /// Advance a node's clock by `seconds` at its collective arrival number
+  /// `collIndex` — a pure straggler, visible in rt.coll_skew_seconds.
+  ChaosPlan& skewAtCollective(std::uint64_t collIndex, double seconds);
+
+  /// Skew each matching collective arrival with probability `p`.
+  ChaosPlan& skewWithProbability(double p, double seconds);
+
+  /// Restrict the most recently added clause to one sending node.
+  ChaosPlan& onlyNode(int node);
+
+  // -- runtime hooks (called by Machine on the node's own thread) -----------
+
+  /// What to do with one outgoing message.
+  struct SendVerdict {
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;
+    double delaySeconds = 0.0;
+  };
+
+  /// (Re)size and reset the per-node counters and PRNG streams.
+  /// Machine::run() calls this before spawning node threads, so one plan
+  /// replays the same schedule in every SPMD region it is installed for.
+  void bind(int nprocs);
+
+  /// Consult the plan for node `node`'s next send. May throw
+  /// ChaosCrashError (a crash clause due at this op).
+  SendVerdict onSend(int node);
+
+  /// Consult the plan at node `node`'s next collective arrival; returns
+  /// the injected skew in seconds (0 = none). May throw ChaosCrashError.
+  double onCollectiveArrival(int node);
+
+  /// Account node `node`'s next recv. May throw ChaosCrashError.
+  void onRecv(int node);
+
+  /// How many faults this plan has injected so far (all shapes).
+  std::uint64_t firedCount() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of clauses (parsed or built).
+  std::size_t clauseCount() const { return clauses_.size(); }
+
+ private:
+  enum class Shape {
+    DropAt,
+    DropProb,
+    DelayAt,
+    DelayProb,
+    DupAt,
+    ReorderAt,
+    CrashNode,
+    SkewAt,
+    SkewProb,
+  };
+
+  struct Clause {
+    Shape shape;
+    std::uint64_t opIndex = 0;  ///< @N clauses; CrashNode: the op index
+    double probability = 0.0;   ///< %p clauses
+    double seconds = 0.0;       ///< delay / skew amount
+    int node = -1;              ///< restrict to one node (CrashNode: the node)
+  };
+
+  /// Per-node schedule state. Only the owning node's thread touches its
+  /// entry after bind(), so no locking is needed (and the schedule cannot
+  /// depend on thread interleaving).
+  struct NodeState {
+    std::uint64_t sends = 0;
+    std::uint64_t colls = 0;
+    std::uint64_t ops = 0;
+    Rng rng{0};
+  };
+
+  NodeState& state(int node);
+  void maybeCrash(NodeState& st, int node);
+  bool clauseAppliesTo(const Clause& c, int node) const {
+    return c.node < 0 || c.node == node;
+  }
+
+  std::uint64_t seed_;
+  std::vector<Clause> clauses_;
+  std::vector<NodeState> nodes_;
+  std::atomic<std::uint64_t> fired_{0};
+};
+
+}  // namespace pcxx::rt

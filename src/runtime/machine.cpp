@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <thread>
 
+#include "runtime/chaos_plan.h"
 #include "util/log.h"
 
 namespace pcxx::rt {
@@ -47,6 +49,10 @@ int Node::nprocs() const { return machine_->nprocs(); }
 
 void Node::send(int dest, int tag, std::span<const Byte> data) {
   PCXX_REQUIRE(dest >= 0 && dest < nprocs(), "send: bad destination node");
+  ChaosPlan::SendVerdict verdict{};
+  if (ChaosPlan* chaos = machine_->options().chaos) {
+    verdict = chaos->onSend(id_);  // may throw ChaosCrashError
+  }
   const CommModel& comm = machine_->commModel();
   Message msg;
   msg.src = id_;
@@ -61,6 +67,20 @@ void Node::send(int dest, int tag, std::span<const Byte> data) {
   } else {
     msg.arrivalTime = 0.0;
   }
+  if (verdict.drop) {
+    // The message vanishes on the wire: the sender still paid the modeled
+    // cost, but nothing reaches the destination mailbox.
+    PCXX_OBS_COUNT(obs(), RtChaosDropped, 1);
+    flushDeferredSend();
+    return;
+  }
+  if (verdict.delaySeconds > 0.0) {
+    // Charge the delay to the virtual arrival time, never wall time, so
+    // delayed schedules replay exactly.
+    msg.arrivalTime =
+        std::max(msg.arrivalTime, clock_.now()) + verdict.delaySeconds;
+    PCXX_OBS_COUNT(obs(), RtChaosDelayed, 1);
+  }
   PCXX_OBS_COUNT(obs(), RtMessagesSent, 1);
   PCXX_OBS_COUNT(obs(), RtMessageBytes, data.size());
 #if PCXX_OBS_ENABLED
@@ -72,11 +92,58 @@ void Node::send(int dest, int tag, std::span<const Byte> data) {
     o->trace->flowStart(id_, "rt.msg", o->now(), msg.flowId);
   }
 #endif
+  if (verdict.reorder) {
+    // Stash this message on the sender; the next runtime op (send, recv,
+    // collective, or function return) delivers it, so a later send
+    // overtakes it deterministically.
+    flushDeferredSend();  // at most one deferred message in flight
+    PCXX_OBS_COUNT(obs(), RtChaosReordered, 1);
+    deferredValid_ = true;
+    deferredDest_ = dest;
+    deferredMsg_ = std::move(msg);
+    return;
+  }
+  Message dupCopy;
+  if (verdict.duplicate) {
+    dupCopy = msg;
+    dupCopy.flowId = 0;  // the duplicate is not part of the trace flow
+  }
   machine_->node(dest).mailbox_.push(std::move(msg));
+  if (verdict.duplicate) {
+    PCXX_OBS_COUNT(obs(), RtChaosDuplicated, 1);
+    machine_->node(dest).mailbox_.push(std::move(dupCopy));
+  }
+  flushDeferredSend();
+}
+
+void Node::flushDeferredSend() {
+  if (!deferredValid_) return;
+  deferredValid_ = false;
+  machine_->node(deferredDest_).mailbox_.push(std::move(deferredMsg_));
 }
 
 Message Node::recv(int src, int tag) {
-  Message msg = mailbox_.waitPop(src, tag);
+  flushDeferredSend();
+  if (ChaosPlan* chaos = machine_->options().chaos) {
+    chaos->onRecv(id_);  // may throw ChaosCrashError
+  }
+  Message msg;
+  const Mailbox::WaitStatus status = mailbox_.waitPopFor(
+      src, tag, machine_->options().recvDeadlineSeconds, msg);
+  if (status == Mailbox::WaitStatus::Aborted) {
+    machine_->throwAbortError(
+        "machine aborted while node was waiting in recv()");
+  }
+  if (status == Mailbox::WaitStatus::TimedOut) {
+    PCXX_OBS_COUNT(obs(), RtWatchdogTrips, 1);
+    Machine::AbortInfo info;
+    info.kind = Machine::AbortKind::RecvTimeout;
+    info.origin = id_;
+    info.src = src;
+    info.tag = tag;
+    machine_->abortWith(std::move(info));
+    throw RecvTimeoutError(id_, src, tag);
+  }
   clock_.syncTo(msg.arrivalTime);
 #if PCXX_OBS_ENABLED
   if (obs::NodeObs* o = obs();
@@ -90,26 +157,26 @@ Message Node::recv(int src, int tag) {
 bool Node::probe(int src, int tag) { return mailbox_.probe(src, tag); }
 
 void Node::barrier() {
-  machine_->barrierSync(nullptr, /*applyCost=*/true);
+  machine_->barrierSync("barrier", nullptr, /*applyCost=*/true);
 }
 
 std::vector<std::uint64_t> Node::allgatherU64(std::uint64_t v) {
   Machine& m = *machine_;
   m.stageU64_[static_cast<size_t>(id_)] = v;
-  m.barrierSync(
+  m.barrierSync("allgatherU64", 
       [&m, n = nprocs()] {
         m.pendingCommBytes_ = 8ull * static_cast<std::uint64_t>(n);
       },
       /*applyCost=*/true);
   std::vector<std::uint64_t> out = m.stageU64_;
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("allgatherU64", nullptr, /*applyCost=*/false);
   return out;
 }
 
 std::vector<ByteBuffer> Node::allgatherBytes(std::span<const Byte> mine) {
   Machine& m = *machine_;
   m.stageSpans_[static_cast<size_t>(id_)] = mine;
-  m.barrierSync(
+  m.barrierSync("allgatherBytes", 
       [&m] {
         for (const auto& s : m.stageSpans_) m.pendingCommBytes_ += s.size();
       },
@@ -119,7 +186,7 @@ std::vector<ByteBuffer> Node::allgatherBytes(std::span<const Byte> mine) {
     const auto& s = m.stageSpans_[static_cast<size_t>(i)];
     out[static_cast<size_t>(i)].assign(s.begin(), s.end());
   }
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("allgatherBytes", nullptr, /*applyCost=*/false);
   return out;
 }
 
@@ -127,7 +194,7 @@ std::vector<ByteBuffer> Node::gatherBytes(int root, std::span<const Byte> mine) 
   PCXX_REQUIRE(root >= 0 && root < nprocs(), "gatherBytes: bad root");
   Machine& m = *machine_;
   m.stageSpans_[static_cast<size_t>(id_)] = mine;
-  m.barrierSync(
+  m.barrierSync("gatherBytes", 
       [&m] {
         for (const auto& s : m.stageSpans_) m.pendingCommBytes_ += s.size();
       },
@@ -140,7 +207,7 @@ std::vector<ByteBuffer> Node::gatherBytes(int root, std::span<const Byte> mine) 
       out[static_cast<size_t>(i)].assign(s.begin(), s.end());
     }
   }
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("gatherBytes", nullptr, /*applyCost=*/false);
   return out;
 }
 
@@ -154,7 +221,7 @@ ByteBuffer Node::scatterBytes(int root,
   if (id_ == root) {
     m.stageVecs_[static_cast<size_t>(root)] = &toEach;
   }
-  m.barrierSync(
+  m.barrierSync("scatterBytes", 
       [&m, root] {
         for (const auto& buf : *m.stageVecs_[static_cast<size_t>(root)]) {
           m.pendingCommBytes_ += buf.size();
@@ -163,7 +230,7 @@ ByteBuffer Node::scatterBytes(int root,
       /*applyCost=*/true);
   ByteBuffer out =
       (*m.stageVecs_[static_cast<size_t>(root)])[static_cast<size_t>(id_)];
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("scatterBytes", nullptr, /*applyCost=*/false);
   return out;
 }
 
@@ -173,7 +240,7 @@ void Node::broadcastBytes(int root, ByteBuffer& data) {
   if (id_ == root) {
     m.stageSpans_[static_cast<size_t>(root)] = data;
   }
-  m.barrierSync(
+  m.barrierSync("broadcastBytes", 
       [&m, root] {
         m.pendingCommBytes_ = m.stageSpans_[static_cast<size_t>(root)].size();
       },
@@ -182,7 +249,7 @@ void Node::broadcastBytes(int root, ByteBuffer& data) {
   if (id_ != root) {
     data.assign(src.begin(), src.end());
   }
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("broadcastBytes", nullptr, /*applyCost=*/false);
 }
 
 std::vector<ByteBuffer> Node::alltoallv(
@@ -200,7 +267,7 @@ void Node::alltoallvInto(const std::vector<ByteBuffer>& sendTo,
                "alltoallvInto: send and receive vectors must be distinct");
   Machine& m = *machine_;
   m.stageVecs_[static_cast<size_t>(id_)] = &sendTo;
-  m.barrierSync(
+  m.barrierSync("alltoallv", 
       [&m, n = nprocs()] {
         for (int s = 0; s < n; ++s) {
           for (const auto& buf : *m.stageVecs_[static_cast<size_t>(s)]) {
@@ -217,45 +284,45 @@ void Node::alltoallvInto(const std::vector<ByteBuffer>& sendTo,
     // vector settle into steady-state zero allocation.
     recv[static_cast<size_t>(s)].assign(src.begin(), src.end());
   }
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("alltoallv", nullptr, /*applyCost=*/false);
 }
 
 double Node::allreduceMax(double v) {
   Machine& m = *machine_;
   m.stageF64_[static_cast<size_t>(id_)] = v;
-  m.barrierSync(nullptr, /*applyCost=*/true);
+  m.barrierSync("allreduceMax", nullptr, /*applyCost=*/true);
   const double out = *std::max_element(m.stageF64_.begin(), m.stageF64_.end());
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("allreduceMax", nullptr, /*applyCost=*/false);
   return out;
 }
 
 double Node::allreduceSum(double v) {
   Machine& m = *machine_;
   m.stageF64_[static_cast<size_t>(id_)] = v;
-  m.barrierSync(nullptr, /*applyCost=*/true);
+  m.barrierSync("allreduceSum", nullptr, /*applyCost=*/true);
   double sum = 0.0;
   for (double x : m.stageF64_) sum += x;
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("allreduceSum", nullptr, /*applyCost=*/false);
   return sum;
 }
 
 std::uint64_t Node::allreduceSumU64(std::uint64_t v) {
   Machine& m = *machine_;
   m.stageU64_[static_cast<size_t>(id_)] = v;
-  m.barrierSync(nullptr, /*applyCost=*/true);
+  m.barrierSync("allreduceSumU64", nullptr, /*applyCost=*/true);
   std::uint64_t sum = 0;
   for (std::uint64_t x : m.stageU64_) sum += x;
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("allreduceSumU64", nullptr, /*applyCost=*/false);
   return sum;
 }
 
 std::uint64_t Node::exclusiveScanU64(std::uint64_t v) {
   Machine& m = *machine_;
   m.stageU64_[static_cast<size_t>(id_)] = v;
-  m.barrierSync(nullptr, /*applyCost=*/true);
+  m.barrierSync("exclusiveScanU64", nullptr, /*applyCost=*/true);
   std::uint64_t prefix = 0;
   for (int i = 0; i < id_; ++i) prefix += m.stageU64_[static_cast<size_t>(i)];
-  m.barrierSync(nullptr, /*applyCost=*/false);
+  m.barrierSync("exclusiveScanU64", nullptr, /*applyCost=*/false);
   return prefix;
 }
 
@@ -263,7 +330,8 @@ std::uint64_t Node::exclusiveScanU64(std::uint64_t v) {
 // Machine
 // ---------------------------------------------------------------------------
 
-Machine::Machine(int nprocs, CommModel comm) : nprocs_(nprocs), comm_(comm) {
+Machine::Machine(int nprocs, CommModel comm, MachineOptions options)
+    : nprocs_(nprocs), comm_(comm), opts_(options) {
   PCXX_REQUIRE(nprocs >= 1, "Machine requires at least one node");
   nodes_.reserve(static_cast<size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i) {
@@ -276,6 +344,7 @@ Machine::Machine(int nprocs, CommModel comm) : nprocs_(nprocs), comm_(comm) {
   stageU64_.resize(static_cast<size_t>(nprocs));
   stageF64_.resize(static_cast<size_t>(nprocs));
   stageVecs_.resize(static_cast<size_t>(nprocs));
+  arrivedGen_.assign(static_cast<size_t>(nprocs), 0);
 }
 
 Machine::~Machine() = default;
@@ -285,34 +354,55 @@ void Machine::run(const std::function<void(Node&)>& fn) {
   {
     std::lock_guard<std::mutex> lock(barrierMu_);
     aborted_ = false;
+    abortInfo_ = AbortInfo{};
     barrierArrived_ = 0;
     collOpCount_ = 0;
     collOpId_ = 0;
     collStraggler_ = 0;
+    std::fill(arrivedGen_.begin(), arrivedGen_.end(), 0);
+    genOpName_ = nullptr;
   }
   flowIdCounter_.store(0, std::memory_order_relaxed);
+  if (opts_.chaos != nullptr) opts_.chaos->bind(nprocs_);
   for (auto& node : nodes_) {
     node->mailbox_.reset();
     node->clock_.reset();
+    node->deferredValid_ = false;
   }
 
+  // First-exception bookkeeping: a PeerAbortError is only the *echo* of a
+  // peer's failure, so a later real exception displaces a stored echo —
+  // run() deterministically rethrows the origin's exception regardless of
+  // which thread reached the recording lock first.
   std::exception_ptr firstException;
+  bool firstIsEcho = false;
   std::mutex exceptionMu;
+  const auto record = [&](bool echo) {
+    std::lock_guard<std::mutex> lock(exceptionMu);
+    if (!firstException || (firstIsEcho && !echo)) {
+      firstException = std::current_exception();
+      firstIsEcho = echo;
+    }
+  };
 
   std::vector<std::thread> threads;
   threads.reserve(nodes_.size());
   for (auto& nodePtr : nodes_) {
     Node* node = nodePtr.get();
-    threads.emplace_back([this, node, &fn, &firstException, &exceptionMu] {
+    threads.emplace_back([this, node, &fn, &record] {
       g_currentNode = node;
       try {
         fn(*node);
+        node->flushDeferredSend();
+      } catch (const PeerAbortError&) {
+        // Echo of a peer's abort: the machine is already unwinding.
+        record(/*echo=*/true);
+      } catch (const std::exception& e) {
+        record(/*echo=*/false);
+        abortPeer(node->id_, e.what());
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(exceptionMu);
-          if (!firstException) firstException = std::current_exception();
-        }
-        abort();
+        record(/*echo=*/false);
+        abortPeer(node->id_, "unknown exception");
       }
       g_currentNode = nullptr;
     });
@@ -322,12 +412,81 @@ void Machine::run(const std::function<void(Node&)>& fn) {
 }
 
 void Machine::abort() {
+  AbortInfo info;
+  info.kind = AbortKind::Generic;
+  abortWith(std::move(info));
+}
+
+void Machine::abortPeer(int originNode, const std::string& why) {
+  AbortInfo info;
+  info.kind = AbortKind::Peer;
+  info.origin = originNode;
+  info.reason = why;
   {
     std::lock_guard<std::mutex> lock(barrierMu_);
+    info.opId = collOpCount_;
+  }
+  abortWith(std::move(info));
+}
+
+void Machine::abortWith(AbortInfo info) {
+  {
+    std::lock_guard<std::mutex> lock(barrierMu_);
+    // First abort wins: later causes are consequences of the first.
+    if (abortInfo_.kind == AbortKind::None && info.kind != AbortKind::None) {
+      abortInfo_ = std::move(info);
+    }
     aborted_ = true;
   }
+  // Wake every way a node (or its helper) can block: the collective
+  // rendezvous, each mailbox, and registered aio-style abort-waiters.
   barrierCv_.notify_all();
   for (auto& node : nodes_) node->mailbox_.abort();
+  {
+    std::lock_guard<std::mutex> lock(abortWaitersMu_);
+    for (AbortWaiter* w : abortWaiters_) {
+      // Briefly hold the waiter's mutex so the notify cannot slip between
+      // its predicate check and its wait.
+      std::lock_guard<std::mutex> g(*w->mu);
+      w->cv->notify_all();
+    }
+  }
+}
+
+void Machine::registerAbortWaiter(AbortWaiter* w) {
+  std::lock_guard<std::mutex> lock(abortWaitersMu_);
+  abortWaiters_.push_back(w);
+}
+
+void Machine::unregisterAbortWaiter(AbortWaiter* w) {
+  std::lock_guard<std::mutex> lock(abortWaitersMu_);
+  std::erase(abortWaiters_, w);
+}
+
+void Machine::throwAbortError(const char* genericMessage) const {
+  std::unique_lock<std::mutex> lock(barrierMu_);
+  throwAbortErrorHavingLock(lock, genericMessage);
+}
+
+void Machine::throwAbortErrorHavingLock(std::unique_lock<std::mutex>& lock,
+                                        const char* genericMessage) const {
+  const AbortInfo info = abortInfo_;  // copy out, then drop the lock
+  lock.unlock();
+  switch (info.kind) {
+    case AbortKind::Peer:
+      throw PeerAbortError(info.origin, info.opId, info.reason);
+    case AbortKind::CollTimeout:
+      throw CollectiveTimeoutError(info.opName, info.opId, info.arrived,
+                                   info.missing);
+    case AbortKind::CollMismatch:
+      throw CollectiveMismatchError(info.opName, info.reason, info.origin);
+    case AbortKind::RecvTimeout:
+      throw RecvTimeoutError(info.origin, info.src, info.tag);
+    case AbortKind::Generic:
+    case AbortKind::None:
+      break;
+  }
+  throw Error(genericMessage);
 }
 
 bool Machine::aborted() const {
@@ -365,7 +524,8 @@ void Machine::syncClocksLocked(bool applyCost) {
   }
 }
 
-void Machine::barrierSync(const std::function<void()>& completion,
+void Machine::barrierSync(const char* opName,
+                          const std::function<void()>& completion,
                           bool applyCost) {
   // Thread-ownership rule: collectives may only be entered by the thread
   // that owns a node of THIS machine. Helper threads (pcxx::aio flushers
@@ -377,33 +537,103 @@ void Machine::barrierSync(const std::function<void()>& completion,
         "machine (background/helper threads must not use Node collectives "
         "or mutate node state; see the threading rules in machine.h)");
   }
+  Node& self = *g_currentNode;
+  if (applyCost) {
+    // Phase-1 arrival only: deliver any deferred (reordered) send before
+    // the rendezvous, and let the chaos plan inject straggler skew. The
+    // skew is charged to the virtual clock, so the collective's absorbed
+    // skew shows up in rt.coll_skew_seconds like any real straggler.
+    self.flushDeferredSend();
+    if (opts_.chaos != nullptr) {
+      const double skew = opts_.chaos->onCollectiveArrival(self.id_);
+      if (skew > 0.0) {
+        self.clock_.advance(skew);
+        PCXX_OBS_COUNT(self.obs(), RtChaosSkewed, 1);
+      }
+    }
+  }
   double target;
   std::uint64_t opId = 0;
   int straggler = -1;
   {
     std::unique_lock<std::mutex> lock(barrierMu_);
     if (aborted_) {
-      throw Error("machine aborted while node was waiting at a barrier");
+      throwAbortErrorHavingLock(
+          lock, "machine aborted while node was waiting at a barrier");
     }
+    // Divergence check: every node joining an in-progress rendezvous must
+    // be entering the same collective as the first arriver. A mismatch is
+    // a protocol bug (e.g. one node skipped a collective) that the central
+    // barrier would otherwise "complete" with mixed staging.
+    if (genOpName_ != nullptr && opName != nullptr &&
+        std::strcmp(genOpName_, opName) != 0) {
+      const std::string expected = genOpName_;
+      const std::string actual = opName;
+      AbortInfo info;
+      info.kind = AbortKind::CollMismatch;
+      info.origin = self.id_;
+      info.opId = collOpCount_ + 1;
+      info.opName = expected;
+      info.reason = actual;
+      lock.unlock();
+      abortWith(std::move(info));
+      throw CollectiveMismatchError(expected, actual, self.id_);
+    }
+    if (barrierArrived_ == 0) genOpName_ = opName;
+    arrivedGen_[static_cast<size_t>(self.id_)] = 1;
     ++barrierArrived_;
     if (barrierArrived_ == nprocs_) {
       if (completion) completion();
       syncClocksLocked(applyCost);
       barrierArrived_ = 0;
       ++barrierGeneration_;
+      std::fill(arrivedGen_.begin(), arrivedGen_.end(), 0);
+      genOpName_ = nullptr;
       target = clockTarget_;
       barrierCv_.notify_all();
     } else {
       const std::uint64_t gen = barrierGeneration_;
-      barrierCv_.wait(lock, [this, gen] {
+      const auto released = [this, gen] {
         return barrierGeneration_ != gen || aborted_;
-      });
+      };
+      if (opts_.collectiveDeadlineSeconds > 0.0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    opts_.collectiveDeadlineSeconds));
+        if (!barrierCv_.wait_until(lock, deadline, released)) {
+          // Watchdog trip: the rendezvous stalled past the deadline.
+          // Record who made it and who is missing, then unwind everyone.
+          PCXX_OBS_COUNT(self.obs(), RtWatchdogTrips, 1);
+          AbortInfo info;
+          info.kind = AbortKind::CollTimeout;
+          info.origin = self.id_;
+          info.opId = applyCost ? collOpCount_ + 1 : collOpId_;
+          info.opName = opName != nullptr ? opName : "collective";
+          for (int i = 0; i < nprocs_; ++i) {
+            if (arrivedGen_[static_cast<size_t>(i)]) {
+              info.arrived.push_back(i);
+            } else {
+              info.missing.push_back(i);
+            }
+          }
+          const AbortInfo mine = info;
+          lock.unlock();
+          abortWith(std::move(info));
+          throw CollectiveTimeoutError(mine.opName, mine.opId, mine.arrived,
+                                       mine.missing);
+        }
+      } else {
+        barrierCv_.wait(lock, released);
+      }
       // Only treat the abort as fatal if the barrier did NOT complete:
       // when all nodes arrived, every node gets the collective's result
       // even if a peer aborted immediately afterwards — this keeps error
       // propagation through collectives deterministic.
       if (barrierGeneration_ == gen && aborted_) {
-        throw Error("machine aborted while node was waiting at a barrier");
+        throwAbortErrorHavingLock(
+            lock, "machine aborted while node was waiting at a barrier");
       }
       target = clockTarget_;
     }

@@ -16,8 +16,13 @@
 // to the maximum plus a modeled communication cost.
 //
 // If a node function throws, the machine aborts: blocked peers are woken
-// with an Error and run() rethrows the original exception, so failure
-// injection tests never deadlock.
+// with a typed PeerAbortError (origin node + collective op id) and run()
+// rethrows the original exception, so failure injection tests never
+// deadlock. MachineOptions adds the rest of the robustness layer: a
+// collective/recv watchdog (deadlines turn indefinite waits into
+// CollectiveTimeoutError / RecvTimeoutError on every node) and an
+// rt::ChaosPlan hook injecting deterministic transport faults
+// (see runtime/chaos_plan.h and docs/FAULTS.md "Runtime faults").
 //
 // Thread-ownership rules (enforced where cheap, relied on everywhere):
 //
@@ -29,8 +34,10 @@
 //     may touch only explicitly thread-safe lower layers
 //     (pfs::ParallelFile::{write,read}AtBackground, storage backends) and
 //     their own synchronization state. They must never block a node
-//     indefinitely: any node-side wait on a helper must poll
-//     Machine::aborted() with a timeout so abort-on-throw still wins.
+//     indefinitely: any node-side wait on a helper registers its
+//     (mutex, condvar) pair via AbortWaiterGuard so abort() delivers an
+//     O(1) wake — no polling — and the woken wait rethrows the machine's
+//     typed abort error (Machine::throwAbortError).
 //   * A node must join or detach its helper threads before its SPMD
 //     function returns; run() joins only node threads.
 #pragma once
@@ -42,18 +49,21 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "obs/obs.h"
 #include "runtime/clock.h"
 #include "runtime/mailbox.h"
 #include "runtime/message.h"
+#include "runtime/rt_errors.h"
 #include "util/bytes.h"
 #include "util/error.h"
 
 namespace pcxx::rt {
 
 class Machine;
+class ChaosPlan;
 
 /// Communication cost model applied to collectives and p2p messages in
 /// simulation mode. All-zero (the default) disables modeling.
@@ -62,6 +72,27 @@ struct CommModel {
   double perByte = 0.0;  ///< transfer cost per byte (seconds)
 
   bool enabled() const { return latency > 0.0 || perByte > 0.0; }
+};
+
+/// Robustness knobs for a Machine. All default to "off" — a Machine with
+/// default options behaves exactly like the pre-chaos runtime.
+struct MachineOptions {
+  /// Watchdog deadline (wall seconds) for a collective rendezvous: when a
+  /// node waits this long without the collective completing, the machine
+  /// aborts and *every* node observes CollectiveTimeoutError naming the
+  /// stalled op and the missing node(s). 0 disables the watchdog.
+  double collectiveDeadlineSeconds = 0.0;
+
+  /// Watchdog deadline (wall seconds) for recv(): no matching message
+  /// within the deadline aborts the machine with RecvTimeoutError.
+  /// 0 disables the watchdog.
+  double recvDeadlineSeconds = 0.0;
+
+  /// Deterministic transport-fault schedule consulted on every send/recv/
+  /// collective arrival. Borrowed — must outlive the machine (or be
+  /// cleared with setChaosPlan(nullptr)). run() re-binds the plan, so the
+  /// same plan replays the same schedule every region. nullptr = off.
+  ChaosPlan* chaos = nullptr;
 };
 
 /// One logical node of the machine. Only the owning thread may call
@@ -141,18 +172,29 @@ class Node {
   friend class Machine;
   Node() = default;
 
+  /// Deliver the sender-side deferred message (ChaosPlan reorder clause).
+  /// Called before every send/recv/collective and when the SPMD function
+  /// returns, so a stashed message is delayed by at most one op.
+  void flushDeferredSend();
+
   Machine* machine_ = nullptr;
   int id_ = -1;
   VirtualClock clock_;
   Mailbox mailbox_;
   obs::NodeObs obs_;
   bool obsAttached_ = false;
+
+  // Reorder-in-flight slot: a send a ChaosPlan reorder clause held back so
+  // the *next* send overtakes it. Owned by the node's thread only.
+  bool deferredValid_ = false;
+  int deferredDest_ = -1;
+  Message deferredMsg_;
 };
 
 /// A simulated distributed-memory machine of `nprocs` nodes.
 class Machine {
  public:
-  explicit Machine(int nprocs, CommModel comm = {});
+  explicit Machine(int nprocs, CommModel comm = {}, MachineOptions options = {});
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -161,14 +203,47 @@ class Machine {
   int nprocs() const { return nprocs_; }
   const CommModel& commModel() const { return comm_; }
 
+  const MachineOptions& options() const { return opts_; }
+  /// Replace the robustness options. Not thread-safe against a running
+  /// SPMD region — set between run() calls.
+  void setOptions(MachineOptions options) { opts_ = options; }
+  /// Attach/detach a chaos plan (nullptr = off). Borrowed; re-bound to
+  /// nprocs at every run() entry so schedules replay per region.
+  void setChaosPlan(ChaosPlan* plan) { opts_.chaos = plan; }
+
   /// Run `fn` on every node concurrently; returns when all nodes finish.
   /// Virtual clocks and mailboxes are reset at entry. If any node throws,
   /// the machine aborts the others and rethrows the first exception.
   void run(const std::function<void(Node&)>& fn);
 
-  /// Abort: wake everything blocked in recv()/collectives with an Error.
+  /// Abort: wake everything blocked in recv()/collectives/aio waits with
+  /// a typed error (see throwAbortError).
   void abort();
   bool aborted() const;
+
+  /// Throw the typed error describing why this machine aborted:
+  /// PeerAbortError / CollectiveTimeoutError / CollectiveMismatchError /
+  /// RecvTimeoutError when a cause was recorded, otherwise
+  /// Error(genericMessage). Call only after aborted() turned true.
+  [[noreturn]] void throwAbortError(const char* genericMessage) const;
+
+  // -- abort-waiter registry -------------------------------------------------
+  //
+  // Helper-layer waits (aio buffer pool, writer queue, prefetcher) register
+  // their (mutex, condvar) pair here so abort() can deliver an O(1)
+  // notify_all instead of the waiters polling aborted() on a timeout.
+  // Lock order: abortWaitersMu_ -> waiter mutex (abort side). Registration
+  // takes only abortWaitersMu_, so callers MUST construct the guard
+  // *before* locking their own wait mutex.
+
+  /// One registered helper-side wait.
+  struct AbortWaiter {
+    std::mutex* mu;
+    std::condition_variable* cv;
+  };
+
+  void registerAbortWaiter(AbortWaiter* w);
+  void unregisterAbortWaiter(AbortWaiter* w);
 
   /// Direct node access (e.g. to inspect clocks after run()).
   Node& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
@@ -207,16 +282,48 @@ class Machine {
  private:
   friend class Node;
 
+  /// Why the machine aborted; drives which typed error blocked peers see.
+  enum class AbortKind { None, Generic, Peer, CollTimeout, CollMismatch, RecvTimeout };
+
+  /// First-abort-wins context recorded by abortWith() (guarded by
+  /// barrierMu_). Every wait that wakes to aborted_==true converts this
+  /// into the matching typed exception via throwAbortError().
+  struct AbortInfo {
+    AbortKind kind = AbortKind::None;
+    int origin = -1;
+    std::uint64_t opId = 0;
+    std::string opName;
+    std::string reason;
+    std::vector<int> arrived;
+    std::vector<int> missing;
+    int src = kAnySource;
+    int tag = kAnyTag;
+  };
+
   // Two-phase collective rendezvous. Phase 1 publishes inputs and runs
   // `completion` (on the last arriving thread, which may set
   // pendingCommBytes_ for the cost model); phase 2 releases shared staging
-  // so the next collective can reuse it and applies no cost.
-  void barrierSync(const std::function<void()>& completion, bool applyCost);
+  // so the next collective can reuse it and applies no cost. `opName` is a
+  // static string naming the collective for the watchdog / mismatch check.
+  void barrierSync(const char* opName, const std::function<void()>& completion,
+                   bool applyCost);
 
   void syncClocksLocked(bool applyCost);
 
+  /// Record the abort cause (first caller wins), set aborted_, and wake
+  /// every blocked wait: barrier cv, node mailboxes, registered
+  /// abort-waiters.
+  void abortWith(AbortInfo info);
+
+  /// Abort on behalf of a node whose SPMD function threw.
+  void abortPeer(int originNode, const std::string& why);
+
+  [[noreturn]] void throwAbortErrorHavingLock(
+      std::unique_lock<std::mutex>& lock, const char* genericMessage) const;
+
   int nprocs_;
   CommModel comm_;
+  MachineOptions opts_;
   std::vector<std::unique_ptr<Node>> nodes_;
 
   // Sense-reversing barrier.
@@ -225,6 +332,16 @@ class Machine {
   int barrierArrived_ = 0;
   std::uint64_t barrierGeneration_ = 0;
   bool aborted_ = false;
+  AbortInfo abortInfo_;  // guarded by barrierMu_
+
+  // Watchdog bookkeeping for the in-progress phase-1 rendezvous (guarded
+  // by barrierMu_): which nodes have arrived and what op they entered.
+  std::vector<char> arrivedGen_;
+  const char* genOpName_ = nullptr;
+
+  // Helper-side waits wakeable by abort() (see AbortWaiter above).
+  std::mutex abortWaitersMu_;
+  std::vector<AbortWaiter*> abortWaiters_;
 
   // Collective staging (valid between phase-1 and phase-2 barriers).
   std::vector<std::span<const Byte>> stageSpans_;
@@ -242,6 +359,29 @@ class Machine {
   int collStraggler_ = 0;
 
   std::atomic<std::uint64_t> flowIdCounter_{0};
+};
+
+/// RAII registration of a (mutex, condvar) wait with the machine's abort
+/// registry. Construct BEFORE locking the wait mutex (the registry lock
+/// order is abortWaitersMu_ -> wait mutex); destruction deregisters.
+/// While registered, abort() notifies `cv` under `mu`, so a
+/// `cv.wait_until(lock, ..., pred-or-machine.aborted())` wakes in O(1)
+/// instead of polling.
+class AbortWaiterGuard {
+ public:
+  AbortWaiterGuard(Machine& machine, std::mutex& mu,
+                   std::condition_variable& cv)
+      : machine_(machine), waiter_{&mu, &cv} {
+    machine_.registerAbortWaiter(&waiter_);
+  }
+  ~AbortWaiterGuard() { machine_.unregisterAbortWaiter(&waiter_); }
+
+  AbortWaiterGuard(const AbortWaiterGuard&) = delete;
+  AbortWaiterGuard& operator=(const AbortWaiterGuard&) = delete;
+
+ private:
+  Machine& machine_;
+  Machine::AbortWaiter waiter_;
 };
 
 /// The node bound to the calling thread. Throws if the caller is not inside

@@ -1,6 +1,7 @@
 #include "runtime/mailbox.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace pcxx::rt {
 
@@ -21,7 +22,22 @@ void Mailbox::push(Message msg) {
 }
 
 Message Mailbox::waitPop(int src, int tag) {
+  Message out;
+  if (waitPopFor(src, tag, /*deadlineSeconds=*/0.0, out) ==
+      WaitStatus::Aborted) {
+    throw Error("machine aborted while node was waiting in recv()");
+  }
+  return out;
+}
+
+Mailbox::WaitStatus Mailbox::waitPopFor(int src, int tag,
+                                        double deadlineSeconds, Message& out) {
   std::unique_lock<std::mutex> lock(mu_);
+  const bool bounded = deadlineSeconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(bounded ? deadlineSeconds : 0.0));
   Waiter self;
   self.src = src;
   self.tag = tag;
@@ -29,23 +45,31 @@ Message Mailbox::waitPop(int src, int tag) {
   for (;;) {
     if (aborted_) {
       if (registered) std::erase(waiters_, &self);
-      throw Error("machine aborted while node was waiting in recv()");
+      return WaitStatus::Aborted;
     }
     auto it =
         std::find_if(queue_.begin(), queue_.end(),
                      [&](const Message& m) { return matches(m, src, tag); });
     if (it != queue_.end()) {
-      Message out = std::move(*it);
+      out = std::move(*it);
       queue_.erase(it);
       if (registered) std::erase(waiters_, &self);
-      return out;
+      return WaitStatus::Ok;
     }
     if (!registered) {
       waiters_.push_back(&self);
       registered = true;
     }
     self.signaled = false;
-    self.cv.wait(lock, [&] { return self.signaled || aborted_; });
+    const auto woken = [&] { return self.signaled || aborted_; };
+    if (bounded) {
+      if (!self.cv.wait_until(lock, deadline, woken)) {
+        std::erase(waiters_, &self);
+        return WaitStatus::TimedOut;
+      }
+    } else {
+      self.cv.wait(lock, woken);
+    }
   }
 }
 
@@ -73,6 +97,11 @@ void Mailbox::reset() {
 size_t Mailbox::pendingCount() {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+size_t Mailbox::waiterCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
 }
 
 }  // namespace pcxx::rt

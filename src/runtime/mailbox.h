@@ -33,6 +33,18 @@ class Mailbox {
   /// return it. Throws Error if the machine aborts while waiting.
   Message waitPop(int src, int tag);
 
+  /// How a bounded wait ended.
+  enum class WaitStatus { Ok, TimedOut, Aborted };
+
+  /// Deadline-aware waitPop: waits up to `deadlineSeconds` of wall time
+  /// (<= 0 means forever) for a matching message. On Ok the message is
+  /// moved into `out`; TimedOut and Aborted leave `out` untouched and the
+  /// queue unchanged. The waiter is always deregistered on return — never
+  /// leaked — whichever way the wait ends; Machine::run's watchdog
+  /// (MachineOptions::recvDeadlineSeconds) is built on this.
+  WaitStatus waitPopFor(int src, int tag, double deadlineSeconds,
+                        Message& out);
+
   /// Non-blocking probe: true if a matching message is queued.
   bool probe(int src, int tag);
 
@@ -43,6 +55,10 @@ class Mailbox {
   void reset();
 
   size_t pendingCount();
+
+  /// Currently registered (blocked) waiters — abort() must leave this at
+  /// zero once the woken waiters unwind; the leak tests pin that.
+  size_t waiterCount();
 
  private:
   /// One blocked waitPop(), registered while it sleeps. Lives on the

@@ -1,0 +1,58 @@
+#include "runtime/rt_errors.h"
+
+#include <sstream>
+
+namespace pcxx::rt {
+
+namespace {
+
+std::string joinNodes(const std::vector<int>& nodes) {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ss << (i == 0 ? "" : ",") << nodes[i];
+  }
+  return ss.str();
+}
+
+std::string timeoutMessage(const std::string& opName, std::uint64_t opId,
+                           const std::vector<int>& arrived,
+                           const std::vector<int>& missing) {
+  std::ostringstream ss;
+  ss << "collective watchdog: op '" << opName << "' (#" << opId
+     << ") stalled past the deadline; arrived nodes [" << joinNodes(arrived)
+     << "], missing nodes [" << joinNodes(missing) << "]";
+  return ss.str();
+}
+
+std::string srcName(int v) { return v < 0 ? "any" : std::to_string(v); }
+
+}  // namespace
+
+CollectiveTimeoutError::CollectiveTimeoutError(std::string stalledOp,
+                                               std::uint64_t stalledOpId,
+                                               std::vector<int> arrivedNodes,
+                                               std::vector<int> missingNodes)
+    : Error(timeoutMessage(stalledOp, stalledOpId, arrivedNodes,
+                           missingNodes)),
+      opName(std::move(stalledOp)),
+      opId(stalledOpId),
+      arrived(std::move(arrivedNodes)),
+      missing(std::move(missingNodes)) {}
+
+RecvTimeoutError::RecvTimeoutError(int waitingNode, int wantSrc, int wantTag)
+    : Error("recv watchdog: node " + std::to_string(waitingNode) +
+            " found no message matching (src=" + srcName(wantSrc) +
+            ", tag=" + srcName(wantTag) + ") within the deadline"),
+      node(waitingNode),
+      src(wantSrc),
+      tag(wantTag) {}
+
+PeerAbortError::PeerAbortError(int origin, std::uint64_t atOpId,
+                               const std::string& why)
+    : Error("peer abort: node " + std::to_string(origin) +
+            " threw near collective op #" + std::to_string(atOpId) +
+            (why.empty() ? std::string() : " (" + why + ")")),
+      originNode(origin),
+      opId(atOpId) {}
+
+}  // namespace pcxx::rt

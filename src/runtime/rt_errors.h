@@ -1,0 +1,91 @@
+// Typed runtime failures: every way an SPMD region can die is a distinct
+// exception type, so tests and callers can tell an injected chaos crash
+// from a watchdog timeout from a peer's unwinding — and none of them is a
+// hang. See docs/FAULTS.md ("Runtime faults") for the full semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pcxx::rt {
+
+/// A node killed by a ChaosPlan crash-node clause (the runtime analogue of
+/// pfs::CrashInjected). Peers observe PeerAbortError, not this.
+class ChaosCrashError : public Error {
+ public:
+  ChaosCrashError(int crashedNode, std::uint64_t crashOp)
+      : Error("chaos plan: injected crash on node " +
+              std::to_string(crashedNode) + " at runtime op " +
+              std::to_string(crashOp)),
+        node(crashedNode),
+        op(crashOp) {}
+
+  int node;          ///< the crashed node
+  std::uint64_t op;  ///< its per-node runtime op index at the crash
+};
+
+/// The collective watchdog fired: a rendezvous did not complete within
+/// MachineOptions::collectiveDeadlineSeconds. Delivered on *every* node
+/// still inside the machine (waiting at the collective, blocked in recv(),
+/// or stalled on an aio pipeline), naming the stalled op and the nodes
+/// that never arrived.
+class CollectiveTimeoutError : public Error {
+ public:
+  CollectiveTimeoutError(std::string stalledOp, std::uint64_t stalledOpId,
+                         std::vector<int> arrivedNodes,
+                         std::vector<int> missingNodes);
+
+  std::string opName;        ///< collective that stalled ("barrier", ...)
+  std::uint64_t opId;        ///< 1-based collective op id that never completed
+  std::vector<int> arrived;  ///< nodes that reached the rendezvous
+  std::vector<int> missing;  ///< nodes that never arrived
+};
+
+/// Two nodes entered *different* collectives at the same rendezvous — a
+/// protocol divergence (the bug class dslint's DS5xx checks hunt
+/// statically) that the central barrier would otherwise "complete" with
+/// mixed staging. Detected at arrival time and delivered on every node.
+class CollectiveMismatchError : public Error {
+ public:
+  CollectiveMismatchError(std::string expected, std::string actual,
+                          int diverged)
+      : Error("collective mismatch: node " + std::to_string(diverged) +
+              " entered '" + actual + "' while peers are in '" + expected +
+              "'"),
+        expectedOp(std::move(expected)),
+        actualOp(std::move(actual)),
+        divergingNode(diverged) {}
+
+  std::string expectedOp;  ///< what the first arriver entered
+  std::string actualOp;    ///< what the diverging node entered
+  int divergingNode;       ///< the node that diverged
+};
+
+/// A recv() found no matching message within
+/// MachineOptions::recvDeadlineSeconds (e.g. the sender's message was
+/// dropped, or the sender died before sending).
+class RecvTimeoutError : public Error {
+ public:
+  RecvTimeoutError(int waitingNode, int wantSrc, int wantTag);
+
+  int node;  ///< the receiver that timed out
+  int src;   ///< requested source (kAnySource = -1)
+  int tag;   ///< requested tag (kAnyTag = -1)
+};
+
+/// A *peer* node threw and the machine unwound this node's blocking call
+/// (collective, recv, aio wait). Carries the origin node and the last
+/// issued collective op id so logs can say where the machine was when it
+/// died. The origin node itself rethrows its original exception.
+class PeerAbortError : public Error {
+ public:
+  PeerAbortError(int origin, std::uint64_t atOpId, const std::string& why);
+
+  int originNode;      ///< node whose exception started the abort
+  std::uint64_t opId;  ///< collective op count at abort time
+};
+
+}  // namespace pcxx::rt

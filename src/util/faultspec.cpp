@@ -1,0 +1,47 @@
+#include "util/faultspec.h"
+
+#include <cstdlib>
+
+namespace pcxx::spec {
+
+std::vector<std::string> splitClauses(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    while (!clause.empty() && clause.front() == ' ') clause.erase(0, 1);
+    while (!clause.empty() && clause.back() == ' ') clause.pop_back();
+    if (!clause.empty()) out.push_back(std::move(clause));
+  }
+  return out;
+}
+
+void badClause(const char* plane, const std::string& clause, const char* why) {
+  throw UsageError(std::string(plane) + " spec clause '" + clause +
+                   "': " + why);
+}
+
+std::uint64_t clauseU64(const char* plane, const std::string& clause,
+                        const std::string& text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    badClause(plane, clause, "expected a non-negative integer");
+  }
+  return std::stoull(text);
+}
+
+double clauseDouble(const char* plane, const std::string& clause,
+                    const std::string& text, double lo, double hi,
+                    const char* whyOnError) {
+  char* rest = nullptr;
+  const double v = std::strtod(text.c_str(), &rest);
+  if (text.empty() || rest == nullptr || *rest != '\0' || v < lo || v > hi) {
+    badClause(plane, clause, whyOnError);
+  }
+  return v;
+}
+
+}  // namespace pcxx::spec

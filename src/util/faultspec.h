@@ -1,0 +1,36 @@
+// Shared helpers for the compact fault/chaos spec-string grammars.
+//
+// Both fault planes — pfs::FaultPlan (storage ops) and rt::ChaosPlan
+// (messages/collectives) — describe seeded, deterministic schedules with a
+// ';'-separated clause grammar ("fail@3;crash@9", "drop@1;skew@0:0.5").
+// The clause tokenization, integer/number validation, and the error style
+// ("<plane> spec clause '...': why") are identical by design, so the CLI
+// and docs stay uniform; this header is the single implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pcxx::spec {
+
+/// Split `spec` on ';' into clauses, trimming surrounding spaces and
+/// dropping empty clauses. Never throws; an all-empty spec yields {}.
+std::vector<std::string> splitClauses(const std::string& spec);
+
+/// Throw UsageError "<plane> spec clause '<clause>': <why>".
+[[noreturn]] void badClause(const char* plane, const std::string& clause,
+                            const char* why);
+
+/// Parse a non-negative integer, or badClause(plane, clause, ...).
+std::uint64_t clauseU64(const char* plane, const std::string& clause,
+                        const std::string& text);
+
+/// Parse a double in [lo, hi], or badClause(plane, clause, whyOnError).
+double clauseDouble(const char* plane, const std::string& clause,
+                    const std::string& text, double lo, double hi,
+                    const char* whyOnError);
+
+}  // namespace pcxx::spec

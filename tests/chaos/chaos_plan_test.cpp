@@ -1,0 +1,274 @@
+// rt::ChaosPlan unit tests: the spec grammar, per-shape injection semantics
+// on a live Machine (drop, delay, dup, reorder, crash, skew), schedule
+// determinism, and the golden guarantee that an *empty* plan perturbs
+// nothing — the bytes a chaos-enabled machine writes are identical to the
+// bytes a plain machine writes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dstream/dstream.h"
+#include "src/runtime/chaos_plan.h"
+#include "src/runtime/machine.h"
+#include "src/runtime/rt_errors.h"
+#include "src/util/crc32.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+using namespace pcxx::rt;
+
+// ---------------------------------------------------------------------------
+// Spec grammar
+// ---------------------------------------------------------------------------
+
+TEST(ChaosPlanSpec, ParsesEveryShape) {
+  const ChaosPlan plan = ChaosPlan::parse(
+      "drop@1; drop%0.25; delay@0:0.5; delay%0.1:0.25; dup@3; reorder@0; "
+      "crash-node@2:op=7; skew@1:0.25; skew%0.5:0.125");
+  EXPECT_EQ(plan.clauseCount(), 9u);
+}
+
+TEST(ChaosPlanSpec, ParsesNodeRestriction) {
+  EXPECT_EQ(ChaosPlan::parse("n2:drop@0").clauseCount(), 1u);
+  EXPECT_EQ(ChaosPlan::parse("n0:drop%0.5;n1:delay@2:0.125").clauseCount(),
+            2u);
+}
+
+TEST(ChaosPlanSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(ChaosPlan::parse(""), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("explode@1"), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("drop@"), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("drop@x"), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("drop%1.5"), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("drop%-0.1"), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("delay@1"), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("crash-node@2"), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("crash-node@2:7"), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("n9"), UsageError);
+  EXPECT_THROW(ChaosPlan::parse("skew@1:-1"), UsageError);
+}
+
+TEST(ChaosPlanSpec, ProbabilisticVerdictsReplayAcrossIdenticalPlans) {
+  const auto sample = [](std::uint64_t seed) {
+    ChaosPlan plan(seed);
+    plan.dropWithProbability(0.3);
+    plan.delayWithProbability(0.3, 0.5);
+    plan.bind(4);
+    std::string pattern;
+    for (int node = 0; node < 4; ++node) {
+      for (int i = 0; i < 64; ++i) {
+        const ChaosPlan::SendVerdict v = plan.onSend(node);
+        pattern += v.drop ? 'd' : (v.delaySeconds > 0 ? 'D' : '.');
+      }
+    }
+    return pattern;
+  };
+  const std::string a = sample(42);
+  EXPECT_EQ(a, sample(42));       // same seed, same schedule
+  EXPECT_NE(a, sample(43));       // a different seed actually reseeds
+  EXPECT_NE(a.find('d'), std::string::npos);
+  EXPECT_NE(a.find('D'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST(ChaosPlanSpec, BindResetsTheSchedule) {
+  ChaosPlan plan(7);
+  plan.dropAtSend(0);
+  plan.bind(2);
+  EXPECT_TRUE(plan.onSend(0).drop);
+  EXPECT_FALSE(plan.onSend(0).drop);
+  plan.bind(2);  // what Machine::run does at region entry
+  EXPECT_TRUE(plan.onSend(0).drop);
+}
+
+// ---------------------------------------------------------------------------
+// Injection on a live machine
+// ---------------------------------------------------------------------------
+
+TEST(ChaosPlanInject, DroppedSendTurnsIntoRecvTimeout) {
+  ChaosPlan plan;
+  plan.dropAtSend(0).onlyNode(0);
+  MachineOptions opts;
+  opts.recvDeadlineSeconds = 0.2;
+  opts.chaos = &plan;
+  Machine m(2, CommModel{}, opts);
+  EXPECT_THROW(m.run([](Node& node) {
+                 if (node.id() == 0) {
+                   node.sendValue(1, /*tag=*/1, 7);
+                 } else {
+                   node.recvValue<int>(0, 1);
+                 }
+               }),
+               RecvTimeoutError);
+  EXPECT_EQ(plan.firedCount(), 1u);
+}
+
+TEST(ChaosPlanInject, DelayChargesTheVirtualArrivalTime) {
+  ChaosPlan plan;
+  plan.delayAtSend(0, 0.5).onlyNode(0);
+  MachineOptions opts;
+  opts.chaos = &plan;
+  Machine m(2, CommModel{}, opts);
+  m.run([](Node& node) {
+    if (node.id() == 0) {
+      node.sendValue(1, /*tag=*/1, 7);
+    } else {
+      EXPECT_EQ(node.recvValue<int>(0, 1), 7);
+      // recv syncs the receiver's clock to the delayed arrival time.
+      EXPECT_GE(node.clock().now(), 0.5);
+    }
+  });
+}
+
+TEST(ChaosPlanInject, DuplicatedSendIsDeliveredTwice) {
+  ChaosPlan plan;
+  plan.dupAtSend(0).onlyNode(0);
+  MachineOptions opts;
+  opts.chaos = &plan;
+  Machine m(2, CommModel{}, opts);
+  m.run([](Node& node) {
+    if (node.id() == 0) {
+      node.sendValue(1, /*tag=*/1, 7);
+    } else {
+      EXPECT_EQ(node.recvValue<int>(0, 1), 7);
+      EXPECT_EQ(node.recvValue<int>(0, 1), 7);  // the duplicate
+      EXPECT_FALSE(node.probe(0, 1));
+    }
+  });
+}
+
+TEST(ChaosPlanInject, ReorderedSendIsOvertakenByTheNextOne) {
+  ChaosPlan plan;
+  plan.reorderAtSend(0).onlyNode(0);
+  MachineOptions opts;
+  opts.chaos = &plan;
+  Machine m(2, CommModel{}, opts);
+  m.run([](Node& node) {
+    if (node.id() == 0) {
+      node.sendValue(1, /*tag=*/1, 100);  // deferred by the plan
+      node.sendValue(1, /*tag=*/1, 200);  // overtakes it
+    } else {
+      EXPECT_EQ(node.recvValue<int>(0, 1), 200);
+      EXPECT_EQ(node.recvValue<int>(0, 1), 100);
+    }
+  });
+}
+
+TEST(ChaosPlanInject, DeferredSendStillArrivesWhenTheNodeGoesQuiet) {
+  // A reordered send with no subsequent send must flush when the node's
+  // SPMD function returns, not vanish.
+  ChaosPlan plan;
+  plan.reorderAtSend(0).onlyNode(0);
+  MachineOptions opts;
+  opts.chaos = &plan;
+  opts.recvDeadlineSeconds = 5.0;  // bounded, so a regression fails fast
+  Machine m(2, CommModel{}, opts);
+  m.run([](Node& node) {
+    if (node.id() == 0) {
+      node.sendValue(1, /*tag=*/1, 7);
+    } else {
+      EXPECT_EQ(node.recvValue<int>(0, 1), 7);
+    }
+  });
+}
+
+TEST(ChaosPlanInject, CrashClauseThrowsOnTheVictimAndUnwindsPeers) {
+  ChaosPlan plan;
+  plan.crashNodeAtOp(1, 0);  // node 1 dies at its first runtime op
+  MachineOptions opts;
+  opts.chaos = &plan;
+  Machine m(2, CommModel{}, opts);
+  std::atomic<bool> peerSawAbort{false};
+  std::atomic<int> abortOrigin{-1};
+  try {
+    m.run([&](Node& node) {
+      if (node.id() == 1) {
+        node.sendValue(0, /*tag=*/1, 7);  // op 0: crashes before sending
+      } else {
+        try {
+          node.recvValue<int>(1, 1);
+        } catch (const PeerAbortError& e) {
+          peerSawAbort = true;
+          abortOrigin = e.originNode;
+          throw;
+        }
+      }
+    });
+    FAIL() << "expected ChaosCrashError";
+  } catch (const ChaosCrashError& e) {
+    EXPECT_EQ(e.node, 1);
+    EXPECT_EQ(e.op, 0u);
+  }
+  EXPECT_TRUE(peerSawAbort.load());
+  EXPECT_EQ(abortOrigin.load(), 1);
+}
+
+TEST(ChaosPlanInject, SkewAdvancesTheCollectiveClock) {
+  ChaosPlan plan;
+  plan.skewAtCollective(0, 0.25).onlyNode(1);
+  MachineOptions opts;
+  opts.chaos = &plan;
+  Machine m(2, CommModel{}, opts);
+  m.run([](Node& node) {
+    node.barrier();
+    // The straggler's skew is absorbed by the rendezvous: every clock
+    // reaches at least the injected 0.25 s.
+    EXPECT_GE(node.clock().now(), 0.25);
+  });
+  EXPECT_EQ(plan.firedCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Empty-plan byte identity (golden CRC)
+// ---------------------------------------------------------------------------
+
+ByteBuffer writeGolden(ChaosPlan* chaos) {
+  pfs::Pfs fs = test::memFs();
+  MachineOptions opts;
+  opts.chaos = chaos;
+  Machine m(3, CommModel{}, opts);
+  ByteBuffer bytes;
+  m.run([&](Node& node) {
+    coll::Processors P;
+    coll::Distribution d(17, &P, coll::DistKind::Cyclic);
+    coll::Collection<double> data(&d);
+    ds::StreamOptions so;
+    so.checksumData = true;
+    ds::OStream s(fs, &d, "golden", so);
+    for (int rec = 0; rec < 4; ++rec) {
+      data.forEachLocal([rec](double& v, std::int64_t g) {
+        v = static_cast<double>(rec * 1000 + g);
+      });
+      s << data;
+      s.write();
+    }
+    s.close();
+    auto f = fs.open(node, "golden", pfs::OpenMode::Read);
+    if (node.id() == 0) {
+      bytes.resize(static_cast<size_t>(f->size()));
+      if (f->readAt(node, 0, bytes) != bytes.size()) {
+        throw IoError("chaos golden: short read of the finished file");
+      }
+    }
+    node.barrier();
+  });
+  return bytes;
+}
+
+TEST(ChaosPlanGolden, EmptyPlanLeavesStreamBytesIdentical) {
+  const ByteBuffer plain = writeGolden(nullptr);
+  ChaosPlan empty(12345);  // installed but clause-free: must be a no-op
+  const ByteBuffer chaotic = writeGolden(&empty);
+  ASSERT_FALSE(plain.empty());
+  ASSERT_EQ(plain.size(), chaotic.size());
+  EXPECT_EQ(crc32(plain), crc32(chaotic));
+  EXPECT_EQ(plain, chaotic);
+  EXPECT_EQ(empty.firedCount(), 0u);
+}
+
+}  // namespace
