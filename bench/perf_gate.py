@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over the deterministic virtual-time benches.
 
-Runs the table benches (figure5_all) plus the ablation_redist and
-ablation_overlap sweeps, validates the emitted trace artifacts (loadable
+Runs the table benches (figure5_all) plus the ablation_redist,
+ablation_overlap, and ablation_index sweeps, validates the emitted trace
+artifacts (loadable
 JSON containing flow events with no unterminated chains), and compares
 the fresh metrics against the checked-in baseline (bench/BENCH_7.json):
 
@@ -45,6 +46,11 @@ COMPARE = os.path.join(BENCH_DIR, "compare_metrics.py")
 ABLATION_REDIST_ARGS = ["--segments", "600", "--particles", "6",
                         "--records", "2", "--repeats", "2"]
 
+# ablation_index CI-smoke shape (matches ci/run_ci.sh): exercises the
+# indexed-seek and chain-replay paths over a short record-count sweep.
+ABLATION_INDEX_ARGS = ["--elements", "256", "--max-records", "16",
+                       "--repeats", "2"]
+
 # Methods whose per-phase attribution is scheduling-dependent: the
 # perf model's smallOpsSerialize queue arbitrates concurrent small ops
 # in real lock-acquisition order, so the element-at-a-time Unbuffered
@@ -59,11 +65,12 @@ class GateError(Exception):
 
 
 def run_bench(build_dir, out_dir, report):
-    """Run the three benches; return paths of the metrics documents."""
+    """Run the four benches; return paths of the metrics documents."""
     tables = os.path.join(out_dir, "figure5.metrics.json")
     trace_base = os.path.join(out_dir, "figure5.trace.json")
     redist = os.path.join(out_dir, "ablation_redist.metrics.json")
     overlap = os.path.join(out_dir, "ablation_overlap.metrics.json")
+    index = os.path.join(out_dir, "ablation_index.metrics.json")
     jobs = [
         ([os.path.join(build_dir, "bench", "figure5_all"),
           "--metrics-json", tables, "--trace-json", trace_base],
@@ -74,6 +81,9 @@ def run_bench(build_dir, out_dir, report):
         ([os.path.join(build_dir, "bench", "ablation_overlap"),
           "--metrics-json", overlap],
          "ablation_overlap"),
+        ([os.path.join(build_dir, "bench", "ablation_index"),
+          *ABLATION_INDEX_ARGS, "--metrics-json", index],
+         "ablation_index"),
     ]
     for cmd, name in jobs:
         if not os.path.exists(cmd[0]):
@@ -86,7 +96,8 @@ def run_bench(build_dir, out_dir, report):
             raise GateError(f"{name} exited {proc.returncode}, see {log}")
         report.append(f"ran {name}: OK")
     return {"tables": tables, "ablation_redist": redist,
-            "ablation_overlap": overlap, "trace_base": trace_base}
+            "ablation_overlap": overlap, "ablation_index": index,
+            "trace_base": trace_base}
 
 
 def validate_traces(trace_base, report):
@@ -302,6 +313,8 @@ def main():
                         slim_ablation(load_json(paths["ablation_redist"])),
                     "ablation_overlap":
                         slim_ablation(load_json(paths["ablation_overlap"])),
+                    "ablation_index":
+                        slim_ablation(load_json(paths["ablation_index"])),
                 },
             }
             with open(args.baseline, "w", encoding="utf-8") as f:
@@ -317,7 +330,8 @@ def main():
                                 args.fail_on_regression, out_dir, report)
             if rc == GATE_EXIT_REGRESSION:
                 status = max(status, GATE_EXIT_REGRESSION)
-            for name in ("ablation_redist", "ablation_overlap"):
+            for name in ("ablation_redist", "ablation_overlap",
+                         "ablation_index"):
                 base_doc = baseline.get("ablations", {}).get(name)
                 if base_doc is None:
                     raise GateError(f"{args.baseline}: no {name} ablation "

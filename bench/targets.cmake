@@ -25,3 +25,4 @@ pcxx_add_bench(ablation_stripe_sweep)
 pcxx_add_bench(micro_benchmarks)
 pcxx_add_bench(ablation_checksum)
 pcxx_add_bench(ablation_overlap)
+pcxx_add_bench(ablation_index)

@@ -66,6 +66,12 @@ run_config() {
     echo "=== [${name}] redist ablation smoke ==="
     "${build_dir}/bench/ablation_redist" \
       --segments 600 --particles 6 --records 2 --repeats 2
+    # Index-footer smoke: indexed seeks vs chain replay stay byte-identical
+    # and the footer actually backs the seeks (the binary exits 1 on
+    # either failure).
+    echo "=== [${name}] index ablation smoke ==="
+    "${build_dir}/bench/ablation_index" \
+      --elements 256 --max-records 16 --repeats 2
   fi
   echo "=== [${name}] OK ==="
 }

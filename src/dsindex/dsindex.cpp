@@ -1,0 +1,233 @@
+#include "dsindex/dsindex.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/strfmt.h"
+
+namespace pcxx::dsindex {
+namespace {
+
+/// Fixed prelude of the body before the entry list: magic + version +
+/// flags + recordCount.
+constexpr std::uint64_t kBodyPreludeBytes = 8 + 4 + 4 + 8;
+/// Fixed part of one encoded entry (extents excluded).
+constexpr std::uint64_t kEntryFixedBytes = 8 + 4 + 1 + 8 + 8 + 4 + 4;
+
+bool magicMatches(std::span<const Byte> got, const char (&want)[9]) {
+  return got.size() >= 8 && std::memcmp(got.data(), want, 8) == 0;
+}
+
+}  // namespace
+
+ByteBuffer FileIndex::encodeBody() const {
+  ByteBuffer out;
+  ByteWriter w(out);
+  w.bytes(std::span<const Byte>(
+      reinterpret_cast<const Byte*>(kBodyMagic), 8));
+  w.u32(kIndexVersion);
+  w.u32(0);  // indexFlags, reserved
+  w.u64(entries.size());
+  for (const IndexEntry& e : entries) {
+    w.u64(e.offset);
+    w.u32(e.headerBytes);
+    w.u8(e.recordFlags);
+    w.u64(e.recordBytes);
+    w.u64(e.dataBytes);
+    w.u32(e.layoutDigest);
+    w.u32(static_cast<std::uint32_t>(e.extents.size()));
+    for (std::uint64_t x : e.extents) w.u64(x);
+  }
+  w.u32(crc32(std::span<const Byte>(out.data(), out.size())));
+  return out;
+}
+
+ByteBuffer FileIndex::encodeFooter(std::uint64_t footerOffset) const {
+  ByteBuffer out = encodeBody();
+  const std::uint64_t bodyBytes = out.size();
+  ByteBuffer tail;
+  ByteWriter t(tail);
+  t.u64(footerOffset);
+  t.u64(bodyBytes);
+  t.bytes(std::span<const Byte>(
+      reinterpret_cast<const Byte*>(kTrailerMagic), 8));
+  const std::uint32_t trailerCrc =
+      crc32(std::span<const Byte>(tail.data(), tail.size()));
+  ByteWriter w(out);
+  w.u32(trailerCrc);
+  w.bytes(std::span<const Byte>(tail.data(), tail.size()));
+  return out;
+}
+
+FileIndex FileIndex::decodeBody(std::span<const Byte> body) {
+  if (body.size() < kBodyPreludeBytes + 4) {
+    throw FormatError("index body truncated");
+  }
+  if (!magicMatches(body, kBodyMagic)) {
+    throw FormatError("index body magic mismatch");
+  }
+  const std::uint32_t storedCrc = decodeU32(body.data() + body.size() - 4);
+  const std::uint32_t computed = crc32(body.subspan(0, body.size() - 4));
+  if (storedCrc != computed) {
+    throw FormatError(strfmt("index body checksum mismatch: stored %08x "
+                             "computed %08x",
+                             storedCrc, computed));
+  }
+  ByteReader r(body.subspan(0, body.size() - 4));
+  r.skip(8);  // magic, checked above
+  const std::uint32_t version = r.u32();
+  if (version != kIndexVersion) {
+    throw FormatError(strfmt("unsupported index version %u", version));
+  }
+  const std::uint32_t flags = r.u32();
+  if (flags != 0) {
+    throw FormatError(strfmt("unknown index flags 0x%x", flags));
+  }
+  const std::uint64_t count = r.u64();
+  if (count > kMaxIndexRecords) {
+    throw FormatError(strfmt("index record count %llu out of bounds",
+                             static_cast<unsigned long long>(count)));
+  }
+  FileIndex index;
+  index.entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IndexEntry e;
+    e.offset = r.u64();
+    e.headerBytes = r.u32();
+    e.recordFlags = r.u8();
+    e.recordBytes = r.u64();
+    e.dataBytes = r.u64();
+    e.layoutDigest = r.u32();
+    const std::uint32_t nodes = r.u32();
+    if (nodes > kMaxIndexWriterNodes) {
+      throw FormatError(strfmt("index extent count %u out of bounds", nodes));
+    }
+    e.extents.reserve(nodes);
+    for (std::uint32_t n = 0; n < nodes; ++n) e.extents.push_back(r.u64());
+    index.entries.push_back(std::move(e));
+  }
+  if (r.remaining() != 0) {
+    throw FormatError("index body has trailing bytes");
+  }
+  return index;
+}
+
+std::string validateIndex(const FileIndex& index, std::uint64_t dataStart,
+                          std::uint64_t footerOffset) {
+  std::uint64_t pos = dataStart;
+  for (std::size_t i = 0; i < index.entries.size(); ++i) {
+    const IndexEntry& e = index.entries[i];
+    if (e.offset != pos) {
+      return strfmt("entry %zu offset %llu does not continue the chain at "
+                    "%llu",
+                    i, static_cast<unsigned long long>(e.offset),
+                    static_cast<unsigned long long>(pos));
+    }
+    if (e.recordBytes < e.headerBytes ||
+        e.recordBytes - e.headerBytes < e.dataBytes) {
+      return strfmt("entry %zu record length %llu too small for header and "
+                    "data",
+                    i, static_cast<unsigned long long>(e.recordBytes));
+    }
+    std::uint64_t sum = 0;
+    for (std::uint64_t x : e.extents) sum += x;
+    if (sum != e.dataBytes) {
+      return strfmt("entry %zu extents sum to %llu, dataBytes is %llu", i,
+                    static_cast<unsigned long long>(sum),
+                    static_cast<unsigned long long>(e.dataBytes));
+    }
+    if (e.recordBytes == 0 || e.end() < e.offset) {
+      return strfmt("entry %zu has degenerate extent", i);
+    }
+    pos = e.end();
+    if (pos > footerOffset) {
+      return strfmt("entry %zu runs past the footer at %llu", i,
+                    static_cast<unsigned long long>(footerOffset));
+    }
+  }
+  if (pos != footerOffset) {
+    return strfmt("index covers [%llu, %llu) but the footer starts at %llu",
+                  static_cast<unsigned long long>(dataStart),
+                  static_cast<unsigned long long>(pos),
+                  static_cast<unsigned long long>(footerOffset));
+  }
+  return {};
+}
+
+ProbeResult probeFooter(const ReadFn& read, std::uint64_t fileSize,
+                        std::uint64_t dataStart) {
+  ProbeResult out;
+  if (fileSize < dataStart + kTrailerBytes) {
+    out.status = ProbeStatus::Absent;
+    out.reason = "file too small to carry an index footer";
+    return out;
+  }
+  ByteBuffer trailer(static_cast<std::size_t>(kTrailerBytes));
+  const std::uint64_t got =
+      read(fileSize - kTrailerBytes, std::span<Byte>(trailer));
+  if (got != kTrailerBytes) {
+    out.status = ProbeStatus::Absent;
+    out.reason = "short read at end of file";
+    return out;
+  }
+  std::span<const Byte> t(trailer);
+  if (!magicMatches(t.subspan(20), kTrailerMagic)) {
+    out.status = ProbeStatus::Absent;
+    out.reason = "no index trailer magic at end of file";
+    return out;
+  }
+  const std::uint32_t storedCrc = decodeU32(t.data());
+  const std::uint32_t computed = crc32(t.subspan(4));
+  if (storedCrc != computed) {
+    out.status = ProbeStatus::Corrupt;
+    out.reason = strfmt("index trailer checksum mismatch: stored %08x "
+                        "computed %08x",
+                        storedCrc, computed);
+    return out;
+  }
+  const std::uint64_t footerOffset = decodeU64(t.data() + 4);
+  const std::uint64_t bodyBytes = decodeU64(t.data() + 12);
+  if (footerOffset < dataStart ||
+      bodyBytes > fileSize - kTrailerBytes ||
+      footerOffset != fileSize - kTrailerBytes - bodyBytes) {
+    out.status = ProbeStatus::Corrupt;
+    out.reason = strfmt("index trailer geometry out of bounds: footer at "
+                        "%llu, body %llu bytes, file %llu bytes",
+                        static_cast<unsigned long long>(footerOffset),
+                        static_cast<unsigned long long>(bodyBytes),
+                        static_cast<unsigned long long>(fileSize));
+    return out;
+  }
+  // From here the trailer is self-consistent: footerOffset marks the exact
+  // end of the record chain even if the body below fails.
+  out.haveFooterOffset = true;
+  out.footerOffset = footerOffset;
+  ByteBuffer body(static_cast<std::size_t>(bodyBytes));
+  const std::uint64_t bodyGot = read(footerOffset, std::span<Byte>(body));
+  if (bodyGot != bodyBytes) {
+    out.status = ProbeStatus::Corrupt;
+    out.reason = "short read of index body";
+    return out;
+  }
+  try {
+    out.index = FileIndex::decodeBody(std::span<const Byte>(body));
+  } catch (const FormatError& e) {
+    out.status = ProbeStatus::Corrupt;
+    out.reason = e.what();
+    return out;
+  }
+  const std::string geometry = validateIndex(out.index, dataStart,
+                                             footerOffset);
+  if (!geometry.empty()) {
+    out.status = ProbeStatus::Corrupt;
+    out.reason = geometry;
+    out.index = FileIndex{};
+    return out;
+  }
+  out.status = ProbeStatus::Valid;
+  return out;
+}
+
+}  // namespace pcxx::dsindex

@@ -1,0 +1,137 @@
+// pcxx::dsindex — the d/stream index footer (record table-of-contents).
+//
+// A d/stream file is a replay-only record chain: locating record k means
+// walking k headers. The index footer turns checkpoint files into
+// queryable datasets: on OStream::close() the writer appends a
+// self-describing footer — per-record offsets and byte lengths, per-node
+// extent tables, a layout digest and a record count, CRC-protected —
+// terminated by a fixed-size trailer a reader finds by seeking to EOF.
+//
+// The footer is an ACCELERATOR, never a format break: readers that find no
+// footer (every pre-footer file), or whose footer fails validation, fall
+// back to the chain replay that has always worked. The record chain's bytes
+// are untouched; `formatVersion` stays 1 (docs/FORMAT.md, "Index footer").
+//
+// Byte layout (all little-endian):
+//
+//   Body (at footerOffset):
+//     u8[8]  bodyMagic     "PCXXDIDX"
+//     u32    indexVersion  1
+//     u32    indexFlags    0 (reserved; unknown bits reject the footer)
+//     u64    recordCount
+//     recordCount x Entry:
+//       u64  offset        file offset of the record header
+//       u32  headerBytes   encoded RecordHeader length
+//       u8   recordFlags   the record's flag byte (trailer presence)
+//       u64  recordBytes   header + size table + data + trailer
+//       u64  dataBytes     the record's Data section length
+//       u32  layoutDigest  CRC-32 of the encoded writer Layout
+//       u32  writerNodes   extent count
+//       writerNodes x u64  per-writer-node data bytes, node order
+//     u32    bodyCrc       CRC-32 of every preceding body byte
+//
+//   Trailer (last 28 bytes of the file):
+//     u32    trailerCrc    CRC-32 of the following 24 bytes
+//     u64    footerOffset  file offset of the body
+//     u64    bodyBytes     body length (crc included)
+//     u8[8]  trailerMagic  "PCXXDIXT"
+//
+// The trailer is self-checksummed so a reader can trust `footerOffset` (=
+// the exact end of the record chain) even when the body was damaged: a
+// corrupt-footer file still reads its records cleanly, and only a damaged
+// *trailer* degrades end-of-chain detection to "end of file".
+//
+// This module is storage-agnostic: probeFooter() takes a read callback, so
+// the same validation serves IStream (pfs::ParallelFile), the offline
+// inspector (pfs::StorageBackend), and tests fuzzing raw buffers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace pcxx::dsindex {
+
+inline constexpr std::uint32_t kIndexVersion = 1;
+inline constexpr std::uint64_t kTrailerBytes = 28;
+inline constexpr char kBodyMagic[9] = "PCXXDIDX";
+inline constexpr char kTrailerMagic[9] = "PCXXDIXT";
+
+/// Sanity bounds rejecting garbage early (mirrors the record header's
+/// bounded decode): no real footer exceeds them.
+inline constexpr std::uint64_t kMaxIndexRecords = 1ull << 24;
+inline constexpr std::uint32_t kMaxIndexWriterNodes = 1u << 20;
+
+/// One record's index entry.
+struct IndexEntry {
+  std::uint64_t offset = 0;       ///< file offset of the record header
+  std::uint32_t headerBytes = 0;  ///< encoded RecordHeader length
+  std::uint8_t recordFlags = 0;   ///< the record's flag byte
+  std::uint64_t recordBytes = 0;  ///< header + size table + data + trailer
+  std::uint64_t dataBytes = 0;    ///< Data section length
+  std::uint32_t layoutDigest = 0; ///< CRC-32 of the encoded writer Layout
+  std::vector<std::uint64_t> extents;  ///< per-writer-node data bytes
+
+  std::uint64_t end() const { return offset + recordBytes; }
+  bool operator==(const IndexEntry&) const = default;
+};
+
+/// The decoded footer body: one entry per record, in file order.
+struct FileIndex {
+  std::vector<IndexEntry> entries;
+
+  /// Encode the footer body (magic .. bodyCrc).
+  ByteBuffer encodeBody() const;
+
+  /// Encode body + trailer, ready to append at `footerOffset`.
+  ByteBuffer encodeFooter(std::uint64_t footerOffset) const;
+
+  /// Decode + CRC-verify a footer body. Throws FormatError on any damage
+  /// (bad magic, unknown version/flags, bounds, checksum).
+  static FileIndex decodeBody(std::span<const Byte> body);
+
+  bool operator==(const FileIndex&) const = default;
+};
+
+enum class ProbeStatus {
+  Valid,   ///< footer present and fully verified
+  Absent,  ///< no footer (pre-footer file, or file too small)
+  Corrupt, ///< footer bytes present but failed validation
+};
+
+/// Result of probing a file's tail for an index footer.
+struct ProbeResult {
+  ProbeStatus status = ProbeStatus::Absent;
+  std::string reason;  ///< why the footer was rejected (Corrupt/Absent)
+  /// True when the self-checksummed trailer was intact and its offsets are
+  /// in bounds: `footerOffset` is then the exact end of the record chain
+  /// even if the body itself is damaged.
+  bool haveFooterOffset = false;
+  std::uint64_t footerOffset = 0;
+  FileIndex index;  ///< populated only when status == Valid
+};
+
+/// Positional read callback: fill `out` from `offset`, return bytes read
+/// (fewer than requested only at end of file).
+using ReadFn =
+    std::function<std::uint64_t(std::uint64_t offset, std::span<Byte> out)>;
+
+/// Probe a file of `fileSize` bytes for an index footer. `dataStart` is the
+/// first possible record offset (kFileHeaderBytes for d/stream files).
+/// Never throws on damaged footer bytes — damage is a ProbeResult, because
+/// every consumer must be able to fall back to chain replay.
+ProbeResult probeFooter(const ReadFn& read, std::uint64_t fileSize,
+                        std::uint64_t dataStart);
+
+/// Structural validation of a decoded index against the chain geometry:
+/// entries contiguous from `dataStart`, last entry ending exactly at
+/// `footerOffset`, extents summing to each entry's dataBytes. Returns an
+/// empty string when consistent, else the first violation.
+std::string validateIndex(const FileIndex& index, std::uint64_t dataStart,
+                          std::uint64_t footerOffset);
+
+}  // namespace pcxx::dsindex

@@ -10,7 +10,7 @@ using sg::Token;
 bool isReadModeEvent(EventKind e) {
   return e == EventKind::Read || e == EventKind::UnsortedRead ||
          e == EventKind::SkipRecord || e == EventKind::Rewind ||
-         e == EventKind::Extract;
+         e == EventKind::Seek || e == EventKind::Extract;
 }
 
 bool isWriteModeEvent(EventKind e) {
@@ -24,6 +24,7 @@ bool isCollectiveEvent(EventKind e) {
     case EventKind::UnsortedRead:
     case EventKind::SkipRecord:
     case EventKind::Rewind:
+    case EventKind::Seek:
     case EventKind::Close:
       return true;
     case EventKind::Insert:
@@ -42,6 +43,7 @@ const char* eventName(EventKind e) {
     case EventKind::UnsortedRead: return "unsortedRead()";
     case EventKind::SkipRecord: return "skipRecord()";
     case EventKind::Rewind: return "rewind()";
+    case EventKind::Seek: return "seekRecord()";
     case EventKind::Extract: return ">>";
     case EventKind::Close: return "close()";
     case EventKind::Use: return "use";
@@ -633,9 +635,15 @@ class Parser {
       EventKind e = EventKind::Use;
       if (m == "write") e = EventKind::Write;
       else if (m == "read") e = EventKind::Read;
+      // readRecord/readRecords are seek-plus-read compounds: for the
+      // protocol FSM they land the stream on a recovered record, exactly
+      // like read().
+      else if (m == "readRecord") e = EventKind::Read;
+      else if (m == "readRecords") e = EventKind::Read;
       else if (m == "unsortedRead") e = EventKind::UnsortedRead;
       else if (m == "skipRecord") e = EventKind::SkipRecord;
       else if (m == "rewind") e = EventKind::Rewind;
+      else if (m == "seekRecord") e = EventKind::Seek;
       else if (m == "close") e = EventKind::Close;
       Action a;
       a.kind = Action::Kind::Event;

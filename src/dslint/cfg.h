@@ -38,6 +38,7 @@ enum class EventKind {
   UnsortedRead,  // s.unsortedRead()
   SkipRecord,    // s.skipRecord()
   Rewind,        // s.rewind()
+  Seek,          // s.seekRecord(k)
   Extract,       // s >> ...
   Close,         // s.close()
   Use,           // any other method call (atEnd(), layout(), ...)

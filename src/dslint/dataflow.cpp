@@ -110,6 +110,9 @@ Outcome transition(unsigned state, EventKind e) {
       return {nullptr, Severity::Error, kIHasRec};
     case EventKind::SkipRecord:
     case EventKind::Rewind:
+    case EventKind::Seek:
+      // Repositioning discards the current record; extraction before the
+      // next read() is the DS103 pattern again.
       return {nullptr, Severity::Error, kINoRec};
     case EventKind::Extract:
       if (state == kINoRec) return {"DS103", Severity::Error, kIHasRec};

@@ -4,7 +4,8 @@
 //   dsdump -v wholeGridFile          # + insert descriptors, histograms
 //   dsdump --stats wholeGridFile     # aggregate I/O statistics (statdump)
 //   dsdump --element 3 file          # hex dump of one element's payload
-//   dsdump --verify file             # tolerant scan; exit 0 clean, 3 corrupt
+//   dsdump --verify file             # O(index) check; exit 0 clean, 3 corrupt
+//   dsdump --verify --deep file      # full scan incl. data checksums
 //   dsdump --repair file             # truncate to the last valid record
 #include <cstdio>
 
@@ -17,11 +18,14 @@ namespace {
 
 // Tolerant integrity scan (exit 0 clean / 3 corrupt / 1 unreadable), with
 // optional repair by truncating to the longest valid record prefix.
-int verifyOrRepair(const std::string& path, bool repair) {
+int verifyOrRepair(const std::string& path, bool repair, bool deep) {
   pcxx::pfs::PosixStorage storage(path);
   pcxx::ds::ScanResult scan;
   try {
-    scan = pcxx::ds::scanFile(storage);
+    // Repair always walks the whole chain before truncating anything;
+    // verify takes the O(index) footer path unless --deep forces the scan.
+    scan = repair ? pcxx::ds::scanFile(storage)
+                  : pcxx::ds::verifyFile(storage, deep);
   } catch (const pcxx::FormatError& e) {
     // Even the 16-byte file header is damaged: corrupt, and unrepairable.
     std::fprintf(stderr, "dsdump: %s: %s\n", path.c_str(), e.what());
@@ -57,6 +61,9 @@ int main(int argc, char** argv) {
     opts.addFlag("repair",
                  "truncate the file to its longest valid record prefix "
                  "(implies --verify's scan)");
+    opts.addFlag("deep",
+                 "with --verify: full record scan incl. data checksums even "
+                 "when a valid index footer would allow the O(index) check");
     opts.add("record", "0", "record index for --element");
     opts.add("element", "-1",
              "hex-dump the payload of this file-order element");
@@ -67,7 +74,8 @@ int main(int argc, char** argv) {
     }
 
     if (opts.getFlag("verify") || opts.getFlag("repair")) {
-      return verifyOrRepair(opts.positional()[0], opts.getFlag("repair"));
+      return verifyOrRepair(opts.positional()[0], opts.getFlag("repair"),
+                            opts.getFlag("deep"));
     }
 
     pcxx::pfs::PosixStorage storage(opts.positional()[0]);

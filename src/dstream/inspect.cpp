@@ -27,9 +27,24 @@ std::uint64_t RecordInfo::totalDataBytes() const {
                          std::uint64_t{0});
 }
 
+namespace {
+
+// Probe the dsindex footer through a StorageBackend (the offline analogue of
+// the IStream probe through ParallelFile).
+dsindex::ProbeResult probeStorage(pfs::StorageBackend& storage) {
+  return dsindex::probeFooter(
+      [&storage](std::uint64_t offset, std::span<Byte> out) {
+        return storage.readAt(offset, out);
+      },
+      storage.size(), kFileHeaderBytes);
+}
+
+}  // namespace
+
 FileInfo inspectFile(pfs::StorageBackend& storage) {
   FileInfo info;
   info.fileBytes = storage.size();
+  info.footerOffset = info.fileBytes;
 
   ByteBuffer fileHeader(kFileHeaderBytes);
   if (storage.readAt(0, fileHeader) != kFileHeaderBytes) {
@@ -37,8 +52,20 @@ FileInfo inspectFile(pfs::StorageBackend& storage) {
   }
   verifyFileHeader(fileHeader);
 
+  // A valid footer bounds the record walk (its bytes are not records); a
+  // self-checksummed trailer over a corrupt body still pins the chain end,
+  // but strict inspection rejects the file outright.
+  const dsindex::ProbeResult probe = probeStorage(storage);
+  if (probe.status == dsindex::ProbeStatus::Corrupt) {
+    throw FormatError("corrupt index footer: " + probe.reason);
+  }
+  if (probe.status == dsindex::ProbeStatus::Valid) {
+    info.indexed = true;
+    info.footerOffset = probe.footerOffset;
+  }
+
   std::uint64_t pos = kFileHeaderBytes;
-  while (pos < info.fileBytes) {
+  while (pos < info.footerOffset) {
     Byte prefix[8];
     if (storage.readAt(pos, prefix) != 8) {
       throw FormatError("truncated record header prefix at offset " +
@@ -77,14 +104,33 @@ FileInfo inspectFile(pfs::StorageBackend& storage) {
     }
     const std::uint64_t recordEnd =
         rec.dataOffset + rec.header.dataBytes + rec.header.trailerBytes();
-    if (recordEnd > info.fileBytes) {
+    if (recordEnd > info.footerOffset) {
       throw FormatError(strfmt(
-          "record %u: data section extends past end of file (%llu > %llu)",
+          "record %u: data section extends past end of chain (%llu > %llu)",
           rec.header.seq, static_cast<unsigned long long>(recordEnd),
-          static_cast<unsigned long long>(info.fileBytes)));
+          static_cast<unsigned long long>(info.footerOffset)));
     }
     info.records.push_back(std::move(rec));
     pos = recordEnd;
+  }
+
+  // Strict mode also holds the footer to its word: every entry must agree
+  // with the record actually found at its offset.
+  if (info.indexed) {
+    const auto& entries = probe.index.entries;
+    if (entries.size() != info.records.size()) {
+      throw FormatError(strfmt(
+          "index footer lists %zu record(s) but the chain holds %zu",
+          entries.size(), info.records.size()));
+    }
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].offset != info.records[i].offset ||
+          entries[i].headerBytes != info.records[i].headerBytes ||
+          entries[i].dataBytes != info.records[i].header.dataBytes) {
+        throw FormatError(
+            strfmt("index footer entry %zu disagrees with record %zu", i, i));
+      }
+    }
   }
   return info;
 }
@@ -97,6 +143,7 @@ FileInfo inspectFile(const std::string& path) {
 ScanResult scanFile(pfs::StorageBackend& storage) {
   ScanResult result;
   result.info.fileBytes = storage.size();
+  result.info.footerOffset = result.info.fileBytes;
   result.validPrefixEnd = kFileHeaderBytes;
 
   ByteBuffer fileHeader(kFileHeaderBytes);
@@ -105,7 +152,18 @@ ScanResult scanFile(pfs::StorageBackend& storage) {
   }
   verifyFileHeader(fileHeader);
 
+  // Bound the record walk at the footer when its self-checksummed trailer
+  // is intact — even a corrupt footer body still pins the chain end. A
+  // footer whose trailer checksum fails leaves the walk unbounded; its
+  // bytes then surface as ordinary tail damage below.
+  const dsindex::ProbeResult probe = probeStorage(storage);
+  if (probe.haveFooterOffset) {
+    result.info.footerOffset = probe.footerOffset;
+    result.info.indexed = probe.status == dsindex::ProbeStatus::Valid;
+  }
+
   const std::uint64_t fileBytes = result.info.fileBytes;
+  const std::uint64_t walkEnd = result.info.footerOffset;
   bool prefixIntact = true;
   std::uint64_t pos = kFileHeaderBytes;
 
@@ -114,7 +172,7 @@ ScanResult scanFile(pfs::StorageBackend& storage) {
   const auto tornTail = [&](const char* reason) {
     result.report.recordsLost += 1;
     result.report.damage.push_back(
-        DamagedRange{pos, fileBytes - pos, reason});
+        DamagedRange{pos, walkEnd - pos, reason});
   };
   // A damaged record with intact framing is skipped; the walk continues at
   // `next`.
@@ -125,7 +183,7 @@ ScanResult scanFile(pfs::StorageBackend& storage) {
     pos = next;
   };
 
-  while (pos < fileBytes) {
+  while (pos < walkEnd) {
     Byte prefix[8];
     if (storage.readAt(pos, prefix) != 8) {
       tornTail("truncated record header prefix");
@@ -157,8 +215,8 @@ ScanResult scanFile(pfs::StorageBackend& storage) {
     rec.dataOffset = tableOffset + tableBytes;
     const std::uint64_t recordEnd =
         rec.dataOffset + rec.header.dataBytes + rec.header.trailerBytes();
-    if (recordEnd > fileBytes) {
-      tornTail("record extends past end of file");
+    if (recordEnd > walkEnd) {
+      tornTail("record extends past end of chain");
       break;
     }
 
@@ -198,12 +256,95 @@ ScanResult scanFile(pfs::StorageBackend& storage) {
     pos = recordEnd;
     if (prefixIntact) result.validPrefixEnd = recordEnd;
   }
+
+  if (probe.haveFooterOffset) {
+    if (probe.status == dsindex::ProbeStatus::Corrupt) {
+      // The footer itself is the damage; the records before it were
+      // scanned normally, and --repair truncates the broken footer away.
+      result.report.damage.push_back(DamagedRange{
+          walkEnd, fileBytes - walkEnd, "corrupt index footer"});
+    } else if (prefixIntact && pos == walkEnd) {
+      // Clean chain under a valid footer: the whole file, footer
+      // included, is the valid prefix, so --repair keeps the index.
+      result.validPrefixEnd = fileBytes;
+    }
+  }
   return result;
 }
 
 ScanResult scanFile(const std::string& path) {
   pfs::PosixStorage storage(path);
   return scanFile(storage);
+}
+
+ScanResult verifyFile(pfs::StorageBackend& storage, bool deep) {
+  if (deep) return scanFile(storage);
+  const dsindex::ProbeResult probe = probeStorage(storage);
+  if (probe.status != dsindex::ProbeStatus::Valid) {
+    // No usable index (or a corrupt one): the deep scan owns both the walk
+    // and the damage accounting.
+    return scanFile(storage);
+  }
+
+  // O(index) fast path: for each footer entry, read only the record's
+  // header (CRC-verified by decode) and size table, and hold them against
+  // the entry. The data payloads — virtually all of the file — stay
+  // untouched. Any disagreement means the footer cannot be trusted as a
+  // verification transcript, so the deep scan takes over.
+  try {
+    ScanResult result;
+    result.info.fileBytes = storage.size();
+    result.info.indexed = true;
+    result.info.footerOffset = probe.footerOffset;
+
+    ByteBuffer fileHeader(kFileHeaderBytes);
+    if (storage.readAt(0, fileHeader) != kFileHeaderBytes) {
+      throw FormatError("file too short for a d/stream file header");
+    }
+    verifyFileHeader(fileHeader);
+
+    for (const dsindex::IndexEntry& entry : probe.index.entries) {
+      ByteBuffer headerBytes(entry.headerBytes);
+      if (storage.readAt(entry.offset, headerBytes) != entry.headerBytes) {
+        throw FormatError("truncated record header");
+      }
+      if (RecordHeader::encodedLength(
+              std::span<const Byte>(headerBytes.data(), 8)) !=
+          entry.headerBytes) {
+        throw FormatError("header length disagrees with index entry");
+      }
+      RecordInfo rec{RecordHeader::decode(headerBytes), entry.offset,
+                     entry.headerBytes, 0, {}};
+      if (rec.header.dataBytes != entry.dataBytes) {
+        throw FormatError("record data size disagrees with index entry");
+      }
+      const std::uint64_t tableOffset = entry.offset + entry.headerBytes;
+      const std::uint64_t tableBytes = rec.header.sizeTableBytes();
+      ByteBuffer table(static_cast<size_t>(tableBytes));
+      if (storage.readAt(tableOffset, table) != tableBytes) {
+        throw FormatError("truncated size table");
+      }
+      rec.elementSizes.resize(static_cast<size_t>(rec.header.elementCount()));
+      for (size_t i = 0; i < rec.elementSizes.size(); ++i) {
+        rec.elementSizes[i] = decodeU64(table.data() + 8 * i);
+      }
+      rec.dataOffset = tableOffset + tableBytes;
+      if (rec.totalDataBytes() != rec.header.dataBytes) {
+        throw FormatError("size table inconsistent with record header");
+      }
+      const std::uint64_t recordEnd =
+          rec.dataOffset + rec.header.dataBytes + rec.header.trailerBytes();
+      if (recordEnd != entry.end()) {
+        throw FormatError("record extent disagrees with index entry");
+      }
+      result.report.recordsRecovered += 1;
+      result.info.records.push_back(std::move(rec));
+    }
+    result.validPrefixEnd = result.info.fileBytes;
+    return result;
+  } catch (const FormatError&) {
+    return scanFile(storage);
+  }
 }
 
 std::string formatSalvageReport(const SalvageReport& report) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "dsindex/dsindex.h"
 #include "dstream/record.h"
 #include "dstream/salvage.h"
 #include "pfs/backend.h"
@@ -33,6 +34,11 @@ struct RecordInfo {
 /// Summary of a whole file.
 struct FileInfo {
   std::uint64_t fileBytes = 0;
+  /// True when a valid dsindex footer bounded the record walk.
+  bool indexed = false;
+  /// First byte of the index footer; == fileBytes when there is none (the
+  /// record chain runs to end of file).
+  std::uint64_t footerOffset = 0;
   std::vector<RecordInfo> records;
 };
 
@@ -63,6 +69,13 @@ ScanResult scanFile(pfs::StorageBackend& storage);
 
 /// Convenience: tolerant scan of a d/stream file on the local file system.
 ScanResult scanFile(const std::string& path);
+
+/// Integrity verification (`dsdump --verify`). With `deep` false and a valid
+/// index footer this is O(index): per record it reads only the header and
+/// size table (skipping the data payloads) and cross-checks them against the
+/// footer's entries; any disagreement falls back to the full scan. Files
+/// without a usable footer, and `deep` mode, use scanFile directly.
+ScanResult verifyFile(pfs::StorageBackend& storage, bool deep);
 
 /// Read one element's raw payload bytes (by file-order position) from a
 /// record. Bounds-checked.

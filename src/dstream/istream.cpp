@@ -45,6 +45,9 @@ IStream::IStream(pfs::Pfs& fs, pfs::ParallelFilePtr file, coll::Layout layout,
       opts_(opts),
       localCount_(layout_.localCount(node_->id())) {
   PCXX_REQUIRE(file_ != nullptr, "IStream requires an open file");
+  // Collective-free probe: attach streams are constructed in arbitrary
+  // per-file order across nodes, so each node reads the tiny footer itself.
+  probeIndex(/*viaBroadcast=*/false);
   setupPrefetch();
 }
 
@@ -58,8 +61,64 @@ void IStream::openFile(const std::string& fileName) {
   }
   node_->broadcastBytes(0, hdr);
   verifyFileHeader(hdr);
+  probeIndex(/*viaBroadcast=*/true);
   file_->seekShared(*node_, kFileHeaderBytes);
   setupPrefetch();
+}
+
+void IStream::probeIndex(bool viaBroadcast) {
+  indexValid_ = false;
+  dataEndFixed_ = false;
+  // The probe always runs: even with dsindexUseFooter off, the trailer must
+  // pin the end of the record chain or sequential replay would walk into
+  // the footer bytes. The option only gates *using* the index (and the
+  // hit/fallback accounting — replay by choice is not a fallback).
+  // Encoded probe verdict: [u8 status][u8 haveOffset][u64 footerOffset]
+  // [body bytes when Valid]. Node 0 (or, collective-free, every node)
+  // produces it; decodeBody re-verifies the CRC on each consumer.
+  ByteBuffer blob;
+  if (!viaBroadcast || node_->id() == 0) {
+    const dsindex::ProbeResult probe = dsindex::probeFooter(
+        [&](std::uint64_t off, std::span<Byte> out) {
+          return file_->readAt(*node_, off, out);
+        },
+        file_->size(), kFileHeaderBytes);
+    ByteWriter w(blob);
+    w.u8(static_cast<std::uint8_t>(probe.status));
+    // Chain end, pinned at open time: the footer offset when the
+    // self-checksummed trailer is intact (even over a damaged body), the
+    // file size otherwise. Pinning gives every node the same snapshot —
+    // atEnd() must not change verdict mid-read because some other node
+    // already raced ahead into a footer-appending close of its writer.
+    w.u64(probe.haveFooterOffset ? probe.footerOffset : file_->size());
+    if (probe.status == dsindex::ProbeStatus::Valid) {
+      w.bytes(probe.index.encodeBody());
+    }
+  }
+  if (viaBroadcast) node_->broadcastBytes(0, blob);
+  ByteReader r(blob);
+  const auto status = static_cast<dsindex::ProbeStatus>(r.u8());
+  dataEndFixed_ = true;
+  dataEnd_ = r.u64();
+  if (!opts_.dsindexUseFooter) return;
+  if (status == dsindex::ProbeStatus::Valid) {
+    index_ = dsindex::FileIndex::decodeBody(
+        std::span<const Byte>(blob).subspan(r.position()));
+    indexValid_ = true;
+    PCXX_OBS_COUNT(node_->obs(), DsIndexHits, 1);
+  } else {
+    PCXX_OBS_COUNT(node_->obs(), DsIndexFallbacks, 1);
+  }
+}
+
+const dsindex::IndexEntry* IStream::indexEntryAt(std::uint64_t offset) const {
+  const auto it = std::lower_bound(
+      index_.entries.begin(), index_.entries.end(), offset,
+      [](const dsindex::IndexEntry& e, std::uint64_t off) {
+        return e.offset < off;
+      });
+  if (it == index_.entries.end() || it->offset != offset) return nullptr;
+  return &*it;
 }
 
 IStream::~IStream() {
@@ -86,7 +145,52 @@ void IStream::rewind() {
 
 bool IStream::atEnd() const {
   if (state_ == State::Closed) return true;
-  return file_->sharedOffset() >= file_->size();
+  return file_->sharedOffset() >= chainEnd();
+}
+
+void IStream::seekRecord(std::uint32_t k) {
+  if (state_ == State::Closed) {
+    throw StateError("seekRecord on a closed d/stream");
+  }
+  PCXX_OBS_SPAN(node_->obs(), "ds.seek");
+  PCXX_OBS_COUNT(node_->obs(), DsIndexSeeks, 1);
+  if (indexValid_) {
+    if (k >= index_.entries.size()) {
+      throw UsageError("seekRecord(" + std::to_string(k) +
+                       "): the file's index has only " +
+                       std::to_string(index_.entries.size()) + " record(s)");
+    }
+    PCXX_OBS_COUNT(node_->obs(), DsIndexHits, 1);
+    file_->seekShared(*node_, index_.entries[static_cast<size_t>(k)].offset);
+    record_.reset();
+    state_ = State::Ready;
+    restartPrefetch();
+    return;
+  }
+  // No usable footer: replay the chain from the top with k header-only
+  // skips — same result, O(k) header reads.
+  PCXX_OBS_COUNT(node_->obs(), DsIndexFallbacks, 1);
+  file_->seekShared(*node_, kFileHeaderBytes);
+  record_.reset();
+  state_ = State::Ready;
+  restartPrefetch();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (atEnd()) {
+      throw UsageError("seekRecord(" + std::to_string(k) +
+                       "): the record chain ends after " + std::to_string(i) +
+                       " record(s)");
+    }
+    skipRecord();
+  }
+}
+
+void IStream::project(std::vector<std::uint32_t> fields) {
+  if (state_ == State::Closed) {
+    throw StateError("project on a closed d/stream");
+  }
+  std::sort(fields.begin(), fields.end());
+  fields.erase(std::unique(fields.begin(), fields.end()), fields.end());
+  projection_ = std::move(fields);
 }
 
 const RecordHeader& IStream::currentRecord() const {
@@ -168,7 +272,7 @@ RecordHeader IStream::skipRecord() {
   return header;
 }
 
-void IStream::readRecord(bool sorted) {
+void IStream::readNext(bool sorted) {
   if (state_ == State::Closed) {
     throw StateError("read on a closed d/stream");
   }
@@ -226,17 +330,41 @@ bool IStream::readRecordOnce(bool sorted) {
 
   ByteBuffer headerBytes;
   if (node_->id() == 0) {
-    Byte prefix[8];
-    const std::uint64_t got = file_->readAt(*node_, recordStart, prefix);
-    if (got == 8) {
-      try {
-        const std::uint64_t len = RecordHeader::encodedLength(prefix);
-        headerBytes.resize(len);
-        const std::uint64_t gotAll =
-            file_->readAt(*node_, recordStart, headerBytes);
-        if (gotAll != len) headerBytes.clear();
-      } catch (const FormatError&) {
-        headerBytes.clear();
+    // Indexed fast path: the footer already knows this record's header
+    // length, so one read replaces the prefix-then-header pair. Any
+    // disagreement with the bytes falls back to the probing path.
+    bool direct = false;
+    if (indexValid_) {
+      if (const dsindex::IndexEntry* entry = indexEntryAt(recordStart)) {
+        headerBytes.resize(entry->headerBytes);
+        if (file_->readAt(*node_, recordStart, headerBytes) ==
+            entry->headerBytes) {
+          try {
+            direct =
+                headerBytes.size() >= 8 &&
+                RecordHeader::encodedLength(
+                    std::span<const Byte>(headerBytes.data(), 8)) ==
+                    entry->headerBytes;
+          } catch (const FormatError&) {
+            direct = false;
+          }
+        }
+        if (!direct) headerBytes.clear();
+      }
+    }
+    if (!direct) {
+      Byte prefix[8];
+      const std::uint64_t got = file_->readAt(*node_, recordStart, prefix);
+      if (got == 8) {
+        try {
+          const std::uint64_t len = RecordHeader::encodedLength(prefix);
+          headerBytes.resize(len);
+          const std::uint64_t gotAll =
+              file_->readAt(*node_, recordStart, headerBytes);
+          if (gotAll != len) headerBytes.clear();
+        } catch (const FormatError&) {
+          headerBytes.clear();
+        }
       }
     }
   }
@@ -244,8 +372,8 @@ bool IStream::readRecordOnce(bool sorted) {
   if (headerBytes.empty()) {
     if (opts_.salvage) {
       // The framing itself is gone; nothing behind this point can be
-      // located without it, so the rest of the file is the damage.
-      return skipDamage(recordStart, file_->size(),
+      // located without it, so the rest of the record chain is the damage.
+      return skipDamage(recordStart, chainEnd(),
                         "truncated or invalid record header (torn tail)");
     }
     throw FormatError("truncated or invalid record header at offset " +
@@ -258,7 +386,7 @@ bool IStream::readRecordOnce(bool sorted) {
   } catch (const FormatError&) {
     // decode() throws identically on every node (the bytes were broadcast).
     if (opts_.salvage) {
-      return skipDamage(recordStart, file_->size(),
+      return skipDamage(recordStart, chainEnd(),
                         "record header checksum mismatch (torn tail)");
     }
     throw;
@@ -272,8 +400,8 @@ bool IStream::readRecordOnce(bool sorted) {
   const std::uint64_t recordEnd = recordStart + headerBytes.size() +
                                   header.sizeTableBytes() + header.dataBytes +
                                   header.trailerBytes();
-  if (opts_.salvage && recordEnd > file_->size()) {
-    return skipDamage(recordStart, file_->size(),
+  if (opts_.salvage && recordEnd > chainEnd()) {
+    return skipDamage(recordStart, chainEnd(),
                       "record extends past end of file (torn tail)");
   }
 
@@ -310,6 +438,19 @@ bool IStream::readRecordOnce(bool sorted) {
       return skipDamage(recordStart, recordEnd,
                         "size table inconsistent with record header");
     }
+  }
+
+  // ---- projected data (strided positional reads) ---------------------------
+  if (!projection_.empty()) {
+    ByteBuffer projChunk;
+    if (!readProjectedChunk(header, headerBytes.size(), chunkSizes,
+                            myChunkBytes, recordStart, recordEnd,
+                            projChunk)) {
+      return false;  // salvage skipped the record
+    }
+    PCXX_OBS_COUNT(node_->obs(), DsIndexProjections, 1);
+    return finishRecord(sorted, std::move(header), std::move(projChunk),
+                        std::move(chunkSizes), recordStart, recordEnd, rid);
   }
 
   // ---- data (phase 1: conforming contiguous read) --------------------------
@@ -352,7 +493,7 @@ bool IStream::checkTrailer(const RecordHeader& header, const ByteBuffer& chunk,
   node_->broadcastBytes(0, trailer);
   if (trailer.size() != 4) {
     if (opts_.salvage) {
-      return skipDamage(recordStart, file_->size(),
+      return skipDamage(recordStart, chainEnd(),
                         "data checksum trailer missing (torn tail)");
     }
     throw FormatError("record data checksum trailer missing (truncated?)");
@@ -365,6 +506,171 @@ bool IStream::checkTrailer(const RecordHeader& header, const ByteBuffer& chunk,
         "record data checksum mismatch: the element data was corrupted");
   }
   file_->seekShared(*node_, trailerAt + 4);
+  return true;
+}
+
+IStream::ProjectionMap IStream::projectionFor(
+    const RecordHeader& header) const {
+  ProjectionMap map;
+  const auto& inserts = header.inserts;
+  if (projection_.back() >= inserts.size()) {
+    throw UsageError("projection names insert " +
+                     std::to_string(projection_.back()) +
+                     " but the record has only " +
+                     std::to_string(inserts.size()) + " insert(s)");
+  }
+  // Within an element the inserts' fixed-size values are stored
+  // contiguously in insertion order, so a projected field's offset is the
+  // sum of the fixed sizes before it — which requires every insert up to
+  // the last projected one to BE fixed-size (trailing variable-size
+  // inserts are simply never visited).
+  std::uint64_t off = 0;
+  size_t next = 0;
+  for (std::uint32_t i = 0;
+       i < inserts.size() && next < projection_.size(); ++i) {
+    const InsertDesc& desc = inserts[i];
+    if (desc.fixedPerElement == 0) {
+      throw UsageError(
+          "field projection requires fixed-size fields: insert " +
+          std::to_string(i) +
+          " has a variable per-element size, so later field offsets are "
+          "not stride-computable");
+    }
+    if (projection_[next] == i) {
+      map.offsets.push_back(off);
+      map.lengths.push_back(desc.fixedPerElement);
+      map.descs.push_back(desc);
+      map.bytesPerElement += desc.fixedPerElement;
+      ++next;
+    }
+    off += desc.fixedPerElement;
+  }
+  map.coverStart = map.offsets.front();
+  map.coverEnd = map.offsets.back() + map.lengths.back();
+  return map;
+}
+
+bool IStream::readProjectedChunk(RecordHeader& header,
+                                 std::uint64_t headerLen,
+                                 std::vector<std::uint64_t>& chunkSizes,
+                                 std::uint64_t myChunkBytes,
+                                 std::uint64_t recordStart,
+                                 std::uint64_t recordEnd, ByteBuffer& out) {
+  // Throws UsageError identically on every node — the header bytes were
+  // broadcast — so no vote is needed for shape violations.
+  const ProjectionMap map = projectionFor(header);
+
+  // Element j of my chunk starts at dataAt + (bytes of preceding nodes'
+  // chunks) + (bytes of my preceding elements). The ordered size-table
+  // read only gave each node its own slice, so exchange the chunk totals.
+  const auto lens = node_->allgatherU64(myChunkBytes);
+  std::uint64_t before = 0;
+  for (int r = 0; r < node_->id(); ++r) {
+    before += lens[static_cast<size_t>(r)];
+  }
+
+  // Every element must carry the fixed prefix the projection reads from; a
+  // size table that says otherwise is node-local damage, so vote to keep
+  // the skip/throw decision collectively consistent.
+  std::uint64_t bad = 0;
+  for (const std::uint64_t sz : chunkSizes) {
+    if (sz < map.coverEnd) bad = 1;
+  }
+  if (node_->allreduceSumU64(bad) != 0) {
+    if (opts_.salvage) {
+      return skipDamage(recordStart, recordEnd,
+                        "element smaller than the projected field region");
+    }
+    throw FormatError(
+        "element smaller than the projected field region (size table "
+        "inconsistent with the record's insert shapes)");
+  }
+
+  const std::uint64_t dataAt =
+      recordStart + headerLen + header.sizeTableBytes();
+  const std::uint64_t coverLen = map.coverEnd - map.coverStart;
+
+  // Absolute covering span per local element, coalescing neighbours when
+  // the skipped gap costs no more than the span it saves re-seeking for.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  spans.reserve(chunkSizes.size());
+  std::uint64_t elemAbs = dataAt + before;
+  for (const std::uint64_t sz : chunkSizes) {
+    spans.emplace_back(elemAbs + map.coverStart, elemAbs + map.coverEnd);
+    elemAbs += sz;
+  }
+  out.clear();
+  out.reserve(chunkSizes.size() *
+              static_cast<size_t>(map.bytesPerElement));
+  ByteBuffer scratch;
+  size_t j = 0;
+  while (j < spans.size()) {
+    size_t k = j + 1;
+    std::uint64_t runEnd = spans[j].second;
+    while (k < spans.size() && spans[k].first - runEnd <= coverLen) {
+      runEnd = spans[k].second;
+      ++k;
+    }
+    const std::uint64_t runStart = spans[j].first;
+    scratch.resize(static_cast<size_t>(runEnd - runStart));
+    if (file_->readAt(*node_, runStart, scratch) != scratch.size()) {
+      throw IoError("projected read ran past end of file at offset " +
+                    std::to_string(runStart));
+    }
+    for (size_t e = j; e < k; ++e) {
+      const Byte* elem =
+          scratch.data() + (spans[e].first - runStart) - map.coverStart;
+      for (size_t f = 0; f < map.offsets.size(); ++f) {
+        const Byte* src = elem + map.offsets[f];
+        out.insert(out.end(), src, src + map.lengths[f]);
+      }
+    }
+    j = k;
+  }
+
+  // The record is consumed: advance the shared cursor past data + trailer
+  // in one collective move (the data CRC cannot be verified — the full
+  // section was never fetched).
+  file_->seekShared(*node_, recordEnd);
+
+  // Rewrite the record to its projected shape: extraction sees exactly the
+  // projected fields, each element now a fixed bytesPerElement slice.
+  header.inserts = map.descs;
+  chunkSizes.assign(chunkSizes.size(), map.bytesPerElement);
+  return true;
+}
+
+bool IStream::applyProjectionInMemory(RecordHeader& header, ByteBuffer& chunk,
+                                      std::vector<std::uint64_t>& chunkSizes,
+                                      std::uint64_t recordStart,
+                                      std::uint64_t recordEnd) {
+  const ProjectionMap map = projectionFor(header);
+  std::uint64_t bad = 0;
+  for (const std::uint64_t sz : chunkSizes) {
+    if (sz < map.coverEnd) bad = 1;
+  }
+  if (node_->allreduceSumU64(bad) != 0) {
+    if (opts_.salvage) {
+      return skipDamage(recordStart, recordEnd,
+                        "element smaller than the projected field region");
+    }
+    throw FormatError(
+        "element smaller than the projected field region (size table "
+        "inconsistent with the record's insert shapes)");
+  }
+  ByteBuffer proj;
+  proj.reserve(chunkSizes.size() * static_cast<size_t>(map.bytesPerElement));
+  std::uint64_t pos = 0;
+  for (const std::uint64_t sz : chunkSizes) {
+    for (size_t f = 0; f < map.offsets.size(); ++f) {
+      const Byte* src = chunk.data() + pos + map.offsets[f];
+      proj.insert(proj.end(), src, src + map.lengths[f]);
+    }
+    pos += sz;
+  }
+  chunk = std::move(proj);
+  header.inserts = map.descs;
+  chunkSizes.assign(chunkSizes.size(), map.bytesPerElement);
   return true;
 }
 
@@ -780,6 +1086,16 @@ int IStream::tryPrefetched(bool sorted) {
   if (!checkTrailer(header, r.dataChunk, myChunkBytes, recordStart, r.next)) {
     restartPrefetch();
     return 0;
+  }
+  if (!projection_.empty()) {
+    // The full chunk is already in memory (and CRC-verified above), so the
+    // projection is a stride copy rather than a strided read.
+    if (!applyProjectionInMemory(header, r.dataChunk, chunkSizes, recordStart,
+                                 r.next)) {
+      restartPrefetch();
+      return 0;
+    }
+    PCXX_OBS_COUNT(node_->obs(), DsIndexProjections, 1);
   }
   if (!finishRecord(sorted, std::move(header), std::move(r.dataChunk),
                     std::move(chunkSizes), recordStart, r.next, rid)) {

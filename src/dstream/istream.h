@@ -20,11 +20,14 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "aio/aio.h"
 #include "collection/collection.h"
+#include "dsindex/dsindex.h"
 #include "dstream/element_io.h"
 #include "dstream/record.h"
 #include "dstream/salvage.h"
@@ -63,11 +66,56 @@ class IStream {
 
   /// Read the next record; extracted arrays preserve element order even if
   /// the node count or distribution changed since the write.
-  void read() { readRecord(/*sorted=*/true); }
+  void read() { readNext(/*sorted=*/true); }
 
   /// Read the next record without the order guarantee (and without the
   /// interprocessor communication).
-  void unsortedRead() { readRecord(/*sorted=*/false); }
+  void unsortedRead() { readNext(/*sorted=*/false); }
+
+  /// Position the stream at record `k` (collective). On a file with a valid
+  /// index footer this is a single cursor move — no I/O; without one the
+  /// chain is replayed with k header-only skips (and `dsindex.fallbacks`
+  /// counts the degradation). Throws UsageError when the file has fewer
+  /// than k+1 records.
+  void seekRecord(std::uint32_t k);
+
+  /// seekRecord(k) followed by a sorted read: random access to one record
+  /// in O(1) pfs read ops on an indexed file. Collective.
+  void readRecord(std::uint32_t k) {
+    seekRecord(k);
+    read();
+  }
+
+  /// Read an arbitrary subset of records: for each index k (in the given
+  /// order) the record is seeked, read, and handed to `extract(k)` for
+  /// extraction. Only the selected records' bytes are fetched; each read
+  /// reuses the stream's redistribution plans as usual. Collective.
+  template <typename Fn>
+  void readRecords(std::span<const std::uint32_t> indices, Fn&& extract) {
+    for (const std::uint32_t k : indices) {
+      readRecord(k);
+      extract(k);
+    }
+  }
+  template <typename Fn>
+  void readRecords(const std::vector<std::uint32_t>& indices, Fn&& extract) {
+    readRecords(std::span<const std::uint32_t>(indices),
+                std::forward<Fn>(extract));
+  }
+
+  /// Field projection: restrict subsequent reads to the given insert
+  /// positions ("fields") of each record, in ascending order. The
+  /// interleave format stores an element's fixed-size fields contiguously,
+  /// so a projected read fetches only those byte ranges (a strided read)
+  /// instead of the whole data section; currentRecord().inserts and the
+  /// extract sequence then see exactly the projected fields. Every
+  /// projected insert — and every insert before it — must have a fixed
+  /// per-element size (trailing variable-size inserts may be skipped);
+  /// violations surface as UsageError at the next read. Projected reads
+  /// skip data-CRC verification (the full section is never fetched). An
+  /// empty list clears the projection. Node-local configuration: call it
+  /// identically on every node before the next collective read.
+  void project(std::vector<std::uint32_t> fields);
 
   /// Skip the next record without reading its element data (only the
   /// header is read to learn the extent). Returns the skipped record's
@@ -129,14 +177,58 @@ class IStream {
   /// True when read-ahead prefetch is active for this stream.
   bool asyncActive() const { return prefetcher_ != nullptr; }
 
+  /// True when a valid index footer is driving this stream (seeks are O(1)).
+  bool indexed() const { return indexValid_; }
+
+  /// Record count per the index footer; nullopt without a valid footer.
+  std::optional<std::uint64_t> indexedRecordCount() const {
+    if (!indexValid_) return std::nullopt;
+    return index_.entries.size();
+  }
+
  private:
   enum class State { Ready, Extracting, Closed };
 
+  /// Within-element geometry of an active projection against one record's
+  /// insert list: where each projected field lives inside the fixed-size
+  /// prefix every element carries.
+  struct ProjectionMap {
+    std::vector<std::uint64_t> offsets;   // within-element, per projected field
+    std::vector<std::uint32_t> lengths;   // bytes per element, per field
+    std::vector<InsertDesc> descs;        // the projected insert descriptors
+    std::uint64_t bytesPerElement = 0;    // sum of lengths
+    std::uint64_t coverStart = 0;         // first projected byte
+    std::uint64_t coverEnd = 0;           // one past the last projected byte
+  };
+
   void openFile(const std::string& fileName);
+  /// Probe the file tail for an index footer and adopt it (or record the
+  /// fallback). With `viaBroadcast` node 0 probes and broadcasts the result
+  /// (the named-open constructors); otherwise every node reads the tiny
+  /// footer itself — the attach constructor must stay collective-free.
+  void probeIndex(bool viaBroadcast);
+  const dsindex::IndexEntry* indexEntryAt(std::uint64_t offset) const;
   void setupPrefetch();
   /// (Re)point the read-ahead chain at the shared cursor.
   void restartPrefetch();
-  void readRecord(bool sorted);
+  void readNext(bool sorted);
+  ProjectionMap projectionFor(const RecordHeader& header) const;
+  /// Synchronous-path projected data fetch: strided positional reads of
+  /// only the projected byte ranges, then rewrite of header/chunkSizes to
+  /// the projected shape and a collective seek past the record. False =
+  /// salvage skipped the record.
+  bool readProjectedChunk(RecordHeader& header, std::uint64_t headerLen,
+                          std::vector<std::uint64_t>& chunkSizes,
+                          std::uint64_t myChunkBytes,
+                          std::uint64_t recordStart, std::uint64_t recordEnd,
+                          ByteBuffer& out);
+  /// Prefetch-path projection: stride-copy the projected fields out of the
+  /// already-fetched full chunk (byte-identical to the strided read).
+  /// False = salvage skipped the record.
+  bool applyProjectionInMemory(RecordHeader& header, ByteBuffer& chunk,
+                               std::vector<std::uint64_t>& chunkSizes,
+                               std::uint64_t recordStart,
+                               std::uint64_t recordEnd);
   /// One record-read attempt. True: a record is ready for extraction.
   /// False (salvage mode only): damage was skipped — the shared cursor has
   /// advanced past it and the caller should retry or stop at end of file.
@@ -172,6 +264,12 @@ class IStream {
   bool skipDamage(std::uint64_t from, std::uint64_t to, std::string reason);
   void checkExtract(const coll::Layout& collectionLayout, std::uint32_t tag,
                     InsertKind kind) const;
+
+  /// One past the last record byte: the footer offset when an intact
+  /// trailer pinned it, else the end of the file.
+  std::uint64_t chainEnd() const {
+    return dataEndFixed_ ? dataEnd_ : file_->size();
+  }
 
   const Byte* elementData(std::int64_t j) const {
     return buffer_.data() + elemOffsets_[static_cast<size_t>(j)];
@@ -217,6 +315,16 @@ class IStream {
   double prefetchEpoch_ = 0.0;      ///< modeled time the chain started
   double prefetchPrevReady_ = 0.0;  ///< modeled end of the previous fetch
   std::vector<double> prefetchConsumedAt_;  ///< consume time per chain slot
+
+  // dsindex footer state. With a verified footer, index_ drives O(1)
+  // seeks and dataEnd_ bounds the chain exactly (the footer bytes are
+  // never mistaken for a record). An intact trailer alone still fixes
+  // dataEnd_ even when the body is damaged.
+  dsindex::FileIndex index_;
+  bool indexValid_ = false;
+  bool dataEndFixed_ = false;
+  std::uint64_t dataEnd_ = 0;
+  std::vector<std::uint32_t> projection_;  ///< sorted unique insert indices
 };
 
 }  // namespace pcxx::ds

@@ -73,11 +73,38 @@ void OStream::openFile(const std::string& fileName) {
     }
     node_->broadcastBytes(0, hdr);
     verifyFileHeader(hdr);
-    file_->seekShared(*node_, file_->size());
+    // Probe for an existing index footer. Valid: adopt its entries and
+    // position at the footer so new records overwrite it (the grown footer
+    // is re-appended on close — always at least as long, so no stale tail
+    // survives). Absent or corrupt: entries for the existing records are
+    // unknown, so the file stays a plain chain and no footer is appended.
+    ByteBuffer indexBody;
+    if (node_->id() == 0) {
+      const dsindex::ProbeResult probe = dsindex::probeFooter(
+          [&](std::uint64_t off, std::span<Byte> out) {
+            return file_->readAt(*node_, off, out);
+          },
+          file_->size(), kFileHeaderBytes);
+      if (probe.status == dsindex::ProbeStatus::Valid) {
+        indexBody = probe.index.encodeBody();
+      }
+    }
+    node_->broadcastBytes(0, indexBody);
+    if (!indexBody.empty()) {
+      index_ = dsindex::FileIndex::decodeBody(indexBody);
+      footerEnabled_ = true;
+      const std::uint64_t footerAt = index_.entries.empty()
+                                         ? kFileHeaderBytes
+                                         : index_.entries.back().end();
+      file_->seekShared(*node_, footerAt);
+    } else {
+      file_->seekShared(*node_, file_->size());
+    }
     setupAsync();
     return;
   }
   file_ = fs_->open(*node_, fileName, pfs::OpenMode::Create);
+  footerEnabled_ = opts_.indexFooter;
   if (node_->id() == 0) {
     const ByteBuffer hdr = encodeFileHeader();
     file_->writeAt(*node_, 0, hdr);
@@ -88,19 +115,29 @@ void OStream::openFile(const std::string& fileName) {
 
 OStream::~OStream() {
   if (state_ == State::Closed) return;
-  if (state_ == State::Inserting) {
+  const bool pendingInserts = state_ == State::Inserting;
+  if (pendingInserts) {
     PCXX_LOG_WARN(
         "OStream('%s') destroyed with inserts that were never written",
         file_ != nullptr ? file_->name().c_str() : "?");
   }
   state_ = State::Closed;
-  if (writer_ != nullptr && writer_->failed()) {
+  const bool writeBehindFailed = writer_ != nullptr && writer_->failed();
+  if (writeBehindFailed) {
     PCXX_LOG_WARN(
         "OStream('%s') destroyed with an unobserved write-behind failure; "
         "the file keeps its durable prefix (call close() to observe errors)",
         file_ != nullptr ? file_->name().c_str() : "?");
   }
   writer_.reset();  // best-effort flush of queued blocks; never throws
+  if (!pendingInserts && !writeBehindFailed) {
+    // appendFooter is collective-free, so it is safe here; a failure only
+    // costs the accelerator (readers fall back to chain replay).
+    try {
+      appendFooter();
+    } catch (...) {
+    }
+  }
   file_.reset();
 }
 
@@ -123,7 +160,31 @@ void OStream::close() {
     }
     writer_.reset();
   }
+  appendFooter();
   file_.reset();
+}
+
+std::uint32_t OStream::layoutDigest() {
+  if (!layoutDigestReady_) {
+    ByteBuffer enc;
+    ByteWriter w(enc);
+    layout_.encode(w);
+    layoutDigest_ = crc32(enc);
+    layoutDigestReady_ = true;
+  }
+  return layoutDigest_;
+}
+
+void OStream::appendFooter() {
+  if (!footerEnabled_ || file_ == nullptr) return;
+  footerEnabled_ = false;  // at most one footer per stream
+  const std::uint64_t footerAt = file_->sharedOffset();
+  if (node_->id() == 0) {
+    const ByteBuffer footer = index_.encodeFooter(footerAt);
+    file_->writeAt(*node_, footerAt, footer);
+    if (opts_.syncOnWrite) file_->syncStorage();
+  }
+  PCXX_OBS_COUNT(node_->obs(), DsIndexFooterWrites, 1);
 }
 
 void OStream::checkInsert(const coll::Layout& collectionLayout) const {
@@ -225,9 +286,14 @@ void OStream::write() {
   ByteBuffer headerBytes;
   std::uint32_t dataCrc = 0;
   std::uint64_t totalBytes = 0;
+  // The allgather replaces the former allreduce at the same collective
+  // cost: its sum is the record's total data bytes, and the per-node
+  // vector is exactly the extent table the index footer records.
+  std::vector<std::uint64_t> extents;
   {
     PCXX_OBS_PHASE(node_->obs(), "ds.header", DsHeaderSeconds);
-    totalBytes = node_->allreduceSumU64(localBytes);
+    extents = node_->allgatherU64(localBytes);
+    for (const std::uint64_t b : extents) totalBytes += b;
   }
   const HeaderMode mode = chooseHeaderMode();
   RecordHeader header{recordSeq_, mode, layout_, descs_, totalBytes};
@@ -257,10 +323,14 @@ void OStream::write() {
   // collective sync(); see docs/ASYNC.md for the durability ordering.
   const bool syncViaFlusher = writer_ != nullptr && opts_.syncOnWrite;
 
+  // The shared cursor sits exactly at the record's first byte in both
+  // header modes (reservations advance it synchronously even when the
+  // data travels via the write-behind flusher).
+  const std::uint64_t recordStart = file_->sharedOffset();
+
   if (mode == HeaderMode::Parallel) {
     // Node 0 writes the header; the size table and data go out as two
     // parallel node-order writes.
-    const std::uint64_t recordStart = file_->sharedOffset();
     if (node_->id() == 0) {
       file_->writeAt(*node_, recordStart, headerBytes);
     }
@@ -348,6 +418,18 @@ void OStream::write() {
 
   if (opts_.syncOnWrite && writer_ == nullptr) {
     file_->sync(*node_);
+  }
+
+  if (footerEnabled_) {
+    dsindex::IndexEntry entry;
+    entry.offset = recordStart;
+    entry.headerBytes = static_cast<std::uint32_t>(headerBytes.size());
+    entry.recordFlags = header.flags;
+    entry.recordBytes = file_->sharedOffset() - recordStart;
+    entry.dataBytes = totalBytes;
+    entry.layoutDigest = layoutDigest();
+    entry.extents = extents;
+    index_.entries.push_back(std::move(entry));
   }
 
   // Reset per-record state (Figure 2: back to the post-open state).

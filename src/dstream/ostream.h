@@ -26,6 +26,7 @@
 
 #include "aio/aio.h"
 #include "collection/collection.h"
+#include "dsindex/dsindex.h"
 #include "dstream/element_io.h"
 #include "dstream/record.h"
 #include "dstream/stream_common.h"
@@ -104,7 +105,9 @@ class OStream {
   /// Close the stream (also called by the destructor). Pending inserts that
   /// were never written are an error when closing explicitly. Drains the
   /// write-behind queue first: close() returning normally means every
-  /// record is in storage.
+  /// record is in storage. With StreamOptions::indexFooter the close then
+  /// appends the dsindex footer (docs/FORMAT.md, "Index footer") so readers
+  /// can seek records in O(1).
   void close();
 
   /// True when asynchronous write-behind is active for this stream.
@@ -135,6 +138,11 @@ class OStream {
                    std::uint32_t fixedPerElement);
   std::vector<Entry>& entriesFor(std::int64_t localIdx);
   HeaderMode chooseHeaderMode() const;
+  std::uint32_t layoutDigest();
+  /// Append the index footer at the shared cursor. Collective-free by
+  /// design (the cursor is already identical on every node and only node 0
+  /// writes) so the destructor may call it safely.
+  void appendFooter();
 
   rt::Node* node_;
   pfs::Pfs* fs_;
@@ -149,6 +157,15 @@ class OStream {
   detail::Arena arena_;
   std::uint32_t recordSeq_ = 0;
   std::unique_ptr<aio::Writer> writer_;  // null = synchronous path
+
+  // dsindex footer state: entries accumulate per write() and are appended
+  // as the footer on close. Disabled for attach-to-shared-file streams
+  // (they do not own the file end) and when appending to a file that has
+  // no valid footer to extend.
+  dsindex::FileIndex index_;
+  bool footerEnabled_ = false;
+  std::uint32_t layoutDigest_ = 0;
+  bool layoutDigestReady_ = false;
 };
 
 }  // namespace pcxx::ds

@@ -35,6 +35,19 @@ struct StreamOptions {
   /// salvageReport() accounts for the losses.
   bool salvage = false;
 
+  // -- pcxx::dsindex (see docs/FORMAT.md, "Index footer") --------------------
+  /// Output streams: append a self-describing index footer (per-record
+  /// offsets, per-node extents, layout digest, CRC) on close so readers can
+  /// seek to record k in O(1). The record chain's bytes are unchanged — the
+  /// footer is an accelerator, never a format break.
+  bool indexFooter = true;
+  /// Input streams: use the index footer when present. Off = chain replay
+  /// only (seekRecord walks, headers are probed, no dsindex.hits/fallbacks
+  /// accounting); the footer's trailer is still honoured as the chain-end
+  /// marker so replay never walks into the footer bytes. Corrupt footers
+  /// always fall back to replay regardless of this flag.
+  bool dsindexUseFooter = true;
+
   // -- pcxx::redist (see docs/REDIST.md) -------------------------------------
   /// Sorted reads under a changed layout: use the cached-plan redistribution
   /// engine (pcxx::redist). Off = the legacy per-record enumeration + map

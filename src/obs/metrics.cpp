@@ -46,6 +46,11 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "rt.chaos_duplicated",
     "rt.chaos_reordered",
     "rt.chaos_skewed",
+    "dsindex.footer_writes",
+    "dsindex.hits",
+    "dsindex.fallbacks",
+    "dsindex.seeks",
+    "dsindex.projections",
 };
 
 constexpr const char* kTimerNames[kNumTimers] = {

@@ -80,6 +80,11 @@ enum class Counter : int {
   RtChaosDuplicated,   ///< p2p messages duplicated by a ChaosPlan
   RtChaosReordered,    ///< p2p messages reorder-deferred by a ChaosPlan
   RtChaosSkewed,       ///< collective arrivals skew-injected by a ChaosPlan
+  DsIndexFooterWrites, ///< index footers appended on stream close
+  DsIndexHits,         ///< reader operations served by a valid index footer
+  DsIndexFallbacks,    ///< footer absent/corrupt: chain replay used instead
+  DsIndexSeeks,        ///< seekRecord() calls (indexed or replayed)
+  DsIndexProjections,  ///< records read under a field projection
   kCount
 };
 

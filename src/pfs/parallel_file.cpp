@@ -367,6 +367,14 @@ std::uint64_t ParallelFile::readAt(rt::Node& node, std::uint64_t offset,
   return n;
 }
 
+std::uint64_t ParallelFile::readTail(rt::Node& node, std::span<Byte> out) {
+  if (out.empty()) return 0;
+  const std::uint64_t fileBytes = storage_->size();
+  const std::uint64_t n = std::min<std::uint64_t>(out.size(), fileBytes);
+  if (n == 0) return 0;
+  return readAt(node, fileBytes - n, out.subspan(0, static_cast<size_t>(n)));
+}
+
 std::uint64_t ParallelFile::writeOrdered(rt::Node& node,
                                          std::span<const Byte> myBlock) {
   PCXX_OBS_PHASE(node.obs(), "pfs.writeOrdered", PfsWriteSeconds);

@@ -122,6 +122,12 @@ class ParallelFile {
   std::uint64_t readAt(rt::Node& node, std::uint64_t offset,
                        std::span<Byte> out);
 
+  /// EOF-relative positional read: fill `out` with the final `out.size()`
+  /// bytes of the file (one readAt at size() - out.size()). Returns bytes
+  /// read — fewer than requested only when the file is shorter than the
+  /// request. Index-footer probes use this to find the trailer at EOF.
+  std::uint64_t readTail(rt::Node& node, std::span<Byte> out);
+
   // -- collective operations (node-order parallel I/O) ----------------------
 
   /// Every node contributes one contiguous block; blocks are placed at the

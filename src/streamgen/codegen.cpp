@@ -78,7 +78,82 @@ void emitField(std::ostringstream& os, const StructDef& def, const Field& f,
   }
 }
 
+/// Types the runtime streams as raw fixed-size bytes (the
+/// detail::kStreamableScalar set): for these, sizeof() is the encoded size.
+bool isScalarTypeName(const std::string& t) {
+  static const char* const kNames[] = {
+      "bool",          "char",          "signed char",  "unsigned char",
+      "short",         "unsigned short", "int",          "unsigned",
+      "unsigned int",  "long",          "unsigned long", "long long",
+      "unsigned long long",             "float",        "double",
+      "int8_t",        "int16_t",       "int32_t",      "int64_t",
+      "uint8_t",       "uint16_t",      "uint32_t",     "uint64_t",
+      "std::int8_t",   "std::int16_t",  "std::int32_t", "std::int64_t",
+      "std::uint8_t",  "std::uint16_t", "std::uint32_t", "std::uint64_t",
+      "std::size_t",   "size_t"};
+  for (const char* n : kNames) {
+    if (t == n) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+std::string generateFixedBytesConstant(const StructDef& def) {
+  // The interleave format stores an element's fixed-size fields
+  // contiguously, so a type whose streamed fields are all fixed-size can be
+  // read back per field with IStream::project() strided reads. The constant
+  // documents that eligibility: the encoded bytes per element, or 0 when a
+  // dynamic field (sized pointer, vector, string, recursion) makes the
+  // element size data-dependent.
+  bool variable = false;
+  std::vector<std::string> terms;
+  for (const Field& f : def.fields) {
+    switch (f.category) {
+      case FieldCategory::Skipped:
+        break;
+      case FieldCategory::Scalar:
+        if (isScalarTypeName(f.typeName)) {
+          terms.push_back("sizeof(" + f.typeName + ")");
+        } else {
+          variable = true;  // nested type: encoded size unknown here
+        }
+        break;
+      case FieldCategory::FixedArray:
+        if (isScalarTypeName(f.typeName)) {
+          std::string term = "sizeof(" + f.typeName + ")";
+          for (const std::string& dim : f.arrayDims) {
+            term += " * " + dim;
+          }
+          terms.push_back(term);
+        } else {
+          variable = true;
+        }
+        break;
+      default:
+        variable = true;
+        break;
+    }
+    if (variable) break;
+  }
+  std::ostringstream os;
+  os << "/// Encoded bytes per " << def.name
+     << " element; 0 = variable (dynamic fields).\n"
+     << "/// Nonzero marks the type eligible for IStream::project() strided "
+        "field reads.\n"
+     << "inline constexpr std::uint64_t kStreamFixedBytes_" << def.name
+     << " =\n    ";
+  if (variable || terms.empty()) {
+    os << "0";
+  } else {
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (i != 0) os << " + ";
+      os << terms[i];
+    }
+  }
+  os << ";\n";
+  return os.str();
+}
 
 std::string generateInserter(const StructDef& def) {
   std::ostringstream os;
@@ -127,10 +202,12 @@ std::string generate(const ParsedUnit& unit, const CodegenOptions& options) {
       const std::string nsPath =
           def.qualifiedName.substr(0, def.qualifiedName.rfind("::"));
       os << "namespace " << nsPath << " {\n";
-      os << generateInserter(def) << "\n" << generateExtractor(def);
+      os << generateInserter(def) << "\n" << generateExtractor(def) << "\n"
+         << generateFixedBytesConstant(def);
       os << "}  // namespace " << nsPath << "\n\n";
     } else {
-      os << generateInserter(def) << "\n" << generateExtractor(def) << "\n";
+      os << generateInserter(def) << "\n" << generateExtractor(def) << "\n"
+         << generateFixedBytesConstant(def) << "\n";
     }
   }
   os << "#endif  // " << options.guardMacro << "\n";

@@ -25,4 +25,9 @@ std::string generateInserter(const StructDef& def);
 /// Generate only the extraction function for one struct (testing).
 std::string generateExtractor(const StructDef& def);
 
+/// Generate the kStreamFixedBytes_<Name> constant: encoded bytes per
+/// element when every streamed field is fixed-size (eligible for
+/// IStream::project()), 0 when any field is data-dependent.
+std::string generateFixedBytesConstant(const StructDef& def);
+
 }  // namespace pcxx::sg

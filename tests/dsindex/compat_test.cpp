@@ -1,0 +1,205 @@
+// Backward/forward compatibility of the index footer.
+//
+//  * Backward: a checked-in pre-footer fixture (written before the footer
+//    existed / with indexFooter=false) must still read cleanly with a
+//    footer-aware reader — the probe reports Absent and replay takes over.
+//  * Forward: a footer'd file read with dsindexUseFooter=false must deliver
+//    exactly the same bytes as the indexed read — the option changes the
+//    access path, never the data.
+//  * dsdump --verify exits 0 on both shapes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/dstream/dstream.h"
+#include "tests/common/test_helpers.h"
+
+#ifndef PCXX_DSDUMP_PATH
+#error "PCXX_DSDUMP_PATH must be defined by the build"
+#endif
+#ifndef PCXX_REPO_ROOT
+#error "PCXX_REPO_ROOT must be defined by the build"
+#endif
+
+namespace {
+
+using namespace pcxx;
+namespace stdfs = std::filesystem;
+
+// The fixture's shape (see tests/dsindex/fixtures/README.md): 2 writer
+// nodes, Block over 8 ints, 2 records, element value g * 3 + r * 7.
+constexpr std::int64_t kFixtureElements = 8;
+constexpr int kFixtureRecords = 2;
+
+const stdfs::path kFixture = stdfs::path(PCXX_REPO_ROOT) / "tests" /
+                             "dsindex" / "fixtures" / "prefooter_v1.ds";
+
+ByteBuffer loadFixture() {
+  std::ifstream in(kFixture, std::ios::binary);
+  EXPECT_TRUE(in.good()) << kFixture;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  ByteBuffer bytes(s.size());
+  std::memcpy(bytes.data(), s.data(), s.size());
+  return bytes;
+}
+
+std::pair<int, std::string> runDsdump(const std::string& args) {
+  const stdfs::path outPath =
+      stdfs::temp_directory_path() /
+      ("pcxx_compat_" + std::to_string(::getpid()) + ".out");
+  const std::string cmd = std::string(PCXX_DSDUMP_PATH) + " " + args + " > " +
+                          outPath.string() + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::ifstream in(outPath);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  stdfs::remove(outPath);
+  return {WEXITSTATUS(rc), ss.str()};
+}
+
+TEST(Compat, PreFooterFixtureStillReads) {
+  const ByteBuffer image = loadFixture();
+  ASSERT_FALSE(image.empty());
+
+  pfs::Pfs fs = test::memFs();
+  rt::Machine install(1);
+  install.run([&](rt::Node& node) {
+    auto f = fs.open(node, "old.ds", pfs::OpenMode::Create);
+    f->writeAt(node, 0, image);
+  });
+
+  rt::Machine m(2);
+  std::atomic<std::int64_t> bad{0};
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(kFixtureElements, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::IStream is(fs, &d, "old.ds");
+    EXPECT_FALSE(is.indexed());
+    EXPECT_EQ(is.indexedRecordCount(), std::nullopt);
+    for (int r = 0; r < kFixtureRecords; ++r) {
+      is.read();
+      is >> g;
+      g.forEachLocal([&, r](int& v, std::int64_t i) {
+        if (v != static_cast<int>(i * 3 + r * 7)) bad.fetch_add(1);
+      });
+    }
+    EXPECT_TRUE(is.atEnd());
+    // Random access works too — by replay.
+    is.readRecord(1);
+    is >> g;
+    g.forEachLocal([&](int& v, std::int64_t i) {
+      if (v != static_cast<int>(i * 3 + 7)) bad.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Compat, FooterIgnoredReadMatchesIndexedReadByteForByte) {
+  pfs::Pfs fs = test::memFs();
+  const std::int64_t n = 11;
+  const int records = 3;
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(n, &P, coll::DistKind::Cyclic);
+    coll::Collection<double> g(&d);
+    ds::OStream s(fs, &d, "new.ds");
+    for (int r = 0; r < records; ++r) {
+      g.forEachLocal([r](double& v, std::int64_t i) {
+        v = static_cast<double>(i) * 1.5 + r;
+      });
+      s << g;
+      s.write();
+    }
+  });
+
+  // Extract with and without the index; compare raw element bytes in
+  // deterministic (node, local) order.
+  auto extractAll = [&](bool useFooter) {
+    std::vector<std::array<ByteBuffer, 2>> perNode(
+        static_cast<size_t>(records));
+    m.run([&](rt::Node& node) {
+      coll::Processors P;
+      coll::Distribution d(n, &P, coll::DistKind::Cyclic);
+      coll::Collection<double> g(&d);
+      ds::StreamOptions so;
+      so.dsindexUseFooter = useFooter;
+      ds::IStream is(fs, &d, "new.ds", so);
+      EXPECT_EQ(is.indexed(), useFooter);
+      for (int r = 0; r < records; ++r) {
+        is.read();
+        is >> g;
+        ByteBuffer& out =
+            perNode[static_cast<size_t>(r)][static_cast<size_t>(node.id())];
+        g.forEachLocal([&](double& v, std::int64_t) {
+          const Byte* p = reinterpret_cast<const Byte*>(&v);
+          out.insert(out.end(), p, p + 8);
+        });
+      }
+    });
+    std::vector<ByteBuffer> perRecord(static_cast<size_t>(records));
+    for (size_t r = 0; r < perRecord.size(); ++r) {
+      perRecord[r] = perNode[r][0];
+      perRecord[r].insert(perRecord[r].end(), perNode[r][1].begin(),
+                          perNode[r][1].end());
+    }
+    return perRecord;
+  };
+
+  const auto indexed = extractAll(true);
+  const auto replayed = extractAll(false);
+  for (int r = 0; r < records; ++r) {
+    EXPECT_EQ(indexed[static_cast<size_t>(r)],
+              replayed[static_cast<size_t>(r)])
+        << "record " << r;
+    EXPECT_FALSE(indexed[static_cast<size_t>(r)].empty());
+  }
+}
+
+TEST(Compat, DsdumpVerifiesBothShapesWithExitZero) {
+  // The pre-footer fixture, straight from the repository.
+  auto [rcOld, outOld] = runDsdump("--verify " + kFixture.string());
+  EXPECT_EQ(rcOld, 0) << outOld;
+  EXPECT_NE(outOld.find("clean"), std::string::npos) << outOld;
+
+  // A freshly written footer'd file on a POSIX-backed pfs.
+  const stdfs::path dir = stdfs::temp_directory_path() /
+                          ("pcxx_compat_dir_" + std::to_string(::getpid()));
+  stdfs::create_directories(dir);
+  pfs::PfsConfig cfg;
+  cfg.backend = pfs::PfsConfig::Backend::Posix;
+  cfg.dir = dir.string();
+  pfs::Pfs fs(cfg);
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(9, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    g.forEachLocal([](double& v, std::int64_t i) {
+      v = static_cast<double>(i);
+    });
+    ds::OStream s(fs, &d, "footered.ds");
+    s << g;
+    s.write();
+  });
+  auto [rcNew, outNew] = runDsdump("--verify " +
+                                   (dir / "footered.ds").string());
+  EXPECT_EQ(rcNew, 0) << outNew;
+  auto [rcDeep, outDeep] = runDsdump("--verify --deep " +
+                                     (dir / "footered.ds").string());
+  EXPECT_EQ(rcDeep, 0) << outDeep;
+  stdfs::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+// Seeded corruption battery over the index footer: every way the footer can
+// be damaged — truncated, bit-flipped, magic overwritten, lying offsets,
+// record-count mismatch, torn by a short write at append time — must
+// degrade to chain replay that returns exactly the pristine records, with
+// dsindex.fallbacks accounting for the degradation. Never a crash, never a
+// misread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/dsindex/dsindex.h"
+#include "src/dstream/dstream.h"
+#include "src/pfs/fault_plan.h"
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+constexpr int kRecords = 4;
+constexpr std::int64_t kElements = 12;
+
+/// Write the reference file: kRecords records of doubles, 2 nodes, block.
+void writeReference(pfs::Pfs& fs, const std::string& name) {
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(kElements, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    ds::OStream s(fs, &d, name);
+    for (int r = 0; r < kRecords; ++r) {
+      g.forEachLocal([r](double& v, std::int64_t i) {
+        v = static_cast<double>(i) + r * 1000.0;
+      });
+      s << g;
+      s.write();
+    }
+  });
+}
+
+/// Raw byte image of a mem-backed pfs file.
+ByteBuffer fileImage(pfs::Pfs& fs, const std::string& name) {
+  ByteBuffer image;
+  rt::Machine m(1);
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, name, pfs::OpenMode::Read);
+    image.resize(static_cast<size_t>(f->size()));
+    f->readAt(node, 0, image);
+  });
+  return image;
+}
+
+/// Create `name` holding exactly `image`.
+void installImage(pfs::Pfs& fs, const std::string& name,
+                  const ByteBuffer& image) {
+  rt::Machine m(1);
+  m.run([&](rt::Node& node) {
+    auto f = fs.open(node, name, pfs::OpenMode::Create);
+    f->writeAt(node, 0, image);
+  });
+}
+
+/// Read every record (shuffled by `rng`) via readRecord(k) and fingerprint
+/// each; also assert the stream reports no usable index and that
+/// dsindex.fallbacks ticked.
+std::vector<std::uint64_t> readAllShuffled(pfs::Pfs& fs,
+                                           const std::string& name,
+                                           Rng& rng, bool expectIndexed) {
+  std::vector<std::uint32_t> order(kRecords);
+  for (int r = 0; r < kRecords; ++r) order[static_cast<size_t>(r)] = r;
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<size_t>(
+                  rng.uniformInt(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+
+  std::vector<std::atomic<std::uint64_t>> sums(kRecords);
+  rt::Machine m(2);
+  obs::MetricsRegistry reg(2);
+  obs::Observer observer;
+  observer.metrics = &reg;
+  m.attachObserver(observer);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(kElements, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    ds::IStream is(fs, &d, name);
+    EXPECT_EQ(is.indexed(), expectIndexed);
+    for (const std::uint32_t k : order) {
+      is.readRecord(k);
+      is >> g;
+      g.forEachLocal([&](double& v, std::int64_t) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        sums[k].fetch_add(bits * 2654435761u);
+      });
+    }
+  });
+  m.detachObserver();
+#if PCXX_OBS_ENABLED
+  const auto snap = reg.snapshot();
+  if (expectIndexed) {
+    EXPECT_EQ(snap.merged.counter(obs::Counter::DsIndexFallbacks), 0u);
+  } else {
+    EXPECT_GE(snap.merged.counter(obs::Counter::DsIndexFallbacks), 1u);
+  }
+#endif
+  std::vector<std::uint64_t> out(kRecords);
+  for (int r = 0; r < kRecords; ++r) out[static_cast<size_t>(r)] = sums[r];
+  return out;
+}
+
+class FooterFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FooterFuzz, EveryCorruptionFallsBackToIdenticalBytes) {
+  const int seed = GetParam();
+  if (const char* only = std::getenv("PCXX_FOOTER_SEED")) {
+    if (seed != std::atoi(only)) GTEST_SKIP() << "PCXX_FOOTER_SEED set";
+  }
+  SCOPED_TRACE(::testing::Message() << "repro: PCXX_FOOTER_SEED=" << seed
+                                    << " ./footer_fuzz_test");
+  Rng rng(0xF007ull * 2654435761ull + static_cast<std::uint64_t>(seed));
+
+  pfs::Pfs fs = test::memFs();
+  writeReference(fs, "ref.ds");
+  const ByteBuffer image = fileImage(fs, "ref.ds");
+  const std::uint64_t fileBytes = image.size();
+
+  // Ground truth: the pristine indexed read.
+  const std::vector<std::uint64_t> expected =
+      readAllShuffled(fs, "ref.ds", rng, /*expectIndexed=*/true);
+
+  const auto probe = dsindex::probeFooter(
+      [&](std::uint64_t off, std::span<Byte> out) {
+        if (off >= fileBytes) return std::uint64_t{0};
+        const std::uint64_t n =
+            std::min<std::uint64_t>(out.size(), fileBytes - off);
+        std::memcpy(out.data(), image.data() + off, static_cast<size_t>(n));
+        return n;
+      },
+      fileBytes, ds::kFileHeaderBytes);
+  ASSERT_EQ(probe.status, dsindex::ProbeStatus::Valid) << probe.reason;
+  const std::uint64_t footerOffset = probe.footerOffset;
+  const std::uint64_t footerBytes = fileBytes - footerOffset;
+
+  struct CaseDef {
+    const char* name;
+    std::function<ByteBuffer(ByteBuffer)> corrupt;
+  };
+  const std::vector<CaseDef> cases = {
+      {"truncated-footer",
+       [&](ByteBuffer img) {
+         // Cut somewhere strictly inside the footer: trailer gone.
+         const std::uint64_t keep =
+             footerOffset + static_cast<std::uint64_t>(rng.uniformInt(
+                                0, static_cast<std::int64_t>(footerBytes) -
+                                       static_cast<std::int64_t>(
+                                           dsindex::kTrailerBytes)));
+         img.resize(static_cast<size_t>(keep));
+         return img;
+       }},
+      {"bit-flipped-body",
+       [&](ByteBuffer img) {
+         // Flip one bit anywhere in the CRC-covered body.
+         const std::uint64_t at =
+             footerOffset + static_cast<std::uint64_t>(rng.uniformInt(
+                                0, static_cast<std::int64_t>(
+                                       footerBytes - dsindex::kTrailerBytes) -
+                                       1));
+         img[static_cast<size_t>(at)] = static_cast<Byte>(
+             img[static_cast<size_t>(at)] ^
+             static_cast<Byte>(1u << rng.uniformInt(0, 7)));
+         return img;
+       }},
+      {"trailer-magic-overwritten",
+       [&](ByteBuffer img) {
+         for (size_t i = 0; i < 8; ++i) {
+           img[img.size() - 8 + i] = Byte{0x00};
+         }
+         return img;
+       }},
+      {"offset-past-eof-valid-crc",
+       [&](ByteBuffer img) {
+         // Rewrite the trailer with a correct CRC over lying offsets.
+         Byte t[24];
+         encodeU64(fileBytes + 4096, t);        // footerOffset past EOF
+         encodeU64(footerBytes - 28, t + 8);    // bodyBytes unchanged
+         std::memcpy(t + 16, dsindex::kTrailerMagic, 8);
+         Byte crc[4];
+         encodeU32(crc32(std::span<const Byte>(t, 24)), crc);
+         std::memcpy(img.data() + img.size() - 28, crc, 4);
+         std::memcpy(img.data() + img.size() - 24, t, 24);
+         return img;
+       }},
+      {"record-count-mismatch-valid-crc",
+       [&](ByteBuffer img) {
+         // Bump recordCount and recompute the body CRC: the checksum
+         // passes, the decode must still reject the inconsistency.
+         const std::uint64_t bodyBytes = footerBytes - dsindex::kTrailerBytes;
+         Byte* body = img.data() + footerOffset;
+         encodeU64(decodeU64(body + 16) + 1, body + 16);
+         Byte crc[4];
+         encodeU32(crc32(std::span<const Byte>(
+                       body, static_cast<size_t>(bodyBytes - 4))),
+                   crc);
+         std::memcpy(body + bodyBytes - 4, crc, 4);
+         return img;
+       }},
+  };
+
+  for (const CaseDef& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string name = std::string("fuzz_") + c.name + ".ds";
+    installImage(fs, name, c.corrupt(image));
+    const std::vector<std::uint64_t> got =
+        readAllShuffled(fs, name, rng, /*expectIndexed=*/false);
+    EXPECT_EQ(got, expected) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FooterFuzz, ::testing::Range(0, 6));
+
+TEST(FooterFuzz, ShortWriteTearsTheFooterAndReadersFallBack) {
+  // A FaultPlan short-write clause on the footer append leaves a torn
+  // footer on storage; readers must treat it as absent/corrupt and still
+  // deliver every record by replay.
+  pfs::Pfs probeFs = test::memFs();
+  pfs::OpRecorder rec;
+  probeFs.setObserveHook(rec.hook());
+  writeReference(probeFs, "probe.ds");
+  probeFs.setObserveHook(nullptr);
+
+  // The footer append is the last write the stream issues: the highest
+  // opIndex (the recorder's vector order races across nodes — opIndex is
+  // the authoritative sequence).
+  std::uint64_t footerOp = 0;
+  std::uint64_t footerBytes = 0;
+  for (const auto& op : rec.ops()) {
+    if (op.kind == pfs::OpKind::Write && op.opIndex >= footerOp) {
+      footerOp = op.opIndex;
+      footerBytes = op.bytes;
+    }
+  }
+  ASSERT_GT(footerBytes, dsindex::kTrailerBytes);
+
+  pfs::Pfs fs = test::memFs();
+  pfs::FaultPlan plan;
+  plan.shortCompletionAtOp(footerOp, footerBytes / 2)
+      .onlyKind(pfs::OpKind::Write);
+  fs.setFaultHook(plan.hook());
+  // The short write tears the footer append; the stream destructor treats
+  // a failed footer as cosmetic (the record chain is already durable), so
+  // the write itself completes.
+  EXPECT_NO_THROW(writeReference(fs, "torn.ds"));
+  fs.setFaultHook(nullptr);
+  EXPECT_EQ(plan.firedCount(), 1u);
+
+  // The record chain is intact; only the footer is torn.
+  Rng rng(7);
+  const std::vector<std::uint64_t> torn =
+      readAllShuffled(fs, "torn.ds", rng, /*expectIndexed=*/false);
+
+  pfs::Pfs cleanFs = test::memFs();
+  writeReference(cleanFs, "clean.ds");
+  Rng rng2(7);
+  const std::vector<std::uint64_t> expected =
+      readAllShuffled(cleanFs, "clean.ds", rng2, /*expectIndexed=*/true);
+  EXPECT_EQ(torn, expected);
+}
+
+}  // namespace

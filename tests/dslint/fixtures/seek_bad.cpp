@@ -1,0 +1,13 @@
+// Repositioning with seekRecord() discards the loaded record: extraction
+// before the next read() is the DS103 pattern again.
+#include "dstream/dstream.h"
+
+void consume() {
+  pcxx::ds::IStream in("particles.ds");
+  in.read();
+  double x = 0;
+  in >> x;
+  in.seekRecord(3);
+  in >> x;  // the seek discarded the record; nothing is loaded
+  in.close();
+}

@@ -1,0 +1,14 @@
+// Indexed repositioning done right: seekRecord() is followed by read()
+// before extraction, and readRecord(k) loads the record itself.
+#include "dstream/dstream.h"
+
+void consume() {
+  pcxx::ds::IStream in("particles.ds");
+  in.seekRecord(2);
+  in.read();
+  double x = 0;
+  in >> x;
+  in.readRecord(5);
+  in >> x;
+  in.close();
+}

@@ -16,7 +16,11 @@ void writeIntFile(pfs::Pfs& fs, const char* name, std::int64_t n) {
     coll::Distribution d(n, &P, coll::DistKind::Block);
     coll::Collection<int> g(&d);
     g.forEachLocal([](int& v, std::int64_t i) { v = static_cast<int>(i); });
-    ds::OStream s(fs, &d, name);
+    // No index footer: these tests corrupt byte ranges computed from the
+    // raw record framing, so the record chain must end at end of file.
+    ds::StreamOptions so;
+    so.indexFooter = false;
+    ds::OStream s(fs, &d, name, so);
     s << g;
     s.write();
   });

@@ -40,7 +40,11 @@ class DsdumpCli : public ::testing::Test {
   }
 
   /// Write `records` checksummed records to `name` inside the temp dir.
-  void writeStream(const std::string& name, int records) {
+  /// The corruption tests below damage byte ranges computed from the end of
+  /// the file, so they write without the index footer to keep those ranges
+  /// inside the record chain.
+  void writeStream(const std::string& name, int records,
+                   bool indexFooter = true) {
     pfs::PfsConfig cfg;
     cfg.backend = pfs::PfsConfig::Backend::Posix;
     cfg.dir = dir_.string();
@@ -52,6 +56,7 @@ class DsdumpCli : public ::testing::Test {
       coll::Collection<double> g(&d);
       ds::StreamOptions so;
       so.checksumData = true;
+      so.indexFooter = indexFooter;
       ds::OStream s(fs, &d, name, so);
       for (int r = 0; r < records; ++r) {
         g.forEachLocal([r](double& v, std::int64_t i) {
@@ -116,7 +121,7 @@ TEST_F(DsdumpCli, VerifyReportsCleanFilesWithExitZero) {
 }
 
 TEST_F(DsdumpCli, VerifyFlagsCorruptionWithExitThree) {
-  writeStream("bad.ds", 2);
+  writeStream("bad.ds", 2, /*indexFooter=*/false);
   const auto path = dir_ / "bad.ds";
   // Flip bytes near the end of the file: inside the last record's data.
   const auto size = std::filesystem::file_size(path);
@@ -132,7 +137,7 @@ TEST_F(DsdumpCli, VerifyFlagsCorruptionWithExitThree) {
 }
 
 TEST_F(DsdumpCli, VerifyFlagsTornTailsWithExitThree) {
-  writeStream("torn.ds", 2);
+  writeStream("torn.ds", 2, /*indexFooter=*/false);
   const auto path = dir_ / "torn.ds";
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size - 7);
@@ -141,7 +146,7 @@ TEST_F(DsdumpCli, VerifyFlagsTornTailsWithExitThree) {
 }
 
 TEST_F(DsdumpCli, RepairTruncatesToTheValidPrefix) {
-  writeStream("fix.ds", 3);
+  writeStream("fix.ds", 3, /*indexFooter=*/false);
   const auto path = dir_ / "fix.ds";
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size - 5);  // torn tail mid-record-2

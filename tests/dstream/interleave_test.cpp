@@ -52,7 +52,11 @@ TEST(Interleave, TwoFieldsLandContiguouslyPerElement) {
     g2.forEachLocal([](Cell& c, std::int64_t i) {
       c.density = 0.5 * static_cast<double>(i);
     });
-    ds::OStream s(fs, &d, "il");
+    // No index footer: dataSection() slices the raw bytes between the size
+    // table and end of file, so the record data must be the last thing in it.
+    ds::StreamOptions so;
+    so.indexFooter = false;
+    ds::OStream s(fs, &d, "il", so);
     s << g.field(&Cell::count);
     s << g2.field(&Cell::density);
     s.write();

@@ -3,7 +3,12 @@
 // header policies.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <tuple>
+#include <vector>
 
 #include "src/dstream/dstream.h"
 #include "src/util/rng.h"
@@ -152,6 +157,177 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values<std::int64_t>(1, 5, 24, 100),
         // HeaderPolicy: Auto / ForceGathered / ForceParallel
         ::testing::Values(0, 1, 2)));
+
+/// Commutative content hash: summing it over all elements of a record gives
+/// an order-independent fingerprint of the record's data.
+std::uint64_t hashVarElem(const VarElem& e) {
+  std::uint64_t h = static_cast<std::uint64_t>(e.stamp) * 2654435761u +
+                    static_cast<std::uint64_t>(e.n);
+  for (int k = 0; k < e.n; ++k) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &e.data[k], 8);
+    h ^= bits + 0x9E3779B97F4A7C15ull + (h << 6);
+  }
+  return h;
+}
+
+/// Record-dependent fill so every record of the file is distinguishable.
+void fillFor(coll::Collection<VarElem>& c, int r) {
+  c.forEachLocal([r](VarElem& e, std::int64_t g) {
+    e.n = sizeFor(g + r);
+    e.stamp = g * 31 + r * 1009;
+    delete[] e.data;
+    e.data = e.n > 0 ? new double[static_cast<size_t>(e.n)] : nullptr;
+    for (int k = 0; k < e.n; ++k) {
+      e.data[k] = static_cast<double>(g + r * 1000) + 0.001 * k;
+    }
+  });
+}
+
+/// Everything one seek-equivalence seed decides, derived deterministically.
+struct SeekCase {
+  int nprocs = 1;
+  std::int64_t elements = 1;
+  int records = 2;
+  coll::DistKind kind = coll::DistKind::Block;
+  std::vector<std::uint32_t> order;   // shuffled permutation of all records
+  std::vector<std::uint32_t> subset;  // random strict subset, random order
+};
+
+SeekCase deriveSeekCase(int seed) {
+  Rng rng(0x5EE7ull * 2654435761ull + static_cast<std::uint64_t>(seed));
+  SeekCase c;
+  c.nprocs = static_cast<int>(rng.uniformInt(1, 4));
+  c.elements = rng.uniformInt(1, 40);
+  c.records = static_cast<int>(rng.uniformInt(2, 6));
+  c.kind = static_cast<coll::DistKind>(rng.uniformInt(0, 2));
+  c.order.resize(static_cast<size_t>(c.records));
+  for (int r = 0; r < c.records; ++r) {
+    c.order[static_cast<size_t>(r)] = static_cast<std::uint32_t>(r);
+  }
+  for (size_t i = c.order.size(); i > 1; --i) {
+    std::swap(c.order[i - 1],
+              c.order[static_cast<size_t>(
+                  rng.uniformInt(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  const int take = static_cast<int>(rng.uniformInt(1, c.records - 1));
+  c.subset.assign(c.order.begin(), c.order.begin() + take);
+  return c;
+}
+
+class SeekEquivalence : public ::testing::TestWithParam<int> {};
+
+// The seeded property behind random access: readRecord(k) in shuffled order,
+// readRecords() over a random subset, and chain replay (dsindexUseFooter =
+// false) all deliver exactly the bytes a sequential read of record k
+// delivers. A failing seed reproduces alone via the env var in the failure
+// message: PCXX_SEEK_SEED=<n> ./roundtrip_property_test
+TEST_P(SeekEquivalence, ShuffledAndSubsetReadsMatchSequential) {
+  const int seed = GetParam();
+  if (const char* only = std::getenv("PCXX_SEEK_SEED")) {
+    if (seed != std::atoi(only)) GTEST_SKIP() << "PCXX_SEEK_SEED set";
+  }
+  const SeekCase c = deriveSeekCase(seed);
+  SCOPED_TRACE(::testing::Message()
+               << "repro: PCXX_SEEK_SEED=" << seed
+               << " ./roundtrip_property_test (nprocs=" << c.nprocs
+               << " elements=" << c.elements << " records=" << c.records
+               << ")");
+
+  pfs::Pfs fs = test::memFs();
+  const size_t R = static_cast<size_t>(c.records);
+  std::vector<std::atomic<std::uint64_t>> written(R), sequential(R),
+      shuffled(R), subsetHash(R), replay(R);
+
+  rt::Machine m(c.nprocs);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(c.elements, &P, c.kind, /*blockSize=*/2);
+    coll::Collection<VarElem> out(&d);
+    ds::OStream s(fs, &d, "seekprop");
+    for (int r = 0; r < c.records; ++r) {
+      fillFor(out, r);
+      out.forEachLocal([&](VarElem& e, std::int64_t) {
+        written[static_cast<size_t>(r)].fetch_add(hashVarElem(e));
+      });
+      s << out;
+      s.write();
+    }
+    s.close();
+
+    coll::Collection<VarElem> in(&d);
+    // Element sizes differ per record, so drop the previous allocation
+    // before every extraction (the extractor reuses non-null arrays).
+    auto resetElems = [&] {
+      in.forEachLocal([](VarElem& e, std::int64_t) {
+        delete[] e.data;
+        e.data = nullptr;
+        e.n = 0;
+      });
+    };
+    auto hashInto = [&](std::vector<std::atomic<std::uint64_t>>& sink,
+                        std::uint32_t r) {
+      in.forEachLocal([&](VarElem& e, std::int64_t) {
+        sink[r].fetch_add(hashVarElem(e));
+      });
+    };
+
+    {  // Sequential baseline.
+      ds::IStream is(fs, &d, "seekprop");
+      EXPECT_TRUE(is.indexed());
+      EXPECT_EQ(is.indexedRecordCount().value_or(0),
+                static_cast<std::uint64_t>(c.records));
+      for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(c.records);
+           ++r) {
+        is.read();
+        resetElems();
+        is >> in;
+        hashInto(sequential, r);
+      }
+      EXPECT_TRUE(is.atEnd());
+    }
+    {  // Shuffled random access.
+      ds::IStream is(fs, &d, "seekprop");
+      for (const std::uint32_t k : c.order) {
+        is.readRecord(k);
+        resetElems();
+        is >> in;
+        hashInto(shuffled, k);
+      }
+    }
+    {  // Random subset through readRecords().
+      ds::IStream is(fs, &d, "seekprop");
+      is.readRecords(c.subset, [&](std::uint32_t k) {
+        resetElems();
+        is >> in;
+        hashInto(subsetHash, k);
+      });
+    }
+    {  // Chain replay: same shuffled access with the index switched off.
+      ds::StreamOptions so;
+      so.dsindexUseFooter = false;
+      ds::IStream is(fs, &d, "seekprop", so);
+      EXPECT_FALSE(is.indexed());
+      for (const std::uint32_t k : c.order) {
+        is.readRecord(k);
+        resetElems();
+        is >> in;
+        hashInto(replay, k);
+      }
+    }
+  });
+
+  for (size_t r = 0; r < R; ++r) {
+    EXPECT_EQ(sequential[r].load(), written[r].load()) << "record " << r;
+    EXPECT_EQ(shuffled[r].load(), sequential[r].load()) << "record " << r;
+    EXPECT_EQ(replay[r].load(), sequential[r].load()) << "record " << r;
+  }
+  for (const std::uint32_t k : c.subset) {
+    EXPECT_EQ(subsetHash[k].load(), sequential[k].load()) << "record " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SeekEquivalence, ::testing::Range(0, 8));
 
 TEST(RoundTripEdge, EmptyElementsEverywhere) {
   // Every element has zero-length payload arrays.

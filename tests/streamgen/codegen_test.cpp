@@ -102,6 +102,36 @@ TEST(Codegen, VectorAndStringStreamDirectly) {
   EXPECT_NE(code.find("s >> v.v;"), std::string::npos);
 }
 
+TEST(Codegen, FixedBytesConstantSumsScalarAndArrayFields) {
+  const std::string code =
+      genFor("struct S { int a; double pos[2][3]; };");
+  EXPECT_NE(code.find("inline constexpr std::uint64_t kStreamFixedBytes_S"),
+            std::string::npos);
+  EXPECT_NE(code.find("sizeof(int) + sizeof(double) * 2 * 3;"),
+            std::string::npos);
+  EXPECT_NE(code.find("IStream::project()"), std::string::npos);
+}
+
+TEST(Codegen, FixedBytesConstantZeroForDynamicTypes) {
+  // Any data-dependent field (sized pointer, vector, string, recursion)
+  // makes the per-element size variable — the constant must be 0.
+  const std::string code = genFor(R"(
+    struct ParticleList {
+      int numberOfParticles;
+      double* mass;  // pcxx:size(numberOfParticles)
+    };
+  )");
+  EXPECT_NE(code.find("kStreamFixedBytes_ParticleList =\n    0;"),
+            std::string::npos);
+}
+
+TEST(Codegen, FixedBytesConstantIgnoresSkippedFields) {
+  const std::string code =
+      genFor("struct S {\n int a;\n void* x; // pcxx:skip\n };");
+  EXPECT_NE(code.find("kStreamFixedBytes_S =\n    sizeof(int);"),
+            std::string::npos);
+}
+
 TEST(Codegen, GeneratedCodeForSegmentMatchesHandwritten) {
   // The hand-written inserter in src/scf/segment.h is what the tool should
   // produce for the SCF Segment type.
