@@ -125,6 +125,13 @@ std::string validateIndex(const FileIndex& index, std::uint64_t dataStart,
                     i, static_cast<unsigned long long>(e.offset),
                     static_cast<unsigned long long>(pos));
     }
+    if (e.headerBytes < 12) {
+      // magic + length + crc is the floor of any encoded RecordHeader;
+      // readers size buffers (and an 8-byte prefix span) from this field.
+      return strfmt("entry %zu header length %u too small for a record "
+                    "header",
+                    i, e.headerBytes);
+    }
     if (e.recordBytes < e.headerBytes ||
         e.recordBytes - e.headerBytes < e.dataBytes) {
       return strfmt("entry %zu record length %llu too small for header and "

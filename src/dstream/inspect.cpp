@@ -304,6 +304,11 @@ ScanResult verifyFile(pfs::StorageBackend& storage, bool deep) {
     verifyFileHeader(fileHeader);
 
     for (const dsindex::IndexEntry& entry : probe.index.entries) {
+      // A CRC-valid footer can still lie; never size a span past the
+      // buffer the entry actually bought.
+      if (entry.headerBytes < 8) {
+        throw FormatError("index entry header length too small");
+      }
       ByteBuffer headerBytes(entry.headerBytes);
       if (storage.readAt(entry.offset, headerBytes) != entry.headerBytes) {
         throw FormatError("truncated record header");

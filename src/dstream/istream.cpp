@@ -182,6 +182,13 @@ void IStream::seekRecord(std::uint32_t k) {
     }
     skipRecord();
   }
+  // Mirror the indexed path's k >= recordCount rejection: a chain of
+  // exactly k records must throw too, not silently park at end-of-chain.
+  if (atEnd()) {
+    throw UsageError("seekRecord(" + std::to_string(k) +
+                     "): the record chain has only " + std::to_string(k) +
+                     " record(s)");
+  }
 }
 
 void IStream::project(std::vector<std::uint32_t> fields) {
@@ -618,10 +625,12 @@ bool IStream::readProjectedChunk(RecordHeader& header,
                     std::to_string(runStart));
     }
     for (size_t e = j; e < k; ++e) {
-      const Byte* elem =
-          scratch.data() + (spans[e].first - runStart) - map.coverStart;
+      // spans[e].first already includes coverStart, so fold it into the
+      // field offset (offsets[f] >= coverStart): every intermediate
+      // pointer stays inside scratch.
+      const Byte* elem = scratch.data() + (spans[e].first - runStart);
       for (size_t f = 0; f < map.offsets.size(); ++f) {
-        const Byte* src = elem + map.offsets[f];
+        const Byte* src = elem + (map.offsets[f] - map.coverStart);
         out.insert(out.end(), src, src + map.lengths[f]);
       }
     }

@@ -73,32 +73,68 @@ void OStream::openFile(const std::string& fileName) {
     }
     node_->broadcastBytes(0, hdr);
     verifyFileHeader(hdr);
-    // Probe for an existing index footer. Valid: adopt its entries and
-    // position at the footer so new records overwrite it (the grown footer
-    // is re-appended on close — always at least as long, so no stale tail
-    // survives). Absent or corrupt: entries for the existing records are
-    // unknown, so the file stays a plain chain and no footer is appended.
+    // Probe for an existing index footer.
+    //  - Valid: adopt its entries and position at the footer so new records
+    //    overwrite it (the grown footer is re-appended on close).
+    //  - Corrupt, trailer intact: the self-checksummed trailer still pins
+    //    the exact chain end, so position there and let new records
+    //    overwrite the broken footer body; the old records' entries are
+    //    unknown, so the file continues as a plain (footer-less) chain.
+    //    Appending AFTER the broken footer instead would bury it mid-chain
+    //    and make every new record unreadable.
+    //  - Corrupt, trailer untrusted: the footer's extent is unknown, so
+    //    any append either buries it mid-chain or overwrites records —
+    //    refuse.
+    //  - Absent: plain chain, append at end of file.
+    // Whenever the old footer region will be overwritten, the stale
+    // trailer at the old EOF is zeroed before the first record write (see
+    // write()): a surviving trailer would keep pinning readers' chain end
+    // at the old footer offset, silently hiding the appended records.
+    enum : Byte { kAbsent = 0, kValid = 1, kOverwrite = 2, kRefuse = 3 };
+    ByteBuffer ctl(1 + 8 + 8);
     ByteBuffer indexBody;
     if (node_->id() == 0) {
+      const std::uint64_t fileBytes = file_->size();
       const dsindex::ProbeResult probe = dsindex::probeFooter(
           [&](std::uint64_t off, std::span<Byte> out) {
             return file_->readAt(*node_, off, out);
           },
-          file_->size(), kFileHeaderBytes);
+          fileBytes, kFileHeaderBytes);
       if (probe.status == dsindex::ProbeStatus::Valid) {
+        ctl[0] = kValid;
         indexBody = probe.index.encodeBody();
+      } else if (probe.status == dsindex::ProbeStatus::Corrupt) {
+        ctl[0] = probe.haveFooterOffset ? kOverwrite : kRefuse;
+      } else {
+        ctl[0] = kAbsent;
       }
+      encodeU64(probe.footerOffset, ctl.data() + 1);
+      encodeU64(fileBytes, ctl.data() + 9);
     }
+    node_->broadcastBytes(0, ctl);
     node_->broadcastBytes(0, indexBody);
-    if (!indexBody.empty()) {
-      index_ = dsindex::FileIndex::decodeBody(indexBody);
-      footerEnabled_ = true;
-      const std::uint64_t footerAt = index_.entries.empty()
-                                         ? kFileHeaderBytes
-                                         : index_.entries.back().end();
-      file_->seekShared(*node_, footerAt);
-    } else {
-      file_->seekShared(*node_, file_->size());
+    const Byte probeCode = ctl[0];
+    const std::uint64_t footerOffset = decodeU64(ctl.data() + 1);
+    const std::uint64_t fileBytes = decodeU64(ctl.data() + 9);
+    switch (probeCode) {
+      case kValid:
+        index_ = dsindex::FileIndex::decodeBody(indexBody);
+        footerEnabled_ = true;
+        staleTrailerAt_ = fileBytes - dsindex::kTrailerBytes;
+        file_->seekShared(*node_, footerOffset);
+        break;
+      case kOverwrite:
+        staleTrailerAt_ = fileBytes - dsindex::kTrailerBytes;
+        file_->seekShared(*node_, footerOffset);
+        break;
+      case kRefuse:
+        throw FormatError(
+            "append: existing file carries a corrupt index footer of "
+            "unknown extent; appending would make the new records "
+            "unreadable (run dsdump --repair first)");
+      default:
+        file_->seekShared(*node_, fileBytes);
+        break;
     }
     setupAsync();
     return;
@@ -130,9 +166,15 @@ OStream::~OStream() {
         file_ != nullptr ? file_->name().c_str() : "?");
   }
   writer_.reset();  // best-effort flush of queued blocks; never throws
-  if (!pendingInserts && !writeBehindFailed) {
+  if (!writeBehindFailed) {
     // appendFooter is collective-free, so it is safe here; a failure only
-    // costs the accelerator (readers fall back to chain replay).
+    // costs the accelerator (readers fall back to chain replay). Pending
+    // inserts never touched the file — the cursor is still record-aligned
+    // after the last write() — so the footer stays correct even on the
+    // warning path above; skipping it would leave an append-mode file
+    // whose stale trailer was zeroed with footer remnants mid-chain.
+    // Only an unobserved write-behind failure forbids it: the cursor may
+    // then sit past the durable bytes and the footer would lie.
     try {
       appendFooter();
     } catch (...) {
@@ -234,6 +276,20 @@ void OStream::write() {
   }
   if (writer_ != nullptr) writer_->rethrowPending();
   PCXX_OBS_PHASE(node_->obs(), "ds.write", DsWriteSeconds);
+
+  // First record after an append-mode open that adopted (or is
+  // overwriting) an existing footer: zero the old trailer before any
+  // record byte lands. If the trailer survived — new bytes shorter than
+  // the old footer plus a teardown that never appends a fresh footer —
+  // readers would pin the chain end at the old footer offset and silently
+  // never see the records written below.
+  if (staleTrailerAt_ != 0) {
+    if (node_->id() == 0) {
+      const ByteBuffer zeros(static_cast<size_t>(dsindex::kTrailerBytes));
+      file_->writeAt(*node_, staleTrailerAt_, zeros);
+    }
+    staleTrailerAt_ = 0;
+  }
 
   // Record-scoped correlation id: opens a "ds.record" flow chain on this
   // node's track that the downstream stages (pfs ordered writes or the aio

@@ -164,6 +164,11 @@ class OStream {
   // no valid footer to extend.
   dsindex::FileIndex index_;
   bool footerEnabled_ = false;
+  /// Offset of a stale index trailer left by append-mode open (0 = none).
+  /// Zeroed by the first write(): if it outlived the appended records — a
+  /// crash, or a teardown path that skips appendFooter() — readers would
+  /// keep trusting it and pin the chain end before the new records.
+  std::uint64_t staleTrailerAt_ = 0;
   std::uint32_t layoutDigest_ = 0;
   bool layoutDigestReady_ = false;
 };

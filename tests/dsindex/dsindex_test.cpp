@@ -122,6 +122,28 @@ TEST(DsIndexValidate, AcceptsContiguousChain) {
   EXPECT_EQ(dsindex::validateIndex(sampleIndex(), 16, 226), std::string());
 }
 
+TEST(DsIndexValidate, RejectsTinyHeaderBytes) {
+  // Readers size header buffers (and an 8-byte prefix span) from this
+  // field; anything below the minimal magic+length+crc encoding is a lie.
+  dsindex::FileIndex idx = sampleIndex();
+  idx.entries[0].headerBytes = 4;
+  EXPECT_NE(dsindex::validateIndex(idx, 16, 226), std::string());
+  idx.entries[0].headerBytes = 0;
+  EXPECT_NE(dsindex::validateIndex(idx, 16, 226), std::string());
+}
+
+TEST(DsIndexProbe, LyingHeaderBytesWithValidCrcIsCorrupt) {
+  // Both CRCs check out, but an entry promises a header too small to hold
+  // even the record magic: the probe must reject it so no reader ever
+  // builds an out-of-bounds prefix span from it.
+  dsindex::FileIndex idx = sampleIndex();
+  idx.entries[0].headerBytes = 0;
+  const ByteBuffer image = imageFor(idx, /*chainBytes=*/226);
+  const auto probe = dsindex::probeFooter(readerFor(image), image.size(), 16);
+  EXPECT_EQ(probe.status, dsindex::ProbeStatus::Corrupt);
+  EXPECT_TRUE(probe.haveFooterOffset);
+}
+
 TEST(DsIndexValidate, RejectsGapsExtentsAndWrongEnd) {
   dsindex::FileIndex gap = sampleIndex();
   gap.entries[1].offset += 8;  // hole between records
@@ -205,6 +227,42 @@ TEST(DsIndexSeek, ReadRecordCostsConstantReadOpsOnAnIndexedFile) {
   const std::size_t replayLast = measure(false, R - 1);
   EXPECT_GT(replayLast, replayFirst);       // k header skips show up as I/O
   EXPECT_GT(replayLast, indexedLast);       // the footer actually saves ops
+}
+
+TEST(DsIndexSeek, SeekPastEndThrowsOnIndexedAndReplayPathsAlike) {
+  // seekRecord(k) for k >= recordCount must throw UsageError on both the
+  // indexed path and the chain-replay fallback — including k exactly equal
+  // to the record count, where the fallback's skip loop completes and only
+  // a final end-of-chain check can reject it.
+  pfs::Pfs fs = test::memFs();
+  const int R = 3;
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::OStream s(fs, &d, "o3.ds");
+    for (int r = 0; r < R; ++r) {
+      g.forEachLocal([r](int& v, std::int64_t i) {
+        v = static_cast<int>(i + r);
+      });
+      s << g;
+      s.write();
+    }
+  });
+  for (const bool useFooter : {true, false}) {
+    m.run([&](rt::Node&) {
+      coll::Processors P;
+      coll::Distribution d(8, &P, coll::DistKind::Block);
+      ds::StreamOptions so;
+      so.dsindexUseFooter = useFooter;
+      ds::IStream is(fs, &d, "o3.ds", so);
+      EXPECT_EQ(is.indexed(), useFooter);
+      is.seekRecord(R - 1);  // last record: fine on both paths
+      EXPECT_THROW(is.seekRecord(R), UsageError) << useFooter;
+      EXPECT_THROW(is.seekRecord(R + 5), UsageError) << useFooter;
+    });
+  }
 }
 
 TEST(DsIndexSeek, CountersAccountHitsAndSeeks) {

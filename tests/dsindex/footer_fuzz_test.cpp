@@ -67,6 +67,61 @@ void installImage(pfs::Pfs& fs, const std::string& name,
   });
 }
 
+/// Probe a raw byte image for an index footer.
+dsindex::ProbeResult probeImage(const ByteBuffer& image) {
+  return dsindex::probeFooter(
+      [&image](std::uint64_t off, std::span<Byte> out) {
+        if (off >= image.size()) return std::uint64_t{0};
+        const std::uint64_t n =
+            std::min<std::uint64_t>(out.size(), image.size() - off);
+        std::memcpy(out.data(), image.data() + off, static_cast<size_t>(n));
+        return n;
+      },
+      image.size(), ds::kFileHeaderBytes);
+}
+
+/// Append one reference-shaped record (value pattern `r = tag`) to `name`.
+void appendOneRecord(pfs::Pfs& fs, const std::string& name, int tag) {
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(kElements, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    ds::StreamOptions so;
+    so.append = true;
+    ds::OStream s(fs, &d, name, so);
+    g.forEachLocal([tag](double& v, std::int64_t i) {
+      v = static_cast<double>(i) + tag * 1000.0;
+    });
+    s << g;
+    s.write();
+  });
+}
+
+/// Sequentially read `count` records, checking the reference value pattern
+/// and that the chain ends exactly there.
+void expectSequentialRecords(pfs::Pfs& fs, const std::string& name,
+                             int count, bool expectIndexed) {
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(kElements, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    ds::IStream in(fs, &d, name);
+    EXPECT_EQ(in.indexed(), expectIndexed);
+    for (int r = 0; r < count; ++r) {
+      in.read();
+      in >> g;
+      std::int64_t bad = 0;
+      g.forEachLocal([&](double& v, std::int64_t i) {
+        if (v != static_cast<double>(i) + r * 1000.0) ++bad;
+      });
+      EXPECT_EQ(bad, 0) << "record " << r;
+    }
+    EXPECT_TRUE(in.atEnd());
+  });
+}
+
 /// Read every record (shuffled by `rng`) via readRecord(k) and fingerprint
 /// each; also assert the stream reports no usable index and that
 /// dsindex.fallbacks ticked.
@@ -137,15 +192,7 @@ TEST_P(FooterFuzz, EveryCorruptionFallsBackToIdenticalBytes) {
   const std::vector<std::uint64_t> expected =
       readAllShuffled(fs, "ref.ds", rng, /*expectIndexed=*/true);
 
-  const auto probe = dsindex::probeFooter(
-      [&](std::uint64_t off, std::span<Byte> out) {
-        if (off >= fileBytes) return std::uint64_t{0};
-        const std::uint64_t n =
-            std::min<std::uint64_t>(out.size(), fileBytes - off);
-        std::memcpy(out.data(), image.data() + off, static_cast<size_t>(n));
-        return n;
-      },
-      fileBytes, ds::kFileHeaderBytes);
+  const auto probe = probeImage(image);
   ASSERT_EQ(probe.status, dsindex::ProbeStatus::Valid) << probe.reason;
   const std::uint64_t footerOffset = probe.footerOffset;
   const std::uint64_t footerBytes = fileBytes - footerOffset;
@@ -197,6 +244,22 @@ TEST_P(FooterFuzz, EveryCorruptionFallsBackToIdenticalBytes) {
          encodeU32(crc32(std::span<const Byte>(t, 24)), crc);
          std::memcpy(img.data() + img.size() - 28, crc, 4);
          std::memcpy(img.data() + img.size() - 24, t, 24);
+         return img;
+       }},
+      {"tiny-header-bytes-valid-crc",
+       [&](ByteBuffer img) {
+         // Zero entry 0's headerBytes (body prelude 24 bytes, then the
+         // entry's u64 offset field) and recompute the body CRC: the lie
+         // is checksum-clean and must be rejected structurally, never
+         // used to size a header read or an 8-byte prefix span.
+         const std::uint64_t bodyBytes = footerBytes - dsindex::kTrailerBytes;
+         Byte* body = img.data() + footerOffset;
+         encodeU32(0, body + 24 + 8);
+         Byte crc[4];
+         encodeU32(crc32(std::span<const Byte>(
+                       body, static_cast<size_t>(bodyBytes - 4))),
+                   crc);
+         std::memcpy(body + bodyBytes - 4, crc, 4);
          return img;
        }},
       {"record-count-mismatch-valid-crc",
@@ -273,6 +336,157 @@ TEST(FooterFuzz, ShortWriteTearsTheFooterAndReadersFallBack) {
   const std::vector<std::uint64_t> expected =
       readAllShuffled(cleanFs, "clean.ds", rng2, /*expectIndexed=*/true);
   EXPECT_EQ(torn, expected);
+}
+
+TEST(FooterFuzz, AppendOverwritesACorruptFooterInsteadOfBuryingIt) {
+  pfs::Pfs fs = test::memFs();
+  writeReference(fs, "ref.ds");
+  ByteBuffer image = fileImage(fs, "ref.ds");
+  const auto pristine = probeImage(image);
+  ASSERT_EQ(pristine.status, dsindex::ProbeStatus::Valid) << pristine.reason;
+  // Break the body magic: the footer is Corrupt, but the intact trailer
+  // still pins the exact end of the record chain.
+  image[static_cast<size_t>(pristine.footerOffset)] ^= Byte{0xFF};
+  installImage(fs, "corrupt_append.ds", image);
+
+  // Append two records: together they always outgrow the broken footer
+  // region, so the rewritten tail extends past the old EOF and a plain
+  // replay sees one clean chain — old records, then the appended ones,
+  // never the buried footer bytes.
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(kElements, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    ds::StreamOptions so;
+    so.append = true;
+    ds::OStream s(fs, &d, "corrupt_append.ds", so);
+    for (int r = kRecords; r < kRecords + 2; ++r) {
+      g.forEachLocal([r](double& v, std::int64_t i) {
+        v = static_cast<double>(i) + r * 1000.0;
+      });
+      s << g;
+      s.write();
+    }
+  });
+
+  // The old entries' geometry is unknown, so the file continues as a
+  // plain (footer-less) chain.
+  expectSequentialRecords(fs, "corrupt_append.ds", kRecords + 2,
+                          /*expectIndexed=*/false);
+}
+
+TEST(FooterFuzz, AppendRefusesAFooterOfUnknownExtent) {
+  pfs::Pfs fs = test::memFs();
+  writeReference(fs, "ref.ds");
+  ByteBuffer image = fileImage(fs, "ref.ds");
+  // Break the trailer checksum: the footer is corrupt AND its extent is
+  // untrusted, so appending anywhere could bury it mid-chain (hiding the
+  // new records) or overwrite real records.
+  image[image.size() - dsindex::kTrailerBytes] ^= Byte{0xFF};
+  installImage(fs, "untrusted.ds", image);
+  EXPECT_THROW(appendOneRecord(fs, "untrusted.ds", kRecords), FormatError);
+  // The refused append left the file untouched: every original record is
+  // still delivered by replay.
+  Rng rng(11);
+  readAllShuffled(fs, "untrusted.ds", rng, /*expectIndexed=*/false);
+}
+
+TEST(FooterFuzz, PendingInsertTeardownStillAppendsTheFooterAfterAppend) {
+  // The ghost-record hazard: an append-mode stream adopts the footer, its
+  // records start overwriting the old footer body, and the stream is then
+  // destroyed on the warning path (inserts pending, never written). The
+  // cursor is still record-aligned after the last write(), so the
+  // destructor must append the grown footer anyway — otherwise the new
+  // records sit behind footer remnants where no replay can see them.
+  pfs::Pfs fs = test::memFs();
+  const int base = 10;
+  rt::Machine m(2);
+  auto fill = [](coll::Collection<int>& g, int r) {
+    g.forEachLocal([r](int& v, std::int64_t i) {
+      v = static_cast<int>(r * 100 + i);
+    });
+  };
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::OStream s(fs, &d, "ghost.ds");
+    for (int r = 0; r < base; ++r) {
+      fill(g, r);
+      s << g;
+      s.write();
+    }
+  });
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::StreamOptions so;
+    so.append = true;
+    ds::OStream s(fs, &d, "ghost.ds", so);
+    fill(g, base);
+    s << g;
+    s.write();  // durable record `base`
+    fill(g, base + 1);
+    s << g;  // inserted but never written: destructor warns, skips nothing
+  });
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(4, &P, coll::DistKind::Block);
+    coll::Collection<int> g(&d);
+    ds::IStream in(fs, &d, "ghost.ds");
+    EXPECT_TRUE(in.indexed());
+    for (int r = 0; r <= base; ++r) {
+      in.read();
+      in >> g;
+      std::int64_t bad = 0;
+      g.forEachLocal([&](int& v, std::int64_t i) {
+        if (v != static_cast<int>(r * 100 + i)) ++bad;
+      });
+      EXPECT_EQ(bad, 0) << "record " << r;
+    }
+    EXPECT_TRUE(in.atEnd());
+  });
+}
+
+TEST(FooterFuzz, FirstAppendedWriteZeroesTheStaleTrailerBeforeRecordBytes) {
+  // A crash (or failed write-behind teardown) between the first appended
+  // record byte and the footer rewrite must not leave the old trailer
+  // alive: it would keep pinning readers' chain end at the old footer
+  // offset, silently hiding every appended record. The append session's
+  // very first file write therefore zeroes the stale trailer.
+  pfs::Pfs fs = test::memFs();
+  writeReference(fs, "ref.ds");
+  const ByteBuffer image = fileImage(fs, "ref.ds");
+  const auto probe = probeImage(image);
+  ASSERT_EQ(probe.status, dsindex::ProbeStatus::Valid) << probe.reason;
+  const std::uint64_t trailerAt = image.size() - dsindex::kTrailerBytes;
+
+  pfs::OpRecorder rec;
+  fs.setObserveHook(rec.hook());
+  appendOneRecord(fs, "ref.ds", kRecords);
+  fs.setObserveHook(nullptr);
+
+  bool sawZero = false;
+  std::uint64_t zeroOp = 0;
+  std::uint64_t firstRecordOp = ~std::uint64_t{0};
+  for (const auto& op : rec.ops()) {
+    if (op.kind != pfs::OpKind::Write) continue;
+    if (op.offset == trailerAt && op.bytes == dsindex::kTrailerBytes) {
+      sawZero = true;
+      zeroOp = op.opIndex;
+    } else if (op.offset == probe.footerOffset &&
+               op.opIndex < firstRecordOp) {
+      firstRecordOp = op.opIndex;
+    }
+  }
+  ASSERT_TRUE(sawZero);
+  ASSERT_NE(firstRecordOp, ~std::uint64_t{0});
+  EXPECT_LT(zeroOp, firstRecordOp);
+
+  // And the clean close still leaves a fully indexed file.
+  expectSequentialRecords(fs, "ref.ds", kRecords + 1, /*expectIndexed=*/true);
 }
 
 }  // namespace
