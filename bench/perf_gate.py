@@ -2,8 +2,8 @@
 """CI perf-regression gate over the deterministic virtual-time benches.
 
 Runs the table benches (figure5_all) plus the ablation_redist,
-ablation_overlap, and ablation_index sweeps, validates the emitted trace
-artifacts (loadable
+ablation_overlap, ablation_index, and ablation_codec sweeps, validates
+the emitted trace artifacts (loadable
 JSON containing flow events with no unterminated chains), and compares
 the fresh metrics against the checked-in baseline (bench/BENCH_7.json):
 
@@ -51,6 +51,12 @@ ABLATION_REDIST_ARGS = ["--segments", "600", "--particles", "6",
 ABLATION_INDEX_ARGS = ["--elements", "256", "--max-records", "16",
                        "--repeats", "2"]
 
+# ablation_codec CI-smoke shape: small enough to be quick, big enough
+# that whole chunks repeat across the two epochs (dedup must hit). The
+# bench zeroes its wall-clock pfs.codec_seconds timer before capture, so
+# every timer the gate compares is deterministic virtual time.
+ABLATION_CODEC_ARGS = ["--elements", "8192", "--chunk-kib", "8"]
+
 # Methods whose per-phase attribution is scheduling-dependent: the
 # perf model's smallOpsSerialize queue arbitrates concurrent small ops
 # in real lock-acquisition order, so the element-at-a-time Unbuffered
@@ -65,12 +71,13 @@ class GateError(Exception):
 
 
 def run_bench(build_dir, out_dir, report):
-    """Run the four benches; return paths of the metrics documents."""
+    """Run the five benches; return paths of the metrics documents."""
     tables = os.path.join(out_dir, "figure5.metrics.json")
     trace_base = os.path.join(out_dir, "figure5.trace.json")
     redist = os.path.join(out_dir, "ablation_redist.metrics.json")
     overlap = os.path.join(out_dir, "ablation_overlap.metrics.json")
     index = os.path.join(out_dir, "ablation_index.metrics.json")
+    codec = os.path.join(out_dir, "ablation_codec.metrics.json")
     jobs = [
         ([os.path.join(build_dir, "bench", "figure5_all"),
           "--metrics-json", tables, "--trace-json", trace_base],
@@ -84,6 +91,9 @@ def run_bench(build_dir, out_dir, report):
         ([os.path.join(build_dir, "bench", "ablation_index"),
           *ABLATION_INDEX_ARGS, "--metrics-json", index],
          "ablation_index"),
+        ([os.path.join(build_dir, "bench", "ablation_codec"),
+          *ABLATION_CODEC_ARGS, "--metrics-json", codec],
+         "ablation_codec"),
     ]
     for cmd, name in jobs:
         if not os.path.exists(cmd[0]):
@@ -97,7 +107,7 @@ def run_bench(build_dir, out_dir, report):
         report.append(f"ran {name}: OK")
     return {"tables": tables, "ablation_redist": redist,
             "ablation_overlap": overlap, "ablation_index": index,
-            "trace_base": trace_base}
+            "ablation_codec": codec, "trace_base": trace_base}
 
 
 def validate_traces(trace_base, report):
@@ -315,6 +325,8 @@ def main():
                         slim_ablation(load_json(paths["ablation_overlap"])),
                     "ablation_index":
                         slim_ablation(load_json(paths["ablation_index"])),
+                    "ablation_codec":
+                        slim_ablation(load_json(paths["ablation_codec"])),
                 },
             }
             with open(args.baseline, "w", encoding="utf-8") as f:
@@ -331,7 +343,7 @@ def main():
             if rc == GATE_EXIT_REGRESSION:
                 status = max(status, GATE_EXIT_REGRESSION)
             for name in ("ablation_redist", "ablation_overlap",
-                         "ablation_index"):
+                         "ablation_index", "ablation_codec"):
                 base_doc = baseline.get("ablations", {}).get(name)
                 if base_doc is None:
                     raise GateError(f"{args.baseline}: no {name} ablation "

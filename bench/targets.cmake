@@ -26,3 +26,4 @@ pcxx_add_bench(micro_benchmarks)
 pcxx_add_bench(ablation_checksum)
 pcxx_add_bench(ablation_overlap)
 pcxx_add_bench(ablation_index)
+pcxx_add_bench(ablation_codec)

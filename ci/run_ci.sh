@@ -8,6 +8,8 @@
 #   ci/run_ci.sh aio-off     overlap pipelines compiled out (PCXX_AIO=OFF)
 #   ci/run_ci.sh fault       ASan build, fault-tolerance suite only
 #   ci/run_ci.sh chaos       ASan build, runtime chaos/watchdog suite only
+#   ci/run_ci.sh codec       full suite under PCXX_CODEC=lz + off-switch
+#                            byte-identity + codec ablation smoke
 #   ci/run_ci.sh coverage    gcov-instrumented build + line-coverage gate
 #   ci/run_ci.sh perf        perf-regression gate vs bench/BENCH_7.json
 #   ci/run_ci.sh all         all of the above, sequentially
@@ -21,7 +23,9 @@
 # mutually exclusive at configure time. Test suites carry ctest labels
 # (unit | fault | stress | roundtrip | chaos; see tests/CMakeLists.txt), so
 # legs select by label: the fault and chaos legs reuse the asan build tree
-# and re-run `ctest -L fault` / `ctest -L chaos` as their own CI rows. The coverage leg builds with
+# and re-run `ctest -L fault` / `ctest -L chaos` as their own CI rows; the
+# codec leg reuses the default tree and re-runs the full suite with
+# PCXX_CODEC=lz exported. The coverage leg builds with
 # PCXX_COVERAGE=ON, runs the tests, and gates total src/ line coverage
 # (ci/coverage_report.py) against the checked-in ci/coverage_threshold.txt.
 set -euo pipefail
@@ -122,6 +126,43 @@ run_coverage() {
   echo "=== [coverage] OK ==="
 }
 
+# Codec leg: the whole test battery must pass with the pfs chunk codec
+# force-enabled (PCXX_CODEC=lz frames every stream any test writes), and
+# the off switch must be a true no-op: PCXX_CODEC=off output is compared
+# byte-for-byte against an unset environment (the pre-codec format), while
+# PCXX_CODEC=lz output must actually carry the codec magic. Reuses (or
+# creates) the default build tree, then runs the codec ablation smoke
+# (compression + dedup + virtual-time identity; the binary exits 1 on any
+# failure).
+run_codec() {
+  local build_dir="${repo_root}/build-ci-default"
+  echo "=== [codec] configure ==="
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "=== [codec] build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== [codec] test (PCXX_CODEC=lz) ==="
+  PCXX_CODEC=lz ctest --test-dir "${build_dir}" --output-on-failure \
+    -j "${jobs}"
+  echo "=== [codec] off-switch byte identity ==="
+  local probe_dir="${build_dir}/codec-identity"
+  rm -rf "${probe_dir}"
+  mkdir -p "${probe_dir}/off" "${probe_dir}/unset" "${probe_dir}/lz"
+  PCXX_CODEC=off "${build_dir}/examples/quickstart" \
+    --dir "${probe_dir}/off" > /dev/null
+  env -u PCXX_CODEC "${build_dir}/examples/quickstart" \
+    --dir "${probe_dir}/unset" > /dev/null
+  PCXX_CODEC=lz "${build_dir}/examples/quickstart" \
+    --dir "${probe_dir}/lz" > /dev/null
+  cmp "${probe_dir}/off/wholeGridFile" "${probe_dir}/unset/wholeGridFile"
+  if [ "$(head -c 8 "${probe_dir}/lz/wholeGridFile")" != "PCXXCDC1" ]; then
+    echo "codec gate: PCXX_CODEC=lz did not frame the output file" >&2
+    return 1
+  fi
+  echo "=== [codec] ablation smoke ==="
+  "${build_dir}/bench/ablation_codec" --elements 8192 --chunk-kib 8
+  echo "=== [codec] OK ==="
+}
+
 # Perf leg: release build (no test run — the other legs own correctness),
 # then the perf-regression gate: run the virtual-time benches, validate
 # the causal-trace artifacts, self-test the gate against a synthetic +20%
@@ -150,6 +191,7 @@ case "${1:-all}" in
   aio-off)  run_config aio-off -DPCXX_AIO=OFF ;;
   fault)    run_fault ;;
   chaos)    run_chaos ;;
+  codec)    run_codec ;;
   coverage) run_coverage ;;
   perf)     run_perf ;;
   all)
@@ -160,11 +202,12 @@ case "${1:-all}" in
     run_config aio-off -DPCXX_AIO=OFF
     run_fault
     run_chaos
+    run_codec
     run_coverage
     run_perf
     ;;
   *)
-    echo "usage: $0 [default|asan|tsan|obs-off|aio-off|fault|chaos|coverage|perf|all]" >&2
+    echo "usage: $0 [default|asan|tsan|obs-off|aio-off|fault|chaos|codec|coverage|perf|all]" >&2
     exit 2
     ;;
 esac

@@ -71,8 +71,12 @@ int main(int argc, char** argv) {
     });
 
     // Interleaving: two field inserts, ONE write — corresponding values
-    // land contiguously per element.
-    ds::OStream s(fs, &d, "vizFile");
+    // land contiguously per element. The file is consumed below by a plain
+    // std::ifstream, so it must stay unframed even when the environment
+    // default-enables the pfs chunk codec.
+    ds::StreamOptions so;
+    so.codec = "none";
+    ds::OStream s(fs, &d, "vizFile", so);
     s << grid.field(&Cell::density);
     s << grid2.field(&Cell::temperature);
     s.write();

@@ -19,6 +19,11 @@ void addStats(pfs::BgIoStats& into, const pfs::BgIoStats& delta) {
   into.retries += delta.retries;
   into.giveUps += delta.giveUps;
   into.backoffSeconds += delta.backoffSeconds;
+  into.codecRawBytes += delta.codecRawBytes;
+  into.codecStoredBytes += delta.codecStoredBytes;
+  into.codecDedupHits += delta.codecDedupHits;
+  into.codecDamagedChunks += delta.codecDamagedChunks;
+  into.codecSeconds += delta.codecSeconds;
 }
 
 pfs::BgIoStats subStats(const pfs::BgIoStats& a, const pfs::BgIoStats& b) {
@@ -30,6 +35,11 @@ pfs::BgIoStats subStats(const pfs::BgIoStats& a, const pfs::BgIoStats& b) {
   d.retries = a.retries - b.retries;
   d.giveUps = a.giveUps - b.giveUps;
   d.backoffSeconds = a.backoffSeconds - b.backoffSeconds;
+  d.codecRawBytes = a.codecRawBytes - b.codecRawBytes;
+  d.codecStoredBytes = a.codecStoredBytes - b.codecStoredBytes;
+  d.codecDedupHits = a.codecDedupHits - b.codecDedupHits;
+  d.codecDamagedChunks = a.codecDamagedChunks - b.codecDamagedChunks;
+  d.codecSeconds = a.codecSeconds - b.codecSeconds;
   return d;
 }
 
@@ -273,6 +283,11 @@ void Writer::foldStatsLocked() {
   PCXX_OBS_COUNT(o, PfsGiveUps, d.giveUps);
   PCXX_OBS_SECONDS(o, PfsBackoffSeconds, d.backoffSeconds);
   PCXX_OBS_COUNT(o, AioBgWriteBytes, d.bytesWritten);
+  PCXX_OBS_COUNT(o, PfsCodecRawBytes, d.codecRawBytes);
+  PCXX_OBS_COUNT(o, PfsCodecStoredBytes, d.codecStoredBytes);
+  PCXX_OBS_COUNT(o, PfsCodecDedupHits, d.codecDedupHits);
+  PCXX_OBS_COUNT(o, PfsCodecDamagedChunks, d.codecDamagedChunks);
+  PCXX_OBS_SECONDS(o, PfsCodecSeconds, d.codecSeconds);
 #if !PCXX_OBS_ENABLED
   (void)o;
   (void)d;

@@ -53,6 +53,12 @@ namespace pcxx::aio {
 /// ByteBuffer, allocating only until `capacity` buffers exist; after that it
 /// blocks until release() returns one. Released buffers are cleared but keep
 /// their heap allocation, so steady-state operation allocates nothing.
+///
+/// Chunk-codec note: staged buffers always hold LOGICAL record bytes — the
+/// pfs codec stage compresses below the storage op, on this pipeline's own
+/// background thread, into scratch space of its own — so codec settings
+/// never change the pool's sizing or the steady-state-allocation-zero
+/// property.
 class BufferPool {
  public:
   explicit BufferPool(int capacity);

@@ -55,7 +55,12 @@ void CheckpointManager::writeMarker(rt::Node& node, std::uint64_t epoch) {
 }
 
 void CheckpointManager::prune(rt::Node& node, std::uint64_t latest) {
-  const std::uint64_t keep = static_cast<std::uint64_t>(options_.keepLast);
+  // With cross-epoch dedup the oldest kept epoch may hold references into
+  // its predecessor; retain that one extra epoch so no kept epoch ever
+  // loses its reference target.
+  const std::uint64_t keep =
+      static_cast<std::uint64_t>(options_.keepLast) +
+      (options_.dedupAcrossEpochs ? 1 : 0);
   if (latest + 1 <= keep) return;
   // Epochs are consecutive from this manager; also sweep a margin below
   // the retention window in case an earlier manager left files behind.
@@ -86,6 +91,13 @@ std::uint64_t CheckpointManager::saveWith(
   so.checksumData = options_.checksumData;
   so.syncOnWrite = options_.syncOnWrite;
   so.aioQueueDepth = options_.aioQueueDepth;
+  so.codec = options_.codec;
+  if (options_.dedupAcrossEpochs) {
+    if (so.codec.empty()) so.codec = "lz";  // dedup requires chunk framing
+    if (epoch > 0 && fs_->exists(epochFileName(epoch - 1))) {
+      so.codecDedupBase = epochFileName(epoch - 1);
+    }
+  }
   {
     OStream s(*fs_, &layout.distribution(), &layout.align(),
               epochFileName(epoch), so);

@@ -58,6 +58,16 @@ struct CheckpointOptions {
   int aioQueueDepth = 0;
   /// Read-ahead depth for restores (StreamOptions::aioPrefetchDepth).
   int aioPrefetchDepth = 0;
+  /// Chunk codec for epoch files (StreamOptions::codec: "" = pfs default,
+  /// "none", "lz"). Restores auto-detect framing, so mixed-codec epoch
+  /// chains restore fine.
+  std::string codec;
+  /// Store chunks identical to the PREVIOUS epoch as references instead of
+  /// payload (SCF epochs overlap heavily). Forces "lz" framing when no
+  /// codec was chosen, and retention keeps one extra epoch so the oldest
+  /// kept epoch's reference target always outlives it (references are
+  /// depth-1: an epoch only ever points at its immediate predecessor).
+  bool dedupAcrossEpochs = false;
 };
 
 class CheckpointManager {

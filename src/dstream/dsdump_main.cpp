@@ -11,21 +11,58 @@
 
 #include "dstream/inspect.h"
 #include "pfs/backend.h"
+#include "util/crc32.h"
 #include "util/options.h"
 #include "util/strfmt.h"
 
 namespace {
 
+// Rebuild a fresh index footer for a repaired file's surviving record
+// prefix. The scan's RecordInfo carries everything an entry needs; extents
+// are recovered from the stored layout the same way --stats attributes
+// data bytes to writer nodes. Records the tolerant scan salvaged from
+// BEHIND the first damage are excluded — truncation discards them.
+pcxx::dsindex::FileIndex rebuildIndex(
+    const std::vector<pcxx::ds::RecordInfo>& records,
+    std::uint64_t validPrefixEnd) {
+  pcxx::dsindex::FileIndex index;
+  for (const pcxx::ds::RecordInfo& rec : records) {
+    const std::uint64_t recordEnd =
+        rec.dataOffset + rec.header.dataBytes + rec.header.trailerBytes();
+    if (recordEnd > validPrefixEnd) continue;
+    pcxx::dsindex::IndexEntry entry;
+    entry.offset = rec.offset;
+    entry.headerBytes = static_cast<std::uint32_t>(rec.headerBytes);
+    entry.recordFlags = rec.header.flags;
+    entry.recordBytes = recordEnd - rec.offset;
+    entry.dataBytes = rec.header.dataBytes;
+    pcxx::ByteBuffer enc;
+    pcxx::ByteWriter w(enc);
+    rec.header.layout.encode(w);
+    entry.layoutDigest = pcxx::crc32(enc);
+    entry.extents.assign(static_cast<size_t>(rec.header.layout.nprocs()), 0);
+    size_t at = 0;
+    for (int proc = 0; proc < rec.header.layout.nprocs(); ++proc) {
+      const auto n = static_cast<size_t>(rec.header.layout.localCount(proc));
+      for (size_t k = 0; k < n && at < rec.elementSizes.size(); ++k) {
+        entry.extents[static_cast<size_t>(proc)] += rec.elementSizes[at++];
+      }
+    }
+    index.entries.push_back(std::move(entry));
+  }
+  return index;
+}
+
 // Tolerant integrity scan (exit 0 clean / 3 corrupt / 1 unreadable), with
 // optional repair by truncating to the longest valid record prefix.
 int verifyOrRepair(const std::string& path, bool repair, bool deep) {
-  pcxx::pfs::PosixStorage storage(path);
+  const auto storage = pcxx::ds::openInspectStorage(path);
   pcxx::ds::ScanResult scan;
   try {
     // Repair always walks the whole chain before truncating anything;
     // verify takes the O(index) footer path unless --deep forces the scan.
-    scan = repair ? pcxx::ds::scanFile(storage)
-                  : pcxx::ds::verifyFile(storage, deep);
+    scan = repair ? pcxx::ds::scanFile(*storage)
+                  : pcxx::ds::verifyFile(*storage, deep);
   } catch (const pcxx::FormatError& e) {
     // Even the 16-byte file header is damaged: corrupt, and unrepairable.
     std::fprintf(stderr, "dsdump: %s: %s\n", path.c_str(), e.what());
@@ -37,12 +74,23 @@ int verifyOrRepair(const std::string& path, bool repair, bool deep) {
     return 0;
   }
   if (!repair) return 3;
-  storage.truncate(scan.validPrefixEnd);
-  storage.sync();
-  std::printf("%s: repaired, truncated to %llu bytes (%zu record(s) kept)\n",
-              path.c_str(),
-              static_cast<unsigned long long>(scan.validPrefixEnd),
-              scan.info.records.size());
+  // Truncate first, THEN append a fresh footer for the surviving records:
+  // the truncate discards every byte past the valid prefix — damaged
+  // records, a broken footer body, and any stale trailer — so the trailer
+  // a later reader finds at EOF can only be the one appended here. Without
+  // the re-append a repaired file would lose O(1) seeks and its explicit
+  // end-of-chain marker even though all surviving records are intact.
+  storage->truncate(scan.validPrefixEnd);
+  const pcxx::dsindex::FileIndex index =
+      rebuildIndex(scan.info.records, scan.validPrefixEnd);
+  storage->writeAt(scan.validPrefixEnd,
+                   index.encodeFooter(scan.validPrefixEnd));
+  storage->sync();
+  std::printf(
+      "%s: repaired, truncated to %llu bytes, fresh index footer "
+      "(%zu record(s) kept)\n",
+      path.c_str(), static_cast<unsigned long long>(scan.validPrefixEnd),
+      index.entries.size());
   return 0;
 }
 
@@ -78,8 +126,8 @@ int main(int argc, char** argv) {
                             opts.getFlag("deep"));
     }
 
-    pcxx::pfs::PosixStorage storage(opts.positional()[0]);
-    const pcxx::ds::FileInfo info = pcxx::ds::inspectFile(storage);
+    const auto storage = pcxx::ds::openInspectStorage(opts.positional()[0]);
+    const pcxx::ds::FileInfo info = pcxx::ds::inspectFile(*storage);
 
     const std::int64_t element = opts.getInt("element");
     if (element >= 0) {
@@ -90,7 +138,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       const auto data = pcxx::ds::readElementData(
-          storage, info.records[recordIdx], element);
+          *storage, info.records[recordIdx], element);
       std::printf("record %zu element %lld: %zu bytes\n", recordIdx,
                   static_cast<long long>(element), data.size());
       for (size_t i = 0; i < data.size(); i += 16) {

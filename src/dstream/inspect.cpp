@@ -1,11 +1,13 @@
 #include "dstream/inspect.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <numeric>
 #include <optional>
 #include <sstream>
 
 #include "collection/distribution.h"
+#include "pfs/codec.h"
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/strfmt.h"
@@ -40,6 +42,23 @@ dsindex::ProbeResult probeStorage(pfs::StorageBackend& storage) {
 }
 
 }  // namespace
+
+std::shared_ptr<pfs::StorageBackend> openInspectStorage(
+    const std::string& path) {
+  auto raw = std::make_shared<pfs::PosixStorage>(path);
+  // A framed file names its dedup base by pfs file name; offline that maps
+  // to a sibling of `path` (CheckpointManager epochs live side by side).
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+  return pfs::wrapCodecIfFramed(
+      std::move(raw),
+      [dir](const std::string& base) -> std::shared_ptr<pfs::StorageBackend> {
+        const std::string basePath = dir + base;
+        if (!std::filesystem::exists(basePath)) return nullptr;
+        return std::make_shared<pfs::PosixStorage>(basePath);
+      });
+}
 
 FileInfo inspectFile(pfs::StorageBackend& storage) {
   FileInfo info;
@@ -136,8 +155,8 @@ FileInfo inspectFile(pfs::StorageBackend& storage) {
 }
 
 FileInfo inspectFile(const std::string& path) {
-  pfs::PosixStorage storage(path);
-  return inspectFile(storage);
+  const auto storage = openInspectStorage(path);
+  return inspectFile(*storage);
 }
 
 ScanResult scanFile(pfs::StorageBackend& storage) {
@@ -273,8 +292,8 @@ ScanResult scanFile(pfs::StorageBackend& storage) {
 }
 
 ScanResult scanFile(const std::string& path) {
-  pfs::PosixStorage storage(path);
-  return scanFile(storage);
+  const auto storage = openInspectStorage(path);
+  return scanFile(*storage);
 }
 
 ScanResult verifyFile(pfs::StorageBackend& storage, bool deep) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,15 @@ struct FileInfo {
   std::uint64_t footerOffset = 0;
   std::vector<RecordInfo> records;
 };
+
+/// Open a d/stream file on the local file system for offline inspection,
+/// transparently unwrapping pfs chunk-codec framing when present (see
+/// docs/FORMAT.md, "Chunk codec") so every inspector sees logical record
+/// bytes. A framed file's dedup base is resolved to a sibling path in the
+/// same directory; a missing base leaves its referenced chunks reading as
+/// zeros, which the tolerant scans report as ordinary record damage.
+std::shared_ptr<pfs::StorageBackend> openInspectStorage(
+    const std::string& path);
 
 /// Inspect the d/stream file stored in `storage`. Throws FormatError on a
 /// malformed file (bad magic, truncated record, checksum mismatch,

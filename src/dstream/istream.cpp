@@ -1007,6 +1007,11 @@ int IStream::tryPrefetched(bool sorted) {
   PCXX_OBS_COUNT(node_->obs(), PfsGiveUps, bg.giveUps);
   PCXX_OBS_SECONDS(node_->obs(), PfsBackoffSeconds, bg.backoffSeconds);
   PCXX_OBS_COUNT(node_->obs(), AioBgReadBytes, bg.bytesRead);
+  PCXX_OBS_COUNT(node_->obs(), PfsCodecRawBytes, bg.codecRawBytes);
+  PCXX_OBS_COUNT(node_->obs(), PfsCodecStoredBytes, bg.codecStoredBytes);
+  PCXX_OBS_COUNT(node_->obs(), PfsCodecDedupHits, bg.codecDedupHits);
+  PCXX_OBS_COUNT(node_->obs(), PfsCodecDamagedChunks, bg.codecDamagedChunks);
+  PCXX_OBS_SECONDS(node_->obs(), PfsCodecSeconds, bg.codecSeconds);
 #if !PCXX_OBS_ENABLED
   (void)bg;
 #endif

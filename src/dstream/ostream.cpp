@@ -139,7 +139,18 @@ void OStream::openFile(const std::string& fileName) {
     setupAsync();
     return;
   }
-  file_ = fs_->open(*node_, fileName, pfs::OpenMode::Create);
+  if (opts_.codec.empty()) {
+    file_ = fs_->open(*node_, fileName, pfs::OpenMode::Create);
+  } else {
+    PCXX_REQUIRE(opts_.codec == "none" || opts_.codec == "lz",
+                 "StreamOptions::codec must be \"\", \"none\" or \"lz\"");
+    pfs::CodecSpec spec;
+    spec.enabled = opts_.codec == "lz";
+    spec.codec = pfs::CodecId::Lz;
+    if (opts_.codecChunkBytes != 0) spec.chunkBytes = opts_.codecChunkBytes;
+    spec.dedupBase = opts_.codecDedupBase;
+    file_ = fs_->open(*node_, fileName, pfs::OpenMode::Create, spec);
+  }
   footerEnabled_ = opts_.indexFooter;
   if (node_->id() == 0) {
     const ByteBuffer hdr = encodeFileHeader();

@@ -71,6 +71,20 @@ struct StreamOptions {
   /// Wall-clock bound on any wait against an aio helper thread (drain at
   /// close, full queue, exhausted pool, in-flight prefetch).
   double aioDrainDeadlineSeconds = 30.0;
+
+  // -- pfs chunk codec (see docs/FORMAT.md, "Chunk codec") -------------------
+  /// Output streams: codec for the pfs chunk stage underneath this file.
+  /// "" = the file system's default (PfsConfig::codec / PCXX_CODEC);
+  /// "none" = explicitly unframed (byte-identical to the pre-codec
+  /// format); "lz" = LZ chunk compression. Readers always auto-detect
+  /// framing from the file, so input streams ignore these knobs.
+  std::string codec;
+  /// Chunk size for a codec enabled via `codec`; 0 = the pfs default.
+  std::uint32_t codecChunkBytes = 0;
+  /// pfs name of a sealed codec-framed file whose identical chunks may be
+  /// stored as references instead of payload (CheckpointManager points
+  /// this at the previous epoch). Empty = no dedup.
+  std::string codecDedupBase;
 };
 
 /// Set the process-default file system used by the (d, a, filename) stream

@@ -51,6 +51,10 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "dsindex.fallbacks",
     "dsindex.seeks",
     "dsindex.projections",
+    "pfs.codec_raw_bytes",
+    "pfs.codec_stored_bytes",
+    "pfs.codec_dedup_hits",
+    "pfs.codec_damaged_chunks",
 };
 
 constexpr const char* kTimerNames[kNumTimers] = {
@@ -70,6 +74,7 @@ constexpr const char* kTimerNames[kNumTimers] = {
     "scf.input_seconds",
     "aio.stall_seconds",
     "aio.drain_seconds",
+    "pfs.codec_seconds",
 };
 
 constexpr const char* kHistNames[kNumHists] = {

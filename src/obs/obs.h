@@ -85,6 +85,10 @@ enum class Counter : int {
   DsIndexFallbacks,    ///< footer absent/corrupt: chain replay used instead
   DsIndexSeeks,        ///< seekRecord() calls (indexed or replayed)
   DsIndexProjections,  ///< records read under a field projection
+  PfsCodecRawBytes,      ///< logical bytes written through a chunk codec
+  PfsCodecStoredBytes,   ///< frame header+payload bytes the codec stored
+  PfsCodecDedupHits,     ///< chunks written as dedup ref frames
+  PfsCodecDamagedChunks, ///< chunk reads that fell back to zeros
   kCount
 };
 
@@ -106,6 +110,7 @@ enum class Timer : int {
   ScfInputSeconds,      ///< harness bracket around IoMethod::input
   AioStallSeconds,      ///< producer blocked on a full write-behind queue
   AioDrainSeconds,      ///< waiting for the flusher at drain points
+  PfsCodecSeconds,      ///< wall seconds in chunk compress/decompress
   kCount
 };
 

@@ -1,6 +1,7 @@
 #include "pfs/parallel_file.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 
 #include "util/error.h"
@@ -9,6 +10,43 @@
 #include "util/strfmt.h"
 
 namespace pcxx::pfs {
+namespace {
+
+// The chunk codec runs below the storage ops on whatever thread issues
+// them and accounts into thread-local counters; these helpers fold the
+// delta accumulated by one op into the issuing node's metrics (sync paths)
+// or the pipeline's BgIoStats (pcxx::aio threads), preserving the
+// owner-write discipline of both sinks.
+void foldCodecObs(rt::Node& node, const CodecThreadStats& before) {
+  const CodecThreadStats& now = codecThreadStats();
+  if (now.rawBytes != before.rawBytes)
+    PCXX_OBS_COUNT(node.obs(), PfsCodecRawBytes, now.rawBytes - before.rawBytes);
+  if (now.storedBytes != before.storedBytes)
+    PCXX_OBS_COUNT(node.obs(), PfsCodecStoredBytes,
+                   now.storedBytes - before.storedBytes);
+  if (now.dedupHits != before.dedupHits)
+    PCXX_OBS_COUNT(node.obs(), PfsCodecDedupHits,
+                   now.dedupHits - before.dedupHits);
+  if (now.damagedChunks != before.damagedChunks)
+    PCXX_OBS_COUNT(node.obs(), PfsCodecDamagedChunks,
+                   now.damagedChunks - before.damagedChunks);
+  if (now.seconds != before.seconds)
+    PCXX_OBS_SECONDS(node.obs(), PfsCodecSeconds, now.seconds - before.seconds);
+  (void)node;
+  (void)before;
+  (void)now;
+}
+
+void foldCodecBg(BgIoStats& stats, const CodecThreadStats& before) {
+  const CodecThreadStats& now = codecThreadStats();
+  stats.codecRawBytes += now.rawBytes - before.rawBytes;
+  stats.codecStoredBytes += now.storedBytes - before.storedBytes;
+  stats.codecDedupHits += now.dedupHits - before.dedupHits;
+  stats.codecDamagedChunks += now.damagedChunks - before.damagedChunks;
+  stats.codecSeconds += now.seconds - before.seconds;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // RetryPolicy
@@ -18,7 +56,6 @@ double RetryPolicy::backoffFor(int retryIndex, std::uint64_t opIndex,
                                int nodeId) const {
   double b = backoffBase;
   for (int i = 1; i < retryIndex && b < backoffMax; ++i) b *= backoffFactor;
-  b = std::min(b, backoffMax);
   if (jitter > 0.0) {
     // Stateless deterministic jitter: hash (seed, opIndex, nodeId) so the
     // same retry of the same op always waits the same modeled time.
@@ -29,7 +66,10 @@ double RetryPolicy::backoffFor(int retryIndex, std::uint64_t opIndex,
     const double u = static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
     b *= 1.0 + jitter * (2.0 * u - 1.0);
   }
-  return b;
+  // The cap is a hard bound on the returned value, so it must apply AFTER
+  // jitter: clamping first let jitter push the backoff up to a factor of
+  // (1 + jitter) past the documented maximum.
+  return std::min(b, backoffMax);
 }
 
 // ---------------------------------------------------------------------------
@@ -183,6 +223,7 @@ void ParallelFile::writeAtBackground(int nodeId, std::uint64_t offset,
                                      std::span<const Byte> data,
                                      BgIoStats& stats) {
   const RetryPolicy rp = fs_->retryPolicy();
+  const CodecThreadStats codecBefore = codecThreadStats();
   const double start = stats.backoffSeconds;
   std::uint64_t done = 0;
   std::uint64_t lastIndex = 0;
@@ -228,6 +269,7 @@ void ParallelFile::writeAtBackground(int nodeId, std::uint64_t offset,
       if (done == data.size()) {
         stats.writeOps += 1;
         stats.bytesWritten += data.size();
+        foldCodecBg(stats, codecBefore);
         runObserveHook(OpKind::Write, offset, data.size(), nodeId, lastIndex,
                        0.0);
         return;
@@ -256,6 +298,7 @@ std::uint64_t ParallelFile::readAtBackground(int nodeId, std::uint64_t offset,
                                              std::span<Byte> out,
                                              BgIoStats& stats) {
   const RetryPolicy rp = fs_->retryPolicy();
+  const CodecThreadStats codecBefore = codecThreadStats();
   const double start = stats.backoffSeconds;
   std::uint64_t done = 0;
   std::uint64_t lastIndex = 0;
@@ -299,6 +342,7 @@ std::uint64_t ParallelFile::readAtBackground(int nodeId, std::uint64_t offset,
         // Complete, or a true end-of-file: not a fault.
         stats.readOps += 1;
         stats.bytesRead += done;
+        foldCodecBg(stats, codecBefore);
         runObserveHook(OpKind::Read, offset, out.size(), nodeId, lastIndex,
                        0.0);
         return done;
@@ -343,7 +387,9 @@ void ParallelFile::writeAt(rt::Node& node, std::uint64_t offset,
   PCXX_OBS_COUNT(node.obs(), PfsWriteBytes, data.size());
   PCXX_OBS_HIST(node.obs(), PfsWriteSize, data.size());
   const double t0 = node.clock().now();
+  const CodecThreadStats codecBefore = codecThreadStats();
   const std::uint64_t index = performWrite(node, offset, data);
+  foldCodecObs(node, codecBefore);
   const std::uint64_t cum = cumWritten_.fetch_add(data.size()) + data.size();
   fs_->model_.chargeIndependentOp(node, offset, data.size(), storage_->size(),
                                   cum, /*isWrite=*/true);
@@ -359,7 +405,9 @@ std::uint64_t ParallelFile::readAt(rt::Node& node, std::uint64_t offset,
   PCXX_OBS_HIST(node.obs(), PfsReadSize, out.size());
   const double t0 = node.clock().now();
   std::uint64_t n = 0;
+  const CodecThreadStats codecBefore = codecThreadStats();
   const std::uint64_t index = performRead(node, offset, out, &n);
+  foldCodecObs(node, codecBefore);
   fs_->model_.chargeIndependentOp(node, offset, out.size(), storage_->size(),
                                   cumWritten_.load(), /*isWrite=*/false);
   runObserveHook(OpKind::Read, offset, out.size(), node.id(), index,
@@ -394,7 +442,9 @@ std::uint64_t ParallelFile::writeOrdered(rt::Node& node,
     total += sizes[static_cast<size_t>(i)];
     maxNode = std::max(maxNode, sizes[static_cast<size_t>(i)]);
   }
+  const CodecThreadStats codecBefore = codecThreadStats();
   const std::uint64_t index = performWrite(node, myOffset, myBlock);
+  foldCodecObs(node, codecBefore);
 
   // All nodes complete the collective transfer together; charge the modeled
   // duration uniformly (the collective below also synchronizes clocks).
@@ -468,7 +518,9 @@ std::uint64_t ParallelFile::readOrdered(rt::Node& node,
     maxNode = std::max(maxNode, sizes[static_cast<size_t>(i)]);
   }
   std::uint64_t got = 0;
+  const CodecThreadStats codecBefore = codecThreadStats();
   const std::uint64_t index = performRead(node, myOffset, myBlock, &got);
+  foldCodecObs(node, codecBefore);
   const bool shortRead = got != myBlock.size();
 
   node.barrier();
@@ -514,14 +566,39 @@ void ParallelFile::sync(rt::Node& node) {
 
 Pfs::Pfs(PfsConfig config)
     : config_(std::move(config)),
-      model_(config_.perf, config_.nIoNodes, config_.stripeUnit) {}
+      model_(config_.perf, config_.nIoNodes, config_.stripeUnit) {
+  // Environment kill switch / default for the chunk codec, read once so a
+  // whole test run can be flipped without touching configuration code.
+  if (const char* env = std::getenv("PCXX_CODEC")) {
+    const std::string v(env);
+    if (v == "off" || v == "none" || v == "0") {
+      codecEnv_ = CodecEnv::ForceOff;
+    } else if (v == "lz" || v == "on" || v == "1") {
+      codecEnv_ = CodecEnv::ForceLz;
+    }
+  }
+}
 
 std::string Pfs::posixPath(const std::string& fsName) const {
   return config_.dir + "/" + fsName;
 }
 
+CodecSpec Pfs::effectiveCodecSpec(const CodecSpec* codec) const {
+  CodecSpec s = codec != nullptr ? *codec : config_.codec;
+  if (codecEnv_ == CodecEnv::ForceOff) {
+    s.enabled = false;  // the kill switch wins over everything
+  } else if (codecEnv_ == CodecEnv::ForceLz && codec == nullptr &&
+             !config_.codec.enabled) {
+    // Default-enable only where nothing asked for a codec explicitly.
+    s.enabled = true;
+    s.codec = CodecId::Lz;
+  }
+  return s;
+}
+
 std::shared_ptr<StorageBackend> Pfs::backendFor(const std::string& fsName,
-                                                OpenMode mode) {
+                                                OpenMode mode,
+                                                const CodecSpec* codec) {
   if (config_.backend == PfsConfig::Backend::Memory) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = memFiles_.find(fsName);
@@ -529,25 +606,70 @@ std::shared_ptr<StorageBackend> Pfs::backendFor(const std::string& fsName,
       if (it == memFiles_.end()) {
         throw IoError("pfs file '" + fsName + "' does not exist");
       }
-      return it->second;
+      // Readers auto-detect framing; the dedup base (if named) lives in
+      // the same namespace. mu_ is held across the attach scan, which
+      // also keeps the resolver's map lookup safe.
+      return wrapCodecIfFramed(
+          it->second,
+          [this](const std::string& base) -> std::shared_ptr<StorageBackend> {
+            auto bit = memFiles_.find(base);
+            return bit == memFiles_.end() ? nullptr : bit->second;
+          });
     }
-    // Create: fresh storage (truncate semantics).
+    // Create: fresh storage (truncate semantics). The registry keeps the
+    // RAW store so physical test helpers and later attaches see the real
+    // bytes; the returned handle is the codec view when one is active.
     auto storage = std::make_shared<MemStorage>();
     memFiles_[fsName] = storage;
-    return storage;
+    const CodecSpec spec = effectiveCodecSpec(codec);
+    if (!spec.enabled) return storage;
+    std::shared_ptr<StorageBackend> baseInner;
+    if (!spec.dedupBase.empty()) {
+      auto bit = memFiles_.find(spec.dedupBase);
+      if (bit != memFiles_.end()) baseInner = bit->second;
+    }
+    return CodecStorage::create(storage, spec, std::move(baseInner));
   }
   // Posix backend.
   const std::string path = posixPath(fsName);
-  if (mode == OpenMode::Read && !std::filesystem::exists(path)) {
-    throw IoError("pfs file '" + fsName + "' does not exist at " + path);
+  if (mode == OpenMode::Read) {
+    if (!std::filesystem::exists(path)) {
+      throw IoError("pfs file '" + fsName + "' does not exist at " + path);
+    }
+    return wrapCodecIfFramed(
+        std::make_shared<PosixStorage>(path),
+        [this](const std::string& base) -> std::shared_ptr<StorageBackend> {
+          const std::string basePath = posixPath(base);
+          if (!std::filesystem::exists(basePath)) return nullptr;
+          return std::make_shared<PosixStorage>(basePath);
+        });
   }
   auto storage = std::make_shared<PosixStorage>(path);
-  if (mode == OpenMode::Create) storage->truncate(0);
-  return storage;
+  storage->truncate(0);
+  const CodecSpec spec = effectiveCodecSpec(codec);
+  if (!spec.enabled) return storage;
+  std::shared_ptr<StorageBackend> baseInner;
+  if (!spec.dedupBase.empty()) {
+    const std::string basePath = posixPath(spec.dedupBase);
+    if (std::filesystem::exists(basePath)) {
+      baseInner = std::make_shared<PosixStorage>(basePath);
+    }
+  }
+  return CodecStorage::create(std::move(storage), spec, std::move(baseInner));
 }
 
 ParallelFilePtr Pfs::open(rt::Node& node, const std::string& fsName,
                           OpenMode mode) {
+  return openImpl(node, fsName, mode, nullptr);
+}
+
+ParallelFilePtr Pfs::open(rt::Node& node, const std::string& fsName,
+                          OpenMode mode, const CodecSpec& codec) {
+  return openImpl(node, fsName, mode, &codec);
+}
+
+ParallelFilePtr Pfs::openImpl(rt::Node& node, const std::string& fsName,
+                              OpenMode mode, const CodecSpec* codec) {
   PCXX_OBS_SPAN(node.obs(), "pfs.open");
   PCXX_OBS_COUNT(node.obs(), PfsCollectiveOps, 1);
   // Node 0 resolves the backend; the resulting file object is shared.
@@ -557,7 +679,7 @@ ParallelFilePtr Pfs::open(rt::Node& node, const std::string& fsName,
   std::exception_ptr failure;
   if (node.id() == 0) {
     try {
-      storage = backendFor(fsName, mode);
+      storage = backendFor(fsName, mode, codec);
     } catch (...) {
       failure = std::current_exception();
     }
@@ -657,32 +779,54 @@ RetryPolicy Pfs::retryPolicy() const {
   return retryPolicy_;
 }
 
-void Pfs::corruptByte(const std::string& fsName, std::uint64_t offset,
-                      Byte value) {
-  std::shared_ptr<StorageBackend> storage;
+std::shared_ptr<StorageBackend> Pfs::rawStorageFor(
+    const std::string& fsName) {
   if (config_.backend == PfsConfig::Backend::Memory) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = memFiles_.find(fsName);
-    PCXX_REQUIRE(it != memFiles_.end(), "corruptByte: no such file");
-    storage = it->second;
-  } else {
-    storage = std::make_shared<PosixStorage>(posixPath(fsName));
+    return it == memFiles_.end() ? nullptr : it->second;
   }
+  const std::string path = posixPath(fsName);
+  if (!std::filesystem::exists(path)) return nullptr;
+  return std::make_shared<PosixStorage>(path);
+}
+
+void Pfs::corruptByte(const std::string& fsName, std::uint64_t offset,
+                      Byte value) {
+  auto raw = rawStorageFor(fsName);
+  PCXX_REQUIRE(raw != nullptr, "corruptByte: no such file");
+  // Corrupt the LOGICAL byte: on a framed file the codec re-seals the
+  // chunk around the flip, so the damage models record-payload bit rot
+  // (what this helper's callers simulate), not frame damage — that is
+  // what corruptStoredByte is for.
+  auto storage = wrapCodecIfFramed(
+      std::move(raw),
+      [this](const std::string& base) { return rawStorageFor(base); });
   const Byte b = value;
   storage->writeAt(offset, {&b, 1});
 }
 
 void Pfs::truncateFile(const std::string& fsName, std::uint64_t newSize) {
-  std::shared_ptr<StorageBackend> storage;
-  if (config_.backend == PfsConfig::Backend::Memory) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = memFiles_.find(fsName);
-    PCXX_REQUIRE(it != memFiles_.end(), "truncateFile: no such file");
-    storage = it->second;
-  } else {
-    storage = std::make_shared<PosixStorage>(posixPath(fsName));
-  }
+  auto raw = rawStorageFor(fsName);
+  PCXX_REQUIRE(raw != nullptr, "truncateFile: no such file");
+  auto storage = wrapCodecIfFramed(
+      std::move(raw),
+      [this](const std::string& base) { return rawStorageFor(base); });
   storage->truncate(newSize);
+}
+
+void Pfs::corruptStoredByte(const std::string& fsName, std::uint64_t offset,
+                            Byte value) {
+  auto raw = rawStorageFor(fsName);
+  PCXX_REQUIRE(raw != nullptr, "corruptStoredByte: no such file");
+  const Byte b = value;
+  raw->writeAt(offset, {&b, 1});
+}
+
+std::uint64_t Pfs::storedFileSize(const std::string& fsName) {
+  auto raw = rawStorageFor(fsName);
+  PCXX_REQUIRE(raw != nullptr, "storedFileSize: no such file");
+  return raw->size();
 }
 
 }  // namespace pcxx::pfs

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "pfs/backend.h"
+#include "pfs/codec.h"
 #include "pfs/fault.h"
 #include "pfs/perf_model.h"
 #include "runtime/machine.h"
@@ -42,6 +43,9 @@ struct PfsConfig {
   /// I/O nodes the file system stripes over (scales modeled bandwidth).
   int nIoNodes = 1;
   std::uint64_t stripeUnit = 64 * 1024;
+  /// Default chunk-codec spec applied to Create-mode opens (per-open specs
+  /// override it; the PCXX_CODEC env var overrides both — see Pfs).
+  CodecSpec codec;
 };
 
 enum class OpenMode {
@@ -67,7 +71,9 @@ struct RetryPolicy {
   double backoffFactor = 2.0;
   double backoffMax = 1.0;
   /// Jitter fraction: each backoff is scaled by a deterministic factor in
-  /// [1 - jitter, 1 + jitter] drawn from (seed, opIndex, nodeId).
+  /// [1 - jitter, 1 + jitter] drawn from (seed, opIndex, nodeId). The
+  /// backoffMax cap applies AFTER jitter: the returned backoff never
+  /// exceeds backoffMax.
   double jitter = 0.1;
   /// Give up once an op's modeled elapsed time (including backoff) exceeds
   /// this many virtual seconds.
@@ -94,6 +100,13 @@ struct BgIoStats {
   std::uint64_t retries = 0;
   std::uint64_t giveUps = 0;
   double backoffSeconds = 0.0;
+  // Chunk-codec work done by this background thread (codec stage below the
+  // op; deltas of pfs::codecThreadStats() captured around each storage op).
+  std::uint64_t codecRawBytes = 0;
+  std::uint64_t codecStoredBytes = 0;
+  std::uint64_t codecDedupHits = 0;
+  std::uint64_t codecDamagedChunks = 0;
+  double codecSeconds = 0.0;
 };
 
 /// Result of reserveOrdered(): where this node's block will land once a
@@ -210,6 +223,14 @@ class ParallelFile {
 using ParallelFilePtr = std::shared_ptr<ParallelFile>;
 
 /// A parallel file system instance.
+///
+/// Chunk codec resolution: a Create-mode open uses the per-open CodecSpec
+/// when one is passed, else PfsConfig::codec. The PCXX_CODEC environment
+/// variable (read once at construction) overrides both: "off"/"none"/"0"
+/// force-disables the codec everywhere; "lz" default-enables LZ framing for
+/// opens that did not ask for a codec explicitly. Read-mode opens always
+/// auto-detect framing from the file itself, so readers need no
+/// configuration at all.
 class Pfs {
  public:
   explicit Pfs(PfsConfig config);
@@ -218,6 +239,12 @@ class Pfs {
   /// (throws IoError otherwise).
   ParallelFilePtr open(rt::Node& node, const std::string& fsName,
                        OpenMode mode);
+
+  /// Collective open with an explicit chunk-codec spec (Create mode only;
+  /// Read-mode opens detect framing from the file). PCXX_CODEC=off still
+  /// wins over `codec.enabled`.
+  ParallelFilePtr open(rt::Node& node, const std::string& fsName,
+                       OpenMode mode, const CodecSpec& codec);
 
   /// Collective: delete a file (removes the memory image / POSIX file).
   void remove(rt::Node& node, const std::string& fsName);
@@ -250,12 +277,25 @@ class Pfs {
   RetryPolicy retryPolicy() const;
 
   /// Test helper: overwrite one byte of a file's storage directly,
-  /// bypassing timing and fault hooks.
+  /// bypassing timing and fault hooks. Offsets are LOGICAL: on a
+  /// codec-framed file the flip lands in the decoded byte space (the
+  /// chunk is re-sealed around it), modeling bit rot in the record
+  /// payload exactly as on an unframed file.
   void corruptByte(const std::string& fsName, std::uint64_t offset,
                    Byte value);
 
-  /// Test helper: truncate a file's storage directly.
+  /// Test helper: truncate a file's storage directly (logical bytes).
   void truncateFile(const std::string& fsName, std::uint64_t newSize);
+
+  /// Test helper: overwrite one PHYSICAL byte of the raw store underneath
+  /// any codec framing (corrupts frame headers / compressed payloads; on
+  /// an unframed file this is identical to corruptByte).
+  void corruptStoredByte(const std::string& fsName, std::uint64_t offset,
+                         Byte value);
+
+  /// Test helper: the file's physical size in the raw store (frame
+  /// overhead included on framed files).
+  std::uint64_t storedFileSize(const std::string& fsName);
 
   /// Total storage operations issued so far (reads + writes).
   std::uint64_t opCount() const { return opCounter_.load(); }
@@ -263,10 +303,21 @@ class Pfs {
  private:
   friend class ParallelFile;
 
+  enum class CodecEnv { Unset, ForceOff, ForceLz };
+
+  ParallelFilePtr openImpl(rt::Node& node, const std::string& fsName,
+                           OpenMode mode, const CodecSpec* codec);
   std::shared_ptr<StorageBackend> backendFor(const std::string& fsName,
-                                             OpenMode mode);
+                                             OpenMode mode,
+                                             const CodecSpec* codec);
+  /// The raw (unframed) store for an existing file; nullptr when the file
+  /// does not exist. Caller must NOT hold mu_.
+  std::shared_ptr<StorageBackend> rawStorageFor(const std::string& fsName);
+  /// Spec a Create-mode open will actually use (env override applied).
+  CodecSpec effectiveCodecSpec(const CodecSpec* codec) const;
   std::string posixPath(const std::string& fsName) const;
 
+  CodecEnv codecEnv_ = CodecEnv::Unset;
   PfsConfig config_;
   PerfModel model_;
   std::mutex mu_;

@@ -57,6 +57,10 @@ class DsdumpCli : public ::testing::Test {
       ds::StreamOptions so;
       so.checksumData = true;
       so.indexFooter = indexFooter;
+      // The corruption tests flip bytes at raw file offsets, so the file
+      // must stay unframed even when PCXX_CODEC enables the chunk codec
+      // (the framed path has its own test below).
+      so.codec = "none";
       ds::OStream s(fs, &d, name, so);
       for (int r = 0; r < records; ++r) {
         g.forEachLocal([r](double& v, std::int64_t i) {
@@ -162,6 +166,131 @@ TEST_F(DsdumpCli, RepairTruncatesToTheValidPrefix) {
   auto [rcd, outd] = runTool(path.string());
   EXPECT_EQ(rcd, 0) << outd;
   EXPECT_NE(outd.find("2 record(s)"), std::string::npos) << outd;
+}
+
+// Regression: --repair used to truncate and stop, leaving the survivors
+// footer-less — O(1) seeks and the explicit end-of-chain marker were lost
+// on every repair. A repaired file must carry a FRESH valid index footer
+// covering exactly the surviving records.
+TEST_F(DsdumpCli, RepairReappendsAFreshIndexFooter) {
+  writeStream("refoot.ds", 3, /*indexFooter=*/false);
+  const auto path = dir_ / "refoot.ds";
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);  // torn tail mid-record-2
+
+  auto [rc, out] = runTool("--repair " + path.string());
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("fresh index footer"), std::string::npos) << out;
+
+  // The repaired file now probes as indexed, and the footer's entries
+  // agree with the surviving chain (inspectFile cross-checks them).
+  const ds::FileInfo info = ds::inspectFile(path.string());
+  EXPECT_TRUE(info.indexed);
+  EXPECT_EQ(info.records.size(), 2u);
+  auto [rcv, outv] = runTool("--verify " + path.string());
+  EXPECT_EQ(rcv, 0) << outv;
+}
+
+// Edge case: when the DAMAGE is the footer itself (body corrupted, trailer
+// intact), repair truncates to footerOffset. No stale trailer bytes may
+// survive that truncation — the trailer found at EOF afterwards must be
+// the freshly appended one, pointing at a valid body.
+TEST_F(DsdumpCli, RepairAtFooterOffsetLeavesNoStaleTrailerBytes) {
+  writeStream("footfix.ds", 2, /*indexFooter=*/true);
+  const auto path = dir_ / "footfix.ds";
+
+  // Read footerOffset out of the self-checksummed trailer (bytes
+  // [size-24, size-16)), then flip a byte inside the footer BODY.
+  const auto size = std::filesystem::file_size(path);
+  std::uint64_t footerOffset = 0;
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size) - 24);
+    unsigned char enc[8];
+    f.read(reinterpret_cast<char*>(enc), 8);
+    for (int i = 7; i >= 0; --i) {
+      footerOffset = (footerOffset << 8) | enc[i];
+    }
+    f.seekp(static_cast<std::streamoff>(footerOffset) + 2);
+    f.put('\xEE');
+  }
+  ASSERT_LT(footerOffset, size);
+
+  auto [rcvBad, outvBad] = runTool("--verify " + path.string());
+  EXPECT_EQ(rcvBad, 3) << outvBad;
+  EXPECT_NE(outvBad.find("corrupt index footer"), std::string::npos)
+      << outvBad;
+
+  auto [rc, out] = runTool("--repair " + path.string());
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("2 record(s) kept"), std::string::npos) << out;
+
+  // Every record survived, the new footer is valid, and strict inspection
+  // (which rejects any footer/chain disagreement, i.e. any stale bytes)
+  // passes.
+  const ds::FileInfo info = ds::inspectFile(path.string());
+  EXPECT_TRUE(info.indexed);
+  EXPECT_EQ(info.records.size(), 2u);
+  EXPECT_EQ(info.footerOffset, footerOffset);
+  auto [rcv, outv] = runTool("--verify " + path.string());
+  EXPECT_EQ(rcv, 0) << outv;
+  EXPECT_NE(outv.find("clean"), std::string::npos) << outv;
+}
+
+// A codec-framed stream file with a physically torn tail must repair
+// through the same CLI: dsdump unwraps the framing, truncates in LOGICAL
+// bytes (re-sealing chunks), and appends the fresh footer through the
+// codec.
+TEST_F(DsdumpCli, RepairWorksOnCodecFramedFiles) {
+  pfs::PfsConfig cfg;
+  cfg.backend = pfs::PfsConfig::Backend::Posix;
+  cfg.dir = dir_.string();
+  pfs::Pfs fs(cfg);
+  rt::Machine m(2);
+  m.run([&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(8, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    ds::StreamOptions so;
+    so.checksumData = true;
+    so.codec = "lz";
+    so.codecChunkBytes = 256;
+    ds::OStream s(fs, &d, "framed.ds", so);
+    for (int r = 0; r < 3; ++r) {
+      g.forEachLocal([r](double& v, std::int64_t i) {
+        v = static_cast<double>(r * 10 + i);
+      });
+      s << g;
+      s.write();
+    }
+  });
+  const auto path = dir_ / "framed.ds";
+  {
+    std::ifstream f(path, std::ios::binary);
+    char magic[8];
+    f.read(magic, 8);
+    ASSERT_EQ(std::string(magic, 8), "PCXXCDC1");
+  }
+  // Tear the last physical frame: its chunk reads as zeros, so the tail
+  // records are damage the repair must truncate away.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 30);
+
+  auto [rcvBad, outvBad] = runTool("--verify " + path.string());
+  EXPECT_EQ(rcvBad, 3) << outvBad;
+  auto [rc, out] = runTool("--repair " + path.string());
+  EXPECT_EQ(rc, 0) << out;
+  auto [rcv, outv] = runTool("--verify " + path.string());
+  EXPECT_EQ(rcv, 0) << outv;
+  // Still framed after the repair, and the survivors still read.
+  {
+    std::ifstream f(path, std::ios::binary);
+    char magic[8];
+    f.read(magic, 8);
+    EXPECT_EQ(std::string(magic, 8), "PCXXCDC1");
+  }
+  auto [rcd, outd] = runTool(path.string());
+  EXPECT_EQ(rcd, 0) << outd;
 }
 
 TEST_F(DsdumpCli, UsageOnMissingArgument) {

@@ -34,6 +34,34 @@ TEST(RetryPolicy, BackoffIsDeterministicAndBounded) {
   EXPECT_NE(rp.backoffFor(1, 42, 1), rp.backoffFor(1, 43, 1));
 }
 
+// Regression: the cap used to be applied BEFORE jitter, so once the
+// exponential curve saturated, positive jitter pushed the returned delay up
+// to backoffMax * (1 + jitter) — the documented hard bound was violated on
+// every deep retry. The cap is a bound on the RETURNED value.
+TEST(RetryPolicy, BackoffNeverExceedsMaxForAnySeedOrAttempt) {
+  for (const std::uint64_t seed : {0ull, 1ull, 99ull, 0xDEADBEEFull}) {
+    for (const double jitter : {0.0, 0.2, 0.5, 0.99}) {
+      pfs::RetryPolicy rp;
+      rp.backoffBase = 1e-3;
+      rp.backoffFactor = 3.0;
+      rp.backoffMax = 0.05;
+      rp.jitter = jitter;
+      rp.seed = seed;
+      for (int attempt = 1; attempt <= 20; ++attempt) {
+        for (std::uint64_t op = 0; op < 16; ++op) {
+          for (int node = 0; node < 3; ++node) {
+            const double b = rp.backoffFor(attempt, op, node);
+            EXPECT_LE(b, rp.backoffMax)
+                << "seed " << seed << " jitter " << jitter << " attempt "
+                << attempt << " op " << op << " node " << node;
+            EXPECT_GE(b, 0.0);
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(RetryPolicy, TransientWriteFailuresRetriedToSuccess) {
   pfs::Pfs fs = test::memFs();
   pfs::RetryPolicy rp;

@@ -1,0 +1,335 @@
+// Corruption battery for the chunk-codec stage: physical bit flips in
+// compressed payloads, frame headers that lie about sizes behind VALID
+// CRCs, FaultPlan-torn writes, and the contract that damage verdicts and
+// salvage results stay byte-identical to the uncompressed path.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/dstream/dstream.h"
+#include "src/pfs/codec.h"
+#include "src/pfs/fault_plan.h"
+#include "src/util/crc32.h"
+#include "tests/common/test_helpers.h"
+
+namespace {
+
+using namespace pcxx;
+
+constexpr int kNodes = 2;
+constexpr std::int64_t kElems = 96;
+
+ByteBuffer repetitive(size_t n, int seed) {
+  ByteBuffer out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<Byte>((i / 17 + static_cast<size_t>(seed)) & 0x1f);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Physical frame damage at the CodecStorage level
+// ---------------------------------------------------------------------------
+
+TEST(CodecFuzz, PayloadBitFlipReadsAsZerosAndTicksDamage) {
+  auto inner = std::make_shared<pfs::MemStorage>();
+  pfs::CodecSpec spec;
+  spec.enabled = true;
+  spec.chunkBytes = 256;
+  auto codec = pfs::CodecStorage::create(inner, spec, nullptr);
+  const ByteBuffer data = repetitive(4 * 256, 1);
+  codec->writeAt(0, data);
+
+  // Flip one byte inside chunk 1's COMPRESSED payload.
+  const std::uint64_t at =
+      codec->frameOffset(1) + pfs::CodecStorage::kFrameHeaderBytes + 3;
+  Byte b[1];
+  ASSERT_EQ(inner->readAt(at, b), 1u);
+  b[0] = static_cast<Byte>(b[0] ^ 0xff);
+  inner->writeAt(at, b);
+
+  const std::uint64_t damagedBefore = pfs::codecThreadStats().damagedChunks;
+  ByteBuffer got(data.size());
+  ASSERT_EQ(codec->readAt(0, got), got.size());
+  EXPECT_GT(pfs::codecThreadStats().damagedChunks, damagedBefore);
+  for (size_t i = 0; i < got.size(); ++i) {
+    const bool inDamaged = i >= 256 && i < 512;
+    ASSERT_EQ(got[i], inDamaged ? Byte{0} : data[i]) << "byte " << i;
+  }
+}
+
+// Rewrite one 32-bit field of chunk `index`'s frame header and re-seal the
+// header CRC (and optionally the payload CRC) so only the LIE remains
+// detectable — the codec must not trust CRC-valid metadata blindly.
+void patchFrameField(pfs::CodecStorage& codec, std::uint64_t index,
+                     std::uint64_t fieldOffset, std::uint32_t value,
+                     bool resealPayloadCrc) {
+  pfs::StorageBackend& inner = codec.inner();
+  const std::uint64_t frame = codec.frameOffset(index);
+  ByteBuffer header(pfs::CodecStorage::kFrameHeaderBytes);
+  ASSERT_EQ(inner.readAt(frame, header), header.size());
+  encodeU32(value, header.data() + fieldOffset);
+  if (resealPayloadCrc) {
+    const std::uint32_t stored = decodeU32(header.data() + 20);
+    ByteBuffer payload(stored);
+    ASSERT_EQ(inner.readAt(frame + header.size(), payload), payload.size());
+    encodeU32(crc32(payload), header.data() + 32);
+  }
+  encodeU32(crc32(std::span<const Byte>(header.data(), 36)),
+            header.data() + 36);
+  inner.writeAt(frame, header);
+}
+
+TEST(CodecFuzz, LyingSizesBehindValidCrcsAreDamageNotCrashes) {
+  const ByteBuffer data = repetitive(3 * 256, 2);
+  const auto buildVictim = [&data]() {
+    auto inner = std::make_shared<pfs::MemStorage>();
+    pfs::CodecSpec spec;
+    spec.enabled = true;
+    spec.chunkBytes = 256;
+    auto codec = pfs::CodecStorage::create(inner, spec, nullptr);
+    codec->writeAt(0, data);
+    return std::pair(inner, codec);
+  };
+
+  struct Lie {
+    const char* name;
+    std::uint64_t field;  // frame-header byte offset of the u32 field
+    std::uint32_t value;
+    bool resealPayloadCrc;
+  };
+  const Lie lies[] = {
+      // rawBytes > chunkBytes: bounds lie, header CRC re-sealed.
+      {"rawBytes over chunk", 16, 257, false},
+      // rawBytes shrunk under the real decode length: decode-mismatch lie.
+      {"rawBytes shrunk", 16, 5, false},
+      // storedBytes grown into the reserved zero region, payload CRC
+      // re-sealed over the now-longer region so only decode catches it.
+      {"storedBytes grown", 20, 200, true},
+      // storedBytes truncated, payload CRC re-sealed over the prefix.
+      {"storedBytes shrunk", 20, 2, true},
+  };
+  for (const Lie& lie : lies) {
+    auto [inner, codec] = buildVictim();
+    patchFrameField(*codec, 1, lie.field, lie.value, lie.resealPayloadCrc);
+    const std::uint64_t damagedBefore =
+        pfs::codecThreadStats().damagedChunks;
+    ByteBuffer got(data.size());
+    ASSERT_EQ(codec->readAt(0, got), got.size()) << lie.name;
+    EXPECT_GT(pfs::codecThreadStats().damagedChunks, damagedBefore)
+        << lie.name;
+    for (size_t i = 0; i < got.size(); ++i) {
+      const bool inDamaged = i >= 256 && i < 512;
+      ASSERT_EQ(got[i], inDamaged ? Byte{0} : data[i])
+          << lie.name << " byte " << i;
+    }
+    // The lying frame must also not break a fresh attach scan.
+    auto back = pfs::CodecStorage::attach(inner, nullptr);
+    EXPECT_EQ(back->size(), data.size()) << lie.name;
+  }
+}
+
+TEST(CodecFuzz, PhysicalTailTruncationSurfacesAsZeroTail) {
+  const ByteBuffer data = repetitive(4 * 256, 3);
+  const auto buildVictim = [&data]() {
+    auto inner = std::make_shared<pfs::MemStorage>();
+    pfs::CodecSpec spec;
+    spec.enabled = true;
+    spec.chunkBytes = 256;
+    auto codec = pfs::CodecStorage::create(inner, spec, nullptr);
+    codec->writeAt(0, data);
+    return std::pair(inner, codec);
+  };
+
+  // Case 1: tear MID-PAYLOAD (frame header intact, stored bytes short).
+  // The damaged tail frame still claims its full chunk: the logical size
+  // is preserved and the chunk reads as zeros.
+  {
+    auto [inner, codec] = buildVictim();
+    const std::uint64_t payloadStart =
+        codec->frameOffset(3) + pfs::CodecStorage::kFrameHeaderBytes;
+    ASSERT_GT(inner->size(), payloadStart + 2);
+    inner->truncate(payloadStart + (inner->size() - payloadStart) / 2);
+    auto back = pfs::CodecStorage::attach(inner, nullptr);
+    EXPECT_EQ(back->size(), 4 * 256u);
+    ByteBuffer got(4 * 256);
+    ASSERT_EQ(back->readAt(0, got), got.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      const bool inDamaged = i >= 3 * 256;
+      ASSERT_EQ(got[i], inDamaged ? Byte{0} : data[i]) << "byte " << i;
+    }
+  }
+
+  // Case 2: tear the WHOLE tail frame away (header gone too). An absent
+  // frame is a hole, so the logical size shrinks to the sealed prefix —
+  // exactly an unframed file's torn-tail behaviour.
+  {
+    auto [inner, codec] = buildVictim();
+    inner->truncate(codec->frameOffset(3) + 10);  // header itself short
+    auto back = pfs::CodecStorage::attach(inner, nullptr);
+    EXPECT_EQ(back->size(), 3 * 256u);
+    ByteBuffer got(3 * 256);
+    ASSERT_EQ(back->readAt(0, got), got.size());
+    EXPECT_EQ(got, ByteBuffer(data.begin(), data.begin() + 3 * 256));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// d/stream-level equivalence with the uncompressed path
+// ---------------------------------------------------------------------------
+
+void writeRecords(pfs::Pfs& fs, const std::string& name, int records,
+                  const std::string& codec) {
+  test::runSpmd(kNodes, [&](rt::Node&) {
+    coll::Processors P;
+    coll::Distribution d(kElems, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    ds::StreamOptions so;
+    so.checksumData = true;
+    so.codec = codec;
+    so.codecChunkBytes = codec == "lz" ? 256 : 0;
+    ds::OStream s(fs, &d, name, so);
+    for (int r = 0; r < records; ++r) {
+      g.forEachLocal([r](double& v, std::int64_t i) {
+        v = static_cast<double>(r * 100 + i % 5);
+      });
+      s << g;
+      s.write();
+    }
+  });
+}
+
+/// Salvage-read `name`: which records were recovered (identified by
+/// content), plus the report counts.
+std::pair<std::vector<int>, ds::SalvageReport> salvageRead(
+    pfs::Pfs& fs, const std::string& name, int records, int nodes = kNodes,
+    int prefetchDepth = 0) {
+  std::vector<int> recovered;
+  ds::SalvageReport report;
+  test::runSpmd(nodes, [&](rt::Node& node) {
+    coll::Processors P;
+    coll::Distribution d(kElems, &P, coll::DistKind::Block);
+    coll::Collection<double> g(&d);
+    ds::StreamOptions so;
+    so.salvage = true;
+    so.aioPrefetchDepth = prefetchDepth;
+    ds::IStream s(fs, &d, name, so);
+    std::vector<int> mine;
+    while (!s.atEnd()) {
+      s.read();
+      if (!s.hasRecord()) break;
+      s >> g;
+      for (int r = 0; r < records; ++r) {
+        std::int64_t bad = 0;
+        g.forEachLocal([&](double& v, std::int64_t i) {
+          if (v != static_cast<double>(r * 100 + i % 5)) ++bad;
+        });
+        if (bad == 0) mine.push_back(r);
+      }
+    }
+    if (node.id() == 0) {
+      recovered = mine;
+      report = s.salvageReport();
+    }
+  });
+  return {recovered, report};
+}
+
+// The same LOGICAL corruption applied to a framed and an unframed copy of
+// the same stream must produce identical salvage verdicts: the codec's
+// damage model never changes what the record layer sees.
+TEST(CodecFuzz, LogicalCorruptionSalvagesIdenticallyToUncompressed) {
+  for (const std::uint64_t victim : {60ull, 200ull, 420ull}) {
+    pfs::Pfs fs = test::memFs();
+    writeRecords(fs, "plain.ds", 3, "none");
+    writeRecords(fs, "framed.ds", 3, "lz");
+    // Identical logical images by construction.
+    fs.corruptByte("plain.ds", victim, Byte{0xEE});
+    fs.corruptByte("framed.ds", victim, Byte{0xEE});
+
+    const auto [plainRecs, plainReport] = salvageRead(fs, "plain.ds", 3);
+    const auto [framedRecs, framedReport] = salvageRead(fs, "framed.ds", 3);
+    EXPECT_EQ(plainRecs, framedRecs) << "victim " << victim;
+    EXPECT_EQ(plainReport.recordsRecovered, framedReport.recordsRecovered)
+        << "victim " << victim;
+    EXPECT_EQ(plainReport.recordsLost, framedReport.recordsLost)
+        << "victim " << victim;
+  }
+}
+
+// PHYSICAL damage to a compressed frame surfaces as record-layer damage
+// (zeros where the chunk was), so salvage still recovers every record the
+// damaged chunk does not touch — under prefetch too.
+TEST(CodecFuzz, StoredBitFlipIsSalvageableRecordDamage) {
+  for (const int prefetch : {0, 2}) {
+    pfs::Pfs fs = test::memFs();
+    writeRecords(fs, "framed.ds", 3, "lz");
+    // Somewhere in the middle of the stored bytes: a frame header or a
+    // compressed payload, either way at most a couple of chunks die.
+    fs.corruptStoredByte("framed.ds", fs.storedFileSize("framed.ds") / 2,
+                         Byte{0xEE});
+    const auto [recs, report] = salvageRead(fs, "framed.ds", 3, kNodes,
+                                            prefetch);
+    EXPECT_GE(recs.size(), 1u) << "prefetch " << prefetch;
+    // Every written record is either recovered intact or accounted as
+    // lost (a zeroed chunk spanning a boundary may lose two) — never
+    // silently wrong.
+    EXPECT_GE(recs.size() + report.recordsLost, 3u)
+        << "prefetch " << prefetch;
+  }
+}
+
+// FaultPlan-torn writes: crashing at the k-th pfs op leaves the same
+// durable LOGICAL prefix whether or not a codec sits below (op indices are
+// counted above the codec), so the post-crash salvage verdicts must agree
+// exactly at every crash point.
+TEST(CodecFuzz, TornWritesSalvageIdenticallyAtEveryCrashPoint) {
+  // Count the ops one full write issues (fault-free run).
+  pfs::Pfs probe = test::memFs();
+  writeRecords(probe, "probe.ds", 3, "none");
+  const std::uint64_t totalOps = probe.opCount();
+
+  for (std::uint64_t k = 1; k < totalOps; k += 3) {
+    std::vector<int> recs[2];
+    ds::SalvageReport reports[2];
+    for (const int framed : {0, 1}) {
+      pfs::Pfs fs = test::memFs();
+      pfs::FaultPlan plan;
+      plan.crashAtOp(k, 4);  // 4 durable bytes of the k-th op, then crash
+      fs.setFaultHook(plan.hook());
+      try {
+        writeRecords(fs, "f.ds", 3, framed != 0 ? "lz" : "none");
+      } catch (const Error&) {
+        // CrashInjected (or the peers' abort wrapper)
+      }
+      fs.setFaultHook(nullptr);
+      if (!fs.exists("f.ds")) {
+        recs[framed] = {-1};  // crashed before the file existed
+        continue;
+      }
+      auto [r, rep] = salvageRead(fs, "f.ds", 3);
+      recs[framed] = std::move(r);
+      reports[framed] = rep;
+    }
+    EXPECT_EQ(recs[0], recs[1]) << "crash at op " << k;
+    EXPECT_EQ(reports[0].recordsLost, reports[1].recordsLost)
+        << "crash at op " << k;
+  }
+}
+
+// Framed files must round-trip through the full read stack: prefetch
+// threads (background decompression), salvage mode on a clean file, and a
+// node-count change (relayout through pcxx::redist).
+TEST(CodecFuzz, CleanFramedRoundtripUnderPrefetchSalvageAndRelayout) {
+  pfs::Pfs fs = test::memFs();
+  writeRecords(fs, "framed.ds", 3, "lz");
+  for (const int nodes : {kNodes, 3}) {
+    const auto [recs, report] =
+        salvageRead(fs, "framed.ds", 3, nodes, /*prefetchDepth=*/2);
+    EXPECT_EQ(recs, (std::vector<int>{0, 1, 2})) << nodes << " nodes";
+    EXPECT_EQ(report.recordsLost, 0u) << nodes << " nodes";
+  }
+}
+
+}  // namespace

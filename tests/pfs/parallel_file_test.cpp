@@ -207,7 +207,9 @@ TEST(ParallelFile, PosixBackendWritesRealFiles) {
   Pfs fs(cfg);
   rt::Machine m(3);
   m.run([&](rt::Node& node) {
-    auto f = fs.open(node, "real.bin", OpenMode::Create);
+    // Explicitly unframed: the assertion below pins the on-disk byte count,
+    // which a PCXX_CODEC-enabled environment would otherwise change.
+    auto f = fs.open(node, "real.bin", OpenMode::Create, CodecSpec{});
     ByteBuffer mine(4, static_cast<Byte>(node.id()));
     f->writeOrdered(node, mine);
     f->sync(node);
